@@ -1,0 +1,141 @@
+/// \file bench_microkernels.cpp
+/// \brief google-benchmark timings of the substrate kernels: global
+/// placement, global routing, STA, and the three clustering engines. These
+/// are the per-stage costs behind Table 2's CPU column.
+#include <benchmark/benchmark.h>
+
+#include "cluster/community.hpp"
+#include "cluster/fc_multilevel.hpp"
+#include "cluster/graph.hpp"
+#include "common.hpp"
+#include "hier/dendrogram.hpp"
+#include "place/floorplan.hpp"
+#include "place/global_placer.hpp"
+#include "place/legalizer.hpp"
+#include "place/model.hpp"
+#include "route/global_router.hpp"
+#include "sta/activity.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace ppacd;
+
+/// Shared medium design (ariane-scaled) so kernels compare apples to apples.
+struct Fixture {
+  Fixture() : nl(bench::make_design(gen::design_spec("ariane"))) {
+    place::FloorplanOptions fpo;
+    fpo.utilization = 0.65;
+    fp = place::Floorplan::create(nl.total_cell_area(),
+                                  bench::library().row_height_um(), fpo);
+    place::place_ports_on_boundary(nl, fp);
+    model = place::make_place_model(nl, fp);
+    const auto gp = place::GlobalPlacer(model, place::GlobalPlacerOptions{}).run();
+    const auto lg = place::legalize(model, gp.placement);
+    positions = place::cell_positions(nl, lg.placement);
+  }
+  netlist::Netlist nl;
+  place::Floorplan fp;
+  place::PlaceModel model;
+  std::vector<geom::Point> positions;
+};
+
+Fixture& fixture() {
+  static Fixture instance;
+  return instance;
+}
+
+void BM_GlobalPlacement(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    place::GlobalPlacer placer(f.model, place::GlobalPlacerOptions{});
+    benchmark::DoNotOptimize(placer.run().hpwl_um);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.nl.cell_count()));
+}
+BENCHMARK(BM_GlobalPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalPlacement(benchmark::State& state) {
+  Fixture& f = fixture();
+  place::GlobalPlacer placer(f.model, place::GlobalPlacerOptions{});
+  const auto seed = placer.run().placement;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placer.run_incremental(seed).hpwl_um);
+  }
+}
+BENCHMARK(BM_IncrementalPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalRouting(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    route::GlobalRouter router(f.nl, f.positions, f.fp.core, route::RouteOptions{});
+    benchmark::DoNotOptimize(router.run().wirelength_um);
+  }
+}
+BENCHMARK(BM_GlobalRouting)->Unit(benchmark::kMillisecond);
+
+void BM_Sta(benchmark::State& state) {
+  Fixture& f = fixture();
+  sta::StaOptions options;
+  options.clock_period_ps = 1800.0;
+  options.cell_positions = &f.positions;
+  for (auto _ : state) {
+    sta::Sta sta(f.nl, options);
+    sta.run();
+    benchmark::DoNotOptimize(sta.tns_ns());
+  }
+}
+BENCHMARK(BM_Sta)->Unit(benchmark::kMillisecond);
+
+void BM_ActivityPropagation(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sta::propagate_activity(f.nl, sta::ActivityOptions{}).size());
+  }
+}
+BENCHMARK(BM_ActivityPropagation)->Unit(benchmark::kMillisecond);
+
+void BM_FcClustering(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::fc_multilevel_cluster(f.nl, cluster::FcPpaInputs{},
+                                       cluster::FcOptions{})
+            .cluster_count);
+  }
+}
+BENCHMARK(BM_FcClustering)->Unit(benchmark::kMillisecond);
+
+void BM_Louvain(benchmark::State& state) {
+  Fixture& f = fixture();
+  const cluster::Graph graph = cluster::clique_expand(f.nl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::louvain(graph, cluster::CommunityOptions{}).community_count);
+  }
+}
+BENCHMARK(BM_Louvain)->Unit(benchmark::kMillisecond);
+
+void BM_Leiden(benchmark::State& state) {
+  Fixture& f = fixture();
+  const cluster::Graph graph = cluster::clique_expand(f.nl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::leiden(graph, cluster::CommunityOptions{}).community_count);
+  }
+}
+BENCHMARK(BM_Leiden)->Unit(benchmark::kMillisecond);
+
+void BM_HierarchyClustering(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier::hierarchy_clustering(f.nl).cluster_count);
+  }
+}
+BENCHMARK(BM_HierarchyClustering)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

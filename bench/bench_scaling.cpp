@@ -1,0 +1,55 @@
+/// \file bench_scaling.cpp
+/// \brief Runtime scaling of the default vs clustering-driven flow across
+/// design sizes — the turnaround-time story of the paper's introduction
+/// rendered as a curve (not a paper table, but the trend every table rests
+/// on: the speedup must grow, or at least hold, with design size).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace ppacd;
+  util::Table table("Placement runtime scaling: Default vs Ours");
+  table.set_header({"#Cells", "Default (s)", "Ours (s)", "Ratio", "Ours HPWL"});
+  util::CsvWriter csv;
+  csv.set_header({"cells", "default_s", "ours_s", "ratio", "ours_hpwl_norm"});
+
+  for (const int size : {1000, 2000, 4000, 8000, 16000, 26000}) {
+    // Parametric generic design so the instance count tracks the sweep (the
+    // named tiled/multicore designs have a module-count floor).
+    gen::DesignSpec spec;
+    spec.name = "scal" + std::to_string(size);
+    spec.seed = 0xc0ffee + static_cast<std::uint64_t>(size);
+    spec.topology = gen::Topology::kGeneric;
+    spec.hierarchy_depth = 4;
+    spec.hierarchy_branching = 3;
+    spec.clock_period_ps = 1500.0;
+    spec.target_cells = static_cast<int>(size * bench::size_scale());
+    flow::FlowOptions options;
+    options.clock_period_ps = spec.clock_period_ps;
+    options.vpr.min_cluster_instances = 1 << 20;  // isolate placement runtime
+
+    netlist::Netlist nl_default = gen::generate(bench::library(), spec);
+    const flow::FlowResult def = flow::run_default_flow(nl_default, options);
+
+    netlist::Netlist nl_ours = gen::generate(bench::library(), spec);
+    const flow::FlowResult ours = flow::run_clustered_flow(nl_ours, options);
+    const double ours_cpu =
+        ours.place.clustering_seconds + ours.place.placement_seconds;
+    const double ratio = ours_cpu / def.place.placement_seconds;
+    table.add_row({std::to_string(nl_default.cell_count()),
+                   bench::fmt(def.place.placement_seconds, 2),
+                   bench::fmt(ours_cpu, 2), bench::fmt(ratio, 2),
+                   bench::fmt(ours.place.hpwl_um / def.place.hpwl_um, 3)});
+    csv.add_row({std::to_string(nl_default.cell_count()),
+                 bench::fmt(def.place.placement_seconds, 3),
+                 bench::fmt(ours_cpu, 3), bench::fmt(ratio, 3),
+                 bench::fmt(ours.place.hpwl_um / def.place.hpwl_um, 4)});
+  }
+  table.print();
+  bench::write_results(csv, "scaling");
+  std::printf("\nExpected: the ratio stays well below 1 and does not degrade\n"
+              "with size (the paper's motivation: clustering pays off most on\n"
+              "the largest designs).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file bench_table2.cpp
+/// \brief Table 2: post-place HPWL and CPU, [9] (blob placement) and Ours,
+/// both normalized to the default flow.
+///
+/// CPU follows the paper's accounting: cumulative clustering + seeded
+/// placement runtime, divided by the default flow's placement runtime.
+/// Shape-selection (V-P&R) time is reported separately since the paper's
+/// runtime comparison covers clustering and placement. The paper lists NA
+/// for [9] on MegaBoom/MemPool Group because Louvain's runtime exploded at
+/// millions of cells; our scaled designs stay tractable so measured values
+/// are printed, flagged with '*'.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace ppacd;
+  util::Table table("Table 2: Post-place results with the OpenROAD-like flow "
+                    "(normalized to Default)");
+  table.set_header({"Design", "[9] HPWL", "[9] CPU", "Ours HPWL", "Ours CPU"});
+  util::CsvWriter csv;
+  csv.set_header({"design", "default_hpwl_um", "default_cpu_s", "blob_hpwl_norm",
+                  "blob_cpu_norm", "ours_hpwl_norm", "ours_cpu_norm",
+                  "ours_vpr_s", "ours_clusters"});
+
+  double blob_cpu_sum = 0.0;
+  double ours_cpu_sum = 0.0;
+  int designs = 0;
+  for (const gen::DesignSpec& spec : gen::all_design_specs()) {
+    const flow::FlowOptions base = bench::design_flow_options(spec);
+
+    netlist::Netlist nl_default = bench::make_design(spec);
+    const flow::FlowResult def = flow::run_default_flow(nl_default, base);
+
+    // Blob placement [9]: Louvain communities, uniform shapes, seeded flow.
+    netlist::Netlist nl_blob = bench::make_design(spec);
+    flow::FlowOptions blob_options = base;
+    blob_options.cluster_method = flow::ClusterMethod::kLouvainBlob;
+    blob_options.shape_mode = flow::ShapeMode::kUniform;
+    const flow::FlowResult blob = flow::run_clustered_flow(nl_blob, blob_options);
+
+    // Ours: PPA-aware clustering + V-P&R cluster shapes.
+    netlist::Netlist nl_ours = bench::make_design(spec);
+    flow::FlowOptions ours_options = base;
+    ours_options.shape_mode = flow::ShapeMode::kVpr;
+    const flow::FlowResult ours = flow::run_clustered_flow(nl_ours, ours_options);
+
+    const double def_cpu = def.place.placement_seconds;
+    auto cpu_of = [](const flow::FlowResult& r) {
+      return r.place.clustering_seconds + r.place.placement_seconds;
+    };
+    const bool large = spec.target_cells > 15000;
+    const double blob_hpwl = blob.place.hpwl_um / def.place.hpwl_um;
+    const double blob_cpu = cpu_of(blob) / def_cpu;
+    const double ours_hpwl = ours.place.hpwl_um / def.place.hpwl_um;
+    const double ours_cpu = cpu_of(ours) / def_cpu;
+    blob_cpu_sum += blob_cpu;
+    ours_cpu_sum += ours_cpu;
+    ++designs;
+
+    table.add_row({spec.name,
+                   bench::fmt(blob_hpwl, 3) + (large ? "*" : ""),
+                   bench::fmt(blob_cpu, 3) + (large ? "*" : ""),
+                   bench::fmt(ours_hpwl, 3), bench::fmt(ours_cpu, 3)});
+    csv.add_row({spec.name, bench::fmt(def.place.hpwl_um, 1),
+                 bench::fmt(def_cpu, 4), bench::fmt(blob_hpwl, 4),
+                 bench::fmt(blob_cpu, 4), bench::fmt(ours_hpwl, 4),
+                 bench::fmt(ours_cpu, 4), bench::fmt(ours.place.shaping_seconds, 3),
+                 std::to_string(ours.place.cluster_count)});
+  }
+  table.print();
+  bench::write_results(csv, "table2");
+  std::printf("\n* paper reports NA for [9] on these designs (Louvain runtime\n"
+              "  blow-up at full scale); scaled designs stay tractable here.\n"
+              "Average CPU vs default: [9] %.2f, Ours %.2f (paper: ours ~0.64,\n"
+              "i.e. 36%% average global-placement runtime improvement).\n",
+              blob_cpu_sum / designs, ours_cpu_sum / designs);
+  return 0;
+}

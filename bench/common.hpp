@@ -1,0 +1,52 @@
+/// \file common.hpp
+/// \brief Shared infrastructure for the table/figure bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "ml/trainer.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace ppacd::bench {
+
+/// Scale factor for design sizes, read from PPACD_SCALE (default 1.0).
+/// Values < 1 shrink every generated design for quick smoke runs.
+double size_scale();
+
+/// The shared standard-cell library.
+const liberty::Library& library();
+
+/// Generates a paper design, applying size_scale().
+netlist::Netlist make_design(const gen::DesignSpec& spec);
+
+/// Flow options configured for one design: its clock period, the scaled
+/// V-P&R instance threshold (footnote 3 scaled with the design sizes; see
+/// DESIGN.md section 6), and default Eq. 2/3 hyperparameters.
+flow::FlowOptions design_flow_options(const gen::DesignSpec& spec);
+
+/// Formats with fixed decimals.
+std::string fmt(double value, int decimals);
+
+/// Writes `csv` to bench_results/<name>.csv (creating the directory) and
+/// prints the path.
+void write_results(const util::CsvWriter& csv, const std::string& name);
+
+/// Dataset + training used by bench_model_eval and bench_table6: clusters
+/// from aes/jpeg/ariane under perturbed clustering configs, labelled with
+/// exact V-P&R (Sec. 3.2's data generation at reproduction scale), then the
+/// Fig. 4 model trained with the paper's split ratio. `designs_keepalive`
+/// must outlive nothing -- the dataset copies what it needs.
+struct ModelBundle {
+  ml::Dataset dataset;
+  ml::TrainResult result;
+  double dataset_seconds = 0.0;
+  double training_seconds = 0.0;
+};
+ModelBundle build_and_train_model();
+
+}  // namespace ppacd::bench

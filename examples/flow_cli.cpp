@@ -1,0 +1,180 @@
+/// \file flow_cli.cpp
+/// \brief Command-line front end for the whole library: read (or generate)
+/// a design, run a flow, evaluate PPA, and write interchange/visualization
+/// artifacts. This is the example to start from when integrating the
+/// library with external netlists.
+///
+/// Usage:
+///   flow_cli [--design NAME | --verilog FILE] [--tool openroad|innovus]
+///            [--flow default|ours|blob|leiden|mfc|bc|overlay]
+///            [--shapes uniform|random|vpr] [--clock PS] [--opt] [--detailed]
+///            [--write-verilog FILE] [--write-def FILE] [--write-svg FILE]
+///            [--write-congestion FILE] [--report-paths N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "netlist/io.hpp"
+#include "netlist/stats.hpp"
+#include "route/global_router.hpp"
+#include "sta/report.hpp"
+#include "viz/viz.hpp"
+
+namespace {
+
+struct Args {
+  std::string design = "aes";
+  std::string verilog_in;
+  std::string tool = "openroad";
+  std::string flow = "ours";
+  std::string shapes = "vpr";
+  double clock_ps = 0.0;  // 0 = design default
+  std::string write_verilog;
+  std::string write_def;
+  std::string write_svg;
+  std::string write_congestion;
+  int report_paths = 0;
+  bool timing_opt = false;
+  bool detailed = false;
+};
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--design") args->design = value();
+    else if (arg == "--verilog") args->verilog_in = value();
+    else if (arg == "--tool") args->tool = value();
+    else if (arg == "--flow") args->flow = value();
+    else if (arg == "--shapes") args->shapes = value();
+    else if (arg == "--clock") args->clock_ps = std::atof(value());
+    else if (arg == "--write-verilog") args->write_verilog = value();
+    else if (arg == "--write-def") args->write_def = value();
+    else if (arg == "--write-svg") args->write_svg = value();
+    else if (arg == "--write-congestion") args->write_congestion = value();
+    else if (arg == "--report-paths") args->report_paths = std::atoi(value());
+    else if (arg == "--opt") args->timing_opt = true;
+    else if (arg == "--detailed") args->detailed = true;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppacd;
+  Args args;
+  if (!parse_args(argc, argv, &args)) return 1;
+
+  const liberty::Library lib = liberty::Library::nangate45_like();
+
+  // --- Obtain the design -----------------------------------------------------
+  std::optional<netlist::Netlist> design;
+  double default_clock = 1000.0;
+  if (!args.verilog_in.empty()) {
+    std::ifstream in(args.verilog_in);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.verilog_in.c_str());
+      return 1;
+    }
+    netlist::ParseError error;
+    design = netlist::read_verilog(in, lib, &error);
+    if (!design.has_value()) {
+      std::fprintf(stderr, "%s:%d: %s\n", args.verilog_in.c_str(), error.line,
+                   error.message.c_str());
+      return 1;
+    }
+  } else {
+    const gen::DesignSpec spec = gen::design_spec(args.design);
+    design = gen::generate(lib, spec);
+    default_clock = spec.clock_period_ps;
+  }
+  std::printf("design: %s\n",
+              netlist::to_string(netlist::compute_stats(*design)).c_str());
+
+  // --- Configure the flow -----------------------------------------------------
+  flow::FlowOptions options;
+  options.clock_period_ps = args.clock_ps > 0.0 ? args.clock_ps : default_clock;
+  options.tool = args.tool == "innovus" ? flow::Tool::kInnovusLike
+                                        : flow::Tool::kOpenRoadLike;
+  options.vpr.min_cluster_instances = 30;
+  if (args.shapes == "uniform") options.shape_mode = flow::ShapeMode::kUniform;
+  else if (args.shapes == "random") options.shape_mode = flow::ShapeMode::kRandom;
+  else options.shape_mode = flow::ShapeMode::kVpr;
+  if (args.flow == "blob") options.cluster_method = flow::ClusterMethod::kLouvainBlob;
+  else if (args.flow == "leiden") options.cluster_method = flow::ClusterMethod::kLeiden;
+  else if (args.flow == "mfc") options.cluster_method = flow::ClusterMethod::kMfc;
+  else if (args.flow == "bc") options.cluster_method = flow::ClusterMethod::kBestChoice;
+  else if (args.flow == "overlay") options.cluster_method = flow::ClusterMethod::kCutOverlay;
+  options.timing_optimization = args.timing_opt;
+  options.detailed_placement = args.detailed;
+
+  // --- Run ---------------------------------------------------------------------
+  const flow::FlowResult result =
+      args.flow == "default" ? flow::run_default_flow(*design, options)
+                             : flow::run_clustered_flow(*design, options);
+  const flow::PpaOutcome ppa =
+      flow::evaluate_ppa(*design, result.place.positions, options);
+  std::printf("placement: HPWL %.0f um in %.2fs (%d clusters)\n",
+              result.place.hpwl_um,
+              result.place.clustering_seconds + result.place.placement_seconds,
+              result.place.cluster_count);
+  std::printf("post-route: rWL %.0f um, WNS %.0f ps, TNS %.2f ns, power %.4f W\n",
+              ppa.rwl_um, ppa.wns_ps, ppa.tns_ns, ppa.power_w);
+
+  // --- Artifacts ------------------------------------------------------------------
+  geom::BBox box;
+  for (const auto& p : result.place.positions) box.expand(p);
+  for (std::size_t po = 0; po < design->port_count(); ++po) {
+    box.expand(design->port(static_cast<netlist::PortId>(po)).position);
+  }
+  if (!args.write_verilog.empty()) {
+    std::ofstream out(args.write_verilog);
+    netlist::write_verilog(*design, out);
+    std::printf("wrote %s\n", args.write_verilog.c_str());
+  }
+  if (!args.write_def.empty()) {
+    std::ofstream out(args.write_def);
+    netlist::write_placement_def(*design, result.place.positions, box.rect(), out);
+    std::printf("wrote %s\n", args.write_def.c_str());
+  }
+  if (!args.write_svg.empty()) {
+    viz::SvgOptions svg;
+    if (viz::write_placement_svg_file(*design, result.place.positions, box.rect(),
+                                      svg, args.write_svg)) {
+      std::printf("wrote %s\n", args.write_svg.c_str());
+    }
+  }
+  if (!args.write_congestion.empty()) {
+    route::GlobalRouter router(*design, result.place.positions, box.rect(),
+                               options.router);
+    const route::RouteResult routed = router.run();
+    if (viz::write_congestion_ppm_file(routed, args.write_congestion)) {
+      std::printf("wrote %s\n", args.write_congestion.c_str());
+    }
+  }
+  if (args.report_paths > 0) {
+    sta::StaOptions sta_options;
+    sta_options.clock_period_ps = options.clock_period_ps;
+    sta_options.cell_positions = &result.place.positions;
+    sta::Sta sta(*design, sta_options);
+    sta.run();
+    std::printf("\n%s\n%s",
+                sta::report_summary(*design, sta).c_str(),
+                sta::report_checks(*design, sta,
+                                   static_cast<std::size_t>(args.report_paths))
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "cluster/best_choice.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+#include "cluster/graph.hpp"
+#include "util/logging.hpp"
+
+namespace ppacd::cluster {
+
+namespace {
+
+/// Priority-queue entry: the best pair seen for `u` at push time; `stamp`
+/// detects staleness (either endpoint merged since).
+struct PqEntry {
+  double score = 0.0;
+  std::int32_t u = -1;
+  std::int32_t v = -1;
+  std::int64_t stamp_u = 0;
+  std::int64_t stamp_v = 0;
+
+  bool operator<(const PqEntry& other) const { return score < other.score; }
+};
+
+}  // namespace
+
+BestChoiceResult best_choice_cluster(const netlist::Netlist& nl,
+                                     const BestChoiceOptions& options) {
+  BestChoiceResult result;
+  const std::int32_t n = static_cast<std::int32_t>(nl.cell_count());
+  result.cluster_of_cell.assign(static_cast<std::size_t>(n), 0);
+  if (n == 0) return result;
+  const std::int32_t target =
+      options.target_cluster_count > 0 ? options.target_cluster_count
+                                       : std::max<std::int32_t>(8, n / 15);
+
+  // Current clusters: adjacency (merged weights), area, alive flag, and the
+  // merge stamp used for lazy invalidation.
+  const Graph base = clique_expand(nl, options.max_net_degree);
+  std::vector<std::unordered_map<std::int32_t, double>> adj(
+      static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    for (const auto& [u, w] : base.adjacency[static_cast<std::size_t>(v)]) {
+      if (u != v) adj[static_cast<std::size_t>(v)][u] += w;
+    }
+  }
+  std::vector<double> area(static_cast<std::size_t>(n));
+  double total_area = 0.0;
+  for (std::int32_t v = 0; v < n; ++v) {
+    area[static_cast<std::size_t>(v)] = nl.lib_cell_of(v).area_um2();
+    total_area += area[static_cast<std::size_t>(v)];
+  }
+  const double max_area =
+      options.max_cluster_area_factor * total_area / static_cast<double>(target);
+  std::vector<bool> alive(static_cast<std::size_t>(n), true);
+  std::vector<std::int64_t> stamp(static_cast<std::size_t>(n), 0);
+  // Union-find for the final projection.
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) parent[static_cast<std::size_t>(v)] = v;
+  auto find = [&parent](std::int32_t v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+
+  auto score_of = [&](std::int32_t u, std::int32_t v, double w) {
+    return w / (area[static_cast<std::size_t>(u)] + area[static_cast<std::size_t>(v)]);
+  };
+
+  std::priority_queue<PqEntry> queue;
+  auto push_best = [&](std::int32_t u) {
+    double best_score = 0.0;
+    std::int32_t best_v = -1;
+    for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+      if (!alive[static_cast<std::size_t>(v)]) continue;
+      if (area[static_cast<std::size_t>(u)] + area[static_cast<std::size_t>(v)] >
+          max_area) {
+        continue;
+      }
+      const double s = score_of(u, v, w);
+      if (s > best_score) {
+        best_score = s;
+        best_v = v;
+      }
+    }
+    if (best_v >= 0) {
+      queue.push(PqEntry{best_score, u, best_v, stamp[static_cast<std::size_t>(u)],
+                         stamp[static_cast<std::size_t>(best_v)]});
+    }
+  };
+  for (std::int32_t v = 0; v < n; ++v) push_best(v);
+
+  std::int32_t live_count = n;
+  while (live_count > target && !queue.empty()) {
+    const PqEntry top = queue.top();
+    queue.pop();
+    const std::size_t su = static_cast<std::size_t>(top.u);
+    const std::size_t sv = static_cast<std::size_t>(top.v);
+    if (!alive[su] || !alive[sv] || stamp[su] != top.stamp_u ||
+        stamp[sv] != top.stamp_v) {
+      ++result.stale_pops;
+      // If u is still alive its best pair must be recomputed.
+      if (alive[su] && stamp[su] == top.stamp_u) push_best(top.u);
+      continue;
+    }
+
+    // Merge v into u.
+    alive[sv] = false;
+    parent[static_cast<std::size_t>(find(top.v))] = find(top.u);
+    area[su] += area[sv];
+    ++stamp[su];
+    for (const auto& [w_id, w] : adj[sv]) {
+      if (w_id == top.u) continue;
+      adj[su][w_id] += w;
+      auto& back = adj[static_cast<std::size_t>(w_id)];
+      back.erase(top.v);
+      back[top.u] += w;
+    }
+    adj[su].erase(top.v);
+    ++result.merges;
+    --live_count;
+    push_best(top.u);
+  }
+
+  // Compact cluster ids.
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  for (std::int32_t v = 0; v < n; ++v) {
+    const std::int32_t root = find(v);
+    const auto [it, inserted] =
+        remap.emplace(root, static_cast<std::int32_t>(remap.size()));
+    result.cluster_of_cell[static_cast<std::size_t>(v)] = it->second;
+  }
+  result.cluster_count = static_cast<std::int32_t>(remap.size());
+  PPACD_LOG_DEBUG("bc") << nl.name() << ": " << result.cluster_count
+                        << " clusters, " << result.merges << " merges, "
+                        << result.stale_pops << " stale pops";
+  return result;
+}
+
+}  // namespace ppacd::cluster

@@ -1,0 +1,38 @@
+/// \file best_choice.hpp
+/// \brief Best-Choice clustering [Alpert et al., ISPD'05], the classic
+/// priority-queue pairwise scheme referenced by the paper's related work.
+///
+/// Each vertex keeps its best-rated neighbour (clique-expanded score
+/// d(u,v) = w(u,v) / (area_u + area_v)); a global priority queue repeatedly
+/// merges the globally best pair. Lazy invalidation keeps the queue
+/// manageable: entries are checked for staleness on pop, as in the
+/// semi-persistent formulation. Provided as an additional baseline beyond
+/// the paper's Table 5 set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::cluster {
+
+struct BestChoiceOptions {
+  std::int32_t target_cluster_count = 0;  ///< 0 = auto: max(8, cells/15)
+  double max_cluster_area_factor = 4.0;
+  int max_net_degree = 64;
+  std::uint64_t seed = 1;
+};
+
+struct BestChoiceResult {
+  std::vector<std::int32_t> cluster_of_cell;
+  std::int32_t cluster_count = 0;
+  std::int64_t merges = 0;
+  std::int64_t stale_pops = 0;  ///< lazy-invalidation discards
+};
+
+/// Runs Best-Choice clustering over the netlist cells.
+BestChoiceResult best_choice_cluster(const netlist::Netlist& netlist,
+                                     const BestChoiceOptions& options);
+
+}  // namespace ppacd::cluster

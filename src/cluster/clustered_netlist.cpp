@@ -1,0 +1,154 @@
+#include "cluster/clustered_netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace ppacd::cluster {
+
+namespace {
+
+void apply_shape(Cluster& cluster) {
+  const double footprint = cluster.area_um2 / cluster.shape.utilization;
+  // aspect_ratio = height / width  =>  width = sqrt(footprint / ar).
+  cluster.width_um = std::sqrt(footprint / cluster.shape.aspect_ratio);
+  cluster.height_um = footprint / cluster.width_um;
+}
+
+}  // namespace
+
+ClusteredNetlist build_clustered_netlist(const netlist::Netlist& nl,
+                                         const std::vector<std::int32_t>& assignment,
+                                         std::int32_t cluster_count) {
+  assert(assignment.size() == nl.cell_count());
+  ClusteredNetlist out;
+  out.cluster_of_cell = assignment;
+  out.clusters.resize(static_cast<std::size_t>(cluster_count));
+
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const std::int32_t c = assignment[ci];
+    assert(c >= 0 && c < cluster_count);
+    Cluster& cluster = out.clusters[static_cast<std::size_t>(c)];
+    cluster.cells.push_back(static_cast<netlist::CellId>(ci));
+    cluster.area_um2 += nl.lib_cell_of(static_cast<netlist::CellId>(ci)).area_um2();
+  }
+  for (Cluster& cluster : out.clusters) apply_shape(cluster);
+
+  // Cluster-level nets, merged by participant signature.
+  std::unordered_map<std::string, std::size_t> net_index;
+  std::vector<std::int32_t> clusters_touched;
+  std::vector<netlist::PortId> ports_touched;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock) continue;
+    clusters_touched.clear();
+    ports_touched.clear();
+    for (const netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kTopPort) {
+        ports_touched.push_back(pin.port);
+      } else {
+        clusters_touched.push_back(assignment[static_cast<std::size_t>(pin.cell)]);
+      }
+    }
+    std::sort(clusters_touched.begin(), clusters_touched.end());
+    clusters_touched.erase(
+        std::unique(clusters_touched.begin(), clusters_touched.end()),
+        clusters_touched.end());
+    std::sort(ports_touched.begin(), ports_touched.end());
+    ports_touched.erase(std::unique(ports_touched.begin(), ports_touched.end()),
+                        ports_touched.end());
+    if (clusters_touched.size() + ports_touched.size() < 2) continue;
+
+    std::string key;
+    for (const std::int32_t c : clusters_touched) {
+      key += 'c' + std::to_string(c);
+    }
+    for (const netlist::PortId p : ports_touched) {
+      key += 'p' + std::to_string(p);
+    }
+    const auto [it, inserted] = net_index.emplace(key, out.nets.size());
+    if (inserted) {
+      ClusterNet cnet;
+      cnet.clusters = clusters_touched;
+      cnet.ports = ports_touched;
+      cnet.io = !ports_touched.empty();
+      out.nets.push_back(std::move(cnet));
+    }
+    out.nets[it->second].weight += net.weight;
+  }
+  return out;
+}
+
+void set_cluster_shape(ClusteredNetlist& clustered, std::size_t index,
+                       const ClusterShape& shape) {
+  Cluster& cluster = clustered.clusters.at(index);
+  cluster.shape = shape;
+  apply_shape(cluster);
+}
+
+place::PlaceModel make_cluster_place_model(const ClusteredNetlist& clustered,
+                                           const netlist::Netlist& nl,
+                                           const place::Floorplan& fp,
+                                           double io_net_weight_scale) {
+  place::PlaceModel model;
+  model.core = fp.core;
+  model.row_height_um = fp.row_height_um;
+  model.objects.reserve(clustered.clusters.size() + nl.port_count());
+  for (const Cluster& cluster : clustered.clusters) {
+    place::PlaceObject obj;
+    obj.width_um = cluster.width_um;
+    obj.height_um = cluster.height_um;
+    model.objects.push_back(obj);
+  }
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    place::PlaceObject obj;
+    obj.fixed = true;
+    obj.fixed_position = nl.port(static_cast<netlist::PortId>(po)).position;
+    model.objects.push_back(obj);
+  }
+  const std::int32_t port_base = static_cast<std::int32_t>(clustered.clusters.size());
+  for (const ClusterNet& cnet : clustered.nets) {
+    place::PlaceNet pnet;
+    pnet.weight = cnet.weight * (cnet.io ? io_net_weight_scale : 1.0);
+    for (const std::int32_t c : cnet.clusters) pnet.objects.push_back(c);
+    for (const netlist::PortId p : cnet.ports) pnet.objects.push_back(port_base + p);
+    model.nets.push_back(std::move(pnet));
+  }
+  return model;
+}
+
+std::vector<geom::Point> induce_cell_positions(
+    const ClusteredNetlist& clustered, const netlist::Netlist& nl,
+    const place::Placement& cluster_placement, bool scatter_within_cluster,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geom::Point> positions(nl.cell_count());
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const std::int32_t c = clustered.cluster_of_cell[ci];
+    const Cluster& cluster = clustered.clusters[static_cast<std::size_t>(c)];
+    geom::Point p = cluster_placement.at(static_cast<std::size_t>(c));
+    if (scatter_within_cluster) {
+      p.x += rng.uniform(-0.5, 0.5) * cluster.width_um;
+      p.y += rng.uniform(-0.5, 0.5) * cluster.height_um;
+    }
+    positions[ci] = p;
+  }
+  return positions;
+}
+
+geom::Rect cluster_region(const ClusteredNetlist& clustered, std::size_t index,
+                          const place::Placement& cluster_placement) {
+  const Cluster& cluster = clustered.clusters.at(index);
+  const geom::Point center = cluster_placement.at(index);
+  return geom::Rect::make(center.x - cluster.width_um * 0.5,
+                          center.y - cluster.height_um * 0.5,
+                          center.x + cluster.width_um * 0.5,
+                          center.y + cluster.height_um * 0.5);
+}
+
+}  // namespace ppacd::cluster

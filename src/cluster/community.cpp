@@ -1,0 +1,342 @@
+#include "cluster/community.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace ppacd::cluster {
+
+namespace {
+
+/// Compacts community ids to [0, count); returns count.
+std::int32_t compact(std::vector<std::int32_t>& community) {
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  for (std::int32_t& c : community) {
+    const auto [it, inserted] =
+        remap.emplace(c, static_cast<std::int32_t>(remap.size()));
+    c = it->second;
+  }
+  return static_cast<std::int32_t>(remap.size());
+}
+
+/// One round of Louvain-style local moving on `graph`, starting from
+/// `community` (modified in place). Returns true if anything moved.
+bool local_move(const Graph& graph, std::vector<std::int32_t>& community,
+                std::vector<double>& tot, double resolution, util::Rng& rng,
+                int max_sweeps = 16) {
+  const double m2 = 2.0 * graph.total_edge_weight;
+  if (m2 <= 0.0) return false;
+  bool any_move = false;
+
+  std::vector<double> k(static_cast<std::size_t>(graph.vertex_count));
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    k[static_cast<std::size_t>(v)] = graph.weighted_degree(v);
+  }
+
+  std::unordered_map<std::int32_t, double> weight_to;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool moved = false;
+    for (const std::size_t vi : rng.permutation(static_cast<std::size_t>(graph.vertex_count))) {
+      const std::int32_t v = static_cast<std::int32_t>(vi);
+      const std::int32_t own = community[vi];
+      weight_to.clear();
+      for (const auto& [u, w] : graph.adjacency[vi]) {
+        if (u == v) continue;
+        weight_to[community[static_cast<std::size_t>(u)]] += w;
+      }
+      tot[static_cast<std::size_t>(own)] -= k[vi];
+
+      std::int32_t best = own;
+      double best_gain = weight_to.count(own) > 0
+                             ? weight_to[own] - resolution * k[vi] *
+                                                    tot[static_cast<std::size_t>(own)] / m2
+                             : -resolution * k[vi] * tot[static_cast<std::size_t>(own)] / m2;
+      for (const auto& [c, w] : weight_to) {
+        if (c == own) continue;
+        const double gain =
+            w - resolution * k[vi] * tot[static_cast<std::size_t>(c)] / m2;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+      tot[static_cast<std::size_t>(best)] += k[vi];
+      if (best != own) {
+        community[vi] = best;
+        moved = true;
+        any_move = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return any_move;
+}
+
+std::vector<double> community_totals(const Graph& graph,
+                                     const std::vector<std::int32_t>& community,
+                                     std::int32_t count) {
+  std::vector<double> tot(static_cast<std::size_t>(count), 0.0);
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    tot[static_cast<std::size_t>(community[static_cast<std::size_t>(v)])] +=
+        graph.weighted_degree(v);
+  }
+  return tot;
+}
+
+/// Aggregates `graph` by `partition` (compact ids); coarse vertex = part.
+Graph aggregate(const Graph& graph, const std::vector<std::int32_t>& partition,
+                std::int32_t part_count) {
+  Graph coarse;
+  coarse.vertex_count = part_count;
+  coarse.adjacency.resize(static_cast<std::size_t>(part_count));
+  std::unordered_map<std::int64_t, double> edges;  // (min,max) -> weight
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    const std::int32_t pv = partition[static_cast<std::size_t>(v)];
+    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+      if (u < v) continue;  // visit each undirected edge once
+      if (u == v) {
+        // Existing self-loop (stored with doubled weight): carry it over so
+        // coarse degrees stay consistent and later passes don't over-merge.
+        const std::int64_t self_key =
+            (static_cast<std::int64_t>(pv) << 32) | pv;
+        edges[self_key] += 0.5 * w;
+        continue;
+      }
+      const std::int32_t pu = partition[static_cast<std::size_t>(u)];
+      const std::int64_t key =
+          (static_cast<std::int64_t>(std::min(pv, pu)) << 32) | std::max(pv, pu);
+      edges[key] += w;
+    }
+  }
+  for (const auto& [key, w] : edges) {
+    const std::int32_t a = static_cast<std::int32_t>(key >> 32);
+    const std::int32_t b = static_cast<std::int32_t>(key & 0xffffffff);
+    if (a == b) {
+      // Self-loop: keep it so degrees stay consistent across levels.
+      coarse.adjacency[static_cast<std::size_t>(a)].emplace_back(a, 2.0 * w);
+    } else {
+      coarse.adjacency[static_cast<std::size_t>(a)].emplace_back(b, w);
+      coarse.adjacency[static_cast<std::size_t>(b)].emplace_back(a, w);
+    }
+  }
+  for (std::int32_t v = 0; v < part_count; ++v) {
+    coarse.total_edge_weight += coarse.weighted_degree(v);
+  }
+  coarse.total_edge_weight *= 0.5;
+  return coarse;
+}
+
+/// Leiden refinement: within each community, re-cluster from singletons by
+/// greedy positive-gain merging restricted to the community. Returns the
+/// refined partition (compact) and fills `refined_to_community`.
+std::vector<std::int32_t> refine(const Graph& graph,
+                                 const std::vector<std::int32_t>& community,
+                                 double resolution, util::Rng& rng,
+                                 std::vector<std::int32_t>& refined_to_community) {
+  const double m2 = 2.0 * graph.total_edge_weight;
+  std::vector<std::int32_t> refined(static_cast<std::size_t>(graph.vertex_count));
+  for (std::size_t i = 0; i < refined.size(); ++i) {
+    refined[i] = static_cast<std::int32_t>(i);
+  }
+  std::vector<double> tot(static_cast<std::size_t>(graph.vertex_count));
+  std::vector<bool> is_singleton(static_cast<std::size_t>(graph.vertex_count), true);
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    tot[static_cast<std::size_t>(v)] = graph.weighted_degree(v);
+  }
+
+  std::unordered_map<std::int32_t, double> weight_to;
+  for (const std::size_t vi : rng.permutation(static_cast<std::size_t>(graph.vertex_count))) {
+    if (!is_singleton[vi]) continue;  // only singletons move (Leiden rule)
+    const std::int32_t v = static_cast<std::int32_t>(vi);
+    const double kv = graph.weighted_degree(v);
+    weight_to.clear();
+    for (const auto& [u, w] : graph.adjacency[vi]) {
+      if (u == v) continue;
+      if (community[static_cast<std::size_t>(u)] != community[vi]) continue;
+      weight_to[refined[static_cast<std::size_t>(u)]] += w;
+    }
+    std::int32_t best = refined[vi];
+    double best_gain = 0.0;
+    for (const auto& [sub, w] : weight_to) {
+      if (sub == refined[vi]) continue;
+      const double gain =
+          w - resolution * kv * tot[static_cast<std::size_t>(sub)] / m2;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best = sub;
+      }
+    }
+    if (best != refined[vi]) {
+      tot[static_cast<std::size_t>(refined[vi])] -= kv;
+      tot[static_cast<std::size_t>(best)] += kv;
+      refined[vi] = best;
+      is_singleton[static_cast<std::size_t>(best)] = false;
+      is_singleton[vi] = false;
+    }
+  }
+
+  std::vector<std::int32_t> compacted = refined;
+  const std::int32_t count = compact(compacted);
+  refined_to_community.assign(static_cast<std::size_t>(count), 0);
+  for (std::size_t i = 0; i < compacted.size(); ++i) {
+    refined_to_community[static_cast<std::size_t>(compacted[i])] = community[i];
+  }
+  return compacted;
+}
+
+/// Merges communities smaller than `min_size` into their best neighbour.
+void absorb_small_communities(const Graph& graph,
+                              std::vector<std::int32_t>& community,
+                              int min_size) {
+  if (min_size <= 1) return;
+  std::int32_t count = compact(community);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<int> size(static_cast<std::size_t>(count), 0);
+    for (const std::int32_t c : community) ++size[static_cast<std::size_t>(c)];
+    bool changed = false;
+    // Connection strength from each small community to others.
+    std::unordered_map<std::int64_t, double> link;
+    for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+      const std::int32_t cv = community[static_cast<std::size_t>(v)];
+      if (size[static_cast<std::size_t>(cv)] >= min_size) continue;
+      for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+        const std::int32_t cu = community[static_cast<std::size_t>(u)];
+        if (cu == cv) continue;
+        link[(static_cast<std::int64_t>(cv) << 32) | cu] += w;
+      }
+    }
+    std::vector<std::int32_t> target(static_cast<std::size_t>(count), -1);
+    std::vector<double> best(static_cast<std::size_t>(count), 0.0);
+    for (const auto& [key, w] : link) {
+      const std::int32_t from = static_cast<std::int32_t>(key >> 32);
+      const std::int32_t to = static_cast<std::int32_t>(key & 0xffffffff);
+      if (w > best[static_cast<std::size_t>(from)]) {
+        best[static_cast<std::size_t>(from)] = w;
+        target[static_cast<std::size_t>(from)] = to;
+      }
+    }
+    for (std::int32_t& c : community) {
+      if (size[static_cast<std::size_t>(c)] < min_size &&
+          target[static_cast<std::size_t>(c)] >= 0) {
+        c = target[static_cast<std::size_t>(c)];
+        changed = true;
+      }
+    }
+    count = compact(community);
+    if (!changed) break;
+  }
+}
+
+CommunityResult detect(const Graph& graph, const CommunityOptions& options,
+                       bool use_refinement) {
+  util::Rng rng(options.seed);
+  CommunityResult result;
+  result.community.resize(static_cast<std::size_t>(graph.vertex_count));
+  for (std::size_t i = 0; i < result.community.size(); ++i) {
+    result.community[i] = static_cast<std::int32_t>(i);
+  }
+  if (graph.vertex_count == 0) return result;
+
+  Graph level = graph;
+  // Maps original vertices to current-level vertices.
+  std::vector<std::int32_t> projection = result.community;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    std::vector<std::int32_t> community(static_cast<std::size_t>(level.vertex_count));
+    for (std::size_t i = 0; i < community.size(); ++i) {
+      community[i] = static_cast<std::int32_t>(i);
+    }
+    std::vector<double> tot = community_totals(level, community,
+                                               level.vertex_count);
+    const bool moved = local_move(level, community, tot, options.resolution, rng);
+    ++result.passes;
+    if (!moved && pass > 0) break;
+
+    std::vector<std::int32_t> partition;   // aggregation partition
+    std::vector<std::int32_t> part_community;  // initial community per part
+    if (use_refinement) {
+      partition = refine(level, community, options.resolution, rng, part_community);
+    } else {
+      partition = community;
+      const std::int32_t count = compact(partition);
+      part_community.resize(static_cast<std::size_t>(count));
+      for (std::size_t i = 0; i < partition.size(); ++i) {
+        part_community[static_cast<std::size_t>(partition[i])] = community[i];
+      }
+    }
+    const std::int32_t part_count =
+        static_cast<std::int32_t>(part_community.size());
+    if (part_count == level.vertex_count) break;  // converged
+
+    // Project original vertices onto the aggregation parts.
+    for (std::int32_t& p : projection) {
+      p = partition[static_cast<std::size_t>(p)];
+    }
+    level = aggregate(level, partition, part_count);
+
+    // In Leiden, the aggregated vertices start from the communities found by
+    // local moving; continue from them by collapsing once more when they
+    // already merge parts. For Louvain, part == community, so this is identity.
+    if (use_refinement) {
+      std::vector<std::int32_t> collapse = part_community;
+      const std::int32_t comm_count = compact(collapse);
+      if (comm_count < part_count) {
+        // One extra aggregation honours the coarse community structure.
+        for (std::int32_t& p : projection) {
+          p = collapse[static_cast<std::size_t>(p)];
+        }
+        level = aggregate(level, collapse, comm_count);
+      }
+    }
+    if (level.vertex_count <= 1) break;
+  }
+
+  result.community = projection;
+  if (options.min_community_size > 1) {
+    absorb_small_communities(graph, result.community, options.min_community_size);
+  }
+  result.community_count = compact(result.community);
+  result.modularity = modularity(graph, result.community, options.resolution);
+  return result;
+}
+
+}  // namespace
+
+double modularity(const Graph& graph, const std::vector<std::int32_t>& community,
+                  double resolution) {
+  assert(community.size() == static_cast<std::size_t>(graph.vertex_count));
+  const double m2 = 2.0 * graph.total_edge_weight;
+  if (m2 <= 0.0) return 0.0;
+  std::int32_t count = 0;
+  for (const std::int32_t c : community) count = std::max(count, c + 1);
+  std::vector<double> in(static_cast<std::size_t>(count), 0.0);
+  std::vector<double> tot(static_cast<std::size_t>(count), 0.0);
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    const std::int32_t cv = community[static_cast<std::size_t>(v)];
+    tot[static_cast<std::size_t>(cv)] += graph.weighted_degree(v);
+    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+      if (community[static_cast<std::size_t>(u)] == cv) {
+        in[static_cast<std::size_t>(cv)] += w;  // counted twice overall
+      }
+    }
+  }
+  double q = 0.0;
+  for (std::int32_t c = 0; c < count; ++c) {
+    q += in[static_cast<std::size_t>(c)] / m2 -
+         resolution * (tot[static_cast<std::size_t>(c)] / m2) *
+             (tot[static_cast<std::size_t>(c)] / m2);
+  }
+  return q;
+}
+
+CommunityResult louvain(const Graph& graph, const CommunityOptions& options) {
+  return detect(graph, options, /*use_refinement=*/false);
+}
+
+CommunityResult leiden(const Graph& graph, const CommunityOptions& options) {
+  return detect(graph, options, /*use_refinement=*/true);
+}
+
+}  // namespace ppacd::cluster

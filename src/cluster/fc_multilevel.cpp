@@ -1,0 +1,280 @@
+#include "cluster/fc_multilevel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "cluster/ppa_costs.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ppacd::cluster {
+
+namespace {
+
+/// One hyperedge at the current coarsening level. `fixed_cost` carries
+/// alpha*w_e + beta*t_e from the flat netlist; `theta` carries the switching
+/// activity so s_e can be re-evaluated per level (the Eq. 2 normalization
+/// depends on the surviving edge set).
+struct Edge {
+  double fixed_cost = 0.0;
+  double theta = 0.0;
+  std::vector<std::int32_t> vertices;
+};
+
+struct LevelGraph {
+  std::int32_t vertex_count = 0;
+  std::vector<double> area;
+  std::vector<std::int32_t> community;
+  std::vector<Edge> edges;
+  std::vector<std::vector<std::int32_t>> incident;  ///< vertex -> edge ids
+
+  void rebuild_incidence() {
+    incident.assign(static_cast<std::size_t>(vertex_count), {});
+    for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+      for (const std::int32_t v : edges[ei].vertices) {
+        incident[static_cast<std::size_t>(v)].push_back(static_cast<std::int32_t>(ei));
+      }
+    }
+  }
+};
+
+/// Union-find over one FC pass.
+struct UnionFind {
+  std::vector<std::int32_t> parent;
+  explicit UnionFind(std::int32_t n) : parent(static_cast<std::size_t>(n)) {
+    for (std::int32_t i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  }
+  std::int32_t find(std::int32_t v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+  void unite(std::int32_t child, std::int32_t root) {
+    parent[static_cast<std::size_t>(find(child))] = find(root);
+  }
+};
+
+}  // namespace
+
+FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
+                               const FcPpaInputs& ppa, const FcOptions& options) {
+  FcResult result;
+  const std::int32_t n_cells = static_cast<std::int32_t>(nl.cell_count());
+  result.cluster_of_cell.assign(static_cast<std::size_t>(n_cells), 0);
+  if (n_cells == 0) return result;
+
+  const std::int32_t target =
+      options.target_cluster_count > 0
+          ? options.target_cluster_count
+          : std::max<std::int32_t>(8, n_cells / 15);
+
+  // --- Build the level-0 graph from the netlist ------------------------------
+  LevelGraph level;
+  level.vertex_count = n_cells;
+  level.area.resize(static_cast<std::size_t>(n_cells));
+  double total_area = 0.0;
+  for (std::int32_t ci = 0; ci < n_cells; ++ci) {
+    level.area[static_cast<std::size_t>(ci)] = nl.lib_cell_of(ci).area_um2();
+    total_area += level.area[static_cast<std::size_t>(ci)];
+  }
+  const double max_cluster_area =
+      options.max_cluster_area_factor * total_area / static_cast<double>(target);
+
+  const bool use_grouping = options.use_grouping && ppa.grouping != nullptr;
+  level.community.assign(static_cast<std::size_t>(n_cells), 0);
+  if (use_grouping) {
+    assert(ppa.grouping->size() == nl.cell_count());
+    level.community = *ppa.grouping;
+  }
+
+  const bool use_timing = options.use_timing && ppa.net_timing_cost != nullptr;
+  const bool use_switching = options.use_switching && ppa.net_switching != nullptr;
+
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock) continue;
+    Edge edge;
+    for (const netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kCellPin) edge.vertices.push_back(pin.cell);
+    }
+    std::sort(edge.vertices.begin(), edge.vertices.end());
+    edge.vertices.erase(std::unique(edge.vertices.begin(), edge.vertices.end()),
+                        edge.vertices.end());
+    if (edge.vertices.size() < 2 ||
+        edge.vertices.size() > static_cast<std::size_t>(options.max_net_degree)) {
+      continue;
+    }
+    edge.fixed_cost = options.alpha * net.weight;
+    if (use_timing) {
+      edge.fixed_cost += options.beta * (*ppa.net_timing_cost)[ni];
+    }
+    if (use_switching) edge.theta = (*ppa.net_switching)[ni];
+    level.edges.push_back(std::move(edge));
+  }
+
+  // Mapping from original cells to current-level vertices.
+  std::vector<std::int32_t> projection(static_cast<std::size_t>(n_cells));
+  for (std::int32_t i = 0; i < n_cells; ++i) {
+    projection[static_cast<std::size_t>(i)] = i;
+  }
+
+  util::Rng rng(options.seed);
+  bool allow_cross_community = !use_grouping;
+
+  for (int pass = 0; pass < options.max_levels; ++pass) {
+    if (level.vertex_count <= target) break;
+    level.rebuild_incidence();
+
+    // Per-level switching costs (Eq. 2 over the surviving edges).
+    std::vector<double> s_e;
+    if (use_switching) {
+      std::vector<double> theta(level.edges.size());
+      for (std::size_t ei = 0; ei < level.edges.size(); ++ei) {
+        theta[ei] = level.edges[ei].theta;
+      }
+      s_e = switching_costs(theta, options.mu);
+    }
+    auto edge_cost = [&](std::size_t ei) {
+      return level.edges[ei].fixed_cost +
+             (use_switching ? options.gamma * s_e[ei] : 0.0);
+    };
+
+    UnionFind uf(level.vertex_count);
+    std::vector<double> cluster_area = level.area;
+    std::int32_t merges = 0;
+    const std::int32_t merge_budget = level.vertex_count - target;
+
+    std::unordered_map<std::int32_t, double> rating;
+    for (const std::size_t vi :
+         rng.permutation(static_cast<std::size_t>(level.vertex_count))) {
+      if (merges >= merge_budget) break;
+      const std::int32_t u = static_cast<std::int32_t>(vi);
+      const std::int32_t u_root = uf.find(u);
+
+      rating.clear();
+      for (const std::int32_t ei : level.incident[vi]) {
+        const Edge& edge = level.edges[static_cast<std::size_t>(ei)];
+        const double contrib = edge_cost(static_cast<std::size_t>(ei)) /
+                               static_cast<double>(edge.vertices.size() - 1);
+        for (const std::int32_t v : edge.vertices) {
+          const std::int32_t v_root = uf.find(v);
+          if (v_root == u_root) continue;
+          rating[v_root] += contrib;
+        }
+      }
+
+      std::int32_t best = -1;
+      double best_rating = 0.0;
+      for (const auto& [v_root, r] : rating) {
+        if (r <= best_rating) continue;
+        if (cluster_area[static_cast<std::size_t>(u_root)] +
+                cluster_area[static_cast<std::size_t>(v_root)] >
+            max_cluster_area) {
+          continue;
+        }
+        if (!allow_cross_community &&
+            level.community[static_cast<std::size_t>(v_root)] !=
+                level.community[static_cast<std::size_t>(u_root)]) {
+          continue;
+        }
+        best_rating = r;
+        best = v_root;
+      }
+      if (best < 0) continue;
+      // First Choice: u's cluster joins the best-rated neighbour cluster.
+      uf.unite(u_root, best);
+      cluster_area[static_cast<std::size_t>(best)] +=
+          cluster_area[static_cast<std::size_t>(u_root)];
+      ++merges;
+    }
+
+    if (merges == 0 ||
+        merges < std::max<std::int32_t>(1, level.vertex_count / 50)) {
+      if (!allow_cross_community) {
+        // Grouping constraints exhausted: relax them (guides, not fences).
+        allow_cross_community = true;
+        result.grouping_relaxed = true;
+        if (merges == 0) continue;
+      } else if (merges == 0) {
+        break;  // fully stalled
+      }
+    }
+
+    // --- Contract ------------------------------------------------------------
+    std::vector<std::int32_t> compact(static_cast<std::size_t>(level.vertex_count), -1);
+    std::int32_t next = 0;
+    for (std::int32_t v = 0; v < level.vertex_count; ++v) {
+      const std::int32_t root = uf.find(v);
+      if (compact[static_cast<std::size_t>(root)] < 0) {
+        compact[static_cast<std::size_t>(root)] = next++;
+      }
+      compact[static_cast<std::size_t>(v)] = compact[static_cast<std::size_t>(root)];
+    }
+    LevelGraph coarse;
+    coarse.vertex_count = next;
+    coarse.area.assign(static_cast<std::size_t>(next), 0.0);
+    coarse.community.assign(static_cast<std::size_t>(next), 0);
+    for (std::int32_t v = 0; v < level.vertex_count; ++v) {
+      const std::int32_t c = compact[static_cast<std::size_t>(v)];
+      coarse.area[static_cast<std::size_t>(c)] += level.area[static_cast<std::size_t>(v)];
+      coarse.community[static_cast<std::size_t>(c)] =
+          level.community[static_cast<std::size_t>(v)];
+    }
+    for (Edge& edge : level.edges) {
+      for (std::int32_t& v : edge.vertices) {
+        v = compact[static_cast<std::size_t>(v)];
+      }
+      std::sort(edge.vertices.begin(), edge.vertices.end());
+      edge.vertices.erase(std::unique(edge.vertices.begin(), edge.vertices.end()),
+                          edge.vertices.end());
+      if (edge.vertices.size() >= 2) coarse.edges.push_back(std::move(edge));
+    }
+    for (std::int32_t& p : projection) {
+      p = compact[static_cast<std::size_t>(p)];
+    }
+    level = std::move(coarse);
+    ++result.levels;
+  }
+
+  // --- Final clusters + singleton accounting ---------------------------------
+  result.cluster_of_cell = projection;
+  result.cluster_count = level.vertex_count;
+  std::vector<std::int32_t> size(static_cast<std::size_t>(level.vertex_count), 0);
+  for (const std::int32_t c : projection) ++size[static_cast<std::size_t>(c)];
+  for (const std::int32_t s : size) {
+    if (s == 1) ++result.singleton_count;
+  }
+
+  if (options.merge_singletons && result.singleton_count > 1) {
+    // Ablation of footnote 2: collapse all singletons into one cluster.
+    std::int32_t sink = -1;
+    std::vector<std::int32_t> remap(static_cast<std::size_t>(level.vertex_count));
+    std::int32_t next = 0;
+    for (std::int32_t c = 0; c < level.vertex_count; ++c) {
+      if (size[static_cast<std::size_t>(c)] == 1) {
+        if (sink < 0) sink = next++;
+        remap[static_cast<std::size_t>(c)] = sink;
+      } else {
+        remap[static_cast<std::size_t>(c)] = next++;
+      }
+    }
+    for (std::int32_t& c : result.cluster_of_cell) {
+      c = remap[static_cast<std::size_t>(c)];
+    }
+    result.cluster_count = next;
+    result.singleton_count = 0;
+  }
+
+  PPACD_LOG_DEBUG("fc") << nl.name() << ": " << result.cluster_count
+                        << " clusters in " << result.levels << " levels, "
+                        << result.singleton_count << " singletons";
+  return result;
+}
+
+}  // namespace ppacd::cluster

@@ -1,0 +1,73 @@
+/// \file fc_multilevel.hpp
+/// \brief PPA-aware enhanced multilevel First-Choice clustering
+/// (Section 3.1; the open-source FC framework of TritonPart [29] extended
+/// per [5] with grouping constraints and timing costs, plus the paper's new
+/// hyperedge switching costs).
+///
+/// Rating function (Eq. 3):
+///   r(u, v) = sum over shared hyperedges e of
+///             (alpha * w_e + beta * t_e + gamma * s_e) / (|e| - 1)
+/// where t_e is the path-timing cost and s_e the Eq. 2 switching cost.
+///
+/// Grouping constraints: the hierarchy-based clusters of Algorithm 2 act as
+/// communities; FC only merges vertices of the same community until a pass
+/// stalls, after which cross-community merges are allowed (the constraints
+/// are guides, not hard partitions).
+///
+/// Singletons: vertices that never merge stay singleton clusters; the paper
+/// found that merging them into one big cluster degrades post-route PPA
+/// (footnote 2), so that behaviour is off by default but available for the
+/// ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::cluster {
+
+struct FcOptions {
+  /// Stop coarsening at this many clusters (0 = auto: max(8, cells/15);
+  /// fine-grained clusters give the best seeded placements while the area
+  /// cap below still lets large clusters form for V-P&R).
+  std::int32_t target_cluster_count = 0;
+  /// Max cluster area as a multiple of (total area / target count).
+  double max_cluster_area_factor = 4.0;
+  // Eq. 2/3 knobs.
+  double alpha = 1.0;
+  double beta = 1.0;
+  double gamma = 1.0;
+  double mu = 2.0;
+  bool use_grouping = true;
+  bool use_timing = true;
+  bool use_switching = true;
+  /// Hyperedges with more pins are ignored during rating (fanout guard).
+  int max_net_degree = 64;
+  int max_levels = 16;
+  std::uint64_t seed = 1;
+  /// Footnote-2 ablation: collapse all final singletons into one cluster.
+  bool merge_singletons = false;
+};
+
+/// PPA information consumed by the rating function; all optional (null
+/// pointers disable the corresponding term regardless of the options).
+struct FcPpaInputs {
+  const std::vector<double>* net_timing_cost = nullptr;   ///< t_e per net
+  const std::vector<double>* net_switching = nullptr;     ///< theta_e per net
+  const std::vector<std::int32_t>* grouping = nullptr;    ///< community per cell
+};
+
+struct FcResult {
+  std::vector<std::int32_t> cluster_of_cell;
+  std::int32_t cluster_count = 0;
+  int levels = 0;
+  std::int32_t singleton_count = 0;
+  bool grouping_relaxed = false;  ///< cross-community merges were needed
+};
+
+/// Runs enhanced multilevel FC clustering over the netlist's cells.
+FcResult fc_multilevel_cluster(const netlist::Netlist& netlist,
+                               const FcPpaInputs& ppa, const FcOptions& options);
+
+}  // namespace ppacd::cluster

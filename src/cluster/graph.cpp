@@ -1,0 +1,52 @@
+#include "cluster/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ppacd::cluster {
+
+Graph clique_expand(const netlist::Netlist& nl, int max_net_degree) {
+  Graph graph;
+  graph.vertex_count = static_cast<std::int32_t>(nl.cell_count());
+  graph.adjacency.resize(nl.cell_count());
+
+  // Accumulate pairwise weights; use a per-vertex map pass at the end to
+  // merge parallel edges.
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock) continue;
+    std::vector<std::int32_t> cells;
+    for (const netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kCellPin) cells.push_back(pin.cell);
+    }
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+    const std::size_t k = cells.size();
+    if (k < 2 || k > static_cast<std::size_t>(max_net_degree)) continue;
+    const double w = net.weight / static_cast<double>(k - 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        graph.adjacency[static_cast<std::size_t>(cells[i])].emplace_back(cells[j], w);
+        graph.adjacency[static_cast<std::size_t>(cells[j])].emplace_back(cells[i], w);
+      }
+    }
+  }
+
+  // Merge parallel edges.
+  std::unordered_map<std::int32_t, double> merged;
+  for (auto& list : graph.adjacency) {
+    if (list.size() < 2) continue;
+    merged.clear();
+    for (const auto& [u, w] : list) merged[u] += w;
+    list.assign(merged.begin(), merged.end());
+    std::sort(list.begin(), list.end());
+  }
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    graph.total_edge_weight += graph.weighted_degree(v);
+  }
+  graph.total_edge_weight *= 0.5;
+  return graph;
+}
+
+}  // namespace ppacd::cluster

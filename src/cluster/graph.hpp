@@ -1,0 +1,39 @@
+/// \file graph.hpp
+/// \brief Clique-expanded weighted graph over netlist cells.
+///
+/// Community-detection baselines (Louvain [4], Leiden [19], used by the
+/// blob-placement flow [9] and Table 5) and the GNN's cluster graph
+/// (Section 3.2) both operate on the standard clique expansion: every
+/// hyperedge e becomes a clique over its cells with edge weight
+/// w_e / (|e| - 1) [16]. Clock nets and very-high-fanout nets are skipped,
+/// as is conventional for placement-relevant clustering.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::cluster {
+
+/// Undirected weighted graph in adjacency-list form. Parallel edges from
+/// different nets are merged by weight accumulation.
+struct Graph {
+  std::int32_t vertex_count = 0;
+  /// adj[v] = (neighbor, weight); each undirected edge appears twice.
+  std::vector<std::vector<std::pair<std::int32_t, double>>> adjacency;
+  double total_edge_weight = 0.0;  ///< sum over undirected edges (each once)
+
+  double weighted_degree(std::int32_t v) const {
+    double sum = 0.0;
+    for (const auto& [u, w] : adjacency[static_cast<std::size_t>(v)]) sum += w;
+    return sum;
+  }
+};
+
+/// Builds the clique expansion over cells (vertex id == CellId). Nets with
+/// more than `max_net_degree` pins and clock nets are skipped.
+Graph clique_expand(const netlist::Netlist& netlist, int max_net_degree = 64);
+
+}  // namespace ppacd::cluster

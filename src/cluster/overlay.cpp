@@ -1,0 +1,111 @@
+#include "cluster/overlay.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "cluster/fc_multilevel.hpp"
+#include "cluster/graph.hpp"
+#include "util/logging.hpp"
+
+namespace ppacd::cluster {
+
+std::vector<std::int32_t> overlay_partitions(
+    const std::vector<const std::vector<std::int32_t>*>& assignments,
+    std::int32_t* cluster_count) {
+  assert(!assignments.empty());
+  const std::size_t n = assignments.front()->size();
+  for (const auto* a : assignments) {
+    assert(a->size() == n);
+    (void)a;
+  }
+
+  // Key = tuple of cluster ids across solutions; hash incrementally.
+  std::unordered_map<std::string, std::int32_t> remap;
+  std::vector<std::int32_t> overlay(n);
+  std::string key;
+  for (std::size_t i = 0; i < n; ++i) {
+    key.clear();
+    for (const auto* a : assignments) {
+      key += std::to_string((*a)[i]);
+      key.push_back(':');
+    }
+    const auto [it, inserted] =
+        remap.emplace(key, static_cast<std::int32_t>(remap.size()));
+    overlay[i] = it->second;
+  }
+  if (cluster_count != nullptr) *cluster_count = static_cast<std::int32_t>(remap.size());
+  return overlay;
+}
+
+CutOverlayResult cut_overlay_cluster(const netlist::Netlist& nl,
+                                     const CutOverlayOptions& options) {
+  CutOverlayResult result;
+  std::vector<std::vector<std::int32_t>> solutions;
+  solutions.reserve(static_cast<std::size_t>(options.solutions));
+  for (int s = 0; s < options.solutions; ++s) {
+    FcOptions fc;
+    fc.seed = options.seed + static_cast<std::uint64_t>(s) * 0x9e37u;
+    fc.target_cluster_count = options.target_cluster_count;
+    solutions.push_back(
+        fc_multilevel_cluster(nl, FcPpaInputs{}, fc).cluster_of_cell);
+  }
+  std::vector<const std::vector<std::int32_t>*> views;
+  for (const auto& s : solutions) views.push_back(&s);
+  result.cluster_of_cell = overlay_partitions(views, &result.cluster_count);
+  result.pre_absorb_count = result.cluster_count;
+
+  if (options.min_fragment_size > 1) {
+    // Absorb fragments into the neighbouring overlay cluster with the
+    // strongest clique-expanded connection.
+    const Graph graph = clique_expand(nl);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<int> size(static_cast<std::size_t>(result.cluster_count), 0);
+      for (const std::int32_t c : result.cluster_of_cell) {
+        ++size[static_cast<std::size_t>(c)];
+      }
+      std::unordered_map<std::int64_t, double> link;
+      for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+        const std::int32_t cv = result.cluster_of_cell[static_cast<std::size_t>(v)];
+        if (size[static_cast<std::size_t>(cv)] >= options.min_fragment_size) continue;
+        for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+          const std::int32_t cu = result.cluster_of_cell[static_cast<std::size_t>(u)];
+          if (cu != cv) link[(static_cast<std::int64_t>(cv) << 32) | cu] += w;
+        }
+      }
+      if (link.empty()) break;
+      std::vector<std::int32_t> target(static_cast<std::size_t>(result.cluster_count), -1);
+      std::vector<double> best(static_cast<std::size_t>(result.cluster_count), 0.0);
+      for (const auto& [k, w] : link) {
+        const std::int32_t from = static_cast<std::int32_t>(k >> 32);
+        const std::int32_t to = static_cast<std::int32_t>(k & 0xffffffff);
+        if (w > best[static_cast<std::size_t>(from)]) {
+          best[static_cast<std::size_t>(from)] = w;
+          target[static_cast<std::size_t>(from)] = to;
+        }
+      }
+      bool changed = false;
+      for (std::int32_t& c : result.cluster_of_cell) {
+        if (size[static_cast<std::size_t>(c)] < options.min_fragment_size &&
+            target[static_cast<std::size_t>(c)] >= 0) {
+          c = target[static_cast<std::size_t>(c)];
+          changed = true;
+        }
+      }
+      // Re-compact ids.
+      std::unordered_map<std::int32_t, std::int32_t> remap;
+      for (std::int32_t& c : result.cluster_of_cell) {
+        const auto [it, inserted] =
+            remap.emplace(c, static_cast<std::int32_t>(remap.size()));
+        c = it->second;
+      }
+      result.cluster_count = static_cast<std::int32_t>(remap.size());
+      if (!changed) break;
+    }
+  }
+  PPACD_LOG_DEBUG("overlay") << nl.name() << ": " << result.pre_absorb_count
+                             << " -> " << result.cluster_count
+                             << " overlay clusters";
+  return result;
+}
+
+}  // namespace ppacd::cluster

@@ -1,0 +1,46 @@
+/// \file overlay.hpp
+/// \brief Cut-overlay clustering [6]: combine several clustering solutions
+/// by partition intersection.
+///
+/// Two cells end up in the same overlay cluster only when *every* input
+/// solution put them together, so the overlay keeps exactly the groupings
+/// all solutions agree on -- high-confidence clusters from cheap diverse
+/// runs (here: FC under different seeds). Tiny fragments produced by the
+/// intersection can optionally be re-absorbed into their best-connected
+/// neighbour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::cluster {
+
+/// Intersects the given partitions (each: cell -> cluster id). Returns the
+/// compact overlay assignment; `cluster_count` receives the cluster count.
+/// All assignments must have the same length.
+std::vector<std::int32_t> overlay_partitions(
+    const std::vector<const std::vector<std::int32_t>*>& assignments,
+    std::int32_t* cluster_count);
+
+struct CutOverlayOptions {
+  int solutions = 3;                    ///< FC runs to overlay
+  std::int32_t target_cluster_count = 0;  ///< per-run target (0 = auto)
+  /// Overlay fragments smaller than this are merged into the neighbouring
+  /// overlay cluster they connect to most strongly (0 disables).
+  int min_fragment_size = 3;
+  std::uint64_t seed = 1;
+};
+
+struct CutOverlayResult {
+  std::vector<std::int32_t> cluster_of_cell;
+  std::int32_t cluster_count = 0;
+  std::int32_t pre_absorb_count = 0;  ///< clusters before fragment merging
+};
+
+/// Runs `solutions` FC clusterings under different seeds and overlays them.
+CutOverlayResult cut_overlay_cluster(const netlist::Netlist& netlist,
+                                     const CutOverlayOptions& options);
+
+}  // namespace ppacd::cluster

@@ -1,0 +1,40 @@
+/// \file ppa_costs.hpp
+/// \brief Per-net timing and switching costs feeding Eq. 2/3.
+///
+/// Timing: the top |P| critical paths (one per endpoint, sorted by slack,
+/// mirroring the paper's findPathEnds configuration) are projected onto the
+/// nets they traverse. Each path contributes its criticality
+/// 1 - slack/TCP (clamped to [0, 2]) to every net on it, as in [5]; the
+/// resulting per-net cost is normalized so that the beta knob of Eq. 3 is
+/// unitless.
+///
+/// Switching: theta_e is the vectorless toggle rate of the net's driver
+/// signal; Eq. 2 turns it into the switching cost
+/// s_e = (1 + theta_e / sum theta)^mu.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/activity.hpp"
+#include "sta/sta.hpp"
+
+namespace ppacd::cluster {
+
+/// Per-net timing cost t_e (normalized; >= 0; 0 for nets off all paths).
+/// `max_paths` mirrors |P| in Alg. 1 (default 100000 = effectively all).
+std::vector<double> net_timing_costs(const netlist::Netlist& netlist,
+                                     const sta::Sta& sta,
+                                     double clock_period_ps,
+                                     std::size_t max_paths = 100000);
+
+/// Per-net switching activity theta_e (toggle rate of the driver signal).
+std::vector<double> net_switching_activity(
+    const netlist::Netlist& netlist,
+    const std::vector<sta::NetActivity>& activities);
+
+/// Eq. 2: s_e = (1 + theta_e / sum(theta))^mu over the given activities.
+std::vector<double> switching_costs(const std::vector<double>& theta,
+                                    double mu);
+
+}  // namespace ppacd::cluster

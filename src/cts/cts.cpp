@@ -1,0 +1,198 @@
+#include "cts/cts.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace ppacd::cts {
+
+namespace {
+
+using netlist::CellId;
+using netlist::Netlist;
+
+struct Sink {
+  CellId cell = netlist::kInvalidId;
+  geom::Point pos;
+  double cap_ff = 0.0;
+};
+
+struct TreeStats {
+  double wirelength_um = 0.0;
+  int buffer_count = 0;
+  double total_cap_ff = 0.0;
+};
+
+geom::Point centroid(const std::vector<Sink>& sinks, std::size_t lo,
+                     std::size_t hi) {
+  geom::Point c;
+  for (std::size_t i = lo; i < hi; ++i) {
+    c.x += sinks[i].pos.x;
+    c.y += sinks[i].pos.y;
+  }
+  const double n = static_cast<double>(hi - lo);
+  return geom::Point{c.x / n, c.y / n};
+}
+
+/// Builds the tree over sinks[lo, hi) rooted at a buffer at the group
+/// centroid; returns {buffer position, buffer input cap}. `base_delay` is
+/// the insertion delay accumulated from the root to this buffer's input.
+/// Writes per-sink delays into `result`.
+struct Level {
+  geom::Point pos;
+  double input_cap_ff = 0.0;
+};
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const liberty::Library& lib, const liberty::LibCell& buffer,
+              ClockTreeResult& result, TreeStats& stats, int max_sinks)
+      : lib_(lib), buffer_(buffer), result_(result), stats_(stats),
+        max_sinks_(max_sinks) {}
+
+  Level build(std::vector<Sink>& sinks, std::size_t lo, std::size_t hi,
+              double base_delay) {
+    assert(hi > lo);
+    const geom::Point here = centroid(sinks, lo, hi);
+    ++stats_.buffer_count;
+    stats_.total_cap_ff += buffer_.pins[0].cap_ff;
+
+    if (hi - lo <= static_cast<std::size_t>(max_sinks_)) {
+      // Leaf buffer drives the sinks directly (star wiring).
+      double load = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double len = geom::manhattan(here, sinks[i].pos);
+        load += sinks[i].cap_ff + lib_.wire_cap_ff_per_um() * len;
+        stats_.wirelength_um += len;
+        stats_.total_cap_ff += sinks[i].cap_ff + lib_.wire_cap_ff_per_um() * len;
+      }
+      const double buf_delay = buffer_.intrinsic_ps + buffer_.drive_res_kohm * load;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double len = geom::manhattan(here, sinks[i].pos);
+        const double wire_delay = lib_.wire_res_kohm_per_um() * len *
+                                  (0.5 * lib_.wire_cap_ff_per_um() * len +
+                                   sinks[i].cap_ff);
+        result_.insertion_delay_ps[static_cast<std::size_t>(sinks[i].cell)] =
+            base_delay + buf_delay + wire_delay;
+      }
+      return Level{here, buffer_.pins[0].cap_ff};
+    }
+
+    // Split along the longer axis at the median.
+    geom::BBox box;
+    for (std::size_t i = lo; i < hi; ++i) box.expand(sinks[i].pos);
+    const bool split_x = box.rect().width() >= box.rect().height();
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(sinks.begin() + static_cast<std::ptrdiff_t>(lo),
+                     sinks.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sinks.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [split_x](const Sink& a, const Sink& b) {
+                       return split_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
+                     });
+
+    // This buffer's delay depends on its downstream load, which depends on
+    // the children's positions. Estimate child positions first (centroids),
+    // compute this buffer's delay, then recurse with the updated base.
+    const geom::Point left_pos = centroid(sinks, lo, mid);
+    const geom::Point right_pos = centroid(sinks, mid, hi);
+    const double len_l = geom::manhattan(here, left_pos);
+    const double len_r = geom::manhattan(here, right_pos);
+    const double load = 2.0 * buffer_.pins[0].cap_ff +
+                        lib_.wire_cap_ff_per_um() * (len_l + len_r);
+    const double buf_delay = buffer_.intrinsic_ps + buffer_.drive_res_kohm * load;
+    stats_.wirelength_um += len_l + len_r;
+    stats_.total_cap_ff += lib_.wire_cap_ff_per_um() * (len_l + len_r);
+
+    auto wire_delay = [this](double len) {
+      return lib_.wire_res_kohm_per_um() * len *
+             (0.5 * lib_.wire_cap_ff_per_um() * len + buffer_.pins[0].cap_ff);
+    };
+    build(sinks, lo, mid, base_delay + buf_delay + wire_delay(len_l));
+    build(sinks, mid, hi, base_delay + buf_delay + wire_delay(len_r));
+    return Level{here, buffer_.pins[0].cap_ff};
+  }
+
+ private:
+  const liberty::Library& lib_;
+  const liberty::LibCell& buffer_;
+  ClockTreeResult& result_;
+  TreeStats& stats_;
+  int max_sinks_;
+};
+
+}  // namespace
+
+ClockTreeResult synthesize_clock_tree(const Netlist& nl,
+                                      const std::vector<geom::Point>& positions,
+                                      const CtsOptions& options) {
+  ClockTreeResult result;
+  result.insertion_delay_ps.assign(nl.cell_count(), 0.0);
+
+  const liberty::Library& lib = nl.library();
+  const auto buffer_id = lib.find(options.buffer_cell);
+  assert(buffer_id.has_value());
+  const liberty::LibCell& buffer = lib.cell(*buffer_id);
+
+  std::vector<Sink> sinks;
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const CellId cid = static_cast<CellId>(ci);
+    const liberty::LibCell& lc = nl.lib_cell_of(cid);
+    if (!liberty::is_sequential(lc.function)) continue;
+    const int ck = lc.clock_pin_index();
+    if (ck < 0) continue;
+    Sink sink;
+    sink.cell = cid;
+    sink.pos = positions.at(ci);
+    sink.cap_ff = lc.pins[static_cast<std::size_t>(ck)].cap_ff;
+    sinks.push_back(sink);
+  }
+  if (sinks.empty()) return result;
+
+  // Clock root: the port of the clock net if present, else the sink centroid.
+  geom::Point root = centroid(sinks, 0, sinks.size());
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    const netlist::Port& port = nl.port(static_cast<netlist::PortId>(po));
+    const netlist::NetId net = nl.pin(port.pin).net;
+    if (net != netlist::kInvalidId && nl.net(net).is_clock) {
+      root = port.position;
+      break;
+    }
+  }
+
+  TreeStats stats;
+  TreeBuilder builder(lib, buffer, result, stats, options.max_sinks_per_buffer);
+  const Level top = builder.build(sinks, 0, sinks.size(), 0.0);
+
+  // Root wire from the clock source to the top buffer.
+  const double root_len = geom::manhattan(root, top.pos);
+  stats.wirelength_um += root_len;
+  stats.total_cap_ff += lib.wire_cap_ff_per_um() * root_len;
+  const double root_delay =
+      lib.wire_res_kohm_per_um() * root_len *
+      (0.5 * lib.wire_cap_ff_per_um() * root_len + top.input_cap_ff);
+  for (double& delay : result.insertion_delay_ps) {
+    if (delay > 0.0) delay += root_delay;
+  }
+
+  result.wirelength_um = stats.wirelength_um;
+  result.buffer_count = stats.buffer_count;
+  result.buffer_area_um2 = stats.buffer_count * buffer.area_um2();
+  result.total_cap_ff = stats.total_cap_ff;
+
+  double min_delay = std::numeric_limits<double>::infinity();
+  double max_delay = 0.0;
+  for (const Sink& sink : sinks) {
+    const double d = result.insertion_delay_ps[static_cast<std::size_t>(sink.cell)];
+    min_delay = std::min(min_delay, d);
+    max_delay = std::max(max_delay, d);
+  }
+  result.max_skew_ps = max_delay - min_delay;
+  PPACD_LOG_DEBUG("cts") << nl.name() << ": " << stats.buffer_count
+                         << " buffers, WL " << stats.wirelength_um
+                         << " um, skew " << result.max_skew_ps << " ps";
+  return result;
+}
+
+}  // namespace ppacd::cts

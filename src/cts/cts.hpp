@@ -1,0 +1,46 @@
+/// \file cts.hpp
+/// \brief Clock tree synthesis (TritonCTS substitute).
+///
+/// Builds a buffered clock tree over all flip-flop clock pins by recursive
+/// geometric partitioning: sink groups are split at the median along their
+/// longer axis until they fit under one buffer, then buffers are placed at
+/// group centroids bottom-up. Insertion delays use the library's linear
+/// delay model with Elmore wire delays, so the tree yields:
+///   * per-register clock arrival times for post-CTS STA (launch/capture
+///     skew enters WNS/TNS, Alg. 1 line 28),
+///   * clock-tree wirelength added to routed wirelength, and
+///   * total switched clock capacitance for the power report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppacd::cts {
+
+struct CtsOptions {
+  int max_sinks_per_buffer = 16;
+  std::string buffer_cell = "CLKBUF_X2";
+};
+
+struct ClockTreeResult {
+  /// Clock arrival (insertion delay) per cell, indexed by CellId; zero for
+  /// non-sequential cells. Feed to sta::StaOptions::clock_arrivals_ps.
+  std::vector<double> insertion_delay_ps;
+  double wirelength_um = 0.0;     ///< total clock routing
+  int buffer_count = 0;
+  double buffer_area_um2 = 0.0;
+  double max_skew_ps = 0.0;       ///< max - min sink insertion delay
+  double total_cap_ff = 0.0;      ///< switched clock capacitance (wire+pins)
+};
+
+/// Synthesizes the clock tree for `netlist` placed at `positions`. The clock
+/// root is the clock input port if one exists, else the core center.
+/// Designs without registers return a zeroed result.
+ClockTreeResult synthesize_clock_tree(const netlist::Netlist& netlist,
+                                      const std::vector<geom::Point>& positions,
+                                      const CtsOptions& options);
+
+}  // namespace ppacd::cts

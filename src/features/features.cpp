@@ -1,0 +1,359 @@
+#include "features/features.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "cluster/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ppacd::features {
+
+namespace {
+
+/// Cell-type one-hot classes (8-way).
+int type_class(liberty::Function function) {
+  using liberty::Function;
+  switch (function) {
+    case Function::kInv: return 0;
+    case Function::kBuf: return 1;
+    case Function::kNand2:
+    case Function::kNand3:
+    case Function::kNor2: return 2;
+    case Function::kAoi21:
+    case Function::kOai21: return 3;
+    case Function::kAnd2:
+    case Function::kOr2: return 4;
+    case Function::kXor2:
+    case Function::kHalfAdder:
+    case Function::kFullAdder: return 5;
+    case Function::kMux2: return 6;
+    case Function::kDff:
+    case Function::kTieHi:
+    case Function::kTieLo: return 7;
+  }
+  return 7;
+}
+
+/// Unweighted adjacency (neighbor lists) derived from the clique expansion.
+struct SimpleGraph {
+  std::int32_t n = 0;
+  std::vector<std::vector<std::int32_t>> neighbors;
+};
+
+SimpleGraph to_simple(const cluster::Graph& graph) {
+  SimpleGraph simple;
+  simple.n = graph.vertex_count;
+  simple.neighbors.resize(static_cast<std::size_t>(graph.vertex_count));
+  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
+    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+      (void)w;
+      if (u != v) simple.neighbors[static_cast<std::size_t>(v)].push_back(u);
+    }
+  }
+  return simple;
+}
+
+/// BFS distances from `source` (-1 = unreachable).
+std::vector<int> bfs(const SimpleGraph& g, std::int32_t source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.n), -1);
+  std::queue<std::int32_t> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::int32_t v = queue.front();
+    queue.pop();
+    for (const std::int32_t u : g.neighbors[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Brandes betweenness accumulation from one source.
+void brandes_from(const SimpleGraph& g, std::int32_t source,
+                  std::vector<double>& betweenness) {
+  const std::size_t n = static_cast<std::size_t>(g.n);
+  std::vector<std::vector<std::int32_t>> pred(n);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<int> dist(n, -1);
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+
+  sigma[static_cast<std::size_t>(source)] = 1.0;
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::queue<std::int32_t> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::int32_t v = queue.front();
+    queue.pop();
+    order.push_back(v);
+    for (const std::int32_t u : g.neighbors[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(u);
+      }
+      if (dist[static_cast<std::size_t>(u)] ==
+          dist[static_cast<std::size_t>(v)] + 1) {
+        sigma[static_cast<std::size_t>(u)] += sigma[static_cast<std::size_t>(v)];
+        pred[static_cast<std::size_t>(u)].push_back(v);
+      }
+    }
+  }
+  std::vector<double> delta(n, 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::int32_t w = *it;
+    for (const std::int32_t v : pred[static_cast<std::size_t>(w)]) {
+      delta[static_cast<std::size_t>(v)] +=
+          sigma[static_cast<std::size_t>(v)] / sigma[static_cast<std::size_t>(w)] *
+          (1.0 + delta[static_cast<std::size_t>(w)]);
+    }
+    if (w != source) betweenness[static_cast<std::size_t>(w)] += delta[static_cast<std::size_t>(w)];
+  }
+}
+
+}  // namespace
+
+void apply_shape_features(ClusterGraph& graph, double utilization,
+                          double aspect_ratio) {
+  for (std::int32_t v = 0; v < graph.node_count; ++v) {
+    graph.feature(v, kShapeUtilSlot) = utilization;
+    graph.feature(v, kShapeAspectSlot) = aspect_ratio;
+  }
+}
+
+ClusterGraph extract_cluster_graph(const netlist::Netlist& nl,
+                                   const FeatureOptions& options) {
+  ClusterGraph out;
+  out.node_count = static_cast<std::int32_t>(nl.cell_count());
+  out.node_features.assign(
+      static_cast<std::size_t>(out.node_count) * kFeatureDim, 0.0);
+  if (out.node_count == 0) return out;
+
+  const cluster::Graph graph = cluster::clique_expand(nl, options.max_net_degree);
+  const SimpleGraph simple = to_simple(graph);
+  const std::size_t n = static_cast<std::size_t>(out.node_count);
+
+  // --- Normalized adjacency for the conv: D^-1/2 (A + I) D^-1/2 -------------
+  std::vector<double> degree_w(n, 1.0);  // +1 self-loop
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& [u, w] : graph.adjacency[v]) {
+      if (u != static_cast<std::int32_t>(v)) degree_w[v] += w;
+    }
+  }
+  out.adjacency.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.adjacency[v].emplace_back(static_cast<std::int32_t>(v),
+                                  1.0 / degree_w[v]);
+    for (const auto& [u, w] : graph.adjacency[v]) {
+      if (u == static_cast<std::int32_t>(v)) continue;
+      out.adjacency[v].emplace_back(
+          u, w / std::sqrt(degree_w[v] * degree_w[static_cast<std::size_t>(u)]));
+    }
+  }
+
+  // --- Net statistics ---------------------------------------------------------
+  std::size_t net_count = 0;
+  std::size_t pin_count = nl.pin_count();
+  std::size_t fan5_10 = 0;
+  std::size_t fan_gt10 = 0;
+  std::size_t internal_nets = 0;
+  std::size_t border_nets = 0;
+  double net_degree_sum = 0.0;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock) continue;
+    ++net_count;
+    const std::size_t fanout = net.pins.size() > 0 ? net.pins.size() - 1 : 0;
+    if (fanout >= 5 && fanout <= 10) ++fan5_10;
+    if (fanout > 10) ++fan_gt10;
+    net_degree_sum += static_cast<double>(net.pins.size());
+    bool border = false;
+    for (const netlist::PinId pid : net.pins) {
+      if (nl.pin(pid).kind == netlist::PinKind::kTopPort) border = true;
+    }
+    if (border) ++border_nets;
+    else ++internal_nets;
+  }
+
+  // --- Per-node structural metrics --------------------------------------------
+  std::vector<double> degree(n, 0.0);
+  double degree_sum = 0.0;
+  std::size_t edge_count = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<double>(simple.neighbors[v].size());
+    degree_sum += degree[v];
+    edge_count += simple.neighbors[v].size();
+  }
+  edge_count /= 2;
+
+  // Clustering coefficient (exact, with degree cap for cost).
+  std::vector<double> clustering(n, 0.0);
+  {
+    std::unordered_set<std::int64_t> edges;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::int32_t u : simple.neighbors[v]) {
+        edges.insert((static_cast<std::int64_t>(std::min<std::int32_t>(
+                          static_cast<std::int32_t>(v), u))
+                      << 32) |
+                     std::max<std::int32_t>(static_cast<std::int32_t>(v), u));
+      }
+    }
+    constexpr std::size_t kDegreeCap = 40;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& nb = simple.neighbors[v];
+      if (nb.size() < 2 || nb.size() > kDegreeCap) continue;
+      int links = 0;
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        for (std::size_t j = i + 1; j < nb.size(); ++j) {
+          const std::int64_t key =
+              (static_cast<std::int64_t>(std::min(nb[i], nb[j])) << 32) |
+              std::max(nb[i], nb[j]);
+          if (edges.count(key) > 0) ++links;
+        }
+      }
+      clustering[v] =
+          2.0 * links / (static_cast<double>(nb.size()) * (nb.size() - 1));
+    }
+  }
+
+  // Average neighbourhood degree.
+  std::vector<double> avg_nb_degree(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (simple.neighbors[v].empty()) continue;
+    double sum = 0.0;
+    for (const std::int32_t u : simple.neighbors[v]) {
+      sum += degree[static_cast<std::size_t>(u)];
+    }
+    avg_nb_degree[v] = sum / static_cast<double>(simple.neighbors[v].size());
+  }
+
+  // Distance-based metrics from sampled BFS sources.
+  util::Rng rng(options.seed);
+  const int sample_count =
+      std::min<int>(options.bfs_samples, static_cast<int>(n));
+  std::vector<std::size_t> sources = rng.permutation(n);
+  sources.resize(static_cast<std::size_t>(sample_count));
+
+  std::vector<double> closeness_sum(n, 0.0);
+  std::vector<int> closeness_cnt(n, 0);
+  std::vector<int> eccentricity(n, 0);
+  std::vector<double> betweenness(n, 0.0);
+  double efficiency_sum = 0.0;
+  std::size_t efficiency_pairs = 0;
+  for (const std::size_t s : sources) {
+    const auto dist = bfs(simple, static_cast<std::int32_t>(s));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] <= 0) continue;
+      closeness_sum[v] += dist[v];
+      ++closeness_cnt[v];
+      eccentricity[v] = std::max(eccentricity[v], dist[v]);
+      efficiency_sum += 1.0 / dist[v];
+      ++efficiency_pairs;
+    }
+    brandes_from(simple, static_cast<std::int32_t>(s), betweenness);
+  }
+  int diameter = 0;
+  int radius = 0;
+  {
+    int min_ecc = std::numeric_limits<int>::max();
+    for (std::size_t v = 0; v < n; ++v) {
+      diameter = std::max(diameter, eccentricity[v]);
+      if (eccentricity[v] > 0) min_ecc = std::min(min_ecc, eccentricity[v]);
+    }
+    radius = min_ecc == std::numeric_limits<int>::max() ? 0 : min_ecc;
+  }
+  const double global_efficiency =
+      efficiency_pairs > 0 ? efficiency_sum / static_cast<double>(efficiency_pairs) : 0.0;
+  // Betweenness scaled by the sampling fraction (Brandes approximation).
+  const double scale =
+      sample_count > 0 ? static_cast<double>(n) / sample_count : 1.0;
+  for (double& b : betweenness) b *= scale;
+  const double bc_norm = n > 2 ? (static_cast<double>(n) - 1) * (n - 2) : 1.0;
+
+  // Greedy coloring (largest-degree-first).
+  int colors_used = 0;
+  {
+    std::vector<std::int32_t> order_by_degree(n);
+    for (std::size_t i = 0; i < n; ++i) order_by_degree[i] = static_cast<std::int32_t>(i);
+    std::sort(order_by_degree.begin(), order_by_degree.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                return degree[static_cast<std::size_t>(a)] >
+                       degree[static_cast<std::size_t>(b)];
+              });
+    std::vector<int> color(n, -1);
+    std::vector<bool> used;
+    for (const std::int32_t v : order_by_degree) {
+      used.assign(static_cast<std::size_t>(colors_used) + 1, false);
+      for (const std::int32_t u : simple.neighbors[static_cast<std::size_t>(v)]) {
+        const int cu = color[static_cast<std::size_t>(u)];
+        if (cu >= 0 && cu < static_cast<int>(used.size())) used[static_cast<std::size_t>(cu)] = true;
+      }
+      int c = 0;
+      while (c < static_cast<int>(used.size()) && used[static_cast<std::size_t>(c)]) ++c;
+      color[static_cast<std::size_t>(v)] = c;
+      colors_used = std::max(colors_used, c + 1);
+    }
+  }
+
+  // Cluster-level aggregates.
+  double cluster_avg_clustering = 0.0;
+  for (const double c : clustering) cluster_avg_clustering += c;
+  cluster_avg_clustering /= static_cast<double>(n);
+  const double density =
+      n > 1 ? 2.0 * static_cast<double>(edge_count) /
+                  (static_cast<double>(n) * (static_cast<double>(n) - 1.0))
+            : 0.0;
+  // Edge connectivity: min-degree bound (exact max-flow is O(n*m^2), far too
+  // costly for a per-cluster feature; min degree is the standard surrogate).
+  double edge_connectivity = n > 0 ? degree[0] : 0.0;
+  for (const double d : degree) edge_connectivity = std::min(edge_connectivity, d);
+
+  // --- Assemble ---------------------------------------------------------------
+  // Slot map: 0 util, 1 AR | 2..18 cluster-level | 19..26 cell scalars |
+  // 27..34 type one-hot.
+  const double cluster_level[17] = {
+      static_cast<double>(n),
+      static_cast<double>(net_count),
+      static_cast<double>(pin_count),
+      static_cast<double>(fan5_10),
+      static_cast<double>(fan_gt10),
+      static_cast<double>(internal_nets),
+      static_cast<double>(border_nets),
+      nl.total_cell_area(),
+      n > 0 ? degree_sum / static_cast<double>(n) : 0.0,
+      net_count > 0 ? net_degree_sum / static_cast<double>(net_count) : 0.0,
+      cluster_avg_clustering,
+      density,
+      static_cast<double>(diameter),
+      static_cast<double>(radius),
+      edge_connectivity,
+      static_cast<double>(colors_used),
+      global_efficiency,
+  };
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t node = static_cast<std::int32_t>(v);
+    for (int k = 0; k < 17; ++k) out.feature(node, 2 + k) = cluster_level[k];
+    const liberty::LibCell& lc = nl.lib_cell_of(static_cast<netlist::CellId>(v));
+    out.feature(node, 19) = lc.area_um2();
+    out.feature(node, 20) = degree[v];
+    out.feature(node, 21) = avg_nb_degree[v];
+    out.feature(node, 22) = betweenness[v] / bc_norm;
+    out.feature(node, 23) =
+        closeness_cnt[v] > 0 ? static_cast<double>(closeness_cnt[v]) / closeness_sum[v]
+                             : 0.0;
+    out.feature(node, 24) = n > 1 ? degree[v] / (static_cast<double>(n) - 1.0) : 0.0;
+    out.feature(node, 25) = clustering[v];
+    out.feature(node, 26) = static_cast<double>(eccentricity[v]);
+    out.feature(node, 27 + type_class(lc.function)) = 1.0;
+  }
+  return out;
+}
+
+}  // namespace ppacd::features

@@ -1,0 +1,70 @@
+/// \file features.hpp
+/// \brief Cluster-graph node features for the GNN (Section 3.2, Figure 4).
+///
+/// The paper's 28 features, computed on the clique expansion of a cluster's
+/// sub-netlist ([15] plus the two italicized additions):
+///   * design parameters (2): floorplan utilization and aspect ratio of the
+///     candidate shape (slots 0 and 1, filled per candidate by the caller),
+///   * cluster-level (17, broadcast to every node): #cells, #nets, #pins,
+///     #nets w/ fanout 5-10, #nets w/ fanout > 10, #internal nets, #border
+///     nets, total cell area, average cell degree, average net degree,
+///     average clustering coefficient, density, diameter, radius, edge
+///     connectivity, #greedy colors, average global efficiency,
+///   * cell-level (8 scalars + type): cell area, degree, average
+///     neighbourhood degree, betweenness centrality, closeness centrality,
+///     degree centrality, clustering coefficient, eccentricity, and the
+///     cell type as an 8-way one-hot.
+/// Total node feature width: 2 + 17 + 8 + 8 = 35, matching the paper's
+/// convolution input dimension.
+///
+/// Distance-based metrics (betweenness, closeness, eccentricity, diameter,
+/// radius, global efficiency) use BFS/Brandes from a bounded sample of
+/// sources on large graphs; edge connectivity uses the min-degree bound.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::features {
+
+inline constexpr int kFeatureDim = 35;
+inline constexpr int kShapeUtilSlot = 0;
+inline constexpr int kShapeAspectSlot = 1;
+
+/// Node features plus the normalized adjacency the GNN convolves over.
+struct ClusterGraph {
+  std::int32_t node_count = 0;
+  /// Row-major node_count x kFeatureDim; slots 0/1 left zero for the shape.
+  std::vector<double> node_features;
+  /// Symmetric-normalized adjacency with self-loops:
+  /// A_hat = D^-1/2 (A + I) D^-1/2, stored per-row as (col, weight).
+  std::vector<std::vector<std::pair<std::int32_t, double>>> adjacency;
+
+  double& feature(std::int32_t node, int slot) {
+    return node_features[static_cast<std::size_t>(node) * kFeatureDim +
+                         static_cast<std::size_t>(slot)];
+  }
+  double feature(std::int32_t node, int slot) const {
+    return node_features[static_cast<std::size_t>(node) * kFeatureDim +
+                         static_cast<std::size_t>(slot)];
+  }
+};
+
+struct FeatureOptions {
+  int bfs_samples = 24;        ///< sources for distance-based metrics
+  int max_net_degree = 64;     ///< clique-expansion fanout guard
+  std::uint64_t seed = 1;
+};
+
+/// Extracts the cluster graph and its node features from a sub-netlist.
+ClusterGraph extract_cluster_graph(const netlist::Netlist& subnetlist,
+                                   const FeatureOptions& options);
+
+/// Writes the candidate shape into feature slots 0/1 of every node.
+void apply_shape_features(ClusterGraph& graph, double utilization,
+                          double aspect_ratio);
+
+}  // namespace ppacd::features

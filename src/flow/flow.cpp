@@ -1,0 +1,347 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cluster/best_choice.hpp"
+#include "cluster/overlay.hpp"
+#include "cluster/clustered_netlist.hpp"
+#include "cluster/community.hpp"
+#include "cluster/graph.hpp"
+#include "cluster/ppa_costs.hpp"
+#include "hier/dendrogram.hpp"
+#include "place/floorplan.hpp"
+#include "place/detailed.hpp"
+#include "place/legalizer.hpp"
+#include "place/model.hpp"
+#include "opt/buffering.hpp"
+#include "opt/sizing.hpp"
+#include "sta/activity.hpp"
+#include "sta/power.hpp"
+#include "sta/sta.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ppacd::flow {
+
+namespace {
+
+place::Floorplan make_floorplan(netlist::Netlist& nl, const FlowOptions& options) {
+  place::FloorplanOptions fpo;
+  fpo.utilization = options.floorplan_utilization;
+  const place::Floorplan fp = place::Floorplan::create(
+      nl.total_cell_area(), nl.library().row_height_um(), fpo);
+  place::place_ports_on_boundary(nl, fp);
+  return fp;
+}
+
+/// Clustering per the selected method; fills cluster assignment + count.
+struct ClusteringOutcome {
+  std::vector<std::int32_t> assignment;
+  std::int32_t count = 0;
+};
+
+ClusteringOutcome run_clustering(const netlist::Netlist& nl,
+                                 const FlowOptions& options) {
+  ClusteringOutcome out;
+  switch (options.cluster_method) {
+    case ClusterMethod::kPpaAware: {
+      // Alg. 1 lines 2-9: hierarchy grouping + timing + switching costs.
+      sta::StaOptions sta_options;
+      sta_options.clock_period_ps = options.clock_period_ps;
+      sta::Sta sta(nl, sta_options);
+      sta.run();
+      const auto timing_cost = cluster::net_timing_costs(
+          nl, sta, options.clock_period_ps, options.top_paths);
+      const auto activities = sta::propagate_activity(nl, sta::ActivityOptions{});
+      const auto theta = cluster::net_switching_activity(nl, activities);
+
+      hier::HierClusteringResult hier_result;
+      if (nl.has_hierarchy()) {
+        hier_result = hier::hierarchy_clustering(nl);
+      }
+      cluster::FcPpaInputs inputs;
+      inputs.net_timing_cost = &timing_cost;
+      inputs.net_switching = &theta;
+      if (nl.has_hierarchy() && hier_result.cluster_count > 1) {
+        inputs.grouping = &hier_result.cluster_of_cell;
+      }
+      cluster::FcOptions fc = options.fc;
+      fc.seed = options.seed;
+      const cluster::FcResult result = cluster::fc_multilevel_cluster(nl, inputs, fc);
+      out.assignment = result.cluster_of_cell;
+      out.count = result.cluster_count;
+      break;
+    }
+    case ClusterMethod::kMfc: {
+      cluster::FcOptions fc = options.fc;
+      fc.seed = options.seed;
+      fc.use_grouping = false;
+      fc.use_timing = false;
+      fc.use_switching = false;
+      const cluster::FcResult result =
+          cluster::fc_multilevel_cluster(nl, cluster::FcPpaInputs{}, fc);
+      out.assignment = result.cluster_of_cell;
+      out.count = result.cluster_count;
+      break;
+    }
+    case ClusterMethod::kBestChoice: {
+      cluster::BestChoiceOptions bc;
+      bc.seed = options.seed;
+      const cluster::BestChoiceResult result = cluster::best_choice_cluster(nl, bc);
+      out.assignment = result.cluster_of_cell;
+      out.count = result.cluster_count;
+      break;
+    }
+    case ClusterMethod::kCutOverlay: {
+      cluster::CutOverlayOptions overlay;
+      overlay.seed = options.seed;
+      overlay.target_cluster_count = options.fc.target_cluster_count;
+      const cluster::CutOverlayResult result = cluster::cut_overlay_cluster(nl, overlay);
+      out.assignment = result.cluster_of_cell;
+      out.count = result.cluster_count;
+      break;
+    }
+    case ClusterMethod::kLeiden:
+    case ClusterMethod::kLouvainBlob: {
+      const cluster::Graph graph = cluster::clique_expand(nl);
+      cluster::CommunityOptions community_options;
+      community_options.seed = options.seed;
+      community_options.min_community_size = 8;  // avoid degenerate blobs
+      const cluster::CommunityResult result =
+          options.cluster_method == ClusterMethod::kLeiden
+              ? cluster::leiden(graph, community_options)
+              : cluster::louvain(graph, community_options);
+      out.assignment = result.community;
+      out.count = result.community_count;
+      break;
+    }
+  }
+  return out;
+}
+
+void apply_shapes(const netlist::Netlist& nl, cluster::ClusteredNetlist& clustered,
+                  const FlowOptions& options, PlaceOutcome& outcome) {
+  switch (options.shape_mode) {
+    case ShapeMode::kUniform:
+      return;  // the build-time default is utilization 0.9, AR 1.0
+    case ShapeMode::kRandom: {
+      util::Rng rng(options.seed ^ 0x5eedu);
+      const auto candidates = vpr::candidate_shapes(options.vpr);
+      for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
+        if (static_cast<int>(clustered.clusters[ci].cells.size()) <=
+            options.vpr.min_cluster_instances) {
+          continue;
+        }
+        set_cluster_shape(clustered, ci, candidates[rng.index(candidates.size())]);
+        ++outcome.shaped_clusters;
+      }
+      return;
+    }
+    case ShapeMode::kVpr: {
+      const vpr::ShapeSelectionStats stats =
+          vpr::select_cluster_shapes(nl, clustered, options.vpr, nullptr);
+      outcome.shaped_clusters = stats.clusters_shaped;
+      return;
+    }
+    case ShapeMode::kVprMl: {
+      assert(options.ml_predictor != nullptr &&
+             "ShapeMode::kVprMl requires ml_predictor");
+      const vpr::ShapeSelectionStats stats = vpr::select_cluster_shapes(
+          nl, clustered, options.vpr, options.ml_predictor);
+      outcome.shaped_clusters = stats.clusters_shaped;
+      return;
+    }
+  }
+}
+
+/// Optional repair stage: buffer high-fanout nets, upsize critical drivers,
+/// then re-legalize the enlarged netlist (buffers were dropped at group
+/// centroids). Updates positions and HPWL in `result`.
+void run_timing_optimization(netlist::Netlist& nl, const place::Floorplan& fp,
+                             const FlowOptions& options, FlowResult& result) {
+  opt::BufferingOptions buffering;
+  opt::buffer_high_fanout(nl, result.place.positions, buffering);
+  opt::SizingOptions sizing;
+  sizing.clock_period_ps = options.clock_period_ps;
+  opt::resize_critical_cells(nl, result.place.positions, sizing);
+
+  const place::PlaceModel model = place::make_place_model(nl, fp);
+  place::Placement placement(model.objects.size());
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) {
+    placement[i] = result.place.positions[i];
+  }
+  for (std::size_t i = nl.cell_count(); i < model.objects.size(); ++i) {
+    placement[i] = model.objects[i].fixed_position;
+  }
+  const place::LegalizeResult legal = place::legalize(model, placement);
+  result.place.positions = place::cell_positions(nl, legal.placement);
+  result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
+}
+
+}  // namespace
+
+FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
+  FlowResult result;
+  const place::Floorplan fp = make_floorplan(nl, options);
+  const place::PlaceModel model = place::make_place_model(nl, fp);
+
+  util::Timer timer;
+  place::GlobalPlacerOptions placer_options = options.placer;
+  placer_options.seed = options.seed;
+  place::GlobalPlacer placer(model, placer_options);
+  const place::PlaceResult placed = placer.run();
+  place::LegalizeResult legal = place::legalize(model, placed.placement);
+  if (options.detailed_placement) {
+    legal.placement =
+        place::detailed_place(model, legal.placement, place::DetailedOptions{})
+            .placement;
+  }
+  result.place.placement_seconds = timer.seconds();
+
+  result.place.positions = place::cell_positions(nl, legal.placement);
+  result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
+  if (options.timing_optimization) {
+    run_timing_optimization(nl, fp, options, result);
+  }
+  return result;
+}
+
+FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) {
+  FlowResult result;
+  const place::Floorplan fp = make_floorplan(nl, options);
+
+  // --- Clustering (Alg. 1 lines 2-10) ----------------------------------------
+  util::Timer timer;
+  const ClusteringOutcome clustering = run_clustering(nl, options);
+  cluster::ClusteredNetlist clustered = cluster::build_clustered_netlist(
+      nl, clustering.assignment, clustering.count);
+  result.place.clustering_seconds = timer.seconds();
+  result.place.cluster_count = clustering.count;
+
+  // --- Cluster shapes (lines 12-13) -------------------------------------------
+  timer.reset();
+  apply_shapes(nl, clustered, options, result.place);
+  result.place.shaping_seconds = timer.seconds();
+
+  // --- Seed placement of the clustered netlist (lines 15-25) ------------------
+  timer.reset();
+  const double io_scale =
+      options.tool == Tool::kOpenRoadLike ? options.io_weight_scale : 1.0;
+  const place::PlaceModel cluster_model =
+      cluster::make_cluster_place_model(clustered, nl, fp, io_scale);
+  place::GlobalPlacerOptions seed_options = options.placer;
+  seed_options.seed = options.seed;
+  // Cluster macros cannot be untangled by cell shifting; use bisection.
+  seed_options.spread_mode = place::SpreadMode::kBisection;
+  place::GlobalPlacer seed_placer(cluster_model, seed_options);
+  const place::PlaceResult seed_placed = seed_placer.run();
+
+  // Place instances within their placed cluster footprints (or exactly at
+  // the centers when scatter_seed is off).
+  const auto seeded_cells = cluster::induce_cell_positions(
+      clustered, nl, seed_placed.placement, options.scatter_seed, options.seed);
+
+  // Flat model for the incremental pass; the Innovus-like tool adds region
+  // constraints for the V-P&R-shaped clusters (line 18).
+  place::PlaceModel flat_model = place::make_place_model(nl, fp);
+  if (options.tool == Tool::kInnovusLike) {
+    for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
+      const cluster::Cluster& c = clustered.clusters[ci];
+      if (static_cast<int>(c.cells.size()) <= options.vpr.min_cluster_instances) {
+        continue;
+      }
+      geom::Rect region = cluster_region(clustered, ci, seed_placed.placement);
+      // Clip the fence to the core.
+      region = geom::Rect::make(std::max(region.lx, fp.core.lx),
+                                std::max(region.ly, fp.core.ly),
+                                std::min(region.ux, fp.core.ux),
+                                std::min(region.uy, fp.core.uy));
+      if (region.width() <= 0.0 || region.height() <= 0.0) continue;
+      for (const netlist::CellId cell : c.cells) {
+        flat_model.objects[static_cast<std::size_t>(cell)].region = region;
+      }
+    }
+  }
+
+  place::Placement seed_flat(flat_model.objects.size());
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) seed_flat[i] = seeded_cells[i];
+  for (std::size_t i = nl.cell_count(); i < flat_model.objects.size(); ++i) {
+    seed_flat[i] = flat_model.objects[i].fixed_position;
+  }
+  place::GlobalPlacerOptions inc_options = options.placer;
+  inc_options.seed = options.seed;
+  place::GlobalPlacer flat_placer(flat_model, inc_options);
+  const place::PlaceResult incremental = flat_placer.run_incremental(seed_flat);
+
+  // Remove region constraints (line 20) before legalization so cells can
+  // settle into legal sites anywhere.
+  place::PlaceModel unfenced = flat_model;
+  for (place::PlaceObject& obj : unfenced.objects) obj.region.reset();
+  place::LegalizeResult legal = place::legalize(unfenced, incremental.placement);
+  if (options.detailed_placement) {
+    legal.placement =
+        place::detailed_place(unfenced, legal.placement, place::DetailedOptions{})
+            .placement;
+  }
+  result.place.placement_seconds = timer.seconds();
+
+  result.place.positions = place::cell_positions(nl, legal.placement);
+  result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
+  if (options.timing_optimization) {
+    run_timing_optimization(nl, fp, options, result);
+  }
+  PPACD_LOG_INFO("flow") << nl.name() << ": clustered flow, "
+                         << clustering.count << " clusters, HPWL "
+                         << result.place.hpwl_um;
+  return result;
+}
+
+PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
+                        const std::vector<geom::Point>& positions,
+                        const FlowOptions& options) {
+  PpaOutcome out;
+
+  // Routing grid spans the placement bounding box (the floorplan core).
+  geom::BBox box;
+  for (const geom::Point& p : positions) box.expand(p);
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    box.expand(nl.port(static_cast<netlist::PortId>(po)).position);
+  }
+  route::GlobalRouter router(nl, positions, box.rect(), options.router);
+  const route::RouteResult routed = router.run();
+  out.route_overflow_edges = routed.overflow_edges;
+
+  const cts::ClockTreeResult tree =
+      cts::synthesize_clock_tree(nl, positions, options.cts);
+  out.clock_skew_ps = tree.max_skew_ps;
+  out.rwl_um = routed.wirelength_um + tree.wirelength_um;
+
+  sta::StaOptions sta_options;
+  sta_options.clock_period_ps = options.clock_period_ps;
+  sta_options.cell_positions = &positions;
+  sta_options.clock_arrivals_ps = &tree.insertion_delay_ps;
+  sta::Sta sta(nl, sta_options);
+  sta.run();
+  out.wns_ps = sta.wns_ps();
+  out.tns_ns = sta.tns_ns();
+
+  // Power: data nets from HPWL parasitics; the clock from the synthesized
+  // tree (its switched capacitance replaces the flat clock net's HPWL cap).
+  const auto activities = sta::propagate_activity(nl, sta::ActivityOptions{});
+  const sta::PowerReport base =
+      sta::compute_power(nl, activities, options.clock_period_ps, &positions);
+  const liberty::Library& lib = nl.library();
+  const double clock_toggle = 2.0;
+  const double cts_clock_w = 0.5e-3 * lib.vdd() * lib.vdd() * tree.total_cap_ff *
+                             clock_toggle / options.clock_period_ps * 1.10;
+  double buffer_leakage_w = 0.0;
+  if (const auto buf = lib.find(options.cts.buffer_cell)) {
+    buffer_leakage_w = tree.buffer_count * lib.cell(*buf).leakage_uw * 1e-6;
+  }
+  out.power_w = base.total_w - base.clock_w + cts_clock_w + buffer_leakage_w;
+  return out;
+}
+
+}  // namespace ppacd::flow

@@ -1,0 +1,125 @@
+/// \file flow.hpp
+/// \brief Algorithm 1: the full clustering-driven placement flow, its
+/// baselines, and post-route PPA evaluation.
+///
+/// Flows provided:
+///   * run_default_flow  - flat global placement (the "Default" rows),
+///   * run_clustered_flow - the paper's approach: PPA-info extraction,
+///     hierarchy grouping (Alg. 2), enhanced FC clustering (Eq. 2/3),
+///     cluster shaping (V-P&R / ML / random / uniform), cluster seed
+///     placement, seeded incremental flat placement; the `cluster_method`
+///     knob swaps in the Table-5 baselines (Leiden, plain multilevel FC) and
+///     the blob-placement comparator [9] (Louvain + seeded placement).
+///
+/// Tool personalities (Alg. 1 lines 15-25): the OpenROAD-like flow scales IO
+/// net weights by 4 on the clustered netlist and runs incremental placement
+/// from cluster centers; the Innovus-like flow instead adds region (fence)
+/// constraints for V-P&R-shaped clusters during the incremental placement.
+///
+/// evaluate_ppa routes the design, synthesizes the clock tree, and reports
+/// rWL / WNS / TNS / Power exactly as Tables 3-6 record them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/fc_multilevel.hpp"
+#include "cts/cts.hpp"
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "place/global_placer.hpp"
+#include "route/global_router.hpp"
+#include "vpr/vpr.hpp"
+
+namespace ppacd::flow {
+
+enum class Tool { kOpenRoadLike, kInnovusLike };
+
+enum class ClusterMethod {
+  kPpaAware,     ///< ours: hierarchy grouping + timing + switching (Sec. 3.1)
+  kMfc,          ///< TritonPart's plain multilevel FC (Table 5 "MFC")
+  kLeiden,       ///< Leiden communities as clusters (Table 5 "Leiden")
+  kLouvainBlob,  ///< blob placement [9] (Table 2 comparator)
+  kBestChoice,   ///< Best-Choice [1] (extra related-work baseline)
+  kCutOverlay,   ///< cut-overlay [6]: FC solutions combined by intersection
+};
+
+enum class ShapeMode {
+  kUniform,  ///< every cluster at utilization 0.9, AR 1.0 (Table 6 "Uniform")
+  kRandom,   ///< random candidate shapes (Table 6 "Random")
+  kVpr,      ///< exact virtualized P&R (Fig. 3)
+  kVprMl,    ///< ML-accelerated V-P&R (needs ml_predictor)
+};
+
+struct FlowOptions {
+  Tool tool = Tool::kOpenRoadLike;
+  ClusterMethod cluster_method = ClusterMethod::kPpaAware;
+  ShapeMode shape_mode = ShapeMode::kVpr;
+  /// Predictor for ShapeMode::kVprMl (borrowed; must outlive the call).
+  const vpr::ShapeCostPredictor* ml_predictor = nullptr;
+
+  double clock_period_ps = 1000.0;
+  double floorplan_utilization = 0.65;
+  double io_weight_scale = 4.0;  ///< Alg. 1 line 22 (OpenROAD-like only)
+  std::size_t top_paths = 100000;  ///< |P|
+
+  cluster::FcOptions fc;
+  vpr::VprOptions vpr;
+  place::GlobalPlacerOptions placer;
+  route::RouteOptions router;
+  cts::CtsOptions cts;
+  /// Run window-reordering detailed placement after legalization (applies
+  /// to both the default and the clustered flows; off by default so the
+  /// reproduced tables isolate the paper's contribution).
+  bool detailed_placement = false;
+  /// Scatter seeded cells inside their cluster's placed footprint instead
+  /// of stacking them at the cluster center (Alg. 1's literal step). On by
+  /// default; the ablation bench quantifies the difference.
+  bool scatter_seed = true;
+  /// Post-placement timing optimization (high-fanout buffering + critical
+  /// gate sizing, i.e. repair_design/repair_timing). Mutates the netlist
+  /// and re-legalizes. Off by default so the reproduced tables isolate the
+  /// paper's contribution.
+  bool timing_optimization = false;
+  std::uint64_t seed = 3;
+};
+
+/// Placement-stage outcome (Table 2 columns).
+struct PlaceOutcome {
+  std::vector<geom::Point> positions;  ///< legalized cell centers
+  double hpwl_um = 0.0;                ///< post-place netlist HPWL
+  double clustering_seconds = 0.0;     ///< PPA extraction + clustering
+  double placement_seconds = 0.0;      ///< seed + incremental (or flat GP)
+  double shaping_seconds = 0.0;        ///< V-P&R / ML shape selection
+  int cluster_count = 0;               ///< 0 for the default flow
+  int shaped_clusters = 0;
+};
+
+/// Post-route PPA (Tables 3-6 columns).
+struct PpaOutcome {
+  double rwl_um = 0.0;     ///< routed wirelength incl. clock tree
+  double wns_ps = 0.0;
+  double tns_ns = 0.0;
+  double power_w = 0.0;
+  double clock_skew_ps = 0.0;
+  int route_overflow_edges = 0;
+};
+
+struct FlowResult {
+  PlaceOutcome place;
+  PpaOutcome ppa;  ///< filled by run_*_with_ppa / evaluate_ppa
+};
+
+/// Flat placement without clustering (the "Default" flow). Places the
+/// netlist's ports on the floorplan boundary as a side effect.
+FlowResult run_default_flow(netlist::Netlist& netlist, const FlowOptions& options);
+
+/// The clustering-driven flow of Algorithm 1 (or a baseline variant).
+FlowResult run_clustered_flow(netlist::Netlist& netlist, const FlowOptions& options);
+
+/// Routes, runs CTS, and measures post-route PPA for a placed design.
+PpaOutcome evaluate_ppa(const netlist::Netlist& netlist,
+                        const std::vector<geom::Point>& positions,
+                        const FlowOptions& options);
+
+}  // namespace ppacd::flow

@@ -1,0 +1,29 @@
+/// \file designs.hpp
+/// \brief The six paper testcases (Table 1) as synthetic design specs.
+///
+/// Scale policy (DESIGN.md §6): instance counts are reduced so every table
+/// regenerates on a laptop, but the paper's size ladder (~30x smallest to
+/// largest), hierarchy shapes and register fractions are preserved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+
+namespace ppacd::gen {
+
+/// Returns the spec for one of: "aes", "jpeg", "ariane", "BlackParrot",
+/// "MegaBoom", "MemPool Group". Aborts on unknown names.
+DesignSpec design_spec(const std::string& name);
+
+/// All six designs in Table 1 order.
+std::vector<DesignSpec> all_design_specs();
+
+/// The four designs OpenROAD can route in the paper (Table 3 rows).
+std::vector<DesignSpec> routable_design_specs();
+
+/// The three small designs used for hyperparameter studies (Fig. 5, Table 5).
+std::vector<DesignSpec> small_design_specs();
+
+}  // namespace ppacd::gen

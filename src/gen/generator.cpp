@@ -1,0 +1,481 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace ppacd::gen {
+
+namespace {
+
+using netlist::CellId;
+using netlist::ModuleId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+using netlist::PortId;
+
+/// Weighted sampler over the combinational portion of the library.
+class GateMix {
+ public:
+  GateMix(const liberty::Library& lib, double arith_mix) {
+    struct Entry { const char* name; double base; double arith; };
+    // Base mix resembles a synthesized control+datapath netlist; `arith`
+    // shifts mass toward XOR/adders for crypto/DSP-flavoured designs.
+    const Entry entries[] = {
+        {"INV_X1", 0.14, 0.10}, {"INV_X2", 0.03, 0.02}, {"BUF_X1", 0.05, 0.04},
+        {"NAND2_X1", 0.18, 0.12}, {"NAND3_X1", 0.05, 0.03},
+        {"NOR2_X1", 0.10, 0.07}, {"AND2_X1", 0.09, 0.07}, {"OR2_X1", 0.08, 0.06},
+        {"XOR2_X1", 0.07, 0.22}, {"AOI21_X1", 0.08, 0.05},
+        {"OAI21_X1", 0.06, 0.04}, {"MUX2_X1", 0.06, 0.06},
+        {"HA_X1", 0.005, 0.06}, {"FA_X1", 0.005, 0.06},
+    };
+    for (const Entry& entry : entries) {
+      const auto id = lib.find(entry.name);
+      assert(id.has_value());
+      ids_.push_back(*id);
+      const double w = (1.0 - arith_mix) * entry.base + arith_mix * entry.arith;
+      cumulative_.push_back((cumulative_.empty() ? 0.0 : cumulative_.back()) + w);
+    }
+  }
+
+  liberty::LibCellId sample(util::Rng& rng) const {
+    const double u = rng.uniform(0.0, cumulative_.back());
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return ids_[static_cast<std::size_t>(it - cumulative_.begin())];
+  }
+
+ private:
+  std::vector<liberty::LibCellId> ids_;
+  std::vector<double> cumulative_;
+};
+
+/// Everything the wiring phase needs to know about one leaf module.
+struct LeafInfo {
+  ModuleId module = netlist::kInvalidId;
+  int top_child = -1;  ///< index of the root child this leaf lives under
+  bool critical = false;
+  /// Source (driver) pins bucketed by logic level; level 0 = DFF Q outputs.
+  std::vector<std::vector<PinId>> sources_by_level;
+  /// High-fanout "hub" sources (control-like signals).
+  std::vector<PinId> hubs;
+};
+
+struct GenContext {
+  const DesignSpec* spec = nullptr;
+  Netlist* nl = nullptr;
+  util::Rng rng;
+  std::vector<LeafInfo> leaves;
+  std::unordered_map<ModuleId, int> leaf_index;  ///< module -> leaves index
+  std::vector<std::vector<int>> leaves_by_top_child;
+  /// Global pool: all data input-port pins (level-0 sources).
+  std::vector<PinId> input_port_pins;
+  /// Lazily created net per driver pin.
+  std::unordered_map<PinId, NetId> net_of_driver;
+  int max_level = 0;
+
+  explicit GenContext(std::uint64_t seed) : rng(seed) {}
+};
+
+/// Recursively builds the module tree; returns leaves under `parent`.
+void build_tree(GenContext& ctx, ModuleId parent, int depth, int top_child,
+                const std::string& prefix) {
+  const DesignSpec& spec = *ctx.spec;
+  if (depth == 0) {
+    LeafInfo leaf;
+    leaf.module = parent;
+    leaf.top_child = top_child;
+    leaf.critical = ctx.rng.chance(spec.critical_unit_fraction);
+    ctx.leaf_index.emplace(parent, static_cast<int>(ctx.leaves.size()));
+    if (top_child >= 0) {
+      if (ctx.leaves_by_top_child.size() <= static_cast<std::size_t>(top_child)) {
+        ctx.leaves_by_top_child.resize(static_cast<std::size_t>(top_child) + 1);
+      }
+      ctx.leaves_by_top_child[static_cast<std::size_t>(top_child)].push_back(
+          static_cast<int>(ctx.leaves.size()));
+    }
+    ctx.leaves.push_back(std::move(leaf));
+    return;
+  }
+  // Slight branching variance so dendrogram levels differ across designs.
+  int branches = spec.hierarchy_branching;
+  if (depth < spec.hierarchy_depth && branches > 2 && ctx.rng.chance(0.3)) {
+    branches += ctx.rng.uniform_int(-1, 1);
+  }
+  branches = std::max(1, branches);
+  for (int b = 0; b < branches; ++b) {
+    const std::string name = prefix + "_u" + std::to_string(b);
+    const ModuleId child = ctx.nl->add_module(name, parent);
+    build_tree(ctx, child, depth - 1, top_child < 0 ? b : top_child, name);
+  }
+}
+
+/// Builds the macro structure according to the topology, then recurses.
+void build_hierarchy(GenContext& ctx) {
+  const DesignSpec& spec = *ctx.spec;
+  Netlist& nl = *ctx.nl;
+  switch (spec.topology) {
+    case Topology::kGeneric: {
+      build_tree(ctx, nl.root_module(), spec.hierarchy_depth, -1, "m");
+      break;
+    }
+    case Topology::kPipeline: {
+      const int stages = std::max(2, spec.hierarchy_branching);
+      for (int s = 0; s < stages; ++s) {
+        const std::string name = "stage" + std::to_string(s);
+        const ModuleId stage = nl.add_module(name, nl.root_module());
+        build_tree(ctx, stage, spec.hierarchy_depth - 1, s, name);
+      }
+      break;
+    }
+    case Topology::kTiled: {
+      const int side = std::max(2, spec.hierarchy_branching);
+      for (int t = 0; t < side * side; ++t) {
+        const std::string name = "tile" + std::to_string(t);
+        const ModuleId tile = nl.add_module(name, nl.root_module());
+        build_tree(ctx, tile, spec.hierarchy_depth - 1, t, name);
+      }
+      break;
+    }
+    case Topology::kMulticore: {
+      const int cores = std::max(2, spec.hierarchy_branching);
+      for (int c = 0; c < cores; ++c) {
+        const std::string name = "core" + std::to_string(c);
+        const ModuleId core = nl.add_module(name, nl.root_module());
+        build_tree(ctx, core, spec.hierarchy_depth - 1, c, name);
+      }
+      const ModuleId uncore = nl.add_module("uncore", nl.root_module());
+      build_tree(ctx, uncore, std::max(1, spec.hierarchy_depth - 2), cores,
+                 "uncore");
+      break;
+    }
+  }
+}
+
+/// Creates the cells of every leaf module and registers their output pins as
+/// sources (DFF Q at level 0, combinational outputs at their logic level).
+void populate_cells(GenContext& ctx) {
+  const DesignSpec& spec = *ctx.spec;
+  Netlist& nl = *ctx.nl;
+  const GateMix mix(nl.library(), spec.topology == Topology::kPipeline ? 0.45
+                    : spec.critical_unit_fraction > 0.2 ? 0.3 : 0.15);
+  const liberty::LibCellId dff = *nl.library().find("DFF_X1");
+
+  // Per-leaf cell budget: uniform with +-40% variance (multicore cores get
+  // identical budgets to keep the replicated structure honest).
+  const std::size_t leaf_count = ctx.leaves.size();
+  std::vector<double> weights(leaf_count, 1.0);
+  for (std::size_t i = 0; i < leaf_count; ++i) {
+    if (spec.topology == Topology::kMulticore || spec.topology == Topology::kTiled) {
+      weights[i] = 1.0;
+    } else {
+      weights[i] = ctx.rng.uniform(0.6, 1.4);
+    }
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  int cell_serial = 0;
+  for (std::size_t li = 0; li < leaf_count; ++li) {
+    LeafInfo& leaf = ctx.leaves[li];
+    const int budget = std::max(
+        4, static_cast<int>(std::lround(spec.target_cells * weights[li] / weight_sum)));
+    const int max_level =
+        leaf.critical ? static_cast<int>(std::lround(spec.logic_depth * 1.6))
+                      : spec.logic_depth;
+    ctx.max_level = std::max(ctx.max_level, max_level);
+    leaf.sources_by_level.resize(static_cast<std::size_t>(max_level) + 1);
+
+    const liberty::LibCellId strong_buf = *nl.library().find("BUF_X4");
+    const int reg_count =
+        std::max(1, static_cast<int>(std::lround(budget * spec.register_fraction)));
+    for (int i = 0; i < budget; ++i) {
+      const bool is_reg = i < reg_count;
+      // Hub drivers (control-like, high fanout) get a strong buffer, as
+      // synthesis would size them; weak cells on hubs would otherwise
+      // dominate timing with pathological delays.
+      const bool is_hub = !is_reg && ctx.rng.chance(0.03);
+      const liberty::LibCellId lc =
+          is_reg ? dff : (is_hub ? strong_buf : mix.sample(ctx.rng));
+      const std::string name = "g" + std::to_string(cell_serial++);
+      const CellId cid = nl.add_cell(name, lc, leaf.module);
+      const int level = is_reg ? 0 : ctx.rng.uniform_int(1, max_level);
+      const PinId out = nl.cell_output_pin(cid);
+      if (out != netlist::kInvalidId) {
+        leaf.sources_by_level[static_cast<std::size_t>(level)].push_back(out);
+        if (is_hub) leaf.hubs.push_back(out);
+      }
+    }
+  }
+}
+
+/// Returns the net driven by `driver`, creating it on first use.
+NetId net_for(GenContext& ctx, PinId driver) {
+  const auto it = ctx.net_of_driver.find(driver);
+  if (it != ctx.net_of_driver.end()) return it->second;
+  Netlist& nl = *ctx.nl;
+  const NetId net = nl.add_net("n" + std::to_string(nl.net_count()));
+  nl.connect(net, driver);
+  ctx.net_of_driver.emplace(driver, net);
+  return net;
+}
+
+/// Picks a source pin from `leaf` with level < max_level (or any level when
+/// `any_level`). Prefers deep levels to create long combinational chains and
+/// prefers not-yet-used outputs to limit dead logic. Returns kInvalidId when
+/// the module has no eligible source.
+PinId pick_source_in_leaf(GenContext& ctx, const LeafInfo& leaf, int max_level,
+                          bool any_level) {
+  const int level_count = static_cast<int>(leaf.sources_by_level.size());
+  const int limit = any_level ? level_count : std::min(max_level, level_count);
+  if (limit <= 0) return netlist::kInvalidId;
+
+  // Try a few times biased to the deepest eligible level, then fall back to
+  // scanning downward.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    int level;
+    if (ctx.rng.chance(0.5)) {
+      level = limit - 1;
+    } else {
+      level = ctx.rng.uniform_int(0, limit - 1);
+    }
+    const auto& bucket = leaf.sources_by_level[static_cast<std::size_t>(level)];
+    if (bucket.empty()) continue;
+    const PinId pick = bucket[ctx.rng.index(bucket.size())];
+    // Prefer a driver without a net yet on early attempts (less dead logic).
+    if (attempt < 2 && ctx.net_of_driver.count(pick) > 0) continue;
+    return pick;
+  }
+  for (int level = limit - 1; level >= 0; --level) {
+    const auto& bucket = leaf.sources_by_level[static_cast<std::size_t>(level)];
+    if (!bucket.empty()) return bucket[ctx.rng.index(bucket.size())];
+  }
+  return netlist::kInvalidId;
+}
+
+/// Picks the leaf module a cross-module connection should come from,
+/// honouring the design topology.
+const LeafInfo& pick_remote_leaf(GenContext& ctx, const LeafInfo& local) {
+  const DesignSpec& spec = *ctx.spec;
+  const auto& leaves = ctx.leaves;
+  auto uniform_leaf = [&]() -> const LeafInfo& {
+    return leaves[ctx.rng.index(leaves.size())];
+  };
+  if (local.top_child < 0) return uniform_leaf();
+
+  switch (spec.topology) {
+    case Topology::kPipeline: {
+      // Stage s draws its remote inputs from stage s-1 (feed-forward).
+      const int prev = local.top_child - 1;
+      if (prev >= 0 &&
+          static_cast<std::size_t>(prev) < ctx.leaves_by_top_child.size() &&
+          !ctx.leaves_by_top_child[static_cast<std::size_t>(prev)].empty()) {
+        const auto& pool = ctx.leaves_by_top_child[static_cast<std::size_t>(prev)];
+        return leaves[static_cast<std::size_t>(pool[ctx.rng.index(pool.size())])];
+      }
+      return uniform_leaf();
+    }
+    case Topology::kTiled: {
+      const int side = std::max(2, spec.hierarchy_branching);
+      const int x = local.top_child % side;
+      const int y = local.top_child / side;
+      const int dx[] = {1, -1, 0, 0};
+      const int dy[] = {0, 0, 1, -1};
+      const int d = ctx.rng.uniform_int(0, 3);
+      const int nx = x + dx[d];
+      const int ny = y + dy[d];
+      if (nx >= 0 && nx < side && ny >= 0 && ny < side) {
+        const int neighbour = ny * side + nx;
+        if (static_cast<std::size_t>(neighbour) < ctx.leaves_by_top_child.size() &&
+            !ctx.leaves_by_top_child[static_cast<std::size_t>(neighbour)].empty()) {
+          const auto& pool =
+              ctx.leaves_by_top_child[static_cast<std::size_t>(neighbour)];
+          return leaves[static_cast<std::size_t>(pool[ctx.rng.index(pool.size())])];
+        }
+      }
+      return uniform_leaf();
+    }
+    case Topology::kMulticore: {
+      // Cores talk mostly to the uncore (the last top-level child).
+      const int uncore = static_cast<int>(ctx.leaves_by_top_child.size()) - 1;
+      const bool in_uncore = local.top_child == uncore;
+      const int target = in_uncore
+                             ? ctx.rng.uniform_int(0, uncore - 1)
+                             : (ctx.rng.chance(0.8) ? uncore
+                                                    : ctx.rng.uniform_int(0, uncore));
+      const auto& pool = ctx.leaves_by_top_child[static_cast<std::size_t>(target)];
+      if (!pool.empty()) {
+        return leaves[static_cast<std::size_t>(pool[ctx.rng.index(pool.size())])];
+      }
+      return uniform_leaf();
+    }
+    case Topology::kGeneric:
+      return uniform_leaf();
+  }
+  return uniform_leaf();
+}
+
+/// Connects every data input pin to a driver (local / sibling / remote /
+/// hub / input port), guaranteeing global acyclicity via logic levels.
+void wire_inputs(GenContext& ctx) {
+  const DesignSpec& spec = *ctx.spec;
+  Netlist& nl = *ctx.nl;
+
+  // Cache each cell's level: invert the source buckets once.
+  std::unordered_map<PinId, int> level_of_source;
+  for (const LeafInfo& leaf : ctx.leaves) {
+    for (std::size_t level = 0; level < leaf.sources_by_level.size(); ++level) {
+      for (PinId pin : leaf.sources_by_level[level]) {
+        level_of_source.emplace(pin, static_cast<int>(level));
+      }
+    }
+  }
+
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const CellId cid = static_cast<CellId>(ci);
+    const netlist::Cell& cell = nl.cell(cid);
+    const liberty::LibCell& lc = nl.lib_cell_of(cid);
+    const bool is_reg = liberty::is_sequential(lc.function);
+    const auto leaf_it = ctx.leaf_index.find(cell.module);
+    assert(leaf_it != ctx.leaf_index.end());
+    const LeafInfo& local = ctx.leaves[static_cast<std::size_t>(leaf_it->second)];
+
+    // The cell's own level bounds its drivers (strictly lower level).
+    int own_level = 0;
+    const PinId own_out = nl.cell_output_pin(cid);
+    if (own_out != netlist::kInvalidId) {
+      const auto lvl = level_of_source.find(own_out);
+      if (lvl != level_of_source.end()) own_level = lvl->second;
+    }
+
+    for (PinId pid : cell.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.dir != liberty::PinDir::kInput || pin.is_clock) continue;
+
+      PinId driver = netlist::kInvalidId;
+      // Registers capture any-depth logic; combinational inputs need a
+      // strictly lower level to keep the logic acyclic.
+      const bool any_level = is_reg;
+      const int max_level = is_reg ? 1 << 20 : own_level;
+
+      const double u = ctx.rng.uniform();
+      if (u < 0.06 && !local.hubs.empty()) {
+        // Hub pick: creates the heavy-tail fanout of control signals. Only
+        // accept a hub that respects the level constraint.
+        const PinId hub = local.hubs[ctx.rng.index(local.hubs.size())];
+        const int hub_level = level_of_source.at(hub);
+        if (any_level || hub_level < max_level) driver = hub;
+      }
+      if (driver == netlist::kInvalidId) {
+        if (u < spec.local_net_fraction) {
+          driver = pick_source_in_leaf(ctx, local, max_level, any_level);
+        } else if (u < spec.local_net_fraction + spec.sibling_net_fraction) {
+          // Sibling: another leaf under the same top-level child.
+          if (local.top_child >= 0 &&
+              static_cast<std::size_t>(local.top_child) <
+                  ctx.leaves_by_top_child.size()) {
+            const auto& pool =
+                ctx.leaves_by_top_child[static_cast<std::size_t>(local.top_child)];
+            const LeafInfo& sib =
+                ctx.leaves[static_cast<std::size_t>(pool[ctx.rng.index(pool.size())])];
+            driver = pick_source_in_leaf(ctx, sib, max_level, any_level);
+          }
+        } else {
+          const LeafInfo& remote = pick_remote_leaf(ctx, local);
+          // Cross-module nets may only tap registers or shallow logic so the
+          // level argument stays valid globally.
+          driver = pick_source_in_leaf(ctx, remote,
+                                       std::min(max_level, 2), any_level);
+        }
+      }
+      if (driver == netlist::kInvalidId) {
+        driver = pick_source_in_leaf(ctx, local, max_level, any_level);
+      }
+      if (driver == netlist::kInvalidId && !ctx.input_port_pins.empty()) {
+        driver = ctx.input_port_pins[ctx.rng.index(ctx.input_port_pins.size())];
+      }
+      assert(driver != netlist::kInvalidId && "no eligible driver found");
+      nl.connect(net_for(ctx, driver), pid);
+    }
+  }
+}
+
+/// Creates the clock port/net and hooks every flip-flop clock pin to it.
+void wire_clock(GenContext& ctx) {
+  Netlist& nl = *ctx.nl;
+  const PortId clk_port = nl.add_port("clk", liberty::PinDir::kInput);
+  const NetId clk_net = nl.add_net("clk");
+  nl.connect(clk_net, nl.port(clk_port).pin);
+  nl.mark_clock_net(clk_net);
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
+    for (PinId pid : cell.pins) {
+      if (nl.pin(pid).is_clock) nl.connect(clk_net, pid);
+    }
+  }
+}
+
+/// Creates data IO ports. Inputs become level-0 sources for the wiring
+/// phase; outputs are attached to random deep drivers afterwards.
+void create_input_ports(GenContext& ctx) {
+  Netlist& nl = *ctx.nl;
+  const int inputs = std::max(1, ctx.spec->io_ports / 2);
+  for (int i = 0; i < inputs; ++i) {
+    const PortId port = nl.add_port("in" + std::to_string(i), liberty::PinDir::kInput);
+    ctx.input_port_pins.push_back(nl.port(port).pin);
+    // Register input ports as level-0 sources of random leaf modules so
+    // boundary logic naturally connects to the chip interface.
+    LeafInfo& leaf = ctx.leaves[ctx.rng.index(ctx.leaves.size())];
+    leaf.sources_by_level[0].push_back(nl.port(port).pin);
+  }
+}
+
+void create_output_ports(GenContext& ctx) {
+  Netlist& nl = *ctx.nl;
+  const int outputs = std::max(1, ctx.spec->io_ports - ctx.spec->io_ports / 2);
+  for (int i = 0; i < outputs; ++i) {
+    const PortId port =
+        nl.add_port("out" + std::to_string(i), liberty::PinDir::kOutput);
+    // Tap a deep source from a random leaf (any level).
+    PinId driver = netlist::kInvalidId;
+    for (int attempt = 0; attempt < 16 && driver == netlist::kInvalidId; ++attempt) {
+      const LeafInfo& leaf = ctx.leaves[ctx.rng.index(ctx.leaves.size())];
+      driver = pick_source_in_leaf(ctx, leaf, 1 << 20, /*any_level=*/true);
+    }
+    assert(driver != netlist::kInvalidId);
+    nl.connect(net_for(ctx, driver), nl.port(port).pin);
+  }
+}
+
+}  // namespace
+
+netlist::Netlist generate(const liberty::Library& lib, const DesignSpec& spec) {
+  netlist::Netlist nl(lib, spec.name);
+  GenContext ctx(spec.seed);
+  ctx.spec = &spec;
+  ctx.nl = &nl;
+
+  build_hierarchy(ctx);
+  assert(!ctx.leaves.empty());
+  populate_cells(ctx);
+  create_input_ports(ctx);
+  wire_inputs(ctx);
+  create_output_ports(ctx);
+  wire_clock(ctx);
+
+  const auto problems = nl.validate();
+  for (const std::string& p : problems) {
+    PPACD_LOG_ERROR("gen") << spec.name << ": " << p;
+  }
+  assert(problems.empty() && "generated netlist failed validation");
+  PPACD_LOG_INFO("gen") << spec.name << ": " << nl.cell_count() << " cells, "
+                        << nl.net_count() << " nets, " << nl.module_count()
+                        << " modules";
+  return nl;
+}
+
+}  // namespace ppacd::gen

@@ -1,0 +1,60 @@
+/// \file generator.hpp
+/// \brief Synthetic hierarchical benchmark generator.
+///
+/// The paper evaluates on six open testcases (aes, jpeg, ariane, BlackParrot,
+/// MegaBoom, MemPool Group) that are not available offline, so this module
+/// generates deterministic stand-ins that preserve the properties the
+/// algorithms are sensitive to:
+///   * a logical hierarchy tree with design-specific depth/branching
+///     (consumed by Algorithm 2),
+///   * Rent's-rule-like locality: most nets stay inside a module, the rest
+///     reach siblings and then the wider tree with decaying probability,
+///   * acyclic combinational logic between register stages so STA produces
+///     meaningful critical paths (timing cost t_e in Eq. 3),
+///   * a single-source clock net over all flip-flops (buffered later by CTS),
+///   * design "topologies": pipelines chain stages, tiled designs connect
+///     grid neighbours, multicores replicate identical subtrees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace ppacd::gen {
+
+/// Macro-structure of the design, controls inter-module connectivity.
+enum class Topology {
+  kGeneric,    ///< hierarchy with distance-decaying random connectivity
+  kPipeline,   ///< top-level children form a chain (stage i feeds stage i+1)
+  kTiled,      ///< top-level children form a grid with neighbour links
+  kMulticore,  ///< replicated core subtrees plus shared uncore modules
+};
+
+/// All knobs of one synthetic design.
+struct DesignSpec {
+  std::string name = "design";
+  std::uint64_t seed = 1;
+  int target_cells = 1000;          ///< approximate instance count
+  int hierarchy_depth = 3;          ///< module-tree depth below the root
+  int hierarchy_branching = 3;      ///< children per internal module
+  Topology topology = Topology::kGeneric;
+  double register_fraction = 0.25;  ///< DFF share of instances
+  int logic_depth = 10;             ///< max combinational levels between regs
+  double local_net_fraction = 0.75; ///< P(driver in same leaf module)
+  double sibling_net_fraction = 0.15; ///< P(driver in sibling module)
+  double fanout_p = 0.45;           ///< geometric fanout parameter (mean ~1/p)
+  int io_ports = 32;                ///< data ports (plus one clock port)
+  double clock_period_ps = 1000.0;  ///< target clock period (TCP)
+  /// Fraction of leaf modules designated "critical units" whose logic is
+  /// deeper, creating genuinely timing-critical regions.
+  double critical_unit_fraction = 0.15;
+};
+
+/// Generates the netlist for `spec`. The result is validated; generation
+/// aborts (assert) if the builder produced an inconsistent design.
+netlist::Netlist generate(const liberty::Library& lib, const DesignSpec& spec);
+
+}  // namespace ppacd::gen

@@ -1,0 +1,92 @@
+/// \file geometry.hpp
+/// \brief 2-D geometric primitives (microns, double precision) shared by
+/// placement, routing, CTS and the V-P&R virtual die.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ppacd::geom {
+
+/// A point in microns.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance between two points.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+/// Euclidean distance between two points.
+inline double euclidean(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangle; empty by default (lo > hi).
+struct Rect {
+  double lx = 0.0;
+  double ly = 0.0;
+  double ux = 0.0;
+  double uy = 0.0;
+
+  static Rect make(double lx, double ly, double ux, double uy) {
+    return Rect{lx, ly, ux, uy};
+  }
+
+  double width() const { return ux - lx; }
+  double height() const { return uy - ly; }
+  double area() const { return std::max(0.0, width()) * std::max(0.0, height()); }
+  double half_perimeter() const { return std::max(0.0, width()) + std::max(0.0, height()); }
+  Point center() const { return Point{(lx + ux) * 0.5, (ly + uy) * 0.5}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= lx && p.x <= ux && p.y >= ly && p.y <= uy;
+  }
+
+  bool intersects(const Rect& other) const {
+    return lx <= other.ux && other.lx <= ux && ly <= other.uy && other.ly <= uy;
+  }
+
+  /// Clamps `p` into this rectangle.
+  Point clamp(const Point& p) const {
+    return Point{std::clamp(p.x, lx, ux), std::clamp(p.y, ly, uy)};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Incrementally grown bounding box; `half_perimeter()` of an empty box is 0.
+class BBox {
+ public:
+  void expand(const Point& p) {
+    lx_ = std::min(lx_, p.x);
+    ly_ = std::min(ly_, p.y);
+    ux_ = std::max(ux_, p.x);
+    uy_ = std::max(uy_, p.y);
+  }
+
+  bool empty() const { return lx_ > ux_; }
+
+  double half_perimeter() const {
+    if (empty()) return 0.0;
+    return (ux_ - lx_) + (uy_ - ly_);
+  }
+
+  Rect rect() const {
+    if (empty()) return Rect{};
+    return Rect{lx_, ly_, ux_, uy_};
+  }
+
+ private:
+  double lx_ = std::numeric_limits<double>::infinity();
+  double ly_ = std::numeric_limits<double>::infinity();
+  double ux_ = -std::numeric_limits<double>::infinity();
+  double uy_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ppacd::geom

@@ -1,0 +1,76 @@
+#include "hier/rent.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace ppacd::hier {
+
+std::vector<RentTerms> rent_terms(const netlist::Netlist& nl,
+                                  const std::vector<std::int32_t>& assignment,
+                                  std::int32_t cluster_count) {
+  assert(assignment.size() == nl.cell_count());
+  std::vector<RentTerms> terms(static_cast<std::size_t>(cluster_count));
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const std::int32_t c = assignment[ci];
+    assert(c >= 0 && c < cluster_count);
+    ++terms[static_cast<std::size_t>(c)].size;
+  }
+
+  // Per net: pins per touched cluster; external if >1 cluster or any port.
+  std::unordered_map<std::int32_t, std::int64_t> pins_in_cluster;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock) continue;
+    pins_in_cluster.clear();
+    bool touches_port = false;
+    for (const netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kTopPort) {
+        touches_port = true;
+        continue;
+      }
+      ++pins_in_cluster[assignment[static_cast<std::size_t>(pin.cell)]];
+    }
+    const bool external = touches_port || pins_in_cluster.size() > 1;
+    for (const auto& [cluster, pins] : pins_in_cluster) {
+      RentTerms& t = terms[static_cast<std::size_t>(cluster)];
+      if (external) {
+        ++t.external_edges;
+        t.external_pins += pins;
+      } else {
+        t.internal_pins += pins;
+      }
+    }
+  }
+
+  for (RentTerms& t : terms) {
+    const std::int64_t denom = t.internal_pins + t.external_pins;
+    if (t.size <= 1 || denom == 0 || t.external_edges == 0) {
+      // Degenerate: single-vertex clusters have ln|c|=0; clusters with no
+      // external edges would give R = -inf. Both get the neutral value 1.
+      t.rent = 1.0;
+      continue;
+    }
+    t.rent = std::log(static_cast<double>(t.external_edges) /
+                      static_cast<double>(denom)) /
+                 std::log(static_cast<double>(t.size)) +
+             1.0;
+  }
+  return terms;
+}
+
+double average_rent(const netlist::Netlist& nl,
+                    const std::vector<std::int32_t>& assignment,
+                    std::int32_t cluster_count) {
+  const auto terms = rent_terms(nl, assignment, cluster_count);
+  double weighted = 0.0;
+  std::int64_t total = 0;
+  for (const RentTerms& t : terms) {
+    weighted += t.rent * static_cast<double>(t.size);
+    total += t.size;
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 1.0;
+}
+
+}  // namespace ppacd::hier

@@ -1,0 +1,38 @@
+/// \file rent.hpp
+/// \brief Weighted-average Rent exponent of a clustering (Equation 1).
+///
+/// For cluster c_i:  R_i = ln(E_i / (Int_i + Ext_i)) / ln(|c_i|) + 1, where
+/// E_i counts hyperedges leaving the cluster, Ext_i counts the cluster's
+/// pins on those leaving hyperedges, and Int_i counts its pins on fully
+/// internal hyperedges. Top-level port pins are always external. Lower is
+/// better (more pins stay inside relative to the cut).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::hier {
+
+/// Per-cluster breakdown used by Eq. 1.
+struct RentTerms {
+  std::int64_t external_edges = 0;  ///< E(c_i)
+  std::int64_t external_pins = 0;   ///< Ext(c_i)
+  std::int64_t internal_pins = 0;   ///< Int(c_i)
+  std::int64_t size = 0;            ///< |c_i|
+  double rent = 1.0;                ///< R_{c_i}; 1.0 for degenerate clusters
+};
+
+/// Computes the per-cluster Rent terms for `assignment` (cell -> cluster id
+/// in [0, cluster_count)). Clock nets are ignored, as in clustering.
+std::vector<RentTerms> rent_terms(const netlist::Netlist& netlist,
+                                  const std::vector<std::int32_t>& assignment,
+                                  std::int32_t cluster_count);
+
+/// Weighted-average Rent exponent R_avg of Eq. 1.
+double average_rent(const netlist::Netlist& netlist,
+                    const std::vector<std::int32_t>& assignment,
+                    std::int32_t cluster_count);
+
+}  // namespace ppacd::hier

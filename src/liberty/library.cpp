@@ -1,0 +1,132 @@
+#include "liberty/library.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace ppacd::liberty {
+
+bool is_sequential(Function function) { return function == Function::kDff; }
+
+int LibCell::data_input_count() const {
+  int count = 0;
+  for (const LibPin& pin : pins) {
+    if (pin.dir == PinDir::kInput && !pin.is_clock) ++count;
+  }
+  return count;
+}
+
+int LibCell::output_pin_index() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].dir == PinDir::kOutput) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int LibCell::clock_pin_index() const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].is_clock) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+LibCellId Library::add_cell(LibCell cell) {
+  cell.id = static_cast<LibCellId>(cells_.size());
+  cells_.push_back(std::move(cell));
+  return cells_.back().id;
+}
+
+std::optional<LibCellId> Library::find(std::string_view name) const {
+  for (const LibCell& cell : cells_) {
+    if (cell.name == name) return cell.id;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+LibPin in(std::string name, double cap_ff) {
+  return LibPin{std::move(name), PinDir::kInput, false, cap_ff};
+}
+
+LibPin clk(std::string name, double cap_ff) {
+  return LibPin{std::move(name), PinDir::kInput, true, cap_ff};
+}
+
+LibPin out(std::string name) { return LibPin{std::move(name), PinDir::kOutput, false, 0.0}; }
+
+/// Builds a combinational cell. `site_count` scales the 0.19 um NanGate45 site.
+LibCell comb(std::string name, Function fn, int site_count, double intrinsic_ps,
+             double drive_res_kohm, double leakage_uw,
+             std::vector<LibPin> pins) {
+  LibCell cell;
+  cell.name = std::move(name);
+  cell.function = fn;
+  cell.width_um = 0.19 * site_count;
+  cell.height_um = 1.4;
+  cell.intrinsic_ps = intrinsic_ps;
+  cell.drive_res_kohm = drive_res_kohm;
+  cell.leakage_uw = leakage_uw;
+  cell.pins = std::move(pins);
+  return cell;
+}
+
+}  // namespace
+
+Library Library::nangate45_like() {
+  Library lib;
+
+  // Inverters / buffers in three drive strengths. Resistance halves per step.
+  lib.add_cell(comb("INV_X1", Function::kInv, 2, 8.0, 8.0, 0.10, {in("A", 1.0), out("Y")}));
+  lib.add_cell(comb("INV_X2", Function::kInv, 3, 8.0, 4.0, 0.18, {in("A", 1.9), out("Y")}));
+  lib.add_cell(comb("INV_X4", Function::kInv, 5, 8.0, 2.0, 0.35, {in("A", 3.7), out("Y")}));
+  lib.add_cell(comb("BUF_X1", Function::kBuf, 3, 14.0, 8.0, 0.14, {in("A", 1.0), out("Y")}));
+  lib.add_cell(comb("BUF_X2", Function::kBuf, 4, 14.0, 4.0, 0.25, {in("A", 1.8), out("Y")}));
+  lib.add_cell(comb("BUF_X4", Function::kBuf, 6, 15.0, 2.0, 0.48, {in("A", 3.5), out("Y")}));
+  // Clock buffer used by CTS; sized like BUF_X4 with a balanced drive.
+  lib.add_cell(comb("CLKBUF_X2", Function::kBuf, 5, 13.0, 2.5, 0.40, {in("A", 2.6), out("Y")}));
+
+  lib.add_cell(comb("NAND2_X1", Function::kNand2, 3, 10.0, 9.0, 0.16,
+                    {in("A", 1.2), in("B", 1.2), out("Y")}));
+  lib.add_cell(comb("NAND3_X1", Function::kNand3, 4, 12.0, 10.0, 0.22,
+                    {in("A", 1.3), in("B", 1.3), in("C", 1.3), out("Y")}));
+  lib.add_cell(comb("NOR2_X1", Function::kNor2, 3, 11.0, 10.0, 0.15,
+                    {in("A", 1.3), in("B", 1.3), out("Y")}));
+  lib.add_cell(comb("AND2_X1", Function::kAnd2, 4, 16.0, 8.0, 0.20,
+                    {in("A", 1.1), in("B", 1.1), out("Y")}));
+  lib.add_cell(comb("OR2_X1", Function::kOr2, 4, 16.0, 8.0, 0.20,
+                    {in("A", 1.1), in("B", 1.1), out("Y")}));
+  lib.add_cell(comb("XOR2_X1", Function::kXor2, 6, 20.0, 9.0, 0.32,
+                    {in("A", 2.0), in("B", 2.0), out("Y")}));
+  lib.add_cell(comb("AOI21_X1", Function::kAoi21, 4, 12.0, 10.0, 0.18,
+                    {in("A", 1.3), in("B", 1.3), in("C", 1.4), out("Y")}));
+  lib.add_cell(comb("OAI21_X1", Function::kOai21, 4, 12.0, 10.0, 0.18,
+                    {in("A", 1.3), in("B", 1.3), in("C", 1.4), out("Y")}));
+  lib.add_cell(comb("MUX2_X1", Function::kMux2, 6, 18.0, 9.0, 0.30,
+                    {in("A", 1.4), in("B", 1.4), in("S", 1.8), out("Y")}));
+  lib.add_cell(comb("HA_X1", Function::kHalfAdder, 7, 22.0, 9.0, 0.45,
+                    {in("A", 1.9), in("B", 1.9), out("S")}));
+  lib.add_cell(comb("FA_X1", Function::kFullAdder, 9, 26.0, 9.0, 0.60,
+                    {in("A", 2.1), in("B", 2.1), in("CI", 2.1), out("S")}));
+
+  // Rising-edge D flip-flop: D, CK -> Q.
+  {
+    LibCell dff;
+    dff.name = "DFF_X1";
+    dff.function = Function::kDff;
+    dff.width_um = 0.19 * 12;
+    dff.height_um = 1.4;
+    dff.intrinsic_ps = 35.0;  // clk-to-q
+    dff.drive_res_kohm = 6.0;
+    dff.leakage_uw = 0.80;
+    dff.setup_ps = 30.0;
+    dff.pins = {in("D", 1.5), clk("CK", 1.2), out("Q")};
+    lib.add_cell(std::move(dff));
+  }
+
+  lib.add_cell(comb("TIEHI_X1", Function::kTieHi, 2, 0.0, 20.0, 0.05, {out("Y")}));
+  lib.add_cell(comb("TIELO_X1", Function::kTieLo, 2, 0.0, 20.0, 0.05, {out("Y")}));
+
+  return lib;
+}
+
+}  // namespace ppacd::liberty

@@ -1,0 +1,126 @@
+/// \file library.hpp
+/// \brief Standard-cell library model (Liberty/LEF substitute).
+///
+/// The paper uses the NanGate45 open enablement through .lib/.lef files. This
+/// module provides the subset of that data the rest of the system needs:
+///   * footprint (area, width, height) for placement and cluster shaping,
+///   * pin capacitances and a linear delay model (intrinsic + R_drive * C_load)
+///     for STA,
+///   * leakage and Vdd for the power report,
+///   * the Boolean function class for vectorless switching-activity
+///     propagation (Section 3.1, Eq. 2 inputs).
+///
+/// Units: microns (geometry), picoseconds (time), femtofarads (capacitance),
+/// kiloohms (resistance; kOhm * fF = ps), microwatts (leakage), volts (Vdd).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppacd::liberty {
+
+/// Identifier of a library cell within a Library.
+using LibCellId = std::int32_t;
+inline constexpr LibCellId kInvalidLibCell = -1;
+
+/// Boolean function class of a cell; drives delay/activity models.
+enum class Function {
+  kInv,
+  kBuf,
+  kNand2,
+  kNand3,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kAoi21,   // y = !(a*b + c)
+  kOai21,   // y = !((a+b) * c)
+  kMux2,    // y = s ? a : b
+  kHalfAdder,  // modeled through its sum output (xor-like)
+  kFullAdder,  // modeled through its sum output (xor-like)
+  kDff,     // D flip-flop, rising edge
+  kTieHi,
+  kTieLo,
+};
+
+/// True for sequential (edge-triggered) cells.
+bool is_sequential(Function function);
+
+/// Direction of a library pin.
+enum class PinDir { kInput, kOutput };
+
+/// One pin of a library cell.
+struct LibPin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  bool is_clock = false;    ///< clock input of a sequential cell
+  double cap_ff = 1.0;      ///< input capacitance (outputs: 0)
+};
+
+/// One standard cell. Delay model: arc delay = intrinsic_ps +
+/// drive_res_kohm * C_load_ff, identical for all input->output arcs.
+struct LibCell {
+  LibCellId id = kInvalidLibCell;
+  std::string name;
+  Function function = Function::kBuf;
+  double width_um = 0.0;
+  double height_um = 0.0;
+  double intrinsic_ps = 0.0;
+  double drive_res_kohm = 0.0;
+  double leakage_uw = 0.0;
+  /// Setup time for sequential cells (D must be stable this long before CK).
+  double setup_ps = 0.0;
+  std::vector<LibPin> pins;
+
+  double area_um2() const { return width_um * height_um; }
+
+  /// Number of data (non-clock) input pins.
+  int data_input_count() const;
+
+  /// Index of the first output pin; -1 if none.
+  int output_pin_index() const;
+
+  /// Index of the clock pin; -1 if none.
+  int clock_pin_index() const;
+};
+
+/// An immutable set of library cells with name lookup.
+class Library {
+ public:
+  /// Builds the default NanGate45-like library used by all experiments.
+  static Library nangate45_like();
+
+  /// Adds a cell; assigns and returns its id.
+  LibCellId add_cell(LibCell cell);
+
+  const LibCell& cell(LibCellId id) const { return cells_.at(static_cast<std::size_t>(id)); }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  /// Finds a cell by name; nullopt if absent.
+  std::optional<LibCellId> find(std::string_view name) const;
+
+  /// Supply voltage used by the dynamic-power model.
+  double vdd() const { return vdd_; }
+  void set_vdd(double vdd) { vdd_ = vdd; }
+
+  /// Standard-cell row height (all cells share it, as in NanGate45).
+  double row_height_um() const { return row_height_um_; }
+  void set_row_height_um(double h) { row_height_um_ = h; }
+
+  /// Wire parasitics per micron of estimated length (used by STA's
+  /// HPWL-based interconnect model).
+  double wire_cap_ff_per_um() const { return wire_cap_ff_per_um_; }
+  double wire_res_kohm_per_um() const { return wire_res_kohm_per_um_; }
+
+ private:
+  std::vector<LibCell> cells_;
+  double vdd_ = 1.1;
+  double row_height_um_ = 1.4;
+  double wire_cap_ff_per_um_ = 0.16;
+  double wire_res_kohm_per_um_ = 0.0038;
+};
+
+}  // namespace ppacd::liberty

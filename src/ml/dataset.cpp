@@ -1,0 +1,64 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+#include "cluster/fc_multilevel.hpp"
+#include "netlist/subnetlist.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ppacd::ml {
+
+Dataset build_dataset(const std::vector<const netlist::Netlist*>& designs,
+                      const DatasetOptions& options,
+                      const vpr::VprOptions& vpr_options) {
+  Dataset dataset;
+  dataset.shapes = vpr::candidate_shapes(vpr_options);
+  util::Rng rng(options.seed);
+
+  for (const netlist::Netlist* design : designs) {
+    int taken = 0;
+    for (int config = 0; config < options.clustering_configs; ++config) {
+      if (taken >= options.max_clusters_per_design) break;
+      cluster::FcOptions fc;
+      fc.seed = rng.engine()();
+      // Perturb the coarsening target around cells/averaged cluster size so
+      // configs yield differently sized clusters.
+      const int base =
+          std::max<int>(8, static_cast<int>(design->cell_count()) /
+                               ((options.min_cluster_size + options.max_cluster_size) / 2));
+      fc.target_cluster_count = std::max(4, base + rng.uniform_int(-base / 3, base / 2));
+      const cluster::FcResult fc_result =
+          cluster::fc_multilevel_cluster(*design, cluster::FcPpaInputs{}, fc);
+      const cluster::ClusteredNetlist clustered = cluster::build_clustered_netlist(
+          *design, fc_result.cluster_of_cell, fc_result.cluster_count);
+
+      for (const cluster::Cluster& c : clustered.clusters) {
+        if (taken >= options.max_clusters_per_design) break;
+        const int size = static_cast<int>(c.cells.size());
+        if (size < options.min_cluster_size || size > options.max_cluster_size) {
+          continue;
+        }
+        const netlist::SubNetlist sub = netlist::extract_subnetlist(*design, c.cells);
+
+        ClusterSample sample;
+        sample.cluster_size = size;
+        features::FeatureOptions fo = options.feature_options;
+        fo.seed = rng.engine()();
+        sample.graph = features::extract_cluster_graph(sub.netlist, fo);
+        sample.labels.reserve(dataset.shapes.size());
+        for (const cluster::ClusterShape& shape : dataset.shapes) {
+          sample.labels.push_back(
+              vpr::evaluate_shape(sub.netlist, shape, vpr_options).total_cost);
+        }
+        dataset.clusters.push_back(std::move(sample));
+        ++taken;
+      }
+    }
+    PPACD_LOG_INFO("dataset") << design->name() << ": " << taken
+                              << " labelled clusters";
+  }
+  return dataset;
+}
+
+}  // namespace ppacd::ml

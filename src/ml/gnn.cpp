@@ -1,0 +1,202 @@
+#include "ml/gnn.hpp"
+
+#include <cassert>
+
+namespace ppacd::ml {
+
+Matrix ConvBlock::forward(const SparseRows& adj, const Matrix& x, bool training,
+                          Cache& cache) {
+  cache.x_in = x;
+  spmm(adj, x, cache.propagated);
+  Matrix z = linear_.forward(cache.propagated);
+  Matrix normed = bn_.forward(z, training, cache.bn);
+  relu_inplace(normed);
+  cache.activated = normed;
+  if (skip_) {
+    for (std::size_t i = 0; i < normed.data.size(); ++i) {
+      normed.data[i] += x.data[i];
+    }
+  }
+  return normed;
+}
+
+Matrix ConvBlock::backward(const SparseRows& adj, const Cache& cache,
+                           const Matrix& grad_out) {
+  Matrix grad_act = grad_out;
+  relu_backward(cache.activated, grad_act);
+  Matrix grad_z = bn_.backward(cache.bn, grad_act);
+  Matrix grad_propagated = linear_.backward(cache.propagated, grad_z);
+  Matrix grad_x;
+  spmm(adj, grad_propagated, grad_x);  // A_hat is symmetric
+  if (skip_) {
+    for (std::size_t i = 0; i < grad_x.data.size(); ++i) {
+      grad_x.data[i] += grad_out.data[i];
+    }
+  }
+  return grad_x;
+}
+
+void ConvBlock::collect_params(std::vector<Param*>& out) {
+  for (Param* p : linear_.params()) out.push_back(p);
+  for (Param* p : bn_.params()) out.push_back(p);
+}
+
+TotalCostModel::TotalCostModel(const GnnConfig& config, std::uint64_t seed)
+    : config_(config) {
+  util::Rng rng(seed);
+  branches_.resize(static_cast<std::size_t>(config.branches));
+  for (auto& branch : branches_) {
+    branch.push_back(std::make_unique<ConvBlock>(config.input_dim,
+                                                 config.hidden_dim, rng));
+    for (int b = 1; b + 1 < config.blocks; ++b) {
+      branch.push_back(std::make_unique<ConvBlock>(config.hidden_dim,
+                                                   config.hidden_dim, rng));
+    }
+    branch.push_back(std::make_unique<ConvBlock>(config.hidden_dim,
+                                                 config.conv_out_dim, rng));
+  }
+  head1_ = std::make_unique<Linear>(config.conv_out_dim, config.head_hidden_dim, rng);
+  head_bn_ = std::make_unique<BatchNorm>(config.head_hidden_dim);
+  head2_ = std::make_unique<Linear>(config.head_hidden_dim, 1, rng);
+}
+
+Matrix TotalCostModel::embed(const SparseRows& adj, const Matrix& features,
+                             bool training, EmbedCache& cache) {
+  return embed_batch({&adj}, {&features}, training, cache);
+}
+
+Matrix TotalCostModel::embed_batch(
+    const std::vector<const SparseRows*>& adjacencies,
+    const std::vector<const Matrix*>& features, bool training,
+    EmbedCache& cache) {
+  assert(!features.empty() && adjacencies.size() == features.size());
+  const int batch = static_cast<int>(features.size());
+
+  // Stack node features and adjacency block-diagonally.
+  int total_nodes = 0;
+  cache.graph_sizes.clear();
+  for (const Matrix* x : features) {
+    assert(x->cols == config_.input_dim);
+    cache.graph_sizes.push_back(x->rows);
+    total_nodes += x->rows;
+  }
+  Matrix stacked(total_nodes, config_.input_dim);
+  cache.combined_adj.assign(static_cast<std::size_t>(total_nodes), {});
+  int offset = 0;
+  for (int g = 0; g < batch; ++g) {
+    const Matrix& x = *features[g];
+    for (int r = 0; r < x.rows; ++r) {
+      std::copy(x.row(r), x.row(r) + x.cols, stacked.row(offset + r));
+      for (const auto& [col, w] :
+           (*adjacencies[static_cast<std::size_t>(g)])[static_cast<std::size_t>(r)]) {
+        cache.combined_adj[static_cast<std::size_t>(offset + r)].emplace_back(
+            col + offset, w);
+      }
+    }
+    offset += x.rows;
+  }
+
+  cache.branch_caches.assign(branches_.size(), {});
+  Matrix accumulated(total_nodes, config_.conv_out_dim);
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    cache.branch_caches[b].resize(branches_[b].size());
+    Matrix h = stacked;
+    for (std::size_t blk = 0; blk < branches_[b].size(); ++blk) {
+      h = branches_[b][blk]->forward(cache.combined_adj, h, training,
+                                     cache.branch_caches[b][blk]);
+    }
+    for (std::size_t i = 0; i < accumulated.data.size(); ++i) {
+      accumulated.data[i] += h.data[i];
+    }
+  }
+
+  // Per-graph mean pooling.
+  Matrix pooled(batch, config_.conv_out_dim);
+  offset = 0;
+  for (int g = 0; g < batch; ++g) {
+    const int n = cache.graph_sizes[static_cast<std::size_t>(g)];
+    for (int r = 0; r < n; ++r) {
+      const double* row = accumulated.row(offset + r);
+      for (int c = 0; c < accumulated.cols; ++c) pooled.at(g, c) += row[c];
+    }
+    for (int c = 0; c < pooled.cols; ++c) pooled.at(g, c) /= n;
+    offset += n;
+  }
+  return pooled;
+}
+
+void TotalCostModel::embed_backward(const EmbedCache& cache,
+                                    const Matrix& grad_embeddings) {
+  assert(grad_embeddings.rows == static_cast<int>(cache.graph_sizes.size()));
+  int total_nodes = 0;
+  for (const int n : cache.graph_sizes) total_nodes += n;
+
+  // Un-pool: node rows of graph g receive grad_g / N_g.
+  Matrix grad_sum(total_nodes, config_.conv_out_dim);
+  int offset = 0;
+  for (std::size_t g = 0; g < cache.graph_sizes.size(); ++g) {
+    const int n = cache.graph_sizes[g];
+    for (int r = 0; r < n; ++r) {
+      double* row = grad_sum.row(offset + r);
+      for (int c = 0; c < config_.conv_out_dim; ++c) {
+        row[c] = grad_embeddings.at(static_cast<int>(g), c) / n;
+      }
+    }
+    offset += n;
+  }
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    Matrix grad = grad_sum;
+    for (std::size_t blk = branches_[b].size(); blk-- > 0;) {
+      grad = branches_[b][blk]->backward(cache.combined_adj,
+                                         cache.branch_caches[b][blk], grad);
+    }
+  }
+}
+
+Matrix TotalCostModel::head_forward(const Matrix& embeddings, bool training,
+                                    HeadCache& cache) {
+  cache.embeddings = embeddings;
+  cache.hidden = head1_->forward(embeddings);
+  Matrix normed = head_bn_->forward(cache.hidden, training, cache.bn);
+  relu_inplace(normed);
+  cache.activated = normed;
+  return head2_->forward(normed);
+}
+
+Matrix TotalCostModel::head_backward(const HeadCache& cache,
+                                     const Matrix& grad_out) {
+  Matrix grad_act = head2_->backward(cache.activated, grad_out);
+  relu_backward(cache.activated, grad_act);
+  Matrix grad_hidden = head_bn_->backward(cache.bn, grad_act);
+  return head1_->backward(cache.embeddings, grad_hidden);
+}
+
+double TotalCostModel::predict(const SparseRows& adj, const Matrix& features) {
+  EmbedCache embed_cache;
+  const Matrix embedding = embed(adj, features, /*training=*/false, embed_cache);
+  HeadCache head_cache;
+  const Matrix out = head_forward(embedding, /*training=*/false, head_cache);
+  return out.at(0, 0);
+}
+
+std::vector<BatchNorm*> TotalCostModel::batch_norms() {
+  std::vector<BatchNorm*> out;
+  for (auto& branch : branches_) {
+    for (auto& block : branch) out.push_back(&block->batch_norm());
+  }
+  out.push_back(head_bn_.get());
+  return out;
+}
+
+std::vector<Param*> TotalCostModel::params() {
+  std::vector<Param*> out;
+  for (auto& branch : branches_) {
+    for (auto& block : branch) block->collect_params(out);
+  }
+  for (Param* p : head1_->params()) out.push_back(p);
+  for (Param* p : head_bn_->params()) out.push_back(p);
+  for (Param* p : head2_->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace ppacd::ml

@@ -1,0 +1,115 @@
+/// \file gnn.hpp
+/// \brief The Figure-4 GNN: 4 convolution branches x 3 hypergraph-conv
+/// blocks (35 -> 64 -> 64 -> 32, skip connection on the dimension-preserving
+/// block), branch accumulation, global mean pooling, and a 32 -> 64 -> 1
+/// prediction head with batch norm -- predicting a cluster shape's TotalCost.
+///
+/// Hypergraph convolution [3] reduces, on the clique-expanded cluster graph
+/// with symmetric normalization, to X' = A_hat X W; that is what each block
+/// computes, followed by batch norm and ReLU.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/layers.hpp"
+#include "ml/tensor.hpp"
+
+namespace ppacd::ml {
+
+struct GnnConfig {
+  int input_dim = 35;
+  int hidden_dim = 64;
+  int conv_out_dim = 32;
+  int head_hidden_dim = 64;
+  int branches = 4;
+  int blocks = 3;  ///< fixed topology: in->hidden, hidden->hidden, hidden->out
+};
+
+/// One convolution block: Z = (A_hat X) W + b, then BN, ReLU, and a skip
+/// connection when in_dim == out_dim.
+class ConvBlock {
+ public:
+  ConvBlock(int in_dim, int out_dim, util::Rng& rng)
+      : linear_(in_dim, out_dim, rng), bn_(out_dim), skip_(in_dim == out_dim) {}
+
+  struct Cache {
+    Matrix x_in;
+    Matrix propagated;  ///< A_hat X
+    Matrix activated;   ///< post-ReLU (pre-skip)
+    BatchNorm::Cache bn;
+  };
+
+  Matrix forward(const SparseRows& adj, const Matrix& x, bool training,
+                 Cache& cache);
+  /// Returns dX; accumulates parameter gradients.
+  Matrix backward(const SparseRows& adj, const Cache& cache,
+                  const Matrix& grad_out);
+
+  void collect_params(std::vector<Param*>& out);
+  BatchNorm& batch_norm() { return bn_; }
+
+ private:
+  Linear linear_;
+  BatchNorm bn_;
+  bool skip_;
+};
+
+/// The full TotalCost model.
+class TotalCostModel {
+ public:
+  TotalCostModel(const GnnConfig& config, std::uint64_t seed);
+
+  struct EmbedCache {
+    std::vector<std::vector<ConvBlock::Cache>> branch_caches;  ///< [branch][block]
+    std::vector<int> graph_sizes;  ///< nodes per graph in the batch
+    SparseRows combined_adj;       ///< block-diagonal adjacency of the batch
+  };
+
+  /// Graph -> pooled embedding (1 x conv_out_dim).
+  Matrix embed(const SparseRows& adj, const Matrix& features, bool training,
+               EmbedCache& cache);
+
+  /// Batched embedding: stacks the graphs block-diagonally so batch norm
+  /// sees node statistics across the whole minibatch (PyG semantics; with
+  /// per-graph batches, graph-constant feature columns would have zero
+  /// batch variance and eval-mode statistics would diverge). Returns
+  /// B x conv_out_dim pooled embeddings.
+  Matrix embed_batch(const std::vector<const SparseRows*>& adjacencies,
+                     const std::vector<const Matrix*>& features, bool training,
+                     EmbedCache& cache);
+
+  /// Backward through pooling and all branches (no input gradient needed).
+  /// `grad_embeddings` is B x conv_out_dim, matching embed_batch's output
+  /// (or 1 x conv_out_dim after embed()).
+  void embed_backward(const EmbedCache& cache, const Matrix& grad_embeddings);
+
+  struct HeadCache {
+    Matrix embeddings;  ///< B x conv_out
+    Matrix hidden;      ///< B x head_hidden (pre-BN)
+    Matrix activated;   ///< post-ReLU
+    BatchNorm::Cache bn;
+  };
+
+  /// Batched head: embeddings (B x conv_out) -> predictions (B x 1).
+  Matrix head_forward(const Matrix& embeddings, bool training, HeadCache& cache);
+  /// Returns d(embeddings).
+  Matrix head_backward(const HeadCache& cache, const Matrix& grad_out);
+
+  /// Convenience single-sample inference (eval mode).
+  double predict(const SparseRows& adj, const Matrix& features);
+
+  std::vector<Param*> params();
+  /// All batch-norm layers, in a stable order (for state serialization).
+  std::vector<BatchNorm*> batch_norms();
+  const GnnConfig& config() const { return config_; }
+
+ private:
+  GnnConfig config_;
+  std::vector<std::vector<std::unique_ptr<ConvBlock>>> branches_;
+  std::unique_ptr<Linear> head1_;
+  std::unique_ptr<BatchNorm> head_bn_;
+  std::unique_ptr<Linear> head2_;
+};
+
+}  // namespace ppacd::ml

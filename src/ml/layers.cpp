@@ -1,0 +1,157 @@
+#include "ml/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppacd::ml {
+
+Linear::Linear(int in_dim, int out_dim, util::Rng& rng)
+    : in_(in_dim), out_(out_dim) {
+  w_.init(static_cast<std::size_t>(in_dim) * out_dim);
+  b_.init(static_cast<std::size_t>(out_dim));
+  const double bound = std::sqrt(6.0 / (in_dim + out_dim));
+  for (double& v : w_.value) v = rng.uniform(-bound, bound);
+}
+
+Matrix Linear::forward(const Matrix& x) const {
+  assert(x.cols == in_);
+  Matrix w_mat;
+  w_mat.rows = in_;
+  w_mat.cols = out_;
+  w_mat.data = w_.value;  // copy is small; avoids exposing Param internals
+  Matrix out;
+  matmul(x, w_mat, out);
+  for (int r = 0; r < out.rows; ++r) {
+    double* row = out.row(r);
+    for (int c = 0; c < out_; ++c) row[c] += b_.value[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+Matrix Linear::backward(const Matrix& x, const Matrix& grad_out) {
+  assert(grad_out.cols == out_ && x.cols == in_ && x.rows == grad_out.rows);
+  // dW += X^T dY.
+  Matrix dw;
+  matmul_at_b(x, grad_out, dw);
+  for (std::size_t i = 0; i < w_.grad.size(); ++i) w_.grad[i] += dw.data[i];
+  // db += column sums of dY.
+  for (int r = 0; r < grad_out.rows; ++r) {
+    const double* row = grad_out.row(r);
+    for (int c = 0; c < out_; ++c) b_.grad[static_cast<std::size_t>(c)] += row[c];
+  }
+  // dX = dY W^T.
+  Matrix w_mat;
+  w_mat.rows = in_;
+  w_mat.cols = out_;
+  w_mat.data = w_.value;
+  Matrix dx;
+  matmul_a_bt(grad_out, w_mat, dx);
+  return dx;
+}
+
+BatchNorm::BatchNorm(int dim) : dim_(dim) {
+  gamma_.init(static_cast<std::size_t>(dim), 1.0);
+  beta_.init(static_cast<std::size_t>(dim), 0.0);
+  running_mean_.assign(static_cast<std::size_t>(dim), 0.0);
+  running_var_.assign(static_cast<std::size_t>(dim), 1.0);
+}
+
+Matrix BatchNorm::forward(const Matrix& x, bool training, Cache& cache) {
+  assert(x.cols == dim_);
+  const int n = x.rows;
+  Matrix out(n, dim_);
+  cache.x_hat = Matrix(n, dim_);
+  cache.inv_std.assign(static_cast<std::size_t>(dim_), 1.0);
+  cache.used_batch_stats = training && n > 1;
+
+  for (int c = 0; c < dim_; ++c) {
+    double mean;
+    double var;
+    if (training && n > 1) {
+      mean = 0.0;
+      for (int r = 0; r < n; ++r) mean += x.at(r, c);
+      mean /= n;
+      var = 0.0;
+      for (int r = 0; r < n; ++r) {
+        const double d = x.at(r, c) - mean;
+        var += d * d;
+      }
+      var /= n;
+      running_mean_[static_cast<std::size_t>(c)] =
+          (1.0 - momentum_) * running_mean_[static_cast<std::size_t>(c)] +
+          momentum_ * mean;
+      running_var_[static_cast<std::size_t>(c)] =
+          (1.0 - momentum_) * running_var_[static_cast<std::size_t>(c)] +
+          momentum_ * var;
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + kEps);
+    cache.inv_std[static_cast<std::size_t>(c)] = inv_std;
+    const double g = gamma_.value[static_cast<std::size_t>(c)];
+    const double b = beta_.value[static_cast<std::size_t>(c)];
+    for (int r = 0; r < n; ++r) {
+      const double xh = (x.at(r, c) - mean) * inv_std;
+      cache.x_hat.at(r, c) = xh;
+      out.at(r, c) = g * xh + b;
+    }
+  }
+  return out;
+}
+
+Matrix BatchNorm::backward(const Cache& cache, const Matrix& grad_out) {
+  const int n = grad_out.rows;
+  Matrix dx(n, dim_);
+  for (int c = 0; c < dim_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double dy = grad_out.at(r, c);
+      sum_dy += dy;
+      sum_dy_xhat += dy * cache.x_hat.at(r, c);
+    }
+    gamma_.grad[static_cast<std::size_t>(c)] += sum_dy_xhat;
+    beta_.grad[static_cast<std::size_t>(c)] += sum_dy;
+    const double g = gamma_.value[static_cast<std::size_t>(c)];
+    const double inv_std = cache.inv_std[static_cast<std::size_t>(c)];
+    if (cache.used_batch_stats) {
+      for (int r = 0; r < n; ++r) {
+        const double dy = grad_out.at(r, c);
+        dx.at(r, c) = g * inv_std / n *
+                      (n * dy - sum_dy - cache.x_hat.at(r, c) * sum_dy_xhat);
+      }
+    } else {
+      // Eval-mode pass: running statistics are constants.
+      for (int r = 0; r < n; ++r) {
+        dx.at(r, c) = g * inv_std * grad_out.at(r, c);
+      }
+    }
+  }
+  return dx;
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params_) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i];
+      p->m[i] = beta1_ * p->m[i] + (1.0 - beta1_) * g;
+      p->v[i] = beta2_ * p->v[i] + (1.0 - beta2_) * g * g;
+      const double m_hat = p->m[i] / bc1;
+      const double v_hat = p->v[i] / bc2;
+      p->value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) {
+    std::fill(p->grad.begin(), p->grad.end(), 0.0);
+  }
+}
+
+}  // namespace ppacd::ml

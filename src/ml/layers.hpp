@@ -1,0 +1,106 @@
+/// \file layers.hpp
+/// \brief Trainable layers with explicit gradients, plus the Adam optimizer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ppacd::ml {
+
+/// One trainable parameter tensor with gradient and Adam state.
+struct Param {
+  std::vector<double> value;
+  std::vector<double> grad;
+  std::vector<double> m;  ///< Adam first moment
+  std::vector<double> v;  ///< Adam second moment
+
+  void init(std::size_t size, double val = 0.0) {
+    value.assign(size, val);
+    grad.assign(size, 0.0);
+    m.assign(size, 0.0);
+    v.assign(size, 0.0);
+  }
+};
+
+/// Fully connected layer Y = X W + b with Glorot-uniform init.
+class Linear {
+ public:
+  Linear(int in_dim, int out_dim, util::Rng& rng);
+
+  /// Forward; caches nothing (caller keeps X for backward).
+  Matrix forward(const Matrix& x) const;
+
+  /// Accumulates dW/db and returns dX.
+  Matrix backward(const Matrix& x, const Matrix& grad_out);
+
+  std::vector<Param*> params() { return {&w_, &b_}; }
+  int in_dim() const { return in_; }
+  int out_dim() const { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  Param w_;  ///< in x out row-major
+  Param b_;  ///< out
+};
+
+/// 1-D batch normalization over rows (each row = one sample/node).
+class BatchNorm {
+ public:
+  explicit BatchNorm(int dim);
+
+  struct Cache {
+    Matrix x_hat;
+    std::vector<double> inv_std;
+    bool used_batch_stats = false;  ///< which formula backward must apply
+  };
+
+  /// `training` uses batch statistics and updates running stats; otherwise
+  /// the running statistics are applied.
+  Matrix forward(const Matrix& x, bool training, Cache& cache);
+  Matrix backward(const Cache& cache, const Matrix& grad_out);
+
+  std::vector<Param*> params() { return {&gamma_, &beta_}; }
+
+  // Running statistics (not trainable, but part of the inference state).
+  const std::vector<double>& running_mean() const { return running_mean_; }
+  const std::vector<double>& running_var() const { return running_var_; }
+  void set_running_stats(std::vector<double> mean, std::vector<double> var) {
+    running_mean_ = std::move(mean);
+    running_var_ = std::move(var);
+  }
+
+ private:
+  int dim_;
+  Param gamma_;
+  Param beta_;
+  std::vector<double> running_mean_;
+  std::vector<double> running_var_;
+  double momentum_ = 0.1;
+  static constexpr double kEps = 1e-5;
+};
+
+/// Adam optimizer over a set of Params.
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, double lr = 1e-3)
+      : params_(std::move(params)), lr_(lr) {}
+
+  /// Applies one update from the accumulated gradients, then clears them.
+  void step();
+  void zero_grad();
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  double lr_;
+  double beta1_ = 0.9;
+  double beta2_ = 0.999;
+  double eps_ = 1e-8;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace ppacd::ml

@@ -1,0 +1,140 @@
+#include "ml/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ppacd::ml {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'A', 'C', 'D', 'M', 'L', '1'};
+
+void write_i32(std::ostream& out, std::int32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_vec(std::ostream& out, const std::vector<double>& v) {
+  write_i32(out, static_cast<std::int32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool read_i32(std::istream& in, std::int32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool read_f64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool read_vec(std::istream& in, std::vector<double>* v) {
+  std::int32_t size = 0;
+  if (!read_i32(in, &size) || size < 0 || size > (1 << 26)) return false;
+  v->resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(v->size() * sizeof(double)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+void save_model(const TrainedModel& model, const GnnConfig& config,
+                std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_i32(out, config.input_dim);
+  write_i32(out, config.hidden_dim);
+  write_i32(out, config.conv_out_dim);
+  write_i32(out, config.head_hidden_dim);
+  write_i32(out, config.branches);
+  write_i32(out, config.blocks);
+  write_vec(out, model.feature_mean());
+  write_vec(out, model.feature_std());
+  write_f64(out, model.label_mean());
+  write_f64(out, model.label_std());
+
+  const auto params = model.network()->params();
+  write_i32(out, static_cast<std::int32_t>(params.size()));
+  for (const Param* p : params) write_vec(out, p->value);
+
+  const auto norms = model.network()->batch_norms();
+  write_i32(out, static_cast<std::int32_t>(norms.size()));
+  for (BatchNorm* bn : norms) {
+    write_vec(out, bn->running_mean());
+    write_vec(out, bn->running_var());
+  }
+}
+
+bool save_model_file(const TrainedModel& model, const GnnConfig& config,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_model(model, config, out);
+  return static_cast<bool>(out);
+}
+
+std::shared_ptr<TrainedModel> load_model(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return nullptr;
+
+  GnnConfig config;
+  if (!read_i32(in, &config.input_dim) || !read_i32(in, &config.hidden_dim) ||
+      !read_i32(in, &config.conv_out_dim) ||
+      !read_i32(in, &config.head_hidden_dim) || !read_i32(in, &config.branches) ||
+      !read_i32(in, &config.blocks)) {
+    return nullptr;
+  }
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  double label_mean = 0.0;
+  double label_std = 1.0;
+  if (!read_vec(in, &mean) || !read_vec(in, &stddev) ||
+      !read_f64(in, &label_mean) || !read_f64(in, &label_std)) {
+    return nullptr;
+  }
+
+  auto network = std::make_shared<TotalCostModel>(config, /*seed=*/0);
+  const auto params = network->params();
+  std::int32_t count = 0;
+  if (!read_i32(in, &count) ||
+      count != static_cast<std::int32_t>(params.size())) {
+    return nullptr;
+  }
+  for (Param* p : params) {
+    std::vector<double> values;
+    if (!read_vec(in, &values) || values.size() != p->value.size()) return nullptr;
+    p->value = std::move(values);
+  }
+
+  const auto norms = network->batch_norms();
+  std::int32_t norm_count = 0;
+  if (!read_i32(in, &norm_count) ||
+      norm_count != static_cast<std::int32_t>(norms.size())) {
+    return nullptr;
+  }
+  for (BatchNorm* bn : norms) {
+    std::vector<double> running_mean;
+    std::vector<double> running_var;
+    if (!read_vec(in, &running_mean) || !read_vec(in, &running_var)) return nullptr;
+    bn->set_running_stats(std::move(running_mean), std::move(running_var));
+  }
+  return std::make_shared<TrainedModel>(network, std::move(mean),
+                                        std::move(stddev), label_mean, label_std);
+}
+
+std::shared_ptr<TrainedModel> load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  return load_model(in);
+}
+
+}  // namespace ppacd::ml

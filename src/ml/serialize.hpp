@@ -1,0 +1,30 @@
+/// \file serialize.hpp
+/// \brief TotalCost model persistence.
+///
+/// The paper's ML acceleration has a "one-time training cost"; persisting
+/// the trained model makes that literal: bench_table6 and users of the
+/// ML-accelerated flow can load a model trained earlier instead of
+/// regenerating V-P&R labels and retraining. The format is a versioned
+/// little-endian binary blob: config, feature/label scalers, then every
+/// parameter tensor in params() order.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ml/trainer.hpp"
+
+namespace ppacd::ml {
+
+/// Serializes a trained model (architecture config + scalers + weights).
+void save_model(const TrainedModel& model, const GnnConfig& config,
+                std::ostream& out);
+bool save_model_file(const TrainedModel& model, const GnnConfig& config,
+                     const std::string& path);
+
+/// Restores a model saved by save_model; nullptr on malformed input.
+std::shared_ptr<TrainedModel> load_model(std::istream& in);
+std::shared_ptr<TrainedModel> load_model_file(const std::string& path);
+
+}  // namespace ppacd::ml

@@ -1,0 +1,75 @@
+#include "ml/tensor.hpp"
+
+namespace ppacd::ml {
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols == b.rows);
+  out = Matrix(a.rows, b.cols);
+  for (int i = 0; i < a.rows; ++i) {
+    double* out_row = out.row(i);
+    const double* a_row = a.row(i);
+    for (int k = 0; k < a.cols; ++k) {
+      const double av = a_row[k];
+      if (av == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (int j = 0; j < b.cols; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows == b.rows);
+  out = Matrix(a.cols, b.cols);
+  for (int k = 0; k < a.rows; ++k) {
+    const double* a_row = a.row(k);
+    const double* b_row = b.row(k);
+    for (int i = 0; i < a.cols; ++i) {
+      const double av = a_row[i];
+      if (av == 0.0) continue;
+      double* out_row = out.row(i);
+      for (int j = 0; j < b.cols; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols == b.cols);
+  out = Matrix(a.rows, b.rows);
+  for (int i = 0; i < a.rows; ++i) {
+    const double* a_row = a.row(i);
+    double* out_row = out.row(i);
+    for (int j = 0; j < b.rows; ++j) {
+      const double* b_row = b.row(j);
+      double sum = 0.0;
+      for (int k = 0; k < a.cols; ++k) sum += a_row[k] * b_row[k];
+      out_row[j] = sum;
+    }
+  }
+}
+
+void spmm(const SparseRows& adjacency, const Matrix& x, Matrix& out) {
+  assert(static_cast<int>(adjacency.size()) == x.rows);
+  out = Matrix(x.rows, x.cols);
+  for (int i = 0; i < x.rows; ++i) {
+    double* out_row = out.row(i);
+    for (const auto& [j, w] : adjacency[static_cast<std::size_t>(i)]) {
+      const double* x_row = x.row(j);
+      for (int c = 0; c < x.cols; ++c) out_row[c] += w * x_row[c];
+    }
+  }
+}
+
+void relu_inplace(Matrix& x) {
+  for (double& v : x.data) {
+    if (v < 0.0) v = 0.0;
+  }
+}
+
+void relu_backward(const Matrix& activated, Matrix& grad) {
+  assert(activated.data.size() == grad.data.size());
+  for (std::size_t i = 0; i < grad.data.size(); ++i) {
+    if (activated.data[i] <= 0.0) grad.data[i] = 0.0;
+  }
+}
+
+}  // namespace ppacd::ml

@@ -1,0 +1,51 @@
+/// \file tensor.hpp
+/// \brief Minimal dense matrix type and kernels for the GNN (PyTorch
+/// Geometric substitute). Everything is double-precision and row-major;
+/// kernels are written cache-friendly (i-k-j) since training the Fig. 4
+/// model from scratch is the dominant cost of bench_model_eval.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ppacd::ml {
+
+/// Row-major matrix.
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> data;
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c, 0.0) {}
+
+  double& at(int r, int c) { return data[static_cast<std::size_t>(r) * cols + c]; }
+  double at(int r, int c) const { return data[static_cast<std::size_t>(r) * cols + c]; }
+  double* row(int r) { return data.data() + static_cast<std::size_t>(r) * cols; }
+  const double* row(int r) const { return data.data() + static_cast<std::size_t>(r) * cols; }
+
+  void zero() { std::fill(data.begin(), data.end(), 0.0); }
+};
+
+/// out = a * b  (a: n x k, b: k x m).
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b  (a: k x n, b: k x m -> out n x m).
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T  (a: n x k, b: m x k -> out n x m).
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Sparse symmetric adjacency (per-row (col, weight)) times dense matrix.
+using SparseRows = std::vector<std::vector<std::pair<std::int32_t, double>>>;
+void spmm(const SparseRows& adjacency, const Matrix& x, Matrix& out);
+
+/// ReLU forward in place; returns mask usable for backward.
+void relu_inplace(Matrix& x);
+/// dX = dY where Y > 0 (Y is the post-ReLU activation).
+void relu_backward(const Matrix& activated, Matrix& grad);
+
+}  // namespace ppacd::ml

@@ -1,0 +1,271 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ppacd::ml {
+
+namespace {
+
+constexpr int kDim = features::kFeatureDim;
+
+/// (cluster, shape) index pair.
+struct SampleRef {
+  std::int32_t cluster;
+  std::int32_t shape;
+};
+
+Matrix build_features(const features::ClusterGraph& graph,
+                      const cluster::ClusterShape& shape,
+                      const std::vector<double>& mean,
+                      const std::vector<double>& stddev) {
+  Matrix x(graph.node_count, kDim);
+  for (std::int32_t v = 0; v < graph.node_count; ++v) {
+    for (int c = 0; c < kDim; ++c) {
+      double value = graph.feature(v, c);
+      if (c == features::kShapeUtilSlot) value = shape.utilization;
+      if (c == features::kShapeAspectSlot) value = shape.aspect_ratio;
+      x.at(v, c) = (value - mean[static_cast<std::size_t>(c)]) /
+                   stddev[static_cast<std::size_t>(c)];
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+TrainedModel::TrainedModel(std::shared_ptr<TotalCostModel> model,
+                           std::vector<double> feature_mean,
+                           std::vector<double> feature_std, double label_mean,
+                           double label_std)
+    : model_(std::move(model)), mean_(std::move(feature_mean)),
+      std_(std::move(feature_std)), label_mean_(label_mean),
+      label_std_(label_std) {}
+
+Matrix TrainedModel::standardized_features(
+    const features::ClusterGraph& graph,
+    const cluster::ClusterShape& shape) const {
+  return build_features(graph, shape, mean_, std_);
+}
+
+double TrainedModel::predict(const features::ClusterGraph& graph,
+                             const cluster::ClusterShape& shape) const {
+  const Matrix x = standardized_features(graph, shape);
+  return model_->predict(graph.adjacency, x) * label_std_ + label_mean_;
+}
+
+vpr::ShapeCostPredictor TrainedModel::predictor(
+    const features::FeatureOptions& feature_options) const {
+  // The closure copies this object's state so it outlives the TrainedModel.
+  auto model = model_;
+  auto mean = mean_;
+  auto stddev = std_;
+  const double label_mean = label_mean_;
+  const double label_std = label_std_;
+  return [model, mean, stddev, label_mean, label_std, feature_options](
+             const netlist::Netlist& subnetlist,
+             const std::vector<cluster::ClusterShape>& candidates) {
+    const features::ClusterGraph graph =
+        features::extract_cluster_graph(subnetlist, feature_options);
+    std::vector<double> costs;
+    costs.reserve(candidates.size());
+    for (const cluster::ClusterShape& shape : candidates) {
+      Matrix x(graph.node_count, kDim);
+      for (std::int32_t v = 0; v < graph.node_count; ++v) {
+        for (int c = 0; c < kDim; ++c) {
+          double value = graph.feature(v, c);
+          if (c == features::kShapeUtilSlot) value = shape.utilization;
+          if (c == features::kShapeAspectSlot) value = shape.aspect_ratio;
+          x.at(v, c) = (value - mean[static_cast<std::size_t>(c)]) /
+                       stddev[static_cast<std::size_t>(c)];
+        }
+      }
+      costs.push_back(model->predict(graph.adjacency, x) * label_std + label_mean);
+    }
+    return costs;
+  };
+}
+
+TrainResult train_total_cost_model(const Dataset& dataset,
+                                   const TrainOptions& options) {
+  TrainResult result;
+  assert(!dataset.clusters.empty());
+  util::Rng rng(options.seed);
+
+  // --- Split by cluster -------------------------------------------------------
+  const std::size_t n_clusters = dataset.clusters.size();
+  std::vector<std::size_t> order = rng.permutation(n_clusters);
+  // Keep at least one cluster in every split when there are >= 3 clusters.
+  std::size_t n_train = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.train_fraction * n_clusters));
+  if (n_clusters >= 3) n_train = std::min(n_train, n_clusters - 2);
+  std::size_t n_val = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.val_fraction * n_clusters));
+  if (n_clusters >= 2) n_val = std::min(n_val, n_clusters - n_train - (n_clusters >= 3 ? 1 : 0));
+  std::vector<int> split(n_clusters, 2);  // 0 train, 1 val, 2 test
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train) split[order[i]] = 0;
+    else if (i < n_train + n_val) split[order[i]] = 1;
+  }
+
+  // --- Feature scaler from the training clusters ------------------------------
+  std::vector<double> mean(kDim, 0.0);
+  std::vector<double> stddev(kDim, 1.0);
+  {
+    std::vector<double> sum(kDim, 0.0);
+    std::vector<double> sum_sq(kDim, 0.0);
+    std::size_t rows = 0;
+    for (std::size_t ci = 0; ci < n_clusters; ++ci) {
+      if (split[ci] != 0) continue;
+      const features::ClusterGraph& g = dataset.clusters[ci].graph;
+      for (std::int32_t v = 0; v < g.node_count; ++v) {
+        for (int c = 2; c < kDim; ++c) {
+          const double value = g.feature(v, c);
+          sum[static_cast<std::size_t>(c)] += value;
+          sum_sq[static_cast<std::size_t>(c)] += value * value;
+        }
+        ++rows;
+      }
+    }
+    for (int c = 2; c < kDim; ++c) {
+      mean[static_cast<std::size_t>(c)] = sum[static_cast<std::size_t>(c)] / rows;
+      const double var = sum_sq[static_cast<std::size_t>(c)] / rows -
+                         mean[static_cast<std::size_t>(c)] * mean[static_cast<std::size_t>(c)];
+      stddev[static_cast<std::size_t>(c)] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    }
+    // Shape slots: scale from the candidate list.
+    std::vector<double> utils;
+    std::vector<double> ars;
+    for (const auto& s : dataset.shapes) {
+      utils.push_back(s.utilization);
+      ars.push_back(s.aspect_ratio);
+    }
+    mean[features::kShapeUtilSlot] = util::mean(utils);
+    stddev[features::kShapeUtilSlot] = std::max(util::stddev(utils), 1e-3);
+    mean[features::kShapeAspectSlot] = util::mean(ars);
+    stddev[features::kShapeAspectSlot] = std::max(util::stddev(ars), 1e-3);
+  }
+
+  // --- Label statistics --------------------------------------------------------
+  {
+    std::vector<double> labels;
+    for (const ClusterSample& s : dataset.clusters) {
+      labels.insert(labels.end(), s.labels.begin(), s.labels.end());
+    }
+    const util::Summary summary = util::summarize(labels);
+    result.labels = {summary.min, summary.max, summary.mean, summary.stddev};
+  }
+
+  // --- Target standardization (training-split statistics) ---------------------
+  double label_mean = 0.0;
+  double label_std = 1.0;
+  {
+    std::vector<double> train_labels;
+    for (std::size_t ci = 0; ci < n_clusters; ++ci) {
+      if (split[ci] != 0) continue;
+      const auto& labels = dataset.clusters[ci].labels;
+      train_labels.insert(train_labels.end(), labels.begin(), labels.end());
+    }
+    label_mean = util::mean(train_labels);
+    label_std = std::max(util::stddev(train_labels), 1e-6);
+  }
+
+  // --- Training ----------------------------------------------------------------
+  auto model = std::make_shared<TotalCostModel>(GnnConfig{}, rng.engine()());
+  Adam adam(model->params(), options.learning_rate);
+
+  std::vector<SampleRef> train_samples;
+  for (std::size_t ci = 0; ci < n_clusters; ++ci) {
+    if (split[ci] != 0) continue;
+    for (std::size_t si = 0; si < dataset.shapes.size(); ++si) {
+      train_samples.push_back({static_cast<std::int32_t>(ci),
+                               static_cast<std::int32_t>(si)});
+    }
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(train_samples);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < train_samples.size();
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end = std::min(
+          train_samples.size(), start + static_cast<std::size_t>(options.batch_size));
+      const int batch = static_cast<int>(end - start);
+      if (batch < 2) continue;  // head batch-norm needs > 1 sample
+
+      std::vector<Matrix> feature_store;
+      feature_store.reserve(static_cast<std::size_t>(batch));
+      std::vector<const SparseRows*> adjacencies;
+      std::vector<const Matrix*> feature_ptrs;
+      Matrix targets(batch, 1);
+      for (int i = 0; i < batch; ++i) {
+        const SampleRef& ref = train_samples[start + static_cast<std::size_t>(i)];
+        const ClusterSample& sample =
+            dataset.clusters[static_cast<std::size_t>(ref.cluster)];
+        feature_store.push_back(build_features(
+            sample.graph, dataset.shapes[static_cast<std::size_t>(ref.shape)],
+            mean, stddev));
+        adjacencies.push_back(&sample.graph.adjacency);
+        targets.at(i, 0) =
+            (sample.labels[static_cast<std::size_t>(ref.shape)] - label_mean) /
+            label_std;
+      }
+      for (const Matrix& x : feature_store) feature_ptrs.push_back(&x);
+      TotalCostModel::EmbedCache embed_cache;
+      const Matrix embeddings =
+          model->embed_batch(adjacencies, feature_ptrs, true, embed_cache);
+
+      TotalCostModel::HeadCache head_cache;
+      const Matrix out = model->head_forward(embeddings, true, head_cache);
+      Matrix grad_out(batch, 1);
+      double loss = 0.0;
+      for (int i = 0; i < batch; ++i) {
+        const double err = out.at(i, 0) - targets.at(i, 0);
+        loss += err * err;
+        grad_out.at(i, 0) = 2.0 * err / batch;
+      }
+      epoch_loss += loss / batch;
+      ++batches;
+
+      const Matrix grad_embeddings = model->head_backward(head_cache, grad_out);
+      model->embed_backward(embed_cache, grad_embeddings);
+      adam.step();
+    }
+    ++result.epochs_run;
+    PPACD_LOG_DEBUG("train") << "epoch " << epoch << " mse "
+                             << (batches > 0 ? epoch_loss / batches : 0.0);
+  }
+
+  // --- Evaluation ----------------------------------------------------------------
+  result.model = std::make_shared<TrainedModel>(model, mean, stddev, label_mean,
+                                                label_std);
+  auto evaluate = [&](int which) {
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    for (std::size_t ci = 0; ci < n_clusters; ++ci) {
+      if (split[ci] != which) continue;
+      const ClusterSample& sample = dataset.clusters[ci];
+      for (std::size_t si = 0; si < dataset.shapes.size(); ++si) {
+        predicted.push_back(result.model->predict(sample.graph, dataset.shapes[si]));
+        actual.push_back(sample.labels[si]);
+      }
+    }
+    SplitMetrics metrics;
+    metrics.sample_count = predicted.size();
+    metrics.mae = util::mean_absolute_error(predicted, actual);
+    metrics.r2 = util::r2_score(predicted, actual);
+    return metrics;
+  };
+  result.train = evaluate(0);
+  result.val = evaluate(1);
+  result.test = evaluate(2);
+  return result;
+}
+
+}  // namespace ppacd::ml

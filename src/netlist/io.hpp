@@ -1,0 +1,56 @@
+/// \file io.hpp
+/// \brief Netlist and placement interchange.
+///
+/// The paper's flow reads .v/.def; this module provides the equivalent
+/// surface for this library:
+///   * write_verilog / read_verilog: gate-level structural Verilog over the
+///     library's cells. The subset covers what the writer emits -- one
+///     module, `input/output/wire` declarations, and named-connection
+///     instantiations. Hierarchy is encoded in escaped instance names
+///     (\core0/alu/g42) and restored on read.
+///   * write_placement_def / read_placement_def: a DEF-like COMPONENTS
+///     section carrying placed cell locations (microns), for handing
+///     placements between tools or sessions.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppacd::netlist {
+
+/// Writes gate-level structural Verilog. Every net becomes a wire named
+/// after the netlist net; ports keep their names.
+void write_verilog(const Netlist& netlist, std::ostream& out);
+
+/// Parse errors carry a line number and message.
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Reads the structural-Verilog subset produced by write_verilog. Returns
+/// nullopt and fills `error` (if non-null) on malformed input. Instance
+/// names containing '/' re-create the module hierarchy.
+std::optional<Netlist> read_verilog(std::istream& in,
+                                    const liberty::Library& library,
+                                    ParseError* error = nullptr);
+
+/// Writes a DEF-like placement: DESIGN, DIEAREA, and one COMPONENTS entry
+/// per cell with its center in microns.
+void write_placement_def(const Netlist& netlist,
+                         const std::vector<geom::Point>& positions,
+                         const geom::Rect& die, std::ostream& out);
+
+/// Reads a placement written by write_placement_def back into positions
+/// (indexed by CellId, matched by cell name). Cells missing from the file
+/// keep (0,0). Returns false on malformed input or unknown cells.
+bool read_placement_def(std::istream& in, const Netlist& netlist,
+                        std::vector<geom::Point>* positions,
+                        ParseError* error = nullptr);
+
+}  // namespace ppacd::netlist

@@ -1,0 +1,212 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace ppacd::netlist {
+
+Netlist::Netlist(const liberty::Library& lib, std::string name)
+    : lib_(&lib), name_(std::move(name)) {
+  Module root;
+  root.id = 0;
+  root.name = name_;
+  modules_.push_back(std::move(root));
+}
+
+ModuleId Netlist::add_module(std::string name, ModuleId parent) {
+  assert(parent >= 0 && static_cast<std::size_t>(parent) < modules_.size());
+  Module mod;
+  mod.id = static_cast<ModuleId>(modules_.size());
+  mod.name = std::move(name);
+  mod.parent = parent;
+  modules_.push_back(std::move(mod));
+  modules_[static_cast<std::size_t>(parent)].children.push_back(modules_.back().id);
+  return modules_.back().id;
+}
+
+std::string Netlist::module_path(ModuleId id) const {
+  std::vector<const std::string*> parts;
+  for (ModuleId m = id; m != kInvalidId; m = module(m).parent) {
+    parts.push_back(&module(m).name);
+  }
+  std::string path;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!path.empty()) path.push_back('/');
+    path += **it;
+  }
+  return path;
+}
+
+CellId Netlist::add_cell(std::string name, liberty::LibCellId lib_cell,
+                         ModuleId module_id) {
+  assert(module_id >= 0 && static_cast<std::size_t>(module_id) < modules_.size());
+  const liberty::LibCell& lc = lib_->cell(lib_cell);
+  Cell cell;
+  cell.id = static_cast<CellId>(cells_.size());
+  cell.name = std::move(name);
+  cell.lib_cell = lib_cell;
+  cell.module = module_id;
+  for (std::size_t i = 0; i < lc.pins.size(); ++i) {
+    Pin pin;
+    pin.id = static_cast<PinId>(pins_.size());
+    pin.kind = PinKind::kCellPin;
+    pin.cell = cell.id;
+    pin.lib_pin = static_cast<int>(i);
+    pin.dir = lc.pins[i].dir;
+    pin.is_clock = lc.pins[i].is_clock;
+    cell.pins.push_back(pin.id);
+    pins_.push_back(pin);
+  }
+  modules_[static_cast<std::size_t>(module_id)].cells.push_back(cell.id);
+  cells_.push_back(std::move(cell));
+  return cells_.back().id;
+}
+
+PortId Netlist::add_port(std::string name, liberty::PinDir dir) {
+  Port port;
+  port.id = static_cast<PortId>(ports_.size());
+  port.name = std::move(name);
+  port.dir = dir;
+
+  Pin pin;
+  pin.id = static_cast<PinId>(pins_.size());
+  pin.kind = PinKind::kTopPort;
+  pin.port = port.id;
+  // Seen from inside the chip an input port drives, so flip the direction:
+  // input port -> output pin (driver), output port -> input pin (sink).
+  pin.dir = dir == liberty::PinDir::kInput ? liberty::PinDir::kOutput
+                                           : liberty::PinDir::kInput;
+  port.pin = pin.id;
+  pins_.push_back(pin);
+  ports_.push_back(std::move(port));
+  return ports_.back().id;
+}
+
+NetId Netlist::add_net(std::string name) {
+  Net net;
+  net.id = static_cast<NetId>(nets_.size());
+  net.name = std::move(name);
+  nets_.push_back(std::move(net));
+  return nets_.back().id;
+}
+
+void Netlist::connect(NetId net_id, PinId pin_id) {
+  Net& net = nets_.at(static_cast<std::size_t>(net_id));
+  Pin& pin = pins_.at(static_cast<std::size_t>(pin_id));
+  assert(pin.net == kInvalidId && "pin already connected");
+  pin.net = net_id;
+  net.pins.push_back(pin_id);
+  if (pin.dir == liberty::PinDir::kOutput) {
+    assert(net.driver == kInvalidId && "net already driven");
+    net.driver = pin_id;
+  }
+}
+
+void Netlist::swap_lib_cell(CellId cell_id, liberty::LibCellId new_lib_cell) {
+  Cell& cell = cells_.at(static_cast<std::size_t>(cell_id));
+  const liberty::LibCell& old_lc = lib_->cell(cell.lib_cell);
+  const liberty::LibCell& new_lc = lib_->cell(new_lib_cell);
+  assert(old_lc.pins.size() == new_lc.pins.size() &&
+         "swap_lib_cell requires an identical pin list");
+  for (std::size_t i = 0; i < old_lc.pins.size(); ++i) {
+    assert(old_lc.pins[i].name == new_lc.pins[i].name);
+    assert(old_lc.pins[i].dir == new_lc.pins[i].dir);
+  }
+  (void)old_lc;
+  (void)new_lc;
+  cell.lib_cell = new_lib_cell;
+}
+
+void Netlist::disconnect(PinId pin_id) {
+  Pin& pin = pins_.at(static_cast<std::size_t>(pin_id));
+  assert(pin.net != kInvalidId && "pin is not connected");
+  Net& net = nets_.at(static_cast<std::size_t>(pin.net));
+  assert(net.driver != pin_id && "cannot detach a net's driver");
+  auto& pins = net.pins;
+  pins.erase(std::remove(pins.begin(), pins.end(), pin_id), pins.end());
+  pin.net = kInvalidId;
+}
+
+PinId Netlist::cell_pin(CellId cell_id, int lib_pin) const {
+  const Cell& c = cell(cell_id);
+  assert(lib_pin >= 0 && static_cast<std::size_t>(lib_pin) < c.pins.size());
+  return c.pins[static_cast<std::size_t>(lib_pin)];
+}
+
+PinId Netlist::cell_output_pin(CellId cell_id) const {
+  const int idx = lib_cell_of(cell_id).output_pin_index();
+  if (idx < 0) return kInvalidId;
+  return cell_pin(cell_id, idx);
+}
+
+const liberty::LibCell& Netlist::lib_cell_of(CellId cell_id) const {
+  return lib_->cell(cell(cell_id).lib_cell);
+}
+
+double Netlist::total_cell_area() const {
+  double area = 0.0;
+  for (const Cell& c : cells_) area += lib_->cell(c.lib_cell).area_um2();
+  return area;
+}
+
+bool Netlist::is_io_net(NetId net_id) const {
+  for (PinId pid : net(net_id).pins) {
+    if (pin(pid).kind == PinKind::kTopPort) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  auto complain = [&problems](const std::string& msg) { problems.push_back(msg); };
+
+  for (const Net& net : nets_) {
+    int drivers = 0;
+    for (PinId pid : net.pins) {
+      const Pin& p = pin(pid);
+      if (p.net != net.id) {
+        complain("net " + net.name + ": pin back-reference mismatch");
+      }
+      if (p.dir == liberty::PinDir::kOutput) ++drivers;
+    }
+    if (drivers != 1) {
+      std::ostringstream msg;
+      msg << "net " << net.name << ": " << drivers << " drivers (expected 1)";
+      complain(msg.str());
+    }
+    if (net.driver == kInvalidId) {
+      complain("net " + net.name + ": no recorded driver");
+    }
+  }
+
+  for (const Cell& cell : cells_) {
+    const liberty::LibCell& lc = lib_->cell(cell.lib_cell);
+    if (cell.pins.size() != lc.pins.size()) {
+      complain("cell " + cell.name + ": pin count mismatch with library");
+      continue;
+    }
+    for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+      const Pin& p = pin(cell.pins[i]);
+      if (p.cell != cell.id || p.lib_pin != static_cast<int>(i)) {
+        complain("cell " + cell.name + ": pin cross-link broken");
+      }
+    }
+  }
+
+  for (const Pin& p : pins_) {
+    if (p.net == kInvalidId) {
+      // Dangling pins are tolerated for outputs (unused Q) but flagged for
+      // inputs: a floating input makes STA and activity propagation undefined.
+      if (p.dir == liberty::PinDir::kInput) {
+        const std::string owner = p.kind == PinKind::kCellPin
+                                      ? cell(p.cell).name
+                                      : port(p.port).name;
+        complain("floating input pin on " + owner);
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace ppacd::netlist

@@ -1,0 +1,167 @@
+/// \file netlist.hpp
+/// \brief Hypergraph netlist with logical hierarchy (OpenDB substitute).
+///
+/// The netlist is the common currency of the whole system: STA walks its
+/// timing arcs, the placer treats cells as movable objects and top-level
+/// ports as fixed terminals, the clustering algorithms view it as a
+/// hypergraph (vertices = cells, hyperedges = nets), and Algorithm 2 consumes
+/// the module tree as the logical hierarchy T(V', E').
+///
+/// Ownership: a Netlist references (does not own) the liberty::Library that
+/// its cells are instantiated from; the library must outlive the netlist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "liberty/library.hpp"
+
+namespace ppacd::netlist {
+
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+using PinId = std::int32_t;
+using PortId = std::int32_t;
+using ModuleId = std::int32_t;
+
+inline constexpr std::int32_t kInvalidId = -1;
+
+/// Kind of connection point: a pin of a cell, or a top-level chip port.
+enum class PinKind { kCellPin, kTopPort };
+
+/// One connection point. For cell pins, `lib_pin` indexes into the library
+/// cell's pin list; for top ports, `port` identifies the Port record.
+struct Pin {
+  PinId id = kInvalidId;
+  PinKind kind = PinKind::kCellPin;
+  CellId cell = kInvalidId;
+  int lib_pin = -1;
+  PortId port = kInvalidId;
+  NetId net = kInvalidId;
+  liberty::PinDir dir = liberty::PinDir::kInput;
+  bool is_clock = false;
+};
+
+/// One placed instance of a library cell inside a hierarchy module.
+struct Cell {
+  CellId id = kInvalidId;
+  std::string name;
+  liberty::LibCellId lib_cell = liberty::kInvalidLibCell;
+  ModuleId module = kInvalidId;
+  std::vector<PinId> pins;  ///< parallel to the library cell's pin list
+};
+
+/// A top-level chip port. Its physical location on the die boundary is fixed
+/// by the floorplanner before placement.
+struct Port {
+  PortId id = kInvalidId;
+  std::string name;
+  liberty::PinDir dir = liberty::PinDir::kInput;  ///< direction seen from outside
+  PinId pin = kInvalidId;
+  geom::Point position;  ///< on the core boundary; set by place::Floorplan
+};
+
+/// A hyperedge connecting one driver pin and zero or more sink pins.
+struct Net {
+  NetId id = kInvalidId;
+  std::string name;
+  double weight = 1.0;        ///< placement net weight (Alg. 1 line 22 scales IO nets)
+  bool is_clock = false;      ///< part of the clock network
+  PinId driver = kInvalidId;  ///< output cell pin or input top port
+  std::vector<PinId> pins;    ///< all pins including the driver
+
+  std::size_t degree() const { return pins.size(); }
+};
+
+/// One node of the logical hierarchy tree. The root is created implicitly.
+struct Module {
+  ModuleId id = kInvalidId;
+  std::string name;        ///< local name, e.g. "alu"
+  ModuleId parent = kInvalidId;
+  std::vector<ModuleId> children;
+  std::vector<CellId> cells;  ///< cells instantiated directly in this module
+};
+
+/// The netlist. Construction is incremental through the add_*/connect API;
+/// `validate()` checks structural invariants once building is done.
+class Netlist {
+ public:
+  explicit Netlist(const liberty::Library& lib, std::string name = "top");
+
+  const liberty::Library& library() const { return *lib_; }
+  const std::string& name() const { return name_; }
+
+  // --- Hierarchy -----------------------------------------------------------
+  ModuleId root_module() const { return 0; }
+  ModuleId add_module(std::string name, ModuleId parent);
+  const Module& module(ModuleId id) const { return modules_.at(static_cast<std::size_t>(id)); }
+  std::size_t module_count() const { return modules_.size(); }
+  /// Full hierarchical path, e.g. "top/core0/alu".
+  std::string module_path(ModuleId id) const;
+  /// True if the design has hierarchy below the root.
+  bool has_hierarchy() const { return modules_.size() > 1; }
+
+  // --- Construction --------------------------------------------------------
+  CellId add_cell(std::string name, liberty::LibCellId lib_cell, ModuleId module);
+  PortId add_port(std::string name, liberty::PinDir dir);
+  NetId add_net(std::string name);
+  /// Attaches `pin` to `net`; records the driver if the pin drives.
+  void connect(NetId net, PinId pin);
+
+  // --- Access ---------------------------------------------------------------
+  const Cell& cell(CellId id) const { return cells_.at(static_cast<std::size_t>(id)); }
+  const Net& net(NetId id) const { return nets_.at(static_cast<std::size_t>(id)); }
+  Net& mutable_net(NetId id) { return nets_.at(static_cast<std::size_t>(id)); }
+  const Pin& pin(PinId id) const { return pins_.at(static_cast<std::size_t>(id)); }
+  const Port& port(PortId id) const { return ports_.at(static_cast<std::size_t>(id)); }
+  Port& mutable_port(PortId id) { return ports_.at(static_cast<std::size_t>(id)); }
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::size_t net_count() const { return nets_.size(); }
+  std::size_t pin_count() const { return pins_.size(); }
+  std::size_t port_count() const { return ports_.size(); }
+
+  /// Pin of `cell` at library pin index `lib_pin`.
+  PinId cell_pin(CellId cell, int lib_pin) const;
+  /// Output pin of `cell`; kInvalidId if the cell has no output.
+  PinId cell_output_pin(CellId cell) const;
+  /// The library cell of `cell`.
+  const liberty::LibCell& lib_cell_of(CellId cell) const;
+
+  /// Total placeable cell area in um^2.
+  double total_cell_area() const;
+
+  /// True if `net` connects to any top-level port (an "IO net", Alg. 1 l.22).
+  bool is_io_net(NetId net) const;
+
+  /// Marks nets reachable from clock source ports/pins as clock nets.
+  void mark_clock_net(NetId net) { mutable_net(net).is_clock = true; }
+
+  /// Re-binds `cell` to a different library cell with an identical pin list
+  /// (same names, directions and order) -- the gate-sizing primitive.
+  /// Asserts on incompatible footprints.
+  void swap_lib_cell(CellId cell, liberty::LibCellId new_lib_cell);
+
+  /// Detaches `pin` from its net (the net keeps its other pins). Used by
+  /// net rewiring (e.g. buffer insertion). Asserts if the pin drives the
+  /// net -- drivers cannot be detached without deleting the net.
+  void disconnect(PinId pin);
+
+  /// Checks structural invariants (every net driven exactly once, every pin
+  /// on a net, pin/cell cross-links consistent). Returns human-readable
+  /// problems; empty means valid.
+  std::vector<std::string> validate() const;
+
+ private:
+  const liberty::Library* lib_;
+  std::string name_;
+  std::vector<Module> modules_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace ppacd::netlist

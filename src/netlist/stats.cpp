@@ -1,0 +1,55 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppacd::netlist {
+
+namespace {
+std::size_t depth_of(const Netlist& netlist, ModuleId id) {
+  std::size_t depth = 0;
+  for (ModuleId m = id; m != kInvalidId; m = netlist.module(m).parent) ++depth;
+  return depth;
+}
+}  // namespace
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.cell_count = netlist.cell_count();
+  stats.net_count = netlist.net_count();
+  stats.pin_count = netlist.pin_count();
+  stats.port_count = netlist.port_count();
+  stats.module_count = netlist.module_count();
+  stats.total_cell_area_um2 = netlist.total_cell_area();
+
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto& lc = netlist.lib_cell_of(static_cast<CellId>(i));
+    if (liberty::is_sequential(lc.function)) ++stats.register_count;
+  }
+  for (std::size_t i = 0; i < netlist.module_count(); ++i) {
+    stats.max_hierarchy_depth =
+        std::max(stats.max_hierarchy_depth, depth_of(netlist, static_cast<ModuleId>(i)));
+  }
+  double degree_sum = 0.0;
+  for (std::size_t i = 0; i < netlist.net_count(); ++i) {
+    const auto degree = netlist.net(static_cast<NetId>(i)).degree();
+    degree_sum += static_cast<double>(degree);
+    stats.max_net_degree = std::max(stats.max_net_degree, degree);
+  }
+  if (stats.net_count > 0) {
+    stats.average_net_degree = degree_sum / static_cast<double>(stats.net_count);
+  }
+  return stats;
+}
+
+std::string to_string(const NetlistStats& stats) {
+  std::ostringstream out;
+  out << "#insts=" << stats.cell_count << " #nets=" << stats.net_count
+      << " #pins=" << stats.pin_count << " #ports=" << stats.port_count
+      << " #regs=" << stats.register_count << " #modules=" << stats.module_count
+      << " depth=" << stats.max_hierarchy_depth
+      << " area=" << stats.total_cell_area_um2 << "um2";
+  return out.str();
+}
+
+}  // namespace ppacd::netlist

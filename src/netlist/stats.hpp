@@ -1,0 +1,32 @@
+/// \file stats.hpp
+/// \brief Netlist statistics (Table 1 columns and clustering diagnostics).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::netlist {
+
+/// Aggregate statistics of a netlist.
+struct NetlistStats {
+  std::size_t cell_count = 0;
+  std::size_t net_count = 0;
+  std::size_t pin_count = 0;
+  std::size_t port_count = 0;
+  std::size_t register_count = 0;   ///< sequential cells
+  std::size_t module_count = 0;     ///< logical hierarchy nodes
+  std::size_t max_hierarchy_depth = 0;
+  double total_cell_area_um2 = 0.0;
+  double average_net_degree = 0.0;
+  std::size_t max_net_degree = 0;
+};
+
+/// Computes statistics over `netlist`.
+NetlistStats compute_stats(const Netlist& netlist);
+
+/// One-line human-readable rendering.
+std::string to_string(const NetlistStats& stats);
+
+}  // namespace ppacd::netlist

@@ -1,0 +1,78 @@
+#include "netlist/subnetlist.hpp"
+
+#include <cassert>
+#include <string>
+#include <unordered_set>
+
+namespace ppacd::netlist {
+
+SubNetlist extract_subnetlist(const Netlist& parent,
+                              const std::vector<CellId>& cells) {
+  assert(!cells.empty());
+  SubNetlist sub(parent.library());
+  std::unordered_set<CellId> member(cells.begin(), cells.end());
+
+  for (CellId cid : cells) {
+    const Cell& cell = parent.cell(cid);
+    const CellId new_id =
+        sub.netlist.add_cell(cell.name, cell.lib_cell, sub.netlist.root_module());
+    sub.cell_map.emplace(cid, new_id);
+  }
+
+  // Visit every net touching a member cell exactly once.
+  std::unordered_set<NetId> visited;
+  for (CellId cid : cells) {
+    const Cell& cell = parent.cell(cid);
+    for (PinId pid : cell.pins) {
+      const Pin& pin = parent.pin(pid);
+      if (pin.net == kInvalidId || !visited.insert(pin.net).second) continue;
+      const Net& net = parent.net(pin.net);
+
+      bool driver_inside = false;
+      bool sink_inside = false;
+      bool external_contact = false;
+      for (PinId npid : net.pins) {
+        const Pin& np = parent.pin(npid);
+        const bool inside =
+            np.kind == PinKind::kCellPin && member.count(np.cell) > 0;
+        if (!inside) {
+          external_contact = true;
+          continue;
+        }
+        if (np.dir == liberty::PinDir::kOutput) driver_inside = true;
+        else sink_inside = true;
+      }
+      if (!driver_inside && !sink_inside) continue;  // touches us not at all
+
+      const NetId new_net = sub.netlist.add_net(net.name);
+      sub.netlist.mutable_net(new_net).weight = net.weight;
+      sub.netlist.mutable_net(new_net).is_clock = net.is_clock;
+
+      for (PinId npid : net.pins) {
+        const Pin& np = parent.pin(npid);
+        if (np.kind != PinKind::kCellPin || member.count(np.cell) == 0) continue;
+        const CellId sub_cell = sub.cell_map.at(np.cell);
+        sub.netlist.connect(new_net, sub.netlist.cell_pin(sub_cell, np.lib_pin));
+      }
+
+      if (external_contact) {
+        ++sub.boundary_net_count;
+        if (!driver_inside) {
+          // External driver feeds internal sinks: add an input port (drives).
+          const PortId port = sub.netlist.add_port("pi_" + net.name,
+                                                   liberty::PinDir::kInput);
+          sub.netlist.connect(new_net, sub.netlist.port(port).pin);
+        }
+        if (driver_inside) {
+          // Internal driver with external sinks: add an output port (sink).
+          const PortId port = sub.netlist.add_port("po_" + net.name,
+                                                   liberty::PinDir::kOutput);
+          sub.netlist.connect(new_net, sub.netlist.port(port).pin);
+        }
+      }
+    }
+  }
+  return sub;
+}
+
+}  // namespace ppacd::netlist

@@ -1,0 +1,33 @@
+/// \file subnetlist.hpp
+/// \brief Cluster-induced sub-netlist extraction (Figure 3, first step).
+///
+/// For a given cluster, the V-P&R framework needs a standalone netlist over
+/// the cluster's instances. Each inter-cluster net incident to the cluster is
+/// terminated at a new top-level port: an *input* port when the external
+/// driver feeds sinks inside the cluster, an *output* port when the cluster
+/// drives external sinks.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::netlist {
+
+/// Result of sub-netlist extraction.
+struct SubNetlist {
+  Netlist netlist;                               ///< the induced design
+  std::unordered_map<CellId, CellId> cell_map;   ///< original -> sub cell id
+  std::size_t boundary_net_count = 0;            ///< nets cut by the cluster
+
+  explicit SubNetlist(const liberty::Library& lib) : netlist(lib, "cluster") {}
+};
+
+/// Extracts the sub-netlist induced by `cells` (must be non-empty, unique).
+/// Nets entirely outside the cluster are dropped; nets entirely inside are
+/// copied; boundary nets gain a port. Hierarchy is flattened to the root.
+SubNetlist extract_subnetlist(const Netlist& parent,
+                              const std::vector<CellId>& cells);
+
+}  // namespace ppacd::netlist

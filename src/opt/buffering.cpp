@@ -1,0 +1,116 @@
+#include "opt/buffering.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace ppacd::opt {
+
+namespace {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+geom::Point pin_position(const Netlist& nl,
+                         const std::vector<geom::Point>& positions, PinId pid) {
+  const netlist::Pin& pin = nl.pin(pid);
+  if (pin.kind == netlist::PinKind::kTopPort) return nl.port(pin.port).position;
+  return positions.at(static_cast<std::size_t>(pin.cell));
+}
+
+}  // namespace
+
+BufferingResult buffer_high_fanout(Netlist& nl,
+                                   std::vector<geom::Point>& positions,
+                                   const BufferingOptions& options) {
+  BufferingResult result;
+  const auto buffer_id = nl.library().find(options.buffer_cell);
+  assert(buffer_id.has_value());
+
+  // Snapshot the net count: nets created by this pass must not be revisited.
+  const std::size_t original_nets = nl.net_count();
+  int serial = 0;
+  for (std::size_t ni = 0; ni < original_nets; ++ni) {
+    const NetId net_id = static_cast<NetId>(ni);
+    if (nl.net(net_id).is_clock) continue;
+
+    // Collect sink pins (everything but the driver).
+    std::vector<PinId> sinks;
+    for (const PinId pid : nl.net(net_id).pins) {
+      if (pid != nl.net(net_id).driver) sinks.push_back(pid);
+    }
+    if (static_cast<int>(sinks.size()) <= options.max_fanout) continue;
+    ++result.buffered_nets;
+
+    // Geometric median split into groups of ~sinks_per_buffer.
+    struct Group {
+      std::vector<PinId> pins;
+    };
+    std::vector<Group> done;
+    std::vector<Group> work;
+    work.push_back(Group{std::move(sinks)});
+    while (!work.empty()) {
+      Group group = std::move(work.back());
+      work.pop_back();
+      if (static_cast<int>(group.pins.size()) <= options.sinks_per_buffer) {
+        done.push_back(std::move(group));
+        continue;
+      }
+      geom::BBox box;
+      for (const PinId pid : group.pins) {
+        box.expand(pin_position(nl, positions, pid));
+      }
+      const bool split_x = box.rect().width() >= box.rect().height();
+      std::sort(group.pins.begin(), group.pins.end(), [&](PinId a, PinId b) {
+        const geom::Point pa = pin_position(nl, positions, a);
+        const geom::Point pb = pin_position(nl, positions, b);
+        return split_x ? pa.x < pb.x : pa.y < pb.y;
+      });
+      const std::size_t mid = group.pins.size() / 2;
+      Group lo;
+      Group hi;
+      lo.pins.assign(group.pins.begin(), group.pins.begin() + static_cast<std::ptrdiff_t>(mid));
+      hi.pins.assign(group.pins.begin() + static_cast<std::ptrdiff_t>(mid), group.pins.end());
+      work.push_back(std::move(lo));
+      work.push_back(std::move(hi));
+    }
+
+    // One buffer per group: detach the group's sinks from the original net,
+    // connect them to a new net driven by the buffer; the buffer's input
+    // joins the original net.
+    for (Group& group : done) {
+      geom::Point centroid;
+      for (const PinId pid : group.pins) {
+        const geom::Point p = pin_position(nl, positions, pid);
+        centroid.x += p.x;
+        centroid.y += p.y;
+      }
+      centroid.x /= static_cast<double>(group.pins.size());
+      centroid.y /= static_cast<double>(group.pins.size());
+
+      const CellId buffer = nl.add_cell(
+          "hfbuf_" + std::to_string(ni) + "_" + std::to_string(serial++),
+          *buffer_id, nl.root_module());
+      positions.push_back(centroid);
+      ++result.inserted_buffers;
+
+      const NetId leaf_net =
+          nl.add_net(nl.net(net_id).name + "_buf" + std::to_string(serial));
+      nl.connect(leaf_net, nl.cell_output_pin(buffer));
+      for (const PinId pid : group.pins) {
+        nl.disconnect(pid);
+        nl.connect(leaf_net, pid);
+      }
+      nl.connect(net_id, nl.cell_pin(buffer, 0));  // buffer input joins trunk
+    }
+  }
+  PPACD_LOG_DEBUG("opt") << nl.name() << ": buffered " << result.buffered_nets
+                         << " nets with " << result.inserted_buffers
+                         << " buffers";
+  return result;
+}
+
+}  // namespace ppacd::opt

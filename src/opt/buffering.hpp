@@ -1,0 +1,38 @@
+/// \file buffering.hpp
+/// \brief High-fanout net buffering (repair_design substitute).
+///
+/// Huge-fanout data nets (control broadcasts, resets) dominate delay when a
+/// single driver sees the whole net's capacitance. This pass splits every
+/// such net: sinks are grouped geometrically (median split, like the clock
+/// tree), each group gets a buffer placed at its centroid, and the original
+/// net keeps only the driver plus the buffer inputs. The netlist is mutated
+/// in place; `positions` grows with the inserted buffers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppacd::opt {
+
+struct BufferingOptions {
+  int max_fanout = 24;          ///< nets above this fanout get buffered
+  int sinks_per_buffer = 12;    ///< target group size
+  std::string buffer_cell = "BUF_X4";
+};
+
+struct BufferingResult {
+  int buffered_nets = 0;
+  int inserted_buffers = 0;
+};
+
+/// Buffers all qualifying non-clock nets. Positions must be indexed by
+/// CellId and are extended for the new buffer cells (placed at their sink
+/// group centroids; re-legalize afterwards if exact legality matters).
+BufferingResult buffer_high_fanout(netlist::Netlist& netlist,
+                                   std::vector<geom::Point>& positions,
+                                   const BufferingOptions& options);
+
+}  // namespace ppacd::opt

@@ -1,0 +1,147 @@
+#include "place/detailed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ppacd::place {
+
+namespace {
+
+/// Incidence: object -> indices of model nets touching it.
+std::vector<std::vector<std::int32_t>> build_incidence(const PlaceModel& model) {
+  std::vector<std::vector<std::int32_t>> incidence(model.objects.size());
+  for (std::size_t ni = 0; ni < model.nets.size(); ++ni) {
+    for (const std::int32_t obj : model.nets[ni].objects) {
+      incidence[static_cast<std::size_t>(obj)].push_back(static_cast<std::int32_t>(ni));
+    }
+  }
+  for (auto& list : incidence) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return incidence;
+}
+
+/// Weighted HPWL of the given nets under `placement`.
+double nets_hpwl(const PlaceModel& model, const Placement& placement,
+                 const std::vector<std::int32_t>& nets) {
+  double sum = 0.0;
+  for (const std::int32_t ni : nets) {
+    sum += model.nets[static_cast<std::size_t>(ni)].weight *
+           net_hpwl(model, placement, static_cast<std::size_t>(ni));
+  }
+  return sum;
+}
+
+}  // namespace
+
+DetailedResult detailed_place(const PlaceModel& model, const Placement& placement,
+                              const DetailedOptions& options) {
+  DetailedResult result;
+  result.placement = placement;
+  result.hpwl_before_um = total_hpwl(model, placement);
+
+  const auto incidence = build_incidence(model);
+
+  // Group single-row movables by row (y coordinate), sorted by x.
+  const double row_h = model.row_height_um;
+  std::map<long, std::vector<std::int32_t>> rows;
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    const PlaceObject& obj = model.objects[i];
+    if (obj.fixed || obj.blockage || obj.height_um > row_h * 1.5) continue;
+    rows[std::lround(result.placement[i].y * 1e6)].push_back(static_cast<std::int32_t>(i));
+  }
+  for (auto& [y, cells] : rows) {
+    std::sort(cells.begin(), cells.end(), [&](std::int32_t a, std::int32_t b) {
+      return result.placement[static_cast<std::size_t>(a)].x <
+             result.placement[static_cast<std::size_t>(b)].x;
+    });
+  }
+
+  const int window = std::max(2, options.window);
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(window));
+  std::vector<std::int32_t> affected_nets;
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    bool any_move = false;
+    for (auto& [y, cells] : rows) {
+      if (static_cast<int>(cells.size()) < window) continue;
+      for (std::size_t start = 0; start + window <= cells.size(); ++start) {
+        // Window span: from the left edge of the first cell to the right
+        // edge of the last (cells stay inside; gaps collapse to the right).
+        const std::int32_t first = cells[start];
+        const double span_left =
+            result.placement[static_cast<std::size_t>(first)].x -
+            model.objects[static_cast<std::size_t>(first)].width_um * 0.5;
+
+        affected_nets.clear();
+        for (int k = 0; k < window; ++k) {
+          const std::int32_t obj = cells[start + static_cast<std::size_t>(k)];
+          const auto& nets = incidence[static_cast<std::size_t>(obj)];
+          affected_nets.insert(affected_nets.end(), nets.begin(), nets.end());
+        }
+        std::sort(affected_nets.begin(), affected_nets.end());
+        affected_nets.erase(std::unique(affected_nets.begin(), affected_nets.end()),
+                            affected_nets.end());
+
+        const double base_cost = nets_hpwl(model, result.placement, affected_nets);
+        std::vector<double> original_x(static_cast<std::size_t>(window));
+        for (int k = 0; k < window; ++k) {
+          perm[static_cast<std::size_t>(k)] = cells[start + static_cast<std::size_t>(k)];
+          original_x[static_cast<std::size_t>(k)] =
+              result.placement[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])].x;
+        }
+        std::vector<std::int32_t> best = perm;
+        double best_cost = base_cost;
+        std::vector<std::int32_t> trial = perm;
+        std::sort(trial.begin(), trial.end());
+        do {
+          // Pack the permutation left-to-right from the span start.
+          double cursor = span_left;
+          for (const std::int32_t obj : trial) {
+            const double w = model.objects[static_cast<std::size_t>(obj)].width_um;
+            result.placement[static_cast<std::size_t>(obj)].x = cursor + w * 0.5;
+            cursor += w;
+          }
+          const double cost = nets_hpwl(model, result.placement, affected_nets);
+          if (cost < best_cost - 1e-9) {
+            best_cost = cost;
+            best = trial;
+          }
+        } while (std::next_permutation(trial.begin(), trial.end()));
+
+        if (best_cost < base_cost - 1e-9) {
+          // Apply the winning permutation (packed from the span start).
+          double cursor = span_left;
+          for (const std::int32_t obj : best) {
+            const double w = model.objects[static_cast<std::size_t>(obj)].width_um;
+            result.placement[static_cast<std::size_t>(obj)].x = cursor + w * 0.5;
+            cursor += w;
+          }
+          ++result.moves;
+          any_move = true;
+          // Keep the row list sorted by x for subsequent windows.
+          std::sort(cells.begin() + static_cast<std::ptrdiff_t>(start),
+                    cells.begin() + static_cast<std::ptrdiff_t>(start) + window,
+                    [&](std::int32_t a, std::int32_t b) {
+                      return result.placement[static_cast<std::size_t>(a)].x <
+                             result.placement[static_cast<std::size_t>(b)].x;
+                    });
+        } else {
+          // No win: restore the exact original coordinates (packing alone
+          // must not move cells without an evaluated gain).
+          for (int k = 0; k < window; ++k) {
+            result.placement[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])].x =
+                original_x[static_cast<std::size_t>(k)];
+          }
+        }
+      }
+    }
+    if (!any_move) break;
+  }
+  result.hpwl_after_um = total_hpwl(model, result.placement);
+  return result;
+}
+
+}  // namespace ppacd::place

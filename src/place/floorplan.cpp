@@ -1,0 +1,51 @@
+#include "place/floorplan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppacd::place {
+
+Floorplan Floorplan::create(double total_cell_area_um2, double row_height_um,
+                            const FloorplanOptions& options) {
+  assert(total_cell_area_um2 > 0.0);
+  assert(options.utilization > 0.0 && options.utilization <= 1.0);
+  assert(options.aspect_ratio > 0.0);
+
+  const double core_area = total_cell_area_um2 / options.utilization;
+  double width = std::sqrt(core_area / options.aspect_ratio);
+  double height = core_area / width;
+
+  Floorplan fp;
+  fp.row_height_um = row_height_um;
+  fp.row_count = std::max(1, static_cast<int>(std::ceil(height / row_height_um)));
+  height = fp.row_count * row_height_um;
+  width = std::max(width, row_height_um);  // degenerate guard
+  fp.core = geom::Rect::make(0.0, 0.0, width, height);
+  return fp;
+}
+
+void place_ports_on_boundary(netlist::Netlist& netlist, const Floorplan& fp) {
+  const std::size_t count = netlist.port_count();
+  if (count == 0) return;
+  const geom::Rect& core = fp.core;
+
+  // Round-robin over sides; within a side, spread pins evenly.
+  const std::size_t per_side = (count + 3) / 4;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t side = i % 4;
+    const std::size_t slot = i / 4;
+    const double frac =
+        (static_cast<double>(slot) + 0.5) / static_cast<double>(per_side);
+    geom::Point pos;
+    switch (side) {
+      case 0: pos = {core.lx + frac * core.width(), core.ly}; break;          // south
+      case 1: pos = {core.ux, core.ly + frac * core.height()}; break;          // east
+      case 2: pos = {core.ux - frac * core.width(), core.uy}; break;           // north
+      default: pos = {core.lx, core.uy - frac * core.height()}; break;         // west
+    }
+    netlist.mutable_port(static_cast<netlist::PortId>(i)).position = pos;
+  }
+}
+
+}  // namespace ppacd::place

@@ -1,0 +1,39 @@
+/// \file floorplan.hpp
+/// \brief Die/core construction and boundary pin placement.
+///
+/// Serves two roles from the paper's flow: the top-level floorplan implied
+/// by the input .def (footnote 1), and the per-cluster "virtual die" that
+/// V-P&R initializes for every (aspect ratio, utilization) candidate
+/// (Section 3.2), including placing the sub-netlist's IO ports on the
+/// boundary with a simple pin placer.
+#pragma once
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppacd::place {
+
+struct FloorplanOptions {
+  double utilization = 0.70;  ///< cell area / core area
+  double aspect_ratio = 1.0;  ///< height / width of the core
+};
+
+/// A core area aligned to standard-cell rows.
+struct Floorplan {
+  geom::Rect core;
+  double row_height_um = 1.4;
+  int row_count = 0;
+
+  /// Builds a floorplan whose core fits `total_cell_area` at the requested
+  /// utilization and aspect ratio, rounded up to whole rows.
+  static Floorplan create(double total_cell_area_um2, double row_height_um,
+                          const FloorplanOptions& options);
+};
+
+/// Distributes the netlist's ports evenly around the core boundary
+/// (round-robin over the four sides in port order), writing
+/// netlist::Port::position. Mirrors the OpenROAD pin placer's role in the
+/// virtual die setup (paper footnote 4).
+void place_ports_on_boundary(netlist::Netlist& netlist, const Floorplan& fp);
+
+}  // namespace ppacd::place

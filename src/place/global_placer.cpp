@@ -1,0 +1,551 @@
+#include "place/global_placer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace ppacd::place {
+
+namespace {
+
+/// Sparse symmetric system assembled per direction: diagonal + off-diagonal
+/// triplets over dense movable indices, with right-hand side.
+struct QuadSystem {
+  std::vector<double> diag;
+  std::vector<double> rhs;
+  struct OffDiag {
+    std::int32_t i;
+    std::int32_t j;
+    double w;
+  };
+  std::vector<OffDiag> off;
+
+  explicit QuadSystem(std::size_t n) : diag(n, 0.0), rhs(n, 0.0) { off.reserve(n * 4); }
+
+  void add_edge_movable(std::int32_t i, std::int32_t j, double w) {
+    diag[static_cast<std::size_t>(i)] += w;
+    diag[static_cast<std::size_t>(j)] += w;
+    off.push_back({i, j, w});
+  }
+
+  void add_edge_fixed(std::int32_t i, double fixed_coord, double w) {
+    diag[static_cast<std::size_t>(i)] += w;
+    rhs[static_cast<std::size_t>(i)] += w * fixed_coord;
+  }
+
+  void multiply(const std::vector<double>& x, std::vector<double>& out) const {
+    for (std::size_t i = 0; i < diag.size(); ++i) out[i] = diag[i] * x[i];
+    for (const OffDiag& e : off) {
+      out[static_cast<std::size_t>(e.i)] -= e.w * x[static_cast<std::size_t>(e.j)];
+      out[static_cast<std::size_t>(e.j)] -= e.w * x[static_cast<std::size_t>(e.i)];
+    }
+  }
+};
+
+/// Jacobi-preconditioned conjugate gradient; solves A x = b in place.
+void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
+              double tolerance) {
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  std::vector<double> r(n), z(n), p(n), ap(n);
+
+  system.multiply(x, ap);
+  double b_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = system.rhs[i] - ap[i];
+    b_norm += system.rhs[i] * system.rhs[i];
+  }
+  b_norm = std::sqrt(b_norm);
+  if (b_norm == 0.0) b_norm = 1.0;
+
+  auto precond = [&system](const std::vector<double>& in, std::vector<double>& out) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const double d = system.diag[i];
+      out[i] = d > 0.0 ? in[i] / d : in[i];
+    }
+  };
+
+  precond(r, z);
+  p = z;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double r_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) r_norm += r[i] * r[i];
+    if (std::sqrt(r_norm) / b_norm < tolerance) break;
+
+    system.multiply(p, ap);
+    double p_ap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    if (p_ap <= 0.0) break;  // matrix should be SPD; bail out defensively
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    precond(r, z);
+    double rz_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+}
+
+constexpr double kMinB2bDist = 0.5;  // um; keeps B2B weights bounded
+
+}  // namespace
+
+GlobalPlacer::GlobalPlacer(const PlaceModel& model,
+                           const GlobalPlacerOptions& options)
+    : model_(&model), options_(options) {
+  movable_.assign(model.objects.size(), -1);
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    const PlaceObject& obj = model.objects[i];
+    if (!obj.fixed && !obj.blockage) {
+      movable_[i] = static_cast<std::int32_t>(movable_objects_.size());
+      movable_objects_.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+
+  // Spreading grid geometry and the static blockage occupancy map.
+  const geom::Rect& core = model.core;
+  const double bin_edge = options_.bin_rows * model.row_height_um;
+  grid_nx_ = std::max(1, static_cast<int>(core.width() / bin_edge));
+  grid_ny_ = std::max(1, static_cast<int>(core.height() / bin_edge));
+  bin_w_ = core.width() / grid_nx_;
+  bin_h_ = core.height() / grid_ny_;
+  blockage_area_.assign(static_cast<std::size_t>(grid_nx_) * grid_ny_, 0.0);
+  for (const PlaceObject& obj : model.objects) {
+    if (!obj.blockage) continue;
+    const double hw = obj.width_um * 0.5;
+    const double hh = obj.height_um * 0.5;
+    const geom::Point& p = obj.fixed_position;
+    const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bin_w_), 0, grid_nx_ - 1);
+    const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bin_w_), 0, grid_nx_ - 1);
+    const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bin_h_), 0, grid_ny_ - 1);
+    const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bin_h_), 0, grid_ny_ - 1);
+    for (int by = y0; by <= y1; ++by) {
+      const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bin_h_) -
+                                          std::max(p.y - hh, core.ly + by * bin_h_));
+      for (int bx = x0; bx <= x1; ++bx) {
+        const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bin_w_) -
+                                            std::max(p.x - hw, core.lx + bx * bin_w_));
+        blockage_area_[static_cast<std::size_t>(by) * grid_nx_ + bx] += ox * oy;
+      }
+    }
+  }
+}
+
+void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
+                                   const Placement& anchor_targets,
+                                   double anchor_weight,
+                                   const Placement* seed_anchor) {
+  const PlaceModel& model = *model_;
+  const std::size_t n = movable_objects_.size();
+  QuadSystem system(n);
+  auto coord = [x_dir](const geom::Point& p) { return x_dir ? p.x : p.y; };
+
+  for (const PlaceNet& net : model.nets) {
+    const std::size_t k = net.objects.size();
+    if (k < 2) continue;
+
+    // Find boundary pins in this direction.
+    std::size_t idx_min = 0;
+    std::size_t idx_max = 0;
+    for (std::size_t i = 1; i < k; ++i) {
+      const double c = coord(positions[static_cast<std::size_t>(net.objects[i])]);
+      if (c < coord(positions[static_cast<std::size_t>(net.objects[idx_min])])) idx_min = i;
+      if (c > coord(positions[static_cast<std::size_t>(net.objects[idx_max])])) idx_max = i;
+    }
+    if (idx_min == idx_max) idx_max = (idx_min + 1) % k;
+
+    const double base = net.weight * 2.0 / static_cast<double>(k - 1);
+    auto add_pair = [&](std::size_t a, std::size_t b) {
+      const std::int32_t oa = net.objects[a];
+      const std::int32_t ob = net.objects[b];
+      if (oa == ob) return;
+      const double ca = coord(positions[static_cast<std::size_t>(oa)]);
+      const double cb = coord(positions[static_cast<std::size_t>(ob)]);
+      const double w = base / std::max(std::fabs(ca - cb), kMinB2bDist);
+      const std::int32_t ma = movable_[static_cast<std::size_t>(oa)];
+      const std::int32_t mb = movable_[static_cast<std::size_t>(ob)];
+      if (ma >= 0 && mb >= 0) {
+        system.add_edge_movable(ma, mb, w);
+      } else if (ma >= 0) {
+        system.add_edge_fixed(ma, cb, w);
+      } else if (mb >= 0) {
+        system.add_edge_fixed(mb, ca, w);
+      }
+    };
+
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != idx_min) add_pair(i, idx_min);
+      if (i != idx_max && i != idx_min) add_pair(i, idx_max);
+    }
+  }
+
+  // Anchors: pull every movable toward its spread target; in incremental
+  // mode additionally toward the seed location.
+  for (std::size_t m = 0; m < n; ++m) {
+    const std::size_t obj = static_cast<std::size_t>(movable_objects_[m]);
+    if (anchor_weight > 0.0) {
+      system.add_edge_fixed(static_cast<std::int32_t>(m),
+                            coord(anchor_targets[obj]), anchor_weight);
+    }
+    if (seed_anchor != nullptr && seed_weight_ > 0.0) {
+      system.add_edge_fixed(static_cast<std::int32_t>(m),
+                            coord((*seed_anchor)[obj]), seed_weight_);
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    x[m] = coord(positions[static_cast<std::size_t>(movable_objects_[m])]);
+  }
+  solve_cg(system, x, options_.cg_max_iterations, options_.cg_tolerance);
+  for (std::size_t m = 0; m < n; ++m) {
+    auto& p = positions[static_cast<std::size_t>(movable_objects_[m])];
+    if (x_dir) p.x = x[m];
+    else p.y = x[m];
+  }
+}
+
+double GlobalPlacer::spread(Placement& positions) {
+  const PlaceModel& model = *model_;
+  const geom::Rect& core = model.core;
+  const int nx = grid_nx_;
+  const int ny = grid_ny_;
+  const double bw = bin_w_;
+  const double bh = bin_h_;
+
+  auto bin_x = [&](double x) {
+    return std::clamp(static_cast<int>((x - core.lx) / bw), 0, nx - 1);
+  };
+  auto bin_y = [&](double y) {
+    return std::clamp(static_cast<int>((y - core.ly) / bh), 0, ny - 1);
+  };
+
+  const double bin_cap = bw * bh;
+  // Capacity available to movables: bin area minus blockage footprints.
+  auto capacity_of = [&](std::size_t bin) {
+    return std::max(1e-6, bin_cap - blockage_area_[bin]);
+  };
+  std::vector<double> area(static_cast<std::size_t>(nx) * ny, 0.0);
+  // Object area is smeared over every bin its footprint overlaps (crucial
+  // for cluster macros, which can span many bins; a point assignment would
+  // make spreading blind to their real footprint).
+  auto recompute_area = [&]() {
+    std::fill(area.begin(), area.end(), 0.0);
+    for (const std::int32_t obj : movable_objects_) {
+      const auto& o = model.objects[static_cast<std::size_t>(obj)];
+      const auto& p = positions[static_cast<std::size_t>(obj)];
+      const double hw = std::max(o.width_um * 0.5, 1e-6);
+      const double hh = std::max(o.height_um * 0.5, 1e-6);
+      const int x0 = bin_x(p.x - hw);
+      const int x1 = bin_x(p.x + hw);
+      const int y0 = bin_y(p.y - hh);
+      const int y1 = bin_y(p.y + hh);
+      if (x0 == x1 && y0 == y1) {
+        area[static_cast<std::size_t>(y0) * nx + x0] += o.area_um2();
+        continue;
+      }
+      for (int by = y0; by <= y1; ++by) {
+        const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
+                                            std::max(p.y - hh, core.ly + by * bh));
+        for (int bx = x0; bx <= x1; ++bx) {
+          const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
+                                              std::max(p.x - hw, core.lx + bx * bw));
+          area[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+        }
+      }
+    }
+  };
+  auto compute_overflow = [&]() {
+    double overfill = 0.0;
+    double total = 0.0;
+    for (std::size_t b = 0; b < area.size(); ++b) {
+      overfill += std::max(0.0, area[b] - capacity_of(b));
+      total += area[b];
+    }
+    return total > 0.0 ? overfill / total : 0.0;
+  };
+
+  recompute_area();
+  const double overflow = compute_overflow();
+
+  // FastPlace cell shifting: move bin boundaries toward equalized
+  // utilization, then linearly remap cell coordinates bin-by-bin.
+  constexpr double kDelta = 0.5;
+  auto shift_axis = [&](bool x_axis) {
+    const int lanes = x_axis ? ny : nx;
+    const int bins = x_axis ? nx : ny;
+    const double lo = x_axis ? core.lx : core.ly;
+    const double step = x_axis ? bw : bh;
+
+    for (int lane = 0; lane < lanes; ++lane) {
+      // Utilization of each bin in this lane (against blockage-reduced
+      // capacity, so movables drain out of blocked bins).
+      std::vector<double> util(static_cast<std::size_t>(bins));
+      for (int b = 0; b < bins; ++b) {
+        const std::size_t idx = x_axis
+                                    ? static_cast<std::size_t>(lane) * nx + b
+                                    : static_cast<std::size_t>(b) * nx + lane;
+        util[static_cast<std::size_t>(b)] = area[idx] / capacity_of(idx);
+      }
+      // New internal boundaries.
+      std::vector<double> nb(static_cast<std::size_t>(bins) + 1);
+      nb.front() = lo;
+      nb.back() = lo + step * bins;
+      for (int b = 0; b + 1 < bins; ++b) {
+        const double ob_left = lo + step * b;          // left edge of bin b
+        const double ob_right = lo + step * (b + 2);   // right edge of bin b+1
+        const double u_l = util[static_cast<std::size_t>(b)];
+        const double u_r = util[static_cast<std::size_t>(b) + 1];
+        nb[static_cast<std::size_t>(b) + 1] =
+            (ob_left * (u_r + kDelta) + ob_right * (u_l + kDelta)) /
+            (u_l + u_r + 2.0 * kDelta);
+      }
+      for (std::size_t i = 1; i < nb.size(); ++i) {
+        nb[i] = std::max(nb[i], nb[i - 1] + 1e-3);
+      }
+      // Remap cells in this lane.
+      for (const std::int32_t obj : movable_objects_) {
+        auto& p = positions[static_cast<std::size_t>(obj)];
+        const int cell_lane = x_axis ? bin_y(p.y) : bin_x(p.x);
+        if (cell_lane != lane) continue;
+        const double c = x_axis ? p.x : p.y;
+        const int b = x_axis ? bin_x(c) : bin_y(c);
+        const double old_lo = lo + step * b;
+        const double frac = std::clamp((c - old_lo) / step, 0.0, 1.0);
+        const double new_lo = nb[static_cast<std::size_t>(b)];
+        const double new_hi = nb[static_cast<std::size_t>(b) + 1];
+        const double moved = new_lo + frac * (new_hi - new_lo);
+        if (x_axis) p.x = moved;
+        else p.y = moved;
+      }
+    }
+  };
+  // Several damped passes per call: one boundary adjustment only equalizes
+  // neighbouring bins, so repeated sweeps are needed to drain a hot center.
+  for (int pass = 0; pass < options_.spread_passes; ++pass) {
+    shift_axis(/*x_axis=*/true);
+    recompute_area();
+    shift_axis(/*x_axis=*/false);
+    recompute_area();
+    if (compute_overflow() < options_.target_overflow) break;
+  }
+  return overflow;
+}
+
+double GlobalPlacer::measure_overflow(const Placement& positions) const {
+  const PlaceModel& model = *model_;
+  const geom::Rect& core = model.core;
+  const int nx = grid_nx_;
+  const int ny = grid_ny_;
+  const double bw = bin_w_;
+  const double bh = bin_h_;
+  std::vector<double> area(static_cast<std::size_t>(nx) * ny, 0.0);
+  for (const std::int32_t obj : movable_objects_) {
+    const auto& o = model.objects[static_cast<std::size_t>(obj)];
+    const auto& p = positions[static_cast<std::size_t>(obj)];
+    const double hw = std::max(o.width_um * 0.5, 1e-6);
+    const double hh = std::max(o.height_um * 0.5, 1e-6);
+    const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bw), 0, nx - 1);
+    const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bw), 0, nx - 1);
+    const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
+    const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
+    for (int by = y0; by <= y1; ++by) {
+      const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
+                                          std::max(p.y - hh, core.ly + by * bh));
+      for (int bx = x0; bx <= x1; ++bx) {
+        const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
+                                            std::max(p.x - hw, core.lx + bx * bw));
+        area[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+      }
+    }
+  }
+  const double bin_cap = bw * bh;
+  double overfill = 0.0;
+  double total = 0.0;
+  for (std::size_t b = 0; b < area.size(); ++b) {
+    const double capacity = std::max(1e-6, bin_cap - blockage_area_[b]);
+    overfill += std::max(0.0, area[b] - capacity);
+    total += area[b];
+  }
+  return total > 0.0 ? overfill / total : 0.0;
+}
+
+void GlobalPlacer::spread_bisection(Placement& positions) {
+  const PlaceModel& model = *model_;
+  // Recursive capacity-balanced bisection: split the object set at the
+  // median of the region's longer axis so that each half receives a
+  // sub-region proportional to its area, preserving the quadratic solution's
+  // relative order while eliminating overlap at macro granularity.
+  struct Frame {
+    std::vector<std::int32_t> objects;
+    geom::Rect region;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({movable_objects_, model.core});
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const std::size_t n = frame.objects.size();
+    if (n == 0) continue;
+    if (n == 1) {
+      const auto& o = model.objects[static_cast<std::size_t>(frame.objects[0])];
+      geom::Point target = frame.region.center();
+      // Keep the footprint inside the region where possible.
+      const double hw = std::min(o.width_um * 0.5, frame.region.width() * 0.5);
+      const double hh = std::min(o.height_um * 0.5, frame.region.height() * 0.5);
+      target.x = std::clamp(target.x, frame.region.lx + hw, frame.region.ux - hw);
+      target.y = std::clamp(target.y, frame.region.ly + hh, frame.region.uy - hh);
+      positions[static_cast<std::size_t>(frame.objects[0])] = target;
+      continue;
+    }
+
+    const bool split_x = frame.region.width() >= frame.region.height();
+    std::sort(frame.objects.begin(), frame.objects.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const auto& pa = positions[static_cast<std::size_t>(a)];
+                const auto& pb = positions[static_cast<std::size_t>(b)];
+                return split_x ? pa.x < pb.x : pa.y < pb.y;
+              });
+    double total_area = 0.0;
+    for (const std::int32_t obj : frame.objects) {
+      total_area += model.objects[static_cast<std::size_t>(obj)].area_um2();
+    }
+    // Split the list at half the area.
+    double prefix = 0.0;
+    std::size_t split = 1;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      prefix += model.objects[static_cast<std::size_t>(frame.objects[i])].area_um2();
+      if (prefix >= total_area * 0.5) {
+        split = i + 1;
+        break;
+      }
+      split = i + 1;
+    }
+    const double frac = total_area > 0.0 ? std::clamp(prefix / total_area, 0.1, 0.9) : 0.5;
+
+    Frame lo;
+    Frame hi;
+    lo.objects.assign(frame.objects.begin(),
+                      frame.objects.begin() + static_cast<std::ptrdiff_t>(split));
+    hi.objects.assign(frame.objects.begin() + static_cast<std::ptrdiff_t>(split),
+                      frame.objects.end());
+    if (split_x) {
+      const double cut = frame.region.lx + frac * frame.region.width();
+      lo.region = geom::Rect::make(frame.region.lx, frame.region.ly, cut, frame.region.uy);
+      hi.region = geom::Rect::make(cut, frame.region.ly, frame.region.ux, frame.region.uy);
+    } else {
+      const double cut = frame.region.ly + frac * frame.region.height();
+      lo.region = geom::Rect::make(frame.region.lx, frame.region.ly, frame.region.ux, cut);
+      hi.region = geom::Rect::make(frame.region.lx, cut, frame.region.ux, frame.region.uy);
+    }
+    stack.push_back(std::move(lo));
+    stack.push_back(std::move(hi));
+  }
+}
+
+void GlobalPlacer::clamp_to_core_and_regions(Placement& positions) {
+  const PlaceModel& model = *model_;
+  for (const std::int32_t obj : movable_objects_) {
+    const auto& o = model.objects[static_cast<std::size_t>(obj)];
+    auto& p = positions[static_cast<std::size_t>(obj)];
+    geom::Rect bounds = model.core;
+    if (regions_active_ && o.region.has_value()) bounds = *o.region;
+    // Keep the object's footprint inside its bounds.
+    const double hw = std::min(o.width_um * 0.5, bounds.width() * 0.5);
+    const double hh = std::min(o.height_um * 0.5, bounds.height() * 0.5);
+    p.x = std::clamp(p.x, bounds.lx + hw, bounds.ux - hw);
+    p.y = std::clamp(p.y, bounds.ly + hh, bounds.uy - hh);
+  }
+}
+
+PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
+                                   const Placement* seed_anchor) {
+  Placement anchors = positions;
+  double overflow = 1.0;
+  const int schedule_offset =
+      seed_anchor != nullptr ? options_.incremental_anchor_offset : 0;
+  int iter = 0;
+  for (; iter < iterations; ++iter) {
+    // Fences bind throughout from-scratch runs; in incremental (seeded)
+    // mode they only guide the early iterations (Alg. 1 line 20 removes
+    // region constraints after the incremental placement).
+    regions_active_ =
+        seed_anchor == nullptr ||
+        iter < static_cast<int>(options_.region_release_fraction * iterations);
+    const double anchor_weight = options_.anchor_base * (iter + schedule_offset);
+    // The seed guides only the first iterations; decaying it lets the B2B
+    // optimization escape seed geometry that disagrees with the netlist.
+    const double seed_decay = std::max(0.0, 1.0 - iter / 5.0);
+    seed_weight_ = options_.incremental_anchor * seed_decay;
+    solve_direction(true, positions, anchors, anchor_weight, seed_anchor);
+    solve_direction(false, positions, anchors, anchor_weight, seed_anchor);
+    clamp_to_core_and_regions(positions);
+    if (options_.spread_mode == SpreadMode::kBisection) {
+      overflow = measure_overflow(positions);
+      spread_bisection(positions);
+    } else {
+      overflow = spread(positions);
+    }
+    clamp_to_core_and_regions(positions);
+    anchors = positions;
+    PPACD_LOG_DEBUG("place") << "iter " << iter << " overflow " << overflow
+                             << " hpwl " << total_hpwl(*model_, positions);
+    if (overflow < options_.target_overflow && iter + 1 >= options_.min_iterations) {
+      ++iter;
+      break;
+    }
+  }
+
+  PlaceResult result;
+  result.placement = std::move(positions);
+  result.hpwl_um = total_hpwl(*model_, result.placement);
+  result.overflow = overflow;
+  result.iterations = iter;
+  return result;
+}
+
+PlaceResult GlobalPlacer::run() {
+  const PlaceModel& model = *model_;
+  Placement positions(model.objects.size());
+  util::Rng rng(options_.seed);
+  const geom::Point center = model.core.center();
+  const double jitter_x = model.core.width() * 0.05;
+  const double jitter_y = model.core.height() * 0.05;
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    if (model.objects[i].fixed || model.objects[i].blockage) {
+      positions[i] = model.objects[i].fixed_position;
+    } else if (model.objects[i].region.has_value()) {
+      positions[i] = model.objects[i].region->center();
+    } else {
+      positions[i] = {center.x + rng.uniform(-jitter_x, jitter_x),
+                      center.y + rng.uniform(-jitter_y, jitter_y)};
+    }
+  }
+  return optimize(std::move(positions), options_.max_iterations, nullptr);
+}
+
+PlaceResult GlobalPlacer::run_incremental(const Placement& seed) {
+  assert(seed.size() == model_->objects.size());
+  Placement positions = seed;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (model_->objects[i].fixed || model_->objects[i].blockage) {
+      positions[i] = model_->objects[i].fixed_position;
+    }
+  }
+  clamp_to_core_and_regions(positions);
+  const Placement seed_anchor = positions;
+  return optimize(std::move(positions), options_.incremental_iterations,
+                  &seed_anchor);
+}
+
+}  // namespace ppacd::place

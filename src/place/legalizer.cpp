@@ -1,0 +1,188 @@
+#include "place/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ppacd::place {
+
+namespace {
+
+/// Abacus row legalization [Spindler et al., DATE'08]: cells are inserted
+/// into a row in increasing-x order; each row keeps clusters of abutted
+/// cells whose optimal (least-squares displacement) position is q / w,
+/// clamped into the row. Appending a cell may cascade merges with earlier
+/// clusters; both a non-destructive trial (for row selection) and a commit
+/// are provided.
+struct Cluster {
+  double x = 0.0;      ///< left edge of the cluster
+  double q = 0.0;      ///< sum of (desired left edge - offset in cluster)
+  double w = 0.0;      ///< number of cells
+  double width = 0.0;  ///< total width
+  std::int32_t first_cell = 0;  ///< index into Row::cells
+};
+
+struct RowCell {
+  std::int32_t object = -1;
+  double width = 0.0;
+};
+
+struct Row {
+  double lx = 0.0;
+  double ux = 0.0;
+  double y = 0.0;
+  std::vector<Cluster> clusters;
+  std::vector<RowCell> cells;  ///< in insertion (x) order
+  double used_width = 0.0;
+
+  double clamp_x(double x, double width) const {
+    return std::clamp(x, lx, std::max(lx, ux - width));
+  }
+
+  /// Final left edge the new cell would get; NaN when the row cannot fit it.
+  double trial(double desired_left, double cell_width) const {
+    if (used_width + cell_width > ux - lx) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    Cluster cur;
+    cur.q = desired_left;
+    cur.w = 1.0;
+    cur.width = cell_width;
+    cur.x = clamp_x(desired_left, cell_width);
+    std::size_t idx = clusters.size();
+    while (idx > 0 && clusters[idx - 1].x + clusters[idx - 1].width > cur.x) {
+      const Cluster& prev = clusters[idx - 1];
+      Cluster merged;
+      merged.q = prev.q + cur.q - cur.w * prev.width;
+      merged.w = prev.w + cur.w;
+      merged.width = prev.width + cur.width;
+      merged.x = clamp_x(merged.q / merged.w, merged.width);
+      cur = merged;
+      --idx;
+    }
+    // Left edge of the appended cell = cluster end minus its own width.
+    return cur.x + cur.width - cell_width;
+  }
+
+  /// Inserts the cell (must follow a successful trial with the same args).
+  void commit(std::int32_t object, double desired_left, double cell_width) {
+    cells.push_back(RowCell{object, cell_width});
+    used_width += cell_width;
+
+    Cluster cur;
+    cur.q = desired_left;
+    cur.w = 1.0;
+    cur.width = cell_width;
+    cur.x = clamp_x(desired_left, cell_width);
+    cur.first_cell = static_cast<std::int32_t>(cells.size()) - 1;
+    while (!clusters.empty() &&
+           clusters.back().x + clusters.back().width > cur.x) {
+      const Cluster prev = clusters.back();
+      clusters.pop_back();
+      Cluster merged;
+      merged.q = prev.q + cur.q - cur.w * prev.width;
+      merged.w = prev.w + cur.w;
+      merged.width = prev.width + cur.width;
+      merged.x = clamp_x(merged.q / merged.w, merged.width);
+      merged.first_cell = prev.first_cell;
+      cur = merged;
+    }
+    clusters.push_back(cur);
+  }
+};
+
+}  // namespace
+
+LegalizeResult legalize(const PlaceModel& model, const Placement& placement) {
+  LegalizeResult result;
+  result.placement = placement;
+
+  const geom::Rect& core = model.core;
+  const double row_h = model.row_height_um;
+  const int row_count = std::max(1, static_cast<int>(core.height() / row_h));
+  std::vector<Row> rows(static_cast<std::size_t>(row_count));
+  for (int r = 0; r < row_count; ++r) {
+    rows[static_cast<std::size_t>(r)].lx = core.lx;
+    rows[static_cast<std::size_t>(r)].ux = core.ux;
+    rows[static_cast<std::size_t>(r)].y = core.ly + (r + 0.5) * row_h;
+  }
+
+  // Single-row movables, left to right (Abacus requires x-sorted insertion).
+  std::vector<std::int32_t> order;
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    const PlaceObject& obj = model.objects[i];
+    if (obj.fixed || obj.blockage || obj.height_um > row_h * 1.5) continue;
+    order.push_back(static_cast<std::int32_t>(i));
+  }
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return placement[static_cast<std::size_t>(a)].x <
+           placement[static_cast<std::size_t>(b)].x;
+  });
+
+  for (const std::int32_t oi : order) {
+    const PlaceObject& obj = model.objects[static_cast<std::size_t>(oi)];
+    const geom::Point want = placement[static_cast<std::size_t>(oi)];
+    const double hw = obj.width_um * 0.5;
+    const double desired_left = want.x - hw;
+
+    int best_row = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_left = 0.0;
+    const int want_row = std::clamp(
+        static_cast<int>((want.y - core.ly) / row_h), 0, row_count - 1);
+    for (int offset = 0; offset < row_count; ++offset) {
+      for (const int r : {want_row - offset, want_row + offset}) {
+        if (r < 0 || r >= row_count || (offset > 0 && r == want_row)) continue;
+        Row& row = rows[static_cast<std::size_t>(r)];
+        const double dy = std::fabs(row.y - want.y);
+        if (dy >= best_cost) continue;
+        const double left = row.trial(desired_left, obj.width_um);
+        if (std::isnan(left)) continue;
+        const double cost = std::fabs(left - desired_left) + dy;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_left = left;
+        }
+      }
+      if (best_row >= 0 && static_cast<double>(offset) * row_h > best_cost) break;
+    }
+    if (best_row < 0) {
+      ++result.failed_count;
+      continue;
+    }
+    rows[static_cast<std::size_t>(best_row)].commit(oi, desired_left, obj.width_um);
+    // Provisional position; final x comes from the cluster walk below.
+    result.placement[static_cast<std::size_t>(oi)] = {
+        best_left + hw, rows[static_cast<std::size_t>(best_row)].y};
+  }
+
+  // Final positions: walk every row's clusters (their x moved as later
+  // cells were merged in).
+  for (const Row& row : rows) {
+    for (const Cluster& cluster : row.clusters) {
+      double cursor = cluster.x;
+      // Cells of this cluster are contiguous starting at first_cell; the
+      // cluster width tells where it ends.
+      double consumed = 0.0;
+      for (std::size_t ci = static_cast<std::size_t>(cluster.first_cell);
+           ci < row.cells.size() && consumed < cluster.width - 1e-9; ++ci) {
+        const RowCell& cell = row.cells[ci];
+        result.placement[static_cast<std::size_t>(cell.object)] = {
+            cursor + cell.width * 0.5, row.y};
+        cursor += cell.width;
+        consumed += cell.width;
+      }
+    }
+  }
+
+  for (const std::int32_t oi : order) {
+    const double disp = geom::manhattan(placement[static_cast<std::size_t>(oi)],
+                                        result.placement[static_cast<std::size_t>(oi)]);
+    result.total_displacement_um += disp;
+    result.max_displacement_um = std::max(result.max_displacement_um, disp);
+  }
+  return result;
+}
+
+}  // namespace ppacd::place

@@ -1,0 +1,27 @@
+/// \file legalizer.hpp
+/// \brief Greedy (Tetris-style) standard-cell legalization.
+///
+/// Snaps globally placed cells onto rows without overlap, minimizing
+/// displacement greedily. Routing, CTS and the post-route STA in this repo
+/// run on legalized locations, mirroring how OpenROAD evaluates PPA after
+/// detailed placement.
+#pragma once
+
+#include "place/model.hpp"
+
+namespace ppacd::place {
+
+struct LegalizeResult {
+  Placement placement;
+  double total_displacement_um = 0.0;
+  double max_displacement_um = 0.0;
+  /// Objects that could not fit in any row (should be 0 for sane densities).
+  int failed_count = 0;
+};
+
+/// Legalizes all movable single-row objects of `model` starting from
+/// `placement`. Fixed objects and objects taller than one row are left at
+/// their input positions.
+LegalizeResult legalize(const PlaceModel& model, const Placement& placement);
+
+}  // namespace ppacd::place

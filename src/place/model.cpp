@@ -1,0 +1,110 @@
+#include "place/model.hpp"
+
+#include <cassert>
+
+namespace ppacd::place {
+
+std::size_t PlaceModel::movable_count() const {
+  std::size_t count = 0;
+  for (const PlaceObject& obj : objects) {
+    if (!obj.fixed) ++count;
+  }
+  return count;
+}
+
+double PlaceModel::movable_area() const {
+  double area = 0.0;
+  for (const PlaceObject& obj : objects) {
+    if (!obj.fixed) area += obj.area_um2();
+  }
+  return area;
+}
+
+PlaceModel make_place_model(const netlist::Netlist& nl, const Floorplan& fp,
+                            double io_net_weight_scale) {
+  PlaceModel model;
+  model.core = fp.core;
+  model.row_height_um = fp.row_height_um;
+  model.objects.reserve(nl.cell_count() + nl.port_count());
+
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const liberty::LibCell& lc = nl.lib_cell_of(static_cast<netlist::CellId>(ci));
+    PlaceObject obj;
+    obj.width_um = lc.width_um;
+    obj.height_um = lc.height_um;
+    model.objects.push_back(obj);
+  }
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    PlaceObject obj;
+    obj.fixed = true;
+    obj.fixed_position = nl.port(static_cast<netlist::PortId>(po)).position;
+    model.objects.push_back(obj);
+  }
+  const auto object_of_pin = [&nl](netlist::PinId pid) -> std::int32_t {
+    const netlist::Pin& pin = nl.pin(pid);
+    if (pin.kind == netlist::PinKind::kCellPin) return pin.cell;
+    return static_cast<std::int32_t>(nl.cell_count()) + pin.port;
+  };
+
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock || net.pins.size() < 2) continue;
+    PlaceNet pnet;
+    pnet.weight = net.weight;
+    if (io_net_weight_scale != 1.0 &&
+        nl.is_io_net(static_cast<netlist::NetId>(ni))) {
+      pnet.weight *= io_net_weight_scale;
+    }
+    pnet.objects.reserve(net.pins.size());
+    for (netlist::PinId pid : net.pins) pnet.objects.push_back(object_of_pin(pid));
+    model.nets.push_back(std::move(pnet));
+  }
+  return model;
+}
+
+double net_hpwl(const PlaceModel& model, const Placement& placement,
+                std::size_t net_index) {
+  const PlaceNet& net = model.nets.at(net_index);
+  geom::BBox box;
+  for (const std::int32_t obj : net.objects) {
+    box.expand(placement.at(static_cast<std::size_t>(obj)));
+  }
+  return box.half_perimeter();
+}
+
+double total_hpwl(const PlaceModel& model, const Placement& placement) {
+  double hpwl = 0.0;
+  for (std::size_t ni = 0; ni < model.nets.size(); ++ni) {
+    hpwl += model.nets[ni].weight * net_hpwl(model, placement, ni);
+  }
+  return hpwl;
+}
+
+std::vector<geom::Point> cell_positions(const netlist::Netlist& nl,
+                                        const Placement& placement) {
+  assert(placement.size() >= nl.cell_count());
+  return std::vector<geom::Point>(placement.begin(),
+                                  placement.begin() + static_cast<std::ptrdiff_t>(nl.cell_count()));
+}
+
+double netlist_hpwl(const netlist::Netlist& nl,
+                    const std::vector<geom::Point>& positions) {
+  double hpwl = 0.0;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.pins.size() < 2) continue;
+    geom::BBox box;
+    for (netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kTopPort) {
+        box.expand(nl.port(pin.port).position);
+      } else {
+        box.expand(positions.at(static_cast<std::size_t>(pin.cell)));
+      }
+    }
+    hpwl += box.half_perimeter();
+  }
+  return hpwl;
+}
+
+}  // namespace ppacd::place

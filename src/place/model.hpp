@@ -1,0 +1,82 @@
+/// \file model.hpp
+/// \brief Abstract placement model shared by flat and clustered placement.
+///
+/// The paper's flow places two kinds of designs with the same engine: the
+/// flat netlist (default flow, incremental seeded placement) and the
+/// clustered netlist whose "cells" are cluster macros with V-P&R-chosen
+/// shapes (seed placement). PlaceModel is that common abstraction: movable
+/// rectangles, fixed terminals, and weighted hyperedges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "place/floorplan.hpp"
+
+namespace ppacd::place {
+
+/// One placeable object (standard cell, cluster macro, or fixed terminal).
+struct PlaceObject {
+  double width_um = 0.0;
+  double height_um = 0.0;
+  bool fixed = false;
+  geom::Point fixed_position;  ///< valid when fixed
+  /// Fixed obstruction: its footprint consumes bin capacity during
+  /// spreading, so movables flow around it (macros, or the notch of an
+  /// L-shaped virtual die). Implies `fixed`.
+  bool blockage = false;
+  /// Optional fence: the object must stay inside this region (Innovus-style
+  /// region constraint, Alg. 1 line 18).
+  std::optional<geom::Rect> region;
+
+  double area_um2() const { return width_um * height_um; }
+};
+
+/// One hyperedge over object indices.
+struct PlaceNet {
+  double weight = 1.0;
+  std::vector<std::int32_t> objects;
+};
+
+/// The placement problem: objects + nets + core area.
+struct PlaceModel {
+  std::vector<PlaceObject> objects;
+  std::vector<PlaceNet> nets;
+  geom::Rect core;
+  double row_height_um = 1.4;
+
+  std::size_t movable_count() const;
+  double movable_area() const;
+};
+
+/// Object positions indexed like PlaceModel::objects (centers).
+using Placement = std::vector<geom::Point>;
+
+/// Builds a PlaceModel from a flat netlist: objects [0, cell_count) are the
+/// cells (in CellId order) and ports become fixed terminals after them.
+/// `io_net_weight_scale` multiplies the weight of nets touching top ports
+/// (Alg. 1 line 22 uses 4 for the OpenROAD seeded flow). Clock nets are
+/// excluded from the model: placement should not chase the clock's fanout.
+PlaceModel make_place_model(const netlist::Netlist& netlist, const Floorplan& fp,
+                            double io_net_weight_scale = 1.0);
+
+/// Total weighted HPWL of a model under `placement` (um).
+double total_hpwl(const PlaceModel& model, const Placement& placement);
+
+/// HPWL of one net of the model (unweighted, um).
+double net_hpwl(const PlaceModel& model, const Placement& placement,
+                std::size_t net_index);
+
+/// Extracts per-cell positions (the first cell_count placement entries).
+std::vector<geom::Point> cell_positions(const netlist::Netlist& netlist,
+                                        const Placement& placement);
+
+/// Netlist-level HPWL (all nets incl. clock, unweighted) from cell positions
+/// and port locations; this is the "HPWL" recorded by Alg. 1 line 27.
+double netlist_hpwl(const netlist::Netlist& netlist,
+                    const std::vector<geom::Point>& positions);
+
+}  // namespace ppacd::place

@@ -1,0 +1,366 @@
+#include "route/global_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "route/steiner.hpp"
+#include "util/logging.hpp"
+
+namespace ppacd::route {
+
+double RouteResult::top_congestion(double percent) const {
+  if (edge_utilization.empty()) return 0.0;
+  std::vector<double> sorted = edge_utilization;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(sorted.size() * percent / 100.0));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) sum += sorted[i];
+  return sum / static_cast<double>(count);
+}
+
+GlobalRouter::GlobalRouter(const netlist::Netlist& netlist,
+                           const std::vector<geom::Point>& positions,
+                           const geom::Rect& core, const RouteOptions& options)
+    : nl_(&netlist), positions_(&positions), core_(core), options_(options) {
+  nx_ = std::max(2, static_cast<int>(std::ceil(core.width() / options.gcell_um)));
+  ny_ = std::max(2, static_cast<int>(std::ceil(core.height() / options.gcell_um)));
+  h_usage_.assign(static_cast<std::size_t>(nx_ - 1) * ny_, 0.0);
+  v_usage_.assign(static_cast<std::size_t>(nx_) * (ny_ - 1), 0.0);
+  h_history_.assign(h_usage_.size(), 0.0);
+  v_history_.assign(v_usage_.size(), 0.0);
+}
+
+GlobalRouter::GridPoint GlobalRouter::gcell_of(const geom::Point& p) const {
+  GridPoint g;
+  g.x = std::clamp(static_cast<int>((p.x - core_.lx) / options_.gcell_um), 0, nx_ - 1);
+  g.y = std::clamp(static_cast<int>((p.y - core_.ly) / options_.gcell_um), 0, ny_ - 1);
+  return g;
+}
+
+std::size_t GlobalRouter::h_index(int x, int y) const {
+  assert(x >= 0 && x < nx_ - 1 && y >= 0 && y < ny_);
+  return static_cast<std::size_t>(y) * (nx_ - 1) + x;
+}
+
+std::size_t GlobalRouter::v_index(int x, int y) const {
+  assert(x >= 0 && x < nx_ && y >= 0 && y < ny_ - 1);
+  return static_cast<std::size_t>(x) * (ny_ - 1) + y;
+}
+
+double GlobalRouter::edge_cost(const EdgeRef& e) const {
+  const double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
+                                    : v_usage_[v_index(e.x, e.y)];
+  const double history = e.horizontal ? h_history_[h_index(e.x, e.y)]
+                                      : v_history_[v_index(e.x, e.y)];
+  const double cap = e.horizontal ? options_.h_capacity : options_.v_capacity;
+  double cost = 1.0 + history;
+  if (usage + 1.0 > cap) {
+    cost += options_.overflow_penalty * (usage + 1.0 - cap);
+  }
+  return cost;
+}
+
+double GlobalRouter::path_cost(const std::vector<EdgeRef>& path) const {
+  double cost = 0.0;
+  for (const EdgeRef& e : path) cost += edge_cost(e);
+  return cost;
+}
+
+void GlobalRouter::commit(const std::vector<EdgeRef>& path, int delta) {
+  for (const EdgeRef& e : path) {
+    double& usage =
+        e.horizontal ? h_usage_[h_index(e.x, e.y)] : v_usage_[v_index(e.x, e.y)];
+    usage += delta;
+    assert(usage >= -1e-9);
+  }
+}
+
+void GlobalRouter::append_h(std::vector<EdgeRef>& path, int x0, int x1, int y) const {
+  const int lo = std::min(x0, x1);
+  const int hi = std::max(x0, x1);
+  for (int x = lo; x < hi; ++x) path.push_back(EdgeRef{true, x, y});
+}
+
+void GlobalRouter::append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) const {
+  const int lo = std::min(y0, y1);
+  const int hi = std::max(y0, y1);
+  for (int y = lo; y < hi; ++y) path.push_back(EdgeRef{false, x, y});
+}
+
+std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_segment(GridPoint a,
+                                                               GridPoint b) const {
+  std::vector<EdgeRef> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  auto consider = [&](std::vector<EdgeRef>&& candidate) {
+    const double cost = path_cost(candidate);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(candidate);
+    }
+  };
+
+  if (a.x == b.x && a.y == b.y) return {};
+  if (a.x == b.x) {
+    std::vector<EdgeRef> p;
+    append_v(p, a.x, a.y, b.y);
+    return p;
+  }
+  if (a.y == b.y) {
+    std::vector<EdgeRef> p;
+    append_h(p, a.x, b.x, a.y);
+    return p;
+  }
+
+  // L-shapes.
+  {
+    std::vector<EdgeRef> p;
+    append_h(p, a.x, b.x, a.y);
+    append_v(p, b.x, a.y, b.y);
+    consider(std::move(p));
+  }
+  {
+    std::vector<EdgeRef> p;
+    append_v(p, a.x, a.y, b.y);
+    append_h(p, a.x, b.x, b.y);
+    consider(std::move(p));
+  }
+
+  // Z-shapes: vertical jog at sampled intermediate columns, horizontal jog
+  // at sampled intermediate rows.
+  const int dx = std::abs(a.x - b.x);
+  const int dy = std::abs(a.y - b.y);
+  const int samples = options_.z_samples;
+  if (dx > 1) {
+    const int step = std::max(1, dx / (samples + 1));
+    for (int xm = std::min(a.x, b.x) + step; xm < std::max(a.x, b.x); xm += step) {
+      std::vector<EdgeRef> p;
+      append_h(p, a.x, xm, a.y);
+      append_v(p, xm, a.y, b.y);
+      append_h(p, xm, b.x, b.y);
+      consider(std::move(p));
+    }
+  }
+  if (dy > 1) {
+    const int step = std::max(1, dy / (samples + 1));
+    for (int ym = std::min(a.y, b.y) + step; ym < std::max(a.y, b.y); ym += step) {
+      std::vector<EdgeRef> p;
+      append_v(p, a.x, a.y, ym);
+      append_h(p, a.x, b.x, ym);
+      append_v(p, b.x, ym, b.y);
+      consider(std::move(p));
+    }
+  }
+  return best;
+}
+
+std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(GridPoint a,
+                                                            GridPoint b) const {
+  // Bounded search window.
+  const int x0 = std::max(0, std::min(a.x, b.x) - options_.maze_margin);
+  const int x1 = std::min(nx_ - 1, std::max(a.x, b.x) + options_.maze_margin);
+  const int y0 = std::max(0, std::min(a.y, b.y) - options_.maze_margin);
+  const int y1 = std::min(ny_ - 1, std::max(a.y, b.y) + options_.maze_margin);
+  const int wx = x1 - x0 + 1;
+  const int wy = y1 - y0 + 1;
+  auto node_of = [&](int x, int y) { return (y - y0) * wx + (x - x0); };
+
+  std::vector<double> dist(static_cast<std::size_t>(wx) * wy,
+                           std::numeric_limits<double>::infinity());
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(wx) * wy, -1);
+  using QueueEntry = std::pair<double, std::int32_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  dist[static_cast<std::size_t>(node_of(a.x, a.y))] = 0.0;
+  queue.emplace(0.0, node_of(a.x, a.y));
+  const std::int32_t goal = node_of(b.x, b.y);
+
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(node)]) continue;
+    if (node == goal) break;
+    const int x = x0 + node % wx;
+    const int y = y0 + node / wx;
+    struct Step {
+      int dx;
+      int dy;
+    };
+    for (const Step step : {Step{1, 0}, Step{-1, 0}, Step{0, 1}, Step{0, -1}}) {
+      const int mx = x + step.dx;
+      const int my = y + step.dy;
+      if (mx < x0 || mx > x1 || my < y0 || my > y1) continue;
+      EdgeRef edge;
+      if (step.dy == 0) {
+        edge = EdgeRef{true, std::min(x, mx), y};
+      } else {
+        edge = EdgeRef{false, x, std::min(y, my)};
+      }
+      const double nd = d + edge_cost(edge);
+      const std::int32_t next = node_of(mx, my);
+      if (nd < dist[static_cast<std::size_t>(next)]) {
+        dist[static_cast<std::size_t>(next)] = nd;
+        parent[static_cast<std::size_t>(next)] = node;
+        queue.emplace(nd, next);
+      }
+    }
+  }
+  if (!std::isfinite(dist[static_cast<std::size_t>(goal)])) {
+    return route_segment(a, b);  // defensive; window is always connected
+  }
+
+  std::vector<EdgeRef> path;
+  for (std::int32_t node = goal; parent[static_cast<std::size_t>(node)] >= 0;
+       node = parent[static_cast<std::size_t>(node)]) {
+    const std::int32_t prev = parent[static_cast<std::size_t>(node)];
+    const int cx = x0 + node % wx;
+    const int cy = y0 + node / wx;
+    const int px = x0 + prev % wx;
+    const int py = y0 + prev / wx;
+    if (cy == py) {
+      path.push_back(EdgeRef{true, std::min(cx, px), cy});
+    } else {
+      path.push_back(EdgeRef{false, cx, std::min(cy, py)});
+    }
+  }
+  return path;
+}
+
+RouteResult GlobalRouter::run() {
+  const netlist::Netlist& nl = *nl_;
+
+  // Build two-pin segments (in GCell space) for every routable net.
+  struct NetRoute {
+    netlist::NetId net = netlist::kInvalidId;
+    std::vector<std::pair<GridPoint, GridPoint>> segments;
+    std::vector<std::vector<EdgeRef>> paths;
+    double hpwl = 0.0;
+  };
+  std::vector<NetRoute> routes;
+  routes.reserve(nl.net_count());
+
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::NetId net_id = static_cast<netlist::NetId>(ni);
+    const netlist::Net& net = nl.net(net_id);
+    if (net.pins.size() < 2) continue;
+    if (net.is_clock && !options_.route_clock_nets) continue;
+
+    std::vector<geom::Point> pins;
+    pins.reserve(net.pins.size());
+    geom::BBox box;
+    for (netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      const geom::Point pos = pin.kind == netlist::PinKind::kTopPort
+                                  ? nl.port(pin.port).position
+                                  : positions_->at(static_cast<std::size_t>(pin.cell));
+      pins.push_back(pos);
+      box.expand(pos);
+    }
+    NetRoute route;
+    route.net = net_id;
+    route.hpwl = box.half_perimeter();
+    const std::vector<Segment> topology = options_.use_steiner_topology
+                                              ? steiner_segments(pins)
+                                              : spanning_segments(pins);
+    for (const Segment& seg : topology) {
+      route.segments.emplace_back(gcell_of(seg.a), gcell_of(seg.b));
+    }
+    routes.push_back(std::move(route));
+  }
+
+  // Short nets first: they have the least routing flexibility.
+  std::sort(routes.begin(), routes.end(),
+            [](const NetRoute& a, const NetRoute& b) { return a.hpwl < b.hpwl; });
+
+  for (NetRoute& route : routes) {
+    route.paths.reserve(route.segments.size());
+    for (const auto& [a, b] : route.segments) {
+      std::vector<EdgeRef> path = route_segment(a, b);
+      commit(path, +1);
+      route.paths.push_back(std::move(path));
+    }
+  }
+
+  // Negotiated rip-up-and-reroute.
+  for (int round = 0; round < options_.rrr_rounds; ++round) {
+    // Mark overflowed edges and bump their history.
+    auto overflowed = [&](const EdgeRef& e) {
+      const double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
+                                        : v_usage_[v_index(e.x, e.y)];
+      const double cap = e.horizontal ? options_.h_capacity : options_.v_capacity;
+      return usage > cap;
+    };
+    int over_edges = 0;
+    for (std::size_t i = 0; i < h_usage_.size(); ++i) {
+      if (h_usage_[i] > options_.h_capacity) {
+        h_history_[i] += options_.history_increment;
+        ++over_edges;
+      }
+    }
+    for (std::size_t i = 0; i < v_usage_.size(); ++i) {
+      if (v_usage_[i] > options_.v_capacity) {
+        v_history_[i] += options_.history_increment;
+        ++over_edges;
+      }
+    }
+    if (over_edges == 0) break;
+
+    for (NetRoute& route : routes) {
+      bool crosses_overflow = false;
+      for (const auto& path : route.paths) {
+        for (const EdgeRef& e : path) {
+          if (overflowed(e)) {
+            crosses_overflow = true;
+            break;
+          }
+        }
+        if (crosses_overflow) break;
+      }
+      if (!crosses_overflow) continue;
+      for (std::size_t s = 0; s < route.segments.size(); ++s) {
+        commit(route.paths[s], -1);
+        route.paths[s] = options_.maze_fallback
+                             ? route_maze(route.segments[s].first,
+                                          route.segments[s].second)
+                             : route_segment(route.segments[s].first,
+                                             route.segments[s].second);
+        commit(route.paths[s], +1);
+      }
+    }
+  }
+
+  // Collect results.
+  RouteResult result;
+  result.grid_nx = nx_;
+  result.grid_ny = ny_;
+  for (const NetRoute& route : routes) {
+    for (const auto& path : route.paths) {
+      result.wirelength_um += static_cast<double>(path.size()) * options_.gcell_um;
+    }
+  }
+  result.edge_utilization.reserve(h_usage_.size() + v_usage_.size());
+  for (const double u : h_usage_) {
+    const double util = u / options_.h_capacity;
+    result.edge_utilization.push_back(util);
+    result.max_utilization = std::max(result.max_utilization, util);
+    if (u > options_.h_capacity) {
+      ++result.overflow_edges;
+      result.total_overflow += u - options_.h_capacity;
+    }
+  }
+  for (const double u : v_usage_) {
+    const double util = u / options_.v_capacity;
+    result.edge_utilization.push_back(util);
+    result.max_utilization = std::max(result.max_utilization, util);
+    if (u > options_.v_capacity) {
+      ++result.overflow_edges;
+      result.total_overflow += u - options_.v_capacity;
+    }
+  }
+  PPACD_LOG_DEBUG("route") << nl.name() << ": rWL " << result.wirelength_um
+                           << " um, overflow edges " << result.overflow_edges;
+  return result;
+}
+
+}  // namespace ppacd::route

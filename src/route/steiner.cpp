@@ -1,0 +1,166 @@
+#include "route/steiner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppacd::route {
+
+std::vector<Segment> spanning_segments(const std::vector<geom::Point>& pins) {
+  std::vector<Segment> segments;
+  const std::size_t n = pins.size();
+  if (n < 2) return segments;
+  segments.reserve(n - 1);
+
+  // Prim's algorithm with O(n^2) nearest tracking.
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_parent(n, 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    best_dist[i] = geom::manhattan(pins[0], pins[i]);
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    double pick_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best_dist[i] < pick_dist) {
+        pick = i;
+        pick_dist = best_dist[i];
+      }
+    }
+    in_tree[pick] = true;
+    segments.push_back(Segment{pins[best_parent[pick]], pins[pick]});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const double d = geom::manhattan(pins[pick], pins[i]);
+      if (d < best_dist[i]) {
+        best_dist[i] = d;
+        best_parent[i] = pick;
+      }
+    }
+  }
+  return segments;
+}
+
+double total_length(const std::vector<Segment>& segments) {
+  double length = 0.0;
+  for (const Segment& s : segments) length += geom::manhattan(s.a, s.b);
+  return length;
+}
+
+namespace {
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+}  // namespace
+
+std::vector<Segment> steiner_segments(const std::vector<geom::Point>& pins) {
+  // Work on an editable tree: vertices = pins + inserted Steiner points;
+  // edges as index pairs.
+  std::vector<geom::Point> points = pins;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  {
+    // Rebuild the RMST in index space (spanning_segments loses indices).
+    const std::size_t n = pins.size();
+    if (n < 2) return {};
+    std::vector<bool> in_tree(n, false);
+    std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
+    std::vector<std::size_t> best_parent(n, 0);
+    in_tree[0] = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      best_dist[i] = geom::manhattan(pins[0], pins[i]);
+    }
+    for (std::size_t added = 1; added < n; ++added) {
+      std::size_t pick = 0;
+      double pick_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!in_tree[i] && best_dist[i] < pick_dist) {
+          pick = i;
+          pick_dist = best_dist[i];
+        }
+      }
+      in_tree[pick] = true;
+      edges.emplace_back(best_parent[pick], pick);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_tree[i]) continue;
+        const double d = geom::manhattan(pins[pick], pins[i]);
+        if (d < best_dist[i]) {
+          best_dist[i] = d;
+          best_parent[i] = pick;
+        }
+      }
+    }
+  }
+
+  // Greedy refinement: for each vertex, find the best pair of incident
+  // edges to reroute through a median Steiner point; repeat while gains
+  // exist. Each acceptance inserts one Steiner point, so the budget below
+  // bounds the loop.
+  const std::size_t max_points = pins.size() * 3;
+  bool improved = true;
+  while (improved && points.size() < max_points) {
+    improved = false;
+    // Incidence rebuilt per pass (edges mutate).
+    std::vector<std::vector<std::size_t>> incident(points.size());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      incident[edges[e].first].push_back(e);
+      incident[edges[e].second].push_back(e);
+    }
+    for (std::size_t v = 0; v < points.size(); ++v) {
+      if (incident[v].size() < 2) continue;
+      double best_gain = 1e-9;
+      std::size_t best_e1 = 0;
+      std::size_t best_e2 = 0;
+      geom::Point best_s;
+      for (std::size_t i = 0; i < incident[v].size(); ++i) {
+        for (std::size_t j = i + 1; j < incident[v].size(); ++j) {
+          const std::size_t e1 = incident[v][i];
+          const std::size_t e2 = incident[v][j];
+          const std::size_t a =
+              edges[e1].first == v ? edges[e1].second : edges[e1].first;
+          const std::size_t b =
+              edges[e2].first == v ? edges[e2].second : edges[e2].first;
+          const geom::Point s{median3(points[v].x, points[a].x, points[b].x),
+                              median3(points[v].y, points[a].y, points[b].y)};
+          const double before = geom::manhattan(points[v], points[a]) +
+                                geom::manhattan(points[v], points[b]);
+          const double after = geom::manhattan(points[v], s) +
+                               geom::manhattan(s, points[a]) +
+                               geom::manhattan(s, points[b]);
+          const double gain = before - after;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_e1 = e1;
+            best_e2 = e2;
+            best_s = s;
+          }
+        }
+      }
+      if (best_gain > 1e-9) {
+        const std::size_t a =
+            edges[best_e1].first == v ? edges[best_e1].second : edges[best_e1].first;
+        const std::size_t b =
+            edges[best_e2].first == v ? edges[best_e2].second : edges[best_e2].first;
+        const std::size_t s_idx = points.size();
+        points.push_back(best_s);
+        edges[best_e1] = {v, s_idx};
+        edges[best_e2] = {s_idx, a};
+        edges.emplace_back(s_idx, b);
+        improved = true;
+        break;  // incidence is stale; rescan with fresh lists
+      }
+    }
+  }
+
+  std::vector<Segment> segments;
+  segments.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    if (points[a] == points[b]) continue;  // degenerate after refinement
+    segments.push_back(Segment{points[a], points[b]});
+  }
+  return segments;
+}
+
+}  // namespace ppacd::route

@@ -1,0 +1,36 @@
+/// \file steiner.hpp
+/// \brief Rectilinear spanning/Steiner topology for net decomposition.
+///
+/// The global router decomposes every multi-pin net into two-pin segments
+/// along a rectilinear minimum spanning tree (Prim). An RMST is within 1.5x
+/// of the optimal RSMT (and within ~1.1-1.25x in practice), which is
+/// sufficient for the congestion/wirelength *trends* the paper's Eq. 4/5
+/// costs measure.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace ppacd::route {
+
+/// One two-pin connection of a net topology.
+struct Segment {
+  geom::Point a;
+  geom::Point b;
+};
+
+/// Builds the RMST segment list over `pins` (k-1 segments for k >= 2 pins;
+/// empty for fewer). O(k^2), fine for the fanouts in generated designs.
+std::vector<Segment> spanning_segments(const std::vector<geom::Point>& pins);
+
+/// RMST followed by greedy Steiner-point insertion: for every tree vertex,
+/// pairs of incident edges are re-routed through the median point of the
+/// three endpoints when that shortens the tree (the classic L-RST
+/// refinement step). Result is never longer than the RMST.
+std::vector<Segment> steiner_segments(const std::vector<geom::Point>& pins);
+
+/// Total Manhattan length of `segments`.
+double total_length(const std::vector<Segment>& segments);
+
+}  // namespace ppacd::route

@@ -1,0 +1,197 @@
+#include "sta/activity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace ppacd::sta {
+
+namespace {
+
+using liberty::Function;
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+/// Signal statistic pair used during composition.
+struct Sig {
+  double p = 0.5;
+  double d = 0.0;
+};
+
+Sig inv(const Sig& a) { return Sig{1.0 - a.p, a.d}; }
+
+Sig and2(const Sig& a, const Sig& b) {
+  return Sig{a.p * b.p, b.p * a.d + a.p * b.d};
+}
+
+Sig or2(const Sig& a, const Sig& b) {
+  return Sig{a.p + b.p - a.p * b.p, (1.0 - b.p) * a.d + (1.0 - a.p) * b.d};
+}
+
+Sig xor2(const Sig& a, const Sig& b) {
+  return Sig{a.p * (1.0 - b.p) + b.p * (1.0 - a.p), a.d + b.d};
+}
+
+/// Evaluates the gate function over its data inputs (library pin order).
+Sig evaluate(Function function, const std::vector<Sig>& in) {
+  switch (function) {
+    case Function::kInv: return inv(in.at(0));
+    case Function::kBuf: return in.at(0);
+    case Function::kNand2: return inv(and2(in.at(0), in.at(1)));
+    case Function::kNand3: return inv(and2(and2(in.at(0), in.at(1)), in.at(2)));
+    case Function::kNor2: return inv(or2(in.at(0), in.at(1)));
+    case Function::kAnd2: return and2(in.at(0), in.at(1));
+    case Function::kOr2: return or2(in.at(0), in.at(1));
+    case Function::kXor2: return xor2(in.at(0), in.at(1));
+    case Function::kAoi21: return inv(or2(and2(in.at(0), in.at(1)), in.at(2)));
+    case Function::kOai21: return inv(and2(or2(in.at(0), in.at(1)), in.at(2)));
+    case Function::kMux2: {
+      // y = s ? a : b with pins (A, B, S).
+      const Sig& a = in.at(0);
+      const Sig& b = in.at(1);
+      const Sig& s = in.at(2);
+      Sig out;
+      out.p = s.p * a.p + (1.0 - s.p) * b.p;
+      const double p_diff = a.p * (1.0 - b.p) + b.p * (1.0 - a.p);
+      out.d = s.p * a.d + (1.0 - s.p) * b.d + p_diff * s.d;
+      return out;
+    }
+    case Function::kHalfAdder: return xor2(in.at(0), in.at(1));
+    case Function::kFullAdder: return xor2(xor2(in.at(0), in.at(1)), in.at(2));
+    case Function::kDff: return in.at(0);  // handled by register update
+    case Function::kTieHi: return Sig{1.0, 0.0};
+    case Function::kTieLo: return Sig{0.0, 0.0};
+  }
+  return Sig{};
+}
+
+/// Topological order of combinational cells (registers are both the sources
+/// and sinks of the acyclic region, so they are excluded).
+std::vector<CellId> comb_topo_order(const Netlist& nl) {
+  std::vector<int> pending(nl.cell_count(), 0);
+  std::vector<std::vector<CellId>> fanout(nl.cell_count());
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const auto& net = nl.net(static_cast<NetId>(ni));
+    if (net.is_clock || net.driver == netlist::kInvalidId) continue;
+    const auto& driver = nl.pin(net.driver);
+    if (driver.kind != netlist::PinKind::kCellPin) continue;
+    if (liberty::is_sequential(nl.lib_cell_of(driver.cell).function)) continue;
+    for (PinId pid : net.pins) {
+      if (pid == net.driver) continue;
+      const auto& pin = nl.pin(pid);
+      if (pin.kind != netlist::PinKind::kCellPin || pin.is_clock) continue;
+      if (liberty::is_sequential(nl.lib_cell_of(pin.cell).function)) continue;
+      fanout[static_cast<std::size_t>(driver.cell)].push_back(pin.cell);
+      ++pending[static_cast<std::size_t>(pin.cell)];
+    }
+  }
+  std::vector<CellId> order;
+  order.reserve(nl.cell_count());
+  std::queue<CellId> ready;
+  for (std::size_t c = 0; c < nl.cell_count(); ++c) {
+    if (liberty::is_sequential(nl.lib_cell_of(static_cast<CellId>(c)).function))
+      continue;
+    if (pending[c] == 0) ready.push(static_cast<CellId>(c));
+  }
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    order.push_back(c);
+    for (CellId next : fanout[static_cast<std::size_t>(c)]) {
+      if (--pending[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<NetActivity> propagate_activity(const Netlist& nl,
+                                            const ActivityOptions& options) {
+  std::vector<NetActivity> act(nl.net_count());
+
+  // Defaults for registered signals (refined by the fixpoint sweeps below).
+  for (auto& a : act) {
+    a.p_one = 0.5;
+    a.toggle = options.dff_damping * 0.5;
+  }
+
+  // Primary inputs: deterministic per-port variation around the defaults so
+  // different interface nets carry different activity.
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    const auto& port = nl.port(static_cast<netlist::PortId>(po));
+    if (port.dir != liberty::PinDir::kInput) continue;
+    const NetId net = nl.pin(port.pin).net;
+    if (net == netlist::kInvalidId) continue;
+    const double jitter = 0.5 + static_cast<double>((po * 2654435761u) % 100) / 100.0;
+    act[static_cast<std::size_t>(net)].p_one = options.input_p;
+    act[static_cast<std::size_t>(net)].toggle =
+        std::min(options.max_toggle, options.input_toggle * jitter);
+  }
+
+  // Clock nets: two transitions per cycle by definition.
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    if (nl.net(static_cast<NetId>(ni)).is_clock) {
+      act[ni].p_one = 0.5;
+      act[ni].toggle = 2.0;
+    }
+  }
+
+  const std::vector<CellId> order = comb_topo_order(nl);
+
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    // Combinational propagation.
+    for (const CellId cid : order) {
+      const netlist::Cell& cell = nl.cell(cid);
+      const liberty::LibCell& lc = nl.lib_cell_of(cid);
+      const PinId out = nl.cell_output_pin(cid);
+      if (out == netlist::kInvalidId) continue;
+      const NetId out_net = nl.pin(out).net;
+      if (out_net == netlist::kInvalidId) continue;
+
+      std::vector<Sig> inputs;
+      for (PinId pid : cell.pins) {
+        const auto& pin = nl.pin(pid);
+        if (pin.dir != liberty::PinDir::kInput || pin.is_clock) continue;
+        Sig sig;
+        if (pin.net != netlist::kInvalidId) {
+          sig.p = act[static_cast<std::size_t>(pin.net)].p_one;
+          sig.d = act[static_cast<std::size_t>(pin.net)].toggle;
+        }
+        inputs.push_back(sig);
+      }
+      Sig out_sig = evaluate(lc.function, inputs);
+      out_sig.p = std::clamp(out_sig.p, 0.0, 1.0);
+      out_sig.d = std::clamp(out_sig.d, 0.0, options.max_toggle);
+      act[static_cast<std::size_t>(out_net)].p_one = out_sig.p;
+      act[static_cast<std::size_t>(out_net)].toggle = out_sig.d;
+    }
+
+    // Register update: Q resamples D once per cycle with damping.
+    for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+      const CellId cid = static_cast<CellId>(ci);
+      const liberty::LibCell& lc = nl.lib_cell_of(cid);
+      if (!liberty::is_sequential(lc.function)) continue;
+      const netlist::Cell& cell = nl.cell(cid);
+      NetId d_net = netlist::kInvalidId;
+      for (PinId pid : cell.pins) {
+        const auto& pin = nl.pin(pid);
+        if (pin.dir == liberty::PinDir::kInput && !pin.is_clock) d_net = pin.net;
+      }
+      const PinId out = nl.cell_output_pin(cid);
+      if (out == netlist::kInvalidId) continue;
+      const NetId q_net = nl.pin(out).net;
+      if (q_net == netlist::kInvalidId) continue;
+      const double p_d =
+          d_net == netlist::kInvalidId ? 0.5 : act[static_cast<std::size_t>(d_net)].p_one;
+      act[static_cast<std::size_t>(q_net)].p_one = p_d;
+      act[static_cast<std::size_t>(q_net)].toggle =
+          std::min(1.0, options.dff_damping * 2.0 * p_d * (1.0 - p_d));
+    }
+  }
+  return act;
+}
+
+}  // namespace ppacd::sta

@@ -1,0 +1,41 @@
+/// \file activity.hpp
+/// \brief Vectorless switching-activity propagation (OpenSTA
+/// `findClkedActivity` substitute).
+///
+/// Computes, for every net, the static probability of being 1 and the toggle
+/// rate (expected transitions per clock cycle). Primary inputs get default
+/// activities; combinational gates propagate them with the standard Boolean
+/// difference formulas under an input-independence assumption; flip-flops
+/// resample their D probability each cycle with a temporal-correlation
+/// damping factor. Because registered feedback makes activities circular,
+/// the analysis sweeps the logic a few times to a fixpoint.
+///
+/// The resulting per-net toggle rate is the theta_e of the switching cost
+/// (Eq. 2) and the input to the dynamic-power report.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ppacd::sta {
+
+/// Per-net signal statistics.
+struct NetActivity {
+  double p_one = 0.5;   ///< probability the signal is logic 1
+  double toggle = 0.0;  ///< expected transitions per clock cycle
+};
+
+struct ActivityOptions {
+  double input_p = 0.5;       ///< static probability at primary inputs
+  double input_toggle = 0.2;  ///< toggle rate at primary inputs (mean)
+  double dff_damping = 0.5;   ///< temporal-correlation damping at registers
+  int sweeps = 3;             ///< fixpoint sweeps over registered feedback
+  double max_toggle = 2.0;    ///< clamp on propagated transition density
+};
+
+/// Runs vectorless activity analysis; the result is indexed by NetId.
+std::vector<NetActivity> propagate_activity(const netlist::Netlist& netlist,
+                                            const ActivityOptions& options);
+
+}  // namespace ppacd::sta

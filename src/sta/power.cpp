@@ -1,0 +1,60 @@
+#include "sta/power.hpp"
+
+#include <cassert>
+
+namespace ppacd::sta {
+
+PowerReport compute_power(const netlist::Netlist& nl,
+                          const std::vector<NetActivity>& activities,
+                          double clock_period_ps,
+                          const std::vector<geom::Point>* cell_positions) {
+  assert(activities.size() == nl.net_count());
+  const liberty::Library& lib = nl.library();
+  PowerReport report;
+  const double vdd = lib.vdd();
+  constexpr double kInternalUplift = 1.10;
+
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::NetId net_id = static_cast<netlist::NetId>(ni);
+    const netlist::Net& net = nl.net(net_id);
+    if (net.driver == netlist::kInvalidId) continue;
+
+    double cap_ff = 0.0;
+    for (netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind != netlist::PinKind::kCellPin) continue;
+      cap_ff += lib.cell(nl.cell(pin.cell).lib_cell)
+                    .pins[static_cast<std::size_t>(pin.lib_pin)]
+                    .cap_ff;
+    }
+    if (cell_positions != nullptr) {
+      geom::BBox box;
+      for (netlist::PinId pid : net.pins) {
+        const netlist::Pin& pin = nl.pin(pid);
+        if (pin.kind == netlist::PinKind::kTopPort) {
+          box.expand(nl.port(pin.port).position);
+        } else {
+          box.expand(cell_positions->at(static_cast<std::size_t>(pin.cell)));
+        }
+      }
+      cap_ff += lib.wire_cap_ff_per_um() * box.half_perimeter();
+    }
+
+    // 0.5 * V^2 * C[fF]*1e-15 * toggle * f[1/ps]*1e12  ==
+    // 0.5e-3 * V^2 * C_ff * toggle / TCP_ps  (watts)
+    const double p_net = 0.5e-3 * vdd * vdd * cap_ff *
+                         activities[ni].toggle / clock_period_ps *
+                         kInternalUplift;
+    report.switching_w += p_net;
+    if (net.is_clock) report.clock_w += p_net;
+  }
+
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    report.leakage_w +=
+        nl.lib_cell_of(static_cast<netlist::CellId>(ci)).leakage_uw * 1e-6;
+  }
+  report.total_w = report.switching_w + report.leakage_w;
+  return report;
+}
+
+}  // namespace ppacd::sta

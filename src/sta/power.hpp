@@ -1,0 +1,33 @@
+/// \file power.hpp
+/// \brief Total-power report (the `Power` column of Tables 3-6).
+///
+/// Power = switching + leakage. Switching power of a net is
+/// 0.5 * Vdd^2 * C_net * toggle * f_clk, where C_net sums sink pin caps and
+/// (when placement is available) HPWL-based wire capacitance; toggle rates
+/// come from the vectorless activity analysis. Leakage sums the library's
+/// per-cell leakage. Internal (short-circuit) power is folded into switching
+/// via a fixed 10% uplift, matching the coarse granularity of this model.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/activity.hpp"
+
+namespace ppacd::sta {
+
+struct PowerReport {
+  double switching_w = 0.0;
+  double leakage_w = 0.0;
+  double clock_w = 0.0;  ///< share of switching_w spent on clock nets
+  double total_w = 0.0;
+};
+
+/// Computes the power report. `cell_positions` may be null (ideal wires).
+PowerReport compute_power(const netlist::Netlist& netlist,
+                          const std::vector<NetActivity>& activities,
+                          double clock_period_ps,
+                          const std::vector<geom::Point>* cell_positions);
+
+}  // namespace ppacd::sta

@@ -1,0 +1,58 @@
+#include "sta/report.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ppacd::sta {
+
+std::string pin_name(const netlist::Netlist& nl, netlist::PinId pin_id) {
+  const netlist::Pin& pin = nl.pin(pin_id);
+  if (pin.kind == netlist::PinKind::kTopPort) {
+    return nl.port(pin.port).name;
+  }
+  const netlist::Cell& cell = nl.cell(pin.cell);
+  const liberty::LibCell& lc = nl.lib_cell_of(pin.cell);
+  return cell.name + "/" + lc.pins[static_cast<std::size_t>(pin.lib_pin)].name;
+}
+
+std::string report_checks(const netlist::Netlist& nl, const Sta& sta,
+                          std::size_t max_paths) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  const auto paths = sta.worst_paths(max_paths);
+  for (const TimingPath& path : paths) {
+    out << "Startpoint: " << pin_name(nl, path.pins.front()) << "\n";
+    out << "Endpoint:   " << pin_name(nl, path.pins.back()) << "\n";
+    out << "  " << std::setw(10) << "arrival" << "  " << std::setw(10)
+        << "incr" << "  pin\n";
+    double previous = 0.0;
+    for (const netlist::PinId pid : path.pins) {
+      const double arrival = sta.arrival_ps(pid);
+      out << "  " << std::setw(10) << arrival << "  " << std::setw(10)
+          << arrival - previous << "  " << pin_name(nl, pid) << "\n";
+      previous = arrival;
+    }
+    const double required = sta.required_ps(path.endpoint);
+    out << "  required " << required << " ps, arrival " << path.arrival_ps
+        << " ps, slack " << path.slack_ps << " ps"
+        << (path.slack_ps < 0.0 ? " (VIOLATED)" : "") << "\n\n";
+  }
+  return out.str();
+}
+
+std::string report_summary(const netlist::Netlist& nl, const Sta& sta) {
+  std::size_t violating = 0;
+  for (const netlist::PinId ep : sta.endpoints()) {
+    const double s = sta.slack_ps(ep);
+    if (std::isfinite(s) && s < 0.0) ++violating;
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2);
+  out << nl.name() << ": WNS " << sta.wns_ps() << " ps, TNS " << sta.tns_ns()
+      << " ns, " << violating << "/" << sta.endpoints().size()
+      << " endpoints violating";
+  return out.str();
+}
+
+}  // namespace ppacd::sta

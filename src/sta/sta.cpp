@@ -1,0 +1,283 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace ppacd::sta {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Sta::Sta(const netlist::Netlist& netlist, const StaOptions& options)
+    : nl_(&netlist), options_(options) {}
+
+geom::Point Sta::pin_position(netlist::PinId pin_id) const {
+  const netlist::Pin& pin = nl_->pin(pin_id);
+  if (pin.kind == netlist::PinKind::kTopPort) {
+    return nl_->port(pin.port).position;
+  }
+  assert(options_.cell_positions != nullptr);
+  return options_.cell_positions->at(static_cast<std::size_t>(pin.cell));
+}
+
+double Sta::clock_arrival_of(netlist::CellId cell) const {
+  if (options_.clock_arrivals_ps == nullptr) return 0.0;
+  return options_.clock_arrivals_ps->at(static_cast<std::size_t>(cell));
+}
+
+double Sta::net_wirelength_um(netlist::NetId net_id) const {
+  if (options_.cell_positions == nullptr) return 0.0;
+  geom::BBox box;
+  for (netlist::PinId pid : nl_->net(net_id).pins) {
+    box.expand(pin_position(pid));
+  }
+  return box.half_perimeter();
+}
+
+void Sta::build_graph() {
+  const netlist::Netlist& nl = *nl_;
+  const liberty::Library& lib = nl.library();
+  arcs_.clear();
+  fanin_arcs_.assign(nl.pin_count(), {});
+  fanout_arcs_.assign(nl.pin_count(), {});
+  endpoints_.clear();
+
+  auto add_arc = [this](netlist::PinId from, netlist::PinId to, double delay) {
+    const auto idx = static_cast<std::int32_t>(arcs_.size());
+    arcs_.push_back(Arc{from, to, delay});
+    fanout_arcs_[static_cast<std::size_t>(from)].push_back(idx);
+    fanin_arcs_[static_cast<std::size_t>(to)].push_back(idx);
+  };
+
+  // Per-net: driver load capacitance and per-sink wire delay.
+  const bool placed = options_.cell_positions != nullptr;
+  std::vector<double> net_load_ff(nl.net_count(), 0.0);
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::NetId net_id = static_cast<netlist::NetId>(ni);
+    const netlist::Net& net = nl.net(net_id);
+    if (net.is_clock || net.driver == netlist::kInvalidId) continue;
+
+    double load = 0.0;
+    for (netlist::PinId pid : net.pins) {
+      if (pid == net.driver) continue;
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kCellPin) {
+        load += lib.cell(nl.cell(pin.cell).lib_cell)
+                    .pins[static_cast<std::size_t>(pin.lib_pin)]
+                    .cap_ff;
+      }
+    }
+    if (placed) {
+      load += lib.wire_cap_ff_per_um() * net_wirelength_um(net_id);
+    }
+    net_load_ff[ni] = load;
+
+    // Net arcs: driver -> each sink, Elmore-style wire delay.
+    const geom::Point driver_pos = placed ? pin_position(net.driver) : geom::Point{};
+    for (netlist::PinId pid : net.pins) {
+      if (pid == net.driver) continue;
+      double wire_delay = 0.0;
+      if (placed) {
+        const double len = geom::manhattan(driver_pos, pin_position(pid));
+        const netlist::Pin& pin = nl.pin(pid);
+        double sink_cap = 0.0;
+        if (pin.kind == netlist::PinKind::kCellPin) {
+          sink_cap = lib.cell(nl.cell(pin.cell).lib_cell)
+                         .pins[static_cast<std::size_t>(pin.lib_pin)]
+                         .cap_ff;
+        }
+        wire_delay = lib.wire_res_kohm_per_um() * len *
+                     (0.5 * lib.wire_cap_ff_per_um() * len + sink_cap);
+      }
+      add_arc(net.driver, pid, wire_delay);
+    }
+  }
+
+  // Cell arcs.
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::CellId cid = static_cast<netlist::CellId>(ci);
+    const netlist::Cell& cell = nl.cell(cid);
+    const liberty::LibCell& lc = lib.cell(cell.lib_cell);
+    const netlist::PinId out = nl.cell_output_pin(cid);
+    if (out == netlist::kInvalidId) continue;
+
+    const netlist::NetId out_net = nl.pin(out).net;
+    const double load =
+        out_net == netlist::kInvalidId ? 0.0 : net_load_ff[static_cast<std::size_t>(out_net)];
+    const double delay = lc.intrinsic_ps + lc.drive_res_kohm * load;
+
+    if (liberty::is_sequential(lc.function)) {
+      const int ck = lc.clock_pin_index();
+      assert(ck >= 0);
+      add_arc(nl.cell_pin(cid, ck), out, delay);  // CK -> Q launch arc
+    } else {
+      for (netlist::PinId pid : cell.pins) {
+        const netlist::Pin& pin = nl.pin(pid);
+        if (pin.dir == liberty::PinDir::kInput && !pin.is_clock) {
+          add_arc(pid, out, delay);
+        }
+      }
+    }
+  }
+
+  // Endpoints: flip-flop D pins and output ports.
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::CellId cid = static_cast<netlist::CellId>(ci);
+    const liberty::LibCell& lc = lib.cell(nl.cell(cid).lib_cell);
+    if (!liberty::is_sequential(lc.function)) continue;
+    for (netlist::PinId pid : nl.cell(cid).pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.dir == liberty::PinDir::kInput && !pin.is_clock) {
+        endpoints_.push_back(pid);
+      }
+    }
+  }
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    const netlist::Port& port = nl.port(static_cast<netlist::PortId>(po));
+    if (port.dir == liberty::PinDir::kOutput) endpoints_.push_back(port.pin);
+  }
+
+  // Topological order (Kahn).
+  topo_order_.clear();
+  topo_order_.reserve(nl.pin_count());
+  std::vector<std::int32_t> pending(nl.pin_count(), 0);
+  std::queue<netlist::PinId> ready;
+  for (std::size_t p = 0; p < nl.pin_count(); ++p) {
+    pending[p] = static_cast<std::int32_t>(fanin_arcs_[p].size());
+    if (pending[p] == 0) ready.push(static_cast<netlist::PinId>(p));
+  }
+  while (!ready.empty()) {
+    const netlist::PinId pid = ready.front();
+    ready.pop();
+    topo_order_.push_back(pid);
+    for (std::int32_t ai : fanout_arcs_[static_cast<std::size_t>(pid)]) {
+      const netlist::PinId to = arcs_[static_cast<std::size_t>(ai)].to;
+      if (--pending[static_cast<std::size_t>(to)] == 0) ready.push(to);
+    }
+  }
+  assert(topo_order_.size() == nl.pin_count() && "timing graph has a cycle");
+}
+
+void Sta::propagate_arrivals() {
+  const netlist::Netlist& nl = *nl_;
+  arrival_.assign(nl.pin_count(), -kInf);
+  worst_fanin_.assign(nl.pin_count(), -1);
+
+  // Sources: pins without fanin arcs. Clock pins launch at their cell's
+  // clock arrival; everything else (input ports, dangling) launches at 0.
+  for (std::size_t p = 0; p < nl.pin_count(); ++p) {
+    if (!fanin_arcs_[p].empty()) continue;
+    const netlist::Pin& pin = nl.pin(static_cast<netlist::PinId>(p));
+    arrival_[p] = pin.is_clock && pin.kind == netlist::PinKind::kCellPin
+                      ? clock_arrival_of(pin.cell)
+                      : 0.0;
+  }
+
+  for (const netlist::PinId pid : topo_order_) {
+    for (std::int32_t ai : fanout_arcs_[static_cast<std::size_t>(pid)]) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
+      const double candidate = arrival_[static_cast<std::size_t>(pid)] + arc.delay_ps;
+      auto& dest = arrival_[static_cast<std::size_t>(arc.to)];
+      if (candidate > dest) {
+        dest = candidate;
+        worst_fanin_[static_cast<std::size_t>(arc.to)] = ai;
+      }
+    }
+  }
+}
+
+void Sta::propagate_requireds() {
+  const netlist::Netlist& nl = *nl_;
+  required_.assign(nl.pin_count(), kInf);
+  const double period = options_.clock_period_ps;
+
+  for (const netlist::PinId pid : endpoints_) {
+    const netlist::Pin& pin = nl.pin(pid);
+    double req = period;
+    if (pin.kind == netlist::PinKind::kCellPin) {
+      const liberty::LibCell& lc = nl.lib_cell_of(pin.cell);
+      req = period + clock_arrival_of(pin.cell) - lc.setup_ps;
+    }
+    required_[static_cast<std::size_t>(pid)] =
+        std::min(required_[static_cast<std::size_t>(pid)], req);
+  }
+
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const netlist::PinId pid = *it;
+    for (std::int32_t ai : fanout_arcs_[static_cast<std::size_t>(pid)]) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
+      const double candidate =
+          required_[static_cast<std::size_t>(arc.to)] - arc.delay_ps;
+      auto& src = required_[static_cast<std::size_t>(pid)];
+      src = std::min(src, candidate);
+    }
+  }
+
+  wns_ps_ = 0.0;
+  tns_ns_ = 0.0;
+  for (const netlist::PinId pid : endpoints_) {
+    const double s = slack_ps(pid);
+    if (s < 0.0) {
+      wns_ps_ = std::min(wns_ps_, s);
+      tns_ns_ += s / 1000.0;
+    }
+  }
+}
+
+void Sta::run() {
+  build_graph();
+  propagate_arrivals();
+  propagate_requireds();
+  ran_ = true;
+  PPACD_LOG_DEBUG("sta") << nl_->name() << ": WNS " << wns_ps_ << " ps, TNS "
+                         << tns_ns_ << " ns";
+}
+
+double Sta::slack_ps(netlist::PinId pin) const {
+  const double a = arrival_.at(static_cast<std::size_t>(pin));
+  const double r = required_.at(static_cast<std::size_t>(pin));
+  if (a == -kInf || r == kInf) return kInf;
+  return r - a;
+}
+
+double Sta::net_slack_ps(netlist::NetId net_id) const {
+  const netlist::Net& net = nl_->net(net_id);
+  if (net.is_clock || net.driver == netlist::kInvalidId) return kInf;
+  return slack_ps(net.driver);
+}
+
+std::vector<TimingPath> Sta::worst_paths(std::size_t max_paths) const {
+  assert(ran_);
+  std::vector<netlist::PinId> sorted = endpoints_;
+  std::sort(sorted.begin(), sorted.end(),
+            [this](netlist::PinId a, netlist::PinId b) {
+              return slack_ps(a) < slack_ps(b);
+            });
+  if (sorted.size() > max_paths) sorted.resize(max_paths);
+
+  std::vector<TimingPath> paths;
+  paths.reserve(sorted.size());
+  for (const netlist::PinId end : sorted) {
+    if (slack_ps(end) == kInf) continue;  // unconstrained endpoint
+    TimingPath path;
+    path.endpoint = end;
+    path.slack_ps = slack_ps(end);
+    path.arrival_ps = arrival_.at(static_cast<std::size_t>(end));
+    // Backtrack the arrival-defining chain to a source.
+    netlist::PinId cursor = end;
+    while (cursor != netlist::kInvalidId) {
+      path.pins.push_back(cursor);
+      const std::int32_t ai = worst_fanin_[static_cast<std::size_t>(cursor)];
+      cursor = ai < 0 ? netlist::kInvalidId : arcs_[static_cast<std::size_t>(ai)].from;
+    }
+    std::reverse(path.pins.begin(), path.pins.end());
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace ppacd::sta

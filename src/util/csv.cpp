@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ppacd::util {
+
+namespace {
+std::string escape_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void render_row(std::ostringstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ",";
+    out << escape_cell(row[i]);
+  }
+  out << "\n";
+}
+}  // namespace
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  render_row(out, header_);
+  for (const auto& row : rows_) render_row(out, row);
+  return out.str();
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_string();
+  return static_cast<bool>(file);
+}
+
+}  // namespace ppacd::util

@@ -1,0 +1,31 @@
+/// \file csv.hpp
+/// \brief CSV writer for exporting bench results alongside the ASCII tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppacd::util {
+
+/// Accumulates rows and writes a CSV file (RFC-4180-style quoting for cells
+/// containing commas or quotes).
+class CsvWriter {
+ public:
+  /// Sets the header row; defines the expected column count.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends one data row.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Serializes header + rows.
+  std::string to_string() const;
+
+  /// Writes to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppacd::util

@@ -1,0 +1,56 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logger used across the library.
+///
+/// The logger writes to stderr and is intentionally tiny: benches and tests
+/// frequently raise the level to keep output focused on the reproduced tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ppacd::util {
+
+/// Severity levels, ordered: messages below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Sets the global logging threshold (thread-unsafe by design; set once at start).
+void set_log_level(LogLevel level);
+
+/// Returns the current global logging threshold.
+LogLevel log_level();
+
+/// Emits one log line `[LEVEL] tag: message` if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view tag, std::string_view message);
+
+namespace detail {
+
+/// Stream-style log statement builder; flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Usage: `PPACD_LOG_INFO("place") << "iter " << i << " hpwl " << hpwl;`
+#define PPACD_LOG_DEBUG(tag) ::ppacd::util::detail::LogStream(::ppacd::util::LogLevel::kDebug, (tag))
+#define PPACD_LOG_INFO(tag) ::ppacd::util::detail::LogStream(::ppacd::util::LogLevel::kInfo, (tag))
+#define PPACD_LOG_WARN(tag) ::ppacd::util::detail::LogStream(::ppacd::util::LogLevel::kWarn, (tag))
+#define PPACD_LOG_ERROR(tag) ::ppacd::util::detail::LogStream(::ppacd::util::LogLevel::kError, (tag))
+
+}  // namespace ppacd::util

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppacd::util {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  return s;
+}
+
+double mean(const std::vector<double>& values) { return summarize(values).mean; }
+
+double stddev(const std::vector<double>& values) {
+  return summarize(values).stddev;
+}
+
+double quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_absolute_error(const std::vector<double>& predicted,
+                           const std::vector<double>& actual) {
+  assert(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    sum += std::fabs(predicted[i] - actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double r2_score(const std::vector<double>& predicted,
+                const std::vector<double>& actual) {
+  assert(predicted.size() == actual.size());
+  if (actual.empty()) return 0.0;
+  const double label_mean = mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - label_mean) * (actual[i] - label_mean);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double percent_improvement(double base, double ours) {
+  if (base == 0.0) return 0.0;
+  return 100.0 * (base - ours) / std::fabs(base);
+}
+
+}  // namespace ppacd::util

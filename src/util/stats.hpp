@@ -1,0 +1,46 @@
+/// \file stats.hpp
+/// \brief Descriptive statistics and metric helpers shared by benches and the
+/// ML evaluation (MAE, R2) of Section 4.4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppacd::util {
+
+/// Summary of a sample: count, mean, standard deviation, min and max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary of `values`; all fields zero for an empty input.
+Summary summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than two values.
+double stddev(const std::vector<double>& values);
+
+/// Value at quantile q in [0,1] using linear interpolation on sorted data.
+/// Requires a non-empty input.
+double quantile(std::vector<double> values, double q);
+
+/// Mean absolute error between equally sized prediction/label vectors.
+double mean_absolute_error(const std::vector<double>& predicted,
+                           const std::vector<double>& actual);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+/// Returns 0 when the labels have zero variance.
+double r2_score(const std::vector<double>& predicted,
+                const std::vector<double>& actual);
+
+/// Percentage improvement of `ours` relative to `base` where smaller is
+/// better: 100 * (base - ours) / |base|. Returns 0 when base == 0.
+double percent_improvement(double base, double ours);
+
+}  // namespace ppacd::util

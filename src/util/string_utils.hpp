@@ -1,0 +1,23 @@
+/// \file string_utils.hpp
+/// \brief Small string helpers (hierarchical-name handling, formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppacd::util {
+
+/// Splits `text` on `sep`, keeping empty tokens.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins `tokens` with `sep`.
+std::string join(const std::vector<std::string>& tokens, char sep);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style double formatting, e.g. format_double(1.23456, 3) == "1.235".
+std::string format_double(double value, int decimals);
+
+}  // namespace ppacd::util

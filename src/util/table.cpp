@@ -1,0 +1,42 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ppacd::util {
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream line;
+    line << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    return line.str();
+  };
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+
+  std::ostringstream out;
+  out << "\n== " << title_ << " ==\n";
+  out << rule << "\n" << render_row(header_) << "\n" << rule << "\n";
+  for (const auto& row : rows_) out << render_row(row) << "\n";
+  out << rule << "\n";
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace ppacd::util

@@ -1,0 +1,36 @@
+/// \file table.hpp
+/// \brief ASCII table rendering used by every bench binary to print the
+/// paper-style rows (Tables 1-6, Figure 5 series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppacd::util {
+
+/// Column-aligned ASCII table with a title, a header row and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends one data row. Rows shorter than the header are right-padded.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table with box-drawing separators.
+  std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppacd::util

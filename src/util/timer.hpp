@@ -1,0 +1,27 @@
+/// \file timer.hpp
+/// \brief Wall-clock timer for the runtime columns of Table 2.
+#pragma once
+
+#include <chrono>
+
+namespace ppacd::util {
+
+/// Simple wall-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppacd::util

@@ -1,0 +1,138 @@
+#include "viz/viz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+namespace ppacd::viz {
+
+namespace {
+
+/// Distinct-ish color per cluster id (golden-angle hue walk).
+std::string cluster_color(std::int32_t cluster) {
+  const double hue = std::fmod(static_cast<double>(cluster) * 137.508, 360.0);
+  // HSL(hue, 65%, 55%) to RGB, coarse.
+  const double c = 0.65 * (1.0 - std::fabs(2.0 * 0.55 - 1.0));
+  const double hp = hue / 60.0;
+  const double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  if (hp < 1) { r = c; g = x; }
+  else if (hp < 2) { r = x; g = c; }
+  else if (hp < 3) { g = c; b = x; }
+  else if (hp < 4) { g = x; b = c; }
+  else if (hp < 5) { r = x; b = c; }
+  else { r = c; b = x; }
+  const double m = 0.55 - c / 2.0;
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x%02x",
+                static_cast<int>((r + m) * 255), static_cast<int>((g + m) * 255),
+                static_cast<int>((b + m) * 255));
+  return buffer;
+}
+
+}  // namespace
+
+void write_placement_svg(const netlist::Netlist& nl,
+                         const std::vector<geom::Point>& positions,
+                         const geom::Rect& core, const SvgOptions& options,
+                         std::ostream& out) {
+  const double s = options.pixels_per_um;
+  const double width = core.width() * s;
+  const double height = core.height() * s;
+  // SVG y grows downward; flip so the core's origin is bottom-left.
+  auto px = [&](double x) { return (x - core.lx) * s; };
+  auto py = [&](double y) { return height - (y - core.ly) * s; };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\">\n";
+  out << "<rect x=\"0\" y=\"0\" width=\"" << width << "\" height=\"" << height
+      << "\" fill=\"#101418\"/>\n";
+
+  const bool colored = options.cluster_of_cell.size() == nl.cell_count();
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const liberty::LibCell& lc = nl.lib_cell_of(static_cast<netlist::CellId>(ci));
+    const geom::Point& p = positions.at(ci);
+    const double w = lc.width_um * s;
+    const double h = lc.height_um * s;
+    const std::string fill =
+        colored ? cluster_color(options.cluster_of_cell[ci]) : "#5fa8d3";
+    out << "<rect x=\"" << px(p.x) - w / 2 << "\" y=\"" << py(p.y) - h / 2
+        << "\" width=\"" << w << "\" height=\"" << h << "\" fill=\"" << fill
+        << "\" fill-opacity=\"0.85\"/>\n";
+  }
+  if (options.draw_ports) {
+    for (std::size_t po = 0; po < nl.port_count(); ++po) {
+      const geom::Point& p = nl.port(static_cast<netlist::PortId>(po)).position;
+      out << "<circle cx=\"" << px(p.x) << "\" cy=\"" << py(p.y)
+          << "\" r=\"" << 0.8 * s << "\" fill=\"#f2c14e\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+}
+
+bool write_placement_svg_file(const netlist::Netlist& nl,
+                              const std::vector<geom::Point>& positions,
+                              const geom::Rect& core, const SvgOptions& options,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_placement_svg(nl, positions, core, options, out);
+  return static_cast<bool>(out);
+}
+
+void write_congestion_ppm(const route::RouteResult& result, std::ostream& out) {
+  const int nx = std::max(1, result.grid_nx);
+  const int ny = std::max(1, result.grid_ny);
+  const std::size_t h_edges = static_cast<std::size_t>(nx - 1) * ny;
+
+  // Per-GCell congestion: max utilization over incident edges.
+  std::vector<double> cell_util(static_cast<std::size_t>(nx) * ny, 0.0);
+  auto bump = [&](int x, int y, double u) {
+    auto& slot = cell_util[static_cast<std::size_t>(y) * nx + x];
+    slot = std::max(slot, u);
+  };
+  for (std::size_t e = 0; e < result.edge_utilization.size(); ++e) {
+    const double u = result.edge_utilization[e];
+    if (e < h_edges) {
+      const int y = static_cast<int>(e) / (nx - 1);
+      const int x = static_cast<int>(e) % (nx - 1);
+      bump(x, y, u);
+      bump(x + 1, y, u);
+    } else {
+      const std::size_t v = e - h_edges;
+      const int x = static_cast<int>(v) / (ny - 1);
+      const int y = static_cast<int>(v) % (ny - 1);
+      bump(x, y, u);
+      bump(x, y + 1, u);
+    }
+  }
+
+  out << "P6\n" << nx << " " << ny << "\n255\n";
+  for (int y = ny - 1; y >= 0; --y) {  // PPM top-down; flip to math coords
+    for (int x = 0; x < nx; ++x) {
+      const double u = cell_util[static_cast<std::size_t>(y) * nx + x];
+      // Blue (0) -> green (0.5) -> red (>= 1).
+      const double t = std::clamp(u, 0.0, 1.5) / 1.5;
+      const unsigned char r = static_cast<unsigned char>(255.0 * std::clamp(2.0 * t - 0.6, 0.0, 1.0));
+      const unsigned char g = static_cast<unsigned char>(255.0 * std::clamp(1.6 * (t < 0.5 ? t : 1.0 - t) + 0.1, 0.0, 1.0));
+      const unsigned char b = static_cast<unsigned char>(255.0 * std::clamp(1.0 - 2.2 * t, 0.0, 1.0));
+      out.put(static_cast<char>(r));
+      out.put(static_cast<char>(g));
+      out.put(static_cast<char>(b));
+    }
+  }
+}
+
+bool write_congestion_ppm_file(const route::RouteResult& result,
+                               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_congestion_ppm(result, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ppacd::viz

@@ -1,0 +1,45 @@
+/// \file viz.hpp
+/// \brief Placement and congestion visualization (SVG / PPM exports).
+///
+/// Debugging a placer without pictures is miserable; these helpers dump
+///   * an SVG of a placement, with cells optionally colored by cluster
+///     (great for eyeballing what the seeded placement did), and
+///   * a PPM heat map of the global router's edge congestion (the visual
+///     counterpart of Eq. 5's Top-X% metric).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "route/global_router.hpp"
+
+namespace ppacd::viz {
+
+struct SvgOptions {
+  double pixels_per_um = 8.0;
+  /// Optional cluster id per cell; colors cells by cluster when non-empty.
+  std::vector<std::int32_t> cluster_of_cell;
+  bool draw_ports = true;
+};
+
+/// Writes an SVG of `positions` (cell centers) inside `core`.
+void write_placement_svg(const netlist::Netlist& netlist,
+                         const std::vector<geom::Point>& positions,
+                         const geom::Rect& core, const SvgOptions& options,
+                         std::ostream& out);
+bool write_placement_svg_file(const netlist::Netlist& netlist,
+                              const std::vector<geom::Point>& positions,
+                              const geom::Rect& core, const SvgOptions& options,
+                              const std::string& path);
+
+/// Writes a PPM (P6) heat map of per-GCell congestion from a route result:
+/// blue = idle, green/yellow = busy, red = over capacity.
+void write_congestion_ppm(const route::RouteResult& result, std::ostream& out);
+bool write_congestion_ppm_file(const route::RouteResult& result,
+                               const std::string& path);
+
+}  // namespace ppacd::viz

@@ -1,0 +1,182 @@
+#include "vpr/vpr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "place/floorplan.hpp"
+#include "util/logging.hpp"
+
+namespace ppacd::vpr {
+
+std::vector<cluster::ClusterShape> candidate_shapes(const VprOptions& options) {
+  std::vector<cluster::ClusterShape> shapes;
+  shapes.reserve(options.aspect_ratios.size() * options.utilizations.size());
+  for (const double ar : options.aspect_ratios) {
+    for (const double util : options.utilizations) {
+      cluster::ClusterShape shape;
+      shape.aspect_ratio = ar;
+      shape.utilization = util;
+      shapes.push_back(shape);
+    }
+  }
+  return shapes;
+}
+
+namespace {
+
+/// Shared tail of the virtual P&R: place, route, score Eq. 4/5.
+ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
+                                 place::PlaceModel model,
+                                 const place::Floorplan& fp,
+                                 const cluster::ClusterShape& shape,
+                                 const VprOptions& options);
+
+}  // namespace
+
+ShapeCandidate evaluate_shape(const netlist::Netlist& subnetlist,
+                              const cluster::ClusterShape& shape,
+                              const VprOptions& options) {
+  // Virtual die at this shape; IO ports on its boundary (footnote 4).
+  netlist::Netlist virtual_design = subnetlist;
+  place::FloorplanOptions fpo;
+  fpo.utilization = shape.utilization;
+  fpo.aspect_ratio = shape.aspect_ratio;
+  const place::Floorplan fp = place::Floorplan::create(
+      virtual_design.total_cell_area(), virtual_design.library().row_height_um(),
+      fpo);
+  place::place_ports_on_boundary(virtual_design, fp);
+  place::PlaceModel model = place::make_place_model(virtual_design, fp);
+  return score_virtual_die(virtual_design, std::move(model), fp, shape, options);
+}
+
+ShapeCandidate evaluate_l_shape(const netlist::Netlist& subnetlist,
+                                const cluster::ClusterShape& shape,
+                                double notch_fraction,
+                                const VprOptions& options) {
+  assert(notch_fraction > 0.0 && notch_fraction < 0.5);
+  netlist::Netlist virtual_design = subnetlist;
+  // Gross area must leave the usable area intact after the notch.
+  place::FloorplanOptions fpo;
+  fpo.utilization = shape.utilization * (1.0 - notch_fraction);
+  fpo.aspect_ratio = shape.aspect_ratio;
+  const place::Floorplan fp = place::Floorplan::create(
+      virtual_design.total_cell_area(), virtual_design.library().row_height_um(),
+      fpo);
+  place::place_ports_on_boundary(virtual_design, fp);
+  place::PlaceModel model = place::make_place_model(virtual_design, fp);
+
+  // Notch blockage in the top-right corner, sqrt(f) of each dimension so
+  // the notch covers `notch_fraction` of the gross area.
+  const double frac = std::sqrt(notch_fraction);
+  place::PlaceObject notch;
+  notch.blockage = true;
+  notch.fixed = true;
+  notch.width_um = fp.core.width() * frac;
+  notch.height_um = fp.core.height() * frac;
+  notch.fixed_position = {fp.core.ux - notch.width_um * 0.5,
+                          fp.core.uy - notch.height_um * 0.5};
+  model.objects.push_back(notch);
+
+  return score_virtual_die(virtual_design, std::move(model), fp, shape, options);
+}
+
+namespace {
+
+ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
+                                 place::PlaceModel model,
+                                 const place::Floorplan& fp,
+                                 const cluster::ClusterShape& shape,
+                                 const VprOptions& options) {
+  ShapeCandidate candidate;
+  candidate.shape = shape;
+
+  place::GlobalPlacer placer(model, options.placer);
+  const place::PlaceResult placed = placer.run();
+  const auto positions = place::cell_positions(virtual_design, placed.placement);
+
+  route::GlobalRouter router(virtual_design, positions, fp.core, options.router);
+  const route::RouteResult routed = router.run();
+
+  // Eq. 4: average net HPWL normalized by the virtual die half-perimeter.
+  double hpwl_sum = 0.0;
+  std::size_t net_count = 0;
+  for (std::size_t ni = 0; ni < virtual_design.net_count(); ++ni) {
+    const netlist::Net& net = virtual_design.net(static_cast<netlist::NetId>(ni));
+    if (net.pins.size() < 2 || net.is_clock) continue;
+    geom::BBox box;
+    for (const netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = virtual_design.pin(pid);
+      box.expand(pin.kind == netlist::PinKind::kTopPort
+                     ? virtual_design.port(pin.port).position
+                     : positions[static_cast<std::size_t>(pin.cell)]);
+    }
+    hpwl_sum += box.half_perimeter();
+    ++net_count;
+  }
+  const double hpwl_avg =
+      net_count > 0 ? hpwl_sum / static_cast<double>(net_count) : 0.0;
+  candidate.hpwl_cost = hpwl_avg / (fp.core.width() + fp.core.height());
+
+  // Eq. 5: mean congestion over the top X% GCells.
+  candidate.congestion_cost = routed.top_congestion(options.top_percent);
+
+  candidate.total_cost =
+      candidate.hpwl_cost + options.delta * candidate.congestion_cost;
+  return candidate;
+}
+
+}  // namespace
+
+VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options) {
+  VprResult result;
+  const auto shapes = candidate_shapes(options);
+  result.candidates.reserve(shapes.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    ShapeCandidate candidate = evaluate_shape(subnetlist, shapes[i], options);
+    if (candidate.total_cost < best) {
+      best = candidate.total_cost;
+      result.best_index = i;
+    }
+    result.candidates.push_back(std::move(candidate));
+  }
+  return result;
+}
+
+ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
+                                          cluster::ClusteredNetlist& clustered,
+                                          const VprOptions& options,
+                                          const ShapeCostPredictor* predictor) {
+  ShapeSelectionStats stats;
+  const auto shapes = candidate_shapes(options);
+  for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
+    const cluster::Cluster& cluster_ref = clustered.clusters[ci];
+    if (static_cast<int>(cluster_ref.cells.size()) <= options.min_cluster_instances) {
+      ++stats.clusters_skipped;
+      continue;
+    }
+    ++stats.clusters_shaped;
+    const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, cluster_ref.cells);
+
+    std::size_t best_index = 0;
+    if (predictor != nullptr) {
+      const std::vector<double> predicted = (*predictor)(sub.netlist, shapes);
+      assert(predicted.size() == shapes.size());
+      best_index = static_cast<std::size_t>(
+          std::min_element(predicted.begin(), predicted.end()) -
+          predicted.begin());
+    } else {
+      const VprResult vpr = run_vpr(sub.netlist, options);
+      best_index = vpr.best_index;
+      stats.vpr_runs += static_cast<double>(vpr.candidates.size());
+    }
+    cluster::set_cluster_shape(clustered, ci, shapes[best_index]);
+  }
+  PPACD_LOG_DEBUG("vpr") << nl.name() << ": shaped " << stats.clusters_shaped
+                         << " clusters (" << stats.clusters_skipped
+                         << " below threshold)";
+  return stats;
+}
+
+}  // namespace ppacd::vpr

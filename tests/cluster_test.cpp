@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/clustered_netlist.hpp"
+#include "cluster/community.hpp"
+#include "cluster/fc_multilevel.hpp"
+#include "cluster/graph.hpp"
+#include "cluster/ppa_costs.hpp"
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "hier/dendrogram.hpp"
+
+namespace ppacd::cluster {
+namespace {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+
+liberty::Library& lib() {
+  static liberty::Library instance = liberty::Library::nangate45_like();
+  return instance;
+}
+
+Netlist small_design(const char* name = "aes", int cells = 600) {
+  gen::DesignSpec spec = gen::design_spec(name);
+  spec.target_cells = cells;
+  return gen::generate(lib(), spec);
+}
+
+// --- Clique expansion --------------------------------------------------------
+
+TEST(CliqueExpand, WeightsAreOneOverDegreeMinusOne) {
+  Netlist nl(lib(), "t");
+  const auto inv = *lib().find("INV_X1");
+  const auto nand3 = *lib().find("NAND3_X1");
+  const CellId a = nl.add_cell("a", inv, nl.root_module());
+  const CellId b = nl.add_cell("b", inv, nl.root_module());
+  const CellId g = nl.add_cell("g", nand3, nl.root_module());
+  // Net over {a, b, g}: driver a.Y, sinks b.A and g.A.
+  const NetId n = nl.add_net("n");
+  nl.connect(n, nl.cell_output_pin(a));
+  nl.connect(n, nl.cell_pin(b, 0));
+  nl.connect(n, nl.cell_pin(g, 0));
+
+  const Graph graph = clique_expand(nl);
+  // k = 3 cells -> each pair weight 1/2.
+  for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(a)]) {
+    (void)u;
+    EXPECT_DOUBLE_EQ(w, 0.5);
+  }
+  EXPECT_EQ(graph.adjacency[static_cast<std::size_t>(a)].size(), 2u);
+  EXPECT_NEAR(graph.total_edge_weight, 3 * 0.5, 1e-12);
+}
+
+TEST(CliqueExpand, ParallelNetsMerge) {
+  Netlist nl(lib(), "t");
+  const auto inv = *lib().find("INV_X1");
+  const auto nand2 = *lib().find("NAND2_X1");
+  const CellId a = nl.add_cell("a", inv, nl.root_module());
+  const CellId g = nl.add_cell("g", nand2, nl.root_module());
+  const CellId h = nl.add_cell("h", inv, nl.root_module());
+  // Two nets both connecting a -> g.
+  const NetId n1 = nl.add_net("n1");
+  nl.connect(n1, nl.cell_output_pin(a));
+  nl.connect(n1, nl.cell_pin(g, 0));
+  const NetId n2 = nl.add_net("n2");
+  nl.connect(n2, nl.cell_output_pin(h));
+  nl.connect(n2, nl.cell_pin(g, 1));
+
+  const Graph graph = clique_expand(nl);
+  EXPECT_EQ(graph.adjacency[static_cast<std::size_t>(g)].size(), 2u);
+}
+
+TEST(CliqueExpand, ClockAndHighFanoutSkipped) {
+  const Netlist nl = small_design();
+  const Graph g64 = clique_expand(nl, 64);
+  const Graph g4 = clique_expand(nl, 4);
+  EXPECT_LT(g4.total_edge_weight, g64.total_edge_weight);
+}
+
+// --- Community detection -----------------------------------------------------
+
+/// Two 5-cliques joined by one edge: the canonical community structure.
+Graph two_cliques() {
+  Graph g;
+  g.vertex_count = 10;
+  g.adjacency.resize(10);
+  auto add = [&g](std::int32_t a, std::int32_t b) {
+    g.adjacency[static_cast<std::size_t>(a)].emplace_back(b, 1.0);
+    g.adjacency[static_cast<std::size_t>(b)].emplace_back(a, 1.0);
+    g.total_edge_weight += 1.0;
+  };
+  for (int base : {0, 5}) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) add(base + i, base + j);
+    }
+  }
+  add(0, 5);
+  return g;
+}
+
+TEST(Louvain, FindsTwoCliques) {
+  const CommunityResult result = louvain(two_cliques(), CommunityOptions{});
+  EXPECT_EQ(result.community_count, 2);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(result.community[static_cast<std::size_t>(i)], result.community[0]);
+    EXPECT_EQ(result.community[static_cast<std::size_t>(5 + i)], result.community[5]);
+  }
+  EXPECT_NE(result.community[0], result.community[5]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Leiden, FindsTwoCliques) {
+  const CommunityResult result = leiden(two_cliques(), CommunityOptions{});
+  EXPECT_EQ(result.community_count, 2);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Community, ModularityOfSingleCommunityIsZeroish) {
+  const Graph g = two_cliques();
+  const std::vector<std::int32_t> one(10, 0);
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-9);
+}
+
+TEST(Community, OnRealDesign) {
+  const Netlist nl = small_design("ariane", 1000);
+  const Graph graph = clique_expand(nl);
+  const CommunityResult lv = louvain(graph, CommunityOptions{});
+  const CommunityResult ld = leiden(graph, CommunityOptions{});
+  EXPECT_GT(lv.community_count, 1);
+  EXPECT_GT(ld.community_count, 1);
+  EXPECT_GT(lv.modularity, 0.2);
+  EXPECT_GT(ld.modularity, 0.2);
+  EXPECT_EQ(lv.community.size(), nl.cell_count());
+  EXPECT_EQ(ld.community.size(), nl.cell_count());
+}
+
+TEST(Community, MinSizeAbsorbsSmallBlobs) {
+  const Netlist nl = small_design();
+  const Graph graph = clique_expand(nl);
+  CommunityOptions options;
+  options.min_community_size = 10;
+  const CommunityResult result = louvain(graph, options);
+  std::vector<int> sizes(static_cast<std::size_t>(result.community_count), 0);
+  for (const std::int32_t c : result.community) ++sizes[static_cast<std::size_t>(c)];
+  for (const int s : sizes) EXPECT_GE(s, 2);  // tiny blobs merged away
+}
+
+// --- Eq. 2 switching costs ---------------------------------------------------
+
+TEST(SwitchingCosts, MatchesEquation2) {
+  const std::vector<double> theta = {1.0, 3.0};
+  const auto s = switching_costs(theta, 2.0);
+  EXPECT_NEAR(s[0], std::pow(1.0 + 0.25, 2.0), 1e-12);
+  EXPECT_NEAR(s[1], std::pow(1.0 + 0.75, 2.0), 1e-12);
+}
+
+TEST(SwitchingCosts, ZeroActivityGivesUnitCost) {
+  const auto s = switching_costs({0.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+}
+
+TEST(SwitchingCosts, MuScalesContrast) {
+  const std::vector<double> theta = {1.0, 9.0};
+  const auto flat = switching_costs(theta, 1.0);
+  const auto sharp = switching_costs(theta, 4.0);
+  EXPECT_GT(sharp[1] / sharp[0], flat[1] / flat[0]);
+}
+
+// --- FC multilevel -----------------------------------------------------------
+
+TEST(FcMultilevel, ReachesTargetClusterCount) {
+  const Netlist nl = small_design("jpeg", 800);
+  FcOptions options;
+  options.target_cluster_count = 12;
+  const FcResult result = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  ASSERT_EQ(result.cluster_of_cell.size(), nl.cell_count());
+  EXPECT_GE(result.cluster_count, 12);
+  EXPECT_LE(result.cluster_count, 12 + result.singleton_count + 24);
+  EXPECT_GT(result.levels, 0);
+}
+
+TEST(FcMultilevel, DeterministicWithSeed) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.seed = 77;
+  const FcResult a = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  const FcResult b = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  EXPECT_EQ(a.cluster_of_cell, b.cluster_of_cell);
+}
+
+TEST(FcMultilevel, MaxAreaRespected) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.target_cluster_count = 10;
+  options.max_cluster_area_factor = 1.5;
+  const FcResult result = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  std::vector<double> area(static_cast<std::size_t>(result.cluster_count), 0.0);
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    area[static_cast<std::size_t>(result.cluster_of_cell[ci])] +=
+        nl.lib_cell_of(static_cast<CellId>(ci)).area_um2();
+  }
+  const double cap = 1.5 * nl.total_cell_area() / 10.0;
+  for (const double a : area) EXPECT_LE(a, cap * 1.0 + 1e-6);
+}
+
+TEST(FcMultilevel, GroupingConstraintsKeepCommunitiesApart) {
+  const Netlist nl = small_design("BlackParrot", 1200);
+  const auto hier_result = hier::hierarchy_clustering(nl);
+  ASSERT_GT(hier_result.cluster_count, 1);
+
+  FcOptions options;
+  options.target_cluster_count =
+      std::max<std::int32_t>(hier_result.cluster_count * 2, 16);
+  FcPpaInputs inputs;
+  inputs.grouping = &hier_result.cluster_of_cell;
+  const FcResult result = fc_multilevel_cluster(nl, inputs, options);
+
+  if (!result.grouping_relaxed) {
+    // Every FC cluster must stay inside one hierarchy community.
+    std::vector<std::int32_t> community_of_cluster(
+        static_cast<std::size_t>(result.cluster_count), -1);
+    for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+      const std::int32_t cl = result.cluster_of_cell[ci];
+      const std::int32_t cm = hier_result.cluster_of_cell[ci];
+      if (community_of_cluster[static_cast<std::size_t>(cl)] < 0) {
+        community_of_cluster[static_cast<std::size_t>(cl)] = cm;
+      }
+      EXPECT_EQ(community_of_cluster[static_cast<std::size_t>(cl)], cm);
+    }
+  }
+}
+
+TEST(FcMultilevel, TimingCostPullsCriticalPairsTogether) {
+  // Hand-built: two separate 2-cell pairs bridged weakly; the pair whose net
+  // carries a huge timing cost must merge first.
+  Netlist nl(lib(), "t");
+  const auto inv = *lib().find("INV_X1");
+  const auto nand2 = *lib().find("NAND2_X1");
+  const CellId a = nl.add_cell("a", inv, nl.root_module());
+  const CellId b = nl.add_cell("b", nand2, nl.root_module());
+  const CellId c = nl.add_cell("c", inv, nl.root_module());
+  const CellId d = nl.add_cell("d", nand2, nl.root_module());
+  const NetId n_ab = nl.add_net("n_ab");
+  nl.connect(n_ab, nl.cell_output_pin(a));
+  nl.connect(n_ab, nl.cell_pin(b, 0));
+  const NetId n_cd = nl.add_net("n_cd");
+  nl.connect(n_cd, nl.cell_output_pin(c));
+  nl.connect(n_cd, nl.cell_pin(d, 0));
+  const NetId n_bc = nl.add_net("n_bc");  // bridge b->c via second inputs
+  nl.connect(n_bc, nl.cell_output_pin(b));
+  nl.connect(n_bc, nl.cell_pin(d, 1));
+
+  std::vector<double> timing_cost(nl.net_count(), 0.0);
+  timing_cost[static_cast<std::size_t>(n_ab)] = 50.0;  // screaming critical
+
+  FcOptions options;
+  options.target_cluster_count = 3;
+  options.beta = 1.0;
+  FcPpaInputs inputs;
+  inputs.net_timing_cost = &timing_cost;
+  const FcResult result = fc_multilevel_cluster(nl, inputs, options);
+  EXPECT_EQ(result.cluster_of_cell[static_cast<std::size_t>(a)],
+            result.cluster_of_cell[static_cast<std::size_t>(b)]);
+}
+
+TEST(FcMultilevel, MergeSingletonsAblation) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.target_cluster_count = 8;
+  const FcResult keep = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  options.merge_singletons = true;
+  const FcResult merged = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  EXPECT_EQ(merged.singleton_count, 0);
+  EXPECT_LE(merged.cluster_count, keep.cluster_count);
+}
+
+// --- Clustered netlist -------------------------------------------------------
+
+TEST(ClusteredNetlist, AreasAndShapes) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.target_cluster_count = 10;
+  const FcResult fc = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  const ClusteredNetlist cn =
+      build_clustered_netlist(nl, fc.cluster_of_cell, fc.cluster_count);
+
+  double total = 0.0;
+  for (const Cluster& cluster : cn.clusters) {
+    total += cluster.area_um2;
+    // Footprint respects utilization: w*h == area / util.
+    EXPECT_NEAR(cluster.width_um * cluster.height_um,
+                cluster.area_um2 / cluster.shape.utilization,
+                1e-6 * cluster.area_um2);
+  }
+  EXPECT_NEAR(total, nl.total_cell_area(), 1e-6);
+}
+
+TEST(ClusteredNetlist, ShapeUpdateChangesFootprint) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.target_cluster_count = 6;
+  const FcResult fc = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  ClusteredNetlist cn =
+      build_clustered_netlist(nl, fc.cluster_of_cell, fc.cluster_count);
+
+  ClusterShape shape;
+  shape.aspect_ratio = 1.75;
+  shape.utilization = 0.75;
+  set_cluster_shape(cn, 0, shape);
+  const Cluster& c0 = cn.clusters[0];
+  EXPECT_NEAR(c0.height_um / c0.width_um, 1.75, 1e-9);
+  EXPECT_NEAR(c0.width_um * c0.height_um, c0.area_um2 / 0.75, 1e-6 * c0.area_um2);
+}
+
+TEST(ClusteredNetlist, ParallelNetsMergeWithWeight) {
+  Netlist nl(lib(), "t");
+  const auto inv = *lib().find("INV_X1");
+  const auto nand2 = *lib().find("NAND2_X1");
+  const CellId a = nl.add_cell("a", inv, nl.root_module());
+  const CellId b = nl.add_cell("b", nand2, nl.root_module());
+  const CellId c = nl.add_cell("c", inv, nl.root_module());
+  // Two nets a->b and c->b; clusters {a,c} and {b} -> both nets connect the
+  // same cluster pair and must merge with weight 2.
+  const NetId n1 = nl.add_net("n1");
+  nl.connect(n1, nl.cell_output_pin(a));
+  nl.connect(n1, nl.cell_pin(b, 0));
+  const NetId n2 = nl.add_net("n2");
+  nl.connect(n2, nl.cell_output_pin(c));
+  nl.connect(n2, nl.cell_pin(b, 1));
+
+  const std::vector<std::int32_t> assignment = {0, 1, 0};
+  const ClusteredNetlist cn = build_clustered_netlist(nl, assignment, 2);
+  ASSERT_EQ(cn.nets.size(), 1u);
+  EXPECT_DOUBLE_EQ(cn.nets[0].weight, 2.0);
+  EXPECT_FALSE(cn.nets[0].io);
+}
+
+TEST(ClusteredNetlist, InternalNetsDropped) {
+  Netlist nl(lib(), "t");
+  const auto inv = *lib().find("INV_X1");
+  const CellId a = nl.add_cell("a", inv, nl.root_module());
+  const CellId b = nl.add_cell("b", inv, nl.root_module());
+  const NetId n = nl.add_net("n");
+  nl.connect(n, nl.cell_output_pin(a));
+  nl.connect(n, nl.cell_pin(b, 0));
+  const ClusteredNetlist cn = build_clustered_netlist(nl, {0, 0}, 1);
+  EXPECT_TRUE(cn.nets.empty());
+}
+
+TEST(ClusteredNetlist, InducedPositionsAndRegions) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.target_cluster_count = 8;
+  const FcResult fc = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  const ClusteredNetlist cn =
+      build_clustered_netlist(nl, fc.cluster_of_cell, fc.cluster_count);
+
+  place::Placement cluster_placement(cn.cluster_count() + nl.port_count());
+  for (std::size_t i = 0; i < cn.cluster_count(); ++i) {
+    cluster_placement[i] = {static_cast<double>(i) * 10.0, 5.0};
+  }
+  const auto positions = induce_cell_positions(
+      cn, nl, cluster_placement, /*scatter_within_cluster=*/false);
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const std::int32_t cl = cn.cluster_of_cell[ci];
+    EXPECT_EQ(positions[ci].x, cluster_placement[static_cast<std::size_t>(cl)].x);
+  }
+  const geom::Rect region = cluster_region(cn, 2, cluster_placement);
+  EXPECT_NEAR(region.center().x, 20.0, 1e-9);
+  EXPECT_NEAR(region.width(), cn.clusters[2].width_um, 1e-9);
+}
+
+TEST(ClusteredNetlist, IoNetsFlagged) {
+  const Netlist nl = small_design();
+  FcOptions options;
+  options.target_cluster_count = 8;
+  const FcResult fc = fc_multilevel_cluster(nl, FcPpaInputs{}, options);
+  const ClusteredNetlist cn =
+      build_clustered_netlist(nl, fc.cluster_of_cell, fc.cluster_count);
+  bool any_io = false;
+  for (const ClusterNet& net : cn.nets) {
+    if (net.io) {
+      any_io = true;
+      EXPECT_FALSE(net.ports.empty());
+    }
+  }
+  EXPECT_TRUE(any_io);
+}
+
+}  // namespace
+}  // namespace ppacd::cluster

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/features.hpp"
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "netlist/subnetlist.hpp"
+
+namespace ppacd::features {
+namespace {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+
+liberty::Library& lib() {
+  static liberty::Library instance = liberty::Library::nangate45_like();
+  return instance;
+}
+
+/// Path graph a - b - c (two 2-pin nets).
+Netlist path3() {
+  Netlist nl(lib(), "p3");
+  const auto inv = *lib().find("INV_X1");
+  const auto nand2 = *lib().find("NAND2_X1");
+  const CellId a = nl.add_cell("a", inv, nl.root_module());
+  const CellId b = nl.add_cell("b", nand2, nl.root_module());
+  const CellId c = nl.add_cell("c", inv, nl.root_module());
+  const NetId n0 = nl.add_net("n0");
+  nl.connect(n0, nl.cell_output_pin(a));
+  nl.connect(n0, nl.cell_pin(b, 0));
+  const NetId n1 = nl.add_net("n1");
+  nl.connect(n1, nl.cell_output_pin(b));
+  nl.connect(n1, nl.cell_pin(c, 0));
+  return nl;
+}
+
+TEST(Features, DimensionsAndShapeSlots) {
+  const Netlist nl = path3();
+  ClusterGraph graph = extract_cluster_graph(nl, FeatureOptions{});
+  EXPECT_EQ(graph.node_count, 3);
+  EXPECT_EQ(graph.node_features.size(), 3u * kFeatureDim);
+  EXPECT_DOUBLE_EQ(graph.feature(0, kShapeUtilSlot), 0.0);
+  apply_shape_features(graph, 0.85, 1.25);
+  for (std::int32_t v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(graph.feature(v, kShapeUtilSlot), 0.85);
+    EXPECT_DOUBLE_EQ(graph.feature(v, kShapeAspectSlot), 1.25);
+  }
+}
+
+TEST(Features, PathGraphStructureMetrics) {
+  const Netlist nl = path3();
+  const ClusterGraph graph = extract_cluster_graph(nl, FeatureOptions{});
+  // Slot map: 2=#cells, 3=#nets, 13=diameter (2+11), 14=radius.
+  EXPECT_DOUBLE_EQ(graph.feature(0, 2), 3.0);   // #cells
+  EXPECT_DOUBLE_EQ(graph.feature(0, 3), 2.0);   // #nets
+  EXPECT_DOUBLE_EQ(graph.feature(0, 14), 2.0);  // diameter of a path of 3
+  EXPECT_DOUBLE_EQ(graph.feature(0, 15), 1.0);  // radius (center node)
+  // Degrees: ends 1, middle 2 (slot 20).
+  EXPECT_DOUBLE_EQ(graph.feature(0, 20), 1.0);
+  EXPECT_DOUBLE_EQ(graph.feature(1, 20), 2.0);
+  EXPECT_DOUBLE_EQ(graph.feature(2, 20), 1.0);
+  // Degree centrality (slot 24): degree / (n-1).
+  EXPECT_DOUBLE_EQ(graph.feature(1, 24), 1.0);
+  // Middle node has max betweenness (slot 22).
+  EXPECT_GT(graph.feature(1, 22), graph.feature(0, 22));
+}
+
+TEST(Features, CellTypeOneHot) {
+  const Netlist nl = path3();
+  const ClusterGraph graph = extract_cluster_graph(nl, FeatureOptions{});
+  for (std::int32_t v = 0; v < graph.node_count; ++v) {
+    double sum = 0.0;
+    for (int c = 27; c < 35; ++c) sum += graph.feature(v, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+  // a is INV (class 0), b is NAND2 (class 2).
+  EXPECT_DOUBLE_EQ(graph.feature(0, 27 + 0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.feature(1, 27 + 2), 1.0);
+}
+
+TEST(Features, NormalizedAdjacencyHasSelfLoops) {
+  const Netlist nl = path3();
+  const ClusterGraph graph = extract_cluster_graph(nl, FeatureOptions{});
+  for (std::int32_t v = 0; v < graph.node_count; ++v) {
+    bool self = false;
+    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+      EXPECT_GT(w, 0.0);
+      if (u == v) self = true;
+    }
+    EXPECT_TRUE(self);
+  }
+}
+
+TEST(Features, DeterministicForSeed) {
+  gen::DesignSpec spec = gen::design_spec("aes");
+  spec.target_cells = 300;
+  const Netlist nl = gen::generate(lib(), spec);
+  FeatureOptions options;
+  options.seed = 9;
+  const ClusterGraph a = extract_cluster_graph(nl, options);
+  const ClusterGraph b = extract_cluster_graph(nl, options);
+  EXPECT_EQ(a.node_features, b.node_features);
+}
+
+TEST(Features, ClusterLevelBroadcast) {
+  gen::DesignSpec spec = gen::design_spec("aes");
+  spec.target_cells = 300;
+  const Netlist nl = gen::generate(lib(), spec);
+  const ClusterGraph graph = extract_cluster_graph(nl, FeatureOptions{});
+  // Cluster-level slots (2..18) identical on all nodes.
+  for (int slot = 2; slot <= 18; ++slot) {
+    for (std::int32_t v = 1; v < graph.node_count; ++v) {
+      ASSERT_DOUBLE_EQ(graph.feature(v, slot), graph.feature(0, slot))
+          << "slot " << slot;
+    }
+  }
+  // Cell-level degree (slot 20) must differ across nodes somewhere.
+  bool differs = false;
+  for (std::int32_t v = 1; v < graph.node_count && !differs; ++v) {
+    differs = graph.feature(v, 20) != graph.feature(0, 20);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Features, BorderNetsCounted) {
+  gen::DesignSpec spec = gen::design_spec("aes");
+  spec.target_cells = 400;
+  const Netlist nl = gen::generate(lib(), spec);
+  // Extract a strict subset so boundary ports exist.
+  std::vector<CellId> half;
+  for (std::size_t i = 0; i < nl.cell_count() / 2; ++i) {
+    half.push_back(static_cast<CellId>(i));
+  }
+  const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, half);
+  const ClusterGraph graph = extract_cluster_graph(sub.netlist, FeatureOptions{});
+  EXPECT_GT(graph.feature(0, 8), 0.0);  // #border nets (slot 2+6)
+}
+
+class FeatureSampleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeatureSampleSweep, SampledMetricsStayBounded) {
+  gen::DesignSpec spec = gen::design_spec("aes");
+  spec.target_cells = 300;
+  const Netlist nl = gen::generate(lib(), spec);
+  FeatureOptions options;
+  options.bfs_samples = GetParam();
+  const ClusterGraph graph = extract_cluster_graph(nl, options);
+  for (std::int32_t v = 0; v < graph.node_count; ++v) {
+    EXPECT_GE(graph.feature(v, 22), 0.0);  // betweenness
+    EXPECT_GE(graph.feature(v, 23), 0.0);  // closeness
+    EXPECT_LE(graph.feature(v, 25), 1.0);  // clustering coefficient
+    EXPECT_GE(graph.feature(v, 26), 0.0);  // eccentricity
+  }
+  // Diameter >= radius >= 0 (cluster-level slots 14/15).
+  EXPECT_GE(graph.feature(0, 14), graph.feature(0, 15));
+  EXPECT_GE(graph.feature(0, 15), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, FeatureSampleSweep,
+                         ::testing::Values(4, 12, 32, 64),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ppacd::features

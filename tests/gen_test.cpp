@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <unordered_map>
+
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "netlist/stats.hpp"
+
+namespace ppacd::gen {
+namespace {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+liberty::Library& lib() {
+  static liberty::Library instance = liberty::Library::nangate45_like();
+  return instance;
+}
+
+DesignSpec tiny_spec() {
+  DesignSpec spec;
+  spec.name = "tiny";
+  spec.seed = 123;
+  spec.target_cells = 400;
+  spec.hierarchy_depth = 2;
+  spec.hierarchy_branching = 3;
+  spec.io_ports = 16;
+  return spec;
+}
+
+TEST(Generator, ProducesValidNetlist) {
+  const Netlist nl = generate(lib(), tiny_spec());
+  EXPECT_TRUE(nl.validate().empty());
+  const auto stats = netlist::compute_stats(nl);
+  EXPECT_NEAR(static_cast<double>(stats.cell_count), 400.0, 80.0);
+  EXPECT_GT(stats.net_count, stats.cell_count / 2);
+  EXPECT_GT(stats.register_count, 0u);
+}
+
+TEST(Generator, Deterministic) {
+  const Netlist a = generate(lib(), tiny_spec());
+  const Netlist b = generate(lib(), tiny_spec());
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (std::size_t i = 0; i < a.net_count(); ++i) {
+    EXPECT_EQ(a.net(static_cast<NetId>(i)).pins.size(),
+              b.net(static_cast<NetId>(i)).pins.size());
+  }
+}
+
+TEST(Generator, SeedChangesDesign) {
+  DesignSpec spec = tiny_spec();
+  const Netlist a = generate(lib(), spec);
+  spec.seed = 999;
+  const Netlist b = generate(lib(), spec);
+  // Same budget but different wiring.
+  bool differs = a.net_count() != b.net_count();
+  for (std::size_t i = 0; !differs && i < std::min(a.net_count(), b.net_count());
+       ++i) {
+    differs = a.net(static_cast<NetId>(i)).pins.size() !=
+              b.net(static_cast<NetId>(i)).pins.size();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, SingleClockNetCoversAllRegisters) {
+  const Netlist nl = generate(lib(), tiny_spec());
+  NetId clk = netlist::kInvalidId;
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    if (nl.net(static_cast<NetId>(i)).is_clock) {
+      EXPECT_EQ(clk, netlist::kInvalidId) << "multiple clock nets";
+      clk = static_cast<NetId>(i);
+    }
+  }
+  ASSERT_NE(clk, netlist::kInvalidId);
+  std::size_t clocked = 0;
+  for (PinId pid : nl.net(clk).pins) {
+    if (nl.pin(pid).is_clock) ++clocked;
+  }
+  const auto stats = netlist::compute_stats(nl);
+  EXPECT_EQ(clocked, stats.register_count);
+}
+
+/// The combinational portion of a generated design must be acyclic, or STA
+/// would loop forever. Checked with Kahn's algorithm over cell->cell edges
+/// that do not pass through a flip-flop D input or a clock pin.
+bool combinational_dag(const Netlist& nl) {
+  std::vector<int> indegree(nl.cell_count(), 0);
+  std::vector<std::vector<CellId>> out_edges(nl.cell_count());
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const auto& net = nl.net(static_cast<NetId>(ni));
+    if (net.driver == netlist::kInvalidId) continue;
+    const auto& driver = nl.pin(net.driver);
+    if (driver.kind != netlist::PinKind::kCellPin) continue;
+    if (liberty::is_sequential(nl.lib_cell_of(driver.cell).function)) continue;
+    for (PinId pid : net.pins) {
+      const auto& pin = nl.pin(pid);
+      if (pid == net.driver || pin.kind != netlist::PinKind::kCellPin) continue;
+      if (pin.is_clock) continue;
+      if (liberty::is_sequential(nl.lib_cell_of(pin.cell).function)) continue;
+      out_edges[static_cast<std::size_t>(driver.cell)].push_back(pin.cell);
+      ++indegree[static_cast<std::size_t>(pin.cell)];
+    }
+  }
+  std::queue<CellId> ready;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<CellId>(i));
+  }
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    ++done;
+    for (CellId next : out_edges[static_cast<std::size_t>(c)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    }
+  }
+  return done == nl.cell_count();
+}
+
+TEST(Generator, CombinationalLogicIsAcyclic) {
+  EXPECT_TRUE(combinational_dag(generate(lib(), tiny_spec())));
+}
+
+class AllDesignsTest : public ::testing::TestWithParam<DesignSpec> {};
+
+TEST_P(AllDesignsTest, GeneratesValidDesign) {
+  const DesignSpec& spec = GetParam();
+  const Netlist nl = generate(lib(), spec);
+  EXPECT_TRUE(nl.validate().empty());
+  const auto stats = netlist::compute_stats(nl);
+  // Within 25% of the target instance count.
+  EXPECT_NEAR(static_cast<double>(stats.cell_count),
+              static_cast<double>(spec.target_cells),
+              0.25 * spec.target_cells);
+  EXPECT_TRUE(nl.has_hierarchy());
+  EXPECT_TRUE(combinational_dag(nl));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDesigns, AllDesignsTest,
+    ::testing::ValuesIn(small_design_specs()),
+    [](const ::testing::TestParamInfo<DesignSpec>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Designs, SizeLadderPreserved) {
+  const auto specs = all_design_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GT(specs[i].target_cells, specs[i - 1].target_cells)
+        << specs[i].name << " should be larger than " << specs[i - 1].name;
+  }
+  // Paper span is ~175x (15.5k -> 2.73M); scaled span must stay >= 15x.
+  EXPECT_GE(specs.back().target_cells / specs.front().target_cells, 15);
+}
+
+TEST(Designs, TopologiesDiffer) {
+  EXPECT_EQ(design_spec("jpeg").topology, Topology::kPipeline);
+  EXPECT_EQ(design_spec("BlackParrot").topology, Topology::kMulticore);
+  EXPECT_EQ(design_spec("MemPool Group").topology, Topology::kTiled);
+  EXPECT_EQ(design_spec("ariane").topology, Topology::kGeneric);
+}
+
+TEST(Designs, HierarchyShapeMatchesTopology) {
+  const Netlist mp = generate(lib(), design_spec("jpeg"));
+  // Pipeline: root children are stages.
+  const auto& root = mp.module(mp.root_module());
+  EXPECT_GE(root.children.size(), 2u);
+  EXPECT_EQ(mp.module(root.children[0]).name, "stage0");
+}
+
+}  // namespace
+}  // namespace ppacd::gen

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hpp"
+
+namespace ppacd::geom {
+namespace {
+
+TEST(Point, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+}
+
+TEST(Rect, Dimensions) {
+  const Rect r = Rect::make(1.0, 2.0, 4.0, 8.0);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 18.0);
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 9.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 5.0}));
+}
+
+TEST(Rect, ContainsAndClamp) {
+  const Rect r = Rect::make(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(r.contains({5.0, 5.0}));
+  EXPECT_TRUE(r.contains({0.0, 10.0}));  // boundary counts
+  EXPECT_FALSE(r.contains({10.1, 5.0}));
+  EXPECT_EQ(r.clamp({-3.0, 15.0}), (Point{0.0, 10.0}));
+}
+
+TEST(Rect, Intersects) {
+  const Rect a = Rect::make(0.0, 0.0, 5.0, 5.0);
+  EXPECT_TRUE(a.intersects(Rect::make(4.0, 4.0, 8.0, 8.0)));
+  EXPECT_TRUE(a.intersects(Rect::make(5.0, 0.0, 8.0, 5.0)));  // touching edge
+  EXPECT_FALSE(a.intersects(Rect::make(6.0, 6.0, 8.0, 8.0)));
+}
+
+TEST(BBox, EmptyHasZeroHpwl) {
+  BBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+}
+
+TEST(BBox, ExpandAccumulates) {
+  BBox box;
+  box.expand({1.0, 1.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);  // single point
+  box.expand({4.0, 5.0});
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 3.0 + 4.0);
+  const Rect r = box.rect();
+  EXPECT_DOUBLE_EQ(r.lx, 1.0);
+  EXPECT_DOUBLE_EQ(r.uy, 5.0);
+}
+
+}  // namespace
+}  // namespace ppacd::geom

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "liberty/library.hpp"
+
+namespace ppacd::liberty {
+namespace {
+
+TEST(Library, Nangate45LikeHasCoreCells) {
+  const Library lib = Library::nangate45_like();
+  for (const char* name : {"INV_X1", "BUF_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1",
+                           "MUX2_X1", "DFF_X1", "CLKBUF_X2", "FA_X1"}) {
+    EXPECT_TRUE(lib.find(name).has_value()) << name;
+  }
+  EXPECT_FALSE(lib.find("NO_SUCH_CELL").has_value());
+}
+
+TEST(Library, AllCellsShareRowHeight) {
+  const Library lib = Library::nangate45_like();
+  for (std::size_t i = 0; i < lib.cell_count(); ++i) {
+    EXPECT_DOUBLE_EQ(lib.cell(static_cast<LibCellId>(i)).height_um,
+                     lib.row_height_um());
+  }
+}
+
+TEST(Library, DriveStrengthLadder) {
+  const Library lib = Library::nangate45_like();
+  const LibCell& x1 = lib.cell(*lib.find("INV_X1"));
+  const LibCell& x2 = lib.cell(*lib.find("INV_X2"));
+  const LibCell& x4 = lib.cell(*lib.find("INV_X4"));
+  // Stronger drives have lower output resistance and larger area/input cap.
+  EXPECT_GT(x1.drive_res_kohm, x2.drive_res_kohm);
+  EXPECT_GT(x2.drive_res_kohm, x4.drive_res_kohm);
+  EXPECT_LT(x1.area_um2(), x4.area_um2());
+  EXPECT_LT(x1.pins[0].cap_ff, x4.pins[0].cap_ff);
+}
+
+TEST(Library, DffStructure) {
+  const Library lib = Library::nangate45_like();
+  const LibCell& dff = lib.cell(*lib.find("DFF_X1"));
+  EXPECT_TRUE(is_sequential(dff.function));
+  EXPECT_EQ(dff.data_input_count(), 1);
+  EXPECT_GE(dff.clock_pin_index(), 0);
+  EXPECT_TRUE(dff.pins[static_cast<std::size_t>(dff.clock_pin_index())].is_clock);
+  EXPECT_GE(dff.output_pin_index(), 0);
+  EXPECT_GT(dff.setup_ps, 0.0);
+}
+
+TEST(Library, CombinationalCellsAreNotSequential) {
+  const Library lib = Library::nangate45_like();
+  const LibCell& nand2 = lib.cell(*lib.find("NAND2_X1"));
+  EXPECT_FALSE(is_sequential(nand2.function));
+  EXPECT_EQ(nand2.data_input_count(), 2);
+  EXPECT_EQ(nand2.clock_pin_index(), -1);
+}
+
+TEST(Library, OutputPinsHaveZeroCap) {
+  const Library lib = Library::nangate45_like();
+  for (std::size_t i = 0; i < lib.cell_count(); ++i) {
+    const LibCell& cell = lib.cell(static_cast<LibCellId>(i));
+    for (const LibPin& pin : cell.pins) {
+      if (pin.dir == PinDir::kOutput) EXPECT_DOUBLE_EQ(pin.cap_ff, 0.0);
+      else EXPECT_GT(pin.cap_ff, 0.0);
+    }
+  }
+}
+
+TEST(Library, AddCellAssignsSequentialIds) {
+  Library lib;
+  LibCell a;
+  a.name = "A";
+  LibCell b;
+  b.name = "B";
+  EXPECT_EQ(lib.add_cell(std::move(a)), 0);
+  EXPECT_EQ(lib.add_cell(std::move(b)), 1);
+  EXPECT_EQ(lib.cell(1).name, "B");
+}
+
+}  // namespace
+}  // namespace ppacd::liberty

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/features.hpp"
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gnn.hpp"
+#include "ml/layers.hpp"
+#include "ml/tensor.hpp"
+#include "ml/trainer.hpp"
+
+namespace ppacd::ml {
+namespace {
+
+TEST(Tensor, MatmulHandChecked) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]].
+  for (int i = 0; i < 6; ++i) a.data[static_cast<std::size_t>(i)] = i + 1;
+  for (int i = 0; i < 6; ++i) b.data[static_cast<std::size_t>(i)] = i + 7;
+  Matrix out;
+  matmul(a, b, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 154.0);
+}
+
+TEST(Tensor, TransposedVariantsAgree) {
+  util::Rng rng(1);
+  Matrix a(4, 3);
+  Matrix b(4, 5);
+  for (double& v : a.data) v = rng.normal();
+  for (double& v : b.data) v = rng.normal();
+  // at_b: (a^T b) == matmul(transpose(a), b).
+  Matrix at(3, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Matrix expected;
+  matmul(at, b, expected);
+  Matrix got;
+  matmul_at_b(a, b, got);
+  for (std::size_t i = 0; i < expected.data.size(); ++i) {
+    EXPECT_NEAR(got.data[i], expected.data[i], 1e-12);
+  }
+  // a_bt: a (5x3) times b(4x3)^T.
+  Matrix c(5, 3);
+  for (double& v : c.data) v = rng.normal();
+  Matrix bt(3, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 3; ++k) bt.at(k, r) = a.at(r, k);
+  }
+  Matrix expected2;
+  matmul(c, bt, expected2);
+  Matrix got2;
+  matmul_a_bt(c, a, got2);
+  for (std::size_t i = 0; i < expected2.data.size(); ++i) {
+    EXPECT_NEAR(got2.data[i], expected2.data[i], 1e-12);
+  }
+}
+
+TEST(Tensor, SpmmRowCombination) {
+  SparseRows adj(2);
+  adj[0] = {{0, 0.5}, {1, 0.5}};
+  adj[1] = {{1, 1.0}};
+  Matrix x(2, 2);
+  x.at(0, 0) = 2.0;
+  x.at(0, 1) = 4.0;
+  x.at(1, 0) = 6.0;
+  x.at(1, 1) = 8.0;
+  Matrix out;
+  spmm(adj, x, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 8.0);
+}
+
+TEST(Layers, LinearGradientNumericallyCorrect) {
+  util::Rng rng(3);
+  Linear layer(3, 2, rng);
+  Matrix x(4, 3);
+  for (double& v : x.data) v = rng.normal();
+
+  // Loss = sum(Y); dY = ones.
+  const Matrix y = layer.forward(x);
+  Matrix dy(y.rows, y.cols);
+  std::fill(dy.data.begin(), dy.data.end(), 1.0);
+  Linear layer_copy = layer;
+  const Matrix dx = layer_copy.backward(x, dy);
+
+  // Numerical check for dX[0][0].
+  const double eps = 1e-6;
+  Matrix x_pert = x;
+  x_pert.at(0, 0) += eps;
+  const Matrix y2 = layer.forward(x_pert);
+  double f0 = 0.0, f1 = 0.0;
+  for (const double v : y.data) f0 += v;
+  for (const double v : y2.data) f1 += v;
+  EXPECT_NEAR(dx.at(0, 0), (f1 - f0) / eps, 1e-4);
+
+  // Numerical check for dW via params(): perturb first weight.
+  auto params = layer.params();
+  Param* w = params[0];
+  const double grad_analytic = layer_copy.params()[0]->grad[0];
+  const double original = w->value[0];
+  w->value[0] = original + eps;
+  const Matrix y3 = layer.forward(x);
+  double f2 = 0.0;
+  for (const double v : y3.data) f2 += v;
+  EXPECT_NEAR(grad_analytic, (f2 - f0) / eps, 1e-4);
+}
+
+TEST(Layers, BatchNormNormalizesColumns) {
+  BatchNorm bn(3);
+  util::Rng rng(5);
+  Matrix x(64, 3);
+  for (int r = 0; r < 64; ++r) {
+    x.at(r, 0) = rng.normal(5.0, 2.0);
+    x.at(r, 1) = rng.normal(-3.0, 0.5);
+    x.at(r, 2) = rng.normal(0.0, 10.0);
+  }
+  BatchNorm::Cache cache;
+  const Matrix y = bn.forward(x, true, cache);
+  for (int c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (int r = 0; r < 64; ++r) mean += y.at(r, c);
+    mean /= 64;
+    double var = 0.0;
+    for (int r = 0; r < 64; ++r) var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Layers, AdamMinimizesQuadratic) {
+  // Minimize (w - 3)^2 with Adam.
+  Param w;
+  w.init(1, 0.0);
+  Adam adam({&w}, 0.1);
+  for (int i = 0; i < 300; ++i) {
+    w.grad[0] = 2.0 * (w.value[0] - 3.0);
+    adam.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0, 1e-2);
+}
+
+/// Full-model gradient check: analytic dParam vs finite differences on a
+/// tiny graph. Verifies conv blocks, skip connections, BN, pooling and the
+/// head end to end.
+TEST(Gnn, GradientCheckEndToEnd) {
+  GnnConfig config;
+  config.input_dim = 5;
+  config.hidden_dim = 6;
+  config.conv_out_dim = 4;
+  config.head_hidden_dim = 6;
+  config.branches = 2;
+
+  TotalCostModel model(config, 11);
+  SparseRows adj(3);
+  adj[0] = {{0, 0.5}, {1, 0.3}};
+  adj[1] = {{1, 0.6}, {0, 0.3}, {2, 0.1}};
+  adj[2] = {{2, 0.9}, {1, 0.1}};
+  util::Rng rng(7);
+  Matrix x(3, 5);
+  for (double& v : x.data) v = rng.normal();
+
+  // Two-sample batch (head BN needs > 1 row); loss = sum of outputs.
+  Matrix x2 = x;
+  for (double& v : x2.data) v *= 0.7;
+  const std::vector<const SparseRows*> adjacencies = {&adj, &adj};
+  const std::vector<const Matrix*> feature_ptrs = {&x, &x2};
+
+  auto loss_fn = [&]() {
+    // Eval-mode stats so the function is smooth in the parameters.
+    TotalCostModel::EmbedCache ec;
+    const Matrix embeddings = model.embed_batch(adjacencies, feature_ptrs, false, ec);
+    TotalCostModel::HeadCache hc;
+    const Matrix out = model.head_forward(embeddings, false, hc);
+    return out.at(0, 0) + out.at(1, 0);
+  };
+
+  // Analytic pass.
+  TotalCostModel::EmbedCache ec;
+  const Matrix embeddings = model.embed_batch(adjacencies, feature_ptrs, false, ec);
+  TotalCostModel::HeadCache hc;
+  model.head_forward(embeddings, false, hc);
+  Matrix grad_out(2, 1);
+  grad_out.at(0, 0) = 1.0;
+  grad_out.at(1, 0) = 1.0;
+  const Matrix grad_emb = model.head_backward(hc, grad_out);
+  model.embed_backward(ec, grad_emb);
+
+  // Check a spread of parameters numerically.
+  auto params = model.params();
+  const double eps = 1e-6;
+  int checked = 0;
+  for (std::size_t pi = 0; pi < params.size(); pi += 3) {
+    Param* p = params[pi];
+    if (p->value.empty()) continue;
+    const std::size_t k = p->value.size() / 2;
+    const double analytic = p->grad[k];
+    const double original = p->value[k];
+    p->value[k] = original + eps;
+    const double f_plus = loss_fn();
+    p->value[k] = original - eps;
+    const double f_minus = loss_fn();
+    p->value[k] = original;
+    const double numeric = (f_plus - f_minus) / (2.0 * eps);
+    EXPECT_NEAR(analytic, numeric, 1e-4 + 1e-3 * std::fabs(numeric))
+        << "param " << pi << " index " << k;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Gnn, PredictIsDeterministic) {
+  TotalCostModel model(GnnConfig{}, 3);
+  SparseRows adj(2);
+  adj[0] = {{0, 1.0}};
+  adj[1] = {{1, 1.0}};
+  util::Rng rng(2);
+  Matrix x(2, 35);
+  for (double& v : x.data) v = rng.normal();
+  EXPECT_DOUBLE_EQ(model.predict(adj, x), model.predict(adj, x));
+}
+
+// --- Dataset + trainer (small end-to-end) -------------------------------------
+
+liberty::Library& lib() {
+  static liberty::Library instance = liberty::Library::nangate45_like();
+  return instance;
+}
+
+const Dataset& tiny_dataset() {
+  static const Dataset dataset = [] {
+    gen::DesignSpec spec = gen::design_spec("aes");
+    spec.target_cells = 500;
+    static netlist::Netlist nl = gen::generate(lib(), spec);
+    DatasetOptions options;
+    options.min_cluster_size = 20;
+    options.max_cluster_size = 120;
+    options.max_clusters_per_design = 10;
+    options.clustering_configs = 2;
+    vpr::VprOptions vpr_options;  // full 20-shape sweep per cluster
+    return build_dataset({&nl}, options, vpr_options);
+  }();
+  return dataset;
+}
+
+TEST(Dataset, BuildsLabelledClusters) {
+  const Dataset& dataset = tiny_dataset();
+  ASSERT_GE(dataset.clusters.size(), 3u);
+  EXPECT_EQ(dataset.shapes.size(), 20u);
+  for (const ClusterSample& sample : dataset.clusters) {
+    EXPECT_EQ(sample.labels.size(), 20u);
+    EXPECT_GE(sample.cluster_size, 20);
+    EXPECT_LE(sample.cluster_size, 120);
+    for (const double label : sample.labels) EXPECT_GT(label, 0.0);
+  }
+}
+
+TEST(Trainer, LearnsSomething) {
+  const Dataset& dataset = tiny_dataset();
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 8;
+  const TrainResult result = train_total_cost_model(dataset, options);
+  EXPECT_EQ(result.epochs_run, 12);
+  EXPECT_GT(result.labels.max, result.labels.min);
+  // Training MAE must be meaningfully below the label stddev (i.e., beats
+  // the constant-mean predictor on the training set).
+  EXPECT_LT(result.train.mae, result.labels.stddev);
+  EXPECT_GT(result.train.r2, 0.0);
+  EXPECT_GT(result.train.sample_count, 0u);
+  EXPECT_GT(result.val.sample_count, 0u);
+  EXPECT_GT(result.test.sample_count, 0u);
+}
+
+TEST(Trainer, PredictorAdapterScoresAllCandidates) {
+  const Dataset& dataset = tiny_dataset();
+  TrainOptions options;
+  options.epochs = 3;
+  const TrainResult result = train_total_cost_model(dataset, options);
+
+  gen::DesignSpec spec = gen::design_spec("aes");
+  spec.target_cells = 200;
+  const netlist::Netlist nl = gen::generate(lib(), spec);
+  std::vector<netlist::CellId> cells;
+  for (std::size_t i = 0; i < 60; ++i) cells.push_back(static_cast<netlist::CellId>(i));
+  const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, cells);
+
+  const vpr::ShapeCostPredictor predictor =
+      result.model->predictor(features::FeatureOptions{});
+  const auto costs = predictor(sub.netlist, dataset.shapes);
+  ASSERT_EQ(costs.size(), 20u);
+  for (const double c : costs) EXPECT_TRUE(std::isfinite(c));
+}
+
+}  // namespace
+}  // namespace ppacd::ml

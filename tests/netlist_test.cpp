@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/subnetlist.hpp"
+
+namespace ppacd::netlist {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : lib_(liberty::Library::nangate45_like()), nl_(lib_, "t") {}
+
+  /// Builds: in0 -> INV(a) -> NAND(c).A ; in1 -> INV(b) -> NAND(c).B ;
+  /// NAND(c) -> DFF(d).D ; clk -> DFF.CK ; DFF.Q -> out0.
+  void build_tiny() {
+    const auto inv = *lib_.find("INV_X1");
+    const auto nand2 = *lib_.find("NAND2_X1");
+    const auto dff = *lib_.find("DFF_X1");
+    const ModuleId sub = nl_.add_module("sub", nl_.root_module());
+    a_ = nl_.add_cell("a", inv, nl_.root_module());
+    b_ = nl_.add_cell("b", inv, sub);
+    c_ = nl_.add_cell("c", nand2, sub);
+    d_ = nl_.add_cell("d", dff, nl_.root_module());
+    const PortId in0 = nl_.add_port("in0", liberty::PinDir::kInput);
+    const PortId in1 = nl_.add_port("in1", liberty::PinDir::kInput);
+    const PortId clk = nl_.add_port("clk", liberty::PinDir::kInput);
+    const PortId out0 = nl_.add_port("out0", liberty::PinDir::kOutput);
+
+    const NetId n_in0 = nl_.add_net("n_in0");
+    nl_.connect(n_in0, nl_.port(in0).pin);
+    nl_.connect(n_in0, nl_.cell_pin(a_, 0));
+    const NetId n_in1 = nl_.add_net("n_in1");
+    nl_.connect(n_in1, nl_.port(in1).pin);
+    nl_.connect(n_in1, nl_.cell_pin(b_, 0));
+    const NetId n_a = nl_.add_net("n_a");
+    nl_.connect(n_a, nl_.cell_output_pin(a_));
+    nl_.connect(n_a, nl_.cell_pin(c_, 0));
+    const NetId n_b = nl_.add_net("n_b");
+    nl_.connect(n_b, nl_.cell_output_pin(b_));
+    nl_.connect(n_b, nl_.cell_pin(c_, 1));
+    const NetId n_c = nl_.add_net("n_c");
+    nl_.connect(n_c, nl_.cell_output_pin(c_));
+    nl_.connect(n_c, nl_.cell_pin(d_, 0));  // D
+    const NetId n_clk = nl_.add_net("clk");
+    nl_.connect(n_clk, nl_.port(clk).pin);
+    nl_.connect(n_clk, nl_.cell_pin(d_, 1));  // CK
+    nl_.mark_clock_net(n_clk);
+    const NetId n_q = nl_.add_net("n_q");
+    nl_.connect(n_q, nl_.cell_output_pin(d_));
+    nl_.connect(n_q, nl_.port(out0).pin);
+  }
+
+  liberty::Library lib_;
+  Netlist nl_;
+  CellId a_ = kInvalidId, b_ = kInvalidId, c_ = kInvalidId, d_ = kInvalidId;
+};
+
+TEST_F(NetlistTest, TinyDesignValidates) {
+  build_tiny();
+  EXPECT_TRUE(nl_.validate().empty());
+  EXPECT_EQ(nl_.cell_count(), 4u);
+  EXPECT_EQ(nl_.net_count(), 7u);
+  EXPECT_EQ(nl_.port_count(), 4u);
+}
+
+TEST_F(NetlistTest, DriverRecorded) {
+  build_tiny();
+  for (std::size_t i = 0; i < nl_.net_count(); ++i) {
+    const Net& net = nl_.net(static_cast<NetId>(i));
+    ASSERT_NE(net.driver, kInvalidId) << net.name;
+    EXPECT_EQ(nl_.pin(net.driver).dir, liberty::PinDir::kOutput);
+  }
+}
+
+TEST_F(NetlistTest, PortPinDirectionFlipped) {
+  build_tiny();
+  // Input port drives from inside; output port sinks.
+  const Port& in0 = nl_.port(0);
+  EXPECT_EQ(nl_.pin(in0.pin).dir, liberty::PinDir::kOutput);
+  const Port& out0 = nl_.port(3);
+  EXPECT_EQ(nl_.pin(out0.pin).dir, liberty::PinDir::kInput);
+}
+
+TEST_F(NetlistTest, ModulePaths) {
+  build_tiny();
+  EXPECT_EQ(nl_.module_path(nl_.root_module()), "t");
+  EXPECT_EQ(nl_.module_path(1), "t/sub");
+  EXPECT_TRUE(nl_.has_hierarchy());
+  EXPECT_EQ(nl_.cell(b_).module, 1);
+}
+
+TEST_F(NetlistTest, IoNetDetection) {
+  build_tiny();
+  int io_nets = 0;
+  for (std::size_t i = 0; i < nl_.net_count(); ++i) {
+    if (nl_.is_io_net(static_cast<NetId>(i))) ++io_nets;
+  }
+  EXPECT_EQ(io_nets, 4);  // in0, in1, clk, q->out0
+}
+
+TEST_F(NetlistTest, ValidateCatchesFloatingInput) {
+  const auto inv = *lib_.find("INV_X1");
+  nl_.add_cell("lonely", inv, nl_.root_module());
+  const auto problems = nl_.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("floating input"), std::string::npos);
+}
+
+TEST_F(NetlistTest, ValidateCatchesUndrivenNet) {
+  build_tiny();
+  const auto inv = *lib_.find("INV_X1");
+  const CellId e = nl_.add_cell("e", inv, nl_.root_module());
+  const NetId bad = nl_.add_net("undriven");
+  nl_.connect(bad, nl_.cell_pin(e, 0));
+  // e's output dangles (allowed) but `undriven` has no driver.
+  bool found = false;
+  for (const auto& p : nl_.validate()) {
+    if (p.find("undriven") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(NetlistTest, TotalCellArea) {
+  build_tiny();
+  const double expected = 2 * lib_.cell(*lib_.find("INV_X1")).area_um2() +
+                          lib_.cell(*lib_.find("NAND2_X1")).area_um2() +
+                          lib_.cell(*lib_.find("DFF_X1")).area_um2();
+  EXPECT_NEAR(nl_.total_cell_area(), expected, 1e-9);
+}
+
+TEST_F(NetlistTest, StatsCountRegistersAndDepth) {
+  build_tiny();
+  const NetlistStats stats = compute_stats(nl_);
+  EXPECT_EQ(stats.cell_count, 4u);
+  EXPECT_EQ(stats.register_count, 1u);
+  EXPECT_EQ(stats.module_count, 2u);
+  EXPECT_EQ(stats.max_hierarchy_depth, 2u);
+  EXPECT_GT(stats.average_net_degree, 1.0);
+  EXPECT_EQ(stats.max_net_degree, 2u);
+}
+
+// --- Sub-netlist extraction -------------------------------------------------
+
+TEST_F(NetlistTest, SubnetlistInternalAndBoundary) {
+  build_tiny();
+  // Cluster = {b, c}: n_b internal; n_in1 has external driver (input port);
+  // n_a has external driver (cell a); n_c has internal driver, external sink.
+  const SubNetlist sub = extract_subnetlist(nl_, {b_, c_});
+  EXPECT_TRUE(sub.netlist.validate().empty());
+  EXPECT_EQ(sub.netlist.cell_count(), 2u);
+  EXPECT_EQ(sub.boundary_net_count, 3u);
+  // Ports: pi_n_in1, pi_n_a, po_n_c.
+  EXPECT_EQ(sub.netlist.port_count(), 3u);
+  int inputs = 0, outputs = 0;
+  for (std::size_t i = 0; i < sub.netlist.port_count(); ++i) {
+    if (sub.netlist.port(static_cast<PortId>(i)).dir == liberty::PinDir::kInput)
+      ++inputs;
+    else
+      ++outputs;
+  }
+  EXPECT_EQ(inputs, 2);
+  EXPECT_EQ(outputs, 1);
+}
+
+TEST_F(NetlistTest, SubnetlistWholeDesignHasNoBoundary) {
+  build_tiny();
+  const SubNetlist sub = extract_subnetlist(nl_, {a_, b_, c_, d_});
+  // All original nets touch the cluster; IO and clock nets still cross to
+  // the chip ports, so they become boundary nets.
+  EXPECT_EQ(sub.netlist.cell_count(), 4u);
+  EXPECT_EQ(sub.boundary_net_count, 4u);
+  EXPECT_TRUE(sub.netlist.validate().empty());
+}
+
+TEST_F(NetlistTest, SubnetlistSingleCell) {
+  build_tiny();
+  const SubNetlist sub = extract_subnetlist(nl_, {c_});
+  EXPECT_EQ(sub.netlist.cell_count(), 1u);
+  EXPECT_EQ(sub.netlist.port_count(), 3u);  // two inputs, one output
+  EXPECT_TRUE(sub.netlist.validate().empty());
+}
+
+}  // namespace
+}  // namespace ppacd::netlist

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace ppacd::util {
+namespace {
+
+TEST(Stats, SummaryOfEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);  // unsorted input
+}
+
+TEST(Stats, MaeAndR2) {
+  const std::vector<double> labels = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(labels, labels), 0.0);
+  EXPECT_DOUBLE_EQ(r2_score(labels, labels), 1.0);
+  const std::vector<double> pred = {2.0, 2.0, 2.0};  // predicts the mean
+  EXPECT_DOUBLE_EQ(r2_score(pred, labels), 0.0);
+  EXPECT_NEAR(mean_absolute_error(pred, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, R2ZeroVarianceLabels) {
+  EXPECT_DOUBLE_EQ(r2_score({1.0, 2.0}, {5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, PercentImprovement) {
+  EXPECT_DOUBLE_EQ(percent_improvement(2.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(-100.0, -50.0), -50.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(11);
+  const auto perm = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (const std::size_t v : perm) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, Geometric1AtLeastOne) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) EXPECT_GE(rng.geometric1(0.5), 1);
+}
+
+TEST(StringUtils, SplitJoinRoundtrip) {
+  const auto tokens = split("a/b//c", '/');
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2], "");
+  EXPECT_EQ(join(tokens, '/'), "a/b//c");
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(-0.5, 0), "-0");  // printf semantics
+}
+
+TEST(Table, RendersAllRows) {
+  Table t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333"});  // short row padded
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  CsvWriter csv;
+  csv.set_header({"x", "y"});
+  csv.add_row({"a,b", "q\"q"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"q\"\"q\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppacd::util
