@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shape_study.dir/bench_shape_study.cpp.o"
+  "CMakeFiles/bench_shape_study.dir/bench_shape_study.cpp.o.d"
+  "bench_shape_study"
+  "bench_shape_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shape_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

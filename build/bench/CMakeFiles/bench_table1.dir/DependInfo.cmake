@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ppacd_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ppacd_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/ppacd_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppacd_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/ppacd_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ppacd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpr/CMakeFiles/ppacd_vpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/ppacd_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ppacd_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ppacd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/ppacd_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/ppacd_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ppacd_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ppacd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/ppacd_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppacd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ppacd_bench_common.dir/common.cpp.o.d"
+  "libppacd_bench_common.a"
+  "libppacd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_clustering.dir/hierarchy_clustering.cpp.o"
+  "CMakeFiles/hierarchy_clustering.dir/hierarchy_clustering.cpp.o.d"
+  "hierarchy_clustering"
+  "hierarchy_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

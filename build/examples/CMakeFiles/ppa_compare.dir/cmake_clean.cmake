@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_compare.dir/ppa_compare.cpp.o"
+  "CMakeFiles/ppa_compare.dir/ppa_compare.cpp.o.d"
+  "ppa_compare"
+  "ppa_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

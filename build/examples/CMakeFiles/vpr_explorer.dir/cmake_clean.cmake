@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_explorer.dir/vpr_explorer.cpp.o"
+  "CMakeFiles/vpr_explorer.dir/vpr_explorer.cpp.o.d"
+  "vpr_explorer"
+  "vpr_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

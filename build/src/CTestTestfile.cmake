@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("netlist")
+subdirs("liberty")
+subdirs("gen")
+subdirs("sta")
+subdirs("place")
+subdirs("route")
+subdirs("cts")
+subdirs("hier")
+subdirs("cluster")
+subdirs("vpr")
+subdirs("features")
+subdirs("ml")
+subdirs("opt")
+subdirs("viz")
+subdirs("flow")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/best_choice.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/best_choice.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/best_choice.cpp.o.d"
+  "/root/repo/src/cluster/clustered_netlist.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/clustered_netlist.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/clustered_netlist.cpp.o.d"
+  "/root/repo/src/cluster/community.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/community.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/community.cpp.o.d"
+  "/root/repo/src/cluster/fc_multilevel.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/fc_multilevel.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/fc_multilevel.cpp.o.d"
+  "/root/repo/src/cluster/graph.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/graph.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/graph.cpp.o.d"
+  "/root/repo/src/cluster/overlay.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/overlay.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/overlay.cpp.o.d"
+  "/root/repo/src/cluster/ppa_costs.cpp" "src/cluster/CMakeFiles/ppacd_cluster.dir/ppa_costs.cpp.o" "gcc" "src/cluster/CMakeFiles/ppacd_cluster.dir/ppa_costs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ppacd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/ppacd_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/ppacd_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppacd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/ppacd_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

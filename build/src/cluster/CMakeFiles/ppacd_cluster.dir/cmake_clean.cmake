@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_cluster.dir/best_choice.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/best_choice.cpp.o.d"
+  "CMakeFiles/ppacd_cluster.dir/clustered_netlist.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/clustered_netlist.cpp.o.d"
+  "CMakeFiles/ppacd_cluster.dir/community.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/community.cpp.o.d"
+  "CMakeFiles/ppacd_cluster.dir/fc_multilevel.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/fc_multilevel.cpp.o.d"
+  "CMakeFiles/ppacd_cluster.dir/graph.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/graph.cpp.o.d"
+  "CMakeFiles/ppacd_cluster.dir/overlay.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/overlay.cpp.o.d"
+  "CMakeFiles/ppacd_cluster.dir/ppa_costs.cpp.o"
+  "CMakeFiles/ppacd_cluster.dir/ppa_costs.cpp.o.d"
+  "libppacd_cluster.a"
+  "libppacd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_cts.dir/cts.cpp.o"
+  "CMakeFiles/ppacd_cts.dir/cts.cpp.o.d"
+  "libppacd_cts.a"
+  "libppacd_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_features.dir/features.cpp.o"
+  "CMakeFiles/ppacd_features.dir/features.cpp.o.d"
+  "libppacd_features.a"
+  "libppacd_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

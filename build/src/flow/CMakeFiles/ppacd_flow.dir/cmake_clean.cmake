@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_flow.dir/flow.cpp.o"
+  "CMakeFiles/ppacd_flow.dir/flow.cpp.o.d"
+  "libppacd_flow.a"
+  "libppacd_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_gen.dir/designs.cpp.o"
+  "CMakeFiles/ppacd_gen.dir/designs.cpp.o.d"
+  "CMakeFiles/ppacd_gen.dir/generator.cpp.o"
+  "CMakeFiles/ppacd_gen.dir/generator.cpp.o.d"
+  "libppacd_gen.a"
+  "libppacd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppacd_gen.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hier/dendrogram.cpp" "src/hier/CMakeFiles/ppacd_hier.dir/dendrogram.cpp.o" "gcc" "src/hier/CMakeFiles/ppacd_hier.dir/dendrogram.cpp.o.d"
+  "/root/repo/src/hier/rent.cpp" "src/hier/CMakeFiles/ppacd_hier.dir/rent.cpp.o" "gcc" "src/hier/CMakeFiles/ppacd_hier.dir/rent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ppacd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppacd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/ppacd_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_hier.dir/dendrogram.cpp.o"
+  "CMakeFiles/ppacd_hier.dir/dendrogram.cpp.o.d"
+  "CMakeFiles/ppacd_hier.dir/rent.cpp.o"
+  "CMakeFiles/ppacd_hier.dir/rent.cpp.o.d"
+  "libppacd_hier.a"
+  "libppacd_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_liberty.dir/library.cpp.o"
+  "CMakeFiles/ppacd_liberty.dir/library.cpp.o.d"
+  "libppacd_liberty.a"
+  "libppacd_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

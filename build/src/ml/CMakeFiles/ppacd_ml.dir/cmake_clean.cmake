@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_ml.dir/dataset.cpp.o"
+  "CMakeFiles/ppacd_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/ppacd_ml.dir/gnn.cpp.o"
+  "CMakeFiles/ppacd_ml.dir/gnn.cpp.o.d"
+  "CMakeFiles/ppacd_ml.dir/layers.cpp.o"
+  "CMakeFiles/ppacd_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/ppacd_ml.dir/serialize.cpp.o"
+  "CMakeFiles/ppacd_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/ppacd_ml.dir/tensor.cpp.o"
+  "CMakeFiles/ppacd_ml.dir/tensor.cpp.o.d"
+  "CMakeFiles/ppacd_ml.dir/trainer.cpp.o"
+  "CMakeFiles/ppacd_ml.dir/trainer.cpp.o.d"
+  "libppacd_ml.a"
+  "libppacd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

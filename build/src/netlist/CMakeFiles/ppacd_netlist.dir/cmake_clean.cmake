@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_netlist.dir/io.cpp.o"
+  "CMakeFiles/ppacd_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/ppacd_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/ppacd_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/ppacd_netlist.dir/stats.cpp.o"
+  "CMakeFiles/ppacd_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/ppacd_netlist.dir/subnetlist.cpp.o"
+  "CMakeFiles/ppacd_netlist.dir/subnetlist.cpp.o.d"
+  "libppacd_netlist.a"
+  "libppacd_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_opt.dir/buffering.cpp.o"
+  "CMakeFiles/ppacd_opt.dir/buffering.cpp.o.d"
+  "CMakeFiles/ppacd_opt.dir/sizing.cpp.o"
+  "CMakeFiles/ppacd_opt.dir/sizing.cpp.o.d"
+  "libppacd_opt.a"
+  "libppacd_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/detailed.cpp" "src/place/CMakeFiles/ppacd_place.dir/detailed.cpp.o" "gcc" "src/place/CMakeFiles/ppacd_place.dir/detailed.cpp.o.d"
+  "/root/repo/src/place/floorplan.cpp" "src/place/CMakeFiles/ppacd_place.dir/floorplan.cpp.o" "gcc" "src/place/CMakeFiles/ppacd_place.dir/floorplan.cpp.o.d"
+  "/root/repo/src/place/global_placer.cpp" "src/place/CMakeFiles/ppacd_place.dir/global_placer.cpp.o" "gcc" "src/place/CMakeFiles/ppacd_place.dir/global_placer.cpp.o.d"
+  "/root/repo/src/place/legalizer.cpp" "src/place/CMakeFiles/ppacd_place.dir/legalizer.cpp.o" "gcc" "src/place/CMakeFiles/ppacd_place.dir/legalizer.cpp.o.d"
+  "/root/repo/src/place/model.cpp" "src/place/CMakeFiles/ppacd_place.dir/model.cpp.o" "gcc" "src/place/CMakeFiles/ppacd_place.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/ppacd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppacd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/ppacd_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_place.dir/detailed.cpp.o"
+  "CMakeFiles/ppacd_place.dir/detailed.cpp.o.d"
+  "CMakeFiles/ppacd_place.dir/floorplan.cpp.o"
+  "CMakeFiles/ppacd_place.dir/floorplan.cpp.o.d"
+  "CMakeFiles/ppacd_place.dir/global_placer.cpp.o"
+  "CMakeFiles/ppacd_place.dir/global_placer.cpp.o.d"
+  "CMakeFiles/ppacd_place.dir/legalizer.cpp.o"
+  "CMakeFiles/ppacd_place.dir/legalizer.cpp.o.d"
+  "CMakeFiles/ppacd_place.dir/model.cpp.o"
+  "CMakeFiles/ppacd_place.dir/model.cpp.o.d"
+  "libppacd_place.a"
+  "libppacd_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_route.dir/global_router.cpp.o"
+  "CMakeFiles/ppacd_route.dir/global_router.cpp.o.d"
+  "CMakeFiles/ppacd_route.dir/steiner.cpp.o"
+  "CMakeFiles/ppacd_route.dir/steiner.cpp.o.d"
+  "libppacd_route.a"
+  "libppacd_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_sta.dir/activity.cpp.o"
+  "CMakeFiles/ppacd_sta.dir/activity.cpp.o.d"
+  "CMakeFiles/ppacd_sta.dir/power.cpp.o"
+  "CMakeFiles/ppacd_sta.dir/power.cpp.o.d"
+  "CMakeFiles/ppacd_sta.dir/report.cpp.o"
+  "CMakeFiles/ppacd_sta.dir/report.cpp.o.d"
+  "CMakeFiles/ppacd_sta.dir/sta.cpp.o"
+  "CMakeFiles/ppacd_sta.dir/sta.cpp.o.d"
+  "libppacd_sta.a"
+  "libppacd_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_util.dir/csv.cpp.o"
+  "CMakeFiles/ppacd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ppacd_util.dir/logging.cpp.o"
+  "CMakeFiles/ppacd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ppacd_util.dir/stats.cpp.o"
+  "CMakeFiles/ppacd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ppacd_util.dir/string_utils.cpp.o"
+  "CMakeFiles/ppacd_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/ppacd_util.dir/table.cpp.o"
+  "CMakeFiles/ppacd_util.dir/table.cpp.o.d"
+  "libppacd_util.a"
+  "libppacd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

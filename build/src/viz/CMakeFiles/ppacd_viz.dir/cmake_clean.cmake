@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_viz.dir/viz.cpp.o"
+  "CMakeFiles/ppacd_viz.dir/viz.cpp.o.d"
+  "libppacd_viz.a"
+  "libppacd_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

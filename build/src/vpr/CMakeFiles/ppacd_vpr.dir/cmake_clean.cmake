@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppacd_vpr.dir/vpr.cpp.o"
+  "CMakeFiles/ppacd_vpr.dir/vpr.cpp.o.d"
+  "libppacd_vpr.a"
+  "libppacd_vpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppacd_vpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

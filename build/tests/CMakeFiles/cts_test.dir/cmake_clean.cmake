@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_test.dir/cts_test.cpp.o"
+  "CMakeFiles/cts_test.dir/cts_test.cpp.o.d"
+  "cts_test"
+  "cts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detailed_test.dir/detailed_test.cpp.o"
+  "CMakeFiles/detailed_test.dir/detailed_test.cpp.o.d"
+  "detailed_test"
+  "detailed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detailed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

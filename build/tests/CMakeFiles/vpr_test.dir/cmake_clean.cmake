@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_test.dir/vpr_test.cpp.o"
+  "CMakeFiles/vpr_test.dir/vpr_test.cpp.o.d"
+  "vpr_test"
+  "vpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
