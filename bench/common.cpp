@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "telemetry/telemetry.hpp"
 #include "util/string_utils.hpp"
 #include "util/timer.hpp"
 
@@ -54,35 +55,42 @@ void write_results(const util::CsvWriter& csv, const std::string& name) {
   } else {
     std::printf("WARNING: could not write %s\n", path.c_str());
   }
+  // Telemetry artifacts for the whole bench run so far: a metric/span summary
+  // and a Chrome trace next to the table. Best-effort -- tables stay valid
+  // even if these fail (e.g. telemetry compiled out writes empty summaries).
+  telemetry::write_summary("bench_results/" + name + ".report.json", name);
+  telemetry::write_chrome_trace("bench_results/" + name + ".trace.json");
 }
 
 ModelBundle build_and_train_model() {
   ModelBundle bundle;
-  util::Timer timer;
 
-  std::vector<netlist::Netlist> designs;
-  std::vector<const netlist::Netlist*> design_ptrs;
-  for (const gen::DesignSpec& spec : gen::small_design_specs()) {
-    designs.push_back(make_design(spec));
+  {
+    util::ScopedTimer timer(bundle.dataset_seconds);
+    std::vector<netlist::Netlist> designs;
+    std::vector<const netlist::Netlist*> design_ptrs;
+    for (const gen::DesignSpec& spec : gen::small_design_specs()) {
+      designs.push_back(make_design(spec));
+    }
+    for (const netlist::Netlist& nl : designs) design_ptrs.push_back(&nl);
+
+    ml::DatasetOptions dataset_options;
+    dataset_options.min_cluster_size = 25;
+    dataset_options.max_cluster_size = 250;
+    dataset_options.max_clusters_per_design =
+        std::max(10, static_cast<int>(80 * size_scale()));
+    dataset_options.clustering_configs = 8;
+    vpr::VprOptions vpr_options;
+    bundle.dataset = ml::build_dataset(design_ptrs, dataset_options, vpr_options);
   }
-  for (const netlist::Netlist& nl : designs) design_ptrs.push_back(&nl);
 
-  ml::DatasetOptions dataset_options;
-  dataset_options.min_cluster_size = 25;
-  dataset_options.max_cluster_size = 250;
-  dataset_options.max_clusters_per_design =
-      std::max(10, static_cast<int>(80 * size_scale()));
-  dataset_options.clustering_configs = 8;
-  vpr::VprOptions vpr_options;
-  bundle.dataset = ml::build_dataset(design_ptrs, dataset_options, vpr_options);
-  bundle.dataset_seconds = timer.seconds();
-
-  timer.reset();
-  ml::TrainOptions train_options;
-  train_options.epochs = 22;
-  train_options.batch_size = 16;
-  bundle.result = ml::train_total_cost_model(bundle.dataset, train_options);
-  bundle.training_seconds = timer.seconds();
+  {
+    util::ScopedTimer timer(bundle.training_seconds);
+    ml::TrainOptions train_options;
+    train_options.epochs = 22;
+    train_options.batch_size = 16;
+    bundle.result = ml::train_total_cost_model(bundle.dataset, train_options);
+  }
   return bundle;
 }
 

@@ -10,6 +10,11 @@
 ///            [--shapes uniform|random|vpr] [--clock PS] [--opt] [--detailed]
 ///            [--write-verilog FILE] [--write-def FILE] [--write-svg FILE]
 ///            [--write-congestion FILE] [--report-paths N]
+///            [--cells N] [--report FILE] [--trace FILE]
+///
+/// --report writes the telemetry run report (flow config, phase timings,
+/// metric snapshot, PPA outcome) as JSON; --trace writes a Chrome
+/// trace_event file loadable in chrome://tracing or https://ui.perfetto.dev.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,12 +22,14 @@
 #include <string>
 
 #include "flow/flow.hpp"
+#include "flow/report.hpp"
 #include "gen/designs.hpp"
 #include "gen/generator.hpp"
 #include "netlist/io.hpp"
 #include "netlist/stats.hpp"
 #include "route/global_router.hpp"
 #include "sta/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "viz/viz.hpp"
 
 namespace {
@@ -39,6 +46,9 @@ struct Args {
   std::string write_svg;
   std::string write_congestion;
   int report_paths = 0;
+  int cells = 0;  // 0 = design default
+  std::string report_json;
+  std::string trace_json;
   bool timing_opt = false;
   bool detailed = false;
 };
@@ -60,6 +70,9 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (arg == "--write-svg") args->write_svg = value();
     else if (arg == "--write-congestion") args->write_congestion = value();
     else if (arg == "--report-paths") args->report_paths = std::atoi(value());
+    else if (arg == "--cells") args->cells = std::atoi(value());
+    else if (arg == "--report") args->report_json = value();
+    else if (arg == "--trace") args->trace_json = value();
     else if (arg == "--opt") args->timing_opt = true;
     else if (arg == "--detailed") args->detailed = true;
     else {
@@ -96,7 +109,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else {
-    const gen::DesignSpec spec = gen::design_spec(args.design);
+    gen::DesignSpec spec = gen::design_spec(args.design);
+    if (args.cells > 0) spec.target_cells = args.cells;
     design = gen::generate(lib, spec);
     default_clock = spec.clock_period_ps;
   }
@@ -132,6 +146,29 @@ int main(int argc, char** argv) {
               result.place.cluster_count);
   std::printf("post-route: rWL %.0f um, WNS %.0f ps, TNS %.2f ns, power %.4f W\n",
               ppa.rwl_um, ppa.wns_ps, ppa.tns_ns, ppa.power_w);
+
+  if (!args.report_json.empty()) {
+    flow::RunReportInputs report;
+    report.design = design->name().empty() ? args.design : std::string(design->name());
+    report.flow = args.flow;
+    report.options = &options;
+    report.place = &result.place;
+    report.ppa = &ppa;
+    if (flow::write_run_report(args.report_json, report)) {
+      std::printf("wrote %s\n", args.report_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.report_json.c_str());
+      return 1;
+    }
+  }
+  if (!args.trace_json.empty()) {
+    if (telemetry::write_chrome_trace(args.trace_json)) {
+      std::printf("wrote %s\n", args.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_json.c_str());
+      return 1;
+    }
+  }
 
   // --- Artifacts ------------------------------------------------------------------
   geom::BBox box;

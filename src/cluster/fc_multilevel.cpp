@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "cluster/ppa_costs.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +64,7 @@ struct UnionFind {
 
 FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
                                const FcPpaInputs& ppa, const FcOptions& options) {
+  PPACD_SPAN(fc_span, "cluster.fc");
   FcResult result;
   const std::int32_t n_cells = static_cast<std::int32_t>(nl.cell_count());
   result.cluster_of_cell.assign(static_cast<std::size_t>(n_cells), 0);
@@ -129,6 +131,10 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
 
   for (int pass = 0; pass < options.max_levels; ++pass) {
     if (level.vertex_count <= target) break;
+    PPACD_SPAN(level_span, "cluster.fc.level");
+    PPACD_SPAN_ATTR(level_span, "level", pass);
+    PPACD_SPAN_ATTR(level_span, "vertices", level.vertex_count);
+    PPACD_SPAN_ATTR(level_span, "edges", level.edges.size());
     level.rebuild_incidence();
 
     // Per-level switching costs (Eq. 2 over the surviving edges).
@@ -193,6 +199,14 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
           cluster_area[static_cast<std::size_t>(u_root)];
       ++merges;
     }
+
+    PPACD_COUNT("cluster.fc.levels", 1);
+    PPACD_COUNT("cluster.fc.merges", merges);
+    const double match_rate =
+        static_cast<double>(merges) / static_cast<double>(level.vertex_count);
+    PPACD_HIST("cluster.fc.match_rate", match_rate);
+    PPACD_SPAN_ATTR(level_span, "merges", merges);
+    PPACD_SPAN_ATTR(level_span, "match_rate", match_rate);
 
     if (merges == 0 ||
         merges < std::max<std::int32_t>(1, level.vertex_count / 50)) {
@@ -271,6 +285,11 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
     result.singleton_count = 0;
   }
 
+  PPACD_GAUGE_SET("cluster.fc.clusters", result.cluster_count);
+  PPACD_GAUGE_SET("cluster.fc.singletons", result.singleton_count);
+  PPACD_SPAN_ATTR(fc_span, "clusters", result.cluster_count);
+  PPACD_SPAN_ATTR(fc_span, "levels", result.levels);
+  PPACD_SPAN_ATTR(fc_span, "singletons", result.singleton_count);
   PPACD_LOG_DEBUG("fc") << nl.name() << ": " << result.cluster_count
                         << " clusters in " << result.levels << " levels, "
                         << result.singleton_count << " singletons";

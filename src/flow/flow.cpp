@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "flow/report.hpp"
+
 #include "cluster/best_choice.hpp"
 #include "cluster/overlay.hpp"
 #include "cluster/clustered_netlist.hpp"
@@ -19,6 +21,7 @@
 #include "sta/activity.hpp"
 #include "sta/power.hpp"
 #include "sta/sta.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -48,18 +51,25 @@ ClusteringOutcome run_clustering(const netlist::Netlist& nl,
   switch (options.cluster_method) {
     case ClusterMethod::kPpaAware: {
       // Alg. 1 lines 2-9: hierarchy grouping + timing + switching costs.
-      sta::StaOptions sta_options;
-      sta_options.clock_period_ps = options.clock_period_ps;
-      sta::Sta sta(nl, sta_options);
-      sta.run();
-      const auto timing_cost = cluster::net_timing_costs(
-          nl, sta, options.clock_period_ps, options.top_paths);
-      const auto activities = sta::propagate_activity(nl, sta::ActivityOptions{});
-      const auto theta = cluster::net_switching_activity(nl, activities);
-
+      std::vector<double> timing_cost;
+      std::vector<double> theta;
       hier::HierClusteringResult hier_result;
-      if (nl.has_hierarchy()) {
-        hier_result = hier::hierarchy_clustering(nl);
+      {
+        PPACD_SPAN(span, "flow.extract");
+        sta::StaOptions sta_options;
+        sta_options.clock_period_ps = options.clock_period_ps;
+        sta::Sta sta(nl, sta_options);
+        sta.run();
+        timing_cost = cluster::net_timing_costs(
+            nl, sta, options.clock_period_ps, options.top_paths);
+        const auto activities =
+            sta::propagate_activity(nl, sta::ActivityOptions{});
+        theta = cluster::net_switching_activity(nl, activities);
+
+        if (nl.has_hierarchy()) {
+          hier_result = hier::hierarchy_clustering(nl);
+        }
+        PPACD_SPAN_ATTR(span, "hier_clusters", hier_result.cluster_count);
       }
       cluster::FcPpaInputs inputs;
       inputs.net_timing_cost = &timing_cost;
@@ -161,6 +171,7 @@ void apply_shapes(const netlist::Netlist& nl, cluster::ClusteredNetlist& cluster
 /// centroids). Updates positions and HPWL in `result`.
 void run_timing_optimization(netlist::Netlist& nl, const place::Floorplan& fp,
                              const FlowOptions& options, FlowResult& result) {
+  PPACD_SPAN(span, "flow.timing_opt");
   opt::BufferingOptions buffering;
   opt::buffer_high_fanout(nl, result.place.positions, buffering);
   opt::SizingOptions sizing;
@@ -187,18 +198,24 @@ FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
   const place::Floorplan fp = make_floorplan(nl, options);
   const place::PlaceModel model = place::make_place_model(nl, fp);
 
-  util::Timer timer;
-  place::GlobalPlacerOptions placer_options = options.placer;
-  placer_options.seed = options.seed;
-  place::GlobalPlacer placer(model, placer_options);
-  const place::PlaceResult placed = placer.run();
-  place::LegalizeResult legal = place::legalize(model, placed.placement);
-  if (options.detailed_placement) {
-    legal.placement =
-        place::detailed_place(model, legal.placement, place::DetailedOptions{})
-            .placement;
+  place::LegalizeResult legal;
+  {
+    PPACD_SPAN(span, "flow.global_place");
+    util::ScopedTimer timer(result.place.placement_seconds);
+    place::GlobalPlacerOptions placer_options = options.placer;
+    placer_options.seed = options.seed;
+    placer_options.trace_iterations = true;
+    place::GlobalPlacer placer(model, placer_options);
+    const place::PlaceResult placed = placer.run();
+    legal = place::legalize(model, placed.placement);
+    if (options.detailed_placement) {
+      legal.placement =
+          place::detailed_place(model, legal.placement, place::DetailedOptions{})
+              .placement;
+    }
+    PPACD_SPAN_ATTR(span, "iterations", placed.iterations);
+    PPACD_SPAN_ATTR(span, "overflow", placed.overflow);
   }
-  result.place.placement_seconds = timer.seconds();
 
   result.place.positions = place::cell_positions(nl, legal.placement);
   result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
@@ -213,35 +230,56 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   const place::Floorplan fp = make_floorplan(nl, options);
 
   // --- Clustering (Alg. 1 lines 2-10) ----------------------------------------
-  util::Timer timer;
-  const ClusteringOutcome clustering = run_clustering(nl, options);
-  cluster::ClusteredNetlist clustered = cluster::build_clustered_netlist(
-      nl, clustering.assignment, clustering.count);
-  result.place.clustering_seconds = timer.seconds();
+  ClusteringOutcome clustering;
+  cluster::ClusteredNetlist clustered;
+  {
+    PPACD_SPAN(span, "flow.cluster");
+    util::ScopedTimer timer(result.place.clustering_seconds);
+    clustering = run_clustering(nl, options);
+    clustered = cluster::build_clustered_netlist(nl, clustering.assignment,
+                                                 clustering.count);
+    PPACD_SPAN_ATTR(span, "method", to_string(options.cluster_method));
+    PPACD_SPAN_ATTR(span, "clusters", clustering.count);
+  }
   result.place.cluster_count = clustering.count;
 
   // --- Cluster shapes (lines 12-13) -------------------------------------------
-  timer.reset();
-  apply_shapes(nl, clustered, options, result.place);
-  result.place.shaping_seconds = timer.seconds();
+  {
+    PPACD_SPAN(span, "flow.shape");
+    util::ScopedTimer timer(result.place.shaping_seconds);
+    apply_shapes(nl, clustered, options, result.place);
+    PPACD_SPAN_ATTR(span, "mode", to_string(options.shape_mode));
+    PPACD_SPAN_ATTR(span, "shaped", result.place.shaped_clusters);
+  }
 
   // --- Seed placement of the clustered netlist (lines 15-25) ------------------
-  timer.reset();
-  const double io_scale =
-      options.tool == Tool::kOpenRoadLike ? options.io_weight_scale : 1.0;
-  const place::PlaceModel cluster_model =
-      cluster::make_cluster_place_model(clustered, nl, fp, io_scale);
-  place::GlobalPlacerOptions seed_options = options.placer;
-  seed_options.seed = options.seed;
-  // Cluster macros cannot be untangled by cell shifting; use bisection.
-  seed_options.spread_mode = place::SpreadMode::kBisection;
-  place::GlobalPlacer seed_placer(cluster_model, seed_options);
-  const place::PlaceResult seed_placed = seed_placer.run();
+  place::LegalizeResult legal;
+  {
+  util::ScopedTimer placement_timer(result.place.placement_seconds);
+  std::vector<geom::Point> seeded_cells;
+  place::PlaceResult seed_placed;
+  {
+    PPACD_SPAN(span, "flow.seed_place");
+    const double io_scale =
+        options.tool == Tool::kOpenRoadLike ? options.io_weight_scale : 1.0;
+    const place::PlaceModel cluster_model =
+        cluster::make_cluster_place_model(clustered, nl, fp, io_scale);
+    place::GlobalPlacerOptions seed_options = options.placer;
+    seed_options.seed = options.seed;
+    // Cluster macros cannot be untangled by cell shifting; use bisection.
+    seed_options.spread_mode = place::SpreadMode::kBisection;
+    seed_options.trace_iterations = true;
+    place::GlobalPlacer seed_placer(cluster_model, seed_options);
+    seed_placed = seed_placer.run();
 
-  // Place instances within their placed cluster footprints (or exactly at
-  // the centers when scatter_seed is off).
-  const auto seeded_cells = cluster::induce_cell_positions(
-      clustered, nl, seed_placed.placement, options.scatter_seed, options.seed);
+    // Place instances within their placed cluster footprints (or exactly at
+    // the centers when scatter_seed is off).
+    seeded_cells = cluster::induce_cell_positions(
+        clustered, nl, seed_placed.placement, options.scatter_seed, options.seed);
+    PPACD_SPAN_ATTR(span, "iterations", seed_placed.iterations);
+  }
+
+  PPACD_SPAN(incremental_span, "flow.incremental_place");
 
   // Flat model for the incremental pass; the Innovus-like tool adds region
   // constraints for the V-P&R-shaped clusters (line 18).
@@ -272,6 +310,7 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   }
   place::GlobalPlacerOptions inc_options = options.placer;
   inc_options.seed = options.seed;
+  inc_options.trace_iterations = true;
   place::GlobalPlacer flat_placer(flat_model, inc_options);
   const place::PlaceResult incremental = flat_placer.run_incremental(seed_flat);
 
@@ -279,13 +318,15 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   // settle into legal sites anywhere.
   place::PlaceModel unfenced = flat_model;
   for (place::PlaceObject& obj : unfenced.objects) obj.region.reset();
-  place::LegalizeResult legal = place::legalize(unfenced, incremental.placement);
+  legal = place::legalize(unfenced, incremental.placement);
   if (options.detailed_placement) {
     legal.placement =
         place::detailed_place(unfenced, legal.placement, place::DetailedOptions{})
             .placement;
   }
-  result.place.placement_seconds = timer.seconds();
+  PPACD_SPAN_ATTR(incremental_span, "iterations", incremental.iterations);
+  PPACD_SPAN_ATTR(incremental_span, "overflow", incremental.overflow);
+  }  // placement scope (seed + incremental)
 
   result.place.positions = place::cell_positions(nl, legal.placement);
   result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
@@ -309,15 +350,27 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   for (std::size_t po = 0; po < nl.port_count(); ++po) {
     box.expand(nl.port(static_cast<netlist::PortId>(po)).position);
   }
-  route::GlobalRouter router(nl, positions, box.rect(), options.router);
-  const route::RouteResult routed = router.run();
+  route::RouteResult routed;
+  {
+    PPACD_SPAN(span, "flow.route");
+    route::GlobalRouter router(nl, positions, box.rect(), options.router);
+    routed = router.run();
+    PPACD_SPAN_ATTR(span, "overflow_edges", routed.overflow_edges);
+    PPACD_SPAN_ATTR(span, "wirelength_um", routed.wirelength_um);
+  }
   out.route_overflow_edges = routed.overflow_edges;
 
-  const cts::ClockTreeResult tree =
-      cts::synthesize_clock_tree(nl, positions, options.cts);
+  cts::ClockTreeResult tree;
+  {
+    PPACD_SPAN(span, "flow.cts");
+    tree = cts::synthesize_clock_tree(nl, positions, options.cts);
+    PPACD_SPAN_ATTR(span, "buffers", tree.buffer_count);
+    PPACD_SPAN_ATTR(span, "skew_ps", tree.max_skew_ps);
+  }
   out.clock_skew_ps = tree.max_skew_ps;
   out.rwl_um = routed.wirelength_um + tree.wirelength_um;
 
+  PPACD_SPAN(sta_span, "flow.sta");
   sta::StaOptions sta_options;
   sta_options.clock_period_ps = options.clock_period_ps;
   sta_options.cell_positions = &positions;
@@ -326,6 +379,8 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   sta.run();
   out.wns_ps = sta.wns_ps();
   out.tns_ns = sta.tns_ns();
+  PPACD_SPAN_ATTR(sta_span, "wns_ps", out.wns_ps);
+  PPACD_SPAN_ATTR(sta_span, "tns_ns", out.tns_ns);
 
   // Power: data nets from HPWL parasitics; the clock from the synthesized
   // tree (its switched capacitance replaces the flat clock net's HPWL cap).

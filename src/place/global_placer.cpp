@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::place {
@@ -476,6 +477,7 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
       seed_anchor != nullptr ? options_.incremental_anchor_offset : 0;
   int iter = 0;
   for (; iter < iterations; ++iter) {
+    PPACD_SPAN_IF(iter_span, "place.gp.iter", options_.trace_iterations);
     // Fences bind throughout from-scratch runs; in incremental (seeded)
     // mode they only guide the early iterations (Alg. 1 line 20 removes
     // region constraints after the incremental placement).
@@ -498,8 +500,16 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
     }
     clamp_to_core_and_regions(positions);
     anchors = positions;
+    const double hpwl = total_hpwl(*model_, positions);
+    PPACD_COUNT("place.gp.iterations", 1);
+    PPACD_GAUGE_SET("place.gp.overflow", overflow);
+    PPACD_GAUGE_SET("place.gp.hpwl", hpwl);
+    PPACD_HIST("place.gp.iter_overflow", overflow);
+    PPACD_SPAN_ATTR(iter_span, "iter", iter);
+    PPACD_SPAN_ATTR(iter_span, "overflow", overflow);
+    PPACD_SPAN_ATTR(iter_span, "hpwl", hpwl);
     PPACD_LOG_DEBUG("place") << "iter " << iter << " overflow " << overflow
-                             << " hpwl " << total_hpwl(*model_, positions);
+                             << " hpwl " << hpwl;
     if (overflow < options_.target_overflow && iter + 1 >= options_.min_iterations) {
       ++iter;
       break;

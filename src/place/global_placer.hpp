@@ -58,6 +58,12 @@ struct GlobalPlacerOptions {
   /// refinement is unconstrained (mirrors Alg. 1 line 20, "remove region
   /// constraints"). 1.0 keeps fences throughout.
   double region_release_fraction = 0.5;
+  /// Record one telemetry span per outer iteration ("place.gp.iter", with
+  /// overflow/HPWL attributes). Off by default so the hundreds of placer
+  /// runs inside V-P&R shape sweeps stay out of the trace; the flow turns
+  /// it on for its top-level placements. Per-iteration gauges are recorded
+  /// regardless (they are plain atomics).
+  bool trace_iterations = false;
   std::uint64_t seed = 1;
 };
 

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "route/steiner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::route {
@@ -281,6 +282,7 @@ RouteResult GlobalRouter::run() {
       route.paths.push_back(std::move(path));
     }
   }
+  PPACD_COUNT("route.nets.routed", routes.size());
 
   // Negotiated rip-up-and-reroute.
   for (int round = 0; round < options_.rrr_rounds; ++round) {
@@ -305,6 +307,8 @@ RouteResult GlobalRouter::run() {
       }
     }
     if (over_edges == 0) break;
+    PPACD_COUNT("route.rrr.rounds", 1);
+    PPACD_HIST("route.rrr.over_edges", over_edges);
 
     for (NetRoute& route : routes) {
       bool crosses_overflow = false;
@@ -318,6 +322,7 @@ RouteResult GlobalRouter::run() {
         if (crosses_overflow) break;
       }
       if (!crosses_overflow) continue;
+      PPACD_COUNT("route.maze.reroutes", 1);
       for (std::size_t s = 0; s < route.segments.size(); ++s) {
         commit(route.paths[s], -1);
         route.paths[s] = options_.maze_fallback
@@ -358,6 +363,8 @@ RouteResult GlobalRouter::run() {
       result.total_overflow += u - options_.v_capacity;
     }
   }
+  PPACD_GAUGE_SET("route.overflow_edges", result.overflow_edges);
+  PPACD_GAUGE_SET("route.wirelength_um", result.wirelength_um);
   PPACD_LOG_DEBUG("route") << nl.name() << ": rWL " << result.wirelength_um
                            << " um, overflow edges " << result.overflow_edges;
   return result;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::sta {
@@ -233,6 +234,9 @@ void Sta::run() {
   propagate_arrivals();
   propagate_requireds();
   ran_ = true;
+  PPACD_COUNT("sta.runs", 1);
+  PPACD_GAUGE_SET("sta.wns_ps", wns_ps_);
+  PPACD_GAUGE_SET("sta.tns_ns", tns_ns_);
   PPACD_LOG_DEBUG("sta") << nl_->name() << ": WNS " << wns_ps_ << " ps, TNS "
                          << tns_ns_ << " ns";
 }
@@ -277,6 +281,7 @@ std::vector<TimingPath> Sta::worst_paths(std::size_t max_paths) const {
     std::reverse(path.pins.begin(), path.pins.end());
     paths.push_back(std::move(path));
   }
+  PPACD_COUNT("sta.paths.extracted", paths.size());
   return paths;
 }
 

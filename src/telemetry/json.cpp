@@ -1,0 +1,299 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppacd::telemetry {
+
+void Json::set(std::string_view key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [existing, member] : members_) {
+    if (existing == key) {
+      member = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [existing, member] : members_) {
+    if (existing == key) return &member;
+  }
+  return nullptr;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trippable representation; JSON has no NaN/Inf, emit null.
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    out += buffer;
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Prefer the shorter %.15g form when it survives a round trip.
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%.15g", value);
+  if (std::strtod(shorter, nullptr) == value) {
+    out += shorter;
+  } else {
+    out += buffer;
+  }
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: append_number(out, number_); return;
+    case Type::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      return;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        elements_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += indent >= 0 ? "\": " : "\":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool match(std::string_view literal) {
+    if (text.substr(pos, literal.size()) != literal) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  Json fail() {
+    ok = false;
+    return Json();
+  }
+
+  Json parse_string() {
+    // Opening quote already consumed.
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return Json(std::move(out));
+      if (c == '\\') {
+        if (pos >= text.size()) return fail();
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail();
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail();
+            }
+            // UTF-8 encode (surrogate pairs unsupported; telemetry never
+            // emits them).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail();
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail();  // unterminated
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) return fail();
+    return Json(value);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 200) return fail();  // runaway nesting guard
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      while (ok) {
+        if (!consume('"')) return fail();
+        Json key = parse_string();
+        if (!ok) return Json();
+        if (!consume(':')) return fail();
+        Json value = parse_value(depth + 1);
+        if (!ok) return Json();
+        obj.set(key.as_string(), std::move(value));
+        if (consume(',')) continue;
+        if (consume('}')) return obj;
+        return fail();
+      }
+      return Json();
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      while (ok) {
+        Json value = parse_value(depth + 1);
+        if (!ok) return Json();
+        arr.push_back(std::move(value));
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        return fail();
+      }
+      return Json();
+    }
+    if (c == '"') {
+      ++pos;
+      return parse_string();
+    }
+    if (match("null")) return Json();
+    if (match("true")) return Json(true);
+    if (match("false")) return Json(false);
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser parser{text};
+  Json value = parser.parse_value(0);
+  parser.skip_ws();
+  if (!parser.ok || parser.pos != text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace ppacd::telemetry

@@ -1,0 +1,105 @@
+/// \file json.hpp
+/// \brief Minimal JSON value with a writer and a strict parser.
+///
+/// Backs the telemetry artifacts (run reports, Chrome traces): small enough
+/// to have no dependencies, complete enough that the emitted files can be
+/// round-trip parsed in tests and validated by the smoke target. Objects
+/// preserve insertion order so reports are stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ppacd::telemetry {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  /// Any non-bool integer (int, int64_t, size_t, ...) becomes a number.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Json(T value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string_view value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Array element count or object member count (0 for scalars).
+  std::size_t size() const {
+    return is_object() ? members_.size() : elements_.size();
+  }
+
+  // --- Array interface --------------------------------------------------------
+  void push_back(Json value) {
+    type_ = Type::kArray;
+    elements_.push_back(std::move(value));
+  }
+  const Json& at(std::size_t index) const { return elements_.at(index); }
+  const std::vector<Json>& elements() const { return elements_; }
+
+  // --- Object interface -------------------------------------------------------
+  /// Inserts or overwrites `key`.
+  void set(std::string_view key, Json value);
+  /// Member lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes the value. `indent` < 0 means compact single-line output;
+  /// otherwise pretty-printed with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document; nullopt on any error (trailing
+  /// garbage included).
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes `text` as the *contents* of a JSON string literal (no quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace ppacd::telemetry

@@ -1,0 +1,266 @@
+/// \file telemetry.hpp
+/// \brief Flow-wide observability: a process-wide metrics registry (counters,
+/// gauges, fixed-bucket histograms) and nesting RAII trace spans.
+///
+/// Design goals:
+///   * Hot-path friendly: metric handles are resolved once per call site (the
+///     macros cache a reference in a function-local static) and updated with
+///     relaxed atomics; no lock is taken on the increment path.
+///   * Nesting spans: `TraceSpan` records wall time plus user attributes and
+///     tracks parent/depth through a thread-local stack, so clustering ->
+///     per-level coarsening, shaping -> per-cluster V-P&R, and placement ->
+///     per-iteration hierarchies come out as a tree.
+///   * Exportable: spans serialize as a human-readable tree and as Chrome
+///     `trace_event` JSON loadable in chrome://tracing; metrics snapshot to
+///     JSON for the per-run report (see flow/report.hpp).
+///   * Compile-out: building with -DPPACD_TELEMETRY=OFF defines
+///     PPACD_TELEMETRY_DISABLED and turns every PPACD_* macro below into a
+///     no-op; the classes stay available so tools/tests still link.
+///
+/// Metric naming scheme: `phase.subsystem.name` (e.g. `place.gp.overflow`,
+/// `cluster.fc.merges`, `route.rrr.rounds`); see DESIGN.md "Observability".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace ppacd::telemetry {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value metric.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are inclusive bucket ceilings in
+/// ascending order; one implicit overflow bucket catches everything above the
+/// last bound. Observation is lock-free (one relaxed fetch_add per atomic).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket counts; size is upper_bounds().size() + 1 (overflow last).
+  std::vector<std::int64_t> bucket_counts() const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bucket ceilings: one decade ladder, 1e-4 .. 1e6.
+const std::vector<double>& default_histogram_bounds();
+
+/// Process-wide registry of named metrics. Registration (first use of a name)
+/// takes a mutex; returned references stay valid for the process lifetime, so
+/// call sites may cache them. reset() zeroes every value but never invalidates
+/// handles.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` applies only on first registration of `name` (empty =>
+  /// default_histogram_bounds()).
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& upper_bounds = {});
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  Json to_json() const;
+
+  /// Zeroes all registered metrics (handles stay valid).
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry.
+MetricsRegistry& metrics();
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// One attribute attached to a span.
+struct SpanAttr {
+  std::string key;
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+};
+
+/// A completed (or still-open, dur_us < 0) span in the global span store.
+struct SpanRecord {
+  std::string name;
+  double start_us = 0.0;  ///< since the process telemetry epoch
+  double dur_us = -1.0;
+  int depth = 0;
+  std::int64_t parent = -1;  ///< index into the store, -1 for roots
+  std::uint32_t thread = 0;  ///< small sequential per-thread id
+  std::vector<SpanAttr> attrs;
+};
+
+/// RAII wall-time span. Construction pushes onto the calling thread's span
+/// stack (establishing parent/depth); destruction records the duration.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : TraceSpan(name, true) {}
+  /// `active == false` records nothing (cheap conditional instrumentation,
+  /// e.g. per-iteration placer spans only for top-level flow placements).
+  TraceSpan(std::string_view name, bool active);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void attr(std::string_view key, double value);
+  void attr(std::string_view key, std::int64_t value) {
+    attr(key, static_cast<double>(value));
+  }
+  void attr(std::string_view key, int value) {
+    attr(key, static_cast<double>(value));
+  }
+  void attr(std::string_view key, std::size_t value) {
+    attr(key, static_cast<double>(value));
+  }
+  void attr(std::string_view key, std::string_view value);
+
+ private:
+  std::int64_t index_ = -1;
+  std::uint64_t generation_ = 0;
+};
+
+/// Stand-in for TraceSpan when telemetry is compiled out.
+class NullSpan {
+ public:
+  explicit NullSpan(std::string_view) {}
+  NullSpan(std::string_view, bool) {}
+  template <typename V>
+  void attr(std::string_view, const V&) {}
+};
+
+/// Runtime collection switch (default on). Disabling stops new spans and
+/// metric *macro* updates are unaffected (they stay cheap); use the compile
+/// flag to remove those too.
+bool enabled();
+void set_enabled(bool enabled);
+
+/// Microseconds since the process telemetry epoch (first telemetry use).
+double now_us();
+
+/// Copy of all recorded spans (open spans have dur_us < 0).
+std::vector<SpanRecord> span_snapshot();
+
+/// Clears the span store. Only call when no spans are live on any thread
+/// (live RAII spans from before the reset are ignored at destruction).
+void reset_spans();
+
+/// Human-readable indented tree of all recorded spans.
+std::string span_tree();
+
+/// All recorded spans as a JSON array of {name, start_us, dur_us, depth,
+/// parent, thread, attrs}.
+Json spans_json();
+
+/// Spans as Chrome trace_event JSON: {"traceEvents": [...], ...}. Load via
+/// chrome://tracing or https://ui.perfetto.dev.
+Json chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+/// Generic artifact: {"label": ..., "spans": [...], "metrics": {...}}.
+/// Used by the bench harness; the flow CLI writes the richer run report.
+Json summary_json(std::string_view label);
+bool write_summary(const std::string& path, std::string_view label);
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros (compile out with -DPPACD_TELEMETRY=OFF)
+// ---------------------------------------------------------------------------
+
+#if defined(PPACD_TELEMETRY_DISABLED)
+
+/// Type-checks the operands without ever evaluating them (dead branch).
+#define PPACD_TELEMETRY_NOOP_(expr) \
+  do {                              \
+    if (false) {                    \
+      expr;                         \
+    }                               \
+  } while (0)
+
+#define PPACD_SPAN(var, name) ::ppacd::telemetry::NullSpan var{(name)}
+#define PPACD_SPAN_IF(var, name, active) \
+  ::ppacd::telemetry::NullSpan var { (name), static_cast<bool>(active) }
+#define PPACD_SPAN_ATTR(var, key, value) \
+  PPACD_TELEMETRY_NOOP_(((void)(var), (void)(key), (void)(value)))
+#define PPACD_COUNT(name, delta) \
+  PPACD_TELEMETRY_NOOP_(((void)(name), (void)(delta)))
+#define PPACD_GAUGE_SET(name, value) \
+  PPACD_TELEMETRY_NOOP_(((void)(name), (void)(value)))
+#define PPACD_HIST(name, value) \
+  PPACD_TELEMETRY_NOOP_(((void)(name), (void)(value)))
+
+#else
+
+#define PPACD_SPAN(var, name) ::ppacd::telemetry::TraceSpan var{(name)}
+#define PPACD_SPAN_IF(var, name, active) \
+  ::ppacd::telemetry::TraceSpan var { (name), static_cast<bool>(active) }
+#define PPACD_SPAN_ATTR(var, key, value) (var).attr((key), (value))
+/// The handle is resolved once per call site; updates are relaxed atomics.
+#define PPACD_COUNT(name, delta)                                      \
+  do {                                                                \
+    static ::ppacd::telemetry::Counter& ppacd_tm_handle_ =            \
+        ::ppacd::telemetry::metrics().counter(name);                  \
+    ppacd_tm_handle_.add(static_cast<std::int64_t>(delta));           \
+  } while (0)
+#define PPACD_GAUGE_SET(name, value)                                  \
+  do {                                                                \
+    static ::ppacd::telemetry::Gauge& ppacd_tm_handle_ =              \
+        ::ppacd::telemetry::metrics().gauge(name);                    \
+    ppacd_tm_handle_.set(static_cast<double>(value));                 \
+  } while (0)
+#define PPACD_HIST(name, value)                                       \
+  do {                                                                \
+    static ::ppacd::telemetry::Histogram& ppacd_tm_handle_ =          \
+        ::ppacd::telemetry::metrics().histogram(name);                \
+    ppacd_tm_handle_.observe(static_cast<double>(value));             \
+  } while (0)
+
+#endif  // PPACD_TELEMETRY_DISABLED
+
+}  // namespace ppacd::telemetry

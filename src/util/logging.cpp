@@ -1,11 +1,14 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace ppacd::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_timestamps{false};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,17 +20,46 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Seconds since the first log call (monotonic).
+double uptime_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_timestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+bool log_timestamps() { return g_timestamps.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view tag, std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(tag.size()), tag.data(),
-               static_cast<int>(message.size()), message.data());
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // Format the whole line into one buffer and emit it with a single write so
+  // concurrent log statements cannot interleave mid-line.
+  std::string line;
+  line.reserve(tag.size() + message.size() + 32);
+  if (log_timestamps()) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%9.3f] ", uptime_seconds());
+    line += stamp;
+  }
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line.append(tag.data(), tag.size());
+  line += ": ";
+  line.append(message.data(), message.size());
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace ppacd::util

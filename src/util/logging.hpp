@@ -3,6 +3,11 @@
 ///
 /// The logger writes to stderr and is intentionally tiny: benches and tests
 /// frequently raise the level to keep output focused on the reproduced tables.
+///
+/// Thread safety: the level is an atomic and each statement is emitted as one
+/// formatted write, so lines from concurrent threads never interleave
+/// mid-line. An optional monotonic timestamp prefix ([seconds since process
+/// start]) supports eyeballing phase timings without full telemetry.
 #pragma once
 
 #include <sstream>
@@ -14,11 +19,18 @@ namespace ppacd::util {
 /// Severity levels, ordered: messages below the global threshold are dropped.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
 
-/// Sets the global logging threshold (thread-unsafe by design; set once at start).
+/// Sets the global logging threshold (atomic; safe from any thread).
 void set_log_level(LogLevel level);
 
 /// Returns the current global logging threshold.
 LogLevel log_level();
+
+/// Enables/disables the monotonic `[  12.345]` timestamp prefix (seconds
+/// since the first log call). Off by default.
+void set_log_timestamps(bool enabled);
+
+/// Returns whether the timestamp prefix is on.
+bool log_timestamps();
 
 /// Emits one log line `[LEVEL] tag: message` if `level` passes the threshold.
 void log_line(LogLevel level, std::string_view tag, std::string_view message);

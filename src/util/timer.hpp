@@ -1,5 +1,6 @@
 /// \file timer.hpp
-/// \brief Wall-clock timer for the runtime columns of Table 2.
+/// \brief Wall-clock timers for the runtime columns of Table 2 and the
+/// telemetry phase timings.
 #pragma once
 
 #include <chrono>
@@ -19,9 +20,35 @@ class Timer {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Elapsed milliseconds.
+  double milliseconds() const { return seconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double micros() const { return seconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Accumulates the scope's wall time into `out_seconds` on destruction
+/// (`+=`, so one accumulator can span several timed scopes). Replaces the
+/// hand-rolled Timer/reset()/seconds() bookkeeping at phase boundaries:
+///
+///   {
+///     ScopedTimer timer(outcome.clustering_seconds);
+///     ... clustering ...
+///   }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& out_seconds) : out_(out_seconds) {}
+  ~ScopedTimer() { out_ += timer_.seconds(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& out_;
+  Timer timer_;
 };
 
 }  // namespace ppacd::util

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "place/floorplan.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::vpr {
@@ -135,6 +136,8 @@ VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options)
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < shapes.size(); ++i) {
     ShapeCandidate candidate = evaluate_shape(subnetlist, shapes[i], options);
+    PPACD_COUNT("vpr.shapes.evaluated", 1);
+    PPACD_HIST("vpr.candidate.total_cost", candidate.total_cost);
     if (candidate.total_cost < best) {
       best = candidate.total_cost;
       result.best_index = i;
@@ -157,6 +160,9 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
       continue;
     }
     ++stats.clusters_shaped;
+    PPACD_SPAN(cluster_span, "vpr.cluster");
+    PPACD_SPAN_ATTR(cluster_span, "cluster", ci);
+    PPACD_SPAN_ATTR(cluster_span, "cells", cluster_ref.cells.size());
     const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, cluster_ref.cells);
 
     std::size_t best_index = 0;
@@ -166,6 +172,7 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
       best_index = static_cast<std::size_t>(
           std::min_element(predicted.begin(), predicted.end()) -
           predicted.begin());
+      PPACD_COUNT("vpr.shapes.ml_predicted", predicted.size());
     } else {
       const VprResult vpr = run_vpr(sub.netlist, options);
       best_index = vpr.best_index;
@@ -173,6 +180,8 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
     }
     cluster::set_cluster_shape(clustered, ci, shapes[best_index]);
   }
+  PPACD_COUNT("vpr.clusters.shaped", stats.clusters_shaped);
+  PPACD_COUNT("vpr.clusters.skipped", stats.clusters_skipped);
   PPACD_LOG_DEBUG("vpr") << nl.name() << ": shaped " << stats.clusters_shaped
                          << " clusters (" << stats.clusters_skipped
                          << " below threshold)";
