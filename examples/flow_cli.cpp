@@ -10,17 +10,21 @@
 ///            [--shapes uniform|random|vpr] [--clock PS] [--opt] [--detailed]
 ///            [--write-verilog FILE] [--write-def FILE] [--write-svg FILE]
 ///            [--write-congestion FILE] [--report-paths N]
-///            [--cells N] [--report FILE] [--trace FILE]
+///            [--cells N] [--report FILE] [--trace FILE] [--check LEVEL]
 ///
 /// --report writes the telemetry run report (flow config, phase timings,
 /// metric snapshot, PPA outcome) as JSON; --trace writes a Chrome
 /// trace_event file loadable in chrome://tracing or https://ui.perfetto.dev.
+/// --check off|cheap|full runs the src/check invariant validators between
+/// flow phases; any violation is logged, reported, and makes the process
+/// exit with status 2 (so CI can gate on it).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 
+#include "check/check.hpp"
 #include "flow/flow.hpp"
 #include "flow/report.hpp"
 #include "gen/designs.hpp"
@@ -51,6 +55,7 @@ struct Args {
   std::string trace_json;
   bool timing_opt = false;
   bool detailed = false;
+  ppacd::check::CheckLevel check_level = ppacd::check::CheckLevel::kOff;
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -75,6 +80,14 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (arg == "--trace") args->trace_json = value();
     else if (arg == "--opt") args->timing_opt = true;
     else if (arg == "--detailed") args->detailed = true;
+    else if (arg == "--check") {
+      const char* level = value();
+      if (!ppacd::check::parse_check_level(level, &args->check_level)) {
+        std::fprintf(stderr, "--check expects off|cheap|full, got \"%s\"\n",
+                     level);
+        return false;
+      }
+    }
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -133,6 +146,7 @@ int main(int argc, char** argv) {
   else if (args.flow == "overlay") options.cluster_method = flow::ClusterMethod::kCutOverlay;
   options.timing_optimization = args.timing_opt;
   options.detailed_placement = args.detailed;
+  options.check_level = args.check_level;
 
   // --- Run ---------------------------------------------------------------------
   const flow::FlowResult result =
@@ -146,6 +160,14 @@ int main(int argc, char** argv) {
               result.place.cluster_count);
   std::printf("post-route: rWL %.0f um, WNS %.0f ps, TNS %.2f ns, power %.4f W\n",
               ppa.rwl_um, ppa.wns_ps, ppa.tns_ns, ppa.power_w);
+
+  int exit_code = 0;
+  if (args.check_level != check::CheckLevel::kOff) {
+    const std::size_t violations = check::logged_violations();
+    std::printf("check violations: %zu (%s level)\n", violations,
+                check::to_string(args.check_level));
+    if (violations > 0) exit_code = 2;
+  }
 
   if (!args.report_json.empty()) {
     flow::RunReportInputs report;
@@ -213,5 +235,5 @@ int main(int argc, char** argv) {
                                    static_cast<std::size_t>(args.report_paths))
                     .c_str());
   }
-  return 0;
+  return exit_code;
 }

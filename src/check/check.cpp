@@ -1,0 +1,114 @@
+#include "check/check.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
+
+namespace ppacd::check {
+
+const char* to_string(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff: return "off";
+    case CheckLevel::kCheap: return "cheap";
+    case CheckLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+bool parse_check_level(std::string_view text, CheckLevel* out) {
+  if (text == "off" || text == "0") *out = CheckLevel::kOff;
+  else if (text == "cheap" || text == "1") *out = CheckLevel::kCheap;
+  else if (text == "full" || text == "2") *out = CheckLevel::kFull;
+  else return false;
+  return true;
+}
+
+namespace {
+
+struct Log {
+  std::mutex mutex;
+  std::vector<CheckResult> results;
+};
+
+Log& log() {
+  static Log* instance = new Log();  // leaked: alive for atexit reporters
+  return *instance;
+}
+
+}  // namespace
+
+bool report(const CheckResult& result) {
+  for (const Violation& v : result.violations) {
+    PPACD_LOG_ERROR("check") << result.checker << ": [" << v.code << "] "
+                             << v.message;
+  }
+  if (result.total_violations > result.violations.size()) {
+    PPACD_LOG_ERROR("check")
+        << result.checker << ": "
+        << result.total_violations - result.violations.size()
+        << " further violations not shown";
+  }
+  PPACD_LOG_DEBUG("check") << result.checker << " (" << to_string(result.level)
+                           << "): " << result.checked << " objects, "
+                           << result.total_violations << " violations";
+
+  const std::string prefix = "check." + result.checker;
+  telemetry::metrics().counter(prefix + ".runs").add(1);
+  telemetry::metrics()
+      .counter(prefix + ".violations")
+      .add(static_cast<std::int64_t>(result.total_violations));
+
+  {
+    Log& l = log();
+    const std::lock_guard<std::mutex> guard(l.mutex);
+    l.results.push_back(result);
+  }
+  return result.ok();
+}
+
+std::vector<CheckResult> log_snapshot() {
+  Log& l = log();
+  const std::lock_guard<std::mutex> guard(l.mutex);
+  return l.results;
+}
+
+std::size_t logged_violations() {
+  Log& l = log();
+  const std::lock_guard<std::mutex> guard(l.mutex);
+  std::size_t total = 0;
+  for (const CheckResult& r : l.results) total += r.total_violations;
+  return total;
+}
+
+void reset_log() {
+  Log& l = log();
+  const std::lock_guard<std::mutex> guard(l.mutex);
+  l.results.clear();
+}
+
+telemetry::Json log_json() {
+  telemetry::Json out = telemetry::Json::array();
+  for (const CheckResult& result : log_snapshot()) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry.set("checker", result.checker);
+    entry.set("level", to_string(result.level));
+    entry.set("checked", result.checked);
+    entry.set("violations", result.total_violations);
+    if (!result.violations.empty()) {
+      telemetry::Json messages = telemetry::Json::array();
+      for (const Violation& v : result.violations) {
+        telemetry::Json m = telemetry::Json::object();
+        m.set("code", v.code);
+        m.set("message", v.message);
+        messages.push_back(std::move(m));
+      }
+      entry.set("messages", std::move(messages));
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace ppacd::check

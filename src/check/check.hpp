@@ -1,0 +1,127 @@
+/// \file check.hpp
+/// \brief Flow-wide invariant checking: the CheckResult/Checker framework.
+///
+/// The seeded-placement flow (Alg. 1) threads one netlist through six
+/// mutating phases — clustering, shape selection, seed/incremental
+/// placement, routing, CTS, STA — so a single silently-corrupted structure
+/// (a dangling pin, a cell assigned to two clusters, an overlapping
+/// legalized cell) poisons every downstream PPA number. The validators in
+/// this directory re-derive each phase's structural invariants from first
+/// principles and report every deviation with the offending object named.
+///
+/// Framework pieces:
+///   * CheckLevel — off / cheap (O(n) cross-reference scans) / full (adds
+///     quadratic-ish work such as overlap sweeps and hypergraph
+///     reconstruction); FlowOptions::check_level selects it per run.
+///   * Violation / CheckResult — one finding and one validator run's
+///     findings. Results cap stored messages (kMaxStoredViolations) but
+///     always count the total, so a pathological input cannot OOM the
+///     checker itself.
+///   * report() — funnels a result into the process-wide check log, the
+///     logger, and the telemetry metrics (`check.<checker>.violations` /
+///     `check.<checker>.runs`), so violations surface in the JSON run
+///     report (flow/report.hpp) next to the phase timings.
+///
+/// Concrete validators live in sibling headers: netlist_check.hpp,
+/// cluster_check.hpp, place_check.hpp, route_check.hpp.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace ppacd::check {
+
+/// How much validation the flow performs between phases.
+enum class CheckLevel {
+  kOff = 0,    ///< no checking (production default)
+  kCheap = 1,  ///< linear-time cross-reference and bounds scans
+  kFull = 2,   ///< cheap + overlap sweeps, hypergraph reconstruction, ...
+};
+
+const char* to_string(CheckLevel level);
+
+/// Parses "off" / "cheap" / "full" (also accepts "0"/"1"/"2").
+/// Returns false and leaves `out` untouched on anything else.
+bool parse_check_level(std::string_view text, CheckLevel* out);
+
+/// One invariant violation. `code` is a stable kebab-case identifier tests
+/// key on (e.g. "dangling-pin"); `message` names the offending object.
+struct Violation {
+  std::string code;
+  std::string message;
+};
+
+/// The findings of one validator run.
+struct CheckResult {
+  /// Stored-message cap; violations past it are counted, not stored.
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+  std::string checker;    ///< "netlist", "cluster", "place", "route"
+  CheckLevel level = CheckLevel::kCheap;
+  std::size_t checked = 0;  ///< objects inspected (for report context)
+  std::size_t total_violations = 0;
+  std::vector<Violation> violations;  ///< first kMaxStoredViolations
+
+  bool ok() const { return total_violations == 0; }
+
+  void add(std::string_view code, std::string message) {
+    ++total_violations;
+    if (violations.size() < kMaxStoredViolations) {
+      violations.push_back(Violation{std::string(code), std::move(message)});
+    }
+  }
+
+  /// True when exactly one violation with `code` was recorded (what the
+  /// corrupted-input tests assert).
+  bool exactly(std::string_view code) const {
+    return total_violations == 1 && violations.size() == 1 &&
+           violations.front().code == code;
+  }
+};
+
+/// Stream-builder for violation messages:
+///   result.add("overlap", check::msg() << "cells " << a << " and " << b);
+class msg {
+ public:
+  template <typename T>
+  msg& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  operator std::string() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// ---------------------------------------------------------------------------
+// Process-wide check log
+// ---------------------------------------------------------------------------
+// Mirrors the telemetry span store: flow phases report() their results as
+// they run; the run report serializes the accumulated log, and tests reset
+// it between cases.
+
+/// Logs `result` (violations at error level, a summary line at debug),
+/// bumps `check.<checker>.runs` / `check.<checker>.violations`, and appends
+/// to the process-wide log. Returns result.ok() for convenience.
+bool report(const CheckResult& result);
+
+/// Copy of every result report()ed since the last reset.
+std::vector<CheckResult> log_snapshot();
+
+/// Total violations across the log.
+std::size_t logged_violations();
+
+/// Clears the log (metrics are owned by telemetry and unaffected).
+void reset_log();
+
+/// The log as a JSON array of {checker, level, checked, violations,
+/// messages:[{code,message}...]} — embedded in the flow run report.
+telemetry::Json log_json();
+
+}  // namespace ppacd::check

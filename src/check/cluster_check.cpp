@@ -1,0 +1,192 @@
+#include "check/cluster_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ppacd::check {
+
+namespace {
+
+using cluster::ClusteredNetlist;
+using netlist::CellId;
+using netlist::Netlist;
+
+void check_partition(const Netlist& nl, const ClusteredNetlist& clustered,
+                     CheckResult& result) {
+  const std::size_t cluster_count = clustered.cluster_count();
+  if (clustered.cluster_of_cell.size() != nl.cell_count()) {
+    result.add("assignment-size",
+               msg() << "assignment covers " << clustered.cluster_of_cell.size()
+                     << " cells, netlist has " << nl.cell_count());
+    return;
+  }
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const std::int32_t c = clustered.cluster_of_cell[ci];
+    if (c < 0 || static_cast<std::size_t>(c) >= cluster_count) {
+      result.add("assignment-range",
+                 msg() << "cell " << nl.cell(static_cast<CellId>(ci)).name
+                       << ": cluster id " << c << " out of range [0, "
+                       << cluster_count << ")");
+    }
+  }
+
+  // Membership lists vs assignment: every cell in exactly one list, its own.
+  std::vector<std::int32_t> listings(nl.cell_count(), 0);
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    const cluster::Cluster& cl = clustered.clusters[c];
+    ++result.checked;
+    double member_area = 0.0;
+    for (const CellId cid : cl.cells) {
+      if (cid < 0 || static_cast<std::size_t>(cid) >= nl.cell_count()) {
+        result.add("member-range", msg() << "cluster " << c << ": cell id "
+                                         << cid << " out of range");
+        continue;
+      }
+      ++listings[static_cast<std::size_t>(cid)];
+      member_area += nl.lib_cell_of(cid).area_um2();
+      if (clustered.cluster_of_cell[static_cast<std::size_t>(cid)] !=
+          static_cast<std::int32_t>(c)) {
+        result.add("double-clustered",
+                   msg() << "cell " << nl.cell(cid).name << " listed by cluster "
+                         << c << " but assigned to cluster "
+                         << clustered.cluster_of_cell[static_cast<std::size_t>(cid)]);
+      }
+    }
+    if (std::fabs(member_area - cl.area_um2) > 1e-6 * std::max(1.0, member_area)) {
+      result.add("cluster-area", msg() << "cluster " << c << ": recorded area "
+                                       << cl.area_um2 << " um^2, members sum to "
+                                       << member_area);
+    }
+    if (!cl.cells.empty()) {
+      const double footprint = cl.width_um * cl.height_um;
+      const double expected = cl.area_um2 / cl.shape.utilization;
+      if (std::fabs(footprint - expected) > 1e-6 * std::max(1.0, expected)) {
+        result.add("cluster-shape",
+                   msg() << "cluster " << c << ": footprint " << footprint
+                         << " um^2 does not realize area/utilization "
+                         << expected);
+      }
+    }
+  }
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    if (listings[ci] == 1) continue;
+    result.add(listings[ci] == 0 ? "unclustered" : "double-clustered",
+               msg() << "cell " << nl.cell(static_cast<CellId>(ci)).name
+                     << " appears in " << listings[ci]
+                     << " cluster membership lists (expected 1)");
+  }
+}
+
+/// Participant signature identical to build_clustered_netlist's merge key.
+std::string net_signature(const std::vector<std::int32_t>& clusters,
+                          const std::vector<netlist::PortId>& ports) {
+  std::string key;
+  for (const std::int32_t c : clusters) key += 'c' + std::to_string(c);
+  for (const netlist::PortId p : ports) key += 'p' + std::to_string(p);
+  return key;
+}
+
+void check_overlay(const Netlist& nl, const ClusteredNetlist& clustered,
+                   CheckResult& result) {
+  // Rebuild the expected cluster hyperedges from the flat hypergraph.
+  std::unordered_map<std::string, double> expected;  // signature -> weight
+  std::vector<std::int32_t> clusters_touched;
+  std::vector<netlist::PortId> ports_touched;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (net.is_clock) continue;
+    clusters_touched.clear();
+    ports_touched.clear();
+    for (const netlist::PinId pid : net.pins) {
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.kind == netlist::PinKind::kTopPort) {
+        ports_touched.push_back(pin.port);
+      } else {
+        clusters_touched.push_back(
+            clustered.cluster_of_cell[static_cast<std::size_t>(pin.cell)]);
+      }
+    }
+    std::sort(clusters_touched.begin(), clusters_touched.end());
+    clusters_touched.erase(
+        std::unique(clusters_touched.begin(), clusters_touched.end()),
+        clusters_touched.end());
+    std::sort(ports_touched.begin(), ports_touched.end());
+    ports_touched.erase(
+        std::unique(ports_touched.begin(), ports_touched.end()),
+        ports_touched.end());
+    if (clusters_touched.size() + ports_touched.size() < 2) continue;
+    expected[net_signature(clusters_touched, ports_touched)] += net.weight;
+  }
+
+  for (std::size_t ni = 0; ni < clustered.nets.size(); ++ni) {
+    const cluster::ClusterNet& cnet = clustered.nets[ni];
+    ++result.checked;
+    bool participants_ok = true;
+    for (const std::int32_t c : cnet.clusters) {
+      if (c < 0 || static_cast<std::size_t>(c) >= clustered.cluster_count()) {
+        result.add("overlay-cluster-range",
+                   msg() << "cluster net " << ni << ": cluster id " << c
+                         << " out of range");
+        participants_ok = false;
+      }
+    }
+    for (const netlist::PortId p : cnet.ports) {
+      if (p < 0 || static_cast<std::size_t>(p) >= nl.port_count()) {
+        result.add("overlay-port-range", msg() << "cluster net " << ni
+                                               << ": port id " << p
+                                               << " out of range");
+        participants_ok = false;
+      }
+    }
+    if (!participants_ok) continue;
+    if (cnet.io != !cnet.ports.empty()) {
+      result.add("overlay-io-flag",
+                 msg() << "cluster net " << ni << ": io flag " << cnet.io
+                       << " disagrees with " << cnet.ports.size() << " ports");
+    }
+    const auto it = expected.find(net_signature(cnet.clusters, cnet.ports));
+    if (it == expected.end()) {
+      result.add("overlay-extra-net",
+                 msg() << "cluster net " << ni
+                       << ": no flat net spans its participant set");
+      continue;
+    }
+    if (std::fabs(it->second - cnet.weight) > 1e-6 * std::max(1.0, it->second)) {
+      result.add("overlay-weight",
+                 msg() << "cluster net " << ni << ": weight " << cnet.weight
+                       << ", flat hypergraph accumulates " << it->second);
+    }
+    it->second = -1.0;  // mark consumed
+  }
+  for (const auto& [signature, weight] : expected) {
+    if (weight < 0.0) continue;
+    result.add("overlay-missing-net",
+               msg() << "flat hypergraph edge " << signature
+                     << " (weight " << weight
+                     << ") has no cluster-level net");
+  }
+}
+
+}  // namespace
+
+CheckResult check_clustering(const Netlist& nl, const ClusteredNetlist& clustered,
+                             CheckLevel level) {
+  CheckResult result;
+  result.checker = "cluster";
+  result.level = level;
+  if (level == CheckLevel::kOff) return result;
+  check_partition(nl, clustered, result);
+  // The overlay reconstruction indexes cluster_of_cell by every cell, so it
+  // is only meaningful once the partition itself is intact.
+  if (level == CheckLevel::kFull &&
+      clustered.cluster_of_cell.size() == nl.cell_count()) {
+    check_overlay(nl, clustered, result);
+  }
+  return result;
+}
+
+}  // namespace ppacd::check

@@ -1,0 +1,33 @@
+/// \file cluster_check.hpp
+/// \brief Clustering-exactness validator.
+///
+/// The clustered netlist (Alg. 1 line 10) must be an exact partition of the
+/// flat netlist or the seed placement places the wrong problem.
+///
+/// Cheap level:
+///   * assignment vector covers every cell and every value is a valid
+///     cluster id,
+///   * membership lists agree with the assignment — each cell appears
+///     exactly once, in the cluster it is assigned to (a cell in two
+///     clusters or in none is flagged),
+///   * cluster area equals the sum of member cell areas, and the macro
+///     footprint (width x height) realizes area / utilization at the
+///     recorded aspect ratio.
+///
+/// Full level additionally rebuilds the cluster-level hyperedges from the
+/// flat hypergraph and verifies the overlay: every stored cluster net's
+/// participant signature (sorted unique clusters + ports) exists in the
+/// reconstruction with the same accumulated weight, and none is missing.
+#pragma once
+
+#include "check/check.hpp"
+#include "cluster/clustered_netlist.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppacd::check {
+
+CheckResult check_clustering(const netlist::Netlist& netlist,
+                             const cluster::ClusteredNetlist& clustered,
+                             CheckLevel level);
+
+}  // namespace ppacd::check

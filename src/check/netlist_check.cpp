@@ -1,0 +1,216 @@
+#include "check/netlist_check.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppacd::check {
+
+namespace {
+
+using netlist::CellId;
+using netlist::kInvalidId;
+using netlist::ModuleId;
+using netlist::Netlist;
+using netlist::PinId;
+
+bool valid_pin(const Netlist& nl, PinId id) {
+  return id >= 0 && static_cast<std::size_t>(id) < nl.pin_count();
+}
+
+void check_nets(const Netlist& nl, CheckResult& result) {
+  // Per-pin net membership count; >1 from the same net = duplicate pin.
+  std::vector<std::int32_t> net_of_pin(nl.pin_count(), kInvalidId);
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    ++result.checked;
+    int drivers = 0;
+    bool driver_listed = false;
+    for (const PinId pid : net.pins) {
+      if (!valid_pin(nl, pid)) {
+        result.add("dangling-pin", msg() << "net " << net.name
+                                         << ": pin id " << pid
+                                         << " out of range");
+        continue;
+      }
+      if (net_of_pin[static_cast<std::size_t>(pid)] == net.id) {
+        result.add("duplicate-pin", msg() << "net " << net.name
+                                          << ": pin " << pid
+                                          << " listed twice");
+        continue;
+      }
+      net_of_pin[static_cast<std::size_t>(pid)] = net.id;
+      const netlist::Pin& pin = nl.pin(pid);
+      if (pin.net != net.id) {
+        result.add("pin-net-mismatch",
+                   msg() << "net " << net.name << ": pin " << pid
+                         << " back-references net " << pin.net);
+      }
+      if (pin.dir == liberty::PinDir::kOutput) ++drivers;
+      if (pid == net.driver) driver_listed = true;
+    }
+    if (drivers != 1) {
+      result.add("driver-count", msg() << "net " << net.name << ": " << drivers
+                                       << " driving pins (expected 1)");
+    }
+    if (net.driver == kInvalidId) {
+      result.add("no-driver", msg() << "net " << net.name
+                                    << ": no recorded driver");
+    } else if (!driver_listed) {
+      result.add("driver-not-listed",
+                 msg() << "net " << net.name << ": recorded driver "
+                       << net.driver << " is not among the net's pins");
+    }
+  }
+
+  // Reverse direction: a connected pin must be listed by its net.
+  for (std::size_t pi = 0; pi < nl.pin_count(); ++pi) {
+    const netlist::Pin& pin = nl.pin(static_cast<PinId>(pi));
+    if (pin.net == kInvalidId) {
+      if (pin.dir == liberty::PinDir::kInput) {
+        const std::string owner = pin.kind == netlist::PinKind::kCellPin
+                                      ? nl.cell(pin.cell).name
+                                      : nl.port(pin.port).name;
+        result.add("floating-input",
+                   msg() << "floating input pin on " << owner);
+      }
+      continue;
+    }
+    if (pin.net < 0 || static_cast<std::size_t>(pin.net) >= nl.net_count()) {
+      result.add("pin-net-mismatch",
+                 msg() << "pin " << pi << ": net id " << pin.net
+                       << " out of range");
+      continue;
+    }
+    if (net_of_pin[pi] != pin.net) {
+      result.add("pin-net-mismatch",
+                 msg() << "pin " << pi << ": claims net "
+                       << nl.net(pin.net).name
+                       << " which does not list it");
+    }
+  }
+}
+
+void check_cells(const Netlist& nl, CheckResult& result) {
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(ci));
+    ++result.checked;
+    const liberty::LibCell& lc = nl.library().cell(cell.lib_cell);
+    if (cell.pins.size() != lc.pins.size()) {
+      result.add("cell-pin-count",
+                 msg() << "cell " << cell.name << ": " << cell.pins.size()
+                       << " pins, library cell " << lc.name << " has "
+                       << lc.pins.size());
+      continue;
+    }
+    for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+      if (!valid_pin(nl, cell.pins[i])) {
+        result.add("cell-pin-range",
+                   msg() << "cell " << cell.name << ": pin id "
+                         << cell.pins[i] << " out of range");
+        continue;
+      }
+      const netlist::Pin& pin = nl.pin(cell.pins[i]);
+      if (pin.cell != cell.id || pin.lib_pin != static_cast<int>(i)) {
+        result.add("cell-pin-crosslink",
+                   msg() << "cell " << cell.name << ": pin " << i
+                         << " cross-link broken");
+      }
+    }
+    if (cell.module < 0 ||
+        static_cast<std::size_t>(cell.module) >= nl.module_count()) {
+      result.add("cell-module-range",
+                 msg() << "cell " << cell.name << ": module id "
+                       << cell.module << " out of range");
+    }
+  }
+
+  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+    const netlist::Port& port = nl.port(static_cast<netlist::PortId>(po));
+    ++result.checked;
+    if (!valid_pin(nl, port.pin)) {
+      result.add("port-pin-range", msg() << "port " << port.name
+                                         << ": pin id " << port.pin
+                                         << " out of range");
+      continue;
+    }
+    const netlist::Pin& pin = nl.pin(port.pin);
+    if (pin.kind != netlist::PinKind::kTopPort || pin.port != port.id) {
+      result.add("port-pin-crosslink",
+                 msg() << "port " << port.name << ": pin cross-link broken");
+    }
+  }
+}
+
+void check_hierarchy(const Netlist& nl, CheckResult& result) {
+  // Module membership: each cell in exactly one module list, its own.
+  std::vector<std::int32_t> listing_count(nl.cell_count(), 0);
+  for (std::size_t mi = 0; mi < nl.module_count(); ++mi) {
+    const netlist::Module& mod = nl.module(static_cast<ModuleId>(mi));
+    ++result.checked;
+    for (const CellId cid : mod.cells) {
+      if (cid < 0 || static_cast<std::size_t>(cid) >= nl.cell_count()) {
+        result.add("module-cell-range",
+                   msg() << "module " << mod.name << ": cell id " << cid
+                         << " out of range");
+        continue;
+      }
+      ++listing_count[static_cast<std::size_t>(cid)];
+      if (nl.cell(cid).module != mod.id) {
+        result.add("module-cell-mismatch",
+                   msg() << "module " << mod.name << " lists cell "
+                         << nl.cell(cid).name << " owned by module "
+                         << nl.cell(cid).module);
+      }
+    }
+    for (const ModuleId child : mod.children) {
+      if (child < 0 || static_cast<std::size_t>(child) >= nl.module_count()) {
+        result.add("module-child-range",
+                   msg() << "module " << mod.name << ": child id " << child
+                         << " out of range");
+      } else if (nl.module(child).parent != mod.id) {
+        result.add("module-parent-mismatch",
+                   msg() << "module " << nl.module(child).name
+                         << " does not name " << mod.name << " as parent");
+      }
+    }
+  }
+  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
+    if (listing_count[ci] != 1) {
+      result.add("module-cell-listing",
+                 msg() << "cell " << nl.cell(static_cast<CellId>(ci)).name
+                       << " listed by " << listing_count[ci]
+                       << " modules (expected 1)");
+    }
+  }
+  // Acyclic: every module reaches the root within module_count() hops.
+  for (std::size_t mi = 1; mi < nl.module_count(); ++mi) {
+    ModuleId cursor = static_cast<ModuleId>(mi);
+    std::size_t hops = 0;
+    while (cursor != nl.root_module() && cursor != kInvalidId &&
+           hops <= nl.module_count()) {
+      cursor = nl.module(cursor).parent;
+      ++hops;
+    }
+    if (cursor != nl.root_module()) {
+      result.add("module-cycle",
+                 msg() << "module "
+                       << nl.module(static_cast<ModuleId>(mi)).name
+                       << " does not reach the root");
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_netlist(const Netlist& nl, CheckLevel level) {
+  CheckResult result;
+  result.checker = "netlist";
+  result.level = level;
+  if (level == CheckLevel::kOff) return result;
+  check_nets(nl, result);
+  check_cells(nl, result);
+  if (level == CheckLevel::kFull) check_hierarchy(nl, result);
+  return result;
+}
+
+}  // namespace ppacd::check

@@ -1,0 +1,28 @@
+/// \file netlist_check.hpp
+/// \brief Netlist structural-integrity validator.
+///
+/// Cheap level (O(pins + nets + cells)):
+///   * every id stored in a pin/net/cell/port is in range,
+///   * pin <-> net cross-references agree in both directions (no dangling
+///     hyperedge pins, no pin claiming a net that does not list it),
+///   * no net lists the same pin twice (duplicate hyperedge pin),
+///   * every net has exactly one driving pin and records it,
+///   * cell <-> pin cross-links match the library cell's pin list,
+///   * port <-> pin cross-links agree,
+///   * floating input pins (undefined STA/activity) are flagged.
+///
+/// Full level adds the module-hierarchy invariants Algorithm 2 depends on:
+///   * every cell appears in exactly one module's cell list — the module it
+///     names as its owner,
+///   * module parent/children links are mutual and the tree is acyclic
+///     (every module reaches the root).
+#pragma once
+
+#include "check/check.hpp"
+#include "netlist/netlist.hpp"
+
+namespace ppacd::check {
+
+CheckResult check_netlist(const netlist::Netlist& netlist, CheckLevel level);
+
+}  // namespace ppacd::check

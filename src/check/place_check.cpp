@@ -1,0 +1,136 @@
+#include "check/place_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ppacd::check {
+
+namespace {
+
+using place::PlaceModel;
+using place::PlaceObject;
+using place::Placement;
+
+constexpr double kTolerance = 1e-6;  ///< um; absorbs double rounding only
+
+/// Mirrors the legalizer's skip rule: multi-row objects are not snapped.
+bool single_row(const PlaceObject& obj, double row_h) {
+  return obj.height_um <= row_h * 1.5;
+}
+
+void check_bounds(const PlaceModel& model, const Placement& placement,
+                  const PlaceCheckOptions& options, CheckResult& result) {
+  const geom::Rect& core = model.core;
+  const double row_h = model.row_height_um;
+  const int row_count =
+      std::max(1, static_cast<int>(core.height() / row_h));
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    const PlaceObject& obj = model.objects[i];
+    const geom::Point& p = placement[i];
+    ++result.checked;
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      result.add("non-finite", msg() << "object " << i << ": position ("
+                                     << p.x << ", " << p.y << ")");
+      continue;
+    }
+    if (obj.fixed || obj.blockage) {
+      if (geom::manhattan(p, obj.fixed_position) > kTolerance) {
+        result.add("fixed-moved",
+                   msg() << "fixed object " << i << " moved to (" << p.x
+                         << ", " << p.y << ") from (" << obj.fixed_position.x
+                         << ", " << obj.fixed_position.y << ")");
+      }
+      continue;
+    }
+    const double hw = obj.width_um * 0.5;
+    const double hh = obj.height_um * 0.5;
+    if (p.x - hw < core.lx - kTolerance || p.x + hw > core.ux + kTolerance ||
+        p.y - hh < core.ly - kTolerance || p.y + hh > core.uy + kTolerance) {
+      result.add("outside-core",
+                 msg() << "object " << i << ": footprint [" << p.x - hw << ", "
+                       << p.y - hh << "] x [" << p.x + hw << ", " << p.y + hh
+                       << "] leaves core [" << core.lx << ", " << core.ly
+                       << "] x [" << core.ux << ", " << core.uy << "]");
+      continue;
+    }
+    if (options.legalized && single_row(obj, row_h)) {
+      // Site alignment: the center must sit on a row centerline.
+      const double offset = (p.y - core.ly) / row_h - 0.5;
+      const double row = std::round(offset);
+      if (std::fabs(offset - row) * row_h > kTolerance || row < 0.0 ||
+          row >= static_cast<double>(row_count)) {
+        result.add("row-misaligned",
+                   msg() << "object " << i << ": y " << p.y
+                         << " is not centered on a row (row height " << row_h
+                         << ")");
+      }
+    }
+  }
+}
+
+void check_overlaps(const PlaceModel& model, const Placement& placement,
+                    CheckResult& result) {
+  const geom::Rect& core = model.core;
+  const double row_h = model.row_height_um;
+  const int row_count =
+      std::max(1, static_cast<int>(core.height() / row_h));
+
+  struct RowCell {
+    std::int32_t object = -1;
+    double left = 0.0;
+    double right = 0.0;
+  };
+  std::vector<std::vector<RowCell>> rows(static_cast<std::size_t>(row_count));
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    const PlaceObject& obj = model.objects[i];
+    if (obj.fixed || obj.blockage || !single_row(obj, row_h)) continue;
+    const geom::Point& p = placement[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+    const int row = std::clamp(
+        static_cast<int>(std::round((p.y - core.ly) / row_h - 0.5)), 0,
+        row_count - 1);
+    rows[static_cast<std::size_t>(row)].push_back(
+        RowCell{static_cast<std::int32_t>(i), p.x - obj.width_um * 0.5,
+                p.x + obj.width_um * 0.5});
+  }
+  for (std::vector<RowCell>& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const RowCell& a, const RowCell& b) { return a.left < b.left; });
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      ++result.checked;
+      const RowCell& prev = row[i - 1];
+      const RowCell& cur = row[i];
+      if (prev.right > cur.left + kTolerance) {
+        result.add("overlap",
+                   msg() << "objects " << prev.object << " and " << cur.object
+                         << " overlap by " << prev.right - cur.left
+                         << " um in the same row");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_placement(const PlaceModel& model, const Placement& placement,
+                            CheckLevel level, const PlaceCheckOptions& options) {
+  CheckResult result;
+  result.checker = "place";
+  result.level = level;
+  if (level == CheckLevel::kOff) return result;
+  if (placement.size() != model.objects.size()) {
+    result.add("placement-size",
+               msg() << "placement covers " << placement.size()
+                     << " objects, model has " << model.objects.size());
+    return result;
+  }
+  check_bounds(model, placement, options, result);
+  if (level == CheckLevel::kFull && options.legalized) {
+    check_overlaps(model, placement, result);
+  }
+  return result;
+}
+
+}  // namespace ppacd::check

@@ -1,0 +1,38 @@
+/// \file place_check.hpp
+/// \brief Placement-legality validator.
+///
+/// Runs on a PlaceModel + Placement pair (the flow checks the legalized
+/// placement; tests can check any placement).
+///
+/// Cheap level:
+///   * placement vector covers every model object,
+///   * every coordinate is finite,
+///   * every movable object's footprint lies inside the die core,
+///   * fixed objects sit at their recorded fixed positions.
+///
+/// Legalized mode (PlaceCheckOptions::legalized, the flow's post-legalize
+/// check) additionally requires single-row movables to be row-aligned:
+/// centered on a standard-cell row (site-aligned in y). Objects taller than
+/// ~1.5 rows are exempt, mirroring the legalizer's own skip rule.
+///
+/// Full level adds the overlap sweep: single-row movables are bucketed per
+/// row and swept in x; any pair of same-row cells whose footprints overlap
+/// by more than kOverlapTolerance is flagged.
+#pragma once
+
+#include "check/check.hpp"
+#include "place/model.hpp"
+
+namespace ppacd::check {
+
+struct PlaceCheckOptions {
+  /// Placement has been legalized: enforce row alignment, and at full
+  /// level, overlap-freedom. Off for global (pre-legalization) placements.
+  bool legalized = true;
+};
+
+CheckResult check_placement(const place::PlaceModel& model,
+                            const place::Placement& placement, CheckLevel level,
+                            const PlaceCheckOptions& options = {});
+
+}  // namespace ppacd::check

@@ -1,0 +1,215 @@
+#include "check/route_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "route/steiner.hpp"
+
+namespace ppacd::check {
+
+namespace {
+
+using netlist::Netlist;
+using route::RouteOptions;
+using route::RouteResult;
+
+constexpr double kTolerance = 1e-6;  ///< um
+
+geom::Point pin_position(const Netlist& nl, netlist::PinId pid,
+                         const std::vector<geom::Point>& positions) {
+  const netlist::Pin& pin = nl.pin(pid);
+  return pin.kind == netlist::PinKind::kTopPort
+             ? nl.port(pin.port).position
+             : positions.at(static_cast<std::size_t>(pin.cell));
+}
+
+bool routable(const netlist::Net& net, const RouteOptions& options) {
+  if (net.pins.size() < 2) return false;
+  return !net.is_clock || options.route_clock_nets;
+}
+
+void check_grid(const RouteResult& routed, CheckResult& result) {
+  const int nx = routed.grid_nx;
+  const int ny = routed.grid_ny;
+  if (nx < 2 || ny < 2) {
+    result.add("grid-degenerate",
+               msg() << "routing grid " << nx << " x " << ny
+                     << " (expected at least 2 x 2)");
+    return;
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(nx - 1) * static_cast<std::size_t>(ny) +
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny - 1);
+  if (routed.edge_utilization.size() != expected) {
+    result.add("edge-map-size",
+               msg() << "edge utilization map has "
+                     << routed.edge_utilization.size() << " entries, grid "
+                     << nx << " x " << ny << " has " << expected << " edges");
+  }
+  double max_util = 0.0;
+  int over_edges = 0;
+  for (std::size_t i = 0; i < routed.edge_utilization.size(); ++i) {
+    const double util = routed.edge_utilization[i];
+    ++result.checked;
+    if (!std::isfinite(util) || util < 0.0) {
+      result.add("edge-utilization",
+                 msg() << "edge " << i << ": utilization " << util);
+      continue;
+    }
+    max_util = std::max(max_util, util);
+    // Usages are whole track counts over integer capacities, so the
+    // utilization comparison is exact — no tolerance needed.
+    if (util > 1.0) ++over_edges;
+  }
+  if (routed.max_utilization + kTolerance < max_util) {
+    result.add("max-utilization",
+               msg() << "reported max utilization " << routed.max_utilization
+                     << " below observed " << max_util);
+  }
+  // An edge above capacity is exactly a utilization above 1; the two
+  // overflow views must agree.
+  if (over_edges != routed.overflow_edges) {
+    result.add("overflow-count",
+               msg() << "reported " << routed.overflow_edges
+                     << " overflow edges, utilization map has " << over_edges);
+  }
+  if ((routed.overflow_edges > 0) != (routed.total_overflow > 0.0)) {
+    result.add("overflow-total",
+               msg() << routed.overflow_edges << " overflow edges but total "
+                     << routed.total_overflow);
+  }
+  if (!std::isfinite(routed.wirelength_um) || routed.wirelength_um < 0.0) {
+    result.add("wirelength", msg() << "routed wirelength "
+                                   << routed.wirelength_um);
+  }
+}
+
+void check_pins(const Netlist& nl, const std::vector<geom::Point>& positions,
+                const geom::Rect& grid, const RouteOptions& options,
+                CheckResult& result) {
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (!routable(net, options)) continue;
+    ++result.checked;
+    for (const netlist::PinId pid : net.pins) {
+      const geom::Point p = pin_position(nl, pid, positions);
+      if (p.x < grid.lx - kTolerance || p.x > grid.ux + kTolerance ||
+          p.y < grid.ly - kTolerance || p.y > grid.uy + kTolerance) {
+        result.add("pin-outside-grid",
+                   msg() << "net " << net.name << ": pin at (" << p.x << ", "
+                         << p.y << ") outside routing grid [" << grid.lx
+                         << ", " << grid.ly << "] x [" << grid.ux << ", "
+                         << grid.uy << "]");
+      }
+    }
+  }
+}
+
+/// Union-find over topology vertices.
+struct UnionFind {
+  std::vector<std::int32_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) {
+    parent[static_cast<std::size_t>(find(a))] = find(b);
+  }
+};
+
+/// Rebuilds each routed net's topology and verifies the tree spans its pins.
+void check_trees(const Netlist& nl, const std::vector<geom::Point>& positions,
+                 const geom::Rect& grid, const RouteOptions& options,
+                 CheckResult& result) {
+  std::vector<geom::Point> pins;
+  std::vector<geom::Point> vertices;
+  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+    if (!routable(net, options)) continue;
+    ++result.checked;
+    pins.clear();
+    for (const netlist::PinId pid : net.pins) {
+      pins.push_back(pin_position(nl, pid, positions));
+    }
+    const std::vector<route::Segment> tree =
+        options.use_steiner_topology ? route::steiner_segments(pins)
+                                     : route::spanning_segments(pins);
+
+    // Collect topology vertices (pins first so indices [0, pins) are pins).
+    vertices = pins;
+    auto vertex_index = [&vertices](const geom::Point& p) -> std::int32_t {
+      for (std::size_t i = 0; i < vertices.size(); ++i) {
+        if (geom::manhattan(vertices[i], p) <= kTolerance) {
+          return static_cast<std::int32_t>(i);
+        }
+      }
+      vertices.push_back(p);
+      return static_cast<std::int32_t>(vertices.size() - 1);
+    };
+    std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+    edges.reserve(tree.size());
+    for (const route::Segment& seg : tree) {
+      edges.emplace_back(vertex_index(seg.a), vertex_index(seg.b));
+    }
+    UnionFind uf(vertices.size());
+    // Coincident pins (e.g. two pins of one cell on the same net) are
+    // trivially spanned by each other; segment endpoints only resolve to the
+    // first duplicate, so unite the copies up front.
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      for (std::size_t j = i + 1; j < pins.size(); ++j) {
+        if (geom::manhattan(pins[i], pins[j]) <= kTolerance) {
+          uf.unite(static_cast<std::int32_t>(i), static_cast<std::int32_t>(j));
+        }
+      }
+    }
+    for (const auto& [a, b] : edges) uf.unite(a, b);
+    const std::int32_t root = uf.find(0);
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      if (uf.find(static_cast<std::int32_t>(i)) != root) {
+        result.add("tree-disconnected",
+                   msg() << "net " << net.name << ": topology does not span pin "
+                         << i << " of " << pins.size());
+        break;
+      }
+    }
+    for (const geom::Point& v : vertices) {
+      if (v.x < grid.lx - kTolerance || v.x > grid.ux + kTolerance ||
+          v.y < grid.ly - kTolerance || v.y > grid.uy + kTolerance) {
+        result.add("tree-outside-grid",
+                   msg() << "net " << net.name << ": topology vertex at ("
+                         << v.x << ", " << v.y << ") outside the grid");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_routing(const Netlist& nl,
+                          const std::vector<geom::Point>& positions,
+                          const geom::Rect& grid, const RouteResult& routed,
+                          const RouteOptions& options, CheckLevel level) {
+  CheckResult result;
+  result.checker = "route";
+  result.level = level;
+  if (level == CheckLevel::kOff) return result;
+  check_grid(routed, result);
+  check_pins(nl, positions, grid, options, result);
+  if (level == CheckLevel::kFull) {
+    check_trees(nl, positions, grid, options, result);
+  }
+  return result;
+}
+
+}  // namespace ppacd::check

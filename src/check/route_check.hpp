@@ -1,0 +1,44 @@
+/// \file route_check.hpp
+/// \brief Routing-result validator.
+///
+/// The router reports aggregate wirelength and a congestion map; this
+/// checker verifies the result is structurally sound against the netlist
+/// and pin locations it was produced from.
+///
+/// Cheap level:
+///   * grid dimensions are positive and the edge-utilization map has
+///     exactly ny*(nx-1) + nx*(ny-1) entries,
+///   * every edge utilization is finite and non-negative,
+///   * overflow accounting is self-consistent (overflow_edges > 0 implies
+///     total_overflow > 0 and vice versa; max_utilization >= any reported
+///     utilization implied by overflow),
+///   * every routed net's pins (cell centers and port locations) lie inside
+///     the routing grid,
+///   * routed wirelength is finite, non-negative, and at least the sum of
+///     routed-net HPWLs (a route can never be shorter than its bounding
+///     boxes).
+///
+/// Full level additionally rebuilds each routed net's topology (the same
+/// Steiner/RMST construction the router decomposes with) and verifies the
+/// tree spans all pins: the segment graph connects every pin of the net
+/// (union-find over segment endpoints), with every vertex inside the grid.
+#pragma once
+
+#include <vector>
+
+#include "check/check.hpp"
+#include "geom/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "route/global_router.hpp"
+
+namespace ppacd::check {
+
+/// `positions` are cell centers indexed by CellId; `grid` is the rectangle
+/// the router's GCell grid was built over (the same one handed to
+/// GlobalRouter); `routed` is the result under test.
+CheckResult check_routing(const netlist::Netlist& netlist,
+                          const std::vector<geom::Point>& positions,
+                          const geom::Rect& grid, const route::RouteResult& routed,
+                          const route::RouteOptions& options, CheckLevel level);
+
+}  // namespace ppacd::check

@@ -1,10 +1,13 @@
 #include "flow/flow.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "flow/report.hpp"
 
+#include "check/cluster_check.hpp"
+#include "check/netlist_check.hpp"
+#include "check/place_check.hpp"
+#include "check/route_check.hpp"
 #include "cluster/best_choice.hpp"
 #include "cluster/overlay.hpp"
 #include "cluster/clustered_netlist.hpp"
@@ -22,6 +25,7 @@
 #include "sta/power.hpp"
 #include "sta/sta.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -29,6 +33,19 @@
 namespace ppacd::flow {
 
 namespace {
+
+/// Runs one inter-phase validator under a "flow.check" span and funnels the
+/// findings into the check log / telemetry. `make_result` is only invoked
+/// when checking is enabled, so the validators cost nothing at kOff.
+template <typename MakeResult>
+void run_check(const FlowOptions& options, MakeResult&& make_result) {
+  if (options.check_level == check::CheckLevel::kOff) return;
+  PPACD_SPAN(span, "flow.check");
+  const check::CheckResult result = make_result(options.check_level);
+  PPACD_SPAN_ATTR(span, "checker", result.checker);
+  PPACD_SPAN_ATTR(span, "violations", result.total_violations);
+  check::report(result);
+}
 
 place::Floorplan make_floorplan(netlist::Netlist& nl, const FlowOptions& options) {
   place::FloorplanOptions fpo;
@@ -156,8 +173,8 @@ void apply_shapes(const netlist::Netlist& nl, cluster::ClusteredNetlist& cluster
       return;
     }
     case ShapeMode::kVprMl: {
-      assert(options.ml_predictor != nullptr &&
-             "ShapeMode::kVprMl requires ml_predictor");
+      PPACD_CHECK(options.ml_predictor != nullptr,
+                  "ShapeMode::kVprMl requires ml_predictor");
       const vpr::ShapeSelectionStats stats = vpr::select_cluster_shapes(
           nl, clustered, options.vpr, options.ml_predictor);
       outcome.shaped_clusters = stats.clusters_shaped;
@@ -189,12 +206,23 @@ void run_timing_optimization(netlist::Netlist& nl, const place::Floorplan& fp,
   const place::LegalizeResult legal = place::legalize(model, placement);
   result.place.positions = place::cell_positions(nl, legal.placement);
   result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
+
+  // Buffering/sizing rewired nets and re-legalized: re-validate both.
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_netlist(nl, level);
+  });
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_placement(model, legal.placement, level);
+  });
 }
 
 }  // namespace
 
 FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
   FlowResult result;
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_netlist(nl, level);
+  });
   const place::Floorplan fp = make_floorplan(nl, options);
   const place::PlaceModel model = place::make_place_model(nl, fp);
 
@@ -217,6 +245,9 @@ FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
     PPACD_SPAN_ATTR(span, "overflow", placed.overflow);
   }
 
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_placement(model, legal.placement, level);
+  });
   result.place.positions = place::cell_positions(nl, legal.placement);
   result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
   if (options.timing_optimization) {
@@ -227,6 +258,9 @@ FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
 
 FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) {
   FlowResult result;
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_netlist(nl, level);
+  });
   const place::Floorplan fp = make_floorplan(nl, options);
 
   // --- Clustering (Alg. 1 lines 2-10) ----------------------------------------
@@ -241,6 +275,9 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
     PPACD_SPAN_ATTR(span, "method", to_string(options.cluster_method));
     PPACD_SPAN_ATTR(span, "clusters", clustering.count);
   }
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_clustering(nl, clustered, level);
+  });
   result.place.cluster_count = clustering.count;
 
   // --- Cluster shapes (lines 12-13) -------------------------------------------
@@ -324,6 +361,9 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
         place::detailed_place(unfenced, legal.placement, place::DetailedOptions{})
             .placement;
   }
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_placement(unfenced, legal.placement, level);
+  });
   PPACD_SPAN_ATTR(incremental_span, "iterations", incremental.iterations);
   PPACD_SPAN_ATTR(incremental_span, "overflow", incremental.overflow);
   }  // placement scope (seed + incremental)
@@ -358,6 +398,10 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
     PPACD_SPAN_ATTR(span, "overflow_edges", routed.overflow_edges);
     PPACD_SPAN_ATTR(span, "wirelength_um", routed.wirelength_um);
   }
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_routing(nl, positions, box.rect(), routed,
+                                options.router, level);
+  });
   out.route_overflow_edges = routed.overflow_edges;
 
   cts::ClockTreeResult tree;

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/check.hpp"
 #include "cluster/fc_multilevel.hpp"
 #include "cts/cts.hpp"
 #include "geom/geometry.hpp"
@@ -81,6 +82,12 @@ struct FlowOptions {
   /// and re-legalizes. Off by default so the reproduced tables isolate the
   /// paper's contribution.
   bool timing_optimization = false;
+  /// Invariant checking between phases (src/check): kOff (default) skips
+  /// all validators, kCheap runs the linear cross-reference scans, kFull
+  /// adds overlap sweeps and hypergraph reconstruction. Violations are
+  /// logged, counted in telemetry (`check.<checker>.violations`), and
+  /// serialized into the JSON run report's "checks" section.
+  check::CheckLevel check_level = check::CheckLevel::kOff;
   std::uint64_t seed = 3;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ppacd::flow {
@@ -56,6 +57,7 @@ Json options_json(const FlowOptions& options) {
   out.set("detailed_placement", options.detailed_placement);
   out.set("scatter_seed", options.scatter_seed);
   out.set("timing_optimization", options.timing_optimization);
+  out.set("check_level", check::to_string(options.check_level));
   out.set("seed", options.seed);
 
   Json fc = Json::object();
@@ -192,6 +194,7 @@ telemetry::Json run_report_json(const RunReportInputs& inputs) {
   out.set("phases", phases_json(spans));
   out.set("spans", telemetry::spans_json());
   out.set("metrics", telemetry::metrics().to_json());
+  out.set("checks", check::log_json());
   if (inputs.place != nullptr) out.set("place", place_json(*inputs.place));
   if (inputs.ppa != nullptr) out.set("ppa", ppa_json(*inputs.ppa));
   return out;

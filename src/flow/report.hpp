@@ -12,6 +12,7 @@
 ///     "phases":  [ {name, seconds, count, attrs} ... ],  // "flow.*" spans
 ///     "spans":   [ ... full span tree ... ],
 ///     "metrics": { counters, gauges, histograms },
+///     "checks":  [ {checker, level, checked, violations, messages} ... ],
 ///     "place":   { hpwl_um, ..._seconds, cluster_count, shaped_clusters },
 ///     "ppa":     { rwl_um, wns_ps, tns_ns, power_w, ... }   // if provided
 ///   }

@@ -1,16 +1,19 @@
 #include "place/floorplan.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 #include <cmath>
 
 namespace ppacd::place {
 
 Floorplan Floorplan::create(double total_cell_area_um2, double row_height_um,
                             const FloorplanOptions& options) {
-  assert(total_cell_area_um2 > 0.0);
-  assert(options.utilization > 0.0 && options.utilization <= 1.0);
-  assert(options.aspect_ratio > 0.0);
+  PPACD_CHECK(total_cell_area_um2 > 0.0,
+              "total cell area " << total_cell_area_um2 << " um^2");
+  PPACD_CHECK(options.utilization > 0.0 && options.utilization <= 1.0,
+              "utilization " << options.utilization);
+  PPACD_CHECK(options.aspect_ratio > 0.0,
+              "aspect ratio " << options.aspect_ratio);
 
   const double core_area = total_cell_area_um2 / options.utilization;
   double width = std::sqrt(core_area / options.aspect_ratio);

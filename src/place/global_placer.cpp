@@ -1,7 +1,7 @@
 #include "place/global_placer.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 #include <cmath>
 
 #include "telemetry/telemetry.hpp"
@@ -545,7 +545,9 @@ PlaceResult GlobalPlacer::run() {
 }
 
 PlaceResult GlobalPlacer::run_incremental(const Placement& seed) {
-  assert(seed.size() == model_->objects.size());
+  PPACD_CHECK(seed.size() == model_->objects.size(),
+              "incremental seed covers " << seed.size() << " of "
+                                          << model_->objects.size() << " objects");
   Placement positions = seed;
   for (std::size_t i = 0; i < positions.size(); ++i) {
     if (model_->objects[i].fixed || model_->objects[i].blockage) {

@@ -1,6 +1,6 @@
 #include "place/model.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace ppacd::place {
 
@@ -82,7 +82,9 @@ double total_hpwl(const PlaceModel& model, const Placement& placement) {
 
 std::vector<geom::Point> cell_positions(const netlist::Netlist& nl,
                                         const Placement& placement) {
-  assert(placement.size() >= nl.cell_count());
+  PPACD_CHECK(placement.size() >= nl.cell_count(),
+              "placement covers " << placement.size() << " objects, netlist has "
+                                   << nl.cell_count() << " cells");
   return std::vector<geom::Point>(placement.begin(),
                                   placement.begin() + static_cast<std::ptrdiff_t>(nl.cell_count()));
 }

@@ -1,7 +1,7 @@
 #include "route/global_router.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 #include <cmath>
 #include <queue>
 
@@ -42,12 +42,14 @@ GlobalRouter::GridPoint GlobalRouter::gcell_of(const geom::Point& p) const {
 }
 
 std::size_t GlobalRouter::h_index(int x, int y) const {
-  assert(x >= 0 && x < nx_ - 1 && y >= 0 && y < ny_);
+  PPACD_DCHECK(x >= 0 && x < nx_ - 1 && y >= 0 && y < ny_,
+               "h edge (" << x << ", " << y << ") outside " << nx_ << " x " << ny_);
   return static_cast<std::size_t>(y) * (nx_ - 1) + x;
 }
 
 std::size_t GlobalRouter::v_index(int x, int y) const {
-  assert(x >= 0 && x < nx_ && y >= 0 && y < ny_ - 1);
+  PPACD_DCHECK(x >= 0 && x < nx_ && y >= 0 && y < ny_ - 1,
+               "v edge (" << x << ", " << y << ") outside " << nx_ << " x " << ny_);
   return static_cast<std::size_t>(x) * (ny_ - 1) + y;
 }
 
@@ -75,7 +77,7 @@ void GlobalRouter::commit(const std::vector<EdgeRef>& path, int delta) {
     double& usage =
         e.horizontal ? h_usage_[h_index(e.x, e.y)] : v_usage_[v_index(e.x, e.y)];
     usage += delta;
-    assert(usage >= -1e-9);
+    PPACD_DCHECK(usage >= -1e-9, "negative edge usage " << usage);
   }
 }
 

@@ -1,0 +1,48 @@
+/// \file assert.hpp
+/// \brief Project assertion macros replacing raw assert().
+///
+/// Two flavors:
+///   * PPACD_CHECK(cond, msg) — always evaluates `cond`. On failure it logs
+///     one error line through util::logging (file:line, the condition text,
+///     and `msg`) and then aborts in debug/check builds (NDEBUG unset, or
+///     PPACD_CHECK_FATAL defined — the sanitizer presets define it so a
+///     violated precondition fails the run instead of sailing on into
+///     undefined behavior). In plain release builds the failure is logged
+///     and execution continues — a corrupted run is better diagnosed by the
+///     src/check validators than by an opaque release abort.
+///   * PPACD_DCHECK(cond, msg) — compiled out entirely when PPACD_CHECK
+///     would not abort (the assert() behavior); for hot paths where even
+///     the branch matters (per-edge grid index math, inner placer loops).
+///
+/// `msg` is pasted into a logger stream, so it may chain insertions:
+///   PPACD_CHECK(size == expected, "got " << size << ", want " << expected);
+#pragma once
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+#if !defined(NDEBUG) || defined(PPACD_CHECK_FATAL)
+#define PPACD_CHECK_ABORTS_ 1
+#else
+#define PPACD_CHECK_ABORTS_ 0
+#endif
+
+#define PPACD_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      PPACD_LOG_ERROR("check") << __FILE__ << ":" << __LINE__               \
+                               << ": check failed: " #cond ": " << msg;     \
+      if (PPACD_CHECK_ABORTS_) std::abort();                                \
+    }                                                                       \
+  } while (0)
+
+#if PPACD_CHECK_ABORTS_
+#define PPACD_DCHECK(cond, msg) PPACD_CHECK(cond, msg)
+#else
+/// Dead branch: type-checks the operands without evaluating them.
+#define PPACD_DCHECK(cond, msg)     \
+  do {                              \
+    if (false) PPACD_CHECK(cond, msg); \
+  } while (0)
+#endif

@@ -1,7 +1,7 @@
 #include "vpr/vpr.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 #include <limits>
 
 #include "place/floorplan.hpp"
@@ -55,7 +55,8 @@ ShapeCandidate evaluate_l_shape(const netlist::Netlist& subnetlist,
                                 const cluster::ClusterShape& shape,
                                 double notch_fraction,
                                 const VprOptions& options) {
-  assert(notch_fraction > 0.0 && notch_fraction < 0.5);
+  PPACD_CHECK(notch_fraction > 0.0 && notch_fraction < 0.5,
+              "notch fraction " << notch_fraction);
   netlist::Netlist virtual_design = subnetlist;
   // Gross area must leave the usable area intact after the notch.
   place::FloorplanOptions fpo;
@@ -168,7 +169,9 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
     std::size_t best_index = 0;
     if (predictor != nullptr) {
       const std::vector<double> predicted = (*predictor)(sub.netlist, shapes);
-      assert(predicted.size() == shapes.size());
+      PPACD_CHECK(predicted.size() == shapes.size(),
+                  "predictor returned " << predicted.size() << " costs for "
+                                         << shapes.size() << " shapes");
       best_index = static_cast<std::size_t>(
           std::min_element(predicted.begin(), predicted.end()) -
           predicted.begin());

@@ -140,7 +140,9 @@ TEST_P(CtsFanoutSweep, TreeInvariantsHoldAcrossFanouts) {
   for (std::size_t ci = 0; ci < d.nl.cell_count(); ++ci) {
     const bool seq = liberty::is_sequential(
         d.nl.lib_cell_of(static_cast<netlist::CellId>(ci)).function);
-    if (seq) EXPECT_GT(tree.insertion_delay_ps[ci], 0.0);
+    if (seq) {
+      EXPECT_GT(tree.insertion_delay_ps[ci], 0.0);
+    }
   }
 }
 

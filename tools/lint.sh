@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Local mirror of the CI gates (.github/workflows/ci.yml):
+#   1. -Werror build + full ctest            (always)
+#   2. ASan+UBSan build + full ctest         (always; gcc or clang)
+#   3. clang-tidy over src/                  (skipped if clang-tidy missing)
+#
+# Usage: tools/lint.sh [--fast]
+#   --fast   skip the sanitizer stage (stage 1 + clang-tidy only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== stage 1: -Werror build + ctest =="
+cmake --preset werror >/dev/null
+cmake --build --preset werror -j "$jobs"
+ctest --test-dir build-werror --output-on-failure
+
+if [[ "$fast" == 0 ]]; then
+  echo "== stage 2: ASan+UBSan build + ctest =="
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j "$jobs"
+  ctest --preset asan-ubsan
+else
+  echo "== stage 2: skipped (--fast) =="
+fi
+
+echo "== stage 3: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The default preset exports compile_commands.json; configure it if absent.
+  [[ -f build/compile_commands.json ]] || cmake --preset default >/dev/null
+  mapfile -t sources < <(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet -j "$jobs" "${sources[@]}"
+  else
+    clang-tidy -p build --quiet "${sources[@]}"
+  fi
+else
+  echo "clang-tidy not installed; skipping (CI runs it)"
+fi
+
+echo "lint OK"
