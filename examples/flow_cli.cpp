@@ -11,6 +11,7 @@
 ///            [--write-verilog FILE] [--write-def FILE] [--write-svg FILE]
 ///            [--write-congestion FILE] [--report-paths N]
 ///            [--cells N] [--report FILE] [--trace FILE] [--check LEVEL]
+///            [--threads N]
 ///
 /// --report writes the telemetry run report (flow config, phase timings,
 /// metric snapshot, PPA outcome) as JSON; --trace writes a Chrome
@@ -25,6 +26,7 @@
 #include <string>
 
 #include "check/check.hpp"
+#include "exec/exec.hpp"
 #include "flow/flow.hpp"
 #include "flow/report.hpp"
 #include "gen/designs.hpp"
@@ -55,6 +57,7 @@ struct Args {
   std::string trace_json;
   bool timing_opt = false;
   bool detailed = false;
+  int threads = 0;  // 0 = PPACD_THREADS env / hardware default
   ppacd::check::CheckLevel check_level = ppacd::check::CheckLevel::kOff;
 };
 
@@ -80,6 +83,7 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (arg == "--trace") args->trace_json = value();
     else if (arg == "--opt") args->timing_opt = true;
     else if (arg == "--detailed") args->detailed = true;
+    else if (arg == "--threads") args->threads = std::atoi(value());
     else if (arg == "--check") {
       const char* level = value();
       if (!ppacd::check::parse_check_level(level, &args->check_level)) {
@@ -102,6 +106,7 @@ int main(int argc, char** argv) {
   using namespace ppacd;
   Args args;
   if (!parse_args(argc, argv, &args)) return 1;
+  if (args.threads > 0) exec::set_thread_count(args.threads);
 
   const liberty::Library lib = liberty::Library::nangate45_like();
 

@@ -1,0 +1,251 @@
+#include "exec/exec.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace ppacd::exec {
+
+namespace {
+
+/// Lane identity of the current thread: 0 = any non-pool thread, 1..N-1 = a
+/// pool worker. Workers set it once at startup.
+thread_local std::size_t t_lane = 0;
+thread_local bool t_is_worker = false;
+/// True while this thread executes a region chunk — on workers AND on the
+/// caller (which drains as lane 0). Nested run_chunks calls check this, not
+/// t_is_worker: a nested region issued from a chunk on the calling thread
+/// must also run inline, or it would re-lock region_mutex and deadlock.
+thread_local bool t_in_region = false;
+
+struct Pool {
+  std::mutex mutex;
+  std::condition_variable work_cv;  ///< workers wait here for a region
+  std::condition_variable done_cv;  ///< the caller waits here for completion
+
+  /// Joins the workers at static destruction — a destroyed joinable
+  /// std::thread calls std::terminate, so a process exiting with a live
+  /// multi-lane pool (e.g. flow_cli --threads N) must wind it down here.
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  int lanes = 0;  ///< 0 = not yet configured
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // --- Current region (one at a time; callers serialize on region_mutex) ---
+  std::mutex region_mutex;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::deque<std::size_t>> queues;  ///< one chunk deque per lane
+  std::size_t pending = 0;                      ///< chunks not yet finished
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+};
+
+Pool& pool_state() {
+  static Pool pool;
+  return pool;
+}
+
+int env_thread_count() {
+  if (const char* env = std::getenv("PPACD_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+    PPACD_LOG_WARN("exec") << "ignoring PPACD_THREADS=\"" << env << "\"";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Claims one chunk for `lane`: its own deque front first, else steals from
+/// the back of the busiest other lane. Returns false when no work is left.
+/// Caller holds pool.mutex.
+bool claim_chunk(Pool& pool, std::size_t lane, std::size_t* chunk,
+                 bool* stolen) {
+  if (!pool.queues[lane].empty()) {
+    *chunk = pool.queues[lane].front();
+    pool.queues[lane].pop_front();
+    *stolen = false;
+    return true;
+  }
+  std::size_t victim = lane;
+  std::size_t victim_size = 0;
+  for (std::size_t l = 0; l < pool.queues.size(); ++l) {
+    if (l != lane && pool.queues[l].size() > victim_size) {
+      victim = l;
+      victim_size = pool.queues[l].size();
+    }
+  }
+  if (victim_size == 0) return false;
+  *chunk = pool.queues[victim].back();
+  pool.queues[victim].pop_back();
+  *stolen = true;
+  return true;
+}
+
+/// Executes chunks of the current region until none are claimable. Returns
+/// with pool.mutex held.
+void drain_region(Pool& pool, std::unique_lock<std::mutex>& lock,
+                  std::size_t lane) {
+  std::int64_t executed = 0;
+  std::int64_t steals = 0;
+  while (pool.fn != nullptr) {
+    std::size_t chunk = 0;
+    bool stolen = false;
+    if (!claim_chunk(pool, lane, &chunk, &stolen)) break;
+    const std::function<void(std::size_t)>* fn = pool.fn;
+    lock.unlock();
+    if (stolen) ++steals;
+    ++executed;
+    if (!pool.failed.load(std::memory_order_acquire)) {
+      t_in_region = true;
+      try {
+        (*fn)(chunk);
+      } catch (...) {
+        // First failure wins; later chunks are skipped (not re-queued) so the
+        // region drains quickly. The caller rethrows after completion.
+        bool expected = false;
+        if (pool.failed.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+          lock.lock();
+          pool.error = std::current_exception();
+          lock.unlock();
+        }
+      }
+      t_in_region = false;
+    }
+    lock.lock();
+    if (--pool.pending == 0) pool.done_cv.notify_all();
+  }
+  if (executed > 0) PPACD_COUNT("exec.tasks.executed", executed);
+  if (steals > 0) PPACD_COUNT("exec.steal.count", steals);
+}
+
+void worker_main(std::size_t lane) {
+  t_lane = lane;
+  t_is_worker = true;
+  Pool& pool = pool_state();
+  std::unique_lock<std::mutex> lock(pool.mutex);
+  while (true) {
+    pool.work_cv.wait(lock, [&pool, lane] {
+      return pool.shutdown ||
+             (pool.fn != nullptr && lane < pool.queues.size());
+    });
+    if (pool.shutdown) return;
+    drain_region(pool, lock, lane);
+    // Region exhausted from this worker's perspective; wait for the next one.
+    // fn stays set until the caller observes pending == 0, so guard against a
+    // busy re-wake on the same drained region.
+    pool.work_cv.wait(lock, [&pool] { return pool.fn == nullptr || pool.shutdown; });
+  }
+}
+
+/// Joins the current workers (if any). Caller must not hold pool.mutex.
+void stop_workers(Pool& pool) {
+  {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.shutdown = true;
+  }
+  pool.work_cv.notify_all();
+  for (std::thread& worker : pool.workers) worker.join();
+  pool.workers.clear();
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  pool.shutdown = false;
+}
+
+/// Spawns workers for `lanes` total lanes. Caller must not hold pool.mutex.
+void configure(Pool& pool, int lanes) {
+  PPACD_CHECK(!t_is_worker && !t_in_region,
+              "pool reconfigured from inside a parallel region");
+  if (!pool.workers.empty()) stop_workers(pool);
+  pool.lanes = lanes < 1 ? 1 : lanes;
+  pool.workers.reserve(static_cast<std::size_t>(pool.lanes) - 1);
+  for (int lane = 1; lane < pool.lanes; ++lane) {
+    pool.workers.emplace_back(worker_main, static_cast<std::size_t>(lane));
+  }
+  PPACD_GAUGE_SET("exec.pool.size", pool.lanes);
+  PPACD_LOG_DEBUG("exec") << "pool configured with " << pool.lanes << " lanes";
+}
+
+Pool& pool() {
+  Pool& pool = pool_state();
+  // Lazy first-use sizing; set_thread_count() reconfigures explicitly.
+  if (pool.lanes == 0) {
+    static std::once_flag once;
+    std::call_once(once, [&pool] { configure(pool, env_thread_count()); });
+  }
+  return pool;
+}
+
+}  // namespace
+
+int thread_count() { return pool().lanes; }
+
+void set_thread_count(int count) {
+  Pool& state = pool_state();
+  if (state.lanes == count && count >= 1) return;
+  configure(state, count);
+}
+
+std::size_t worker_slots() { return static_cast<std::size_t>(pool().lanes); }
+
+std::size_t this_worker_slot() { return t_lane; }
+
+bool inside_parallel_region() { return t_in_region; }
+
+namespace detail {
+
+void run_chunks(std::size_t chunk_count,
+                const std::function<void(std::size_t)>& chunk_fn) {
+  if (chunk_count == 0) return;
+  Pool& state = pool();
+  // Nested region (issued from inside a chunk, on a worker or on the caller
+  // draining as lane 0) or serial pool: run inline, in chunk order — the
+  // chunk structure is identical, so results are too.
+  if (t_in_region || state.lanes <= 1) {
+    PPACD_COUNT("exec.tasks.executed", chunk_count);
+    for (std::size_t c = 0; c < chunk_count; ++c) chunk_fn(c);
+    return;
+  }
+
+  // One region at a time; concurrent callers (not used by the flow) queue up.
+  std::lock_guard<std::mutex> region_lock(state.region_mutex);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.fn = &chunk_fn;
+  state.pending = chunk_count;
+  state.failed.store(false, std::memory_order_release);
+  state.error = nullptr;
+  state.queues.assign(static_cast<std::size_t>(state.lanes), {});
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    state.queues[c % static_cast<std::size_t>(state.lanes)].push_back(c);
+  }
+  state.work_cv.notify_all();
+
+  drain_region(state, lock, /*lane=*/0);  // the caller participates as lane 0
+  state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+  state.fn = nullptr;
+  state.queues.clear();
+  const std::exception_ptr error = state.error;
+  state.error = nullptr;
+  lock.unlock();
+  state.work_cv.notify_all();  // release workers parked on the drained region
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
+
+}  // namespace ppacd::exec

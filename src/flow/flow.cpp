@@ -189,6 +189,7 @@ void apply_shapes(const netlist::Netlist& nl, cluster::ClusteredNetlist& cluster
 void run_timing_optimization(netlist::Netlist& nl, const place::Floorplan& fp,
                              const FlowOptions& options, FlowResult& result) {
   PPACD_SPAN(span, "flow.timing_opt");
+  span.anchor();
   opt::BufferingOptions buffering;
   opt::buffer_high_fanout(nl, result.place.positions, buffering);
   opt::SizingOptions sizing;
@@ -229,6 +230,7 @@ FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
   place::LegalizeResult legal;
   {
     PPACD_SPAN(span, "flow.global_place");
+    span.anchor();
     util::ScopedTimer timer(result.place.placement_seconds);
     place::GlobalPlacerOptions placer_options = options.placer;
     placer_options.seed = options.seed;
@@ -268,6 +270,7 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   cluster::ClusteredNetlist clustered;
   {
     PPACD_SPAN(span, "flow.cluster");
+    span.anchor();
     util::ScopedTimer timer(result.place.clustering_seconds);
     clustering = run_clustering(nl, options);
     clustered = cluster::build_clustered_netlist(nl, clustering.assignment,
@@ -283,6 +286,7 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   // --- Cluster shapes (lines 12-13) -------------------------------------------
   {
     PPACD_SPAN(span, "flow.shape");
+    span.anchor();
     util::ScopedTimer timer(result.place.shaping_seconds);
     apply_shapes(nl, clustered, options, result.place);
     PPACD_SPAN_ATTR(span, "mode", to_string(options.shape_mode));
@@ -297,6 +301,7 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   place::PlaceResult seed_placed;
   {
     PPACD_SPAN(span, "flow.seed_place");
+    span.anchor();
     const double io_scale =
         options.tool == Tool::kOpenRoadLike ? options.io_weight_scale : 1.0;
     const place::PlaceModel cluster_model =
@@ -317,6 +322,7 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   }
 
   PPACD_SPAN(incremental_span, "flow.incremental_place");
+  incremental_span.anchor();
 
   // Flat model for the incremental pass; the Innovus-like tool adds region
   // constraints for the V-P&R-shaped clusters (line 18).
@@ -393,6 +399,7 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   route::RouteResult routed;
   {
     PPACD_SPAN(span, "flow.route");
+    span.anchor();
     route::GlobalRouter router(nl, positions, box.rect(), options.router);
     routed = router.run();
     PPACD_SPAN_ATTR(span, "overflow_edges", routed.overflow_edges);
@@ -407,6 +414,7 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   cts::ClockTreeResult tree;
   {
     PPACD_SPAN(span, "flow.cts");
+    span.anchor();
     tree = cts::synthesize_clock_tree(nl, positions, options.cts);
     PPACD_SPAN_ATTR(span, "buffers", tree.buffer_count);
     PPACD_SPAN_ATTR(span, "skew_ps", tree.max_skew_ps);
@@ -415,6 +423,7 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   out.rwl_um = routed.wirelength_um + tree.wirelength_um;
 
   PPACD_SPAN(sta_span, "flow.sta");
+  sta_span.anchor();
   sta::StaOptions sta_options;
   sta_options.clock_period_ps = options.clock_period_ps;
   sta_options.cell_positions = &positions;

@@ -179,6 +179,22 @@ double TotalCostModel::predict(const SparseRows& adj, const Matrix& features) {
   return out.at(0, 0);
 }
 
+std::vector<double> TotalCostModel::predict_batch(
+    const std::vector<const SparseRows*>& adjacencies,
+    const std::vector<const Matrix*>& features) {
+  if (adjacencies.empty()) return {};
+  EmbedCache embed_cache;
+  const Matrix embeddings =
+      embed_batch(adjacencies, features, /*training=*/false, embed_cache);
+  HeadCache head_cache;
+  const Matrix out = head_forward(embeddings, /*training=*/false, head_cache);
+  std::vector<double> predictions(adjacencies.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    predictions[i] = out.at(static_cast<int>(i), 0);
+  }
+  return predictions;
+}
+
 std::vector<BatchNorm*> TotalCostModel::batch_norms() {
   std::vector<BatchNorm*> out;
   for (auto& branch : branches_) {

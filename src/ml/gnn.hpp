@@ -99,6 +99,14 @@ class TotalCostModel {
   /// Convenience single-sample inference (eval mode).
   double predict(const SparseRows& adj, const Matrix& features);
 
+  /// Batched inference (eval mode): one block-diagonal embed + one head
+  /// forward for all graphs. Eval-mode batch norm uses the stored running
+  /// statistics, so each returned value equals the corresponding single
+  /// predict() call — batching only amortizes the per-forward overhead.
+  std::vector<double> predict_batch(
+      const std::vector<const SparseRows*>& adjacencies,
+      const std::vector<const Matrix*>& features);
+
   std::vector<Param*> params();
   /// All batch-norm layers, in a stable order (for state serialization).
   std::vector<BatchNorm*> batch_norms();

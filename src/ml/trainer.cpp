@@ -72,8 +72,11 @@ vpr::ShapeCostPredictor TrainedModel::predictor(
              const std::vector<cluster::ClusterShape>& candidates) {
     const features::ClusterGraph graph =
         features::extract_cluster_graph(subnetlist, feature_options);
-    std::vector<double> costs;
-    costs.reserve(candidates.size());
+    // Build every candidate's feature matrix, then run one batched forward:
+    // the candidates share the graph, so the embed stacks |candidates|
+    // copies block-diagonally and the head scores them all at once.
+    std::vector<Matrix> xs;
+    xs.reserve(candidates.size());
     for (const cluster::ClusterShape& shape : candidates) {
       Matrix x(graph.node_count, kDim);
       for (std::int32_t v = 0; v < graph.node_count; ++v) {
@@ -85,8 +88,14 @@ vpr::ShapeCostPredictor TrainedModel::predictor(
                        stddev[static_cast<std::size_t>(c)];
         }
       }
-      costs.push_back(model->predict(graph.adjacency, x) * label_std + label_mean);
+      xs.push_back(std::move(x));
     }
+    std::vector<const SparseRows*> adjacencies(xs.size(), &graph.adjacency);
+    std::vector<const Matrix*> feature_ptrs;
+    feature_ptrs.reserve(xs.size());
+    for (const Matrix& x : xs) feature_ptrs.push_back(&x);
+    std::vector<double> costs = model->predict_batch(adjacencies, feature_ptrs);
+    for (double& cost : costs) cost = cost * label_std + label_mean;
     return costs;
   };
 }

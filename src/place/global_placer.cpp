@@ -4,6 +4,7 @@
 #include "util/assert.hpp"
 #include <cmath>
 
+#include "exec/exec.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -11,8 +12,33 @@ namespace ppacd::place {
 
 namespace {
 
+// Fixed grains for the parallel numeric kernels. Chunk boundaries (and thus
+// floating-point combination order) depend only on these constants and the
+// problem size, never on the thread count — see src/exec/exec.hpp.
+constexpr std::size_t kVecGrain = 4096;   ///< elementwise / dot chunks
+constexpr std::size_t kRowGrain = 2048;   ///< mat-vec rows per chunk
+constexpr std::size_t kNetGrain = 256;    ///< nets per assembly chunk
+constexpr std::size_t kObjGrain = 2048;   ///< objects per density chunk
+/// Density scratch cap: at most this many per-chunk bin arrays are alive.
+constexpr std::size_t kMaxAreaChunks = 16;
+
+/// Deterministic chunked dot product (ordered reduction).
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return exec::parallel_reduce(
+      0, a.size(), kVecGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) sum += a[i] * b[i];
+        return sum;
+      },
+      [](double x, double y) { return x + y; });
+}
+
 /// Sparse symmetric system assembled per direction: diagonal + off-diagonal
-/// triplets over dense movable indices, with right-hand side.
+/// triplets over dense movable indices, with right-hand side. finalize()
+/// builds a CSR row adjacency so multiply() can run row-parallel: each row
+/// gathers its neighbours in a fixed per-row order, so the result does not
+/// depend on the thread count.
 struct QuadSystem {
   std::vector<double> diag;
   std::vector<double> rhs;
@@ -22,6 +48,10 @@ struct QuadSystem {
     double w;
   };
   std::vector<OffDiag> off;
+  // CSR adjacency (both directions of every off-diagonal edge).
+  std::vector<std::int32_t> row_ptr;
+  std::vector<std::int32_t> col;
+  std::vector<double> weight;
 
   explicit QuadSystem(std::size_t n) : diag(n, 0.0), rhs(n, 0.0) { off.reserve(n * 4); }
 
@@ -36,16 +66,44 @@ struct QuadSystem {
     rhs[static_cast<std::size_t>(i)] += w * fixed_coord;
   }
 
-  void multiply(const std::vector<double>& x, std::vector<double>& out) const {
-    for (std::size_t i = 0; i < diag.size(); ++i) out[i] = diag[i] * x[i];
+  /// Builds the CSR adjacency from `off` (call once, after assembly).
+  void finalize() {
+    const std::size_t n = diag.size();
+    row_ptr.assign(n + 1, 0);
     for (const OffDiag& e : off) {
-      out[static_cast<std::size_t>(e.i)] -= e.w * x[static_cast<std::size_t>(e.j)];
-      out[static_cast<std::size_t>(e.j)] -= e.w * x[static_cast<std::size_t>(e.i)];
+      ++row_ptr[static_cast<std::size_t>(e.i) + 1];
+      ++row_ptr[static_cast<std::size_t>(e.j) + 1];
     }
+    for (std::size_t i = 0; i < n; ++i) row_ptr[i + 1] += row_ptr[i];
+    col.resize(static_cast<std::size_t>(row_ptr[n]));
+    weight.resize(col.size());
+    std::vector<std::int32_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (const OffDiag& e : off) {
+      const std::size_t si = static_cast<std::size_t>(e.i);
+      const std::size_t sj = static_cast<std::size_t>(e.j);
+      col[static_cast<std::size_t>(cursor[si])] = e.j;
+      weight[static_cast<std::size_t>(cursor[si]++)] = e.w;
+      col[static_cast<std::size_t>(cursor[sj])] = e.i;
+      weight[static_cast<std::size_t>(cursor[sj]++)] = e.w;
+    }
+  }
+
+  void multiply(const std::vector<double>& x, std::vector<double>& out) const {
+    exec::parallel_for(0, diag.size(), kRowGrain, [&](std::size_t i) {
+      double acc = diag[i] * x[i];
+      const std::size_t lo = static_cast<std::size_t>(row_ptr[i]);
+      const std::size_t hi = static_cast<std::size_t>(row_ptr[i + 1]);
+      for (std::size_t e = lo; e < hi; ++e) {
+        acc -= weight[e] * x[static_cast<std::size_t>(col[e])];
+      }
+      out[i] = acc;
+    });
   }
 };
 
-/// Jacobi-preconditioned conjugate gradient; solves A x = b in place.
+/// Jacobi-preconditioned conjugate gradient; solves A x = b in place. The
+/// mat-vec is row-parallel and every dot product reduces in fixed chunk
+/// order, so the iterate sequence is bit-identical for any thread count.
 void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
               double tolerance) {
   const std::size_t n = x.size();
@@ -53,46 +111,39 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   std::vector<double> r(n), z(n), p(n), ap(n);
 
   system.multiply(x, ap);
-  double b_norm = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    r[i] = system.rhs[i] - ap[i];
-    b_norm += system.rhs[i] * system.rhs[i];
-  }
-  b_norm = std::sqrt(b_norm);
+  exec::parallel_for(0, n, kVecGrain,
+                     [&](std::size_t i) { r[i] = system.rhs[i] - ap[i]; });
+  double b_norm = std::sqrt(dot(system.rhs, system.rhs));
   if (b_norm == 0.0) b_norm = 1.0;
 
   auto precond = [&system](const std::vector<double>& in, std::vector<double>& out) {
-    for (std::size_t i = 0; i < in.size(); ++i) {
+    exec::parallel_for(0, in.size(), kVecGrain, [&](std::size_t i) {
       const double d = system.diag[i];
       out[i] = d > 0.0 ? in[i] / d : in[i];
-    }
+    });
   };
 
   precond(r, z);
   p = z;
-  double rz = 0.0;
-  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+  double rz = dot(r, z);
 
   for (int iter = 0; iter < max_iters; ++iter) {
-    double r_norm = 0.0;
-    for (std::size_t i = 0; i < n; ++i) r_norm += r[i] * r[i];
-    if (std::sqrt(r_norm) / b_norm < tolerance) break;
+    if (std::sqrt(dot(r, r)) / b_norm < tolerance) break;
 
     system.multiply(p, ap);
-    double p_ap = 0.0;
-    for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    const double p_ap = dot(p, ap);
     if (p_ap <= 0.0) break;  // matrix should be SPD; bail out defensively
     const double alpha = rz / p_ap;
-    for (std::size_t i = 0; i < n; ++i) {
+    exec::parallel_for(0, n, kVecGrain, [&](std::size_t i) {
       x[i] += alpha * p[i];
       r[i] -= alpha * ap[i];
-    }
+    });
     precond(r, z);
-    double rz_new = 0.0;
-    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    exec::parallel_for(0, n, kVecGrain,
+                       [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
   }
 }
 
@@ -150,48 +201,76 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
   QuadSystem system(n);
   auto coord = [x_dir](const geom::Point& p) { return x_dir ? p.x : p.y; };
 
-  for (const PlaceNet& net : model.nets) {
-    const std::size_t k = net.objects.size();
-    if (k < 2) continue;
+  // Parallel B2B assembly: each net chunk records its contributions as an
+  // ordered op list; applying the lists in ascending chunk order replays the
+  // serial assembly exactly (same additions, same floating-point order).
+  struct AsmOp {
+    std::int32_t i;
+    std::int32_t j;  ///< movable partner, or -1 for a fixed edge
+    double w;
+    double coord;  ///< fixed coordinate when j == -1
+  };
+  const std::size_t net_count = model.nets.size();
+  std::vector<std::vector<AsmOp>> chunk_ops(
+      exec::detail::chunk_count_for(net_count, kNetGrain));
+  exec::parallel_for_chunks(0, net_count, kNetGrain, [&](std::size_t nb,
+                                                         std::size_t ne,
+                                                         std::size_t chunk) {
+    std::vector<AsmOp>& ops = chunk_ops[chunk];
+    for (std::size_t ni = nb; ni < ne; ++ni) {
+      const PlaceNet& net = model.nets[ni];
+      const std::size_t k = net.objects.size();
+      if (k < 2) continue;
 
-    // Find boundary pins in this direction.
-    std::size_t idx_min = 0;
-    std::size_t idx_max = 0;
-    for (std::size_t i = 1; i < k; ++i) {
-      const double c = coord(positions[static_cast<std::size_t>(net.objects[i])]);
-      if (c < coord(positions[static_cast<std::size_t>(net.objects[idx_min])])) idx_min = i;
-      if (c > coord(positions[static_cast<std::size_t>(net.objects[idx_max])])) idx_max = i;
-    }
-    if (idx_min == idx_max) idx_max = (idx_min + 1) % k;
-
-    const double base = net.weight * 2.0 / static_cast<double>(k - 1);
-    auto add_pair = [&](std::size_t a, std::size_t b) {
-      const std::int32_t oa = net.objects[a];
-      const std::int32_t ob = net.objects[b];
-      if (oa == ob) return;
-      const double ca = coord(positions[static_cast<std::size_t>(oa)]);
-      const double cb = coord(positions[static_cast<std::size_t>(ob)]);
-      const double w = base / std::max(std::fabs(ca - cb), kMinB2bDist);
-      const std::int32_t ma = movable_[static_cast<std::size_t>(oa)];
-      const std::int32_t mb = movable_[static_cast<std::size_t>(ob)];
-      if (ma >= 0 && mb >= 0) {
-        system.add_edge_movable(ma, mb, w);
-      } else if (ma >= 0) {
-        system.add_edge_fixed(ma, cb, w);
-      } else if (mb >= 0) {
-        system.add_edge_fixed(mb, ca, w);
+      // Find boundary pins in this direction.
+      std::size_t idx_min = 0;
+      std::size_t idx_max = 0;
+      for (std::size_t i = 1; i < k; ++i) {
+        const double c = coord(positions[static_cast<std::size_t>(net.objects[i])]);
+        if (c < coord(positions[static_cast<std::size_t>(net.objects[idx_min])])) idx_min = i;
+        if (c > coord(positions[static_cast<std::size_t>(net.objects[idx_max])])) idx_max = i;
       }
-    };
+      if (idx_min == idx_max) idx_max = (idx_min + 1) % k;
 
-    for (std::size_t i = 0; i < k; ++i) {
-      if (i != idx_min) add_pair(i, idx_min);
-      if (i != idx_max && i != idx_min) add_pair(i, idx_max);
+      const double base = net.weight * 2.0 / static_cast<double>(k - 1);
+      auto add_pair = [&](std::size_t a, std::size_t b) {
+        const std::int32_t oa = net.objects[a];
+        const std::int32_t ob = net.objects[b];
+        if (oa == ob) return;
+        const double ca = coord(positions[static_cast<std::size_t>(oa)]);
+        const double cb = coord(positions[static_cast<std::size_t>(ob)]);
+        const double w = base / std::max(std::fabs(ca - cb), kMinB2bDist);
+        const std::int32_t ma = movable_[static_cast<std::size_t>(oa)];
+        const std::int32_t mb = movable_[static_cast<std::size_t>(ob)];
+        if (ma >= 0 && mb >= 0) {
+          ops.push_back({ma, mb, w, 0.0});
+        } else if (ma >= 0) {
+          ops.push_back({ma, -1, w, cb});
+        } else if (mb >= 0) {
+          ops.push_back({mb, -1, w, ca});
+        }
+      };
+
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i != idx_min) add_pair(i, idx_min);
+        if (i != idx_max && i != idx_min) add_pair(i, idx_max);
+      }
+    }
+  });
+  for (const std::vector<AsmOp>& ops : chunk_ops) {
+    for (const AsmOp& op : ops) {
+      if (op.j >= 0) {
+        system.add_edge_movable(op.i, op.j, op.w);
+      } else {
+        system.add_edge_fixed(op.i, op.coord, op.w);
+      }
     }
   }
 
   // Anchors: pull every movable toward its spread target; in incremental
-  // mode additionally toward the seed location.
-  for (std::size_t m = 0; m < n; ++m) {
+  // mode additionally toward the seed location. Each m touches only its own
+  // diagonal/rhs entry, so the loop is safely index-parallel.
+  exec::parallel_for(0, n, kVecGrain, [&](std::size_t m) {
     const std::size_t obj = static_cast<std::size_t>(movable_objects_[m]);
     if (anchor_weight > 0.0) {
       system.add_edge_fixed(static_cast<std::int32_t>(m),
@@ -201,7 +280,8 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
       system.add_edge_fixed(static_cast<std::int32_t>(m),
                             coord((*seed_anchor)[obj]), seed_weight_);
     }
-  }
+  });
+  system.finalize();
 
   std::vector<double> x(n);
   for (std::size_t m = 0; m < n; ++m) {
@@ -236,35 +316,7 @@ double GlobalPlacer::spread(Placement& positions) {
     return std::max(1e-6, bin_cap - blockage_area_[bin]);
   };
   std::vector<double> area(static_cast<std::size_t>(nx) * ny, 0.0);
-  // Object area is smeared over every bin its footprint overlaps (crucial
-  // for cluster macros, which can span many bins; a point assignment would
-  // make spreading blind to their real footprint).
-  auto recompute_area = [&]() {
-    std::fill(area.begin(), area.end(), 0.0);
-    for (const std::int32_t obj : movable_objects_) {
-      const auto& o = model.objects[static_cast<std::size_t>(obj)];
-      const auto& p = positions[static_cast<std::size_t>(obj)];
-      const double hw = std::max(o.width_um * 0.5, 1e-6);
-      const double hh = std::max(o.height_um * 0.5, 1e-6);
-      const int x0 = bin_x(p.x - hw);
-      const int x1 = bin_x(p.x + hw);
-      const int y0 = bin_y(p.y - hh);
-      const int y1 = bin_y(p.y + hh);
-      if (x0 == x1 && y0 == y1) {
-        area[static_cast<std::size_t>(y0) * nx + x0] += o.area_um2();
-        continue;
-      }
-      for (int by = y0; by <= y1; ++by) {
-        const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
-                                            std::max(p.y - hh, core.ly + by * bh));
-        for (int bx = x0; bx <= x1; ++bx) {
-          const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
-                                              std::max(p.x - hw, core.lx + bx * bw));
-          area[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
-        }
-      }
-    }
-  };
+  auto recompute_area = [&]() { accumulate_area(positions, area); };
   auto compute_overflow = [&]() {
     double overfill = 0.0;
     double total = 0.0;
@@ -281,13 +333,17 @@ double GlobalPlacer::spread(Placement& positions) {
   // FastPlace cell shifting: move bin boundaries toward equalized
   // utilization, then linearly remap cell coordinates bin-by-bin.
   constexpr double kDelta = 0.5;
+  // Lanes are independent: a cell belongs to exactly one lane (its cross-axis
+  // bin, which this pass never modifies) and only that lane moves it, so the
+  // lane loop is safely parallel and order-free.
   auto shift_axis = [&](bool x_axis) {
     const int lanes = x_axis ? ny : nx;
     const int bins = x_axis ? nx : ny;
     const double lo = x_axis ? core.lx : core.ly;
     const double step = x_axis ? bw : bh;
 
-    for (int lane = 0; lane < lanes; ++lane) {
+    exec::parallel_for(0, static_cast<std::size_t>(lanes), 1, [&](std::size_t lane_idx) {
+      const int lane = static_cast<int>(lane_idx);
       // Utilization of each bin in this lane (against blockage-reduced
       // capacity, so movables drain out of blocked bins).
       std::vector<double> util(static_cast<std::size_t>(bins));
@@ -328,7 +384,7 @@ double GlobalPlacer::spread(Placement& positions) {
         if (x_axis) p.x = moved;
         else p.y = moved;
       }
-    }
+    });
   };
   // Several damped passes per call: one boundary adjustment only equalizes
   // neighbouring bins, so repeated sweeps are needed to drain a hot center.
@@ -342,34 +398,93 @@ double GlobalPlacer::spread(Placement& positions) {
   return overflow;
 }
 
-double GlobalPlacer::measure_overflow(const Placement& positions) const {
+void GlobalPlacer::accumulate_area(const Placement& positions,
+                                   std::vector<double>& area) const {
   const PlaceModel& model = *model_;
   const geom::Rect& core = model.core;
   const int nx = grid_nx_;
   const int ny = grid_ny_;
   const double bw = bin_w_;
   const double bh = bin_h_;
-  std::vector<double> area(static_cast<std::size_t>(nx) * ny, 0.0);
-  for (const std::int32_t obj : movable_objects_) {
-    const auto& o = model.objects[static_cast<std::size_t>(obj)];
-    const auto& p = positions[static_cast<std::size_t>(obj)];
-    const double hw = std::max(o.width_um * 0.5, 1e-6);
-    const double hh = std::max(o.height_um * 0.5, 1e-6);
-    const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bw), 0, nx - 1);
-    const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bw), 0, nx - 1);
-    const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
-    const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
-    for (int by = y0; by <= y1; ++by) {
-      const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
-                                          std::max(p.y - hh, core.ly + by * bh));
-      for (int bx = x0; bx <= x1; ++bx) {
-        const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
-                                            std::max(p.x - hw, core.lx + bx * bw));
-        area[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+  std::fill(area.begin(), area.end(), 0.0);
+
+  // Object area is smeared over every bin its footprint overlaps (crucial
+  // for cluster macros, which can span many bins; a point assignment would
+  // make spreading blind to their real footprint). Chunks of objects fill
+  // per-chunk bin scratch, merged serially in ascending chunk order; the
+  // chunk count is capped so scratch memory stays bounded and — being a
+  // function of the object count only — the merge order is thread-invariant.
+  const std::size_t n = movable_objects_.size();
+  const std::size_t grain =
+      std::max(kObjGrain, (n + kMaxAreaChunks - 1) / kMaxAreaChunks);
+  const std::size_t chunks = exec::detail::chunk_count_for(n, grain);
+  if (chunks <= 1) {
+    // Single chunk: accumulate straight into `area`.
+    for (const std::int32_t obj : movable_objects_) {
+      const auto& o = model.objects[static_cast<std::size_t>(obj)];
+      const auto& p = positions[static_cast<std::size_t>(obj)];
+      const double hw = std::max(o.width_um * 0.5, 1e-6);
+      const double hh = std::max(o.height_um * 0.5, 1e-6);
+      const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bw), 0, nx - 1);
+      const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bw), 0, nx - 1);
+      const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
+      const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
+      if (x0 == x1 && y0 == y1) {
+        area[static_cast<std::size_t>(y0) * nx + x0] += o.area_um2();
+        continue;
+      }
+      for (int by = y0; by <= y1; ++by) {
+        const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
+                                            std::max(p.y - hh, core.ly + by * bh));
+        for (int bx = x0; bx <= x1; ++bx) {
+          const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
+                                              std::max(p.x - hw, core.lx + bx * bw));
+          area[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+        }
       }
     }
+    return;
   }
-  const double bin_cap = bw * bh;
+
+  std::vector<std::vector<double>> scratch(chunks);
+  exec::parallel_for_chunks(0, n, grain, [&](std::size_t ob, std::size_t oe,
+                                             std::size_t chunk) {
+    std::vector<double>& bins = scratch[chunk];
+    bins.assign(area.size(), 0.0);
+    for (std::size_t m = ob; m < oe; ++m) {
+      const std::int32_t obj = movable_objects_[m];
+      const auto& o = model.objects[static_cast<std::size_t>(obj)];
+      const auto& p = positions[static_cast<std::size_t>(obj)];
+      const double hw = std::max(o.width_um * 0.5, 1e-6);
+      const double hh = std::max(o.height_um * 0.5, 1e-6);
+      const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bw), 0, nx - 1);
+      const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bw), 0, nx - 1);
+      const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
+      const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
+      if (x0 == x1 && y0 == y1) {
+        bins[static_cast<std::size_t>(y0) * nx + x0] += o.area_um2();
+        continue;
+      }
+      for (int by = y0; by <= y1; ++by) {
+        const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
+                                            std::max(p.y - hh, core.ly + by * bh));
+        for (int bx = x0; bx <= x1; ++bx) {
+          const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
+                                              std::max(p.x - hw, core.lx + bx * bw));
+          bins[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+        }
+      }
+    }
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t b = 0; b < area.size(); ++b) area[b] += scratch[c][b];
+  }
+}
+
+double GlobalPlacer::measure_overflow(const Placement& positions) const {
+  std::vector<double> area(static_cast<std::size_t>(grid_nx_) * grid_ny_, 0.0);
+  accumulate_area(positions, area);
+  const double bin_cap = bin_w_ * bin_h_;
   double overfill = 0.0;
   double total = 0.0;
   for (std::size_t b = 0; b < area.size(); ++b) {

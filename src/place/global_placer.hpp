@@ -98,6 +98,10 @@ class GlobalPlacer {
   void spread_bisection(Placement& positions);
   /// Overflow ratio of `positions` on the spreading grid (footprint-smeared).
   double measure_overflow(const Placement& positions) const;
+  /// Footprint-smeared movable area per spreading-grid bin, accumulated in
+  /// parallel (per-chunk bin scratch merged in fixed chunk order).
+  void accumulate_area(const Placement& positions,
+                       std::vector<double>& area) const;
   void clamp_to_core_and_regions(Placement& positions);
 
   const PlaceModel* model_;

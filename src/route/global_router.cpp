@@ -5,11 +5,30 @@
 #include <cmath>
 #include <queue>
 
+#include "exec/exec.hpp"
 #include "route/steiner.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::route {
+
+namespace {
+
+/// Nets routed concurrently between usage commits. Within a batch every net
+/// routes against the same frozen usage/history snapshot; usage is then
+/// committed serially in batch order, so the outcome is identical for any
+/// thread count (the batch boundaries depend only on the net ordering).
+constexpr std::size_t kRouteBatch = 64;
+
+/// Rip-up-and-reroute uses smaller batches: rerouted nets are blind to each
+/// other within a batch, and congested nets herd onto the same escape routes
+/// when too many reroute against the same snapshot.
+constexpr std::size_t kRerouteBatch = 8;
+
+/// Nets per parallel chunk inside a batch / topology build.
+constexpr std::size_t kNetGrain = 4;
+
+}  // namespace
 
 double RouteResult::top_congestion(double percent) const {
   if (edge_utilization.empty()) return 0.0;
@@ -53,9 +72,18 @@ std::size_t GlobalRouter::v_index(int x, int y) const {
   return static_cast<std::size_t>(x) * (ny_ - 1) + y;
 }
 
-double GlobalRouter::edge_cost(const EdgeRef& e) const {
-  const double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
-                                    : v_usage_[v_index(e.x, e.y)];
+std::size_t GlobalRouter::edge_key(const EdgeRef& e) const {
+  return e.horizontal ? h_index(e.x, e.y) : h_usage_.size() + v_index(e.x, e.y);
+}
+
+double GlobalRouter::edge_cost(const EdgeRef& e,
+                               const ExcludedUsage* excluded) const {
+  double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
+                              : v_usage_[v_index(e.x, e.y)];
+  if (excluded != nullptr) {
+    const auto it = excluded->find(edge_key(e));
+    if (it != excluded->end()) usage -= it->second;
+  }
   const double history = e.horizontal ? h_history_[h_index(e.x, e.y)]
                                       : v_history_[v_index(e.x, e.y)];
   const double cap = e.horizontal ? options_.h_capacity : options_.v_capacity;
@@ -66,9 +94,10 @@ double GlobalRouter::edge_cost(const EdgeRef& e) const {
   return cost;
 }
 
-double GlobalRouter::path_cost(const std::vector<EdgeRef>& path) const {
+double GlobalRouter::path_cost(const std::vector<EdgeRef>& path,
+                               const ExcludedUsage* excluded) const {
   double cost = 0.0;
-  for (const EdgeRef& e : path) cost += edge_cost(e);
+  for (const EdgeRef& e : path) cost += edge_cost(e, excluded);
   return cost;
 }
 
@@ -93,12 +122,12 @@ void GlobalRouter::append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) c
   for (int y = lo; y < hi; ++y) path.push_back(EdgeRef{false, x, y});
 }
 
-std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_segment(GridPoint a,
-                                                               GridPoint b) const {
+std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_segment(
+    GridPoint a, GridPoint b, const ExcludedUsage* excluded) const {
   std::vector<EdgeRef> best;
   double best_cost = std::numeric_limits<double>::infinity();
   auto consider = [&](std::vector<EdgeRef>&& candidate) {
-    const double cost = path_cost(candidate);
+    const double cost = path_cost(candidate, excluded);
     if (cost < best_cost) {
       best_cost = cost;
       best = std::move(candidate);
@@ -159,8 +188,8 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_segment(GridPoint a,
   return best;
 }
 
-std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(GridPoint a,
-                                                            GridPoint b) const {
+std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(
+    GridPoint a, GridPoint b, const ExcludedUsage* excluded) const {
   // Bounded search window.
   const int x0 = std::max(0, std::min(a.x, b.x) - options_.maze_margin);
   const int x1 = std::min(nx_ - 1, std::max(a.x, b.x) + options_.maze_margin);
@@ -200,7 +229,7 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(GridPoint a,
       } else {
         edge = EdgeRef{false, x, std::min(y, my)};
       }
-      const double nd = d + edge_cost(edge);
+      const double nd = d + edge_cost(edge, excluded);
       const std::int32_t next = node_of(mx, my);
       if (nd < dist[static_cast<std::size_t>(next)]) {
         dist[static_cast<std::size_t>(next)] = nd;
@@ -210,7 +239,7 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(GridPoint a,
     }
   }
   if (!std::isfinite(dist[static_cast<std::size_t>(goal)])) {
-    return route_segment(a, b);  // defensive; window is always connected
+    return route_segment(a, b, excluded);  // defensive; window is connected
   }
 
   std::vector<EdgeRef> path;
@@ -240,15 +269,21 @@ RouteResult GlobalRouter::run() {
     std::vector<std::vector<EdgeRef>> paths;
     double hpwl = 0.0;
   };
-  std::vector<NetRoute> routes;
-  routes.reserve(nl.net_count());
-
+  std::vector<netlist::NetId> routable;
+  routable.reserve(nl.net_count());
   for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
     const netlist::NetId net_id = static_cast<netlist::NetId>(ni);
     const netlist::Net& net = nl.net(net_id);
     if (net.pins.size() < 2) continue;
     if (net.is_clock && !options_.route_clock_nets) continue;
+    routable.push_back(net_id);
+  }
 
+  // Topology construction is per-net independent (pure reads + its own slot).
+  std::vector<NetRoute> routes(routable.size());
+  exec::parallel_for(0, routable.size(), kNetGrain, [&](std::size_t i) {
+    const netlist::NetId net_id = routable[i];
+    const netlist::Net& net = nl.net(net_id);
     std::vector<geom::Point> pins;
     pins.reserve(net.pins.size());
     geom::BBox box;
@@ -260,7 +295,7 @@ RouteResult GlobalRouter::run() {
       pins.push_back(pos);
       box.expand(pos);
     }
-    NetRoute route;
+    NetRoute& route = routes[i];
     route.net = net_id;
     route.hpwl = box.half_perimeter();
     const std::vector<Segment> topology = options_.use_steiner_topology
@@ -269,19 +304,29 @@ RouteResult GlobalRouter::run() {
     for (const Segment& seg : topology) {
       route.segments.emplace_back(gcell_of(seg.a), gcell_of(seg.b));
     }
-    routes.push_back(std::move(route));
-  }
+  });
 
-  // Short nets first: they have the least routing flexibility.
+  // Short nets first: they have the least routing flexibility. Net id breaks
+  // HPWL ties so the order (and thus every downstream result) is total.
   std::sort(routes.begin(), routes.end(),
-            [](const NetRoute& a, const NetRoute& b) { return a.hpwl < b.hpwl; });
+            [](const NetRoute& a, const NetRoute& b) {
+              if (a.hpwl != b.hpwl) return a.hpwl < b.hpwl;
+              return a.net < b.net;
+            });
 
-  for (NetRoute& route : routes) {
-    route.paths.reserve(route.segments.size());
-    for (const auto& [a, b] : route.segments) {
-      std::vector<EdgeRef> path = route_segment(a, b);
-      commit(path, +1);
-      route.paths.push_back(std::move(path));
+  // Initial routing in parallel batches: route against the frozen usage,
+  // commit serially in net order between batches.
+  for (std::size_t base = 0; base < routes.size(); base += kRouteBatch) {
+    const std::size_t batch_end = std::min(routes.size(), base + kRouteBatch);
+    exec::parallel_for(base, batch_end, kNetGrain, [&](std::size_t i) {
+      NetRoute& route = routes[i];
+      route.paths.reserve(route.segments.size());
+      for (const auto& [a, b] : route.segments) {
+        route.paths.push_back(route_segment(a, b));
+      }
+    });
+    for (std::size_t i = base; i < batch_end; ++i) {
+      for (const auto& path : routes[i].paths) commit(path, +1);
     }
   }
   PPACD_COUNT("route.nets.routed", routes.size());
@@ -312,27 +357,53 @@ RouteResult GlobalRouter::run() {
     PPACD_COUNT("route.rrr.rounds", 1);
     PPACD_HIST("route.rrr.over_edges", over_edges);
 
-    for (NetRoute& route : routes) {
-      bool crosses_overflow = false;
-      for (const auto& path : route.paths) {
+    // Flag the nets crossing an overflowed edge (pure parallel scan), then
+    // reroute them in batches: rip the whole batch out, reroute every net
+    // against the frozen usage, commit back in net order.
+    std::vector<std::uint8_t> flagged(routes.size(), 0);
+    exec::parallel_for(0, routes.size(), kNetGrain, [&](std::size_t i) {
+      for (const auto& path : routes[i].paths) {
         for (const EdgeRef& e : path) {
           if (overflowed(e)) {
-            crosses_overflow = true;
-            break;
+            flagged[i] = 1;
+            return;
           }
         }
-        if (crosses_overflow) break;
       }
-      if (!crosses_overflow) continue;
-      PPACD_COUNT("route.maze.reroutes", 1);
-      for (std::size_t s = 0; s < route.segments.size(); ++s) {
-        commit(route.paths[s], -1);
-        route.paths[s] = options_.maze_fallback
-                             ? route_maze(route.segments[s].first,
-                                          route.segments[s].second)
-                             : route_segment(route.segments[s].first,
-                                             route.segments[s].second);
-        commit(route.paths[s], +1);
+    });
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      if (flagged[i]) victims.push_back(i);
+    }
+    PPACD_COUNT("route.maze.reroutes", victims.size());
+
+    for (std::size_t base = 0; base < victims.size(); base += kRerouteBatch) {
+      const std::size_t batch_end = std::min(victims.size(), base + kRerouteBatch);
+      std::vector<std::vector<std::vector<EdgeRef>>> rerouted(batch_end - base);
+      exec::parallel_for(base, batch_end, kNetGrain, [&](std::size_t v) {
+        const NetRoute& route = routes[victims[v]];
+        // Virtual rip-up: cost against the frozen usage minus this net's own
+        // committed edges, leaving the shared state untouched until the
+        // serial commit below.
+        ExcludedUsage own;
+        for (const auto& path : route.paths) {
+          for (const EdgeRef& e : path) own[edge_key(e)] += 1.0;
+        }
+        std::vector<std::vector<EdgeRef>>& paths = rerouted[v - base];
+        paths.resize(route.segments.size());
+        for (std::size_t s = 0; s < route.segments.size(); ++s) {
+          paths[s] = options_.maze_fallback
+                         ? route_maze(route.segments[s].first,
+                                      route.segments[s].second, &own)
+                         : route_segment(route.segments[s].first,
+                                         route.segments[s].second, &own);
+        }
+      });
+      for (std::size_t v = base; v < batch_end; ++v) {
+        NetRoute& route = routes[victims[v]];
+        for (const auto& path : route.paths) commit(path, -1);
+        route.paths = std::move(rerouted[v - base]);
+        for (const auto& path : route.paths) commit(path, +1);
       }
     }
   }

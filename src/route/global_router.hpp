@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "geom/geometry.hpp"
@@ -77,21 +78,32 @@ class GlobalRouter {
     int y = 0;
   };
 
+  /// Usage subtracted from the committed state while costing a reroute: the
+  /// rerouting net's own committed edges, keyed by edge_key(). Lets whole
+  /// batches reroute concurrently against a frozen usage snapshot without
+  /// mutating it (a virtual per-net rip-up).
+  using ExcludedUsage = std::unordered_map<std::size_t, double>;
+
   GridPoint gcell_of(const geom::Point& p) const;
   std::size_t h_index(int x, int y) const;  ///< edge (x,y)->(x+1,y)
   std::size_t v_index(int x, int y) const;  ///< edge (x,y)->(x,y+1)
-  double edge_cost(const EdgeRef& e) const;
-  double path_cost(const std::vector<EdgeRef>& path) const;
+  /// Unique key over both edge arrays (v edges offset by the h count).
+  std::size_t edge_key(const EdgeRef& e) const;
+  double edge_cost(const EdgeRef& e, const ExcludedUsage* excluded) const;
+  double path_cost(const std::vector<EdgeRef>& path,
+                   const ExcludedUsage* excluded) const;
   void commit(const std::vector<EdgeRef>& path, int delta);
   /// Appends the edges of a straight run from (x0,y) to (x1,y) (horizontal)
   /// or (x,y0)-(x,y1) (vertical) to `path`.
   void append_h(std::vector<EdgeRef>& path, int x0, int x1, int y) const;
   void append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) const;
   /// Routes one segment, choosing the cheapest pattern. Returns the path.
-  std::vector<EdgeRef> route_segment(GridPoint a, GridPoint b) const;
+  std::vector<EdgeRef> route_segment(GridPoint a, GridPoint b,
+                                     const ExcludedUsage* excluded = nullptr) const;
   /// Dijkstra within an inflated bounding box; falls back to the pattern
   /// route when the search fails (cannot happen inside a connected window).
-  std::vector<EdgeRef> route_maze(GridPoint a, GridPoint b) const;
+  std::vector<EdgeRef> route_maze(GridPoint a, GridPoint b,
+                                  const ExcludedUsage* excluded = nullptr) const;
 
   const netlist::Netlist* nl_;
   const std::vector<geom::Point>* positions_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <queue>
 
+#include "exec/exec.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -11,6 +12,9 @@ namespace ppacd::sta {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+// Pins per parallel chunk in the level sweeps; a level must be much wider
+// than this before fan-out pays for itself.
+constexpr std::size_t kPinGrain = 256;
 }
 
 Sta::Sta(const netlist::Netlist& netlist, const StaOptions& options)
@@ -161,6 +165,26 @@ void Sta::build_graph() {
     }
   }
   assert(topo_order_.size() == nl.pin_count() && "timing graph has a cycle");
+
+  // Level = longest fanin distance. All arcs cross level boundaries, so the
+  // pins of one level never feed each other and a level can be processed
+  // pin-parallel. Buckets are filled in topo order, keeping their contents
+  // independent of how the sweep is later chunked.
+  std::vector<std::int32_t> level(nl.pin_count(), 0);
+  std::int32_t max_level = 0;
+  for (const netlist::PinId pid : topo_order_) {
+    const auto p = static_cast<std::size_t>(pid);
+    for (std::int32_t ai : fanout_arcs_[p]) {
+      const auto to = static_cast<std::size_t>(arcs_[static_cast<std::size_t>(ai)].to);
+      level[to] = std::max(level[to], level[p] + 1);
+    }
+    max_level = std::max(max_level, level[p]);
+  }
+  level_buckets_.assign(static_cast<std::size_t>(max_level) + 1, {});
+  for (const netlist::PinId pid : topo_order_) {
+    level_buckets_[static_cast<std::size_t>(level[static_cast<std::size_t>(pid)])]
+        .push_back(pid);
+  }
 }
 
 void Sta::propagate_arrivals() {
@@ -178,16 +202,29 @@ void Sta::propagate_arrivals() {
                       : 0.0;
   }
 
-  for (const netlist::PinId pid : topo_order_) {
-    for (std::int32_t ai : fanout_arcs_[static_cast<std::size_t>(pid)]) {
-      const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
-      const double candidate = arrival_[static_cast<std::size_t>(pid)] + arc.delay_ps;
-      auto& dest = arrival_[static_cast<std::size_t>(arc.to)];
-      if (candidate > dest) {
-        dest = candidate;
-        worst_fanin_[static_cast<std::size_t>(arc.to)] = ai;
-      }
-    }
+  // Pull-based level sweep: every pin beyond level 0 folds its own fanin
+  // arcs in arc order, so arrivals and the worst-arc choice are identical
+  // for any thread count. Lower levels are complete before a level starts.
+  for (std::size_t l = 1; l < level_buckets_.size(); ++l) {
+    const std::vector<netlist::PinId>& bucket = level_buckets_[l];
+    exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
+                       [&](std::size_t i) {
+                         const auto p = static_cast<std::size_t>(bucket[i]);
+                         double best = -kInf;
+                         std::int32_t best_arc = -1;
+                         for (std::int32_t ai : fanin_arcs_[p]) {
+                           const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
+                           const double candidate =
+                               arrival_[static_cast<std::size_t>(arc.from)] +
+                               arc.delay_ps;
+                           if (candidate > best) {
+                             best = candidate;
+                             best_arc = ai;
+                           }
+                         }
+                         arrival_[p] = best;
+                         worst_fanin_[p] = best_arc;
+                       });
   }
 }
 
@@ -207,15 +244,23 @@ void Sta::propagate_requireds() {
         std::min(required_[static_cast<std::size_t>(pid)], req);
   }
 
-  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
-    const netlist::PinId pid = *it;
-    for (std::int32_t ai : fanout_arcs_[static_cast<std::size_t>(pid)]) {
-      const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
-      const double candidate =
-          required_[static_cast<std::size_t>(arc.to)] - arc.delay_ps;
-      auto& src = required_[static_cast<std::size_t>(pid)];
-      src = std::min(src, candidate);
-    }
+  // Pull-based level sweep, levels descending: each pin min-folds its
+  // fanout arcs (all pointing at higher, already-final levels) on top of
+  // its endpoint requirement, thread-count independent as for arrivals.
+  for (std::size_t l = level_buckets_.size(); l-- > 0;) {
+    const std::vector<netlist::PinId>& bucket = level_buckets_[l];
+    exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
+                       [&](std::size_t i) {
+                         const auto p = static_cast<std::size_t>(bucket[i]);
+                         double req = required_[p];
+                         for (std::int32_t ai : fanout_arcs_[p]) {
+                           const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
+                           req = std::min(
+                               req, required_[static_cast<std::size_t>(arc.to)] -
+                                        arc.delay_ps);
+                         }
+                         required_[p] = req;
+                       });
   }
 
   wns_ps_ = 0.0;

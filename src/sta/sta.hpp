@@ -100,6 +100,11 @@ class Sta {
   std::vector<std::vector<std::int32_t>> fanin_arcs_;   // per pin
   std::vector<std::vector<std::int32_t>> fanout_arcs_;  // per pin
   std::vector<netlist::PinId> topo_order_;
+  /// Pins grouped by topological level (longest fanin distance). Pins within
+  /// a level share no arcs, so each level propagates pin-parallel; the pull
+  /// form (each pin folds its own fanins in fixed order) keeps the result
+  /// thread-count independent.
+  std::vector<std::vector<netlist::PinId>> level_buckets_;
   std::vector<netlist::PinId> endpoints_;
 
   std::vector<double> arrival_;

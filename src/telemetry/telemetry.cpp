@@ -171,6 +171,10 @@ struct SpanStore {
   std::uint64_t generation = 1;  ///< bumped by reset_spans()
   std::int64_t dropped = 0;
   std::uint32_t next_thread_id = 0;
+  // Fallback parent for spans opened on threads with an empty span stack
+  // (pool workers). Set by TraceSpan::anchor(); validated by generation.
+  std::int64_t anchor_index = -1;
+  std::uint64_t anchor_generation = 0;
 };
 
 SpanStore& span_store() {
@@ -245,8 +249,19 @@ TraceSpan::TraceSpan(std::string_view name, bool active) {
   SpanRecord record;
   record.name = std::string(name);
   record.start_us = start;
-  record.depth = static_cast<int>(t_span_stack.size());
-  record.parent = t_span_stack.empty() ? -1 : t_span_stack.back();
+  if (!t_span_stack.empty()) {
+    record.depth = static_cast<int>(t_span_stack.size());
+    record.parent = t_span_stack.back();
+  } else if (store.anchor_index >= 0 &&
+             store.anchor_generation == store.generation) {
+    // Off-main-thread span: attach under the anchored phase span.
+    record.parent = store.anchor_index;
+    record.depth =
+        store.records[static_cast<std::size_t>(store.anchor_index)].depth + 1;
+  } else {
+    record.depth = 0;
+    record.parent = -1;
+  }
   record.thread = thread;
   index_ = static_cast<std::int64_t>(store.records.size());
   generation_ = store.generation;
@@ -263,8 +278,20 @@ TraceSpan::~TraceSpan() {
     t_span_stack.pop_back();
   }
   if (store.generation != generation_) return;  // store was reset under us
+  if (store.anchor_index == index_ && store.anchor_generation == generation_) {
+    store.anchor_index = -1;  // the anchored span is closing
+  }
   SpanRecord& record = store.records[static_cast<std::size_t>(index_)];
   record.dur_us = end - record.start_us;
+}
+
+void TraceSpan::anchor() {
+  if (index_ < 0) return;
+  SpanStore& store = span_store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  if (store.generation != generation_) return;
+  store.anchor_index = index_;
+  store.anchor_generation = generation_;
 }
 
 void TraceSpan::attr(std::string_view key, double value) {
@@ -304,6 +331,7 @@ void reset_spans() {
   store.records.clear();
   store.dropped = 0;
   ++store.generation;
+  store.anchor_index = -1;
   t_span_stack.clear();  // only this thread's stack; see header contract
 }
 

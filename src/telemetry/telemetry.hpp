@@ -160,6 +160,14 @@ class TraceSpan {
   }
   void attr(std::string_view key, std::string_view value);
 
+  /// Registers this span as the process-wide *anchor*: a span constructed on
+  /// a thread whose own span stack is empty (e.g. an exec pool worker inside
+  /// a parallel region) parents under the anchor instead of becoming a root.
+  /// The flow anchors each phase span, so worker spans land under the phase
+  /// they ran in. The anchor clears when this span is destroyed; only one
+  /// anchor is live at a time (last call wins).
+  void anchor();
+
  private:
   std::int64_t index_ = -1;
   std::uint64_t generation_ = 0;
@@ -172,6 +180,7 @@ class NullSpan {
   NullSpan(std::string_view, bool) {}
   template <typename V>
   void attr(std::string_view, const V&) {}
+  void anchor() {}
 };
 
 /// Runtime collection switch (default on). Disabling stops new spans and

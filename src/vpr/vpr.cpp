@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include "util/assert.hpp"
+#include <cmath>
 #include <limits>
+#include <optional>
 
+#include "exec/exec.hpp"
 #include "place/floorplan.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
@@ -33,22 +36,31 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
                                  const cluster::ClusterShape& shape,
                                  const VprOptions& options);
 
+/// Evaluates one shape on `scratch`, an existing copy of the sub-netlist.
+/// Only port positions change per shape (place_ports_on_boundary rewrites
+/// every port), so the same scratch copy serves all candidates — no
+/// per-candidate deep copy of the netlist.
+ShapeCandidate evaluate_shape_inplace(netlist::Netlist& scratch,
+                                      const cluster::ClusterShape& shape,
+                                      const VprOptions& options) {
+  // Virtual die at this shape; IO ports on its boundary (footnote 4).
+  place::FloorplanOptions fpo;
+  fpo.utilization = shape.utilization;
+  fpo.aspect_ratio = shape.aspect_ratio;
+  const place::Floorplan fp = place::Floorplan::create(
+      scratch.total_cell_area(), scratch.library().row_height_um(), fpo);
+  place::place_ports_on_boundary(scratch, fp);
+  place::PlaceModel model = place::make_place_model(scratch, fp);
+  return score_virtual_die(scratch, std::move(model), fp, shape, options);
+}
+
 }  // namespace
 
 ShapeCandidate evaluate_shape(const netlist::Netlist& subnetlist,
                               const cluster::ClusterShape& shape,
                               const VprOptions& options) {
-  // Virtual die at this shape; IO ports on its boundary (footnote 4).
   netlist::Netlist virtual_design = subnetlist;
-  place::FloorplanOptions fpo;
-  fpo.utilization = shape.utilization;
-  fpo.aspect_ratio = shape.aspect_ratio;
-  const place::Floorplan fp = place::Floorplan::create(
-      virtual_design.total_cell_area(), virtual_design.library().row_height_um(),
-      fpo);
-  place::place_ports_on_boundary(virtual_design, fp);
-  place::PlaceModel model = place::make_place_model(virtual_design, fp);
-  return score_virtual_die(virtual_design, std::move(model), fp, shape, options);
+  return evaluate_shape_inplace(virtual_design, shape, options);
 }
 
 ShapeCandidate evaluate_l_shape(const netlist::Netlist& subnetlist,
@@ -133,18 +145,29 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
 VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options) {
   VprResult result;
   const auto shapes = candidate_shapes(options);
-  result.candidates.reserve(shapes.size());
+  result.candidates.assign(shapes.size(), ShapeCandidate{});
+
+  // Parallel across candidates; each lane copies the sub-netlist once and
+  // reuses it for every candidate it evaluates (only ports differ per shape).
+  // When nested under the cluster-parallel loop in select_cluster_shapes the
+  // chunks run inline on the worker, so this costs one copy per cluster.
+  std::vector<std::optional<netlist::Netlist>> scratch(exec::worker_slots());
+  exec::parallel_for(0, shapes.size(), /*grain=*/1, [&](std::size_t i) {
+    std::optional<netlist::Netlist>& slot = scratch[exec::this_worker_slot()];
+    if (!slot.has_value()) slot.emplace(subnetlist);
+    result.candidates[i] = evaluate_shape_inplace(*slot, shapes[i], options);
+  });
+
   double best = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < shapes.size(); ++i) {
-    ShapeCandidate candidate = evaluate_shape(subnetlist, shapes[i], options);
-    PPACD_COUNT("vpr.shapes.evaluated", 1);
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const ShapeCandidate& candidate = result.candidates[i];
     PPACD_HIST("vpr.candidate.total_cost", candidate.total_cost);
-    if (candidate.total_cost < best) {
+    if (std::isfinite(candidate.total_cost) && candidate.total_cost < best) {
       best = candidate.total_cost;
       result.best_index = i;
     }
-    result.candidates.push_back(std::move(candidate));
   }
+  PPACD_COUNT("vpr.shapes.evaluated", shapes.size());
   return result;
 }
 
@@ -154,19 +177,31 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
                                           const ShapeCostPredictor* predictor) {
   ShapeSelectionStats stats;
   const auto shapes = candidate_shapes(options);
+
+  // Partition serially (cheap, keeps skip accounting deterministic), then
+  // shape eligible clusters in parallel: set_cluster_shape touches only
+  // clusters[ci], and each iteration works on its own extracted sub-netlist.
+  std::vector<std::size_t> eligible;
   for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
-    const cluster::Cluster& cluster_ref = clustered.clusters[ci];
-    if (static_cast<int>(cluster_ref.cells.size()) <= options.min_cluster_instances) {
+    if (static_cast<int>(clustered.clusters[ci].cells.size()) <=
+        options.min_cluster_instances) {
       ++stats.clusters_skipped;
-      continue;
+    } else {
+      eligible.push_back(ci);
     }
-    ++stats.clusters_shaped;
+  }
+  stats.clusters_shaped = static_cast<int>(eligible.size());
+
+  std::vector<double> runs_per_cluster(eligible.size(), 0.0);
+  exec::parallel_for(0, eligible.size(), /*grain=*/1, [&](std::size_t k) {
+    const std::size_t ci = eligible[k];
+    const cluster::Cluster& cluster_ref = clustered.clusters[ci];
     PPACD_SPAN(cluster_span, "vpr.cluster");
     PPACD_SPAN_ATTR(cluster_span, "cluster", ci);
     PPACD_SPAN_ATTR(cluster_span, "cells", cluster_ref.cells.size());
     const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, cluster_ref.cells);
 
-    std::size_t best_index = 0;
+    std::size_t best_index = kInvalidShapeIndex;
     if (predictor != nullptr) {
       const std::vector<double> predicted = (*predictor)(sub.netlist, shapes);
       PPACD_CHECK(predicted.size() == shapes.size(),
@@ -179,10 +214,16 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
     } else {
       const VprResult vpr = run_vpr(sub.netlist, options);
       best_index = vpr.best_index;
-      stats.vpr_runs += static_cast<double>(vpr.candidates.size());
+      runs_per_cluster[k] = static_cast<double>(vpr.candidates.size());
     }
-    cluster::set_cluster_shape(clustered, ci, shapes[best_index]);
-  }
+    PPACD_CHECK(best_index != kInvalidShapeIndex,
+                "cluster " << ci << ": no finite-cost shape candidate");
+    if (best_index != kInvalidShapeIndex) {
+      cluster::set_cluster_shape(clustered, ci, shapes[best_index]);
+    }
+  });
+  // Ordered accumulation: independent of which lane ran which cluster.
+  for (const double runs : runs_per_cluster) stats.vpr_runs += runs;
   PPACD_COUNT("vpr.clusters.shaped", stats.clusters_shaped);
   PPACD_COUNT("vpr.clusters.skipped", stats.clusters_skipped);
   PPACD_LOG_DEBUG("vpr") << nl.name() << ": shaped " << stats.clusters_shaped

@@ -17,6 +17,7 @@
 /// implements it.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -25,8 +26,13 @@
 #include "netlist/subnetlist.hpp"
 #include "place/global_placer.hpp"
 #include "route/global_router.hpp"
+#include "util/assert.hpp"
 
 namespace ppacd::vpr {
+
+/// Sentinel best_index when no candidate has a finite TotalCost (empty
+/// candidate list or every run diverged). Callers must not index with it.
+inline constexpr std::size_t kInvalidShapeIndex = static_cast<std::size_t>(-1);
 
 struct VprOptions {
   std::vector<double> aspect_ratios = {0.75, 1.0, 1.25, 1.5, 1.75};
@@ -59,9 +65,14 @@ struct ShapeCandidate {
 
 struct VprResult {
   std::vector<ShapeCandidate> candidates;  ///< all evaluated shapes
-  std::size_t best_index = 0;
+  /// Index of the lowest finite-TotalCost candidate, or kInvalidShapeIndex.
+  std::size_t best_index = kInvalidShapeIndex;
 
-  const ShapeCandidate& best() const { return candidates.at(best_index); }
+  bool has_best() const { return best_index != kInvalidShapeIndex; }
+  const ShapeCandidate& best() const {
+    PPACD_CHECK(has_best(), "V-P&R produced no finite-cost candidate");
+    return candidates.at(best_index);
+  }
 };
 
 /// The 20 candidate shapes in sweep order.

@@ -1,0 +1,129 @@
+/// \file determinism_test.cpp
+/// \brief End-to-end enforcement of the exec determinism contract: the full
+/// flow (clustering, V-P&R shape sweeps, placement, routing, CTS, STA) must
+/// produce bit-identical results with 1 thread and with 8, on more than one
+/// design and through both flow entry points.
+///
+/// Gauges are last-write metrics and thus legitimately racy under parallel
+/// writers; the comparisons below stick to placements, PPA numbers, and
+/// deterministic counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "flow/flow.hpp"
+#include "gen/designs.hpp"
+#include "gen/generator.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ppacd::flow {
+namespace {
+
+liberty::Library& lib() {
+  static liberty::Library instance = liberty::Library::nangate45_like();
+  return instance;
+}
+
+struct FlowSnapshot {
+  std::vector<geom::Point> positions;
+  double hpwl_um = 0.0;
+  int cluster_count = 0;
+  int shaped_clusters = 0;
+  double rwl_um = 0.0;
+  double wns_ps = 0.0;
+  double tns_ns = 0.0;
+  double power_w = 0.0;
+  double clock_skew_ps = 0.0;
+  int route_overflow_edges = 0;
+  std::int64_t shapes_evaluated = 0;  // deterministic counter
+};
+
+void expect_identical(const FlowSnapshot& serial, const FlowSnapshot& parallel) {
+  ASSERT_EQ(serial.positions.size(), parallel.positions.size());
+  for (std::size_t i = 0; i < serial.positions.size(); ++i) {
+    ASSERT_EQ(serial.positions[i].x, parallel.positions[i].x) << "cell " << i;
+    ASSERT_EQ(serial.positions[i].y, parallel.positions[i].y) << "cell " << i;
+  }
+  EXPECT_EQ(serial.hpwl_um, parallel.hpwl_um);
+  EXPECT_EQ(serial.cluster_count, parallel.cluster_count);
+  EXPECT_EQ(serial.shaped_clusters, parallel.shaped_clusters);
+  EXPECT_EQ(serial.rwl_um, parallel.rwl_um);
+  EXPECT_EQ(serial.wns_ps, parallel.wns_ps);
+  EXPECT_EQ(serial.tns_ns, parallel.tns_ns);
+  EXPECT_EQ(serial.power_w, parallel.power_w);
+  EXPECT_EQ(serial.clock_skew_ps, parallel.clock_skew_ps);
+  EXPECT_EQ(serial.route_overflow_edges, parallel.route_overflow_edges);
+  EXPECT_EQ(serial.shapes_evaluated, parallel.shapes_evaluated);
+}
+
+/// Runs one flow configuration at `threads` on a freshly generated design
+/// (run_* mutates the netlist, so every run starts from the generator).
+FlowSnapshot run_at(int threads, const char* design, int cells, bool clustered,
+                    bool enable_vpr) {
+  exec::set_thread_count(threads);
+  gen::DesignSpec spec = gen::design_spec(design);
+  spec.target_cells = cells;
+  netlist::Netlist nl = gen::generate(lib(), spec);
+
+  FlowOptions options;
+  options.clock_period_ps = 550.0;
+  options.fc.target_cluster_count = 10;
+  options.vpr.min_cluster_instances = enable_vpr ? 20 : (1 << 20);
+
+  telemetry::metrics().reset();
+  const FlowResult result = clustered ? run_clustered_flow(nl, options)
+                                      : run_default_flow(nl, options);
+  const PpaOutcome ppa =
+      evaluate_ppa(nl, result.place.positions, options);
+
+  FlowSnapshot snap;
+  snap.positions = result.place.positions;
+  snap.hpwl_um = result.place.hpwl_um;
+  snap.cluster_count = result.place.cluster_count;
+  snap.shaped_clusters = result.place.shaped_clusters;
+  snap.rwl_um = ppa.rwl_um;
+  snap.wns_ps = ppa.wns_ps;
+  snap.tns_ns = ppa.tns_ns;
+  snap.power_w = ppa.power_w;
+  snap.clock_skew_ps = ppa.clock_skew_ps;
+  snap.route_overflow_edges = ppa.route_overflow_edges;
+  snap.shapes_evaluated =
+      telemetry::metrics().counter("vpr.shapes.evaluated").value();
+  return snap;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = exec::thread_count(); }
+  void TearDown() override {
+    exec::set_thread_count(saved_threads_);
+    telemetry::metrics().reset();
+  }
+  int saved_threads_ = 1;
+};
+
+TEST_F(DeterminismTest, ClusteredFlowWithVprBitIdentical1v8) {
+  // V-P&R enabled: exercises the nested cluster x shape-candidate region,
+  // the placer solves inside score_virtual_die, and the batched router.
+  const FlowSnapshot serial = run_at(1, "aes", 600, /*clustered=*/true,
+                                     /*enable_vpr=*/true);
+  EXPECT_GT(serial.shapes_evaluated, 0);
+  const FlowSnapshot parallel = run_at(8, "aes", 600, /*clustered=*/true,
+                                       /*enable_vpr=*/true);
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, DefaultFlowSecondDesignBitIdentical1v8) {
+  // Second design + flat entry point: flat quadratic placement, routing,
+  // CTS, and level-parallel STA with no clustering in the loop.
+  const FlowSnapshot serial = run_at(1, "jpeg", 500, /*clustered=*/false,
+                                     /*enable_vpr=*/false);
+  const FlowSnapshot parallel = run_at(8, "jpeg", 500, /*clustered=*/false,
+                                       /*enable_vpr=*/false);
+  expect_identical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace ppacd::flow

@@ -154,6 +154,38 @@ TEST(Spans, NestingRecordsParentAndDepth) {
   EXPECT_EQ(spans[1].attrs[0].text, "abc");
 }
 
+TEST(Spans, AnchoredSpanParentsOffMainThreadSpans) {
+  reset_spans();
+  {
+    TraceSpan phase("test.phase");
+    phase.anchor();
+    // A thread with an empty span stack parents under the anchored span
+    // instead of becoming a root (what worker-side spans rely on).
+    std::thread worker([] { TraceSpan child("test.worker_child"); });
+    worker.join();
+    {
+      // On the anchoring thread the normal stack parenting still wins.
+      TraceSpan inline_child("test.inline_child");
+    }
+  }
+  {
+    // The anchor dies with its span: a later off-stack span is a root again.
+    std::thread worker([] { TraceSpan orphan("test.after_anchor"); });
+    worker.join();
+  }
+  const std::vector<SpanRecord> spans = span_snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "test.phase");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "test.worker_child");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "test.inline_child");
+  EXPECT_EQ(spans[2].parent, 0);
+  EXPECT_EQ(spans[3].name, "test.after_anchor");
+  EXPECT_EQ(spans[3].parent, -1);
+}
+
 TEST(Spans, InactiveSpanRecordsNothing) {
   reset_spans();
   {
