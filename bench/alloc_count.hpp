@@ -1,0 +1,28 @@
+/// \file alloc_count.hpp
+/// \brief Process-wide heap allocation counters for the perf harness.
+///
+/// bench binaries that link alloc_count.cpp get a replacement global
+/// operator new/delete that bumps two relaxed atomics per allocation. The
+/// counters feed the allocs/op and bytes/op columns of BENCH_perf.json: a
+/// kernel whose steady-state loop allocates nothing shows ~0 for both.
+/// Counting costs two relaxed fetch_adds per allocation, which is noise next
+/// to the allocation itself; the timing columns stay comparable with and
+/// without the hook.
+#pragma once
+
+#include <cstdint>
+
+namespace ppacd::bench {
+
+struct AllocSnapshot {
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Current totals since process start. Zeros if the hook is not linked in.
+AllocSnapshot alloc_snapshot();
+
+/// allocs/bytes since `since`.
+AllocSnapshot alloc_delta(const AllocSnapshot& since);
+
+}  // namespace ppacd::bench

@@ -1,9 +1,24 @@
 /// \file bench_microkernels.cpp
 /// \brief google-benchmark timings of the substrate kernels: global
-/// placement, global routing, STA, and the three clustering engines. These
-/// are the per-stage costs behind Table 2's CPU column.
+/// placement, global routing, STA, and the clustering engines. These are the
+/// per-stage costs behind Table 2's CPU column.
+///
+/// Besides wall time, every kernel reports allocs/op and bytes/op measured
+/// through the counting operator new in alloc_count.cpp — the perf-regression
+/// harness watches both. `--json out.json` (conventionally BENCH_perf.json)
+/// writes a machine-readable report; tools/bench_diff.py compares two such
+/// reports and flags regressions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "alloc_count.hpp"
+#include "cluster/best_choice.hpp"
 #include "cluster/community.hpp"
 #include "cluster/fc_multilevel.hpp"
 #include "cluster/graph.hpp"
@@ -16,6 +31,7 @@
 #include "route/global_router.hpp"
 #include "sta/activity.hpp"
 #include "sta/sta.hpp"
+#include "telemetry/json.hpp"
 
 namespace {
 
@@ -45,8 +61,31 @@ Fixture& fixture() {
   return instance;
 }
 
+/// Sets allocs/op + bytes/op counters from the heap deltas over the scope's
+/// lifetime. Declare after the fixture is built and before the timed loop.
+class AllocCounters {
+ public:
+  explicit AllocCounters(benchmark::State& state)
+      : state_(state), start_(bench::alloc_snapshot()) {}
+  ~AllocCounters() {
+    const bench::AllocSnapshot d = bench::alloc_delta(start_);
+    const double iters =
+        std::max<double>(1.0, static_cast<double>(state_.iterations()));
+    state_.counters["allocs_per_op"] =
+        static_cast<double>(d.allocs) / iters;
+    state_.counters["bytes_per_op"] = static_cast<double>(d.bytes) / iters;
+  }
+  AllocCounters(const AllocCounters&) = delete;
+  AllocCounters& operator=(const AllocCounters&) = delete;
+
+ private:
+  benchmark::State& state_;
+  bench::AllocSnapshot start_;
+};
+
 void BM_GlobalPlacement(benchmark::State& state) {
   Fixture& f = fixture();
+  AllocCounters allocs(state);
   for (auto _ : state) {
     place::GlobalPlacer placer(f.model, place::GlobalPlacerOptions{});
     benchmark::DoNotOptimize(placer.run().hpwl_um);
@@ -60,6 +99,7 @@ void BM_IncrementalPlacement(benchmark::State& state) {
   Fixture& f = fixture();
   place::GlobalPlacer placer(f.model, place::GlobalPlacerOptions{});
   const auto seed = placer.run().placement;
+  AllocCounters allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(placer.run_incremental(seed).hpwl_um);
   }
@@ -68,6 +108,7 @@ BENCHMARK(BM_IncrementalPlacement)->Unit(benchmark::kMillisecond);
 
 void BM_GlobalRouting(benchmark::State& state) {
   Fixture& f = fixture();
+  AllocCounters allocs(state);
   for (auto _ : state) {
     route::GlobalRouter router(f.nl, f.positions, f.fp.core, route::RouteOptions{});
     benchmark::DoNotOptimize(router.run().wirelength_um);
@@ -80,6 +121,7 @@ void BM_Sta(benchmark::State& state) {
   sta::StaOptions options;
   options.clock_period_ps = 1800.0;
   options.cell_positions = &f.positions;
+  AllocCounters allocs(state);
   for (auto _ : state) {
     sta::Sta sta(f.nl, options);
     sta.run();
@@ -90,6 +132,7 @@ BENCHMARK(BM_Sta)->Unit(benchmark::kMillisecond);
 
 void BM_ActivityPropagation(benchmark::State& state) {
   Fixture& f = fixture();
+  AllocCounters allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         sta::propagate_activity(f.nl, sta::ActivityOptions{}).size());
@@ -97,8 +140,18 @@ void BM_ActivityPropagation(benchmark::State& state) {
 }
 BENCHMARK(BM_ActivityPropagation)->Unit(benchmark::kMillisecond);
 
+void BM_CliqueExpand(benchmark::State& state) {
+  Fixture& f = fixture();
+  AllocCounters allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::clique_expand(f.nl).total_edge_weight);
+  }
+}
+BENCHMARK(BM_CliqueExpand)->Unit(benchmark::kMillisecond);
+
 void BM_FcClustering(benchmark::State& state) {
   Fixture& f = fixture();
+  AllocCounters allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         cluster::fc_multilevel_cluster(f.nl, cluster::FcPpaInputs{},
@@ -108,9 +161,21 @@ void BM_FcClustering(benchmark::State& state) {
 }
 BENCHMARK(BM_FcClustering)->Unit(benchmark::kMillisecond);
 
+void BM_BestChoice(benchmark::State& state) {
+  Fixture& f = fixture();
+  AllocCounters allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::best_choice_cluster(f.nl, cluster::BestChoiceOptions{})
+            .cluster_count);
+  }
+}
+BENCHMARK(BM_BestChoice)->Unit(benchmark::kMillisecond);
+
 void BM_Louvain(benchmark::State& state) {
   Fixture& f = fixture();
   const cluster::Graph graph = cluster::clique_expand(f.nl);
+  AllocCounters allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         cluster::louvain(graph, cluster::CommunityOptions{}).community_count);
@@ -121,6 +186,7 @@ BENCHMARK(BM_Louvain)->Unit(benchmark::kMillisecond);
 void BM_Leiden(benchmark::State& state) {
   Fixture& f = fixture();
   const cluster::Graph graph = cluster::clique_expand(f.nl);
+  AllocCounters allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         cluster::leiden(graph, cluster::CommunityOptions{}).community_count);
@@ -130,12 +196,104 @@ BENCHMARK(BM_Leiden)->Unit(benchmark::kMillisecond);
 
 void BM_HierarchyClustering(benchmark::State& state) {
   Fixture& f = fixture();
+  AllocCounters allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(hier::hierarchy_clustering(f.nl).cluster_count);
   }
 }
 BENCHMARK(BM_HierarchyClustering)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json reporting
+// ---------------------------------------------------------------------------
+
+/// Console output as usual, plus an in-memory copy of every iteration run for
+/// the JSON report.
+class PerfReporter : public benchmark::ConsoleReporter {
+ public:
+  struct KernelRun {
+    std::string name;
+    double ns_per_op = 0.0;
+    double allocs_per_op = 0.0;
+    double bytes_per_op = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      KernelRun k;
+      k.name = run.benchmark_name();
+      k.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      k.ns_per_op = run.real_accumulated_time * 1e9 / iters;
+      const auto allocs = run.counters.find("allocs_per_op");
+      if (allocs != run.counters.end()) k.allocs_per_op = allocs->second;
+      const auto bytes = run.counters.find("bytes_per_op");
+      if (bytes != run.counters.end()) k.bytes_per_op = bytes->second;
+      kernels_.push_back(std::move(k));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<KernelRun>& kernels() const { return kernels_; }
+
+ private:
+  std::vector<KernelRun> kernels_;
+};
+
+bool write_perf_json(const std::string& path,
+                     const std::vector<PerfReporter::KernelRun>& kernels) {
+  telemetry::Json report = telemetry::Json::object();
+  report.set("schema", "ppacd-bench-perf-v1");
+  report.set("binary", "bench_microkernels");
+  telemetry::Json list = telemetry::Json::array();
+  for (const PerfReporter::KernelRun& k : kernels) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry.set("name", k.name);
+    entry.set("ns_per_op", k.ns_per_op);
+    entry.set("allocs_per_op", k.allocs_per_op);
+    entry.set("bytes_per_op", k.bytes_per_op);
+    entry.set("iterations", k.iterations);
+    list.push_back(std::move(entry));
+  }
+  report.set("kernels", std::move(list));
+  std::ofstream out(path);
+  if (!out) return false;
+  out << report.dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  PerfReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    if (!write_perf_json(json_path, reporter.kernels())) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("perf report written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -10,11 +10,59 @@
 /// millions of cells; our scaled designs stay tractable so measured values
 /// are printed, flagged with '*'.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
+#include "telemetry/json.hpp"
 
-int main() {
+namespace {
+
+/// One timed flow phase, reported in the same ppacd-bench-perf-v1 schema as
+/// bench_microkernels so tools/bench_diff.py can compare runs of either.
+struct PerfEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+};
+
+bool write_perf_json(const std::string& path,
+                     const std::vector<PerfEntry>& entries) {
+  using ppacd::telemetry::Json;
+  Json report = Json::object();
+  report.set("schema", "ppacd-bench-perf-v1");
+  report.set("binary", "bench_table2");
+  Json list = Json::array();
+  for (const PerfEntry& e : entries) {
+    Json entry = Json::object();
+    entry.set("name", e.name);
+    entry.set("ns_per_op", e.ns_per_op);
+    entry.set("allocs_per_op", 0.0);  // flow timers do not count allocations
+    entry.set("bytes_per_op", 0.0);
+    entry.set("iterations", static_cast<std::int64_t>(1));
+    list.push_back(std::move(entry));
+  }
+  report.set("kernels", std::move(list));
+  std::ofstream out(path);
+  if (!out) return false;
+  out << report.dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace ppacd;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  std::vector<PerfEntry> perf;
   util::Table table("Table 2: Post-place results with the OpenROAD-like flow "
                     "(normalized to Default)");
   table.set_header({"Design", "[9] HPWL", "[9] CPU", "Ours HPWL", "Ours CPU"});
@@ -67,6 +115,12 @@ int main() {
                  bench::fmt(blob_cpu, 4), bench::fmt(ours_hpwl, 4),
                  bench::fmt(ours_cpu, 4), bench::fmt(ours.place.shaping_seconds, 3),
                  std::to_string(ours.place.cluster_count)});
+    perf.push_back({"table2/" + std::string(spec.name) + "/default_place",
+                    def_cpu * 1e9});
+    perf.push_back({"table2/" + std::string(spec.name) + "/blob_cluster_place",
+                    cpu_of(blob) * 1e9});
+    perf.push_back({"table2/" + std::string(spec.name) + "/ours_cluster_place",
+                    cpu_of(ours) * 1e9});
   }
   table.print();
   bench::write_results(csv, "table2");
@@ -75,5 +129,12 @@ int main() {
               "Average CPU vs default: [9] %.2f, Ours %.2f (paper: ours ~0.64,\n"
               "i.e. 36%% average global-placement runtime improvement).\n",
               blob_cpu_sum / designs, ours_cpu_sum / designs);
+  if (!json_path.empty()) {
+    if (!write_perf_json(json_path, perf)) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("perf report written to %s\n", json_path.c_str());
+  }
   return 0;
 }

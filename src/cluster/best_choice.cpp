@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
-#include <unordered_map>
 
 #include "cluster/graph.hpp"
+#include "util/dense_scratch.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::cluster {
@@ -24,6 +24,16 @@ struct PqEntry {
   bool operator<(const PqEntry& other) const { return score < other.score; }
 };
 
+using Neighbor = Graph::Neighbor;
+
+/// First position in the sorted row whose id is >= `id`.
+std::vector<Neighbor>::iterator find_in_row(std::vector<Neighbor>& row,
+                                            std::int32_t id) {
+  return std::lower_bound(
+      row.begin(), row.end(), id,
+      [](const Neighbor& n, std::int32_t key) { return n.first < key; });
+}
+
 }  // namespace
 
 BestChoiceResult best_choice_cluster(const netlist::Netlist& nl,
@@ -36,14 +46,18 @@ BestChoiceResult best_choice_cluster(const netlist::Netlist& nl,
       options.target_cluster_count > 0 ? options.target_cluster_count
                                        : std::max<std::int32_t>(8, n / 15);
 
-  // Current clusters: adjacency (merged weights), area, alive flag, and the
-  // merge stamp used for lazy invalidation.
+  // Current clusters: sorted flat neighbor rows (merged weights), area, alive
+  // flag, and the merge stamp used for lazy invalidation. Sorted vectors keep
+  // the best-pair scan a contiguous sweep and make every tie-break follow
+  // ascending neighbor id.
   const Graph base = clique_expand(nl, options.max_net_degree);
-  std::vector<std::unordered_map<std::int32_t, double>> adj(
-      static_cast<std::size_t>(n));
+  std::vector<std::vector<Neighbor>> adj(static_cast<std::size_t>(n));
   for (std::int32_t v = 0; v < n; ++v) {
-    for (const auto& [u, w] : base.adjacency[static_cast<std::size_t>(v)]) {
-      if (u != v) adj[static_cast<std::size_t>(v)][u] += w;
+    const auto row = base.neighbors(v);
+    auto& out = adj[static_cast<std::size_t>(v)];
+    out.reserve(row.size());
+    for (const auto& [u, w] : row) {
+      if (u != v) out.emplace_back(u, w);  // already sorted + merged
     }
   }
   std::vector<double> area(static_cast<std::size_t>(n));
@@ -95,6 +109,12 @@ BestChoiceResult best_choice_cluster(const netlist::Netlist& nl,
   };
   for (std::int32_t v = 0; v < n; ++v) push_best(v);
 
+  // Reused merge scratch: union of two sorted rows, accumulated densely then
+  // re-emitted sorted. Steady-state merges allocate nothing.
+  util::DenseScratch<double> merged(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> merged_keys;
+  std::vector<Neighbor> merged_row;
+
   std::int32_t live_count = n;
   while (live_count > target && !queue.empty()) {
     const PqEntry top = queue.top();
@@ -114,28 +134,50 @@ BestChoiceResult best_choice_cluster(const netlist::Netlist& nl,
     parent[static_cast<std::size_t>(find(top.v))] = find(top.u);
     area[su] += area[sv];
     ++stamp[su];
+    // Rewire v's neighbors: their rows swap v for u (accumulating).
     for (const auto& [w_id, w] : adj[sv]) {
       if (w_id == top.u) continue;
-      adj[su][w_id] += w;
       auto& back = adj[static_cast<std::size_t>(w_id)];
-      back.erase(top.v);
-      back[top.u] += w;
+      const auto at_v = find_in_row(back, top.v);
+      assert(at_v != back.end() && at_v->first == top.v);
+      back.erase(at_v);
+      const auto at_u = find_in_row(back, top.u);
+      if (at_u != back.end() && at_u->first == top.u) {
+        at_u->second += w;
+      } else {
+        back.insert(at_u, Neighbor{top.u, w});
+      }
     }
-    adj[su].erase(top.v);
+    // u's row becomes the sorted union of both rows minus the pair itself.
+    merged.clear();
+    for (const auto& [x, w] : adj[su]) {
+      if (x != top.v) merged.add(x, w);
+    }
+    for (const auto& [x, w] : adj[sv]) {
+      if (x != top.u) merged.add(x, w);
+    }
+    merged_keys.assign(merged.keys().begin(), merged.keys().end());
+    std::sort(merged_keys.begin(), merged_keys.end());
+    merged_row.clear();
+    for (const std::int32_t x : merged_keys) {
+      merged_row.emplace_back(x, merged.get(x));
+    }
+    adj[su].assign(merged_row.begin(), merged_row.end());
+    adj[sv].clear();
     ++result.merges;
     --live_count;
     push_best(top.u);
   }
 
-  // Compact cluster ids.
-  std::unordered_map<std::int32_t, std::int32_t> remap;
+  // Compact cluster ids in first-occurrence order.
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(n), -1);
+  std::int32_t next = 0;
   for (std::int32_t v = 0; v < n; ++v) {
-    const std::int32_t root = find(v);
-    const auto [it, inserted] =
-        remap.emplace(root, static_cast<std::int32_t>(remap.size()));
-    result.cluster_of_cell[static_cast<std::size_t>(v)] = it->second;
+    std::int32_t& slot = remap[static_cast<std::size_t>(find(v))];
+    if (slot < 0) slot = next++;
+    result.cluster_of_cell[static_cast<std::size_t>(v)] = slot;
   }
-  result.cluster_count = static_cast<std::int32_t>(remap.size());
+  result.cluster_count = next;
   PPACD_LOG_DEBUG("bc") << nl.name() << ": " << result.cluster_count
                         << " clusters, " << result.merges << " merges, "
                         << result.stale_pops << " stale pops";

@@ -2,23 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
+#include "telemetry/telemetry.hpp"
+#include "util/csr.hpp"
+#include "util/dense_scratch.hpp"
 #include "util/rng.hpp"
 
 namespace ppacd::cluster {
 
 namespace {
 
-/// Compacts community ids to [0, count); returns count.
+/// Compacts community ids to [0, count) in first-occurrence order; returns
+/// count. Ids are bounded by the vertex count everywhere in this file, so a
+/// dense remap table replaces the old hash map.
 std::int32_t compact(std::vector<std::int32_t>& community) {
-  std::unordered_map<std::int32_t, std::int32_t> remap;
+  std::int32_t max_id = -1;
+  for (const std::int32_t c : community) max_id = std::max(max_id, c);
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(max_id + 1), -1);
+  std::int32_t next = 0;
   for (std::int32_t& c : community) {
-    const auto [it, inserted] =
-        remap.emplace(c, static_cast<std::int32_t>(remap.size()));
-    c = it->second;
+    std::int32_t& slot = remap[static_cast<std::size_t>(c)];
+    if (slot < 0) slot = next++;
+    c = slot;
   }
-  return static_cast<std::int32_t>(remap.size());
+  return next;
+}
+
+/// Buckets vertices by community id (stable: members stay in ascending
+/// vertex order), so per-community sweeps can stream members from one row.
+void bucket_by_community(const std::vector<std::int32_t>& community,
+                         std::int32_t count, util::Csr<std::int32_t>& members) {
+  members.start_rows(static_cast<std::size_t>(count));
+  for (const std::int32_t c : community) {
+    members.add_to_row(static_cast<std::size_t>(c));
+  }
+  members.commit_rows();
+  for (std::size_t v = 0; v < community.size(); ++v) {
+    members.push(static_cast<std::size_t>(community[v]),
+                 static_cast<std::int32_t>(v));
+  }
 }
 
 /// One round of Louvain-style local moving on `graph`, starting from
@@ -35,28 +57,31 @@ bool local_move(const Graph& graph, std::vector<std::int32_t>& community,
     k[static_cast<std::size_t>(v)] = graph.weighted_degree(v);
   }
 
-  std::unordered_map<std::int32_t, double> weight_to;
+  // Candidate communities are scanned in first-touch order (== neighbor row
+  // order), deterministic across stdlib versions.
+  util::DenseScratch<double> weight_to(
+      static_cast<std::size_t>(graph.vertex_count));
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool moved = false;
     for (const std::size_t vi : rng.permutation(static_cast<std::size_t>(graph.vertex_count))) {
       const std::int32_t v = static_cast<std::int32_t>(vi);
       const std::int32_t own = community[vi];
       weight_to.clear();
-      for (const auto& [u, w] : graph.adjacency[vi]) {
+      for (const auto& [u, w] : graph.neighbors(v)) {
         if (u == v) continue;
-        weight_to[community[static_cast<std::size_t>(u)]] += w;
+        weight_to.add(community[static_cast<std::size_t>(u)], w);
       }
       tot[static_cast<std::size_t>(own)] -= k[vi];
 
       std::int32_t best = own;
-      double best_gain = weight_to.count(own) > 0
-                             ? weight_to[own] - resolution * k[vi] *
-                                                    tot[static_cast<std::size_t>(own)] / m2
-                             : -resolution * k[vi] * tot[static_cast<std::size_t>(own)] / m2;
-      for (const auto& [c, w] : weight_to) {
+      double best_gain =
+          weight_to.get(own) -
+          resolution * k[vi] * tot[static_cast<std::size_t>(own)] / m2;
+      for (const std::int32_t c : weight_to.keys()) {
         if (c == own) continue;
         const double gain =
-            w - resolution * k[vi] * tot[static_cast<std::size_t>(c)] / m2;
+            weight_to.get(c) -
+            resolution * k[vi] * tot[static_cast<std::size_t>(c)] / m2;
         if (gain > best_gain + 1e-12) {
           best_gain = gain;
           best = c;
@@ -71,6 +96,7 @@ bool local_move(const Graph& graph, std::vector<std::int32_t>& community,
     }
     if (!moved) break;
   }
+  PPACD_COUNT("scratch.epoch.resets", static_cast<std::int64_t>(weight_to.resets()));
   return any_move;
 }
 
@@ -86,40 +112,35 @@ std::vector<double> community_totals(const Graph& graph,
 }
 
 /// Aggregates `graph` by `partition` (compact ids); coarse vertex = part.
+/// Builds the coarse CSR directly: vertices are bucketed by part, then each
+/// coarse row is accumulated in one scratch pass and emitted sorted by
+/// neighbor id. Summing both directions of every fine edge yields cross
+/// weights once per side and intra weights doubled — exactly the storage
+/// convention (self-loops carry doubled weight).
 Graph aggregate(const Graph& graph, const std::vector<std::int32_t>& partition,
                 std::int32_t part_count) {
   Graph coarse;
   coarse.vertex_count = part_count;
-  coarse.adjacency.resize(static_cast<std::size_t>(part_count));
-  std::unordered_map<std::int64_t, double> edges;  // (min,max) -> weight
-  for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
-    const std::int32_t pv = partition[static_cast<std::size_t>(v)];
-    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
-      if (u < v) continue;  // visit each undirected edge once
-      if (u == v) {
-        // Existing self-loop (stored with doubled weight): carry it over so
-        // coarse degrees stay consistent and later passes don't over-merge.
-        const std::int64_t self_key =
-            (static_cast<std::int64_t>(pv) << 32) | pv;
-        edges[self_key] += 0.5 * w;
-        continue;
+
+  util::Csr<std::int32_t> members;
+  bucket_by_community(partition, part_count, members);
+
+  util::DenseScratch<double> weight_to(static_cast<std::size_t>(part_count));
+  std::vector<std::int32_t> keys;
+  coarse.adjacency.start_append(static_cast<std::size_t>(part_count));
+  for (std::int32_t p = 0; p < part_count; ++p) {
+    weight_to.clear();
+    for (const std::int32_t v : members.row(static_cast<std::size_t>(p))) {
+      for (const auto& [u, w] : graph.neighbors(v)) {
+        weight_to.add(partition[static_cast<std::size_t>(u)], w);
       }
-      const std::int32_t pu = partition[static_cast<std::size_t>(u)];
-      const std::int64_t key =
-          (static_cast<std::int64_t>(std::min(pv, pu)) << 32) | std::max(pv, pu);
-      edges[key] += w;
     }
-  }
-  for (const auto& [key, w] : edges) {
-    const std::int32_t a = static_cast<std::int32_t>(key >> 32);
-    const std::int32_t b = static_cast<std::int32_t>(key & 0xffffffff);
-    if (a == b) {
-      // Self-loop: keep it so degrees stay consistent across levels.
-      coarse.adjacency[static_cast<std::size_t>(a)].emplace_back(a, 2.0 * w);
-    } else {
-      coarse.adjacency[static_cast<std::size_t>(a)].emplace_back(b, w);
-      coarse.adjacency[static_cast<std::size_t>(b)].emplace_back(a, w);
+    keys.assign(weight_to.keys().begin(), weight_to.keys().end());
+    std::sort(keys.begin(), keys.end());
+    for (const std::int32_t q : keys) {
+      coarse.adjacency.append({q, weight_to.get(q)});
     }
+    coarse.adjacency.end_row();
   }
   for (std::int32_t v = 0; v < part_count; ++v) {
     coarse.total_edge_weight += coarse.weighted_degree(v);
@@ -146,23 +167,25 @@ std::vector<std::int32_t> refine(const Graph& graph,
     tot[static_cast<std::size_t>(v)] = graph.weighted_degree(v);
   }
 
-  std::unordered_map<std::int32_t, double> weight_to;
+  util::DenseScratch<double> weight_to(
+      static_cast<std::size_t>(graph.vertex_count));
   for (const std::size_t vi : rng.permutation(static_cast<std::size_t>(graph.vertex_count))) {
     if (!is_singleton[vi]) continue;  // only singletons move (Leiden rule)
     const std::int32_t v = static_cast<std::int32_t>(vi);
     const double kv = graph.weighted_degree(v);
     weight_to.clear();
-    for (const auto& [u, w] : graph.adjacency[vi]) {
+    for (const auto& [u, w] : graph.neighbors(v)) {
       if (u == v) continue;
       if (community[static_cast<std::size_t>(u)] != community[vi]) continue;
-      weight_to[refined[static_cast<std::size_t>(u)]] += w;
+      weight_to.add(refined[static_cast<std::size_t>(u)], w);
     }
     std::int32_t best = refined[vi];
     double best_gain = 0.0;
-    for (const auto& [sub, w] : weight_to) {
+    for (const std::int32_t sub : weight_to.keys()) {
       if (sub == refined[vi]) continue;
       const double gain =
-          w - resolution * kv * tot[static_cast<std::size_t>(sub)] / m2;
+          weight_to.get(sub) -
+          resolution * kv * tot[static_cast<std::size_t>(sub)] / m2;
       if (gain > best_gain + 1e-12) {
         best_gain = gain;
         best = sub;
@@ -192,29 +215,32 @@ void absorb_small_communities(const Graph& graph,
                               int min_size) {
   if (min_size <= 1) return;
   std::int32_t count = compact(community);
+  util::Csr<std::int32_t> members;
+  util::DenseScratch<double> link(static_cast<std::size_t>(graph.vertex_count));
   for (int round = 0; round < 8; ++round) {
     std::vector<int> size(static_cast<std::size_t>(count), 0);
     for (const std::int32_t c : community) ++size[static_cast<std::size_t>(c)];
+    bucket_by_community(community, count, members);
+    // Each small community absorbs into the neighbour it connects to most
+    // strongly; members stream in ascending vertex order, so accumulation
+    // order matches the old single-pass map build.
     bool changed = false;
-    // Connection strength from each small community to others.
-    std::unordered_map<std::int64_t, double> link;
-    for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
-      const std::int32_t cv = community[static_cast<std::size_t>(v)];
-      if (size[static_cast<std::size_t>(cv)] >= min_size) continue;
-      for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
-        const std::int32_t cu = community[static_cast<std::size_t>(u)];
-        if (cu == cv) continue;
-        link[(static_cast<std::int64_t>(cv) << 32) | cu] += w;
-      }
-    }
     std::vector<std::int32_t> target(static_cast<std::size_t>(count), -1);
-    std::vector<double> best(static_cast<std::size_t>(count), 0.0);
-    for (const auto& [key, w] : link) {
-      const std::int32_t from = static_cast<std::int32_t>(key >> 32);
-      const std::int32_t to = static_cast<std::int32_t>(key & 0xffffffff);
-      if (w > best[static_cast<std::size_t>(from)]) {
-        best[static_cast<std::size_t>(from)] = w;
-        target[static_cast<std::size_t>(from)] = to;
+    for (std::int32_t cv = 0; cv < count; ++cv) {
+      if (size[static_cast<std::size_t>(cv)] >= min_size) continue;
+      link.clear();
+      for (const std::int32_t v : members.row(static_cast<std::size_t>(cv))) {
+        for (const auto& [u, w] : graph.neighbors(v)) {
+          const std::int32_t cu = community[static_cast<std::size_t>(u)];
+          if (cu != cv) link.add(cu, w);
+        }
+      }
+      double best = 0.0;
+      for (const std::int32_t cu : link.keys()) {
+        if (link.get(cu) > best) {
+          best = link.get(cu);
+          target[static_cast<std::size_t>(cv)] = cu;
+        }
       }
     }
     for (std::int32_t& c : community) {
@@ -316,7 +342,7 @@ double modularity(const Graph& graph, const std::vector<std::int32_t>& community
   for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
     const std::int32_t cv = community[static_cast<std::size_t>(v)];
     tot[static_cast<std::size_t>(cv)] += graph.weighted_degree(v);
-    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+    for (const auto& [u, w] : graph.neighbors(v)) {
       if (community[static_cast<std::size_t>(u)] == cv) {
         in[static_cast<std::size_t>(cv)] += w;  // counted twice overall
       }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <unordered_map>
 
 #include "cluster/ppa_costs.hpp"
+#include "netlist/flat.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/csr.hpp"
+#include "util/dense_scratch.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -14,28 +16,35 @@ namespace ppacd::cluster {
 
 namespace {
 
-/// One hyperedge at the current coarsening level. `fixed_cost` carries
-/// alpha*w_e + beta*t_e from the flat netlist; `theta` carries the switching
-/// activity so s_e can be re-evaluated per level (the Eq. 2 normalization
-/// depends on the surviving edge set).
-struct Edge {
-  double fixed_cost = 0.0;
-  double theta = 0.0;
-  std::vector<std::int32_t> vertices;
-};
-
+/// One coarsening level. Hyperedges live in two flat CSRs (edge -> sorted
+/// unique vertices, vertex -> incident edge ids) with parallel per-edge cost
+/// arrays; `fixed_cost` carries alpha*w_e + beta*t_e from the flat netlist
+/// and `theta` the switching activity, so s_e can be re-evaluated per level
+/// (the Eq. 2 normalization depends on the surviving edge set). Two
+/// LevelGraphs ping-pong across levels, so contraction reuses buffers
+/// instead of reallocating every pass.
 struct LevelGraph {
   std::int32_t vertex_count = 0;
   std::vector<double> area;
   std::vector<std::int32_t> community;
-  std::vector<Edge> edges;
-  std::vector<std::vector<std::int32_t>> incident;  ///< vertex -> edge ids
+  std::vector<double> edge_fixed_cost;
+  std::vector<double> edge_theta;
+  util::Csr<std::int32_t> edge_vertices;  ///< edge -> sorted unique vertices
+  util::Csr<std::int32_t> incident;       ///< vertex -> incident edge ids
+
+  std::size_t edge_count() const { return edge_vertices.rows(); }
 
   void rebuild_incidence() {
-    incident.assign(static_cast<std::size_t>(vertex_count), {});
-    for (std::size_t ei = 0; ei < edges.size(); ++ei) {
-      for (const std::int32_t v : edges[ei].vertices) {
-        incident[static_cast<std::size_t>(v)].push_back(static_cast<std::int32_t>(ei));
+    incident.start_rows(static_cast<std::size_t>(vertex_count));
+    for (std::size_t ei = 0; ei < edge_count(); ++ei) {
+      for (const std::int32_t v : edge_vertices.row(ei)) {
+        incident.add_to_row(static_cast<std::size_t>(v));
+      }
+    }
+    incident.commit_rows();
+    for (std::size_t ei = 0; ei < edge_count(); ++ei) {
+      for (const std::int32_t v : edge_vertices.row(ei)) {
+        incident.push(static_cast<std::size_t>(v), static_cast<std::int32_t>(ei));
       }
     }
   }
@@ -97,27 +106,28 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
   const bool use_timing = options.use_timing && ppa.net_timing_cost != nullptr;
   const bool use_switching = options.use_switching && ppa.net_switching != nullptr;
 
+  const netlist::FlatConnectivity flat = netlist::FlatConnectivity::build(nl);
+  std::vector<std::int32_t> verts;  // reused per-edge vertex scratch
+  level.edge_vertices.start_append(nl.net_count(),
+                                   flat.net_cells.value_count());
   for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
     if (net.is_clock) continue;
-    Edge edge;
-    for (const netlist::PinId pid : net.pins) {
-      const netlist::Pin& pin = nl.pin(pid);
-      if (pin.kind == netlist::PinKind::kCellPin) edge.vertices.push_back(pin.cell);
-    }
-    std::sort(edge.vertices.begin(), edge.vertices.end());
-    edge.vertices.erase(std::unique(edge.vertices.begin(), edge.vertices.end()),
-                        edge.vertices.end());
-    if (edge.vertices.size() < 2 ||
-        edge.vertices.size() > static_cast<std::size_t>(options.max_net_degree)) {
+    const auto members = flat.net_cells.row(ni);
+    verts.assign(members.begin(), members.end());
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    if (verts.size() < 2 ||
+        verts.size() > static_cast<std::size_t>(options.max_net_degree)) {
       continue;
     }
-    edge.fixed_cost = options.alpha * net.weight;
+    level.edge_vertices.append_row(verts);
+    double fixed_cost = options.alpha * net.weight;
     if (use_timing) {
-      edge.fixed_cost += options.beta * (*ppa.net_timing_cost)[ni];
+      fixed_cost += options.beta * (*ppa.net_timing_cost)[ni];
     }
-    if (use_switching) edge.theta = (*ppa.net_switching)[ni];
-    level.edges.push_back(std::move(edge));
+    level.edge_fixed_cost.push_back(fixed_cost);
+    level.edge_theta.push_back(use_switching ? (*ppa.net_switching)[ni] : 0.0);
   }
 
   // Mapping from original cells to current-level vertices.
@@ -129,25 +139,27 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
   util::Rng rng(options.seed);
   bool allow_cross_community = !use_grouping;
 
+  // Scratch reused across every level: neighbour-cluster ratings, the
+  // contraction dedupe stamps, and the ping-pong coarse graph.
+  util::DenseScratch<double> rating(static_cast<std::size_t>(n_cells));
+  util::DenseScratch<char> seen(static_cast<std::size_t>(n_cells));
+  LevelGraph coarse;
+
   for (int pass = 0; pass < options.max_levels; ++pass) {
     if (level.vertex_count <= target) break;
     PPACD_SPAN(level_span, "cluster.fc.level");
     PPACD_SPAN_ATTR(level_span, "level", pass);
     PPACD_SPAN_ATTR(level_span, "vertices", level.vertex_count);
-    PPACD_SPAN_ATTR(level_span, "edges", level.edges.size());
+    PPACD_SPAN_ATTR(level_span, "edges", level.edge_count());
     level.rebuild_incidence();
 
     // Per-level switching costs (Eq. 2 over the surviving edges).
     std::vector<double> s_e;
     if (use_switching) {
-      std::vector<double> theta(level.edges.size());
-      for (std::size_t ei = 0; ei < level.edges.size(); ++ei) {
-        theta[ei] = level.edges[ei].theta;
-      }
-      s_e = switching_costs(theta, options.mu);
+      s_e = switching_costs(level.edge_theta, options.mu);
     }
     auto edge_cost = [&](std::size_t ei) {
-      return level.edges[ei].fixed_cost +
+      return level.edge_fixed_cost[ei] +
              (use_switching ? options.gamma * s_e[ei] : 0.0);
     };
 
@@ -156,7 +168,6 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
     std::int32_t merges = 0;
     const std::int32_t merge_budget = level.vertex_count - target;
 
-    std::unordered_map<std::int32_t, double> rating;
     for (const std::size_t vi :
          rng.permutation(static_cast<std::size_t>(level.vertex_count))) {
       if (merges >= merge_budget) break;
@@ -164,20 +175,21 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
       const std::int32_t u_root = uf.find(u);
 
       rating.clear();
-      for (const std::int32_t ei : level.incident[vi]) {
-        const Edge& edge = level.edges[static_cast<std::size_t>(ei)];
+      for (const std::int32_t ei : level.incident.row(vi)) {
+        const auto edge = level.edge_vertices.row(static_cast<std::size_t>(ei));
         const double contrib = edge_cost(static_cast<std::size_t>(ei)) /
-                               static_cast<double>(edge.vertices.size() - 1);
-        for (const std::int32_t v : edge.vertices) {
+                               static_cast<double>(edge.size() - 1);
+        for (const std::int32_t v : edge) {
           const std::int32_t v_root = uf.find(v);
           if (v_root == u_root) continue;
-          rating[v_root] += contrib;
+          rating.add(v_root, contrib);
         }
       }
 
       std::int32_t best = -1;
       double best_rating = 0.0;
-      for (const auto& [v_root, r] : rating) {
+      for (const std::int32_t v_root : rating.keys()) {
+        const double r = rating.get(v_root);
         if (r <= best_rating) continue;
         if (cluster_area[static_cast<std::size_t>(u_root)] +
                 cluster_area[static_cast<std::size_t>(v_root)] >
@@ -230,7 +242,6 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
       }
       compact[static_cast<std::size_t>(v)] = compact[static_cast<std::size_t>(root)];
     }
-    LevelGraph coarse;
     coarse.vertex_count = next;
     coarse.area.assign(static_cast<std::size_t>(next), 0.0);
     coarse.community.assign(static_cast<std::size_t>(next), 0);
@@ -240,19 +251,30 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
       coarse.community[static_cast<std::size_t>(c)] =
           level.community[static_cast<std::size_t>(v)];
     }
-    for (Edge& edge : level.edges) {
-      for (std::int32_t& v : edge.vertices) {
-        v = compact[static_cast<std::size_t>(v)];
+    // Remap each edge's vertices, dropping duplicates with epoch stamps (the
+    // row was unique before merging, so only collapsed clusters repeat); the
+    // small surviving set is then sorted to keep rows canonical.
+    coarse.edge_fixed_cost.clear();
+    coarse.edge_theta.clear();
+    coarse.edge_vertices.start_append(level.edge_count(),
+                                      level.edge_vertices.value_count());
+    for (std::size_t ei = 0; ei < level.edge_count(); ++ei) {
+      seen.clear();
+      verts.clear();
+      for (const std::int32_t v : level.edge_vertices.row(ei)) {
+        const std::int32_t c = compact[static_cast<std::size_t>(v)];
+        if (!seen.test_and_set(c)) verts.push_back(c);
       }
-      std::sort(edge.vertices.begin(), edge.vertices.end());
-      edge.vertices.erase(std::unique(edge.vertices.begin(), edge.vertices.end()),
-                          edge.vertices.end());
-      if (edge.vertices.size() >= 2) coarse.edges.push_back(std::move(edge));
+      if (verts.size() < 2) continue;
+      std::sort(verts.begin(), verts.end());
+      coarse.edge_vertices.append_row(verts);
+      coarse.edge_fixed_cost.push_back(level.edge_fixed_cost[ei]);
+      coarse.edge_theta.push_back(level.edge_theta[ei]);
     }
     for (std::int32_t& p : projection) {
       p = compact[static_cast<std::size_t>(p)];
     }
-    level = std::move(coarse);
+    std::swap(level, coarse);
     ++result.levels;
   }
 
@@ -285,6 +307,8 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
     result.singleton_count = 0;
   }
 
+  PPACD_COUNT("scratch.epoch.resets",
+              static_cast<std::int64_t>(rating.resets() + seen.resets()));
   PPACD_GAUGE_SET("cluster.fc.clusters", result.cluster_count);
   PPACD_GAUGE_SET("cluster.fc.singletons", result.singleton_count);
   PPACD_SPAN_ATTR(fc_span, "clusters", result.cluster_count);

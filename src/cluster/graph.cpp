@@ -1,47 +1,97 @@
 #include "cluster/graph.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "netlist/flat.hpp"
+#include "util/dense_scratch.hpp"
 
 namespace ppacd::cluster {
+
+namespace {
+
+/// Merges parallel edges of `raw` row-by-row (accumulation in row order, so
+/// sums match the pre-CSR map-based merge bit for bit) and emits rows sorted
+/// by neighbor id into `out`.
+void merge_rows(const util::Csr<Graph::Neighbor>& raw,
+                util::Csr<Graph::Neighbor>& out) {
+  const std::size_t n = raw.rows();
+  util::DenseScratch<double> merged(n);
+  std::vector<std::int32_t> keys;
+  out.start_append(n, raw.value_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    merged.clear();
+    for (const auto& [u, w] : raw.row(v)) merged.add(u, w);
+    keys.assign(merged.keys().begin(), merged.keys().end());
+    std::sort(keys.begin(), keys.end());
+    for (const std::int32_t u : keys) out.append({u, merged.get(u)});
+    out.end_row();
+  }
+}
+
+}  // namespace
+
+Graph GraphBuilder::build() {
+  Graph graph;
+  graph.vertex_count = vertex_count_;
+  util::Csr<Graph::Neighbor> raw;
+  raw.start_append(rows_.size());
+  for (const auto& row : rows_) raw.append_row(row);
+  merge_rows(raw, graph.adjacency);
+  for (std::int32_t v = 0; v < vertex_count_; ++v) {
+    graph.total_edge_weight += graph.weighted_degree(v);
+  }
+  graph.total_edge_weight *= 0.5;
+  return graph;
+}
 
 Graph clique_expand(const netlist::Netlist& nl, int max_net_degree) {
   Graph graph;
   graph.vertex_count = static_cast<std::int32_t>(nl.cell_count());
-  graph.adjacency.resize(nl.cell_count());
 
-  // Accumulate pairwise weights; use a per-vertex map pass at the end to
-  // merge parallel edges.
+  const netlist::FlatConnectivity flat = netlist::FlatConnectivity::build(nl);
+
+  // Eligible nets -> sorted unique member cells, plus the clique pair weight.
+  util::Csr<std::int32_t> net_unique;
+  net_unique.start_append(nl.net_count(), flat.net_cells.value_count());
+  std::vector<double> net_weight;
+  std::vector<std::int32_t> cells;
   for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
     if (net.is_clock) continue;
-    std::vector<std::int32_t> cells;
-    for (const netlist::PinId pid : net.pins) {
-      const netlist::Pin& pin = nl.pin(pid);
-      if (pin.kind == netlist::PinKind::kCellPin) cells.push_back(pin.cell);
-    }
+    const auto members = flat.net_cells.row(ni);
+    cells.assign(members.begin(), members.end());
     std::sort(cells.begin(), cells.end());
     cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
     const std::size_t k = cells.size();
     if (k < 2 || k > static_cast<std::size_t>(max_net_degree)) continue;
-    const double w = net.weight / static_cast<double>(k - 1);
-    for (std::size_t i = 0; i < k; ++i) {
-      for (std::size_t j = i + 1; j < k; ++j) {
-        graph.adjacency[static_cast<std::size_t>(cells[i])].emplace_back(cells[j], w);
-        graph.adjacency[static_cast<std::size_t>(cells[j])].emplace_back(cells[i], w);
+    net_unique.append_row(cells);
+    net_weight.push_back(net.weight / static_cast<double>(k - 1));
+  }
+
+  // Count, then fill, the unmerged pairwise expansion: every member of a
+  // k-cell net gains k-1 entries. Emission order matches the old
+  // vector-of-vectors push_back order, which fixes the merge sum order below.
+  util::Csr<Graph::Neighbor> raw;
+  raw.start_rows(nl.cell_count());
+  for (std::size_t ei = 0; ei < net_unique.rows(); ++ei) {
+    const auto row = net_unique.row(ei);
+    for (const std::int32_t c : row) {
+      raw.add_to_row(static_cast<std::size_t>(c), row.size() - 1);
+    }
+  }
+  raw.commit_rows();
+  for (std::size_t ei = 0; ei < net_unique.rows(); ++ei) {
+    const auto row = net_unique.row(ei);
+    const double w = net_weight[ei];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        raw.push(static_cast<std::size_t>(row[i]), {row[j], w});
+        raw.push(static_cast<std::size_t>(row[j]), {row[i], w});
       }
     }
   }
 
-  // Merge parallel edges.
-  std::unordered_map<std::int32_t, double> merged;
-  for (auto& list : graph.adjacency) {
-    if (list.size() < 2) continue;
-    merged.clear();
-    for (const auto& [u, w] : list) merged[u] += w;
-    list.assign(merged.begin(), merged.end());
-    std::sort(list.begin(), list.end());
-  }
+  merge_rows(raw, graph.adjacency);
   for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
     graph.total_edge_weight += graph.weighted_degree(v);
   }

@@ -7,29 +7,64 @@
 /// hyperedge e becomes a clique over its cells with edge weight
 /// w_e / (|e| - 1) [16]. Clock nets and very-high-fanout nets are skipped,
 /// as is conventional for placement-relevant clustering.
+///
+/// Adjacency lives in one flat CSR (offsets + payload) instead of a vector
+/// per vertex: the community/coarsening sweeps stream neighbor rows out of a
+/// single allocation. Rows are sorted by neighbor id, with parallel edges
+/// merged by weight accumulation.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/csr.hpp"
 
 namespace ppacd::cluster {
 
-/// Undirected weighted graph in adjacency-list form. Parallel edges from
-/// different nets are merged by weight accumulation.
+/// Undirected weighted graph in CSR adjacency form.
 struct Graph {
+  /// (neighbor id, weight); rows are sorted by neighbor id.
+  using Neighbor = std::pair<std::int32_t, double>;
+
   std::int32_t vertex_count = 0;
-  /// adj[v] = (neighbor, weight); each undirected edge appears twice.
-  std::vector<std::vector<std::pair<std::int32_t, double>>> adjacency;
+  /// Row v = neighbors of v; each undirected edge appears in both rows.
+  /// Self-loops appear once, stored with doubled weight (degree convention).
+  util::Csr<Neighbor> adjacency;
   double total_edge_weight = 0.0;  ///< sum over undirected edges (each once)
+
+  std::span<const Neighbor> neighbors(std::int32_t v) const {
+    return adjacency.row(static_cast<std::size_t>(v));
+  }
 
   double weighted_degree(std::int32_t v) const {
     double sum = 0.0;
-    for (const auto& [u, w] : adjacency[static_cast<std::size_t>(v)]) sum += w;
+    for (const auto& [u, w] : neighbors(v)) sum += w;
     return sum;
   }
+};
+
+/// Edge-list construction for tests and non-hot callers: accumulates parallel
+/// edges, then emits sorted CSR rows and the total edge weight.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::int32_t vertex_count)
+      : rows_(static_cast<std::size_t>(vertex_count)),
+        vertex_count_(vertex_count) {}
+
+  /// Undirected edge a-b (a != b) with weight w; parallel calls accumulate.
+  void add_edge(std::int32_t a, std::int32_t b, double w) {
+    rows_[static_cast<std::size_t>(a)].emplace_back(b, w);
+    rows_[static_cast<std::size_t>(b)].emplace_back(a, w);
+  }
+
+  Graph build();
+
+ private:
+  std::vector<std::vector<Graph::Neighbor>> rows_;
+  std::int32_t vertex_count_ = 0;
 };
 
 /// Builds the clique expansion over cells (vertex id == CellId). Nets with

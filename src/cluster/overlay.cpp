@@ -67,7 +67,7 @@ CutOverlayResult cut_overlay_cluster(const netlist::Netlist& nl,
       for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
         const std::int32_t cv = result.cluster_of_cell[static_cast<std::size_t>(v)];
         if (size[static_cast<std::size_t>(cv)] >= options.min_fragment_size) continue;
-        for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+        for (const auto& [u, w] : graph.neighbors(v)) {
           const std::int32_t cu = result.cluster_of_cell[static_cast<std::size_t>(u)];
           if (cu != cv) link[(static_cast<std::int64_t>(cv) << 32) | cu] += w;
         }

@@ -49,7 +49,7 @@ struct Pool {
 
   // --- Current region (one at a time; callers serialize on region_mutex) ---
   std::mutex region_mutex;
-  const std::function<void(std::size_t)>* fn = nullptr;
+  const detail::ChunkFnRef* fn = nullptr;
   std::vector<std::deque<std::size_t>> queues;  ///< one chunk deque per lane
   std::size_t pending = 0;                      ///< chunks not yet finished
   std::atomic<bool> failed{false};
@@ -107,7 +107,7 @@ void drain_region(Pool& pool, std::unique_lock<std::mutex>& lock,
     std::size_t chunk = 0;
     bool stolen = false;
     if (!claim_chunk(pool, lane, &chunk, &stolen)) break;
-    const std::function<void(std::size_t)>* fn = pool.fn;
+    const detail::ChunkFnRef* fn = pool.fn;
     lock.unlock();
     if (stolen) ++steals;
     ++executed;
@@ -209,8 +209,7 @@ bool inside_parallel_region() { return t_in_region; }
 
 namespace detail {
 
-void run_chunks(std::size_t chunk_count,
-                const std::function<void(std::size_t)>& chunk_fn) {
+void run_chunks(std::size_t chunk_count, const ChunkFnRef& chunk_fn) {
   if (chunk_count == 0) return;
   Pool& state = pool();
   // Nested region (issued from inside a chunk, on a worker or on the caller

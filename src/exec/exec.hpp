@@ -64,10 +64,29 @@ bool inside_parallel_region();
 
 namespace detail {
 
+/// Non-owning view of the region body. run_chunks only borrows the caller's
+/// lambda for the duration of the (blocking) region, so issuing a parallel
+/// region never heap-allocates — a std::function parameter would copy the
+/// capture onto the heap on every parallel_for call on a hot path.
+class ChunkFnRef {
+ public:
+  template <typename Fn>
+  ChunkFnRef(const Fn& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* ctx, std::size_t c) {
+          (*static_cast<const Fn*>(ctx))(c);
+        }) {}
+
+  void operator()(std::size_t chunk) const { call_(ctx_, chunk); }
+
+ private:
+  void* ctx_;
+  void (*call_)(void*, std::size_t);
+};
+
 /// Runs chunk_fn(0..chunk_count-1) across the pool; blocks until all chunks
 /// finish. Rethrows the first chunk exception after the region drains.
-void run_chunks(std::size_t chunk_count,
-                const std::function<void(std::size_t)>& chunk_fn);
+void run_chunks(std::size_t chunk_count, const ChunkFnRef& chunk_fn);
 
 /// Number of chunks for `n` items at the given grain (grain 0 acts as 1).
 inline std::size_t chunk_count_for(std::size_t n, std::size_t grain) {

@@ -48,7 +48,7 @@ SimpleGraph to_simple(const cluster::Graph& graph) {
   simple.n = graph.vertex_count;
   simple.neighbors.resize(static_cast<std::size_t>(graph.vertex_count));
   for (std::int32_t v = 0; v < graph.vertex_count; ++v) {
-    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+    for (const auto& [u, w] : graph.neighbors(v)) {
       (void)w;
       if (u != v) simple.neighbors[static_cast<std::size_t>(v)].push_back(u);
     }
@@ -142,7 +142,7 @@ ClusterGraph extract_cluster_graph(const netlist::Netlist& nl,
   // --- Normalized adjacency for the conv: D^-1/2 (A + I) D^-1/2 -------------
   std::vector<double> degree_w(n, 1.0);  // +1 self-loop
   for (std::size_t v = 0; v < n; ++v) {
-    for (const auto& [u, w] : graph.adjacency[v]) {
+    for (const auto& [u, w] : graph.neighbors(static_cast<std::int32_t>(v))) {
       if (u != static_cast<std::int32_t>(v)) degree_w[v] += w;
     }
   }
@@ -150,7 +150,7 @@ ClusterGraph extract_cluster_graph(const netlist::Netlist& nl,
   for (std::size_t v = 0; v < n; ++v) {
     out.adjacency[v].emplace_back(static_cast<std::int32_t>(v),
                                   1.0 / degree_w[v]);
-    for (const auto& [u, w] : graph.adjacency[v]) {
+    for (const auto& [u, w] : graph.neighbors(static_cast<std::int32_t>(v))) {
       if (u == static_cast<std::int32_t>(v)) continue;
       out.adjacency[v].emplace_back(
           u, w / std::sqrt(degree_w[v] * degree_w[static_cast<std::size_t>(u)]));

@@ -1,0 +1,28 @@
+#include "netlist/flat.hpp"
+
+namespace ppacd::netlist {
+
+FlatConnectivity FlatConnectivity::build(const Netlist& nl) {
+  FlatConnectivity flat;
+  const std::size_t nets = nl.net_count();
+  flat.net_cells.start_rows(nets);
+  for (std::size_t ni = 0; ni < nets; ++ni) {
+    const Net& net = nl.net(static_cast<NetId>(ni));
+    std::size_t cells = 0;
+    for (const PinId pid : net.pins) {
+      if (nl.pin(pid).kind == PinKind::kCellPin) ++cells;
+    }
+    flat.net_cells.add_to_row(ni, cells);
+  }
+  flat.net_cells.commit_rows();
+  for (std::size_t ni = 0; ni < nets; ++ni) {
+    const Net& net = nl.net(static_cast<NetId>(ni));
+    for (const PinId pid : net.pins) {
+      const Pin& pin = nl.pin(pid);
+      if (pin.kind == PinKind::kCellPin) flat.net_cells.push(ni, pin.cell);
+    }
+  }
+  return flat;
+}
+
+}  // namespace ppacd::netlist

@@ -1,0 +1,27 @@
+/// \file flat.hpp
+/// \brief Flat CSR view of netlist connectivity for the clustering kernels.
+///
+/// The object-model path (`net.pins` -> `nl.pin(id)` -> `pin.cell`) chases a
+/// bounds-checked pointer per pin; the clustering engines walk every net many
+/// times, so they pay it on every visit. `FlatConnectivity` materializes the
+/// net -> member-cell relation once into a `util::Csr`, preserving pin order
+/// per net so conversions stay bit-identical with the object-model loop.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "util/csr.hpp"
+
+namespace ppacd::netlist {
+
+struct FlatConnectivity {
+  /// Row per net: member cell ids in pin order (cell pins only; top ports
+  /// are dropped). Cells are NOT deduplicated — multi-pin membership shows
+  /// up as repeats, exactly like the pin loop it replaces.
+  util::Csr<std::int32_t> net_cells;
+
+  static FlatConnectivity build(const Netlist& nl);
+};
+
+}  // namespace ppacd::netlist

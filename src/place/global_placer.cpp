@@ -3,9 +3,11 @@
 #include <algorithm>
 #include "util/assert.hpp"
 #include <cmath>
+#include <span>
 
 #include "exec/exec.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/arena.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::place {
@@ -23,7 +25,7 @@ constexpr std::size_t kObjGrain = 2048;   ///< objects per density chunk
 constexpr std::size_t kMaxAreaChunks = 16;
 
 /// Deterministic chunked dot product (ordered reduction).
-double dot(const std::vector<double>& a, const std::vector<double>& b) {
+double dot(std::span<const double> a, std::span<const double> b) {
   return exec::parallel_reduce(
       0, a.size(), kVecGrain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
@@ -34,11 +36,14 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
       [](double x, double y) { return x + y; });
 }
 
+}  // namespace
+
 /// Sparse symmetric system assembled per direction: diagonal + off-diagonal
 /// triplets over dense movable indices, with right-hand side. finalize()
 /// builds a CSR row adjacency so multiply() can run row-parallel: each row
 /// gathers its neighbours in a fixed per-row order, so the result does not
-/// depend on the thread count.
+/// depend on the thread count. reset() keeps every buffer's capacity, so one
+/// instance reused across iterations assembles without allocating.
 struct QuadSystem {
   std::vector<double> diag;
   std::vector<double> rhs;
@@ -52,8 +57,14 @@ struct QuadSystem {
   std::vector<std::int32_t> row_ptr;
   std::vector<std::int32_t> col;
   std::vector<double> weight;
+  std::vector<std::int32_t> cursor;  ///< finalize() scratch, capacity reused
 
-  explicit QuadSystem(std::size_t n) : diag(n, 0.0), rhs(n, 0.0) { off.reserve(n * 4); }
+  void reset(std::size_t n) {
+    diag.assign(n, 0.0);
+    rhs.assign(n, 0.0);
+    off.clear();
+    off.reserve(n * 4);
+  }
 
   void add_edge_movable(std::int32_t i, std::int32_t j, double w) {
     diag[static_cast<std::size_t>(i)] += w;
@@ -77,7 +88,7 @@ struct QuadSystem {
     for (std::size_t i = 0; i < n; ++i) row_ptr[i + 1] += row_ptr[i];
     col.resize(static_cast<std::size_t>(row_ptr[n]));
     weight.resize(col.size());
-    std::vector<std::int32_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    cursor.assign(row_ptr.begin(), row_ptr.end() - 1);
     for (const OffDiag& e : off) {
       const std::size_t si = static_cast<std::size_t>(e.i);
       const std::size_t sj = static_cast<std::size_t>(e.j);
@@ -88,7 +99,7 @@ struct QuadSystem {
     }
   }
 
-  void multiply(const std::vector<double>& x, std::vector<double>& out) const {
+  void multiply(std::span<const double> x, std::span<double> out) const {
     exec::parallel_for(0, diag.size(), kRowGrain, [&](std::size_t i) {
       double acc = diag[i] * x[i];
       const std::size_t lo = static_cast<std::size_t>(row_ptr[i]);
@@ -101,14 +112,46 @@ struct QuadSystem {
   }
 };
 
+/// Per-placer reusable buffers (pimpl behind GlobalPlacer::scratch_). One
+/// instance lives as long as the placer, so the optimize loop — B2B assembly,
+/// CG, density accumulation, cell shifting — allocates nothing in steady
+/// state: every vector keeps its capacity and the CG vectors come from a
+/// bump arena that is reset (not freed) between solves.
+struct PlacerScratch {
+  /// One parallel-assembly contribution (see solve_direction).
+  struct AsmOp {
+    std::int32_t i;
+    std::int32_t j;  ///< movable partner, or -1 for a fixed edge
+    double w;
+    double coord;  ///< fixed coordinate when j == -1
+  };
+
+  QuadSystem system;                         ///< per-direction quadratic system
+  std::vector<std::vector<AsmOp>> chunk_ops; ///< per-chunk assembly op lists
+  std::vector<double> x;                     ///< CG solution vector
+  util::Arena cg_arena;                      ///< CG residual/direction buffers
+  std::vector<double> spread_area;           ///< per-bin area in spread()
+  std::vector<double> lane_util;             ///< per-lane bin utilization rows
+  std::vector<double> lane_nb;               ///< per-lane new-boundary rows
+  std::vector<std::vector<double>> area_chunks; ///< accumulate_area partials
+  std::vector<double> measure_area;          ///< measure_overflow() bins
+};
+
+namespace {
+
 /// Jacobi-preconditioned conjugate gradient; solves A x = b in place. The
 /// mat-vec is row-parallel and every dot product reduces in fixed chunk
 /// order, so the iterate sequence is bit-identical for any thread count.
+/// The four work vectors live in `arena`, reset (capacity kept) per call.
 void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
-              double tolerance) {
+              double tolerance, util::Arena& arena) {
   const std::size_t n = x.size();
   if (n == 0) return;
-  std::vector<double> r(n), z(n), p(n), ap(n);
+  arena.reset();
+  const std::span<double> r = arena.alloc<double>(n);
+  const std::span<double> z = arena.alloc<double>(n);
+  const std::span<double> p = arena.alloc<double>(n);
+  const std::span<double> ap = arena.alloc<double>(n);
 
   system.multiply(x, ap);
   exec::parallel_for(0, n, kVecGrain,
@@ -116,7 +159,7 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   double b_norm = std::sqrt(dot(system.rhs, system.rhs));
   if (b_norm == 0.0) b_norm = 1.0;
 
-  auto precond = [&system](const std::vector<double>& in, std::vector<double>& out) {
+  auto precond = [&system](std::span<const double> in, std::span<double> out) {
     exec::parallel_for(0, in.size(), kVecGrain, [&](std::size_t i) {
       const double d = system.diag[i];
       out[i] = d > 0.0 ? in[i] / d : in[i];
@@ -124,7 +167,7 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   };
 
   precond(r, z);
-  p = z;
+  std::copy(z.begin(), z.end(), p.begin());
   double rz = dot(r, z);
 
   for (int iter = 0; iter < max_iters; ++iter) {
@@ -190,7 +233,11 @@ GlobalPlacer::GlobalPlacer(const PlaceModel& model,
       }
     }
   }
+
+  scratch_ = std::make_unique<PlacerScratch>();
 }
+
+GlobalPlacer::~GlobalPlacer() = default;
 
 void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
                                    const Placement& anchor_targets,
@@ -198,25 +245,22 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
                                    const Placement* seed_anchor) {
   const PlaceModel& model = *model_;
   const std::size_t n = movable_objects_.size();
-  QuadSystem system(n);
+  QuadSystem& system = scratch_->system;
+  system.reset(n);
   auto coord = [x_dir](const geom::Point& p) { return x_dir ? p.x : p.y; };
 
   // Parallel B2B assembly: each net chunk records its contributions as an
   // ordered op list; applying the lists in ascending chunk order replays the
   // serial assembly exactly (same additions, same floating-point order).
-  struct AsmOp {
-    std::int32_t i;
-    std::int32_t j;  ///< movable partner, or -1 for a fixed edge
-    double w;
-    double coord;  ///< fixed coordinate when j == -1
-  };
+  using AsmOp = PlacerScratch::AsmOp;
   const std::size_t net_count = model.nets.size();
-  std::vector<std::vector<AsmOp>> chunk_ops(
-      exec::detail::chunk_count_for(net_count, kNetGrain));
+  std::vector<std::vector<AsmOp>>& chunk_ops = scratch_->chunk_ops;
+  chunk_ops.resize(exec::detail::chunk_count_for(net_count, kNetGrain));
   exec::parallel_for_chunks(0, net_count, kNetGrain, [&](std::size_t nb,
                                                          std::size_t ne,
                                                          std::size_t chunk) {
     std::vector<AsmOp>& ops = chunk_ops[chunk];
+    ops.clear();
     for (std::size_t ni = nb; ni < ne; ++ni) {
       const PlaceNet& net = model.nets[ni];
       const std::size_t k = net.objects.size();
@@ -283,11 +327,13 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
   });
   system.finalize();
 
-  std::vector<double> x(n);
+  std::vector<double>& x = scratch_->x;
+  x.resize(n);
   for (std::size_t m = 0; m < n; ++m) {
     x[m] = coord(positions[static_cast<std::size_t>(movable_objects_[m])]);
   }
-  solve_cg(system, x, options_.cg_max_iterations, options_.cg_tolerance);
+  solve_cg(system, x, options_.cg_max_iterations, options_.cg_tolerance,
+           scratch_->cg_arena);
   for (std::size_t m = 0; m < n; ++m) {
     auto& p = positions[static_cast<std::size_t>(movable_objects_[m])];
     if (x_dir) p.x = x[m];
@@ -315,7 +361,14 @@ double GlobalPlacer::spread(Placement& positions) {
   auto capacity_of = [&](std::size_t bin) {
     return std::max(1e-6, bin_cap - blockage_area_[bin]);
   };
-  std::vector<double> area(static_cast<std::size_t>(nx) * ny, 0.0);
+  std::vector<double>& area = scratch_->spread_area;
+  area.assign(static_cast<std::size_t>(nx) * ny, 0.0);
+  // Per-lane rows for the cell-shifting sweeps below: each lane writes only
+  // its own stride-separated row, so the lane-parallel loop stays race-free
+  // without per-lane heap allocation.
+  const std::size_t lane_cap = static_cast<std::size_t>(std::max(nx, ny));
+  scratch_->lane_util.resize(lane_cap * lane_cap);
+  scratch_->lane_nb.resize(lane_cap * (lane_cap + 1));
   auto recompute_area = [&]() { accumulate_area(positions, area); };
   auto compute_overflow = [&]() {
     double overfill = 0.0;
@@ -346,7 +399,7 @@ double GlobalPlacer::spread(Placement& positions) {
       const int lane = static_cast<int>(lane_idx);
       // Utilization of each bin in this lane (against blockage-reduced
       // capacity, so movables drain out of blocked bins).
-      std::vector<double> util(static_cast<std::size_t>(bins));
+      double* const util = scratch_->lane_util.data() + lane_idx * lane_cap;
       for (int b = 0; b < bins; ++b) {
         const std::size_t idx = x_axis
                                     ? static_cast<std::size_t>(lane) * nx + b
@@ -354,9 +407,9 @@ double GlobalPlacer::spread(Placement& positions) {
         util[static_cast<std::size_t>(b)] = area[idx] / capacity_of(idx);
       }
       // New internal boundaries.
-      std::vector<double> nb(static_cast<std::size_t>(bins) + 1);
-      nb.front() = lo;
-      nb.back() = lo + step * bins;
+      double* const nb = scratch_->lane_nb.data() + lane_idx * (lane_cap + 1);
+      nb[0] = lo;
+      nb[static_cast<std::size_t>(bins)] = lo + step * bins;
       for (int b = 0; b + 1 < bins; ++b) {
         const double ob_left = lo + step * b;          // left edge of bin b
         const double ob_right = lo + step * (b + 2);   // right edge of bin b+1
@@ -366,7 +419,7 @@ double GlobalPlacer::spread(Placement& positions) {
             (ob_left * (u_r + kDelta) + ob_right * (u_l + kDelta)) /
             (u_l + u_r + 2.0 * kDelta);
       }
-      for (std::size_t i = 1; i < nb.size(); ++i) {
+      for (std::size_t i = 1; i <= static_cast<std::size_t>(bins); ++i) {
         nb[i] = std::max(nb[i], nb[i - 1] + 1e-3);
       }
       // Remap cells in this lane.
@@ -446,7 +499,8 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
     return;
   }
 
-  std::vector<std::vector<double>> scratch(chunks);
+  std::vector<std::vector<double>>& scratch = scratch_->area_chunks;
+  scratch.resize(chunks);
   exec::parallel_for_chunks(0, n, grain, [&](std::size_t ob, std::size_t oe,
                                              std::size_t chunk) {
     std::vector<double>& bins = scratch[chunk];
@@ -482,7 +536,8 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
 }
 
 double GlobalPlacer::measure_overflow(const Placement& positions) const {
-  std::vector<double> area(static_cast<std::size_t>(grid_nx_) * grid_ny_, 0.0);
+  std::vector<double>& area = scratch_->measure_area;
+  area.assign(static_cast<std::size_t>(grid_nx_) * grid_ny_, 0.0);
   accumulate_area(positions, area);
   const double bin_cap = bin_w_ * bin_h_;
   double overfill = 0.0;
@@ -636,6 +691,10 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
   result.hpwl_um = total_hpwl(*model_, result.placement);
   result.overflow = overflow;
   result.iterations = iter;
+  PPACD_GAUGE_SET("alloc.arena.bytes_peak",
+                  static_cast<double>(scratch_->cg_arena.bytes_peak()));
+  PPACD_GAUGE_SET("alloc.arena.reuse_count",
+                  static_cast<double>(scratch_->cg_arena.reuse_count()));
   return result;
 }
 

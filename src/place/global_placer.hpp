@@ -18,11 +18,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "place/model.hpp"
 #include "util/rng.hpp"
 
 namespace ppacd::place {
+
+/// Reusable solver/density scratch owned by one GlobalPlacer instance
+/// (defined in the .cpp). Holding it across iterations and runs means the
+/// steady-state optimize loop performs no heap allocation.
+struct PlacerScratch;
 
 /// How overfilled bins are resolved between quadratic solves.
 enum class SpreadMode {
@@ -77,6 +83,7 @@ struct PlaceResult {
 class GlobalPlacer {
  public:
   GlobalPlacer(const PlaceModel& model, const GlobalPlacerOptions& options);
+  ~GlobalPlacer();
 
   /// Global placement from scratch.
   PlaceResult run();
@@ -116,6 +123,8 @@ class GlobalPlacer {
   std::vector<double> blockage_area_;  ///< per bin, from blockage objects
   std::vector<std::int32_t> movable_;        ///< object -> dense movable index or -1
   std::vector<std::int32_t> movable_objects_; ///< dense movable index -> object
+  /// Mutable: const queries (overflow measurement) reuse the same buffers.
+  mutable std::unique_ptr<PlacerScratch> scratch_;
 };
 
 }  // namespace ppacd::place

@@ -82,11 +82,18 @@ double total_hpwl(const PlaceModel& model, const Placement& placement) {
 
 std::vector<geom::Point> cell_positions(const netlist::Netlist& nl,
                                         const Placement& placement) {
+  std::vector<geom::Point> out;
+  cell_positions(nl, placement, out);
+  return out;
+}
+
+void cell_positions(const netlist::Netlist& nl, const Placement& placement,
+                    std::vector<geom::Point>& out) {
   PPACD_CHECK(placement.size() >= nl.cell_count(),
               "placement covers " << placement.size() << " objects, netlist has "
                                    << nl.cell_count() << " cells");
-  return std::vector<geom::Point>(placement.begin(),
-                                  placement.begin() + static_cast<std::ptrdiff_t>(nl.cell_count()));
+  out.assign(placement.begin(),
+             placement.begin() + static_cast<std::ptrdiff_t>(nl.cell_count()));
 }
 
 double netlist_hpwl(const netlist::Netlist& nl,

@@ -74,6 +74,10 @@ double net_hpwl(const PlaceModel& model, const Placement& placement,
 std::vector<geom::Point> cell_positions(const netlist::Netlist& netlist,
                                         const Placement& placement);
 
+/// Same, written into `out` (capacity reused) for per-candidate hot loops.
+void cell_positions(const netlist::Netlist& netlist, const Placement& placement,
+                    std::vector<geom::Point>& out);
+
 /// Netlist-level HPWL (all nets incl. clock, unweighted) from cell positions
 /// and port locations; this is the "HPWL" recorded by Alg. 1 line 27.
 double netlist_hpwl(const netlist::Netlist& netlist,

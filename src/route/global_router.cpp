@@ -81,8 +81,7 @@ double GlobalRouter::edge_cost(const EdgeRef& e,
   double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
                               : v_usage_[v_index(e.x, e.y)];
   if (excluded != nullptr) {
-    const auto it = excluded->find(edge_key(e));
-    if (it != excluded->end()) usage -= it->second;
+    usage -= excluded->get(static_cast<std::int32_t>(edge_key(e)), 0.0);
   }
   const double history = e.horizontal ? h_history_[h_index(e.x, e.y)]
                                       : v_history_[v_index(e.x, e.y)];
@@ -113,52 +112,54 @@ void GlobalRouter::commit(const std::vector<EdgeRef>& path, int delta) {
 void GlobalRouter::append_h(std::vector<EdgeRef>& path, int x0, int x1, int y) const {
   const int lo = std::min(x0, x1);
   const int hi = std::max(x0, x1);
+  path.reserve(path.size() + static_cast<std::size_t>(hi - lo));
   for (int x = lo; x < hi; ++x) path.push_back(EdgeRef{true, x, y});
 }
 
 void GlobalRouter::append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) const {
   const int lo = std::min(y0, y1);
   const int hi = std::max(y0, y1);
+  path.reserve(path.size() + static_cast<std::size_t>(hi - lo));
   for (int y = lo; y < hi; ++y) path.push_back(EdgeRef{false, x, y});
 }
 
-std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_segment(
-    GridPoint a, GridPoint b, const ExcludedUsage* excluded) const {
-  std::vector<EdgeRef> best;
+void GlobalRouter::route_segment(GridPoint a, GridPoint b,
+                                 const ExcludedUsage* excluded,
+                                 std::vector<EdgeRef>& out) const {
+  out.clear();
+  if (a.x == b.x && a.y == b.y) return;
+  if (a.x == b.x) {
+    append_v(out, a.x, a.y, b.y);
+    return;
+  }
+  if (a.y == b.y) {
+    append_h(out, a.x, b.x, a.y);
+    return;
+  }
+
+  // Each candidate is built in the lane's reusable buffer; the cheapest one
+  // is kept by swapping buffers, so steady-state routing never allocates.
+  // The candidates are considered in the same order (and the first strictly
+  // cheaper one wins) as the old one-vector-per-candidate version.
+  std::vector<EdgeRef>& cand = slots_[exec::this_worker_slot()].cand;
   double best_cost = std::numeric_limits<double>::infinity();
-  auto consider = [&](std::vector<EdgeRef>&& candidate) {
-    const double cost = path_cost(candidate, excluded);
+  auto consider = [&]() {
+    const double cost = path_cost(cand, excluded);
     if (cost < best_cost) {
       best_cost = cost;
-      best = std::move(candidate);
+      std::swap(out, cand);
     }
   };
 
-  if (a.x == b.x && a.y == b.y) return {};
-  if (a.x == b.x) {
-    std::vector<EdgeRef> p;
-    append_v(p, a.x, a.y, b.y);
-    return p;
-  }
-  if (a.y == b.y) {
-    std::vector<EdgeRef> p;
-    append_h(p, a.x, b.x, a.y);
-    return p;
-  }
-
   // L-shapes.
-  {
-    std::vector<EdgeRef> p;
-    append_h(p, a.x, b.x, a.y);
-    append_v(p, b.x, a.y, b.y);
-    consider(std::move(p));
-  }
-  {
-    std::vector<EdgeRef> p;
-    append_v(p, a.x, a.y, b.y);
-    append_h(p, a.x, b.x, b.y);
-    consider(std::move(p));
-  }
+  cand.clear();
+  append_h(cand, a.x, b.x, a.y);
+  append_v(cand, b.x, a.y, b.y);
+  consider();
+  cand.clear();
+  append_v(cand, a.x, a.y, b.y);
+  append_h(cand, a.x, b.x, b.y);
+  consider();
 
   // Z-shapes: vertical jog at sampled intermediate columns, horizontal jog
   // at sampled intermediate rows.
@@ -168,28 +169,28 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_segment(
   if (dx > 1) {
     const int step = std::max(1, dx / (samples + 1));
     for (int xm = std::min(a.x, b.x) + step; xm < std::max(a.x, b.x); xm += step) {
-      std::vector<EdgeRef> p;
-      append_h(p, a.x, xm, a.y);
-      append_v(p, xm, a.y, b.y);
-      append_h(p, xm, b.x, b.y);
-      consider(std::move(p));
+      cand.clear();
+      append_h(cand, a.x, xm, a.y);
+      append_v(cand, xm, a.y, b.y);
+      append_h(cand, xm, b.x, b.y);
+      consider();
     }
   }
   if (dy > 1) {
     const int step = std::max(1, dy / (samples + 1));
     for (int ym = std::min(a.y, b.y) + step; ym < std::max(a.y, b.y); ym += step) {
-      std::vector<EdgeRef> p;
-      append_v(p, a.x, a.y, ym);
-      append_h(p, a.x, b.x, ym);
-      append_v(p, b.x, ym, b.y);
-      consider(std::move(p));
+      cand.clear();
+      append_v(cand, a.x, a.y, ym);
+      append_h(cand, a.x, b.x, ym);
+      append_v(cand, b.x, ym, b.y);
+      consider();
     }
   }
-  return best;
 }
 
-std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(
-    GridPoint a, GridPoint b, const ExcludedUsage* excluded) const {
+void GlobalRouter::route_maze(GridPoint a, GridPoint b,
+                              const ExcludedUsage* excluded,
+                              std::vector<EdgeRef>& out) const {
   // Bounded search window.
   const int x0 = std::max(0, std::min(a.x, b.x) - options_.maze_margin);
   const int x1 = std::min(nx_ - 1, std::max(a.x, b.x) + options_.maze_margin);
@@ -199,18 +200,30 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(
   const int wy = y1 - y0 + 1;
   auto node_of = [&](int x, int y) { return (y - y0) * wx + (x - x0); };
 
-  std::vector<double> dist(static_cast<std::size_t>(wx) * wy,
-                           std::numeric_limits<double>::infinity());
-  std::vector<std::int32_t> parent(static_cast<std::size_t>(wx) * wy, -1);
+  // Dijkstra state lives in the lane's scratch. The heap uses std::push_heap
+  // / std::pop_heap with the same comparator a std::priority_queue would, so
+  // the pop order (and thus the tie-breaking) is unchanged.
+  SlotScratch& slot = slots_[exec::this_worker_slot()];
+  std::vector<double>& dist = slot.maze_dist;
+  std::vector<std::int32_t>& parent = slot.maze_parent;
+  dist.assign(static_cast<std::size_t>(wx) * wy,
+              std::numeric_limits<double>::infinity());
+  parent.assign(static_cast<std::size_t>(wx) * wy, -1);
   using QueueEntry = std::pair<double, std::int32_t>;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  std::vector<QueueEntry>& queue = slot.maze_heap;
+  queue.clear();
+  auto queue_push = [&queue](double d, std::int32_t node) {
+    queue.emplace_back(d, node);
+    std::push_heap(queue.begin(), queue.end(), std::greater<>{});
+  };
   dist[static_cast<std::size_t>(node_of(a.x, a.y))] = 0.0;
-  queue.emplace(0.0, node_of(a.x, a.y));
+  queue_push(0.0, node_of(a.x, a.y));
   const std::int32_t goal = node_of(b.x, b.y);
 
   while (!queue.empty()) {
-    const auto [d, node] = queue.top();
-    queue.pop();
+    std::pop_heap(queue.begin(), queue.end(), std::greater<>{});
+    const auto [d, node] = queue.back();
+    queue.pop_back();
     if (d > dist[static_cast<std::size_t>(node)]) continue;
     if (node == goal) break;
     const int x = x0 + node % wx;
@@ -234,15 +247,24 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(
       if (nd < dist[static_cast<std::size_t>(next)]) {
         dist[static_cast<std::size_t>(next)] = nd;
         parent[static_cast<std::size_t>(next)] = node;
-        queue.emplace(nd, next);
+        queue_push(nd, next);
       }
     }
   }
   if (!std::isfinite(dist[static_cast<std::size_t>(goal)])) {
-    return route_segment(a, b, excluded);  // defensive; window is connected
+    route_segment(a, b, excluded, out);  // defensive; window is connected
+    return;
   }
 
-  std::vector<EdgeRef> path;
+  out.clear();
+  // Path length = number of backtrack hops; count first so the single
+  // append below never reallocates mid-loop.
+  std::size_t hops = 0;
+  for (std::int32_t node = goal; parent[static_cast<std::size_t>(node)] >= 0;
+       node = parent[static_cast<std::size_t>(node)]) {
+    ++hops;
+  }
+  out.reserve(hops);
   for (std::int32_t node = goal; parent[static_cast<std::size_t>(node)] >= 0;
        node = parent[static_cast<std::size_t>(node)]) {
     const std::int32_t prev = parent[static_cast<std::size_t>(node)];
@@ -251,16 +273,22 @@ std::vector<GlobalRouter::EdgeRef> GlobalRouter::route_maze(
     const int px = x0 + prev % wx;
     const int py = y0 + prev / wx;
     if (cy == py) {
-      path.push_back(EdgeRef{true, std::min(cx, px), cy});
+      out.push_back(EdgeRef{true, std::min(cx, px), cy});
     } else {
-      path.push_back(EdgeRef{false, cx, std::min(cy, py)});
+      out.push_back(EdgeRef{false, cx, std::min(cy, py)});
     }
   }
-  return path;
 }
 
 RouteResult GlobalRouter::run() {
   const netlist::Netlist& nl = *nl_;
+
+  // One scratch slot per worker lane; the virtual rip-up tables address the
+  // full edge-key space (h edges then v edges).
+  slots_.resize(exec::worker_slots());
+  for (SlotScratch& slot : slots_) {
+    slot.own.grow(h_usage_.size() + v_usage_.size());
+  }
 
   // Build two-pin segments (in GCell space) for every routable net.
   struct NetRoute {
@@ -284,7 +312,8 @@ RouteResult GlobalRouter::run() {
   exec::parallel_for(0, routable.size(), kNetGrain, [&](std::size_t i) {
     const netlist::NetId net_id = routable[i];
     const netlist::Net& net = nl.net(net_id);
-    std::vector<geom::Point> pins;
+    std::vector<geom::Point>& pins = slots_[exec::this_worker_slot()].pins;
+    pins.clear();
     pins.reserve(net.pins.size());
     geom::BBox box;
     for (netlist::PinId pid : net.pins) {
@@ -320,9 +349,10 @@ RouteResult GlobalRouter::run() {
     const std::size_t batch_end = std::min(routes.size(), base + kRouteBatch);
     exec::parallel_for(base, batch_end, kNetGrain, [&](std::size_t i) {
       NetRoute& route = routes[i];
-      route.paths.reserve(route.segments.size());
-      for (const auto& [a, b] : route.segments) {
-        route.paths.push_back(route_segment(a, b));
+      route.paths.resize(route.segments.size());
+      for (std::size_t s = 0; s < route.segments.size(); ++s) {
+        route_segment(route.segments[s].first, route.segments[s].second,
+                      nullptr, route.paths[s]);
       }
     });
     for (std::size_t i = base; i < batch_end; ++i) {
@@ -384,19 +414,24 @@ RouteResult GlobalRouter::run() {
         const NetRoute& route = routes[victims[v]];
         // Virtual rip-up: cost against the frozen usage minus this net's own
         // committed edges, leaving the shared state untouched until the
-        // serial commit below.
-        ExcludedUsage own;
+        // serial commit below. The lane's epoch-stamped table resets in O(1).
+        ExcludedUsage& own = slots_[exec::this_worker_slot()].own;
+        own.clear();
         for (const auto& path : route.paths) {
-          for (const EdgeRef& e : path) own[edge_key(e)] += 1.0;
+          for (const EdgeRef& e : path) {
+            own.add(static_cast<std::int32_t>(edge_key(e)), 1.0);
+          }
         }
         std::vector<std::vector<EdgeRef>>& paths = rerouted[v - base];
         paths.resize(route.segments.size());
         for (std::size_t s = 0; s < route.segments.size(); ++s) {
-          paths[s] = options_.maze_fallback
-                         ? route_maze(route.segments[s].first,
-                                      route.segments[s].second, &own)
-                         : route_segment(route.segments[s].first,
-                                         route.segments[s].second, &own);
+          if (options_.maze_fallback) {
+            route_maze(route.segments[s].first, route.segments[s].second, &own,
+                       paths[s]);
+          } else {
+            route_segment(route.segments[s].first, route.segments[s].second,
+                          &own, paths[s]);
+          }
         }
       });
       for (std::size_t v = base; v < batch_end; ++v) {
@@ -436,6 +471,9 @@ RouteResult GlobalRouter::run() {
       result.total_overflow += u - options_.v_capacity;
     }
   }
+  std::uint64_t scratch_resets = 0;
+  for (const SlotScratch& slot : slots_) scratch_resets += slot.own.resets();
+  PPACD_COUNT("scratch.epoch.resets", scratch_resets);
   PPACD_GAUGE_SET("route.overflow_edges", result.overflow_edges);
   PPACD_GAUGE_SET("route.wirelength_um", result.wirelength_um);
   PPACD_LOG_DEBUG("route") << nl.name() << ": rWL " << result.wirelength_um

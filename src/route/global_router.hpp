@@ -15,11 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
+#include "util/dense_scratch.hpp"
 
 namespace ppacd::route {
 
@@ -81,8 +82,21 @@ class GlobalRouter {
   /// Usage subtracted from the committed state while costing a reroute: the
   /// rerouting net's own committed edges, keyed by edge_key(). Lets whole
   /// batches reroute concurrently against a frozen usage snapshot without
-  /// mutating it (a virtual per-net rip-up).
-  using ExcludedUsage = std::unordered_map<std::size_t, double>;
+  /// mutating it (a virtual per-net rip-up). Epoch-stamped dense table: one
+  /// clear() per net is O(touched), lookups are a plain array probe.
+  using ExcludedUsage = util::DenseScratch<double>;
+
+  /// Per-worker-lane reusable buffers (indexed by exec::this_worker_slot()),
+  /// so routing a segment allocates nothing in steady state even when nets
+  /// route concurrently.
+  struct SlotScratch {
+    std::vector<EdgeRef> cand;                ///< pattern candidate buffer
+    std::vector<double> maze_dist;
+    std::vector<std::int32_t> maze_parent;
+    std::vector<std::pair<double, std::int32_t>> maze_heap;
+    ExcludedUsage own;                        ///< virtual rip-up usage
+    std::vector<geom::Point> pins;            ///< topology build buffer
+  };
 
   GridPoint gcell_of(const geom::Point& p) const;
   std::size_t h_index(int x, int y) const;  ///< edge (x,y)->(x+1,y)
@@ -97,13 +111,14 @@ class GlobalRouter {
   /// or (x,y0)-(x,y1) (vertical) to `path`.
   void append_h(std::vector<EdgeRef>& path, int x0, int x1, int y) const;
   void append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) const;
-  /// Routes one segment, choosing the cheapest pattern. Returns the path.
-  std::vector<EdgeRef> route_segment(GridPoint a, GridPoint b,
-                                     const ExcludedUsage* excluded = nullptr) const;
+  /// Routes one segment into `out` (cleared first), choosing the cheapest
+  /// pattern; reuses the calling lane's candidate buffer.
+  void route_segment(GridPoint a, GridPoint b, const ExcludedUsage* excluded,
+                     std::vector<EdgeRef>& out) const;
   /// Dijkstra within an inflated bounding box; falls back to the pattern
   /// route when the search fails (cannot happen inside a connected window).
-  std::vector<EdgeRef> route_maze(GridPoint a, GridPoint b,
-                                  const ExcludedUsage* excluded = nullptr) const;
+  void route_maze(GridPoint a, GridPoint b, const ExcludedUsage* excluded,
+                  std::vector<EdgeRef>& out) const;
 
   const netlist::Netlist* nl_;
   const std::vector<geom::Point>* positions_;
@@ -115,6 +130,7 @@ class GlobalRouter {
   std::vector<double> v_usage_;
   std::vector<double> h_history_;
   std::vector<double> v_history_;
+  mutable std::vector<SlotScratch> slots_;
 };
 
 }  // namespace ppacd::route

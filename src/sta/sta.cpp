@@ -47,15 +47,10 @@ void Sta::build_graph() {
   const netlist::Netlist& nl = *nl_;
   const liberty::Library& lib = nl.library();
   arcs_.clear();
-  fanin_arcs_.assign(nl.pin_count(), {});
-  fanout_arcs_.assign(nl.pin_count(), {});
   endpoints_.clear();
 
   auto add_arc = [this](netlist::PinId from, netlist::PinId to, double delay) {
-    const auto idx = static_cast<std::int32_t>(arcs_.size());
     arcs_.push_back(Arc{from, to, delay});
-    fanout_arcs_[static_cast<std::size_t>(from)].push_back(idx);
-    fanin_arcs_[static_cast<std::size_t>(to)].push_back(idx);
   };
 
   // Per-net: driver load capacitance and per-sink wire delay.
@@ -146,20 +141,37 @@ void Sta::build_graph() {
     if (port.dir == liberty::PinDir::kOutput) endpoints_.push_back(port.pin);
   }
 
+  // Flat per-pin arc lists, filled from `arcs_` in creation order so each
+  // row reads exactly like the push_back sequence it replaced.
+  fanin_arcs_.start_rows(nl.pin_count());
+  fanout_arcs_.start_rows(nl.pin_count());
+  for (const Arc& arc : arcs_) {
+    fanout_arcs_.add_to_row(static_cast<std::size_t>(arc.from));
+    fanin_arcs_.add_to_row(static_cast<std::size_t>(arc.to));
+  }
+  fanin_arcs_.commit_rows();
+  fanout_arcs_.commit_rows();
+  for (std::size_t ai = 0; ai < arcs_.size(); ++ai) {
+    fanout_arcs_.push(static_cast<std::size_t>(arcs_[ai].from),
+                      static_cast<std::int32_t>(ai));
+    fanin_arcs_.push(static_cast<std::size_t>(arcs_[ai].to),
+                     static_cast<std::int32_t>(ai));
+  }
+
   // Topological order (Kahn).
   topo_order_.clear();
   topo_order_.reserve(nl.pin_count());
   std::vector<std::int32_t> pending(nl.pin_count(), 0);
   std::queue<netlist::PinId> ready;
   for (std::size_t p = 0; p < nl.pin_count(); ++p) {
-    pending[p] = static_cast<std::int32_t>(fanin_arcs_[p].size());
+    pending[p] = static_cast<std::int32_t>(fanin_arcs_.row_size(p));
     if (pending[p] == 0) ready.push(static_cast<netlist::PinId>(p));
   }
   while (!ready.empty()) {
     const netlist::PinId pid = ready.front();
     ready.pop();
     topo_order_.push_back(pid);
-    for (std::int32_t ai : fanout_arcs_[static_cast<std::size_t>(pid)]) {
+    for (std::int32_t ai : fanout_arcs_.row(static_cast<std::size_t>(pid))) {
       const netlist::PinId to = arcs_[static_cast<std::size_t>(ai)].to;
       if (--pending[static_cast<std::size_t>(to)] == 0) ready.push(to);
     }
@@ -174,16 +186,21 @@ void Sta::build_graph() {
   std::int32_t max_level = 0;
   for (const netlist::PinId pid : topo_order_) {
     const auto p = static_cast<std::size_t>(pid);
-    for (std::int32_t ai : fanout_arcs_[p]) {
+    for (std::int32_t ai : fanout_arcs_.row(p)) {
       const auto to = static_cast<std::size_t>(arcs_[static_cast<std::size_t>(ai)].to);
       level[to] = std::max(level[to], level[p] + 1);
     }
     max_level = std::max(max_level, level[p]);
   }
-  level_buckets_.assign(static_cast<std::size_t>(max_level) + 1, {});
+  level_buckets_.start_rows(static_cast<std::size_t>(max_level) + 1);
   for (const netlist::PinId pid : topo_order_) {
-    level_buckets_[static_cast<std::size_t>(level[static_cast<std::size_t>(pid)])]
-        .push_back(pid);
+    level_buckets_.add_to_row(
+        static_cast<std::size_t>(level[static_cast<std::size_t>(pid)]));
+  }
+  level_buckets_.commit_rows();
+  for (const netlist::PinId pid : topo_order_) {
+    level_buckets_.push(
+        static_cast<std::size_t>(level[static_cast<std::size_t>(pid)]), pid);
   }
 }
 
@@ -195,7 +212,7 @@ void Sta::propagate_arrivals() {
   // Sources: pins without fanin arcs. Clock pins launch at their cell's
   // clock arrival; everything else (input ports, dangling) launches at 0.
   for (std::size_t p = 0; p < nl.pin_count(); ++p) {
-    if (!fanin_arcs_[p].empty()) continue;
+    if (fanin_arcs_.row_size(p) != 0) continue;
     const netlist::Pin& pin = nl.pin(static_cast<netlist::PinId>(p));
     arrival_[p] = pin.is_clock && pin.kind == netlist::PinKind::kCellPin
                       ? clock_arrival_of(pin.cell)
@@ -205,14 +222,14 @@ void Sta::propagate_arrivals() {
   // Pull-based level sweep: every pin beyond level 0 folds its own fanin
   // arcs in arc order, so arrivals and the worst-arc choice are identical
   // for any thread count. Lower levels are complete before a level starts.
-  for (std::size_t l = 1; l < level_buckets_.size(); ++l) {
-    const std::vector<netlist::PinId>& bucket = level_buckets_[l];
+  for (std::size_t l = 1; l < level_buckets_.rows(); ++l) {
+    const std::span<const netlist::PinId> bucket = level_buckets_.row(l);
     exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
                        [&](std::size_t i) {
                          const auto p = static_cast<std::size_t>(bucket[i]);
                          double best = -kInf;
                          std::int32_t best_arc = -1;
-                         for (std::int32_t ai : fanin_arcs_[p]) {
+                         for (std::int32_t ai : fanin_arcs_.row(p)) {
                            const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
                            const double candidate =
                                arrival_[static_cast<std::size_t>(arc.from)] +
@@ -247,13 +264,13 @@ void Sta::propagate_requireds() {
   // Pull-based level sweep, levels descending: each pin min-folds its
   // fanout arcs (all pointing at higher, already-final levels) on top of
   // its endpoint requirement, thread-count independent as for arrivals.
-  for (std::size_t l = level_buckets_.size(); l-- > 0;) {
-    const std::vector<netlist::PinId>& bucket = level_buckets_[l];
+  for (std::size_t l = level_buckets_.rows(); l-- > 0;) {
+    const std::span<const netlist::PinId> bucket = level_buckets_.row(l);
     exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
                        [&](std::size_t i) {
                          const auto p = static_cast<std::size_t>(bucket[i]);
                          double req = required_[p];
-                         for (std::int32_t ai : fanout_arcs_[p]) {
+                         for (std::int32_t ai : fanout_arcs_.row(p)) {
                            const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
                            req = std::min(
                                req, required_[static_cast<std::size_t>(arc.to)] -

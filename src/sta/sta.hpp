@@ -26,6 +26,7 @@
 
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
+#include "util/csr.hpp"
 
 namespace ppacd::sta {
 
@@ -97,14 +98,16 @@ class Sta {
   StaOptions options_;
 
   std::vector<Arc> arcs_;
-  std::vector<std::vector<std::int32_t>> fanin_arcs_;   // per pin
-  std::vector<std::vector<std::int32_t>> fanout_arcs_;  // per pin
+  /// Per-pin arc ids in flat CSR form, filled from `arcs_` in creation
+  /// order, so row contents match the per-pin push_back they replaced.
+  util::Csr<std::int32_t> fanin_arcs_;
+  util::Csr<std::int32_t> fanout_arcs_;
   std::vector<netlist::PinId> topo_order_;
   /// Pins grouped by topological level (longest fanin distance). Pins within
   /// a level share no arcs, so each level propagates pin-parallel; the pull
   /// form (each pin folds its own fanins in fixed order) keeps the result
   /// thread-count independent.
-  std::vector<std::vector<netlist::PinId>> level_buckets_;
+  util::Csr<netlist::PinId> level_buckets_;
   std::vector<netlist::PinId> endpoints_;
 
   std::vector<double> arrival_;

@@ -1,0 +1,127 @@
+/// \file csr.hpp
+/// \brief Flat compressed-sparse-row container: one offsets array plus one
+/// contiguous payload array, replacing vector-of-vectors on hot paths.
+///
+/// A `Csr<T>` row is a `std::span<T>` into the payload, so iteration touches
+/// one cache-friendly allocation instead of chasing a pointer per row. Two
+/// build modes cover every producer in the tree:
+///
+///  - **Counting build** (`start_rows` / `add_to_row` / `commit_rows` /
+///    `push`): classic two-pass fill when row sizes are known from a prior
+///    scan. `push` preserves call order within each row, so a conversion from
+///    per-row `push_back` is bit-identical.
+///  - **Append build** (`start_append` / `append` / `end_row` /
+///    `append_row`): rows emitted sequentially when sizes are discovered on
+///    the fly (e.g. deduplicated hyperedges during coarsening).
+///
+/// All internal buffers keep their capacity across rebuilds: reusing one Csr
+/// per level/iteration allocates nothing in steady state.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ppacd::util {
+
+template <typename T>
+class Csr {
+ public:
+  Csr() = default;
+
+  std::size_t rows() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t value_count() const { return values_.size(); }
+  bool empty() const { return rows() == 0; }
+
+  std::span<const T> row(std::size_t r) const {
+    assert(r + 1 < offsets_.size());
+    return {values_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+  }
+  std::span<T> row(std::size_t r) {
+    assert(r + 1 < offsets_.size());
+    return {values_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+  }
+  std::size_t row_size(std::size_t r) const {
+    assert(r + 1 < offsets_.size());
+    return offsets_[r + 1] - offsets_[r];
+  }
+
+  std::span<const T> values() const { return values_; }
+  std::span<T> values() { return values_; }
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+  /// Drops all rows and values; capacity is retained for reuse.
+  void clear() {
+    offsets_.clear();
+    cursor_.clear();
+    values_.clear();
+  }
+
+  // --- Counting build --------------------------------------------------------
+
+  /// Starts a counting build with `row_count` empty rows.
+  void start_rows(std::size_t row_count) {
+    offsets_.assign(row_count + 1, 0);
+    cursor_.clear();
+    values_.clear();
+  }
+
+  /// Declares `n` more values for row `r` (counting pass).
+  void add_to_row(std::size_t r, std::size_t n = 1) {
+    assert(r + 1 < offsets_.size());
+    offsets_[r + 1] += n;
+  }
+
+  /// Converts counts to offsets and sizes the payload; call once between the
+  /// counting pass and the `push` pass.
+  void commit_rows() {
+    const std::size_t row_count = rows();
+    for (std::size_t r = 0; r < row_count; ++r) {
+      offsets_[r + 1] += offsets_[r];
+    }
+    values_.resize(offsets_[row_count]);
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  }
+
+  /// Appends `value` to row `r` (fill pass). Values land in push order, so a
+  /// row reads back exactly like the vector-of-vectors it replaces.
+  void push(std::size_t r, T value) {
+    assert(r < cursor_.size() && cursor_[r] < offsets_[r + 1]);
+    values_[cursor_[r]++] = value;
+  }
+
+  // --- Append build ----------------------------------------------------------
+
+  /// Starts an append build (rows are emitted in order, sizes unknown).
+  void start_append(std::size_t expected_rows = 0,
+                    std::size_t expected_values = 0) {
+    offsets_.clear();
+    offsets_.reserve(expected_rows + 1);
+    offsets_.push_back(0);
+    cursor_.clear();
+    values_.clear();
+    values_.reserve(expected_values);
+  }
+
+  /// Adds `value` to the row currently being appended.
+  void append(T value) { values_.push_back(value); }
+
+  /// Closes the current row; the next `append` starts a new one.
+  void end_row() { offsets_.push_back(values_.size()); }
+
+  /// Appends one whole row.
+  void append_row(std::span<const T> values) {
+    values_.insert(values_.end(), values.begin(), values.end());
+    end_row();
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< rows()+1 entries; [r, r+1) bounds
+  std::vector<std::size_t> cursor_;   ///< per-row fill positions (push pass)
+  std::vector<T> values_;
+};
+
+}  // namespace ppacd::util

@@ -1,0 +1,101 @@
+/// \file dense_scratch.hpp
+/// \brief Epoch-stamped dense scratch table: an O(1)-reset replacement for
+/// the per-vertex `unordered_map<int32_t, V>` rating/gain tables on the
+/// clustering hot paths.
+///
+/// Keys are small non-negative integers (vertex/community/cluster ids), so a
+/// dense array indexed by key beats hashing by an order of magnitude. Instead
+/// of zeroing the whole array between uses, every slot carries the epoch it
+/// was last written in: `clear()` just bumps the epoch, making stale slots
+/// invisible. The keys touched in the current epoch are recorded in
+/// first-touch order, which gives deterministic iteration independent of any
+/// hash function or stdlib version — the property the repo's bit-identity
+/// tests pin.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppacd::util {
+
+template <typename V>
+class DenseScratch {
+ public:
+  DenseScratch() = default;
+  explicit DenseScratch(std::size_t capacity) { grow(capacity); }
+
+  /// Ensures keys in [0, capacity) are addressable. Growing never disturbs
+  /// the current epoch's contents.
+  void grow(std::size_t capacity) {
+    if (capacity > value_.size()) {
+      value_.resize(capacity);
+      stamp_.resize(capacity, 0);
+    }
+  }
+
+  std::size_t capacity() const { return value_.size(); }
+
+  /// Forgets every entry in O(1) (plus clearing the touched-key list).
+  void clear() {
+    touched_.clear();
+    ++epoch_;
+    ++resets_;
+  }
+
+  bool contains(std::int32_t key) const {
+    assert(key >= 0 && static_cast<std::size_t>(key) < stamp_.size());
+    return stamp_[static_cast<std::size_t>(key)] == epoch_;
+  }
+
+  /// Value for `key`, or `fallback` if untouched this epoch.
+  V get(std::int32_t key, V fallback = V{}) const {
+    return contains(key) ? value_[static_cast<std::size_t>(key)] : fallback;
+  }
+
+  /// Reference to the slot for `key`, inserting a default-constructed value
+  /// (and recording the key) on first touch in this epoch.
+  V& ref(std::int32_t key) {
+    assert(key >= 0 && static_cast<std::size_t>(key) < stamp_.size());
+    const auto k = static_cast<std::size_t>(key);
+    if (stamp_[k] != epoch_) {
+      stamp_[k] = epoch_;
+      value_[k] = V{};
+      touched_.push_back(key);
+    }
+    return value_[k];
+  }
+
+  void add(std::int32_t key, V delta) { ref(key) += delta; }
+
+  /// Marks `key` as seen this epoch; returns true if it was already seen.
+  /// (The set-only use case: epoch-based deduplication.)
+  bool test_and_set(std::int32_t key) {
+    assert(key >= 0 && static_cast<std::size_t>(key) < stamp_.size());
+    const auto k = static_cast<std::size_t>(key);
+    if (stamp_[k] == epoch_) return true;
+    stamp_[k] = epoch_;
+    value_[k] = V{};
+    touched_.push_back(key);
+    return false;
+  }
+
+  /// Keys touched this epoch, in first-touch order.
+  std::span<const std::int32_t> keys() const { return touched_; }
+  std::size_t size() const { return touched_.size(); }
+
+  /// Number of `clear()` calls over the table's lifetime; feeds the
+  /// scratch.epoch.resets telemetry counter at the call sites.
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  std::vector<V> value_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::int32_t> touched_;
+  std::uint64_t epoch_ = 1;  ///< stamps start at 0 == "never touched"
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace ppacd::util

@@ -34,7 +34,8 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
                                  place::PlaceModel model,
                                  const place::Floorplan& fp,
                                  const cluster::ClusterShape& shape,
-                                 const VprOptions& options);
+                                 const VprOptions& options,
+                                 std::vector<geom::Point>& positions_scratch);
 
 /// Evaluates one shape on `scratch`, an existing copy of the sub-netlist.
 /// Only port positions change per shape (place_ports_on_boundary rewrites
@@ -42,7 +43,8 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
 /// per-candidate deep copy of the netlist.
 ShapeCandidate evaluate_shape_inplace(netlist::Netlist& scratch,
                                       const cluster::ClusterShape& shape,
-                                      const VprOptions& options) {
+                                      const VprOptions& options,
+                                      std::vector<geom::Point>& positions_scratch) {
   // Virtual die at this shape; IO ports on its boundary (footnote 4).
   place::FloorplanOptions fpo;
   fpo.utilization = shape.utilization;
@@ -51,7 +53,8 @@ ShapeCandidate evaluate_shape_inplace(netlist::Netlist& scratch,
       scratch.total_cell_area(), scratch.library().row_height_um(), fpo);
   place::place_ports_on_boundary(scratch, fp);
   place::PlaceModel model = place::make_place_model(scratch, fp);
-  return score_virtual_die(scratch, std::move(model), fp, shape, options);
+  return score_virtual_die(scratch, std::move(model), fp, shape, options,
+                           positions_scratch);
 }
 
 }  // namespace
@@ -60,7 +63,8 @@ ShapeCandidate evaluate_shape(const netlist::Netlist& subnetlist,
                               const cluster::ClusterShape& shape,
                               const VprOptions& options) {
   netlist::Netlist virtual_design = subnetlist;
-  return evaluate_shape_inplace(virtual_design, shape, options);
+  std::vector<geom::Point> positions;
+  return evaluate_shape_inplace(virtual_design, shape, options, positions);
 }
 
 ShapeCandidate evaluate_l_shape(const netlist::Netlist& subnetlist,
@@ -92,7 +96,9 @@ ShapeCandidate evaluate_l_shape(const netlist::Netlist& subnetlist,
                           fp.core.uy - notch.height_um * 0.5};
   model.objects.push_back(notch);
 
-  return score_virtual_die(virtual_design, std::move(model), fp, shape, options);
+  std::vector<geom::Point> positions;
+  return score_virtual_die(virtual_design, std::move(model), fp, shape, options,
+                           positions);
 }
 
 namespace {
@@ -101,13 +107,15 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
                                  place::PlaceModel model,
                                  const place::Floorplan& fp,
                                  const cluster::ClusterShape& shape,
-                                 const VprOptions& options) {
+                                 const VprOptions& options,
+                                 std::vector<geom::Point>& positions_scratch) {
   ShapeCandidate candidate;
   candidate.shape = shape;
 
   place::GlobalPlacer placer(model, options.placer);
   const place::PlaceResult placed = placer.run();
-  const auto positions = place::cell_positions(virtual_design, placed.placement);
+  place::cell_positions(virtual_design, placed.placement, positions_scratch);
+  const std::vector<geom::Point>& positions = positions_scratch;
 
   route::GlobalRouter router(virtual_design, positions, fp.core, options.router);
   const route::RouteResult routed = router.run();
@@ -151,11 +159,16 @@ VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options)
   // reuses it for every candidate it evaluates (only ports differ per shape).
   // When nested under the cluster-parallel loop in select_cluster_shapes the
   // chunks run inline on the worker, so this costs one copy per cluster.
-  std::vector<std::optional<netlist::Netlist>> scratch(exec::worker_slots());
+  struct LaneScratch {
+    std::optional<netlist::Netlist> nl;
+    std::vector<geom::Point> positions;
+  };
+  std::vector<LaneScratch> scratch(exec::worker_slots());
   exec::parallel_for(0, shapes.size(), /*grain=*/1, [&](std::size_t i) {
-    std::optional<netlist::Netlist>& slot = scratch[exec::this_worker_slot()];
-    if (!slot.has_value()) slot.emplace(subnetlist);
-    result.candidates[i] = evaluate_shape_inplace(*slot, shapes[i], options);
+    LaneScratch& slot = scratch[exec::this_worker_slot()];
+    if (!slot.nl.has_value()) slot.nl.emplace(subnetlist);
+    result.candidates[i] =
+        evaluate_shape_inplace(*slot.nl, shapes[i], options, slot.positions);
   });
 
   double best = std::numeric_limits<double>::infinity();

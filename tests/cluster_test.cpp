@@ -47,11 +47,11 @@ TEST(CliqueExpand, WeightsAreOneOverDegreeMinusOne) {
 
   const Graph graph = clique_expand(nl);
   // k = 3 cells -> each pair weight 1/2.
-  for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(a)]) {
+  for (const auto& [u, w] : graph.neighbors(a)) {
     (void)u;
     EXPECT_DOUBLE_EQ(w, 0.5);
   }
-  EXPECT_EQ(graph.adjacency[static_cast<std::size_t>(a)].size(), 2u);
+  EXPECT_EQ(graph.neighbors(a).size(), 2u);
   EXPECT_NEAR(graph.total_edge_weight, 3 * 0.5, 1e-12);
 }
 
@@ -71,7 +71,7 @@ TEST(CliqueExpand, ParallelNetsMerge) {
   nl.connect(n2, nl.cell_pin(g, 1));
 
   const Graph graph = clique_expand(nl);
-  EXPECT_EQ(graph.adjacency[static_cast<std::size_t>(g)].size(), 2u);
+  EXPECT_EQ(graph.neighbors(g).size(), 2u);
 }
 
 TEST(CliqueExpand, ClockAndHighFanoutSkipped) {
@@ -85,21 +85,14 @@ TEST(CliqueExpand, ClockAndHighFanoutSkipped) {
 
 /// Two 5-cliques joined by one edge: the canonical community structure.
 Graph two_cliques() {
-  Graph g;
-  g.vertex_count = 10;
-  g.adjacency.resize(10);
-  auto add = [&g](std::int32_t a, std::int32_t b) {
-    g.adjacency[static_cast<std::size_t>(a)].emplace_back(b, 1.0);
-    g.adjacency[static_cast<std::size_t>(b)].emplace_back(a, 1.0);
-    g.total_edge_weight += 1.0;
-  };
+  GraphBuilder builder(10);
   for (int base : {0, 5}) {
     for (int i = 0; i < 5; ++i) {
-      for (int j = i + 1; j < 5; ++j) add(base + i, base + j);
+      for (int j = i + 1; j < 5; ++j) builder.add_edge(base + i, base + j, 1.0);
     }
   }
-  add(0, 5);
-  return g;
+  builder.add_edge(0, 5, 1.0);
+  return builder.build();
 }
 
 TEST(Louvain, FindsTwoCliques) {

@@ -239,11 +239,11 @@ liberty::Library& lib() {
 const Dataset& tiny_dataset() {
   static const Dataset dataset = [] {
     gen::DesignSpec spec = gen::design_spec("aes");
-    spec.target_cells = 500;
+    spec.target_cells = 800;
     static netlist::Netlist nl = gen::generate(lib(), spec);
     DatasetOptions options;
     options.min_cluster_size = 20;
-    options.max_cluster_size = 120;
+    options.max_cluster_size = 200;
     options.max_clusters_per_design = 10;
     options.clustering_configs = 2;
     vpr::VprOptions vpr_options;  // full 20-shape sweep per cluster
@@ -259,7 +259,7 @@ TEST(Dataset, BuildsLabelledClusters) {
   for (const ClusterSample& sample : dataset.clusters) {
     EXPECT_EQ(sample.labels.size(), 20u);
     EXPECT_GE(sample.cluster_size, 20);
-    EXPECT_LE(sample.cluster_size, 120);
+    EXPECT_LE(sample.cluster_size, 200);
     for (const double label : sample.labels) EXPECT_GT(label, 0.0);
   }
 }

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "util/arena.hpp"
+#include "util/csr.hpp"
 #include "util/csv.hpp"
+#include "util/dense_scratch.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/string_utils.hpp"
@@ -107,6 +112,131 @@ TEST(Table, RendersAllRows) {
   EXPECT_NE(s.find("demo"), std::string::npos);
   EXPECT_NE(s.find("333"), std::string::npos);
   EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csr, CountingBuildPreservesPushOrder) {
+  // Two-pass counting build: the per-row push order must match what a
+  // vector-of-vectors push_back would have produced.
+  Csr<int> csr;
+  csr.start_rows(3);
+  csr.add_to_row(0, 2);
+  csr.add_to_row(2, 3);
+  csr.commit_rows();
+  csr.push(2, 10);
+  csr.push(0, 1);
+  csr.push(2, 20);
+  csr.push(0, 2);
+  csr.push(2, 30);
+
+  ASSERT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.value_count(), 5u);
+  EXPECT_EQ(std::vector<int>(csr.row(0).begin(), csr.row(0).end()),
+            (std::vector<int>{1, 2}));
+  EXPECT_TRUE(csr.row(1).empty());
+  EXPECT_EQ(std::vector<int>(csr.row(2).begin(), csr.row(2).end()),
+            (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Csr, AppendBuildAndRowSpans) {
+  Csr<int> csr;
+  csr.start_append(/*expected_rows=*/2, /*expected_values=*/4);
+  csr.append(7);
+  csr.append(8);
+  csr.end_row();
+  csr.end_row();  // empty row
+  csr.append_row(std::vector<int>{9});
+
+  ASSERT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.row_size(0), 2u);
+  EXPECT_EQ(csr.row_size(1), 0u);
+  EXPECT_EQ(csr.row(2)[0], 9);
+  // clear() then rebuild reuses the same storage and stays correct.
+  csr.clear();
+  EXPECT_EQ(csr.rows(), 0u);
+  csr.start_append(1, 1);
+  csr.append(42);
+  csr.end_row();
+  ASSERT_EQ(csr.rows(), 1u);
+  EXPECT_EQ(csr.row(0)[0], 42);
+}
+
+TEST(DenseScratch, EpochClearForgetsEntries) {
+  DenseScratch<double> table(8);
+  table.add(3, 1.5);
+  table.add(5, 2.0);
+  table.add(3, 0.5);
+  EXPECT_TRUE(table.contains(3));
+  EXPECT_DOUBLE_EQ(table.get(3), 2.0);
+  EXPECT_DOUBLE_EQ(table.get(5), 2.0);
+  EXPECT_DOUBLE_EQ(table.get(4, -1.0), -1.0);
+  // First-touch key order is deterministic (no hashing involved).
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.keys()[0], 3);
+  EXPECT_EQ(table.keys()[1], 5);
+
+  table.clear();
+  EXPECT_FALSE(table.contains(3));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_DOUBLE_EQ(table.get(3, 0.0), 0.0);
+  // Slots are reusable across epochs with fresh default values.
+  table.add(3, 4.0);
+  EXPECT_DOUBLE_EQ(table.get(3), 4.0);
+  EXPECT_EQ(table.resets(), 1u);
+}
+
+TEST(DenseScratch, TestAndSetDeduplicates) {
+  DenseScratch<char> seen(4);
+  EXPECT_FALSE(seen.test_and_set(2));
+  EXPECT_TRUE(seen.test_and_set(2));
+  EXPECT_FALSE(seen.test_and_set(0));
+  seen.clear();
+  EXPECT_FALSE(seen.test_and_set(2));
+}
+
+TEST(DenseScratch, GrowKeepsCurrentEpoch) {
+  DenseScratch<int> table(2);
+  table.add(1, 7);
+  table.grow(100);
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_EQ(table.get(1), 7);
+  table.add(99, 3);
+  EXPECT_EQ(table.get(99), 3);
+}
+
+TEST(Arena, SpansAreZeroedAndDisjoint) {
+  Arena arena;
+  const std::span<double> a = arena.alloc<double>(16);
+  const std::span<std::int32_t> b = arena.alloc<std::int32_t>(8);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 8u);
+  for (const double v : a) EXPECT_EQ(v, 0.0);
+  for (const std::int32_t v : b) EXPECT_EQ(v, 0);
+  a[0] = 1.0;
+  b[0] = 2;
+  EXPECT_EQ(a[0], 1.0);  // no overlap
+  EXPECT_GE(arena.bytes_peak(), 16 * sizeof(double) + 8 * sizeof(std::int32_t));
+}
+
+TEST(Arena, ResetCoalescesAndThenReuses) {
+  Arena arena(64);  // force the first cycle to spill across blocks
+  arena.alloc<double>(4096);
+  arena.alloc<double>(4096);
+  const std::size_t peak = arena.bytes_peak();
+  EXPECT_GE(peak, 2 * 4096 * sizeof(double));
+
+  // First reset coalesces the chain; subsequent cycles fit one block and
+  // count as pure reuse (zero heap traffic).
+  arena.reset();
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const std::span<double> s = arena.alloc<double>(4096);
+    for (const double v : s) ASSERT_EQ(v, 0.0);  // re-zeroed every cycle
+    s[0] = 7.0;
+    arena.reset();
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // no new blocks
+  EXPECT_GE(arena.reuse_count(), 3u);
+  EXPECT_GE(arena.bytes_peak(), peak);
 }
 
 TEST(Csv, EscapesSpecialCells) {

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two ppacd-bench-perf-v1 JSON reports and flag regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 10]
+                        [--fail-on-regression]
+
+Both inputs are BENCH_perf.json files written by `bench_microkernels --json`
+or `bench_table2 --json`. Kernels are matched by name; for each match the
+tool prints the ns/op and allocs/op deltas, and flags kernels whose ns/op
+grew by more than the threshold (percent, default 10).
+
+Exit status is 0 unless --fail-on-regression is given and at least one
+kernel regressed; missing/extra kernels are reported but never fatal, so a
+CI job can run this as a non-blocking advisory step. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != "ppacd-bench-perf-v1":
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
+    kernels = {}
+    for entry in report.get("kernels", []):
+        name = entry.get("name")
+        if not name:
+            continue
+        kernels[name] = {
+            "ns_per_op": float(entry.get("ns_per_op", 0.0)),
+            "allocs_per_op": float(entry.get("allocs_per_op", 0.0)),
+            "bytes_per_op": float(entry.get("bytes_per_op", 0.0)),
+        }
+    return kernels
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_perf.json")
+    parser.add_argument("current", help="current BENCH_perf.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="ns/op regression threshold in percent "
+                             "(default: %(default)s)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any kernel regresses past the "
+                             "threshold (default: advisory only)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_kernels(args.baseline)
+        current = load_kernels(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    common = [name for name in baseline if name in current]
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+
+    regressions = []
+    width = max((len(n) for n in common), default=4)
+    print(f"{'kernel':<{width}}  {'base':>10}  {'now':>10}  {'ns/op':>8}  "
+          f"{'allocs/op':>18}")
+    for name in common:
+        base = baseline[name]
+        cur = current[name]
+        if base["ns_per_op"] > 0.0:
+            delta = (cur["ns_per_op"] / base["ns_per_op"] - 1.0) * 100.0
+        else:
+            delta = 0.0
+        regressed = delta > args.threshold
+        if regressed:
+            regressions.append((name, delta))
+        mark = "  << REGRESSED" if regressed else ""
+        allocs = f"{base['allocs_per_op']:.0f} -> {cur['allocs_per_op']:.0f}"
+        print(f"{name:<{width}}  {fmt_ns(base['ns_per_op']):>10}  "
+              f"{fmt_ns(cur['ns_per_op']):>10}  {delta:>+7.1f}%  "
+              f"{allocs:>18}{mark}")
+
+    for name in missing:
+        print(f"{name}: only in baseline")
+    for name in added:
+        print(f"{name}: only in current")
+
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed more than "
+              f"{args.threshold:.0f}% on ns/op:")
+        for name, delta in regressions:
+            print(f"  {name}: +{delta:.1f}%")
+        if args.fail_on_regression:
+            return 1
+    else:
+        print(f"\nno ns/op regressions above {args.threshold:.0f}% "
+              f"({len(common)} kernels compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
