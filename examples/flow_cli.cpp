@@ -11,14 +11,21 @@
 ///            [--write-verilog FILE] [--write-def FILE] [--write-svg FILE]
 ///            [--write-congestion FILE] [--report-paths N]
 ///            [--cells N] [--report FILE] [--trace FILE] [--check LEVEL]
-///            [--threads N]
+///            [--threads N] [--fault-plan SPEC]
 ///
 /// --report writes the telemetry run report (flow config, phase timings,
-/// metric snapshot, PPA outcome) as JSON; --trace writes a Chrome
-/// trace_event file loadable in chrome://tracing or https://ui.perfetto.dev.
+/// metric snapshot, PPA outcome, errors/degradations) as JSON; --trace
+/// writes a Chrome trace_event file loadable in chrome://tracing or
+/// https://ui.perfetto.dev.
 /// --check off|cheap|full runs the src/check invariant validators between
 /// flow phases; any violation is logged, reported, and makes the process
 /// exit with status 2 (so CI can gate on it).
+/// --fault-plan installs a deterministic fault-injection plan (see
+/// src/fault/fault.hpp for the grammar, e.g.
+/// "seed=7;vpr.shape_eval=error%0.5;sta.arrival=poison"); the PPACD_FAULTS
+/// environment variable is used when the flag is absent. The flow degrades
+/// gracefully per FlowOptions::degrade; an unabsorbed structured error
+/// prints its code and exits with status 3.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +34,7 @@
 
 #include "check/check.hpp"
 #include "exec/exec.hpp"
+#include "fault/fault.hpp"
 #include "flow/flow.hpp"
 #include "flow/report.hpp"
 #include "gen/designs.hpp"
@@ -59,6 +67,7 @@ struct Args {
   bool detailed = false;
   int threads = 0;  // 0 = PPACD_THREADS env / hardware default
   ppacd::check::CheckLevel check_level = ppacd::check::CheckLevel::kOff;
+  std::string fault_plan;  // empty = PPACD_FAULTS env (if set)
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -84,6 +93,7 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (arg == "--opt") args->timing_opt = true;
     else if (arg == "--detailed") args->detailed = true;
     else if (arg == "--threads") args->threads = std::atoi(value());
+    else if (arg == "--fault-plan") args->fault_plan = value();
     else if (arg == "--check") {
       const char* level = value();
       if (!ppacd::check::parse_check_level(level, &args->check_level)) {
@@ -108,24 +118,38 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, &args)) return 1;
   if (args.threads > 0) exec::set_thread_count(args.threads);
 
+  // --- Fault plan (CLI flag wins over the PPACD_FAULTS environment) -----------
+  if (!args.fault_plan.empty()) {
+    auto plan = fault::parse_plan(args.fault_plan);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "--fault-plan: %s (%s)\n",
+                   plan.error().message.c_str(), plan.error().code.c_str());
+      return 1;
+    }
+    fault::set_plan(plan.value());
+  } else {
+    auto env_plan = fault::install_env_plan();
+    if (!env_plan.has_value()) {
+      std::fprintf(stderr, "PPACD_FAULTS: %s (%s)\n",
+                   env_plan.error().message.c_str(),
+                   env_plan.error().code.c_str());
+      return 1;
+    }
+  }
+
   const liberty::Library lib = liberty::Library::nangate45_like();
 
   // --- Obtain the design -----------------------------------------------------
   std::optional<netlist::Netlist> design;
   double default_clock = 1000.0;
   if (!args.verilog_in.empty()) {
-    std::ifstream in(args.verilog_in);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", args.verilog_in.c_str());
-      return 1;
+    auto loaded = netlist::try_load_verilog(args.verilog_in, lib);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "%s: %s (%s)\n", args.verilog_in.c_str(),
+                   loaded.error().message.c_str(), loaded.error().code.c_str());
+      return 3;
     }
-    netlist::ParseError error;
-    design = netlist::read_verilog(in, lib, &error);
-    if (!design.has_value()) {
-      std::fprintf(stderr, "%s:%d: %s\n", args.verilog_in.c_str(), error.line,
-                   error.message.c_str());
-      return 1;
-    }
+    design = std::move(loaded).value();
   } else {
     gen::DesignSpec spec = gen::design_spec(args.design);
     if (args.cells > 0) spec.target_cells = args.cells;
@@ -154,11 +178,32 @@ int main(int argc, char** argv) {
   options.check_level = args.check_level;
 
   // --- Run ---------------------------------------------------------------------
-  const flow::FlowResult result =
-      args.flow == "default" ? flow::run_default_flow(*design, options)
-                             : flow::run_clustered_flow(*design, options);
-  const flow::PpaOutcome ppa =
-      flow::evaluate_ppa(*design, result.place.positions, options);
+  auto fail_flow = [&](const fault::FlowError& error) {
+    fault::record_error(error);
+    std::fprintf(stderr, "flow error: %s at %s: %s\n", error.code.c_str(),
+                 error.site.c_str(), error.message.c_str());
+    if (!args.report_json.empty()) {
+      flow::RunReportInputs report;
+      report.design =
+          design->name().empty() ? args.design : std::string(design->name());
+      report.flow = args.flow;
+      report.options = &options;
+      flow::write_run_report(args.report_json, report);
+    }
+    return 3;
+  };
+  auto result_or = args.flow == "default"
+                       ? flow::try_run_default_flow(*design, options)
+                       : flow::try_run_clustered_flow(*design, options);
+  if (!result_or.has_value()) return fail_flow(result_or.error());
+  const flow::FlowResult result = std::move(result_or).value();
+  auto ppa_or = flow::try_evaluate_ppa(*design, result.place.positions, options);
+  if (!ppa_or.has_value()) return fail_flow(ppa_or.error());
+  const flow::PpaOutcome ppa = std::move(ppa_or).value();
+  for (const auto& d : fault::degradation_log()) {
+    std::printf("degraded: %s (%s) -> %s\n", d.site.c_str(),
+                d.error_code.c_str(), d.fallback.c_str());
+  }
   std::printf("placement: HPWL %.0f um in %.2fs (%d clusters)\n",
               result.place.hpwl_um,
               result.place.clustering_seconds + result.place.placement_seconds,
@@ -223,8 +268,9 @@ int main(int argc, char** argv) {
   if (!args.write_congestion.empty()) {
     route::GlobalRouter router(*design, result.place.positions, box.rect(),
                                options.router);
-    const route::RouteResult routed = router.run();
-    if (viz::write_congestion_ppm_file(routed, args.write_congestion)) {
+    auto routed = router.try_run(options.degrade);
+    if (routed.has_value() &&
+        viz::write_congestion_ppm_file(routed.value(), args.write_congestion)) {
       std::printf("wrote %s\n", args.write_congestion.c_str());
     }
   }

@@ -1,0 +1,345 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace ppacd::fault {
+
+namespace {
+
+/// Sorted so `registered_sites()` iteration (the fault campaign) and
+/// to_spec() output are canonical.
+const std::vector<std::string> kSites = {
+    "io.read",     "ml.predict",  "place.solve",
+    "route.maze",  "sta.arrival", "vpr.shape_eval",
+};
+
+struct PlanState {
+  FaultPlan plan;
+};
+
+std::mutex g_plan_mutex;
+std::shared_ptr<const PlanState> g_plan;  // guarded by g_plan_mutex
+std::atomic<bool> g_active{false};        // fast-path gate for trigger()
+
+std::shared_ptr<const PlanState> plan_snapshot() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  return g_plan;
+}
+
+std::mutex g_log_mutex;
+std::vector<Degradation> g_degradations;  // guarded by g_log_mutex
+std::vector<FlowError> g_errors;          // guarded by g_log_mutex
+
+/// SplitMix64: the decision hash behind probabilistic specs. Pure function
+/// of its inputs, so firing is identical for any thread count.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool parse_kind(std::string_view text, FaultKind* out) {
+  if (text == "error") *out = FaultKind::kError;
+  else if (text == "timeout") *out = FaultKind::kTimeout;
+  else if (text == "poison") *out = FaultKind::kPoison;
+  else if (text == "alloc") *out = FaultKind::kAlloc;
+  else return false;
+  return true;
+}
+
+/// "vpr.shape_eval" -> "vpr-shape-eval" (error-code prefix form).
+std::string kebab_site(std::string_view site) {
+  std::string out(site);
+  for (char& c : out) {
+    if (c == '.' || c == '_') c = '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError: return "error";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kPoison: return "poison";
+    case FaultKind::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& registered_sites() { return kSites; }
+
+Expected<FaultPlan, FlowError> parse_plan(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string& raw : util::split(spec, ';')) {
+    const std::string_view entry = trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return err("fault-plan-parse-error", "fault.plan",
+                 "entry \"" + std::string(entry) + "\" has no '='");
+    }
+    const std::string_view lhs = trim(entry.substr(0, eq));
+    std::string_view rhs = trim(entry.substr(eq + 1));
+    if (lhs == "seed") {
+      std::uint64_t seed = 0;
+      std::istringstream in{std::string(rhs)};
+      in >> seed;
+      if (in.fail() || !in.eof()) {
+        return err("fault-plan-parse-error", "fault.plan",
+                   "bad seed \"" + std::string(rhs) + "\"");
+      }
+      plan.seed = seed;
+      continue;
+    }
+    FaultSpec fault;
+    fault.site = std::string(lhs);
+    if (std::find(kSites.begin(), kSites.end(), fault.site) == kSites.end()) {
+      return err("fault-plan-unknown-site", "fault.plan",
+                 "unknown site \"" + fault.site + "\"");
+    }
+    // rhs := KIND ['@'N] ['%'P] in either selector order.
+    const std::size_t sel = rhs.find_first_of("@%");
+    const std::string_view kind_text =
+        trim(sel == std::string_view::npos ? rhs : rhs.substr(0, sel));
+    if (!parse_kind(kind_text, &fault.kind)) {
+      return err("fault-plan-parse-error", "fault.plan",
+                 "unknown fault kind \"" + std::string(kind_text) + "\"");
+    }
+    std::string_view selectors =
+        sel == std::string_view::npos ? std::string_view{} : rhs.substr(sel);
+    while (!selectors.empty()) {
+      const char tag = selectors.front();
+      selectors.remove_prefix(1);
+      std::size_t next = selectors.find_first_of("@%");
+      const std::string value(trim(selectors.substr(0, next)));
+      selectors = next == std::string_view::npos ? std::string_view{}
+                                                 : selectors.substr(next);
+      std::istringstream in{value};
+      if (tag == '@') {
+        in >> fault.nth;
+        if (in.fail() || !in.eof() || fault.nth == 0) {
+          return err("fault-plan-parse-error", "fault.plan",
+                     "bad @selector \"" + value + "\" (want a 1-based index)");
+        }
+      } else {  // '%'
+        in >> fault.probability;
+        if (in.fail() || !in.eof() || fault.probability <= 0.0 ||
+            fault.probability > 1.0) {
+          return err("fault-plan-parse-error", "fault.plan",
+                     "bad %selector \"" + value + "\" (want (0,1])");
+        }
+      }
+    }
+    // Last entry for a site wins, keeping plans one-spec-per-site canonical.
+    auto existing = std::find_if(
+        plan.specs.begin(), plan.specs.end(),
+        [&](const FaultSpec& s) { return s.site == fault.site; });
+    if (existing != plan.specs.end()) {
+      *existing = fault;
+    } else {
+      plan.specs.push_back(fault);
+    }
+  }
+  std::sort(plan.specs.begin(), plan.specs.end(),
+            [](const FaultSpec& a, const FaultSpec& b) { return a.site < b.site; });
+  return plan;
+}
+
+std::string to_spec(const FaultPlan& plan) {
+  std::ostringstream out;
+  bool first = true;
+  if (plan.seed != 0) {
+    out << "seed=" << plan.seed;
+    first = false;
+  }
+  // specs are kept sorted by parse_plan/set_plan; emit in that order.
+  for (const FaultSpec& spec : plan.specs) {
+    if (!first) out << ';';
+    first = false;
+    out << spec.site << '=' << to_string(spec.kind);
+    if (spec.nth != 0) out << '@' << spec.nth;
+    if (spec.probability < 1.0) out << '%' << spec.probability;
+  }
+  return out.str();
+}
+
+void set_plan(const FaultPlan& plan) {
+  auto state = std::make_shared<PlanState>();
+  state->plan = plan;
+  std::sort(state->plan.specs.begin(), state->plan.specs.end(),
+            [](const FaultSpec& a, const FaultSpec& b) { return a.site < b.site; });
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plan = std::move(state);
+  }
+  g_active.store(!plan.specs.empty(), std::memory_order_release);
+  if (!plan.empty()) {
+    PPACD_LOG_INFO("fault") << "fault plan installed: " << to_spec(plan);
+  }
+}
+
+void clear_plan() {
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plan.reset();
+  }
+  g_active.store(false, std::memory_order_release);
+}
+
+bool plan_active() { return g_active.load(std::memory_order_acquire); }
+
+Expected<void, FlowError> install_env_plan() {
+  const char* env = std::getenv("PPACD_FAULTS");
+  if (env == nullptr || *env == '\0') return {};
+  auto plan = parse_plan(env);
+  if (!plan.has_value()) return Unexpected<FlowError>(std::move(plan).error());
+  set_plan(plan.value());
+  return {};
+}
+
+std::optional<FaultKind> trigger(std::string_view site, std::uint64_t key,
+                                 std::uint32_t attempt) {
+  if (!g_active.load(std::memory_order_acquire)) return std::nullopt;
+  const std::shared_ptr<const PlanState> state = plan_snapshot();
+  if (state == nullptr) return std::nullopt;
+  const FaultPlan& plan = state->plan;
+  const auto it = std::find_if(
+      plan.specs.begin(), plan.specs.end(),
+      [&](const FaultSpec& s) { return s.site == site; });
+  if (it == plan.specs.end()) return std::nullopt;
+  const FaultSpec& spec = *it;
+  if (spec.nth != 0 && key + 1 != spec.nth) return std::nullopt;
+  if (spec.probability < 1.0) {
+    const std::uint64_t h =
+        mix64(plan.seed ^ fnv1a(site) ^ mix64(key) ^ (std::uint64_t{attempt} << 32));
+    const double unit =
+        static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    if (unit >= spec.probability) return std::nullopt;
+  }
+  telemetry::metrics()
+      .counter(std::string("fault.injected.") + to_string(spec.kind))
+      .add(1);
+  return spec.kind;
+}
+
+FlowError make_error(std::string_view site, FaultKind kind) {
+  FlowError error;
+  error.site = std::string(site);
+  switch (kind) {
+    case FaultKind::kError:
+      error.code = kebab_site(site) + "-failed";
+      break;
+    case FaultKind::kTimeout:
+      error.code = kebab_site(site) + "-timeout";
+      break;
+    case FaultKind::kPoison:
+      error.code = "non-finite-result";
+      break;
+    case FaultKind::kAlloc:
+      error.code = "alloc-failure";
+      break;
+  }
+  error.message = std::string("injected ") + to_string(kind) + " fault";
+  return error;
+}
+
+double poison_value() { return std::numeric_limits<double>::quiet_NaN(); }
+
+void record_degradation(Degradation degradation) {
+  std::string label = degradation.fallback;
+  for (char& c : label) {
+    if (c == '-' || c == '.') c = '_';
+  }
+  telemetry::metrics().counter("fault.degrade." + label).add(1);
+  PPACD_LOG_WARN("fault") << degradation.site << ": " << degradation.error_code
+                          << " -> " << degradation.fallback
+                          << (degradation.detail.empty() ? "" : " (")
+                          << degradation.detail
+                          << (degradation.detail.empty() ? "" : ")");
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_degradations.push_back(std::move(degradation));
+}
+
+void record_error(FlowError error) {
+  PPACD_LOG_ERROR("fault") << error.site << ": " << error.code
+                           << (error.message.empty() ? "" : ": ")
+                           << error.message;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_errors.push_back(std::move(error));
+}
+
+std::vector<Degradation> degradation_log() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  return g_degradations;
+}
+
+std::vector<FlowError> error_log() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  return g_errors;
+}
+
+void reset_log() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_degradations.clear();
+  g_errors.clear();
+}
+
+telemetry::Json errors_json() {
+  telemetry::Json out = telemetry::Json::array();
+  for (const FlowError& error : error_log()) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry.set("code", error.code);
+    entry.set("site", error.site);
+    entry.set("message", error.message);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+telemetry::Json degradations_json() {
+  telemetry::Json out = telemetry::Json::array();
+  for (const Degradation& d : degradation_log()) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry.set("site", d.site);
+    entry.set("error_code", d.error_code);
+    entry.set("fallback", d.fallback);
+    if (!d.detail.empty()) entry.set("detail", d.detail);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace ppacd::fault

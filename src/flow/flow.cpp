@@ -1,6 +1,7 @@
 #include "flow/flow.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "flow/report.hpp"
 
@@ -62,8 +63,8 @@ struct ClusteringOutcome {
   std::int32_t count = 0;
 };
 
-ClusteringOutcome run_clustering(const netlist::Netlist& nl,
-                                 const FlowOptions& options) {
+fault::Expected<ClusteringOutcome, fault::FlowError> run_clustering(
+    const netlist::Netlist& nl, const FlowOptions& options) {
   ClusteringOutcome out;
   switch (options.cluster_method) {
     case ClusterMethod::kPpaAware: {
@@ -76,9 +77,18 @@ ClusteringOutcome run_clustering(const netlist::Netlist& nl,
         sta::StaOptions sta_options;
         sta_options.clock_period_ps = options.clock_period_ps;
         sta::Sta sta(nl, sta_options);
-        sta.run();
-        timing_cost = cluster::net_timing_costs(
-            nl, sta, options.clock_period_ps, options.top_paths);
+        auto sta_run = sta.try_run();
+        if (sta_run.has_value()) {
+          timing_cost = cluster::net_timing_costs(
+              nl, sta, options.clock_period_ps, options.top_paths);
+        } else if (options.degrade.sta_fallback_hpwl) {
+          // Cluster without timing costs (connectivity + switching only).
+          fault::record_degradation({"sta.arrival", sta_run.error().code,
+                                     "hpwl-only",
+                                     "clustering timing costs unavailable"});
+        } else {
+          return fault::Unexpected<fault::FlowError>(std::move(sta_run).error());
+        }
         const auto activities =
             sta::propagate_activity(nl, sta::ActivityOptions{});
         theta = cluster::net_switching_activity(nl, activities);
@@ -89,7 +99,7 @@ ClusteringOutcome run_clustering(const netlist::Netlist& nl,
         PPACD_SPAN_ATTR(span, "hier_clusters", hier_result.cluster_count);
       }
       cluster::FcPpaInputs inputs;
-      inputs.net_timing_cost = &timing_cost;
+      if (!timing_cost.empty()) inputs.net_timing_cost = &timing_cost;
       inputs.net_switching = &theta;
       if (nl.has_hierarchy() && hier_result.cluster_count > 1) {
         inputs.grouping = &hier_result.cluster_of_cell;
@@ -148,11 +158,12 @@ ClusteringOutcome run_clustering(const netlist::Netlist& nl,
   return out;
 }
 
-void apply_shapes(const netlist::Netlist& nl, cluster::ClusteredNetlist& clustered,
-                  const FlowOptions& options, PlaceOutcome& outcome) {
+fault::Expected<void, fault::FlowError> apply_shapes(
+    const netlist::Netlist& nl, cluster::ClusteredNetlist& clustered,
+    const FlowOptions& options, PlaceOutcome& outcome) {
   switch (options.shape_mode) {
     case ShapeMode::kUniform:
-      return;  // the build-time default is utilization 0.9, AR 1.0
+      return {};  // the build-time default is utilization 0.9, AR 1.0
     case ShapeMode::kRandom: {
       util::Rng rng(options.seed ^ 0x5eedu);
       const auto candidates = vpr::candidate_shapes(options.vpr);
@@ -164,23 +175,39 @@ void apply_shapes(const netlist::Netlist& nl, cluster::ClusteredNetlist& cluster
         set_cluster_shape(clustered, ci, candidates[rng.index(candidates.size())]);
         ++outcome.shaped_clusters;
       }
-      return;
+      return {};
     }
     case ShapeMode::kVpr: {
-      const vpr::ShapeSelectionStats stats =
-          vpr::select_cluster_shapes(nl, clustered, options.vpr, nullptr);
-      outcome.shaped_clusters = stats.clusters_shaped;
-      return;
+      auto stats = vpr::try_select_cluster_shapes(nl, clustered, options.vpr,
+                                                  nullptr, options.degrade);
+      if (!stats.has_value()) {
+        return fault::Unexpected<fault::FlowError>(std::move(stats).error());
+      }
+      outcome.shaped_clusters = stats.value().clusters_shaped;
+      return {};
     }
     case ShapeMode::kVprMl: {
-      PPACD_CHECK(options.ml_predictor != nullptr,
-                  "ShapeMode::kVprMl requires ml_predictor");
-      const vpr::ShapeSelectionStats stats = vpr::select_cluster_shapes(
-          nl, clustered, options.vpr, options.ml_predictor);
-      outcome.shaped_clusters = stats.clusters_shaped;
-      return;
+      const vpr::ShapeCostPredictor* predictor = options.ml_predictor;
+      if (predictor == nullptr) {
+        // A missing predictor is itself an ML failure: fall back to exact
+        // V-P&R under the same policy instead of asserting.
+        if (!options.degrade.ml_fallback_to_vpr) {
+          return fault::err("ml-predictor-missing", "ml.predict",
+                            "ShapeMode::kVprMl requires ml_predictor");
+        }
+        fault::record_degradation({"ml.predict", "ml-predictor-missing",
+                                   "vpr-exact", "predictor not configured"});
+      }
+      auto stats = vpr::try_select_cluster_shapes(nl, clustered, options.vpr,
+                                                  predictor, options.degrade);
+      if (!stats.has_value()) {
+        return fault::Unexpected<fault::FlowError>(std::move(stats).error());
+      }
+      outcome.shaped_clusters = stats.value().clusters_shaped;
+      return {};
     }
   }
+  return {};
 }
 
 /// Optional repair stage: buffer high-fanout nets, upsize critical drivers,
@@ -219,7 +246,8 @@ void run_timing_optimization(netlist::Netlist& nl, const place::Floorplan& fp,
 
 }  // namespace
 
-FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
+fault::Expected<FlowResult, fault::FlowError> try_run_default_flow(
+    netlist::Netlist& nl, const FlowOptions& options) {
   FlowResult result;
   run_check(options, [&](check::CheckLevel level) {
     return check::check_netlist(nl, level);
@@ -236,7 +264,15 @@ FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
     placer_options.seed = options.seed;
     placer_options.trace_iterations = true;
     place::GlobalPlacer placer(model, placer_options);
-    const place::PlaceResult placed = placer.run();
+    auto placed_or = placer.try_run(options.degrade);
+    if (!placed_or.has_value()) {
+      return fault::Unexpected<fault::FlowError>(std::move(placed_or).error());
+    }
+    const place::PlaceResult placed = std::move(placed_or).value();
+    if (!placed.degrade_code.empty()) {
+      fault::record_degradation({"place.solve", placed.degrade_code,
+                                 "early-stop", "flat global placement"});
+    }
     legal = place::legalize(model, placed.placement);
     if (options.detailed_placement) {
       legal.placement =
@@ -258,7 +294,15 @@ FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
   return result;
 }
 
-FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) {
+FlowResult run_default_flow(netlist::Netlist& nl, const FlowOptions& options) {
+  auto result = try_run_default_flow(nl, options);
+  PPACD_CHECK(result.has_value(),
+              "default flow failed: " << result.error().code);
+  return std::move(result).value();
+}
+
+fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
+    netlist::Netlist& nl, const FlowOptions& options) {
   FlowResult result;
   run_check(options, [&](check::CheckLevel level) {
     return check::check_netlist(nl, level);
@@ -272,7 +316,12 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
     PPACD_SPAN(span, "flow.cluster");
     span.anchor();
     util::ScopedTimer timer(result.place.clustering_seconds);
-    clustering = run_clustering(nl, options);
+    auto clustering_or = run_clustering(nl, options);
+    if (!clustering_or.has_value()) {
+      return fault::Unexpected<fault::FlowError>(
+          std::move(clustering_or).error());
+    }
+    clustering = std::move(clustering_or).value();
     clustered = cluster::build_clustered_netlist(nl, clustering.assignment,
                                                  clustering.count);
     PPACD_SPAN_ATTR(span, "method", to_string(options.cluster_method));
@@ -288,7 +337,10 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
     PPACD_SPAN(span, "flow.shape");
     span.anchor();
     util::ScopedTimer timer(result.place.shaping_seconds);
-    apply_shapes(nl, clustered, options, result.place);
+    auto shaped = apply_shapes(nl, clustered, options, result.place);
+    if (!shaped.has_value()) {
+      return fault::Unexpected<fault::FlowError>(std::move(shaped).error());
+    }
     PPACD_SPAN_ATTR(span, "mode", to_string(options.shape_mode));
     PPACD_SPAN_ATTR(span, "shaped", result.place.shaped_clusters);
   }
@@ -312,7 +364,15 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
     seed_options.spread_mode = place::SpreadMode::kBisection;
     seed_options.trace_iterations = true;
     place::GlobalPlacer seed_placer(cluster_model, seed_options);
-    seed_placed = seed_placer.run();
+    auto seed_or = seed_placer.try_run(options.degrade);
+    if (!seed_or.has_value()) {
+      return fault::Unexpected<fault::FlowError>(std::move(seed_or).error());
+    }
+    seed_placed = std::move(seed_or).value();
+    if (!seed_placed.degrade_code.empty()) {
+      fault::record_degradation({"place.solve", seed_placed.degrade_code,
+                                 "early-stop", "cluster seed placement"});
+    }
 
     // Place instances within their placed cluster footprints (or exactly at
     // the centers when scatter_seed is off).
@@ -355,7 +415,15 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   inc_options.seed = options.seed;
   inc_options.trace_iterations = true;
   place::GlobalPlacer flat_placer(flat_model, inc_options);
-  const place::PlaceResult incremental = flat_placer.run_incremental(seed_flat);
+  auto incremental_or = flat_placer.try_run_incremental(seed_flat, options.degrade);
+  if (!incremental_or.has_value()) {
+    return fault::Unexpected<fault::FlowError>(std::move(incremental_or).error());
+  }
+  const place::PlaceResult incremental = std::move(incremental_or).value();
+  if (!incremental.degrade_code.empty()) {
+    fault::record_degradation({"place.solve", incremental.degrade_code,
+                               "early-stop", "incremental flat placement"});
+  }
 
   // Remove region constraints (line 20) before legalization so cells can
   // settle into legal sites anywhere.
@@ -385,9 +453,16 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   return result;
 }
 
-PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
-                        const std::vector<geom::Point>& positions,
-                        const FlowOptions& options) {
+FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) {
+  auto result = try_run_clustered_flow(nl, options);
+  PPACD_CHECK(result.has_value(),
+              "clustered flow failed: " << result.error().code);
+  return std::move(result).value();
+}
+
+fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
+    const netlist::Netlist& nl, const std::vector<geom::Point>& positions,
+    const FlowOptions& options) {
   PpaOutcome out;
 
   // Routing grid spans the placement bounding box (the floorplan core).
@@ -401,7 +476,17 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
     PPACD_SPAN(span, "flow.route");
     span.anchor();
     route::GlobalRouter router(nl, positions, box.rect(), options.router);
-    routed = router.run();
+    auto routed_or = router.try_run(options.degrade);
+    if (!routed_or.has_value()) {
+      return fault::Unexpected<fault::FlowError>(std::move(routed_or).error());
+    }
+    routed = std::move(routed_or).value();
+    if (routed.failed_nets > 0) {
+      std::ostringstream detail;
+      detail << routed.failed_nets << " nets skipped after retries";
+      fault::record_degradation({"route.maze", "route-maze-failed",
+                                 "partial-routes", detail.str()});
+    }
     PPACD_SPAN_ATTR(span, "overflow_edges", routed.overflow_edges);
     PPACD_SPAN_ATTR(span, "wirelength_um", routed.wirelength_um);
   }
@@ -429,9 +514,20 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   sta_options.cell_positions = &positions;
   sta_options.clock_arrivals_ps = &tree.insertion_delay_ps;
   sta::Sta sta(nl, sta_options);
-  sta.run();
-  out.wns_ps = sta.wns_ps();
-  out.tns_ns = sta.tns_ns();
+  auto sta_run = sta.try_run();
+  if (sta_run.has_value()) {
+    out.wns_ps = sta.wns_ps();
+    out.tns_ns = sta.tns_ns();
+  } else if (options.degrade.sta_fallback_hpwl) {
+    // HPWL-only cost: timing metrics report 0 (unavailable); power below
+    // still comes from activity propagation, which needs no timing graph.
+    fault::record_degradation({"sta.arrival", sta_run.error().code,
+                               "hpwl-only", "WNS/TNS unavailable"});
+    out.wns_ps = 0.0;
+    out.tns_ns = 0.0;
+  } else {
+    return fault::Unexpected<fault::FlowError>(std::move(sta_run).error());
+  }
   PPACD_SPAN_ATTR(sta_span, "wns_ps", out.wns_ps);
   PPACD_SPAN_ATTR(sta_span, "tns_ns", out.tns_ns);
 
@@ -450,6 +546,14 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
   }
   out.power_w = base.total_w - base.clock_w + cts_clock_w + buffer_leakage_w;
   return out;
+}
+
+PpaOutcome evaluate_ppa(const netlist::Netlist& nl,
+                        const std::vector<geom::Point>& positions,
+                        const FlowOptions& options) {
+  auto out = try_evaluate_ppa(nl, positions, options);
+  PPACD_CHECK(out.has_value(), "PPA evaluation failed: " << out.error().code);
+  return std::move(out).value();
 }
 
 }  // namespace ppacd::flow

@@ -26,6 +26,8 @@
 #include "check/check.hpp"
 #include "cluster/fc_multilevel.hpp"
 #include "cts/cts.hpp"
+#include "fault/expected.hpp"
+#include "fault/fault.hpp"
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
 #include "place/global_placer.hpp"
@@ -88,6 +90,14 @@ struct FlowOptions {
   /// logged, counted in telemetry (`check.<checker>.violations`), and
   /// serialized into the JSON run report's "checks" section.
   check::CheckLevel check_level = check::CheckLevel::kOff;
+  /// Graceful-degradation policies applied when a subsystem reports a
+  /// structured error (see fault::DegradePolicy): ML predictor failure
+  /// falls back to exact V-P&R, shape-sweep failure to the default shape,
+  /// placer failure to early stop, router failure to serial retries then
+  /// partial routes, STA failure to HPWL-only cost. Disabling a policy
+  /// turns that failure into a propagated FlowError from the try_* entry
+  /// points (the legacy entry points then assert).
+  fault::DegradePolicy degrade;
   std::uint64_t seed = 3;
 };
 
@@ -128,5 +138,19 @@ FlowResult run_clustered_flow(netlist::Netlist& netlist, const FlowOptions& opti
 PpaOutcome evaluate_ppa(const netlist::Netlist& netlist,
                         const std::vector<geom::Point>& positions,
                         const FlowOptions& options);
+
+/// Fallible forms of the flow entry points. Subsystem failures (injected
+/// through the fault sites or genuine) are either absorbed by the
+/// degradation policies in `options.degrade` — each absorption recorded via
+/// fault::record_degradation and surfaced in the JSON run report — or, when
+/// the policy forbids the fallback, returned as a structured FlowError.
+/// The legacy entry points above are thin asserting wrappers over these.
+fault::Expected<FlowResult, fault::FlowError> try_run_default_flow(
+    netlist::Netlist& netlist, const FlowOptions& options);
+fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
+    netlist::Netlist& netlist, const FlowOptions& options);
+fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
+    const netlist::Netlist& netlist, const std::vector<geom::Point>& positions,
+    const FlowOptions& options);
 
 }  // namespace ppacd::flow

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ppacd::flow {
@@ -195,6 +196,8 @@ telemetry::Json run_report_json(const RunReportInputs& inputs) {
   out.set("spans", telemetry::spans_json());
   out.set("metrics", telemetry::metrics().to_json());
   out.set("checks", check::log_json());
+  out.set("errors", fault::errors_json());
+  out.set("degradations", fault::degradations_json());
   if (inputs.place != nullptr) out.set("place", place_json(*inputs.place));
   if (inputs.ppa != nullptr) out.set("ppa", ppa_json(*inputs.ppa));
   return out;

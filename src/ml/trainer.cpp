@@ -20,6 +20,16 @@ struct SampleRef {
   std::int32_t shape;
 };
 
+/// A corrupt extracted graph (or a poisoned upstream stat) must not leak
+/// NaN/Inf into the GNN: a non-finite raw feature standardizes to 0 (the
+/// training mean), so one bad slot degrades that feature instead of
+/// poisoning the whole prediction.
+double standardize(double value, double mean, double stddev) {
+  if (!std::isfinite(value)) return 0.0;
+  const double z = (value - mean) / stddev;
+  return std::isfinite(z) ? z : 0.0;
+}
+
 Matrix build_features(const features::ClusterGraph& graph,
                       const cluster::ClusterShape& shape,
                       const std::vector<double>& mean,
@@ -30,8 +40,8 @@ Matrix build_features(const features::ClusterGraph& graph,
       double value = graph.feature(v, c);
       if (c == features::kShapeUtilSlot) value = shape.utilization;
       if (c == features::kShapeAspectSlot) value = shape.aspect_ratio;
-      x.at(v, c) = (value - mean[static_cast<std::size_t>(c)]) /
-                   stddev[static_cast<std::size_t>(c)];
+      x.at(v, c) = standardize(value, mean[static_cast<std::size_t>(c)],
+                               stddev[static_cast<std::size_t>(c)]);
     }
   }
   return x;
@@ -84,8 +94,8 @@ vpr::ShapeCostPredictor TrainedModel::predictor(
           double value = graph.feature(v, c);
           if (c == features::kShapeUtilSlot) value = shape.utilization;
           if (c == features::kShapeAspectSlot) value = shape.aspect_ratio;
-          x.at(v, c) = (value - mean[static_cast<std::size_t>(c)]) /
-                       stddev[static_cast<std::size_t>(c)];
+          x.at(v, c) = standardize(value, mean[static_cast<std::size_t>(c)],
+                                   stddev[static_cast<std::size_t>(c)]);
         }
       }
       xs.push_back(std::move(x));

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/expected.hpp"
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
 
@@ -39,6 +40,18 @@ struct ParseError {
 std::optional<Netlist> read_verilog(std::istream& in,
                                     const liberty::Library& library,
                                     ParseError* error = nullptr);
+
+/// Structured-error form of read_verilog, and the `io.read` fault site.
+/// Parse failures map to `io-parse-failed` (line number in the message);
+/// injected faults map to `io-read-failed` / `io-read-timeout` /
+/// `non-finite-result` / `alloc-failure`.
+fault::Expected<Netlist, fault::FlowError> try_read_verilog(
+    std::istream& in, const liberty::Library& library);
+
+/// Opens `path` and parses it via try_read_verilog. A file that cannot be
+/// opened maps to `io-open-failed`.
+fault::Expected<Netlist, fault::FlowError> try_load_verilog(
+    const std::string& path, const liberty::Library& library);
 
 /// Writes a DEF-like placement: DESIGN, DIEAREA, and one COMPONENTS entry
 /// per cell with its center in microns.

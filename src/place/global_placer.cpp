@@ -3,6 +3,7 @@
 #include <algorithm>
 #include "util/assert.hpp"
 #include <cmath>
+#include <new>
 #include <span>
 
 #include "exec/exec.hpp"
@@ -645,9 +646,22 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
   double overflow = 1.0;
   const int schedule_offset =
       seed_anchor != nullptr ? options_.incremental_anchor_offset : 0;
+  std::string degrade_code;
   int iter = 0;
   for (; iter < iterations; ++iter) {
     PPACD_SPAN_IF(iter_span, "place.gp.iter", options_.trace_iterations);
+    // Fault site `place.solve`, keyed by outer-iteration index. error /
+    // timeout stop the run with the best placement so far; poison models a
+    // solver that produced non-finite coordinates (revert to the last
+    // committed positions, then stop); alloc surfaces as std::bad_alloc for
+    // try_run to convert.
+    if (const auto kind =
+            fault::trigger("place.solve", static_cast<std::uint64_t>(iter))) {
+      if (*kind == fault::FaultKind::kAlloc) throw std::bad_alloc();
+      degrade_code = fault::make_error("place.solve", *kind).code;
+      if (*kind == fault::FaultKind::kPoison) positions = anchors;
+      break;
+    }
     // Fences bind throughout from-scratch runs; in incremental (seeded)
     // mode they only guide the early iterations (Alg. 1 line 20 removes
     // region constraints after the incremental placement).
@@ -691,6 +705,7 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
   result.hpwl_um = total_hpwl(*model_, result.placement);
   result.overflow = overflow;
   result.iterations = iter;
+  result.degrade_code = std::move(degrade_code);
   PPACD_GAUGE_SET("alloc.arena.bytes_peak",
                   static_cast<double>(scratch_->cg_arena.bytes_peak()));
   PPACD_GAUGE_SET("alloc.arena.reuse_count",
@@ -732,6 +747,39 @@ PlaceResult GlobalPlacer::run_incremental(const Placement& seed) {
   const Placement seed_anchor = positions;
   return optimize(std::move(positions), options_.incremental_iterations,
                   &seed_anchor);
+}
+
+namespace {
+
+fault::Expected<PlaceResult, fault::FlowError> finish_try_run(
+    PlaceResult result, const fault::DegradePolicy& policy) {
+  if (!result.degrade_code.empty() && !policy.place_early_stop) {
+    return fault::err(result.degrade_code, "place.solve",
+                      "placer stopped early and early-stop is disabled");
+  }
+  return result;
+}
+
+}  // namespace
+
+fault::Expected<PlaceResult, fault::FlowError> GlobalPlacer::try_run(
+    const fault::DegradePolicy& policy) {
+  try {
+    return finish_try_run(run(), policy);
+  } catch (const std::bad_alloc&) {
+    return fault::Unexpected<fault::FlowError>(
+        fault::make_error("place.solve", fault::FaultKind::kAlloc));
+  }
+}
+
+fault::Expected<PlaceResult, fault::FlowError> GlobalPlacer::try_run_incremental(
+    const Placement& seed, const fault::DegradePolicy& policy) {
+  try {
+    return finish_try_run(run_incremental(seed), policy);
+  } catch (const std::bad_alloc&) {
+    return fault::Unexpected<fault::FlowError>(
+        fault::make_error("place.solve", fault::FaultKind::kAlloc));
+  }
 }
 
 }  // namespace ppacd::place

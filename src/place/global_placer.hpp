@@ -19,7 +19,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
+#include "fault/expected.hpp"
+#include "fault/fault.hpp"
 #include "place/model.hpp"
 #include "util/rng.hpp"
 
@@ -78,6 +81,10 @@ struct PlaceResult {
   double hpwl_um = 0.0;  ///< weighted model HPWL
   double overflow = 0.0; ///< residual overfill ratio
   int iterations = 0;
+  /// Empty on a clean run; otherwise the error code of the `place.solve`
+  /// failure that made the placer stop early with the best placement so far
+  /// (e.g. "place-solve-failed", "non-finite-result").
+  std::string degrade_code;
 };
 
 class GlobalPlacer {
@@ -92,6 +99,16 @@ class GlobalPlacer {
   /// locations). `seed` must cover all objects; fixed objects keep their
   /// fixed positions regardless.
   PlaceResult run_incremental(const Placement& seed);
+
+  /// Fallible forms of run()/run_incremental(): allocation failure becomes
+  /// a structured `alloc-failure` error, and a mid-run `place.solve`
+  /// failure either stops early with the best placement so far (recorded in
+  /// PlaceResult::degrade_code) when `policy.place_early_stop`, or is
+  /// returned as the FlowError itself when the policy forbids degradation.
+  fault::Expected<PlaceResult, fault::FlowError> try_run(
+      const fault::DegradePolicy& policy);
+  fault::Expected<PlaceResult, fault::FlowError> try_run_incremental(
+      const Placement& seed, const fault::DegradePolicy& policy);
 
  private:
   PlaceResult optimize(Placement positions, int iterations,

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include "util/assert.hpp"
+#include <chrono>
 #include <cmath>
+#include <new>
 #include <queue>
+#include <thread>
 
 #include "exec/exec.hpp"
 #include "route/steiner.hpp"
@@ -281,6 +284,23 @@ void GlobalRouter::route_maze(GridPoint a, GridPoint b,
 }
 
 RouteResult GlobalRouter::run() {
+  auto result = run_impl(fault::DegradePolicy{});
+  PPACD_CHECK(result.has_value(), "routing failed: " << result.error().code);
+  return std::move(result).value();
+}
+
+fault::Expected<RouteResult, fault::FlowError> GlobalRouter::try_run(
+    const fault::DegradePolicy& policy) {
+  try {
+    return run_impl(policy);
+  } catch (const std::bad_alloc&) {
+    return fault::Unexpected<fault::FlowError>(
+        fault::make_error("route.maze", fault::FaultKind::kAlloc));
+  }
+}
+
+fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
+    const fault::DegradePolicy& policy) {
   const netlist::Netlist& nl = *nl_;
 
   // One scratch slot per worker lane; the virtual rip-up tables address the
@@ -343,12 +363,35 @@ RouteResult GlobalRouter::run() {
               return a.net < b.net;
             });
 
+  // Fault site `route.maze`, keyed by net id so firing is independent of
+  // the batch schedule. Failed nets skip the batch and are retried serially
+  // below; poisoned nets route normally but their wirelength contribution
+  // is NaN-poisoned at collection.
+  const bool faults_on = fault::plan_active();
+  std::vector<std::uint8_t> net_failed(faults_on ? routes.size() : 0, 0);
+  std::vector<std::uint8_t> net_poisoned(faults_on ? routes.size() : 0, 0);
+
   // Initial routing in parallel batches: route against the frozen usage,
   // commit serially in net order between batches.
   for (std::size_t base = 0; base < routes.size(); base += kRouteBatch) {
     const std::size_t batch_end = std::min(routes.size(), base + kRouteBatch);
     exec::parallel_for(base, batch_end, kNetGrain, [&](std::size_t i) {
       NetRoute& route = routes[i];
+      if (faults_on) {
+        if (const auto kind = fault::trigger(
+                "route.maze", static_cast<std::uint64_t>(route.net))) {
+          switch (*kind) {
+            case fault::FaultKind::kAlloc:
+              throw std::bad_alloc();
+            case fault::FaultKind::kPoison:
+              net_poisoned[i] = 1;
+              break;  // route normally; poison applies at collection
+            default:  // error / timeout: this net's route failed
+              net_failed[i] = 1;
+              return;
+          }
+        }
+      }
       route.paths.resize(route.segments.size());
       for (std::size_t s = 0; s < route.segments.size(); ++s) {
         route_segment(route.segments[s].first, route.segments[s].second,
@@ -360,6 +403,39 @@ RouteResult GlobalRouter::run() {
     }
   }
   PPACD_COUNT("route.nets.routed", routes.size());
+
+  // Serial retries for failed nets, in net order (deterministic), each
+  // attempt re-consulting the fault plan with its attempt number so
+  // probabilistic (transient) faults can clear while permanent ones keep
+  // firing. Nets that exhaust the budget stay unrouted (partial result).
+  int failed_final = 0;
+  if (faults_on) {
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      if (!net_failed[i]) continue;
+      NetRoute& route = routes[i];
+      bool routed = false;
+      for (int attempt = 1; attempt <= policy.route_retries; ++attempt) {
+        if (policy.route_backoff_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(policy.route_backoff_ms * attempt));
+        }
+        if (fault::trigger("route.maze", static_cast<std::uint64_t>(route.net),
+                           static_cast<std::uint32_t>(attempt))) {
+          continue;  // still failing on this attempt
+        }
+        route.paths.resize(route.segments.size());
+        for (std::size_t s = 0; s < route.segments.size(); ++s) {
+          route_segment(route.segments[s].first, route.segments[s].second,
+                        nullptr, route.paths[s]);
+        }
+        for (const auto& path : route.paths) commit(path, +1);
+        routed = true;
+        break;
+      }
+      if (!routed) ++failed_final;
+    }
+    PPACD_COUNT("route.nets.failed", failed_final);
+  }
 
   // Negotiated rip-up-and-reroute.
   for (int round = 0; round < options_.rrr_rounds; ++round) {
@@ -443,13 +519,34 @@ RouteResult GlobalRouter::run() {
     }
   }
 
-  // Collect results.
+  // Collect results. The clean path keeps the original per-path summation
+  // order exactly (bit-identical wirelength).
   RouteResult result;
   result.grid_nx = nx_;
   result.grid_ny = ny_;
-  for (const NetRoute& route : routes) {
-    for (const auto& path : route.paths) {
+  result.failed_nets = failed_final;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (faults_on && net_poisoned[i]) {
+      result.wirelength_um += fault::poison_value();
+      continue;
+    }
+    for (const auto& path : routes[i].paths) {
       result.wirelength_um += static_cast<double>(path.size()) * options_.gcell_um;
+    }
+  }
+  if (!std::isfinite(result.wirelength_um)) {
+    // Poisoned nets made the total non-finite: degrade to a partial result
+    // by dropping their contribution and reporting them as failed.
+    result.wirelength_um = 0.0;
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      if (faults_on && net_poisoned[i]) {
+        ++result.failed_nets;
+        continue;
+      }
+      for (const auto& path : routes[i].paths) {
+        result.wirelength_um +=
+            static_cast<double>(path.size()) * options_.gcell_um;
+      }
     }
   }
   result.edge_utilization.reserve(h_usage_.size() + v_usage_.size());

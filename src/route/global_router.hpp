@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/expected.hpp"
+#include "fault/fault.hpp"
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
 #include "util/dense_scratch.hpp"
@@ -52,6 +54,9 @@ struct RouteResult {
   std::vector<double> edge_utilization;
   int grid_nx = 0;
   int grid_ny = 0;
+  /// Nets left unrouted (or dropped for poisoned results) after the serial
+  /// retry budget was exhausted; >0 means the result covers partial routes.
+  int failed_nets = 0;
 
   /// Mean utilization over the top `percent`% most congested edges
   /// (Eq. 5's Congestion Cost with X = percent).
@@ -66,9 +71,22 @@ class GlobalRouter {
                const std::vector<geom::Point>& positions,
                const geom::Rect& core, const RouteOptions& options);
 
+  /// Routes everything; asserts on allocation failure. Nets whose route
+  /// fails (injected `route.maze` fault) are retried serially and, if still
+  /// failing, skipped — see RouteResult::failed_nets.
   RouteResult run();
 
+  /// Fallible form of run(): per-net failures at the `route.maze` site are
+  /// retried `policy.route_retries` times (with `policy.route_backoff_ms`
+  /// backoff scaled by attempt) and then dropped into a partial result;
+  /// allocation failure returns a structured `alloc-failure` error.
+  fault::Expected<RouteResult, fault::FlowError> try_run(
+      const fault::DegradePolicy& policy);
+
  private:
+  fault::Expected<RouteResult, fault::FlowError> run_impl(
+      const fault::DegradePolicy& policy);
+
   struct EdgeRef {
     bool horizontal = true;
     int x = 0;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <new>
 #include <queue>
 
 #include "exec/exec.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -301,6 +304,47 @@ void Sta::run() {
   PPACD_GAUGE_SET("sta.tns_ns", tns_ns_);
   PPACD_LOG_DEBUG("sta") << nl_->name() << ": WNS " << wns_ps_ << " ps, TNS "
                          << tns_ns_ << " ns";
+}
+
+fault::Expected<void, fault::FlowError> Sta::try_run() {
+  if (const auto kind = fault::trigger("sta.arrival")) {
+    switch (*kind) {
+      case fault::FaultKind::kPoison:
+        // Poison the propagated metrics, then let the non-finite check
+        // below turn them into a structured error.
+        run();
+        wns_ps_ = fault::poison_value();
+        tns_ns_ = fault::poison_value();
+        break;
+      case fault::FaultKind::kAlloc:
+        // Exercise the real catch path below.
+        try {
+          throw std::bad_alloc();
+        } catch (const std::bad_alloc&) {
+          ran_ = false;
+          return fault::Unexpected<fault::FlowError>(
+              fault::make_error("sta.arrival", *kind));
+        }
+      default:
+        ran_ = false;
+        return fault::Unexpected<fault::FlowError>(
+            fault::make_error("sta.arrival", *kind));
+    }
+  } else {
+    try {
+      run();
+    } catch (const std::bad_alloc&) {
+      ran_ = false;
+      return fault::Unexpected<fault::FlowError>(
+          fault::make_error("sta.arrival", fault::FaultKind::kAlloc));
+    }
+  }
+  if (!std::isfinite(wns_ps_) || !std::isfinite(tns_ns_)) {
+    ran_ = false;
+    return fault::err("non-finite-result", "sta.arrival",
+                      "propagated WNS/TNS is not finite");
+  }
+  return {};
 }
 
 double Sta::slack_ps(netlist::PinId pin) const {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/expected.hpp"
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
 #include "util/csr.hpp"
@@ -55,7 +56,15 @@ class Sta {
   Sta(const netlist::Netlist& netlist, const StaOptions& options);
 
   /// Propagates arrivals and requireds. Must be called before queries.
+  /// Asserts on failure; prefer try_run() in fault-tolerant callers.
   void run();
+
+  /// Fallible form of run(): returns a structured error instead of aborting
+  /// when the `sta.arrival` fault site fires, the propagated WNS/TNS come
+  /// out non-finite, or allocation fails. On error the engine stays
+  /// un-run (queries are invalid) and the caller decides the degradation
+  /// (the flow falls back to HPWL-only cost; see fault::DegradePolicy).
+  fault::Expected<void, fault::FlowError> try_run();
 
   // --- Queries ---------------------------------------------------------------
   double arrival_ps(netlist::PinId pin) const { return arrival_.at(static_cast<std::size_t>(pin)); }

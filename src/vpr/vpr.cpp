@@ -4,7 +4,9 @@
 #include "util/assert.hpp"
 #include <cmath>
 #include <limits>
+#include <new>
 #include <optional>
+#include <sstream>
 
 #include "exec/exec.hpp"
 #include "place/floorplan.hpp"
@@ -118,7 +120,14 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
   const std::vector<geom::Point>& positions = positions_scratch;
 
   route::GlobalRouter router(virtual_design, positions, fp.core, options.router);
-  const route::RouteResult routed = router.run();
+  auto routed_or = router.try_run(fault::DegradePolicy{});
+  if (!routed_or.has_value()) {
+    // Nested routing failure (e.g. injected alloc): fail this candidate
+    // instead of the whole sweep.
+    candidate.total_cost = std::numeric_limits<double>::infinity();
+    return candidate;
+  }
+  const route::RouteResult routed = std::move(routed_or).value();
 
   // Eq. 4: average net HPWL normalized by the virtual die half-perimeter.
   double hpwl_sum = 0.0;
@@ -165,6 +174,22 @@ VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options)
   };
   std::vector<LaneScratch> scratch(exec::worker_slots());
   exec::parallel_for(0, shapes.size(), /*grain=*/1, [&](std::size_t i) {
+    // Fault site `vpr.shape_eval`, keyed by candidate index: failed
+    // candidates stay non-finite and drop out of best-index selection.
+    if (const auto kind = fault::trigger("vpr.shape_eval", i)) {
+      result.candidates[i].shape = shapes[i];
+      switch (*kind) {
+        case fault::FaultKind::kAlloc:
+          throw std::bad_alloc();
+        case fault::FaultKind::kPoison:
+          result.candidates[i].total_cost = fault::poison_value();
+          return;
+        default:  // error / timeout: candidate eval failed
+          result.candidates[i].total_cost =
+              std::numeric_limits<double>::infinity();
+          return;
+      }
+    }
     LaneScratch& slot = scratch[exec::this_worker_slot()];
     if (!slot.nl.has_value()) slot.nl.emplace(subnetlist);
     result.candidates[i] =
@@ -184,10 +209,41 @@ VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options)
   return result;
 }
 
-ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
-                                          cluster::ClusteredNetlist& clustered,
-                                          const VprOptions& options,
-                                          const ShapeCostPredictor* predictor) {
+fault::Expected<VprResult, fault::FlowError> try_run_vpr(
+    const netlist::Netlist& subnetlist, const VprOptions& options) {
+  try {
+    return run_vpr(subnetlist, options);
+  } catch (const std::bad_alloc&) {
+    return fault::Unexpected<fault::FlowError>(
+        fault::make_error("vpr.shape_eval", fault::FaultKind::kAlloc));
+  }
+}
+
+namespace {
+
+/// Per-cluster outcome collected inside the parallel shaping loop and
+/// turned into degradation/error records serially afterwards, so the log
+/// order is independent of thread scheduling.
+struct ClusterOutcome {
+  bool ml_fell_back = false;      ///< predictor failed, exact V-P&R used
+  bool shape_defaulted = false;   ///< sweep failed, default shape kept
+  bool fatal = false;             ///< policy forbade the fallback
+  fault::FlowError ml_error;
+  fault::FlowError shape_error;
+};
+
+std::string cluster_detail(std::size_t ci) {
+  std::ostringstream out;
+  out << "cluster " << ci;
+  return out.str();
+}
+
+}  // namespace
+
+fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes(
+    const netlist::Netlist& nl, cluster::ClusteredNetlist& clustered,
+    const VprOptions& options, const ShapeCostPredictor* predictor,
+    const fault::DegradePolicy& policy) {
   ShapeSelectionStats stats;
   const auto shapes = candidate_shapes(options);
 
@@ -206,8 +262,10 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
   stats.clusters_shaped = static_cast<int>(eligible.size());
 
   std::vector<double> runs_per_cluster(eligible.size(), 0.0);
+  std::vector<ClusterOutcome> outcomes(eligible.size());
   exec::parallel_for(0, eligible.size(), /*grain=*/1, [&](std::size_t k) {
     const std::size_t ci = eligible[k];
+    ClusterOutcome& outcome = outcomes[k];
     const cluster::Cluster& cluster_ref = clustered.clusters[ci];
     PPACD_SPAN(cluster_span, "vpr.cluster");
     PPACD_SPAN_ATTR(cluster_span, "cluster", ci);
@@ -215,34 +273,131 @@ ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
     const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, cluster_ref.cells);
 
     std::size_t best_index = kInvalidShapeIndex;
+    bool need_exact = predictor == nullptr;
     if (predictor != nullptr) {
-      const std::vector<double> predicted = (*predictor)(sub.netlist, shapes);
-      PPACD_CHECK(predicted.size() == shapes.size(),
-                  "predictor returned " << predicted.size() << " costs for "
-                                         << shapes.size() << " shapes");
-      best_index = static_cast<std::size_t>(
-          std::min_element(predicted.begin(), predicted.end()) -
-          predicted.begin());
-      PPACD_COUNT("vpr.shapes.ml_predicted", predicted.size());
-    } else {
-      const VprResult vpr = run_vpr(sub.netlist, options);
-      best_index = vpr.best_index;
-      runs_per_cluster[k] = static_cast<double>(vpr.candidates.size());
+      // Fault site `ml.predict`, keyed by eligible-cluster index. A failed,
+      // throwing, or out-of-distribution prediction falls back to exact
+      // V-P&R (the paper's own fallback) under policy.ml_fallback_to_vpr.
+      std::vector<double> predicted;
+      bool ml_ok = true;
+      if (const auto kind = fault::trigger("ml.predict", k)) {
+        ml_ok = false;
+        outcome.ml_error = fault::make_error("ml.predict", *kind);
+        if (*kind == fault::FaultKind::kPoison) {
+          // Poison is delivered through the data path: a prediction of all
+          // NaNs that the OOD guard below must catch.
+          predicted.assign(shapes.size(), fault::poison_value());
+          ml_ok = true;
+        }
+      } else {
+        try {
+          predicted = (*predictor)(sub.netlist, shapes);
+        } catch (const std::bad_alloc&) {
+          ml_ok = false;
+          outcome.ml_error =
+              fault::make_error("ml.predict", fault::FaultKind::kAlloc);
+        } catch (const std::exception& e) {
+          ml_ok = false;
+          outcome.ml_error.code = "ml-predict-failed";
+          outcome.ml_error.site = "ml.predict";
+          outcome.ml_error.message = e.what();
+        }
+      }
+      if (ml_ok && predicted.size() != shapes.size()) {
+        ml_ok = false;
+        outcome.ml_error.code = "ml-predict-ood";
+        outcome.ml_error.site = "ml.predict";
+        std::ostringstream msg;
+        msg << "predictor returned " << predicted.size() << " costs for "
+            << shapes.size() << " shapes";
+        outcome.ml_error.message = msg.str();
+      }
+      if (ml_ok && std::any_of(predicted.begin(), predicted.end(),
+                               [](double c) { return !std::isfinite(c); })) {
+        ml_ok = false;
+        if (outcome.ml_error.code.empty()) {
+          outcome.ml_error.code = "non-finite-result";
+          outcome.ml_error.site = "ml.predict";
+          outcome.ml_error.message = "predicted cost is not finite";
+        }
+      }
+      if (ml_ok) {
+        best_index = static_cast<std::size_t>(
+            std::min_element(predicted.begin(), predicted.end()) -
+            predicted.begin());
+        PPACD_COUNT("vpr.shapes.ml_predicted", predicted.size());
+      } else if (policy.ml_fallback_to_vpr) {
+        outcome.ml_fell_back = true;
+        need_exact = true;
+      } else {
+        outcome.fatal = true;
+        return;
+      }
     }
-    PPACD_CHECK(best_index != kInvalidShapeIndex,
-                "cluster " << ci << ": no finite-cost shape candidate");
+    if (need_exact) {
+      auto vpr = try_run_vpr(sub.netlist, options);
+      if (vpr.has_value()) {
+        best_index = vpr.value().best_index;
+        runs_per_cluster[k] =
+            static_cast<double>(vpr.value().candidates.size());
+        if (best_index == kInvalidShapeIndex) {
+          outcome.shape_error.code = "vpr-shape-eval-failed";
+          outcome.shape_error.site = "vpr.shape_eval";
+          outcome.shape_error.message = "no finite-cost shape candidate";
+        }
+      } else {
+        outcome.shape_error = std::move(vpr).error();
+      }
+    }
     if (best_index != kInvalidShapeIndex) {
       cluster::set_cluster_shape(clustered, ci, shapes[best_index]);
+    } else if (policy.shape_fallback_default) {
+      // Keep the default shape (AR 1.0, utilization 0.90) for this cluster.
+      outcome.shape_defaulted = true;
+      cluster::set_cluster_shape(clustered, ci, cluster::ClusterShape{});
+    } else {
+      outcome.fatal = true;
     }
   });
-  // Ordered accumulation: independent of which lane ran which cluster.
+  // Ordered accumulation and degradation recording: independent of which
+  // lane ran which cluster.
   for (const double runs : runs_per_cluster) stats.vpr_runs += runs;
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    ClusterOutcome& outcome = outcomes[k];
+    if (outcome.fatal) {
+      fault::FlowError error = outcome.shape_error.code.empty()
+                                   ? std::move(outcome.ml_error)
+                                   : std::move(outcome.shape_error);
+      return fault::Unexpected<fault::FlowError>(std::move(error));
+    }
+    if (outcome.ml_fell_back) {
+      ++stats.ml_fallbacks;
+      fault::record_degradation({"ml.predict", outcome.ml_error.code,
+                                 "vpr-exact", cluster_detail(eligible[k])});
+    }
+    if (outcome.shape_defaulted) {
+      ++stats.clusters_defaulted;
+      fault::record_degradation({"vpr.shape_eval", outcome.shape_error.code,
+                                 "default-shape", cluster_detail(eligible[k])});
+    }
+  }
   PPACD_COUNT("vpr.clusters.shaped", stats.clusters_shaped);
   PPACD_COUNT("vpr.clusters.skipped", stats.clusters_skipped);
   PPACD_LOG_DEBUG("vpr") << nl.name() << ": shaped " << stats.clusters_shaped
                          << " clusters (" << stats.clusters_skipped
                          << " below threshold)";
   return stats;
+}
+
+ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& nl,
+                                          cluster::ClusteredNetlist& clustered,
+                                          const VprOptions& options,
+                                          const ShapeCostPredictor* predictor) {
+  auto stats = try_select_cluster_shapes(nl, clustered, options, predictor,
+                                         fault::DegradePolicy{});
+  PPACD_CHECK(stats.has_value(),
+              "shape selection failed: " << stats.error().code);
+  return stats.value();
 }
 
 }  // namespace ppacd::vpr

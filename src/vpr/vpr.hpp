@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "cluster/clustered_netlist.hpp"
+#include "fault/expected.hpp"
+#include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/subnetlist.hpp"
 #include "place/global_placer.hpp"
@@ -85,8 +87,16 @@ ShapeCandidate evaluate_shape(const netlist::Netlist& subnetlist,
                               const cluster::ClusterShape& shape,
                               const VprOptions& options);
 
-/// Full V-P&R sweep over all candidates for one sub-netlist.
+/// Full V-P&R sweep over all candidates for one sub-netlist. Candidates
+/// whose evaluation fails (injected `vpr.shape_eval` fault or non-finite
+/// score) are left at infinite/NaN cost and excluded from best_index.
 VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options);
+
+/// Fallible form of run_vpr: converts allocation failure during the sweep
+/// into a structured `alloc-failure` error instead of propagating
+/// std::bad_alloc.
+fault::Expected<VprResult, fault::FlowError> try_run_vpr(
+    const netlist::Netlist& subnetlist, const VprOptions& options);
 
 /// Paper section 5 future work: L-shaped cluster footprints. Evaluates the
 /// sub-netlist on a virtual die whose bounding box is enlarged so that,
@@ -110,12 +120,32 @@ struct ShapeSelectionStats {
   int clusters_shaped = 0;    ///< clusters above the instance threshold
   int clusters_skipped = 0;
   double vpr_runs = 0;        ///< virtual P&R executions performed
+  /// Clusters where the ML predictor failed (or returned an
+  /// out-of-distribution result) and exact V-P&R was used instead.
+  int ml_fallbacks = 0;
+  /// Clusters whose shape sweep produced no finite candidate and that kept
+  /// the default shape (AR 1.0, utilization 0.90).
+  int clusters_defaulted = 0;
 };
 
 /// Assigns shapes to every qualifying cluster of `clustered` (Alg. 1
 /// line 12-13): with `predictor` null, exact V-P&R; otherwise the predictor
 /// picks the best candidate (ML-accelerated V-P&R). Skipped clusters keep
 /// their default shape.
+///
+/// Degradation: a predictor that throws, times out, or returns an
+/// out-of-distribution result (wrong count / non-finite costs) falls back
+/// to exact V-P&R when `policy.ml_fallback_to_vpr`; a sweep with no finite
+/// candidate keeps the default shape when `policy.shape_fallback_default`.
+/// Each fallback is recorded via fault::record_degradation. With the
+/// corresponding policy disabled the failure propagates as a FlowError.
+fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes(
+    const netlist::Netlist& netlist, cluster::ClusteredNetlist& clustered,
+    const VprOptions& options, const ShapeCostPredictor* predictor,
+    const fault::DegradePolicy& policy);
+
+/// Legacy entry point: try_select_cluster_shapes with the default (fully
+/// permissive) DegradePolicy; asserts on structural errors.
 ShapeSelectionStats select_cluster_shapes(const netlist::Netlist& netlist,
                                           cluster::ClusteredNetlist& clustered,
                                           const VprOptions& options,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/exec.hpp"
+#include "fault/fault.hpp"
 #include "flow/flow.hpp"
 #include "gen/designs.hpp"
 #include "gen/generator.hpp"
@@ -112,6 +113,8 @@ class DeterminismTest : public ::testing::Test {
   void TearDown() override {
     exec::set_thread_count(saved_threads_);
     telemetry::metrics().reset();
+    fault::clear_plan();
+    fault::reset_log();
   }
   int saved_threads_ = 1;
 };
@@ -137,6 +140,51 @@ TEST_F(DeterminismTest, DefaultFlowSecondDesignBitIdentical1v8) {
   const FlowSnapshot parallel = run_at(8, "jpeg", 500, /*clustered=*/false,
                                        /*enable_vpr=*/false);
   expect_identical(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under fault injection
+// ---------------------------------------------------------------------------
+//
+// Faults fire as a pure function of (plan seed, site, logical key, attempt),
+// never of dynamic hit order, and degradations are recorded from serial
+// contexts in a deterministic order — so an injected, degraded run must be
+// just as bit-identical across thread counts as a clean one.
+
+struct FaultedSnapshot {
+  FlowSnapshot flow;
+  std::vector<fault::Degradation> degradations;
+};
+
+FaultedSnapshot run_faulted_at(int threads, const char* plan_spec) {
+  auto plan = fault::parse_plan(plan_spec);
+  EXPECT_TRUE(plan.has_value()) << plan_spec;
+  fault::reset_log();
+  fault::set_plan(plan.value());
+  FaultedSnapshot snap;
+  snap.flow = run_at(threads, "aes", 600, /*clustered=*/true,
+                     /*enable_vpr=*/true);
+  snap.degradations = fault::degradation_log();
+  fault::clear_plan();
+  return snap;
+}
+
+TEST_F(DeterminismTest, FaultedClusteredFlowBitIdentical1v8) {
+  const char* plan =
+      "seed=7;vpr.shape_eval=error%0.5;route.maze=error%0.2;"
+      "sta.arrival=poison";
+  const FaultedSnapshot serial = run_faulted_at(1, plan);
+  const FaultedSnapshot parallel = run_faulted_at(8, plan);
+  expect_identical(serial.flow, parallel.flow);
+  // The degradation record — what fell back, why, in what order — must be
+  // identical too, not just the numeric outcome.
+  ASSERT_EQ(serial.degradations.size(), parallel.degradations.size());
+  EXPECT_FALSE(serial.degradations.empty());
+  for (std::size_t i = 0; i < serial.degradations.size(); ++i) {
+    EXPECT_TRUE(serial.degradations[i] == parallel.degradations[i])
+        << "degradation " << i << ": " << serial.degradations[i].site
+        << " vs " << parallel.degradations[i].site;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <set>
+#include <string>
 
 #include "cluster/community.hpp"
+#include "fault/fault.hpp"
 #include "cluster/fc_multilevel.hpp"
 #include "cluster/graph.hpp"
 #include "cluster/ppa_costs.hpp"
@@ -406,6 +409,137 @@ INSTANTIATE_TEST_SUITE_P(Designs, DendrogramProperty,
                            }
                            return name;
                          });
+
+// =============================================================================
+// Expected<T, FlowError> monad properties
+// =============================================================================
+
+using fault::Expected;
+using fault::FlowError;
+using fault::Unexpected;
+
+Expected<int, FlowError> parse_positive(int x) {
+  if (x > 0) return x;
+  return fault::err("not-positive", "prop.test", "x must be > 0");
+}
+
+TEST(ExpectedProperty, MapChainsOnValuesAndShortCircuitsOnErrors) {
+  for (int x = -8; x <= 8; ++x) {
+    const auto doubled =
+        parse_positive(x).map([](int v) { return v * 2; }).map(
+            [](int v) { return v + 1; });
+    if (x > 0) {
+      ASSERT_TRUE(doubled.has_value()) << x;
+      EXPECT_EQ(doubled.value(), x * 2 + 1);
+    } else {
+      ASSERT_FALSE(doubled.has_value()) << x;
+      // map must preserve the original error code untouched.
+      EXPECT_EQ(doubled.error().code, "not-positive");
+      EXPECT_EQ(doubled.error().site, "prop.test");
+    }
+  }
+}
+
+TEST(ExpectedProperty, AndThenAssociativity) {
+  // (m >>= f) >>= g  ==  m >>= (\x -> f x >>= g), over a value sweep.
+  const auto f = [](int v) { return parse_positive(v - 3); };
+  const auto g = [](int v) { return parse_positive(v - 5); };
+  for (int x = -2; x <= 12; ++x) {
+    const auto lhs = parse_positive(x).and_then(f).and_then(g);
+    const auto rhs = parse_positive(x).and_then(
+        [&](int v) { return f(v).and_then(g); });
+    ASSERT_EQ(lhs.has_value(), rhs.has_value()) << x;
+    if (lhs.has_value()) {
+      EXPECT_EQ(lhs.value(), rhs.value()) << x;
+    } else {
+      EXPECT_EQ(lhs.error().code, rhs.error().code) << x;
+    }
+  }
+}
+
+TEST(ExpectedProperty, ErrorCodePreservedThroughDeepChains) {
+  Expected<int, FlowError> start =
+      fault::err("route-maze-timeout", "route.maze", "injected");
+  const auto end = start.map([](int v) { return v + 1; })
+                       .and_then(parse_positive)
+                       .map([](int v) { return v * 10; })
+                       .or_else([](const FlowError& e)
+                                    -> Expected<int, FlowError> {
+                         // Recovery sees the original error verbatim.
+                         EXPECT_EQ(e.code, "route-maze-timeout");
+                         EXPECT_EQ(e.site, "route.maze");
+                         return Unexpected<FlowError>(e);
+                       });
+  ASSERT_FALSE(end.has_value());
+  EXPECT_EQ(end.error().code, "route-maze-timeout");
+  EXPECT_EQ(end.value_or(-1), -1);
+}
+
+TEST(ExpectedProperty, VoidExpectedChains) {
+  Expected<void, FlowError> ok;
+  ASSERT_TRUE(ok.has_value());
+  const auto chained = ok.map([] { return 7; }).and_then(parse_positive);
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained.value(), 7);
+
+  Expected<void, FlowError> bad =
+      fault::err("sta-arrival-failed", "sta.arrival");
+  bool ran = false;
+  const auto after = bad.map([&] { ran = true; return 1; });
+  EXPECT_FALSE(ran);
+  ASSERT_FALSE(after.has_value());
+  EXPECT_EQ(after.error().code, "sta-arrival-failed");
+}
+
+// =============================================================================
+// Fault-plan spec round-trip: parse(to_spec(plan)) == plan
+// =============================================================================
+
+TEST(FaultPlanProperty, SpecRoundTripsOverSiteKindSelectorSweep) {
+  const fault::FaultKind kinds[] = {
+      fault::FaultKind::kError, fault::FaultKind::kTimeout,
+      fault::FaultKind::kPoison, fault::FaultKind::kAlloc};
+  const double probabilities[] = {1.0, 0.5, 0.125};
+  const std::uint64_t nths[] = {0, 1, 17};
+  std::uint64_t seed = 1;
+  for (const std::string& site : fault::registered_sites()) {
+    for (const fault::FaultKind kind : kinds) {
+      for (const double probability : probabilities) {
+        for (const std::uint64_t nth : nths) {
+          fault::FaultPlan plan;
+          plan.seed = seed++;
+          plan.specs.push_back(fault::FaultSpec{site, kind, nth, probability});
+          const std::string spec = fault::to_spec(plan);
+          auto parsed = fault::parse_plan(spec);
+          ASSERT_TRUE(parsed.has_value()) << spec;
+          EXPECT_TRUE(parsed.value() == plan) << spec;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlanProperty, MultiSitePlanRoundTripsCanonically) {
+  // A plan covering every site at once; parse/to_spec must be a fixpoint
+  // (canonical form: sorted sites, one spec each).
+  auto parsed = fault::parse_plan(
+      "seed=42;route.maze=error%0.25;io.read=alloc;vpr.shape_eval=poison@3;"
+      "sta.arrival=timeout;ml.predict=error@2%0.5;place.solve=error;"
+      "route.maze=timeout");  // last entry per site wins
+  ASSERT_TRUE(parsed.has_value());
+  const std::string canonical = fault::to_spec(parsed.value());
+  auto reparsed = fault::parse_plan(canonical);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(reparsed.value() == parsed.value()) << canonical;
+  EXPECT_EQ(fault::to_spec(reparsed.value()), canonical);
+  // "route.maze=timeout" replaced the earlier error%0.25 spec.
+  for (const fault::FaultSpec& spec : reparsed.value().specs) {
+    if (spec.site == "route.maze") {
+      EXPECT_EQ(spec.kind, fault::FaultKind::kTimeout);
+      EXPECT_EQ(spec.probability, 1.0);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ppacd

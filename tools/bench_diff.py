@@ -10,32 +10,69 @@ or `bench_table2 --json`. Kernels are matched by name; for each match the
 tool prints the ns/op and allocs/op deltas, and flags kernels whose ns/op
 grew by more than the threshold (percent, default 10).
 
-Exit status is 0 unless --fail-on-regression is given and at least one
-kernel regressed; missing/extra kernels are reported but never fatal, so a
-CI job can run this as a non-blocking advisory step. Stdlib only.
+Exit status:
+    0  compared fine (or regressions found without --fail-on-regression)
+    1  --fail-on-regression and at least one kernel regressed
+    2  usage error (bad flags/arguments)
+    3  an input file is missing or unreadable
+    4  an input is not a ppacd-bench-perf-v1 report (bad JSON, wrong or
+       missing schema field, malformed kernels array)
+
+Missing/extra kernels are reported but never fatal, so a CI job can run
+this as a non-blocking advisory step. Stdlib only.
 """
 
 import argparse
 import json
 import sys
 
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_MISSING_FILE = 3
+EXIT_BAD_SCHEMA = 4
+
+
+class SchemaError(Exception):
+    """The file parsed as JSON but is not a ppacd-bench-perf-v1 report."""
+
 
 def load_kernels(path):
     with open(path, "r", encoding="utf-8") as fh:
-        report = json.load(fh)
+        try:
+            report = json.load(fh)
+        except json.JSONDecodeError as err:
+            raise SchemaError(f"{path}: not valid JSON ({err})") from err
+    if not isinstance(report, dict):
+        raise SchemaError(
+            f"{path}: expected a JSON object at top level, "
+            f"got {type(report).__name__}")
     schema = report.get("schema")
     if schema != "ppacd-bench-perf-v1":
-        raise ValueError(f"{path}: unexpected schema {schema!r}")
+        raise SchemaError(f"{path}: unexpected schema {schema!r} "
+                          "(want 'ppacd-bench-perf-v1')")
+    entries = report.get("kernels", [])
+    if not isinstance(entries, list):
+        raise SchemaError(f"{path}: 'kernels' must be an array, "
+                          f"got {type(entries).__name__}")
     kernels = {}
-    for entry in report.get("kernels", []):
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise SchemaError(f"{path}: kernel entries must be objects, "
+                              f"got {type(entry).__name__}")
         name = entry.get("name")
         if not name:
             continue
-        kernels[name] = {
-            "ns_per_op": float(entry.get("ns_per_op", 0.0)),
-            "allocs_per_op": float(entry.get("allocs_per_op", 0.0)),
-            "bytes_per_op": float(entry.get("bytes_per_op", 0.0)),
-        }
+        try:
+            kernels[name] = {
+                "ns_per_op": float(entry.get("ns_per_op", 0.0)),
+                "allocs_per_op": float(entry.get("allocs_per_op", 0.0)),
+                "bytes_per_op": float(entry.get("bytes_per_op", 0.0)),
+            }
+        except (TypeError, ValueError) as err:
+            raise SchemaError(
+                f"{path}: kernel {name!r} has non-numeric stats ({err})"
+            ) from err
     return kernels
 
 
@@ -64,9 +101,12 @@ def main():
     try:
         baseline = load_kernels(args.baseline)
         current = load_kernels(args.current)
-    except (OSError, ValueError, json.JSONDecodeError) as err:
+    except OSError as err:
+        print(f"bench_diff: cannot read report: {err}", file=sys.stderr)
+        return EXIT_MISSING_FILE
+    except SchemaError as err:
         print(f"bench_diff: {err}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_SCHEMA
 
     common = [name for name in baseline if name in current]
     missing = sorted(set(baseline) - set(current))
@@ -103,11 +143,11 @@ def main():
         for name, delta in regressions:
             print(f"  {name}: +{delta:.1f}%")
         if args.fail_on_regression:
-            return 1
+            return EXIT_REGRESSION
     else:
         print(f"\nno ns/op regressions above {args.threshold:.0f}% "
               f"({len(common)} kernels compared)")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":
