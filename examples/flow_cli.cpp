@@ -12,11 +12,20 @@
 ///            [--write-congestion FILE] [--report-paths N]
 ///            [--cells N] [--report FILE] [--trace FILE] [--check LEVEL]
 ///            [--threads N] [--fault-plan SPEC]
+///            [--observe[=FILE]] [--qor[=FILE]]
 ///
 /// --report writes the telemetry run report (flow config, phase timings,
 /// metric snapshot, PPA outcome, errors/degradations) as JSON; --trace
 /// writes a Chrome trace_event file loadable in chrome://tracing or
-/// https://ui.perfetto.dev.
+/// https://ui.perfetto.dev. With a -DPPACD_TELEMETRY=OFF build both flags
+/// print a warning and write nothing (exit status unaffected).
+/// --observe enables the flight recorder (src/observe) and writes the
+/// event stream (convergence samples, heatmaps, histograms; schema
+/// ppacd-observe-v1) to FILE (default observe_events.json) — feed it to
+/// tools/flow_dashboard.py for a static HTML dashboard. --qor writes the
+/// QoR ledger (schema ppacd-qor-v1; final PPA metrics + convergence
+/// summaries) to FILE (default bench_results/<design>.qor.json) — compare
+/// ledgers with tools/qor_diff.py.
 /// --check off|cheap|full runs the src/check invariant validators between
 /// flow phases; any violation is logged, reported, and makes the process
 /// exit with status 2 (so CI can gate on it).
@@ -28,6 +37,7 @@
 /// prints its code and exits with status 3.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -39,8 +49,10 @@
 #include "flow/report.hpp"
 #include "gen/designs.hpp"
 #include "gen/generator.hpp"
+#include "flow/qor.hpp"
 #include "netlist/io.hpp"
 #include "netlist/stats.hpp"
+#include "observe/observe.hpp"
 #include "route/global_router.hpp"
 #include "sta/report.hpp"
 #include "telemetry/telemetry.hpp"
@@ -68,6 +80,10 @@ struct Args {
   int threads = 0;  // 0 = PPACD_THREADS env / hardware default
   ppacd::check::CheckLevel check_level = ppacd::check::CheckLevel::kOff;
   std::string fault_plan;  // empty = PPACD_FAULTS env (if set)
+  bool observe = false;
+  std::string observe_path = "observe_events.json";
+  bool qor = false;
+  std::string qor_path;  // empty = bench_results/<design>.qor.json
 };
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -92,6 +108,16 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (arg == "--trace") args->trace_json = value();
     else if (arg == "--opt") args->timing_opt = true;
     else if (arg == "--detailed") args->detailed = true;
+    else if (arg == "--observe") args->observe = true;
+    else if (arg.rfind("--observe=", 0) == 0) {
+      args->observe = true;
+      args->observe_path = arg.substr(std::strlen("--observe="));
+    }
+    else if (arg == "--qor") args->qor = true;
+    else if (arg.rfind("--qor=", 0) == 0) {
+      args->qor = true;
+      args->qor_path = arg.substr(std::strlen("--qor="));
+    }
     else if (arg == "--threads") args->threads = std::atoi(value());
     else if (arg == "--fault-plan") args->fault_plan = value();
     else if (arg == "--check") {
@@ -117,6 +143,18 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, &args)) return 1;
   if (args.threads > 0) exec::set_thread_count(args.threads);
+
+  // --- Flight recorder ---------------------------------------------------------
+  if (args.observe) {
+    if (observe::kCompiledIn) {
+      observe::recorder().set_enabled(true);
+    } else {
+      std::fprintf(stderr,
+                   "warning: built with -DPPACD_OBSERVE=OFF; --observe "
+                   "records nothing\n");
+      args.observe = false;
+    }
+  }
 
   // --- Fault plan (CLI flag wins over the PPACD_FAULTS environment) -----------
   if (!args.fault_plan.empty()) {
@@ -182,6 +220,7 @@ int main(int argc, char** argv) {
     fault::record_error(error);
     std::fprintf(stderr, "flow error: %s at %s: %s\n", error.code.c_str(),
                  error.site.c_str(), error.message.c_str());
+#if !defined(PPACD_TELEMETRY_DISABLED)
     if (!args.report_json.empty()) {
       flow::RunReportInputs report;
       report.design =
@@ -190,16 +229,18 @@ int main(int argc, char** argv) {
       report.options = &options;
       flow::write_run_report(args.report_json, report);
     }
+#endif
     return 3;
   };
   auto result_or = args.flow == "default"
                        ? flow::try_run_default_flow(*design, options)
                        : flow::try_run_clustered_flow(*design, options);
   if (!result_or.has_value()) return fail_flow(result_or.error());
-  const flow::FlowResult result = std::move(result_or).value();
+  flow::FlowResult result = std::move(result_or).value();
   auto ppa_or = flow::try_evaluate_ppa(*design, result.place.positions, options);
   if (!ppa_or.has_value()) return fail_flow(ppa_or.error());
   const flow::PpaOutcome ppa = std::move(ppa_or).value();
+  result.ppa = ppa;
   for (const auto& d : fault::degradation_log()) {
     std::printf("degraded: %s (%s) -> %s\n", d.site.c_str(),
                 d.error_code.c_str(), d.fallback.c_str());
@@ -219,9 +260,21 @@ int main(int argc, char** argv) {
     if (violations > 0) exit_code = 2;
   }
 
+  const std::string design_name =
+      design->name().empty() ? args.design : std::string(design->name());
+#if defined(PPACD_TELEMETRY_DISABLED)
+  // Graceful degrade: with telemetry compiled out there are no spans or
+  // metrics to serialize, so warn and skip instead of writing a file whose
+  // interesting sections would all be empty.
+  if (!args.report_json.empty() || !args.trace_json.empty()) {
+    std::fprintf(stderr,
+                 "warning: built with -DPPACD_TELEMETRY=OFF; --report/--trace "
+                 "write nothing\n");
+  }
+#else
   if (!args.report_json.empty()) {
     flow::RunReportInputs report;
-    report.design = design->name().empty() ? args.design : std::string(design->name());
+    report.design = design_name;
     report.flow = args.flow;
     report.options = &options;
     report.place = &result.place;
@@ -238,6 +291,29 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", args.trace_json.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", args.trace_json.c_str());
+      return 1;
+    }
+  }
+#endif
+  if (args.observe) {
+    if (observe::write_events(args.observe_path, design_name)) {
+      std::printf("wrote %s\n", args.observe_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.observe_path.c_str());
+      return 1;
+    }
+  }
+  if (args.qor) {
+    std::string qor_path = args.qor_path;
+    if (qor_path.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories("bench_results", ec);
+      qor_path = "bench_results/" + design_name + ".qor.json";
+    }
+    if (flow::write_qor(qor_path, design_name, args.flow, result)) {
+      std::printf("wrote %s\n", qor_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", qor_path.c_str());
       return 1;
     }
   }

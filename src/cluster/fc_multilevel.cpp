@@ -6,6 +6,7 @@
 
 #include "cluster/ppa_costs.hpp"
 #include "netlist/flat.hpp"
+#include "observe/observe.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/csr.hpp"
 #include "util/dense_scratch.hpp"
@@ -74,6 +75,13 @@ struct UnionFind {
 FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
                                const FcPpaInputs& ppa, const FcOptions& options) {
   PPACD_SPAN(fc_span, "cluster.fc");
+  // Flight recorder: per-level coarsening progress plus the final cluster
+  // size distribution and cut quality. Everything here is serial.
+  const bool observing = observe::active();
+  const std::int32_t obs_level_series =
+      observing
+          ? observe::recorder().begin_series(observe::Stream::kClusterLevel)
+          : -1;
   FcResult result;
   const std::int32_t n_cells = static_cast<std::int32_t>(nl.cell_count());
   result.cluster_of_cell.assign(static_cast<std::size_t>(n_cells), 0);
@@ -219,6 +227,12 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
     PPACD_HIST("cluster.fc.match_rate", match_rate);
     PPACD_SPAN_ATTR(level_span, "merges", merges);
     PPACD_SPAN_ATTR(level_span, "match_rate", match_rate);
+    if (observing) {
+      observe::recorder().record(
+          observe::Stream::kClusterLevel, obs_level_series, pass, 0,
+          {static_cast<double>(level.vertex_count),
+           static_cast<double>(merges), match_rate});
+    }
 
     if (merges == 0 ||
         merges < std::max<std::int32_t>(1, level.vertex_count / 50)) {
@@ -305,6 +319,75 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
     }
     result.cluster_count = next;
     result.singleton_count = 0;
+  }
+
+  if (observing) {
+    // Final cluster size distribution (32-bin histogram, layout
+    // [lo, hi, count_0..n-1], sizes recomputed after any singleton merge).
+    std::vector<std::int32_t> final_size(
+        static_cast<std::size_t>(result.cluster_count), 0);
+    for (const std::int32_t c : result.cluster_of_cell) {
+      ++final_size[static_cast<std::size_t>(c)];
+    }
+    constexpr int kSizeBins = 32;
+    std::vector<double> frame(2 + kSizeBins, 0.0);
+    if (!final_size.empty()) {
+      double lo = final_size[0];
+      double hi = final_size[0];
+      for (const std::int32_t s : final_size) {
+        lo = std::min(lo, static_cast<double>(s));
+        hi = std::max(hi, static_cast<double>(s));
+      }
+      if (hi <= lo) hi = lo + 1.0;
+      frame[0] = lo;
+      frame[1] = hi;
+      for (const std::int32_t s : final_size) {
+        const int bin = std::min(
+            kSizeBins - 1, static_cast<int>((s - lo) / (hi - lo) * kSizeBins));
+        frame[static_cast<std::size_t>(2 + bin)] += 1.0;
+      }
+    }
+    const std::int32_t size_series =
+        observe::recorder().begin_series(observe::Stream::kClusterSize);
+    observe::recorder().record_frame(observe::Stream::kClusterSize,
+                                     size_series, 0, kSizeBins, 0,
+                                     std::move(frame));
+
+    // Cut quality: fraction of multi-cell nets spanning >1 final cluster.
+    std::int64_t cut = 0;
+    std::int64_t multi = 0;
+    for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+      if (nl.net(static_cast<netlist::NetId>(ni)).is_clock) continue;
+      const auto members = flat.net_cells.row(ni);
+      if (members.empty()) continue;
+      const std::int32_t first_cell = members[0];
+      const std::int32_t first_cluster =
+          result.cluster_of_cell[static_cast<std::size_t>(first_cell)];
+      bool is_multi = false;
+      bool is_cut = false;
+      for (const std::int32_t cell : members) {
+        if (cell == first_cell) continue;
+        is_multi = true;
+        if (result.cluster_of_cell[static_cast<std::size_t>(cell)] !=
+            first_cluster) {
+          is_cut = true;
+          break;
+        }
+      }
+      if (is_multi) {
+        ++multi;
+        if (is_cut) ++cut;
+      }
+    }
+    const double cut_fraction =
+        multi > 0 ? static_cast<double>(cut) / static_cast<double>(multi) : 0.0;
+    const std::int32_t cut_series =
+        observe::recorder().begin_series(observe::Stream::kClusterCut);
+    observe::recorder().record(
+        observe::Stream::kClusterCut, cut_series, 0, 0,
+        {cut_fraction, static_cast<double>(result.cluster_count),
+         static_cast<double>(result.singleton_count),
+         static_cast<double>(result.levels)});
   }
 
   PPACD_COUNT("scratch.epoch.resets",

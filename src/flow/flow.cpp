@@ -475,7 +475,11 @@ fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
   {
     PPACD_SPAN(span, "flow.route");
     span.anchor();
-    route::GlobalRouter router(nl, positions, box.rect(), options.router);
+    // Top-level evaluation: stream router progress to the flight recorder
+    // (nested shape-sweep routers keep the default, silent).
+    route::RouteOptions route_options = options.router;
+    route_options.observe_stream = true;
+    route::GlobalRouter router(nl, positions, box.rect(), route_options);
     auto routed_or = router.try_run(options.degrade);
     if (!routed_or.has_value()) {
       return fault::Unexpected<fault::FlowError>(std::move(routed_or).error());
@@ -513,6 +517,7 @@ fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
   sta_options.clock_period_ps = options.clock_period_ps;
   sta_options.cell_positions = &positions;
   sta_options.clock_arrivals_ps = &tree.insertion_delay_ps;
+  sta_options.observe_stream = true;  // top-level evaluation only
   sta::Sta sta(nl, sta_options);
   auto sta_run = sta.try_run();
   if (sta_run.has_value()) {

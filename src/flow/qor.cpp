@@ -1,0 +1,171 @@
+#include "flow/qor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "observe/observe.hpp"
+
+namespace ppacd::flow {
+
+namespace {
+
+using observe::Frame;
+using observe::Sample;
+using observe::Stream;
+
+/// Samples of `stream` restricted to its highest series (the flow's last
+/// run of that solver: for placement that is the incremental/final placer).
+std::vector<Sample> last_series(const std::vector<Sample>& samples,
+                                Stream stream) {
+  const std::int32_t sid = static_cast<std::int32_t>(stream);
+  std::int32_t last = -1;
+  for (const Sample& s : samples) {
+    if (s.stream == sid) last = std::max(last, s.series);
+  }
+  std::vector<Sample> out;
+  for (const Sample& s : samples) {
+    if (s.stream == sid && s.series == last) out.push_back(s);
+  }
+  return out;
+}
+
+/// Rounds until the total overflow halves, linearly interpolated between
+/// the per-round kRouteRound samples; -1 when it never halves.
+double overflow_half_life(const std::vector<Sample>& rounds) {
+  std::vector<std::pair<std::int64_t, double>> points;
+  for (const Sample& s : rounds) {
+    if (s.sub == 0 && s.count >= 3) points.emplace_back(s.index, s.values[2]);
+  }
+  std::sort(points.begin(), points.end());
+  if (points.size() < 2 || points.front().second <= 0.0) return -1.0;
+  const double half = points.front().second * 0.5;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].second <= half) {
+      const double prev = points[i - 1].second;
+      const double cur = points[i].second;
+      const double frac = prev > cur ? (prev - half) / (prev - cur) : 1.0;
+      return static_cast<double>(points[i - 1].first) +
+             frac * static_cast<double>(points[i].first - points[i - 1].first);
+    }
+  }
+  return -1.0;
+}
+
+/// q-quantile of a uniform-bin histogram frame ([lo, hi, count_0..n-1]),
+/// interpolating within the winning bin. 0.0 when the frame is empty.
+double frame_percentile(const Frame& frame, double q) {
+  if (frame.values.size() < 3) return 0.0;
+  const double lo = frame.values[0];
+  const double hi = frame.values[1];
+  const std::size_t bins = frame.values.size() - 2;
+  double total = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) total += frame.values[2 + i];
+  if (total <= 0.0 || hi <= lo) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * total;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  double below = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double c = frame.values[2 + i];
+    if (below + c >= rank && c > 0.0) {
+      const double frac = (rank - below) / c;
+      return lo + (static_cast<double>(i) + frac) * width;
+    }
+    below += c;
+  }
+  return hi;
+}
+
+}  // namespace
+
+telemetry::Json qor_json(std::string_view design, std::string_view flow_name,
+                         const FlowResult& result) {
+  using telemetry::Json;
+  Json out = Json::object();
+  out.set("schema", "ppacd-qor-v1");
+  out.set("design", design);
+  out.set("flow", flow_name);
+
+  Json metrics = Json::object();
+  metrics.set("hpwl_um", result.place.hpwl_um);
+  metrics.set("rwl_um", result.ppa.rwl_um);
+  metrics.set("wns_ps", result.ppa.wns_ps);
+  metrics.set("tns_ns", result.ppa.tns_ns);
+  metrics.set("power_w", result.ppa.power_w);
+  metrics.set("clock_skew_ps", result.ppa.clock_skew_ps);
+  metrics.set("route_overflow_edges",
+              static_cast<double>(result.ppa.route_overflow_edges));
+  metrics.set("cluster_count", static_cast<double>(result.place.cluster_count));
+  out.set("metrics", std::move(metrics));
+
+  // Convergence summaries from the flight recorder. Entries appear only
+  // when the matching stream recorded anything this run.
+  Json convergence = Json::object();
+  const std::vector<Sample> samples = observe::recorder().merged_samples();
+
+  const std::vector<Sample> place = last_series(samples, Stream::kPlaceIter);
+  if (!place.empty()) {
+    std::int64_t iters = 0;
+    double final_overflow = 0.0;
+    double final_hpwl = 0.0;
+    for (const Sample& s : place) {
+      if (s.sub != 0) continue;
+      if (s.index + 1 > iters) {
+        iters = s.index + 1;
+        final_hpwl = s.values[0];
+        final_overflow = s.values[1];
+      }
+    }
+    convergence.set("place_iterations", static_cast<double>(iters));
+    convergence.set("place_final_overflow", final_overflow);
+    convergence.set("place_final_hpwl_um", final_hpwl);
+  }
+
+  // Total CG iterations across every solve (the sub == -1 summaries).
+  {
+    double cg_total = 0.0;
+    bool any = false;
+    for (const Sample& s : samples) {
+      if (s.stream == static_cast<std::int32_t>(Stream::kPlaceCg) &&
+          s.sub == -1) {
+        cg_total += s.values[0];
+        any = true;
+      }
+    }
+    if (any) convergence.set("cg_iterations_total", cg_total);
+  }
+
+  const std::vector<Sample> rounds = last_series(samples, Stream::kRouteRound);
+  if (!rounds.empty()) {
+    convergence.set("route_rounds", static_cast<double>(rounds.size()));
+    convergence.set("route_overflow_half_life_rounds",
+                    overflow_half_life(rounds));
+  }
+
+  // Slack percentiles from the newest kStaSlack histogram frame.
+  const std::vector<Frame> frames = observe::recorder().frames();
+  const Frame* slack = nullptr;
+  for (const Frame& f : frames) {
+    if (f.stream == static_cast<std::int32_t>(Stream::kStaSlack)) slack = &f;
+  }
+  if (slack != nullptr) {
+    convergence.set("slack_p10_ps", frame_percentile(*slack, 0.10));
+    convergence.set("slack_p50_ps", frame_percentile(*slack, 0.50));
+    convergence.set("slack_p90_ps", frame_percentile(*slack, 0.90));
+  }
+
+  out.set("convergence", std::move(convergence));
+  return out;
+}
+
+bool write_qor(const std::string& path, std::string_view design,
+               std::string_view flow_name, const FlowResult& result) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << qor_json(design, flow_name, result).dump(2) << '\n';
+  return static_cast<bool>(file);
+}
+
+}  // namespace ppacd::flow

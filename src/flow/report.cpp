@@ -8,6 +8,7 @@
 
 #include "check/check.hpp"
 #include "fault/fault.hpp"
+#include "observe/observe.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ppacd::flow {
@@ -200,6 +201,11 @@ telemetry::Json run_report_json(const RunReportInputs& inputs) {
   out.set("degradations", fault::degradations_json());
   if (inputs.place != nullptr) out.set("place", place_json(*inputs.place));
   if (inputs.ppa != nullptr) out.set("ppa", ppa_json(*inputs.ppa));
+  // Flight-recorder event stream (folded in only when the recorder captured
+  // anything, so reports stay unchanged for observe-off runs).
+  if (observe::kCompiledIn && observe::recorder().enabled()) {
+    out.set("observe", observe::recorder().to_json(inputs.design));
+  }
   return out;
 }
 

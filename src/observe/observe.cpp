@@ -1,0 +1,286 @@
+#include "observe/observe.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace ppacd::observe {
+
+const char* to_string(Stream stream) {
+  switch (stream) {
+    case Stream::kPlaceIter: return "place.iter";
+    case Stream::kPlaceCg: return "place.cg";
+    case Stream::kRouteBatch: return "route.batch";
+    case Stream::kRouteRound: return "route.round";
+    case Stream::kRouteHeatmap: return "route.heatmap";
+    case Stream::kStaLevel: return "sta.level";
+    case Stream::kStaSlack: return "sta.slack";
+    case Stream::kVprCandidate: return "vpr.candidate";
+    case Stream::kClusterLevel: return "cluster.level";
+    case Stream::kClusterSize: return "cluster.size";
+    case Stream::kClusterCut: return "cluster.cut";
+    case Stream::kStreamCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// Total order over samples; the deterministic merge key.
+bool sample_less(const Sample& a, const Sample& b) {
+  if (a.stream != b.stream) return a.stream < b.stream;
+  if (a.series != b.series) return a.series < b.series;
+  if (a.index != b.index) return a.index < b.index;
+  return a.sub < b.sub;
+}
+
+bool env_default_enabled() {
+  const char* env = std::getenv("PPACD_OBSERVE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Fixed-capacity ring of samples owned by one thread. Only the owning
+/// thread writes; snapshots read under the registry mutex while no parallel
+/// region is emitting (the flow snapshots between phases / at the end).
+struct ThreadRing {
+  std::vector<Sample> slots;
+  std::size_t next = 0;        ///< insertion cursor
+  std::size_t size = 0;        ///< live samples (<= slots.size())
+  std::int64_t overwritten = 0;
+
+  void push(const Sample& sample, std::size_t capacity) {
+    if (slots.size() != capacity) {
+      // First use, or capacity changed between runs: restart this ring.
+      slots.assign(capacity, Sample{});
+      next = 0;
+      size = 0;
+    }
+    if (size == capacity) ++overwritten;
+    slots[next] = sample;
+    next = (next + 1) % capacity;
+    size = std::min(size + 1, capacity);
+  }
+
+  void clear() {
+    next = 0;
+    size = 0;
+    overwritten = 0;
+  }
+};
+
+}  // namespace
+
+struct Recorder::Impl {
+  std::atomic<bool> enabled{env_default_enabled()};
+  std::atomic<std::size_t> capacity{std::size_t{1} << 15};
+  std::atomic<int> stride{1};
+  std::atomic<std::int64_t> frames_dropped{0};
+
+  mutable std::mutex mutex;  ///< guards rings registry, frames, series
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::deque<Frame> frames;
+  std::int32_t next_series[static_cast<std::size_t>(Stream::kStreamCount)] = {};
+  std::uint64_t generation = 1;  ///< bumped by reset(); stale rings restart
+};
+
+Recorder::Impl& Recorder::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Recorder& recorder() {
+  static Recorder instance;
+  return instance;
+}
+
+bool Recorder::enabled() const {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+void Recorder::set_enabled(bool enabled) {
+  impl().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t Recorder::capacity() const {
+  return impl().capacity.load(std::memory_order_relaxed);
+}
+
+void Recorder::set_capacity(std::size_t capacity) {
+  impl().capacity.store(std::max<std::size_t>(1, capacity),
+                        std::memory_order_relaxed);
+}
+
+int Recorder::sample_stride() const {
+  return impl().stride.load(std::memory_order_relaxed);
+}
+
+void Recorder::set_sample_stride(int stride) {
+  impl().stride.store(std::max(1, stride), std::memory_order_relaxed);
+}
+
+std::int32_t Recorder::begin_series(Stream stream) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.next_series[static_cast<std::size_t>(stream)]++;
+}
+
+namespace {
+
+/// Per-thread ring plus the reset generation it was registered under.
+struct ThreadRingRef {
+  ThreadRing* ring = nullptr;
+  std::uint64_t generation = 0;
+};
+
+thread_local ThreadRingRef t_ring;
+
+}  // namespace
+
+void Recorder::record(Stream stream, std::int32_t series, std::int64_t index,
+                      std::int64_t sub, std::initializer_list<double> values) {
+  Impl& state = impl();
+  // Emit sites gate on active()/want() already; this keeps the contract (a
+  // disabled recorder records nothing) even for direct API callers.
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  // reset() bumps the generation; a thread that cached a ring from before
+  // the reset re-registers (its old ring was cleared, not freed, so the
+  // stale pointer is never dangling — re-registration just re-reads it).
+  if (t_ring.ring == nullptr || t_ring.generation != state.generation) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.rings.push_back(std::make_unique<ThreadRing>());
+    t_ring.ring = state.rings.back().get();
+    t_ring.generation = state.generation;
+  }
+  Sample sample;
+  sample.stream = static_cast<std::int32_t>(stream);
+  sample.series = series;
+  sample.index = index;
+  sample.sub = sub;
+  for (const double v : values) {
+    if (sample.count >= 4) break;
+    sample.values[sample.count++] = v;
+  }
+  t_ring.ring->push(sample, capacity());
+}
+
+void Recorder::record_frame(Stream stream, std::int32_t series,
+                            std::int64_t index, std::int32_t nx,
+                            std::int32_t ny, std::vector<double> values) {
+  Impl& state = impl();
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.frames.size() >= kMaxFrames) {
+    state.frames.pop_front();
+    state.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  Frame frame;
+  frame.stream = static_cast<std::int32_t>(stream);
+  frame.series = series;
+  frame.index = index;
+  frame.nx = nx;
+  frame.ny = ny;
+  frame.values = std::move(values);
+  state.frames.push_back(std::move(frame));
+}
+
+std::vector<Sample> Recorder::merged_samples() const {
+  Impl& state = impl();
+  std::vector<Sample> merged;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const auto& ring : state.rings) {
+      for (std::size_t i = 0; i < ring->size; ++i) {
+        merged.push_back(ring->slots[i]);
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end(), sample_less);
+  // Ring semantics across the merge too: when the union exceeds the
+  // capacity, drop the lowest keys (the oldest logical indices) so the
+  // retained set is a pure function of the keys, not the thread count.
+  const std::size_t cap = capacity();
+  if (merged.size() > cap) {
+    merged.erase(merged.begin(),
+                 merged.begin() + static_cast<std::ptrdiff_t>(merged.size() - cap));
+  }
+  return merged;
+}
+
+std::vector<Frame> Recorder::frames() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return {state.frames.begin(), state.frames.end()};
+}
+
+std::int64_t Recorder::dropped() const {
+  Impl& state = impl();
+  std::int64_t total = state.frames_dropped.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& ring : state.rings) total += ring->overwritten;
+  return total;
+}
+
+void Recorder::reset() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& ring : state.rings) ring->clear();
+  state.frames.clear();
+  state.frames_dropped.store(0, std::memory_order_relaxed);
+  std::fill(std::begin(state.next_series), std::end(state.next_series), 0);
+  ++state.generation;
+}
+
+telemetry::Json Recorder::to_json(std::string_view label) const {
+  using telemetry::Json;
+  Json out = Json::object();
+  out.set("schema", "ppacd-observe-v1");
+  out.set("label", label);
+  out.set("sample_stride", sample_stride());
+  out.set("dropped", dropped());
+
+  Json samples = Json::array();
+  for (const Sample& sample : merged_samples()) {
+    Json entry = Json::object();
+    entry.set("stream", to_string(static_cast<Stream>(sample.stream)));
+    entry.set("series", sample.series);
+    entry.set("index", sample.index);
+    entry.set("sub", sample.sub);
+    Json values = Json::array();
+    for (std::int32_t i = 0; i < sample.count; ++i) {
+      values.push_back(sample.values[i]);
+    }
+    entry.set("values", std::move(values));
+    samples.push_back(std::move(entry));
+  }
+  out.set("samples", std::move(samples));
+
+  Json frames_json = Json::array();
+  for (const Frame& frame : frames()) {
+    Json entry = Json::object();
+    entry.set("stream", to_string(static_cast<Stream>(frame.stream)));
+    entry.set("series", frame.series);
+    entry.set("index", frame.index);
+    entry.set("nx", frame.nx);
+    entry.set("ny", frame.ny);
+    Json values = Json::array();
+    for (const double v : frame.values) values.push_back(v);
+    entry.set("values", std::move(values));
+    frames_json.push_back(std::move(entry));
+  }
+  out.set("frames", std::move(frames_json));
+  return out;
+}
+
+bool write_events(const std::string& path, std::string_view label) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << recorder().to_json(label).dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace ppacd::observe

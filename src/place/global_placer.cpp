@@ -7,6 +7,7 @@
 #include <span>
 
 #include "exec/exec.hpp"
+#include "observe/observe.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/arena.hpp"
 #include "util/logging.hpp"
@@ -144,8 +145,12 @@ namespace {
 /// mat-vec is row-parallel and every dot product reduces in fixed chunk
 /// order, so the iterate sequence is bit-identical for any thread count.
 /// The four work vectors live in `arena`, reset (capacity kept) per call.
+/// When `obs_series >= 0`, sampled relative residuals stream to the flight
+/// recorder as kPlaceCg (series obs_series, index obs_index, sub cg_iter);
+/// a final sub == -1 sample carries {iters_run, final_residual}.
 void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
-              double tolerance, util::Arena& arena) {
+              double tolerance, util::Arena& arena,
+              std::int32_t obs_series = -1, std::int64_t obs_index = 0) {
   const std::size_t n = x.size();
   if (n == 0) return;
   arena.reset();
@@ -171,12 +176,13 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   std::copy(z.begin(), z.end(), p.begin());
   double rz = dot(r, z);
 
-  for (int iter = 0; iter < max_iters; ++iter) {
-    if (std::sqrt(dot(r, r)) / b_norm < tolerance) break;
-
+  // One CG step: direction update, solution/residual axpy, re-precondition.
+  // Returns false on the defensive SPD bail-out. Shared by both loops below
+  // so the instrumented variant can't drift from the pristine one.
+  auto step = [&]() -> bool {
     system.multiply(p, ap);
     const double p_ap = dot(p, ap);
-    if (p_ap <= 0.0) break;  // matrix should be SPD; bail out defensively
+    if (p_ap <= 0.0) return false;  // matrix should be SPD; bail out
     const double alpha = rz / p_ap;
     exec::parallel_for(0, n, kVecGrain, [&](std::size_t i) {
       x[i] += alpha * p[i];
@@ -188,7 +194,44 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
     rz = rz_new;
     exec::parallel_for(0, n, kVecGrain,
                        [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
+    return true;
+  };
+
+  const bool observing = obs_series >= 0 && observe::active();
+  if (!observing) {
+    // Pristine hot loop: no extra live state, no calls into the recorder —
+    // codegen matches the uninstrumented solver.
+    for (int iter = 0; iter < max_iters; ++iter) {
+      if (std::sqrt(dot(r, r)) / b_norm < tolerance) break;
+      if (!step()) break;
+    }
+    return;
   }
+
+  // Instrumented variant: residuals land in an arena scratch log (one plain
+  // store per iteration) and flush to the recorder after the loop, keeping
+  // recorder calls out of the solve.
+  const std::span<double> resid_log =
+      arena.alloc<double>(static_cast<std::size_t>(max_iters) + 1);
+  int logged = 0;
+  int iters_run = 0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    const double residual = std::sqrt(dot(r, r)) / b_norm;
+    resid_log[logged++] = residual;
+    if (residual < tolerance) break;
+    iters_run = iter + 1;
+    if (!step()) break;
+  }
+  observe::Recorder& rec = observe::recorder();
+  for (int i = 0; i < logged; ++i) {
+    if (rec.want(i)) {
+      rec.record(observe::Stream::kPlaceCg, obs_series, obs_index, i,
+                 {resid_log[i]});
+    }
+  }
+  rec.record(observe::Stream::kPlaceCg, obs_series, obs_index, -1,
+             {static_cast<double>(iters_run),
+              logged > 0 ? resid_log[logged - 1] : 0.0});
 }
 
 constexpr double kMinB2bDist = 0.5;  // um; keeps B2B weights bounded
@@ -334,7 +377,7 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
     x[m] = coord(positions[static_cast<std::size_t>(movable_objects_[m])]);
   }
   solve_cg(system, x, options_.cg_max_iterations, options_.cg_tolerance,
-           scratch_->cg_arena);
+           scratch_->cg_arena, obs_cg_series_[x_dir ? 0 : 1], obs_iter_);
   for (std::size_t m = 0; m < n; ++m) {
     auto& p = positions[static_cast<std::size_t>(movable_objects_[m])];
     if (x_dir) p.x = x[m];
@@ -646,6 +689,20 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
   double overflow = 1.0;
   const int schedule_offset =
       seed_anchor != nullptr ? options_.incremental_anchor_offset : 0;
+  // Flight recorder: only top-level placements stream (trace_iterations is
+  // false for the nested VPR placements, whose emissions would collide).
+  const bool observing = observe::active() && options_.trace_iterations;
+  obs_iter_series_ = -1;
+  obs_cg_series_[0] = obs_cg_series_[1] = -1;
+  if (observing) {
+    obs_iter_series_ = observe::recorder().begin_series(
+        observe::Stream::kPlaceIter);
+    obs_cg_series_[0] =
+        observe::recorder().begin_series(observe::Stream::kPlaceCg);
+    obs_cg_series_[1] =
+        observe::recorder().begin_series(observe::Stream::kPlaceCg);
+  }
+  Placement pre_spread;  // observe-only snapshot; never feeds the solver
   std::string degrade_code;
   int iter = 0;
   for (; iter < iterations; ++iter) {
@@ -673,9 +730,11 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
     // optimization escape seed geometry that disagrees with the netlist.
     const double seed_decay = std::max(0.0, 1.0 - iter / 5.0);
     seed_weight_ = options_.incremental_anchor * seed_decay;
+    obs_iter_ = iter;
     solve_direction(true, positions, anchors, anchor_weight, seed_anchor);
     solve_direction(false, positions, anchors, anchor_weight, seed_anchor);
     clamp_to_core_and_regions(positions);
+    if (observing) pre_spread = positions;
     if (options_.spread_mode == SpreadMode::kBisection) {
       overflow = measure_overflow(positions);
       spread_bisection(positions);
@@ -685,6 +744,26 @@ PlaceResult GlobalPlacer::optimize(Placement positions, int iterations,
     clamp_to_core_and_regions(positions);
     anchors = positions;
     const double hpwl = total_hpwl(*model_, positions);
+    if (observing) {
+      double disp_sum = 0.0;
+      double disp_max = 0.0;
+      for (const std::int32_t obj : movable_objects_) {
+        const auto& a = pre_spread[static_cast<std::size_t>(obj)];
+        const auto& b = positions[static_cast<std::size_t>(obj)];
+        const double d = std::hypot(b.x - a.x, b.y - a.y);
+        disp_sum += d;
+        disp_max = std::max(disp_max, d);
+      }
+      const double disp_mean =
+          movable_objects_.empty()
+              ? 0.0
+              : disp_sum / static_cast<double>(movable_objects_.size());
+      observe::recorder().record(observe::Stream::kPlaceIter, obs_iter_series_,
+                                 iter, 0,
+                                 {hpwl, overflow, anchor_weight, disp_mean});
+      observe::recorder().record(observe::Stream::kPlaceIter, obs_iter_series_,
+                                 iter, 1, {disp_max});
+    }
     PPACD_COUNT("place.gp.iterations", 1);
     PPACD_GAUGE_SET("place.gp.overflow", overflow);
     PPACD_GAUGE_SET("place.gp.hpwl", hpwl);

@@ -132,6 +132,11 @@ class GlobalPlacer {
   GlobalPlacerOptions options_;
   double seed_weight_ = 0.0;  ///< current (decayed) seed-anchor weight
   bool regions_active_ = true;  ///< fences enforced in the current iteration
+  // Flight-recorder series for the current optimize() run (-1 = off). CG
+  // residuals use one series per direction so (index, sub) keys stay unique.
+  std::int32_t obs_iter_series_ = -1;
+  std::int32_t obs_cg_series_[2] = {-1, -1};  ///< [0] = x solves, [1] = y
+  std::int64_t obs_iter_ = 0;                 ///< outer iteration being solved
   // Spreading grid (fixed by core + bin_rows) and per-bin blockage area.
   int grid_nx_ = 1;
   int grid_ny_ = 1;

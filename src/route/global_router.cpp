@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "exec/exec.hpp"
+#include "observe/observe.hpp"
 #include "route/steiner.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
@@ -371,6 +372,63 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
   std::vector<std::uint8_t> net_failed(faults_on ? routes.size() : 0, 0);
   std::vector<std::uint8_t> net_poisoned(faults_on ? routes.size() : 0, 0);
 
+  // Flight recorder. Gated on options_.observe_stream so nested shape-sweep
+  // routers stay silent; every scan below is observe-only (pure reads of the
+  // committed usage) and runs from the serial commit points.
+  const bool observing = options_.observe_stream && observe::active();
+  std::int32_t obs_batch_series = -1;
+  std::int32_t obs_round_series = -1;
+  if (observing) {
+    obs_batch_series =
+        observe::recorder().begin_series(observe::Stream::kRouteBatch);
+    obs_round_series =
+        observe::recorder().begin_series(observe::Stream::kRouteRound);
+  }
+  auto overflow_now = [&] {
+    int edges = 0;
+    double total = 0.0;
+    for (const double u : h_usage_) {
+      if (u > options_.h_capacity) {
+        ++edges;
+        total += u - options_.h_capacity;
+      }
+    }
+    for (const double u : v_usage_) {
+      if (u > options_.v_capacity) {
+        ++edges;
+        total += u - options_.v_capacity;
+      }
+    }
+    return std::pair<int, double>(edges, total);
+  };
+  // Congestion heatmap: per-GCell worst incident-edge utilization,
+  // max-pooled onto a bounded grid so frames stay small on large designs.
+  auto emit_heatmap = [&](std::int64_t round) {
+    const int bx = std::min(nx_, 48);
+    const int by = std::min(ny_, 48);
+    if (bx <= 0 || by <= 0) return;
+    std::vector<double> grid(static_cast<std::size_t>(bx) * by, 0.0);
+    auto pool = [&](int x, int y, double util) {
+      const int gx = std::min(bx - 1, x * bx / nx_);
+      const int gy = std::min(by - 1, y * by / ny_);
+      double& cell = grid[static_cast<std::size_t>(gy) * bx + gx];
+      cell = std::max(cell, util);
+    };
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x + 1 < nx_; ++x) {
+        pool(x, y, h_usage_[h_index(x, y)] / options_.h_capacity);
+      }
+    }
+    for (int y = 0; y + 1 < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        pool(x, y, v_usage_[v_index(x, y)] / options_.v_capacity);
+      }
+    }
+    observe::recorder().record_frame(observe::Stream::kRouteHeatmap,
+                                     obs_round_series, round, bx, by,
+                                     std::move(grid));
+  };
+
   // Initial routing in parallel batches: route against the frozen usage,
   // commit serially in net order between batches.
   for (std::size_t base = 0; base < routes.size(); base += kRouteBatch) {
@@ -400,6 +458,16 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
     });
     for (std::size_t i = base; i < batch_end; ++i) {
       for (const auto& path : routes[i].paths) commit(path, +1);
+    }
+    const std::int64_t batch_index =
+        static_cast<std::int64_t>(base / kRouteBatch);
+    if (observing && observe::recorder().want(batch_index)) {
+      const auto [over_edges, total_over] = overflow_now();
+      observe::recorder().record(
+          observe::Stream::kRouteBatch, obs_batch_series, batch_index, 0,
+          {static_cast<double>(batch_end - base),
+           static_cast<double>(batch_end), static_cast<double>(over_edges),
+           total_over});
     }
   }
   PPACD_COUNT("route.nets.routed", routes.size());
@@ -459,7 +527,14 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
         ++over_edges;
       }
     }
-    if (over_edges == 0) break;
+    if (over_edges == 0) {
+      if (observing) {
+        observe::recorder().record(observe::Stream::kRouteRound,
+                                   obs_round_series, round, 0,
+                                   {0.0, 0.0, 0.0});
+      }
+      break;
+    }
     PPACD_COUNT("route.rrr.rounds", 1);
     PPACD_HIST("route.rrr.over_edges", over_edges);
 
@@ -482,6 +557,13 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
       if (flagged[i]) victims.push_back(i);
     }
     PPACD_COUNT("route.maze.reroutes", victims.size());
+    if (observing) {
+      observe::recorder().record(
+          observe::Stream::kRouteRound, obs_round_series, round, 0,
+          {static_cast<double>(over_edges),
+           static_cast<double>(victims.size()), overflow_now().second});
+      emit_heatmap(round);
+    }
 
     for (std::size_t base = 0; base < victims.size(); base += kRerouteBatch) {
       const std::size_t batch_end = std::min(victims.size(), base + kRerouteBatch);
@@ -518,6 +600,9 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
       }
     }
   }
+
+  // Final congestion picture (also covers rrr_rounds == 0 and early exits).
+  if (observing) emit_heatmap(options_.rrr_rounds);
 
   // Collect results. The clean path keeps the original per-path summation
   // order exactly (bit-identical wirelength).

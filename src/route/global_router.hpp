@@ -43,6 +43,11 @@ struct RouteOptions {
   bool maze_fallback = true;
   /// Maze search window: GCells added around the segment bounding box.
   int maze_margin = 12;
+  /// Stream per-batch/per-round progress and congestion heatmaps to the
+  /// flight recorder (src/observe). Off by default so nested evaluations
+  /// (VPR shape sweeps) stay silent; the flow enables it for the top-level
+  /// PPA evaluation only.
+  bool observe_stream = false;
 };
 
 struct RouteResult {

@@ -8,6 +8,7 @@
 
 #include "exec/exec.hpp"
 #include "fault/fault.hpp"
+#include "observe/observe.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -222,11 +223,25 @@ void Sta::propagate_arrivals() {
                       : 0.0;
   }
 
+  // Flight recorder: sampled per-level sweep widths (how much pin-parallel
+  // work each level exposes). Serial emit from the loop head; nested STA
+  // runs keep observe_stream off so only the flow's evaluation streams.
+  const bool observing = options_.observe_stream && observe::active();
+  const std::int32_t obs_series =
+      observing ? observe::recorder().begin_series(observe::Stream::kStaLevel)
+                : -1;
+
   // Pull-based level sweep: every pin beyond level 0 folds its own fanin
   // arcs in arc order, so arrivals and the worst-arc choice are identical
   // for any thread count. Lower levels are complete before a level starts.
   for (std::size_t l = 1; l < level_buckets_.rows(); ++l) {
     const std::span<const netlist::PinId> bucket = level_buckets_.row(l);
+    if (observing &&
+        observe::recorder().want(static_cast<std::int64_t>(l))) {
+      observe::recorder().record(observe::Stream::kStaLevel, obs_series,
+                                 static_cast<std::int64_t>(l), 0,
+                                 {static_cast<double>(bucket.size())});
+    }
     exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
                        [&](std::size_t i) {
                          const auto p = static_cast<std::size_t>(bucket[i]);
@@ -299,6 +314,39 @@ void Sta::run() {
   propagate_arrivals();
   propagate_requireds();
   ran_ = true;
+  if (options_.observe_stream && observe::active()) {
+    // End-of-run endpoint slack histogram. Unconstrained endpoints (slack
+    // +inf) are excluded; the frame layout is [lo_ps, hi_ps, count_0..n-1].
+    std::vector<double> slacks;
+    slacks.reserve(endpoints_.size());
+    for (const netlist::PinId pid : endpoints_) {
+      const double s = slack_ps(pid);
+      if (std::isfinite(s)) slacks.push_back(s);
+    }
+    constexpr int kSlackBins = 32;
+    std::vector<double> frame(2 + kSlackBins, 0.0);
+    if (!slacks.empty()) {
+      double lo = slacks[0];
+      double hi = slacks[0];
+      for (const double s : slacks) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+      }
+      if (hi <= lo) hi = lo + 1.0;  // degenerate: all slacks identical
+      frame[0] = lo;
+      frame[1] = hi;
+      for (const double s : slacks) {
+        const int bin = std::min(
+            kSlackBins - 1,
+            static_cast<int>((s - lo) / (hi - lo) * kSlackBins));
+        frame[static_cast<std::size_t>(2 + bin)] += 1.0;
+      }
+    }
+    const std::int32_t series =
+        observe::recorder().begin_series(observe::Stream::kStaSlack);
+    observe::recorder().record_frame(observe::Stream::kStaSlack, series, 0,
+                                     kSlackBins, 0, std::move(frame));
+  }
   PPACD_COUNT("sta.runs", 1);
   PPACD_GAUGE_SET("sta.wns_ps", wns_ps_);
   PPACD_GAUGE_SET("sta.tns_ns", tns_ns_);

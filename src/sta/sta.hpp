@@ -47,6 +47,11 @@ struct StaOptions {
   /// Clock arrival (insertion delay) per cell, indexed by CellId; empty =>
   /// ideal clock (arrival 0 everywhere). Only sequential cells are read.
   const std::vector<double>* clock_arrivals_ps = nullptr;
+  /// Stream per-level sweep widths and the end-of-run endpoint slack
+  /// histogram to the flight recorder (src/observe). Off by default so the
+  /// many nested STA runs (clustering costs, shape sweeps) stay silent; the
+  /// flow enables it for the top-level PPA evaluation only.
+  bool observe_stream = false;
 };
 
 /// Static timing engine. Construct, then call run(); queries are valid until

@@ -50,12 +50,40 @@ std::vector<std::int64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
+double Histogram::percentile(double q) const {
+  return percentile_from_buckets(bounds_, bucket_counts(), q);
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::int64_t>& counts,
+                               double q) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total <= 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based, q = 0 -> first, q = 1 -> last.
+  const double rank = 1.0 + q * static_cast<double>(total - 1);
+  std::int64_t below = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(below + counts[i]) >= rank) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      if (i == 0) return bounds[0];  // lower edge unknown: pin to ceiling
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      return bounds[i - 1] + frac * (bounds[i] - bounds[i - 1]);
+    }
+    below += counts[i];
+  }
+  return bounds.back();
 }
 
 const std::vector<double>& default_histogram_bounds() {

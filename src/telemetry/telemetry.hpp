@@ -74,6 +74,8 @@ class Histogram {
   /// Per-bucket counts; size is upper_bounds().size() + 1 (overflow last).
   std::vector<std::int64_t> bucket_counts() const;
   const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Estimated q-quantile (q in [0, 1]); see percentile_from_buckets().
+  double percentile(double q) const;
   void reset();
 
  private:
@@ -85,6 +87,16 @@ class Histogram {
 
 /// Default histogram bucket ceilings: one decade ladder, 1e-4 .. 1e6.
 const std::vector<double>& default_histogram_bounds();
+
+/// Estimated q-quantile (q clamped to [0, 1]) from fixed-bucket counts:
+/// `counts` has one entry per bound plus the overflow bucket, as produced by
+/// Histogram::bucket_counts(). Linear interpolation within the target bucket,
+/// with the first bucket treated as [bounds[0], bounds[0]] (its lower edge is
+/// unknown) and the overflow bucket pinned to the last bound. Returns 0.0
+/// when there are no samples.
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::int64_t>& counts,
+                               double q);
 
 /// Process-wide registry of named metrics. Registration (first use of a name)
 /// takes a mutex; returned references stay valid for the process lifetime, so

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "exec/exec.hpp"
+#include "observe/observe.hpp"
 #include "place/floorplan.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
@@ -261,6 +262,15 @@ fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes
   }
   stats.clusters_shaped = static_cast<int>(eligible.size());
 
+  // Flight recorder: shape-sweep candidate scores. The series is created
+  // here (serial); workers emit with key (series, eligible index k,
+  // candidate i), which is unique and schedule-independent, so the merged
+  // stream is identical at any thread count.
+  const bool observing = observe::active();
+  const std::int32_t obs_series =
+      observing ? observe::recorder().begin_series(observe::Stream::kVprCandidate)
+                : -1;
+
   std::vector<double> runs_per_cluster(eligible.size(), 0.0);
   std::vector<ClusterOutcome> outcomes(eligible.size());
   exec::parallel_for(0, eligible.size(), /*grain=*/1, [&](std::size_t k) {
@@ -340,6 +350,17 @@ fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes
         best_index = vpr.value().best_index;
         runs_per_cluster[k] =
             static_cast<double>(vpr.value().candidates.size());
+        if (observing && observe::recorder().want(static_cast<std::int64_t>(k))) {
+          const auto& candidates = vpr.value().candidates;
+          for (std::size_t i = 0; i < candidates.size(); ++i) {
+            observe::recorder().record(
+                observe::Stream::kVprCandidate, obs_series,
+                static_cast<std::int64_t>(k), static_cast<std::int64_t>(i),
+                {candidates[i].total_cost, candidates[i].hpwl_cost,
+                 candidates[i].congestion_cost,
+                 i == best_index ? 1.0 : 0.0});
+          }
+        }
         if (best_index == kInvalidShapeIndex) {
           outcome.shape_error.code = "vpr-shape-eval-failed";
           outcome.shape_error.site = "vpr.shape_eval";

@@ -17,6 +17,7 @@
 #include "flow/flow.hpp"
 #include "gen/designs.hpp"
 #include "gen/generator.hpp"
+#include "observe/observe.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ppacd::flow {
@@ -246,6 +247,30 @@ TEST_F(DeterminismTest, GoldenDefaultFlowHashPinned) {
       << "default flow output changed; if intentional, re-pin to 0x"
       << std::hex << snapshot_hash(snap);
 }
+
+#if !defined(PPACD_OBSERVE_DISABLED) && !defined(PPACD_TELEMETRY_DISABLED)
+// The flight recorder is write-only for the solvers (DESIGN.md section 13):
+// turning it on must not move a single output bit, so the same golden hashes
+// hold with the recorder enabled. A failure here means an instrumentation
+// block leaked state back into a hot loop.
+TEST_F(DeterminismTest, GoldenHashesUnchangedWithObserveEnabled) {
+  const bool saved = observe::recorder().enabled();
+  observe::recorder().set_enabled(true);
+  observe::recorder().reset();
+  const FlowSnapshot clustered = run_at(1, "aes", 600, /*clustered=*/true,
+                                        /*enable_vpr=*/true);
+  EXPECT_EQ(snapshot_hash(clustered), kGoldenClusteredHash)
+      << "observe instrumentation changed the clustered flow output";
+  const FlowSnapshot flat = run_at(1, "jpeg", 500, /*clustered=*/false,
+                                   /*enable_vpr=*/false);
+  EXPECT_EQ(snapshot_hash(flat), kGoldenDefaultHash)
+      << "observe instrumentation changed the default flow output";
+  EXPECT_FALSE(observe::recorder().merged_samples().empty())
+      << "recorder was on but nothing was recorded";
+  observe::recorder().reset();
+  observe::recorder().set_enabled(saved);
+}
+#endif
 
 }  // namespace
 }  // namespace ppacd::flow

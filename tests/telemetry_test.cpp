@@ -58,6 +58,59 @@ TEST(Metrics, HistogramBucketsInclusiveCeilings) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(Metrics, PercentileEdgeCases) {
+  // No samples: every quantile is 0.0 by contract.
+  Histogram empty({1.0, 10.0});
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_EQ(empty.percentile(1.0), 0.0);
+
+  // One sample: rank 1 for every q, so every quantile is that sample's
+  // bucket ceiling.
+  Histogram one({1.0, 10.0, 100.0});
+  one.observe(5.0);  // bucket 1: (1, 10]
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 10.0);
+
+  // The first bucket has no known lower edge; it is pinned to bounds[0].
+  Histogram first({1.0, 10.0});
+  first.observe(0.5);
+  EXPECT_DOUBLE_EQ(first.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(first.percentile(1.0), 1.0);
+
+  // Overflow bucket is pinned to the last bound, never extrapolated.
+  Histogram over({1.0, 10.0});
+  over.observe(1e9);
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(over.percentile(1.0), 10.0);
+
+  // q outside [0, 1] clamps instead of reading out of range.
+  EXPECT_DOUBLE_EQ(one.percentile(-3.0), one.percentile(0.0));
+  EXPECT_DOUBLE_EQ(one.percentile(7.0), one.percentile(1.0));
+}
+
+TEST(Metrics, PercentileFromBucketsHugeCountsAndDegenerates) {
+  // Empty bounds: nothing to interpolate against.
+  EXPECT_EQ(percentile_from_buckets({}, {}, 0.5), 0.0);
+  EXPECT_EQ(percentile_from_buckets({}, {5}, 0.5), 0.0);
+
+  // Huge counts: ranks are computed in doubles; 2^40 samples per bucket
+  // must not overflow or lose the bucket walk.
+  const std::int64_t big = std::int64_t{1} << 40;
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<std::int64_t> counts = {big, big, big, 0};
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(bounds, counts, 0.0), 1.0);
+  // Median falls mid-way through the second bucket (1, 2].
+  EXPECT_NEAR(percentile_from_buckets(bounds, counts, 0.5), 1.5, 1e-6);
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(bounds, counts, 1.0), 4.0);
+
+  // Zero-count buckets are skipped, not divided by: the single sample in
+  // bucket 2 answers every quantile with that bucket's ceiling.
+  const std::vector<std::int64_t> sparse = {0, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(bounds, sparse, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(bounds, sparse, 1.0), 4.0);
+}
+
 TEST(Metrics, RegistryReturnsStableHandles) {
   metrics().reset();
   Counter& a = metrics().counter("test.registry.counter");
@@ -244,6 +297,34 @@ TEST(Json, RoundTripPreservesStructure) {
     EXPECT_EQ(arr2->at(1).as_string(), "two");
     EXPECT_DOUBLE_EQ(arr2->at(2).find("k")->as_double(), 3.25);
   }
+}
+
+TEST(Json, EscapesControlCharactersAndPassesUtf8Through) {
+  // Named escapes plus the \u00xx fallback for other control bytes.
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2\r\tend"), "line1\\nline2\\r\\tend");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape(std::string_view("nul\0char", 8)), "nul\\u0000char");
+  // Non-ASCII metric/design names are raw UTF-8, not escape sequences.
+  EXPECT_EQ(json_escape("dise\xc3\xb1o_\xe6\xb8\xac\xe8\xa9\xa6"),
+            "dise\xc3\xb1o_\xe6\xb8\xac\xe8\xa9\xa6");
+}
+
+TEST(Json, ControlCharacterNamesSurviveDumpAndReparse) {
+  // A hostile design/metric name must produce valid JSON, not a broken
+  // document. (Reports embed user-supplied design names as object keys.)
+  Json obj = Json::object();
+  obj.set("bad\nkey\x02", "bad\tvalue\x1f");
+  obj.set("dise\xc3\xb1o", 1.0);
+  const std::string text = obj.dump(-1);
+  const std::optional<Json> parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  const Json* value = parsed->find("bad\nkey\x02");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->as_string(), "bad\tvalue\x1f");
+  ASSERT_NE(parsed->find("dise\xc3\xb1o"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed->find("dise\xc3\xb1o")->as_double(), 1.0);
 }
 
 TEST(Json, ParserRejectsMalformedInput) {

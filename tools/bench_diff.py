@@ -18,8 +18,10 @@ Exit status:
     4  an input is not a ppacd-bench-perf-v1 report (bad JSON, wrong or
        missing schema field, malformed kernels array)
 
-Missing/extra kernels are reported but never fatal, so a CI job can run
-this as a non-blocking advisory step. Stdlib only.
+Missing/extra kernels — and stats present in only one of the two files
+(e.g. a baseline written before allocs/op existed) — are reported as
+added/removed but never fatal, so a CI job can run this as a non-blocking
+advisory step. Stdlib only.
 """
 
 import argparse
@@ -63,16 +65,21 @@ def load_kernels(path):
         name = entry.get("name")
         if not name:
             continue
-        try:
-            kernels[name] = {
-                "ns_per_op": float(entry.get("ns_per_op", 0.0)),
-                "allocs_per_op": float(entry.get("allocs_per_op", 0.0)),
-                "bytes_per_op": float(entry.get("bytes_per_op", 0.0)),
-            }
-        except (TypeError, ValueError) as err:
-            raise SchemaError(
-                f"{path}: kernel {name!r} has non-numeric stats ({err})"
-            ) from err
+        # Keep only the stats the entry actually carries; a stat missing
+        # (or null) in one file is reported as added/removed downstream
+        # instead of being coerced to 0 and "compared".
+        stats = {}
+        for key in ("ns_per_op", "allocs_per_op", "bytes_per_op"):
+            value = entry.get(key)
+            if value is None:
+                continue
+            try:
+                stats[key] = float(value)
+            except (TypeError, ValueError) as err:
+                raise SchemaError(
+                    f"{path}: kernel {name!r} has non-numeric {key} ({err})"
+                ) from err
+        kernels[name] = stats
     return kernels
 
 
@@ -116,26 +123,48 @@ def main():
     width = max((len(n) for n in common), default=4)
     print(f"{'kernel':<{width}}  {'base':>10}  {'now':>10}  {'ns/op':>8}  "
           f"{'allocs/op':>18}")
+    stat_asymmetries = []
     for name in common:
         base = baseline[name]
         cur = current[name]
-        if base["ns_per_op"] > 0.0:
-            delta = (cur["ns_per_op"] / base["ns_per_op"] - 1.0) * 100.0
+        for key in sorted(set(base) - set(cur)):
+            stat_asymmetries.append(f"{name}.{key}: only in baseline")
+        for key in sorted(set(cur) - set(base)):
+            stat_asymmetries.append(f"{name}.{key}: only in current")
+        if "ns_per_op" in base and "ns_per_op" in cur:
+            base_ns = fmt_ns(base["ns_per_op"])
+            cur_ns = fmt_ns(cur["ns_per_op"])
+            if base["ns_per_op"] > 0.0:
+                delta = (cur["ns_per_op"] / base["ns_per_op"] - 1.0) * 100.0
+            else:
+                delta = 0.0
+            regressed = delta > args.threshold
+            delta_text = f"{delta:>+7.1f}%"
         else:
+            base_ns = fmt_ns(base["ns_per_op"]) if "ns_per_op" in base else "-"
+            cur_ns = fmt_ns(cur["ns_per_op"]) if "ns_per_op" in cur else "-"
             delta = 0.0
-        regressed = delta > args.threshold
+            regressed = False
+            delta_text = f"{'n/a':>8}"
         if regressed:
             regressions.append((name, delta))
         mark = "  << REGRESSED" if regressed else ""
-        allocs = f"{base['allocs_per_op']:.0f} -> {cur['allocs_per_op']:.0f}"
-        print(f"{name:<{width}}  {fmt_ns(base['ns_per_op']):>10}  "
-              f"{fmt_ns(cur['ns_per_op']):>10}  {delta:>+7.1f}%  "
+        if "allocs_per_op" in base and "allocs_per_op" in cur:
+            allocs = f"{base['allocs_per_op']:.0f} -> {cur['allocs_per_op']:.0f}"
+        else:
+            allocs = "n/a"
+        print(f"{name:<{width}}  {base_ns:>10}  {cur_ns:>10}  {delta_text}  "
               f"{allocs:>18}{mark}")
 
     for name in missing:
         print(f"{name}: only in baseline")
     for name in added:
         print(f"{name}: only in current")
+    for line in stat_asymmetries:
+        print(line)
+    if missing or added or stat_asymmetries:
+        print(f"({len(missing)} kernel(s) removed, {len(added)} added, "
+              f"{len(stat_asymmetries)} stat asymmetries)")
 
     if regressions:
         print(f"\n{len(regressions)} kernel(s) regressed more than "

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Compare two ppacd-qor-v1 ledgers and flag quality regressions.
+
+Usage:
+    tools/qor_diff.py BASELINE.json CURRENT.json [--threshold 5]
+                      [--fail-on-regression]
+
+Both inputs are .qor.json ledgers written by `flow_cli --qor` (or a
+baseline file holding a {"designs": {name: ledger, ...}} collection, in
+which case designs are matched by name and every pair is compared).
+
+Each metric has an improvement direction: HPWL, routed wirelength, power,
+overflow, and clock skew are better when smaller; WNS and TNS are better
+when larger (less negative). A metric regresses when it moves in the worse
+direction by more than the threshold (percent of the baseline magnitude;
+any worsening of an exactly-zero baseline counts). The "convergence"
+section is advisory: deltas are printed but never gate.
+
+Metrics present in only one ledger are reported as added/removed, never
+fatal — a new convergence stat must not break the gate against an old
+baseline.
+
+Exit status (same contract as tools/bench_diff.py):
+    0  compared fine (or regressions found without --fail-on-regression)
+    1  --fail-on-regression and at least one metric regressed
+    2  usage error (bad flags/arguments)
+    3  an input file is missing or unreadable
+    4  an input is not a ppacd-qor-v1 ledger (bad JSON, wrong or missing
+       schema field, malformed metrics object)
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_MISSING_FILE = 3
+EXIT_BAD_SCHEMA = 4
+
+# Improvement direction per gated metric: -1 = smaller is better,
+# +1 = larger is better. Metrics not listed here never gate.
+DIRECTIONS = {
+    "hpwl_um": -1,
+    "rwl_um": -1,
+    "power_w": -1,
+    "route_overflow_edges": -1,
+    "clock_skew_ps": -1,
+    "wns_ps": +1,
+    "tns_ns": +1,
+}
+
+
+class SchemaError(Exception):
+    """The file parsed as JSON but is not a ppacd-qor-v1 ledger."""
+
+
+def check_ledger(path, ledger):
+    if not isinstance(ledger, dict):
+        raise SchemaError(f"{path}: expected a JSON object, "
+                          f"got {type(ledger).__name__}")
+    schema = ledger.get("schema")
+    if schema != "ppacd-qor-v1":
+        raise SchemaError(f"{path}: unexpected schema {schema!r} "
+                          "(want 'ppacd-qor-v1')")
+    for section in ("metrics", "convergence"):
+        values = ledger.get(section, {})
+        if not isinstance(values, dict):
+            raise SchemaError(f"{path}: {section!r} must be an object, "
+                              f"got {type(values).__name__}")
+        for key, value in values.items():
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{path}: {section}.{key} is not numeric ({value!r})")
+
+
+def load_ledgers(path):
+    """Returns {design_name: ledger}. Accepts a single ledger or a
+    {"designs": {...}} collection."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as err:
+            raise SchemaError(f"{path}: not valid JSON ({err})") from err
+    if isinstance(doc, dict) and "designs" in doc:
+        designs = doc["designs"]
+        if not isinstance(designs, dict):
+            raise SchemaError(f"{path}: 'designs' must be an object, "
+                              f"got {type(designs).__name__}")
+        for name, ledger in designs.items():
+            check_ledger(f"{path}[{name}]", ledger)
+        return dict(designs)
+    check_ledger(path, doc)
+    name = doc.get("design") or "design"
+    flow = doc.get("flow")
+    key = f"{name}/{flow}" if flow else str(name)
+    return {key: doc}
+
+
+def section_values(ledger, section):
+    return {k: v for k, v in ledger.get(section, {}).items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def diff_design(name, base, cur, threshold, regressions):
+    print(f"== {name}")
+    for section, gated in (("metrics", True), ("convergence", False)):
+        base_vals = section_values(base, section)
+        cur_vals = section_values(cur, section)
+        for key in sorted(set(base_vals) | set(cur_vals)):
+            if key not in cur_vals:
+                print(f"  {key}: only in baseline")
+                continue
+            if key not in base_vals:
+                print(f"  {key}: only in current "
+                      f"({cur_vals[key]:.6g})")
+                continue
+            b, c = base_vals[key], cur_vals[key]
+            delta = c - b
+            if b != 0.0:
+                pct = delta / abs(b) * 100.0
+                pct_text = f"{pct:+.2f}%"
+            else:
+                pct = float("inf") if delta != 0.0 else 0.0
+                pct_text = "n/a" if delta != 0.0 else "+0.00%"
+            direction = DIRECTIONS.get(key) if gated else None
+            mark = ""
+            if direction is not None:
+                worse = delta * direction < 0.0
+                magnitude = abs(pct) if b != 0.0 else float(
+                    "inf") if delta != 0.0 else 0.0
+                if worse and magnitude > threshold:
+                    regressions.append((name, key, b, c))
+                    mark = "  << REGRESSED"
+            advisory = "" if gated else "  (advisory)"
+            print(f"  {key}: {b:.6g} -> {c:.6g}  ({pct_text})"
+                  f"{advisory}{mark}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline .qor.json ledger")
+    parser.add_argument("current", help="current .qor.json ledger")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="regression threshold in percent of the "
+                             "baseline magnitude (default: %(default)s)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any gated metric regresses past "
+                             "the threshold (default: advisory only)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_ledgers(args.baseline)
+        current = load_ledgers(args.current)
+    except OSError as err:
+        print(f"qor_diff: cannot read ledger: {err}", file=sys.stderr)
+        return EXIT_MISSING_FILE
+    except SchemaError as err:
+        print(f"qor_diff: {err}", file=sys.stderr)
+        return EXIT_BAD_SCHEMA
+
+    common = [name for name in baseline if name in current]
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    regressions = []
+    for name in common:
+        diff_design(name, baseline[name], current[name], args.threshold,
+                    regressions)
+    for name in missing:
+        print(f"{name}: only in baseline")
+    for name in added:
+        print(f"{name}: only in current")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.1f}%:")
+        for name, key, b, c in regressions:
+            print(f"  {name} {key}: {b:.6g} -> {c:.6g}")
+        if args.fail_on_regression:
+            return EXIT_REGRESSION
+    else:
+        print(f"\nno QoR regressions above {args.threshold:.1f}% "
+              f"({len(common)} design(s) compared)")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())
