@@ -33,9 +33,11 @@ int main() {
         nl, fc_result.cluster_of_cell, fc_result.cluster_count);
 
     // The three largest clusters.
-    std::vector<std::size_t> order(clustered.cluster_count());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    std::vector<cluster::ClusterId> order;
+    order.reserve(clustered.cluster_count());
+    for (const cluster::ClusterId c : clustered.cluster_ids()) order.push_back(c);
+    std::sort(order.begin(), order.end(),
+              [&](cluster::ClusterId a, cluster::ClusterId b) {
       return clustered.clusters[a].cells.size() > clustered.clusters[b].cells.size();
     });
 

@@ -30,11 +30,11 @@ int main(int argc, char** argv) {
       cluster::fc_multilevel_cluster(design, cluster::FcPpaInputs{}, fc);
   const cluster::ClusteredNetlist clustered = cluster::build_clustered_netlist(
       design, fc_result.cluster_of_cell, fc_result.cluster_count);
-  std::size_t biggest = 0;
-  for (std::size_t i = 1; i < clustered.cluster_count(); ++i) {
-    if (clustered.clusters[i].cells.size() >
+  cluster::ClusterId biggest(0);
+  for (const cluster::ClusterId ci : clustered.cluster_ids()) {
+    if (clustered.clusters[ci].cells.size() >
         clustered.clusters[biggest].cells.size()) {
-      biggest = i;
+      biggest = ci;
     }
   }
   const cluster::Cluster& target = clustered.clusters[biggest];

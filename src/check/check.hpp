@@ -57,7 +57,7 @@ struct Violation {
 };
 
 /// The findings of one validator run.
-struct CheckResult {
+struct [[nodiscard]] CheckResult {
   /// Stored-message cap; violations past it are counted, not stored.
   static constexpr std::size_t kMaxStoredViolations = 64;
 

@@ -11,6 +11,7 @@ namespace ppacd::check {
 
 namespace {
 
+using cluster::ClusterId;
 using cluster::ClusteredNetlist;
 using netlist::CellId;
 using netlist::Netlist;
@@ -24,11 +25,11 @@ void check_partition(const Netlist& nl, const ClusteredNetlist& clustered,
                      << " cells, netlist has " << nl.cell_count());
     return;
   }
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const std::int32_t c = clustered.cluster_of_cell[ci];
-    if (c < 0 || static_cast<std::size_t>(c) >= cluster_count) {
+  for (const CellId ci : nl.cell_ids()) {
+    const ClusterId c = clustered.cluster_of_cell[ci];
+    if (!c.valid() || c.index() >= cluster_count) {
       result.add("assignment-range",
-                 msg() << "cell " << nl.cell(static_cast<CellId>(ci)).name
+                 msg() << "cell " << nl.cell(ci).name
                        << ": cluster id " << c << " out of range [0, "
                        << cluster_count << ")");
     }
@@ -36,24 +37,23 @@ void check_partition(const Netlist& nl, const ClusteredNetlist& clustered,
 
   // Membership lists vs assignment: every cell in exactly one list, its own.
   std::vector<std::int32_t> listings(nl.cell_count(), 0);
-  for (std::size_t c = 0; c < cluster_count; ++c) {
+  for (const ClusterId c : clustered.cluster_ids()) {
     const cluster::Cluster& cl = clustered.clusters[c];
     ++result.checked;
     double member_area = 0.0;
     for (const CellId cid : cl.cells) {
-      if (cid < 0 || static_cast<std::size_t>(cid) >= nl.cell_count()) {
+      if (!cid.valid() || cid.index() >= nl.cell_count()) {
         result.add("member-range", msg() << "cluster " << c << ": cell id "
                                          << cid << " out of range");
         continue;
       }
-      ++listings[static_cast<std::size_t>(cid)];
+      ++listings[cid.index()];
       member_area += nl.lib_cell_of(cid).area_um2();
-      if (clustered.cluster_of_cell[static_cast<std::size_t>(cid)] !=
-          static_cast<std::int32_t>(c)) {
+      if (clustered.cluster_of_cell[cid] != c) {
         result.add("double-clustered",
                    msg() << "cell " << nl.cell(cid).name << " listed by cluster "
                          << c << " but assigned to cluster "
-                         << clustered.cluster_of_cell[static_cast<std::size_t>(cid)]);
+                         << clustered.cluster_of_cell[cid]);
       }
     }
     if (std::fabs(member_area - cl.area_um2) > 1e-6 * std::max(1.0, member_area)) {
@@ -82,11 +82,11 @@ void check_partition(const Netlist& nl, const ClusteredNetlist& clustered,
 }
 
 /// Participant signature identical to build_clustered_netlist's merge key.
-std::string net_signature(const std::vector<std::int32_t>& clusters,
+std::string net_signature(const std::vector<ClusterId>& clusters,
                           const std::vector<netlist::PortId>& ports) {
   std::string key;
-  for (const std::int32_t c : clusters) key += 'c' + std::to_string(c);
-  for (const netlist::PortId p : ports) key += 'p' + std::to_string(p);
+  for (const ClusterId c : clusters) key += 'c' + std::to_string(c.value());
+  for (const netlist::PortId p : ports) key += 'p' + std::to_string(p.value());
   return key;
 }
 
@@ -94,7 +94,7 @@ void check_overlay(const Netlist& nl, const ClusteredNetlist& clustered,
                    CheckResult& result) {
   // Rebuild the expected cluster hyperedges from the flat hypergraph.
   std::unordered_map<std::string, double> expected;  // signature -> weight
-  std::vector<std::int32_t> clusters_touched;
+  std::vector<ClusterId> clusters_touched;
   std::vector<netlist::PortId> ports_touched;
   for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
@@ -106,8 +106,7 @@ void check_overlay(const Netlist& nl, const ClusteredNetlist& clustered,
       if (pin.kind == netlist::PinKind::kTopPort) {
         ports_touched.push_back(pin.port);
       } else {
-        clusters_touched.push_back(
-            clustered.cluster_of_cell[static_cast<std::size_t>(pin.cell)]);
+        clusters_touched.push_back(clustered.cluster_of_cell[pin.cell]);
       }
     }
     std::sort(clusters_touched.begin(), clusters_touched.end());
@@ -126,8 +125,8 @@ void check_overlay(const Netlist& nl, const ClusteredNetlist& clustered,
     const cluster::ClusterNet& cnet = clustered.nets[ni];
     ++result.checked;
     bool participants_ok = true;
-    for (const std::int32_t c : cnet.clusters) {
-      if (c < 0 || static_cast<std::size_t>(c) >= clustered.cluster_count()) {
+    for (const ClusterId c : cnet.clusters) {
+      if (!c.valid() || c.index() >= clustered.cluster_count()) {
         result.add("overlay-cluster-range",
                    msg() << "cluster net " << ni << ": cluster id " << c
                          << " out of range");
@@ -135,7 +134,7 @@ void check_overlay(const Netlist& nl, const ClusteredNetlist& clustered,
       }
     }
     for (const netlist::PortId p : cnet.ports) {
-      if (p < 0 || static_cast<std::size_t>(p) >= nl.port_count()) {
+      if (!p.valid() || p.index() >= nl.port_count()) {
         result.add("overlay-port-range", msg() << "cluster net " << ni
                                                << ": port id " << p
                                                << " out of range");
@@ -162,11 +161,17 @@ void check_overlay(const Netlist& nl, const ClusteredNetlist& clustered,
     }
     it->second = -1.0;  // mark consumed
   }
+  // Collect then sort so the violation report is byte-identical run to run.
+  std::vector<std::string> missing;
+  // lint:allow(unordered-iter): keys are sorted below before any emission
   for (const auto& [signature, weight] : expected) {
-    if (weight < 0.0) continue;
+    if (weight >= 0.0) missing.push_back(signature);
+  }
+  std::sort(missing.begin(), missing.end());
+  for (const std::string& signature : missing) {
     result.add("overlay-missing-net",
                msg() << "flat hypergraph edge " << signature
-                     << " (weight " << weight
+                     << " (weight " << expected.at(signature)
                      << ") has no cluster-level net");
   }
 }

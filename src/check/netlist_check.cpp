@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/strong_id.hpp"
+
 namespace ppacd::check {
 
 namespace {
@@ -14,12 +16,12 @@ using netlist::Netlist;
 using netlist::PinId;
 
 bool valid_pin(const Netlist& nl, PinId id) {
-  return id >= 0 && static_cast<std::size_t>(id) < nl.pin_count();
+  return id.valid() && id.index() < nl.pin_count();
 }
 
 void check_nets(const Netlist& nl, CheckResult& result) {
   // Per-pin net membership count; >1 from the same net = duplicate pin.
-  std::vector<std::int32_t> net_of_pin(nl.pin_count(), kInvalidId);
+  util::IdVector<PinId, netlist::NetId> net_of_pin(nl.pin_count());
   for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
     ++result.checked;
@@ -32,13 +34,13 @@ void check_nets(const Netlist& nl, CheckResult& result) {
                                          << " out of range");
         continue;
       }
-      if (net_of_pin[static_cast<std::size_t>(pid)] == net.id) {
+      if (net_of_pin[pid] == net.id) {
         result.add("duplicate-pin", msg() << "net " << net.name
                                           << ": pin " << pid
                                           << " listed twice");
         continue;
       }
-      net_of_pin[static_cast<std::size_t>(pid)] = net.id;
+      net_of_pin[pid] = net.id;
       const netlist::Pin& pin = nl.pin(pid);
       if (pin.net != net.id) {
         result.add("pin-net-mismatch",
@@ -63,8 +65,8 @@ void check_nets(const Netlist& nl, CheckResult& result) {
   }
 
   // Reverse direction: a connected pin must be listed by its net.
-  for (std::size_t pi = 0; pi < nl.pin_count(); ++pi) {
-    const netlist::Pin& pin = nl.pin(static_cast<PinId>(pi));
+  for (const PinId pi : nl.pin_ids()) {
+    const netlist::Pin& pin = nl.pin(pi);
     if (pin.net == kInvalidId) {
       if (pin.dir == liberty::PinDir::kInput) {
         const std::string owner = pin.kind == netlist::PinKind::kCellPin
@@ -75,7 +77,7 @@ void check_nets(const Netlist& nl, CheckResult& result) {
       }
       continue;
     }
-    if (pin.net < 0 || static_cast<std::size_t>(pin.net) >= nl.net_count()) {
+    if (!pin.net.valid() || pin.net.index() >= nl.net_count()) {
       result.add("pin-net-mismatch",
                  msg() << "pin " << pi << ": net id " << pin.net
                        << " out of range");
@@ -116,8 +118,8 @@ void check_cells(const Netlist& nl, CheckResult& result) {
                          << " cross-link broken");
       }
     }
-    if (cell.module < 0 ||
-        static_cast<std::size_t>(cell.module) >= nl.module_count()) {
+    if (!cell.module.valid() ||
+        cell.module.index() >= nl.module_count()) {
       result.add("cell-module-range",
                  msg() << "cell " << cell.name << ": module id "
                        << cell.module << " out of range");
@@ -148,13 +150,13 @@ void check_hierarchy(const Netlist& nl, CheckResult& result) {
     const netlist::Module& mod = nl.module(static_cast<ModuleId>(mi));
     ++result.checked;
     for (const CellId cid : mod.cells) {
-      if (cid < 0 || static_cast<std::size_t>(cid) >= nl.cell_count()) {
+      if (!cid.valid() || cid.index() >= nl.cell_count()) {
         result.add("module-cell-range",
                    msg() << "module " << mod.name << ": cell id " << cid
                          << " out of range");
         continue;
       }
-      ++listing_count[static_cast<std::size_t>(cid)];
+      ++listing_count[cid.index()];
       if (nl.cell(cid).module != mod.id) {
         result.add("module-cell-mismatch",
                    msg() << "module " << mod.name << " lists cell "
@@ -163,7 +165,7 @@ void check_hierarchy(const Netlist& nl, CheckResult& result) {
       }
     }
     for (const ModuleId child : mod.children) {
-      if (child < 0 || static_cast<std::size_t>(child) >= nl.module_count()) {
+      if (!child.valid() || child.index() >= nl.module_count()) {
         result.add("module-child-range",
                    msg() << "module " << mod.name << ": child id " << child
                          << " out of range");

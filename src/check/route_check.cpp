@@ -23,7 +23,7 @@ geom::Point pin_position(const Netlist& nl, netlist::PinId pid,
   const netlist::Pin& pin = nl.pin(pid);
   return pin.kind == netlist::PinKind::kTopPort
              ? nl.port(pin.port).position
-             : positions.at(static_cast<std::size_t>(pin.cell));
+             : positions.at(pin.cell.index());
 }
 
 bool routable(const netlist::Net& net, const RouteOptions& options) {

@@ -63,7 +63,7 @@ BestChoiceResult best_choice_cluster(const netlist::Netlist& nl,
   std::vector<double> area(static_cast<std::size_t>(n));
   double total_area = 0.0;
   for (std::int32_t v = 0; v < n; ++v) {
-    area[static_cast<std::size_t>(v)] = nl.lib_cell_of(v).area_um2();
+    area[static_cast<std::size_t>(v)] = nl.lib_cell_of(netlist::CellId(v)).area_um2();
     total_area += area[static_cast<std::size_t>(v)];
   }
   const double max_area =

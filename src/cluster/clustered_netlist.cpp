@@ -26,24 +26,28 @@ ClusteredNetlist build_clustered_netlist(const netlist::Netlist& nl,
                                          std::int32_t cluster_count) {
   assert(assignment.size() == nl.cell_count());
   ClusteredNetlist out;
-  out.cluster_of_cell = assignment;
+  // The algorithm's compact labels become typed ClusterIds here.
+  out.cluster_of_cell.reserve(assignment.size());
+  for (const std::int32_t label : assignment) {
+    out.cluster_of_cell.push_back(ClusterId(label));
+  }
   out.clusters.resize(static_cast<std::size_t>(cluster_count));
 
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const std::int32_t c = assignment[ci];
-    assert(c >= 0 && c < cluster_count);
-    Cluster& cluster = out.clusters[static_cast<std::size_t>(c)];
-    cluster.cells.push_back(static_cast<netlist::CellId>(ci));
-    cluster.area_um2 += nl.lib_cell_of(static_cast<netlist::CellId>(ci)).area_um2();
+  for (const netlist::CellId cid : nl.cell_ids()) {
+    const ClusterId c = out.cluster_of_cell[cid];
+    assert(c.valid() && c.value() < cluster_count);
+    Cluster& cluster = out.clusters[c];
+    cluster.cells.push_back(cid);
+    cluster.area_um2 += nl.lib_cell_of(cid).area_um2();
   }
   for (Cluster& cluster : out.clusters) apply_shape(cluster);
 
   // Cluster-level nets, merged by participant signature.
   std::unordered_map<std::string, std::size_t> net_index;
-  std::vector<std::int32_t> clusters_touched;
+  std::vector<ClusterId> clusters_touched;
   std::vector<netlist::PortId> ports_touched;
-  for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
-    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
+  for (const netlist::NetId nid : nl.net_ids()) {
+    const netlist::Net& net = nl.net(nid);
     if (net.is_clock) continue;
     clusters_touched.clear();
     ports_touched.clear();
@@ -52,7 +56,7 @@ ClusteredNetlist build_clustered_netlist(const netlist::Netlist& nl,
       if (pin.kind == netlist::PinKind::kTopPort) {
         ports_touched.push_back(pin.port);
       } else {
-        clusters_touched.push_back(assignment[static_cast<std::size_t>(pin.cell)]);
+        clusters_touched.push_back(out.cluster_of_cell[pin.cell]);
       }
     }
     std::sort(clusters_touched.begin(), clusters_touched.end());
@@ -65,11 +69,11 @@ ClusteredNetlist build_clustered_netlist(const netlist::Netlist& nl,
     if (clusters_touched.size() + ports_touched.size() < 2) continue;
 
     std::string key;
-    for (const std::int32_t c : clusters_touched) {
-      key += 'c' + std::to_string(c);
+    for (const ClusterId c : clusters_touched) {
+      key += 'c' + std::to_string(c.value());
     }
     for (const netlist::PortId p : ports_touched) {
-      key += 'p' + std::to_string(p);
+      key += 'p' + std::to_string(p.value());
     }
     const auto [it, inserted] = net_index.emplace(key, out.nets.size());
     if (inserted) {
@@ -84,9 +88,9 @@ ClusteredNetlist build_clustered_netlist(const netlist::Netlist& nl,
   return out;
 }
 
-void set_cluster_shape(ClusteredNetlist& clustered, std::size_t index,
+void set_cluster_shape(ClusteredNetlist& clustered, ClusterId id,
                        const ClusterShape& shape) {
-  Cluster& cluster = clustered.clusters.at(index);
+  Cluster& cluster = clustered.clusters.at(id);
   cluster.shape = shape;
   apply_shape(cluster);
 }
@@ -105,18 +109,20 @@ place::PlaceModel make_cluster_place_model(const ClusteredNetlist& clustered,
     obj.height_um = cluster.height_um;
     model.objects.push_back(obj);
   }
-  for (std::size_t po = 0; po < nl.port_count(); ++po) {
+  for (const netlist::PortId po : nl.port_ids()) {
     place::PlaceObject obj;
     obj.fixed = true;
-    obj.fixed_position = nl.port(static_cast<netlist::PortId>(po)).position;
+    obj.fixed_position = nl.port(po).position;
     model.objects.push_back(obj);
   }
   const std::int32_t port_base = static_cast<std::int32_t>(clustered.clusters.size());
   for (const ClusterNet& cnet : clustered.nets) {
     place::PlaceNet pnet;
     pnet.weight = cnet.weight * (cnet.io ? io_net_weight_scale : 1.0);
-    for (const std::int32_t c : cnet.clusters) pnet.objects.push_back(c);
-    for (const netlist::PortId p : cnet.ports) pnet.objects.push_back(port_base + p);
+    for (const ClusterId c : cnet.clusters) pnet.objects.push_back(c.value());
+    for (const netlist::PortId p : cnet.ports) {
+      pnet.objects.push_back(port_base + p.value());
+    }
     model.nets.push_back(std::move(pnet));
   }
   return model;
@@ -128,23 +134,23 @@ std::vector<geom::Point> induce_cell_positions(
     std::uint64_t seed) {
   util::Rng rng(seed);
   std::vector<geom::Point> positions(nl.cell_count());
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const std::int32_t c = clustered.cluster_of_cell[ci];
-    const Cluster& cluster = clustered.clusters[static_cast<std::size_t>(c)];
-    geom::Point p = cluster_placement.at(static_cast<std::size_t>(c));
+  for (const netlist::CellId cid : nl.cell_ids()) {
+    const ClusterId c = clustered.cluster_of_cell[cid];
+    const Cluster& cluster = clustered.clusters[c];
+    geom::Point p = cluster_placement.at(c.index());
     if (scatter_within_cluster) {
       p.x += rng.uniform(-0.5, 0.5) * cluster.width_um;
       p.y += rng.uniform(-0.5, 0.5) * cluster.height_um;
     }
-    positions[ci] = p;
+    positions[cid.index()] = p;
   }
   return positions;
 }
 
-geom::Rect cluster_region(const ClusteredNetlist& clustered, std::size_t index,
+geom::Rect cluster_region(const ClusteredNetlist& clustered, ClusterId id,
                           const place::Placement& cluster_placement) {
-  const Cluster& cluster = clustered.clusters.at(index);
-  const geom::Point center = cluster_placement.at(index);
+  const Cluster& cluster = clustered.clusters.at(id);
+  const geom::Point center = cluster_placement.at(id.index());
   return geom::Rect::make(center.x - cluster.width_um * 0.5,
                           center.y - cluster.height_um * 0.5,
                           center.x + cluster.width_um * 0.5,

@@ -11,8 +11,15 @@
 #include "netlist/netlist.hpp"
 #include "place/floorplan.hpp"
 #include "place/model.hpp"
+#include "util/strong_id.hpp"
 
 namespace ppacd::cluster {
+
+/// Identifier of one cluster macro within a ClusteredNetlist. The clustering
+/// algorithms themselves (community.hpp, fc_multilevel.hpp, ...) emit raw
+/// compact label vectors — relabeling arithmetic is their business; the
+/// moment labels become entities (build_clustered_netlist) they get typed.
+using ClusterId = util::StrongId<struct ClusterIdTag>;
 
 /// Shape chosen for one cluster macro (what V-P&R optimizes).
 struct ClusterShape {
@@ -36,16 +43,17 @@ struct Cluster {
 struct ClusterNet {
   double weight = 0.0;
   bool io = false;  ///< touches a top-level port
-  std::vector<std::int32_t> clusters;
+  std::vector<ClusterId> clusters;
   std::vector<netlist::PortId> ports;
 };
 
 struct ClusteredNetlist {
-  std::vector<Cluster> clusters;
+  util::IdVector<ClusterId, Cluster> clusters;
   std::vector<ClusterNet> nets;
-  std::vector<std::int32_t> cluster_of_cell;
+  util::IdVector<netlist::CellId, ClusterId> cluster_of_cell;
 
   std::size_t cluster_count() const { return clusters.size(); }
+  util::IdRange<ClusterId> cluster_ids() const { return clusters.ids(); }
 };
 
 /// Builds the clustered netlist from a flat assignment (cell -> cluster id
@@ -55,9 +63,9 @@ ClusteredNetlist build_clustered_netlist(const netlist::Netlist& netlist,
                                          const std::vector<std::int32_t>& assignment,
                                          std::int32_t cluster_count);
 
-/// Applies `shape` to cluster `index`, recomputing its footprint (this is
+/// Applies `shape` to cluster `id`, recomputing its footprint (this is
 /// the ".lef update" of Alg. 1 line 13).
-void set_cluster_shape(ClusteredNetlist& clustered, std::size_t index,
+void set_cluster_shape(ClusteredNetlist& clustered, ClusterId id,
                        const ClusterShape& shape);
 
 /// Builds a placement model over cluster macros (movable) and ports (fixed).
@@ -80,9 +88,9 @@ std::vector<geom::Point> induce_cell_positions(
     const place::Placement& cluster_placement,
     bool scatter_within_cluster = true, std::uint64_t seed = 1);
 
-/// The placed rectangle of cluster `index` under `cluster_placement`
+/// The placed rectangle of cluster `id` under `cluster_placement`
 /// (used for Innovus-style region constraints, Alg. 1 line 18).
-geom::Rect cluster_region(const ClusteredNetlist& clustered, std::size_t index,
+geom::Rect cluster_region(const ClusteredNetlist& clustered, ClusterId id,
                           const place::Placement& cluster_placement);
 
 }  // namespace ppacd::cluster

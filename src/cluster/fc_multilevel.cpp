@@ -98,7 +98,7 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
   level.area.resize(static_cast<std::size_t>(n_cells));
   double total_area = 0.0;
   for (std::int32_t ci = 0; ci < n_cells; ++ci) {
-    level.area[static_cast<std::size_t>(ci)] = nl.lib_cell_of(ci).area_um2();
+    level.area[static_cast<std::size_t>(ci)] = nl.lib_cell_of(netlist::CellId(ci)).area_um2();
     total_area += level.area[static_cast<std::size_t>(ci)];
   }
   const double max_cluster_area =
@@ -122,7 +122,9 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
     if (net.is_clock) continue;
     const auto members = flat.net_cells.row(ni);
-    verts.assign(members.begin(), members.end());
+    verts.clear();
+    // Level-0 vertex ids are cell ids by construction; later levels coarsen.
+    for (const netlist::CellId c : members) verts.push_back(c.value());
     std::sort(verts.begin(), verts.end());
     verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
     if (verts.size() < 2 ||
@@ -360,15 +362,15 @@ FcResult fc_multilevel_cluster(const netlist::Netlist& nl,
       if (nl.net(static_cast<netlist::NetId>(ni)).is_clock) continue;
       const auto members = flat.net_cells.row(ni);
       if (members.empty()) continue;
-      const std::int32_t first_cell = members[0];
+      const netlist::CellId first_cell = members[0];
       const std::int32_t first_cluster =
-          result.cluster_of_cell[static_cast<std::size_t>(first_cell)];
+          result.cluster_of_cell[first_cell.index()];
       bool is_multi = false;
       bool is_cut = false;
-      for (const std::int32_t cell : members) {
+      for (const netlist::CellId cell : members) {
         if (cell == first_cell) continue;
         is_multi = true;
-        if (result.cluster_of_cell[static_cast<std::size_t>(cell)] !=
+        if (result.cluster_of_cell[cell.index()] !=
             first_cluster) {
           is_cut = true;
           break;

@@ -59,7 +59,9 @@ Graph clique_expand(const netlist::Netlist& nl, int max_net_degree) {
     const netlist::Net& net = nl.net(static_cast<netlist::NetId>(ni));
     if (net.is_clock) continue;
     const auto members = flat.net_cells.row(ni);
-    cells.assign(members.begin(), members.end());
+    cells.clear();
+    // Graph vertex ids are cell ids by construction (clique expansion).
+    for (const netlist::CellId c : members) cells.push_back(c.value());
     std::sort(cells.begin(), cells.end());
     cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
     const std::size_t k = cells.size();

@@ -75,7 +75,12 @@ CutOverlayResult cut_overlay_cluster(const netlist::Netlist& nl,
       if (link.empty()) break;
       std::vector<std::int32_t> target(static_cast<std::size_t>(result.cluster_count), -1);
       std::vector<double> best(static_cast<std::size_t>(result.cluster_count), 0.0);
-      for (const auto& [k, w] : link) {
+      // Sort by key so equal-weight ties break toward the lowest target id
+      // regardless of the map's bucket order.
+      std::vector<std::pair<std::int64_t, double>> links(link.begin(),
+                                                         link.end());
+      std::sort(links.begin(), links.end());
+      for (const auto& [k, w] : links) {
         const std::int32_t from = static_cast<std::int32_t>(k >> 32);
         const std::int32_t to = static_cast<std::int32_t>(k & 0xffffffff);
         if (w > best[static_cast<std::size_t>(from)]) {

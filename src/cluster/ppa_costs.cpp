@@ -23,8 +23,9 @@ std::vector<double> net_timing_costs(const netlist::Netlist& nl,
       const netlist::NetId net = nl.pin(pid).net;
       if (net != netlist::kInvalidId) nets_on_path.insert(net);
     }
+    // lint:allow(unordered-iter): one += per distinct net slot, order-free
     for (const netlist::NetId net : nets_on_path) {
-      cost[static_cast<std::size_t>(net)] += criticality;
+      cost[net.index()] += criticality;
     }
   }
 

@@ -74,7 +74,7 @@ class TreeBuilder {
         const double wire_delay = lib_.wire_res_kohm_per_um() * len *
                                   (0.5 * lib_.wire_cap_ff_per_um() * len +
                                    sinks[i].cap_ff);
-        result_.insertion_delay_ps[static_cast<std::size_t>(sinks[i].cell)] =
+        result_.insertion_delay_ps[sinks[i].cell.index()] =
             base_delay + buf_delay + wire_delay;
       }
       return Level{here, buffer_.pins[0].cap_ff};
@@ -184,7 +184,7 @@ ClockTreeResult synthesize_clock_tree(const Netlist& nl,
   double min_delay = std::numeric_limits<double>::infinity();
   double max_delay = 0.0;
   for (const Sink& sink : sinks) {
-    const double d = result.insertion_delay_ps[static_cast<std::size_t>(sink.cell)];
+    const double d = result.insertion_delay_ps[sink.cell.index()];
     min_delay = std::min(min_delay, d);
     max_delay = std::max(max_delay, d);
   }

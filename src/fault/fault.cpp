@@ -1,3 +1,4 @@
+// lint:allow-file(raw-thread): lock-free fast-path gate; infra layer, not solver code
 #include "fault/fault.hpp"
 
 #include <algorithm>

@@ -218,7 +218,8 @@ ClusterGraph extract_cluster_graph(const netlist::Netlist& nl,
         }
       }
       clustering[v] =
-          2.0 * links / (static_cast<double>(nb.size()) * (nb.size() - 1));
+          2.0 * links /
+          (static_cast<double>(nb.size()) * static_cast<double>(nb.size() - 1));
     }
   }
 
@@ -272,9 +273,11 @@ ClusterGraph extract_cluster_graph(const netlist::Netlist& nl,
       efficiency_pairs > 0 ? efficiency_sum / static_cast<double>(efficiency_pairs) : 0.0;
   // Betweenness scaled by the sampling fraction (Brandes approximation).
   const double scale =
-      sample_count > 0 ? static_cast<double>(n) / sample_count : 1.0;
+      sample_count > 0 ? static_cast<double>(n) / static_cast<double>(sample_count)
+                       : 1.0;
   for (double& b : betweenness) b *= scale;
-  const double bc_norm = n > 2 ? (static_cast<double>(n) - 1) * (n - 2) : 1.0;
+  const double bc_norm =
+      n > 2 ? (static_cast<double>(n) - 1) * static_cast<double>(n - 2) : 1.0;
 
   // Greedy coloring (largest-degree-first).
   int colors_used = 0;

@@ -167,7 +167,7 @@ fault::Expected<void, fault::FlowError> apply_shapes(
     case ShapeMode::kRandom: {
       util::Rng rng(options.seed ^ 0x5eedu);
       const auto candidates = vpr::candidate_shapes(options.vpr);
-      for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
+      for (const cluster::ClusterId ci : clustered.cluster_ids()) {
         if (static_cast<int>(clustered.clusters[ci].cells.size()) <=
             options.vpr.min_cluster_instances) {
           continue;
@@ -388,7 +388,7 @@ fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
   // constraints for the V-P&R-shaped clusters (line 18).
   place::PlaceModel flat_model = place::make_place_model(nl, fp);
   if (options.tool == Tool::kInnovusLike) {
-    for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
+    for (const cluster::ClusterId ci : clustered.cluster_ids()) {
       const cluster::Cluster& c = clustered.clusters[ci];
       if (static_cast<int>(c.cells.size()) <= options.vpr.min_cluster_instances) {
         continue;
@@ -401,7 +401,7 @@ fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
                                 std::min(region.uy, fp.core.uy));
       if (region.width() <= 0.0 || region.height() <= 0.0) continue;
       for (const netlist::CellId cell : c.cells) {
-        flat_model.objects[static_cast<std::size_t>(cell)].region = region;
+        flat_model.objects[cell.index()].region = region;
       }
     }
   }

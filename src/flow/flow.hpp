@@ -145,11 +145,11 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& netlist,
 /// fault::record_degradation and surfaced in the JSON run report — or, when
 /// the policy forbids the fallback, returned as a structured FlowError.
 /// The legacy entry points above are thin asserting wrappers over these.
-fault::Expected<FlowResult, fault::FlowError> try_run_default_flow(
+[[nodiscard]] fault::Expected<FlowResult, fault::FlowError> try_run_default_flow(
     netlist::Netlist& netlist, const FlowOptions& options);
-fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
+[[nodiscard]] fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
     netlist::Netlist& netlist, const FlowOptions& options);
-fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
+[[nodiscard]] fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
     const netlist::Netlist& netlist, const std::vector<geom::Point>& positions,
     const FlowOptions& options);
 

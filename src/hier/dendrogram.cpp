@@ -30,7 +30,7 @@ Dendrogram::Dendrogram(const netlist::Netlist& netlist) : nl_(&netlist) {
   for (std::size_t mi = 0; mi < nl.module_count(); ++mi) {
     const netlist::Module& mod = nl.module(static_cast<netlist::ModuleId>(mi));
     const std::int32_t parent =
-        mod.parent == netlist::kInvalidId ? -1 : node_of_module[static_cast<std::size_t>(mod.parent)];
+        mod.parent == netlist::kInvalidId ? -1 : node_of_module[mod.parent.index()];
     node_of_module[mi] = add_node(mod.id, parent);
   }
   leaf_of_cell_.assign(nl.cell_count(), -1);
@@ -44,7 +44,7 @@ Dendrogram::Dendrogram(const netlist::Netlist& netlist) : nl_(&netlist) {
     }
     nodes_[static_cast<std::size_t>(holder)].cells = mod.cells;
     for (const netlist::CellId cid : mod.cells) {
-      leaf_of_cell_[static_cast<std::size_t>(cid)] = holder;
+      leaf_of_cell_[cid.index()] = holder;
     }
   }
 
@@ -69,7 +69,7 @@ Dendrogram::Dendrogram(const netlist::Netlist& netlist) : nl_(&netlist) {
     }
     nodes_[static_cast<std::size_t>(cursor)].cells = cells;
     for (const netlist::CellId cid : cells) {
-      leaf_of_cell_[static_cast<std::size_t>(cid)] = cursor;
+      leaf_of_cell_[cid.index()] = cursor;
     }
   }
 }

@@ -30,9 +30,10 @@ std::vector<RentTerms> rent_terms(const netlist::Netlist& nl,
         touches_port = true;
         continue;
       }
-      ++pins_in_cluster[assignment[static_cast<std::size_t>(pin.cell)]];
+      ++pins_in_cluster[assignment[pin.cell.index()]];
     }
     const bool external = touches_port || pins_in_cluster.size() > 1;
+    // lint:allow(unordered-iter): integer counters per cluster, order-free
     for (const auto& [cluster, pins] : pins_in_cluster) {
       RentTerms& t = terms[static_cast<std::size_t>(cluster)];
       if (external) {

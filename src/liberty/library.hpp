@@ -20,11 +20,14 @@
 #include <string_view>
 #include <vector>
 
+#include "util/strong_id.hpp"
+
 namespace ppacd::liberty {
 
-/// Identifier of a library cell within a Library.
-using LibCellId = std::int32_t;
-inline constexpr LibCellId kInvalidLibCell = -1;
+/// Identifier of a library cell within a Library (strongly typed: not
+/// interchangeable with netlist CellId or any other id domain).
+using LibCellId = util::StrongId<struct LibCellIdTag>;
+inline constexpr LibCellId kInvalidLibCell{};
 
 /// Boolean function class of a cell; drives delay/activity models.
 enum class Function {
@@ -96,8 +99,9 @@ class Library {
   /// Adds a cell; assigns and returns its id.
   LibCellId add_cell(LibCell cell);
 
-  const LibCell& cell(LibCellId id) const { return cells_.at(static_cast<std::size_t>(id)); }
+  const LibCell& cell(LibCellId id) const { return cells_.at(id); }
   std::size_t cell_count() const { return cells_.size(); }
+  util::IdRange<LibCellId> cell_ids() const { return cells_.ids(); }
 
   /// Finds a cell by name; nullopt if absent.
   std::optional<LibCellId> find(std::string_view name) const;
@@ -116,7 +120,7 @@ class Library {
   double wire_res_kohm_per_um() const { return wire_res_kohm_per_um_; }
 
  private:
-  std::vector<LibCell> cells_;
+  util::IdVector<LibCellId, LibCell> cells_;
   double vdd_ = 1.1;
   double row_height_um_ = 1.4;
   double wire_cap_ff_per_um_ = 0.16;

@@ -84,7 +84,7 @@ Matrix TotalCostModel::embed_batch(
   cache.combined_adj.assign(static_cast<std::size_t>(total_nodes), {});
   int offset = 0;
   for (int g = 0; g < batch; ++g) {
-    const Matrix& x = *features[g];
+    const Matrix& x = *features[static_cast<std::size_t>(g)];
     for (int r = 0; r < x.rows; ++r) {
       std::copy(x.row(r), x.row(r) + x.cols, stacked.row(offset + r));
       for (const auto& [col, w] :

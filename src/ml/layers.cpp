@@ -7,7 +7,7 @@ namespace ppacd::ml {
 
 Linear::Linear(int in_dim, int out_dim, util::Rng& rng)
     : in_(in_dim), out_(out_dim) {
-  w_.init(static_cast<std::size_t>(in_dim) * out_dim);
+  w_.init(static_cast<std::size_t>(in_dim) * static_cast<std::size_t>(out_dim));
   b_.init(static_cast<std::size_t>(out_dim));
   const double bound = std::sqrt(6.0 / (in_dim + out_dim));
   for (double& v : w_.value) v = rng.uniform(-bound, bound);

@@ -20,12 +20,19 @@ struct Matrix {
   std::vector<double> data;
 
   Matrix() = default;
-  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c, 0.0) {}
+  Matrix(int r, int c)
+      : rows(r), cols(c),
+        data(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.0) {}
 
-  double& at(int r, int c) { return data[static_cast<std::size_t>(r) * cols + c]; }
-  double at(int r, int c) const { return data[static_cast<std::size_t>(r) * cols + c]; }
-  double* row(int r) { return data.data() + static_cast<std::size_t>(r) * cols; }
-  const double* row(int r) const { return data.data() + static_cast<std::size_t>(r) * cols; }
+  double& at(int r, int c) { return data[index(r, c)]; }
+  double at(int r, int c) const { return data[index(r, c)]; }
+  double* row(int r) { return data.data() + index(r, 0); }
+  const double* row(int r) const { return data.data() + index(r, 0); }
+
+  std::size_t index(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+           static_cast<std::size_t>(c);
+  }
 
   void zero() { std::fill(data.begin(), data.end(), 0.0); }
 };

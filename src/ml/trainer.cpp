@@ -121,10 +121,12 @@ TrainResult train_total_cost_model(const Dataset& dataset,
   std::vector<std::size_t> order = rng.permutation(n_clusters);
   // Keep at least one cluster in every split when there are >= 3 clusters.
   std::size_t n_train = std::max<std::size_t>(
-      1, static_cast<std::size_t>(options.train_fraction * n_clusters));
+      1, static_cast<std::size_t>(options.train_fraction *
+                                  static_cast<double>(n_clusters)));
   if (n_clusters >= 3) n_train = std::min(n_train, n_clusters - 2);
   std::size_t n_val = std::max<std::size_t>(
-      1, static_cast<std::size_t>(options.val_fraction * n_clusters));
+      1, static_cast<std::size_t>(options.val_fraction *
+                                  static_cast<double>(n_clusters)));
   if (n_clusters >= 2) n_val = std::min(n_val, n_clusters - n_train - (n_clusters >= 3 ? 1 : 0));
   std::vector<int> split(n_clusters, 2);  // 0 train, 1 val, 2 test
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -152,8 +154,10 @@ TrainResult train_total_cost_model(const Dataset& dataset,
       }
     }
     for (int c = 2; c < kDim; ++c) {
-      mean[static_cast<std::size_t>(c)] = sum[static_cast<std::size_t>(c)] / rows;
-      const double var = sum_sq[static_cast<std::size_t>(c)] / rows -
+      mean[static_cast<std::size_t>(c)] =
+        sum[static_cast<std::size_t>(c)] / static_cast<double>(rows);
+      const double var =
+        sum_sq[static_cast<std::size_t>(c)] / static_cast<double>(rows) -
                          mean[static_cast<std::size_t>(c)] * mean[static_cast<std::size_t>(c)];
       stddev[static_cast<std::size_t>(c)] = var > 1e-12 ? std::sqrt(var) : 1.0;
     }
@@ -258,7 +262,7 @@ TrainResult train_total_cost_model(const Dataset& dataset,
     }
     ++result.epochs_run;
     PPACD_LOG_DEBUG("train") << "epoch " << epoch << " mse "
-                             << (batches > 0 ? epoch_loss / batches : 0.0);
+                             << (batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0);
   }
 
   // --- Evaluation ----------------------------------------------------------------

@@ -19,7 +19,7 @@ struct FlatConnectivity {
   /// Row per net: member cell ids in pin order (cell pins only; top ports
   /// are dropped). Cells are NOT deduplicated — multi-pin membership shows
   /// up as repeats, exactly like the pin loop it replaces.
-  util::Csr<std::int32_t> net_cells;
+  util::Csr<CellId> net_cells;
 
   static FlatConnectivity build(const Netlist& nl);
 };

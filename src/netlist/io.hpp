@@ -45,12 +45,12 @@ std::optional<Netlist> read_verilog(std::istream& in,
 /// Parse failures map to `io-parse-failed` (line number in the message);
 /// injected faults map to `io-read-failed` / `io-read-timeout` /
 /// `non-finite-result` / `alloc-failure`.
-fault::Expected<Netlist, fault::FlowError> try_read_verilog(
+[[nodiscard]] fault::Expected<Netlist, fault::FlowError> try_read_verilog(
     std::istream& in, const liberty::Library& library);
 
 /// Opens `path` and parses it via try_read_verilog. A file that cannot be
 /// opened maps to `io-open-failed`.
-fault::Expected<Netlist, fault::FlowError> try_load_verilog(
+[[nodiscard]] fault::Expected<Netlist, fault::FlowError> try_load_verilog(
     const std::string& path, const liberty::Library& library);
 
 /// Writes a DEF-like placement: DESIGN, DIEAREA, and one COMPONENTS entry

@@ -9,19 +9,19 @@ namespace ppacd::netlist {
 Netlist::Netlist(const liberty::Library& lib, std::string name)
     : lib_(&lib), name_(std::move(name)) {
   Module root;
-  root.id = 0;
+  root.id = ModuleId(0);
   root.name = name_;
   modules_.push_back(std::move(root));
 }
 
 ModuleId Netlist::add_module(std::string name, ModuleId parent) {
-  assert(parent >= 0 && static_cast<std::size_t>(parent) < modules_.size());
+  assert(modules_.contains(parent));
   Module mod;
-  mod.id = static_cast<ModuleId>(modules_.size());
+  mod.id = modules_.next_id();
   mod.name = std::move(name);
   mod.parent = parent;
   modules_.push_back(std::move(mod));
-  modules_[static_cast<std::size_t>(parent)].children.push_back(modules_.back().id);
+  modules_[parent].children.push_back(modules_.back().id);
   return modules_.back().id;
 }
 
@@ -40,16 +40,16 @@ std::string Netlist::module_path(ModuleId id) const {
 
 CellId Netlist::add_cell(std::string name, liberty::LibCellId lib_cell,
                          ModuleId module_id) {
-  assert(module_id >= 0 && static_cast<std::size_t>(module_id) < modules_.size());
+  assert(modules_.contains(module_id));
   const liberty::LibCell& lc = lib_->cell(lib_cell);
   Cell cell;
-  cell.id = static_cast<CellId>(cells_.size());
+  cell.id = cells_.next_id();
   cell.name = std::move(name);
   cell.lib_cell = lib_cell;
   cell.module = module_id;
   for (std::size_t i = 0; i < lc.pins.size(); ++i) {
     Pin pin;
-    pin.id = static_cast<PinId>(pins_.size());
+    pin.id = pins_.next_id();
     pin.kind = PinKind::kCellPin;
     pin.cell = cell.id;
     pin.lib_pin = static_cast<int>(i);
@@ -58,19 +58,19 @@ CellId Netlist::add_cell(std::string name, liberty::LibCellId lib_cell,
     cell.pins.push_back(pin.id);
     pins_.push_back(pin);
   }
-  modules_[static_cast<std::size_t>(module_id)].cells.push_back(cell.id);
+  modules_[module_id].cells.push_back(cell.id);
   cells_.push_back(std::move(cell));
   return cells_.back().id;
 }
 
 PortId Netlist::add_port(std::string name, liberty::PinDir dir) {
   Port port;
-  port.id = static_cast<PortId>(ports_.size());
+  port.id = ports_.next_id();
   port.name = std::move(name);
   port.dir = dir;
 
   Pin pin;
-  pin.id = static_cast<PinId>(pins_.size());
+  pin.id = pins_.next_id();
   pin.kind = PinKind::kTopPort;
   pin.port = port.id;
   // Seen from inside the chip an input port drives, so flip the direction:
@@ -85,15 +85,15 @@ PortId Netlist::add_port(std::string name, liberty::PinDir dir) {
 
 NetId Netlist::add_net(std::string name) {
   Net net;
-  net.id = static_cast<NetId>(nets_.size());
+  net.id = nets_.next_id();
   net.name = std::move(name);
   nets_.push_back(std::move(net));
   return nets_.back().id;
 }
 
 void Netlist::connect(NetId net_id, PinId pin_id) {
-  Net& net = nets_.at(static_cast<std::size_t>(net_id));
-  Pin& pin = pins_.at(static_cast<std::size_t>(pin_id));
+  Net& net = nets_.at(net_id);
+  Pin& pin = pins_.at(pin_id);
   assert(pin.net == kInvalidId && "pin already connected");
   pin.net = net_id;
   net.pins.push_back(pin_id);
@@ -104,7 +104,7 @@ void Netlist::connect(NetId net_id, PinId pin_id) {
 }
 
 void Netlist::swap_lib_cell(CellId cell_id, liberty::LibCellId new_lib_cell) {
-  Cell& cell = cells_.at(static_cast<std::size_t>(cell_id));
+  Cell& cell = cells_.at(cell_id);
   const liberty::LibCell& old_lc = lib_->cell(cell.lib_cell);
   const liberty::LibCell& new_lc = lib_->cell(new_lib_cell);
   assert(old_lc.pins.size() == new_lc.pins.size() &&
@@ -119,9 +119,9 @@ void Netlist::swap_lib_cell(CellId cell_id, liberty::LibCellId new_lib_cell) {
 }
 
 void Netlist::disconnect(PinId pin_id) {
-  Pin& pin = pins_.at(static_cast<std::size_t>(pin_id));
+  Pin& pin = pins_.at(pin_id);
   assert(pin.net != kInvalidId && "pin is not connected");
-  Net& net = nets_.at(static_cast<std::size_t>(pin.net));
+  Net& net = nets_.at(pin.net);
   assert(net.driver != pin_id && "cannot detach a net's driver");
   auto& pins = net.pins;
   pins.erase(std::remove(pins.begin(), pins.end(), pin_id), pins.end());

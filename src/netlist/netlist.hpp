@@ -17,16 +17,21 @@
 
 #include "geom/geometry.hpp"
 #include "liberty/library.hpp"
+#include "util/strong_id.hpp"
 
 namespace ppacd::netlist {
 
-using CellId = std::int32_t;
-using NetId = std::int32_t;
-using PinId = std::int32_t;
-using PortId = std::int32_t;
-using ModuleId = std::int32_t;
+// Each id domain is a distinct StrongId instantiation: cross-domain
+// assignment, comparison, and container subscripting are compile errors.
+using CellId = util::StrongId<struct CellIdTag>;
+using NetId = util::StrongId<struct NetIdTag>;
+using PinId = util::StrongId<struct PinIdTag>;
+using PortId = util::StrongId<struct PortIdTag>;
+using ModuleId = util::StrongId<struct ModuleIdTag>;
 
-inline constexpr std::int32_t kInvalidId = -1;
+/// Universal invalid sentinel (assignable to / comparable with every id
+/// domain above); default-constructed ids are equal to it.
+inline constexpr util::InvalidId kInvalidId{};
 
 /// Kind of connection point: a pin of a cell, or a top-level chip port.
 enum class PinKind { kCellPin, kTopPort };
@@ -94,9 +99,9 @@ class Netlist {
   const std::string& name() const { return name_; }
 
   // --- Hierarchy -----------------------------------------------------------
-  ModuleId root_module() const { return 0; }
+  ModuleId root_module() const { return ModuleId(0); }
   ModuleId add_module(std::string name, ModuleId parent);
-  const Module& module(ModuleId id) const { return modules_.at(static_cast<std::size_t>(id)); }
+  const Module& module(ModuleId id) const { return modules_.at(id); }
   std::size_t module_count() const { return modules_.size(); }
   /// Full hierarchical path, e.g. "top/core0/alu".
   std::string module_path(ModuleId id) const;
@@ -111,17 +116,25 @@ class Netlist {
   void connect(NetId net, PinId pin);
 
   // --- Access ---------------------------------------------------------------
-  const Cell& cell(CellId id) const { return cells_.at(static_cast<std::size_t>(id)); }
-  const Net& net(NetId id) const { return nets_.at(static_cast<std::size_t>(id)); }
-  Net& mutable_net(NetId id) { return nets_.at(static_cast<std::size_t>(id)); }
-  const Pin& pin(PinId id) const { return pins_.at(static_cast<std::size_t>(id)); }
-  const Port& port(PortId id) const { return ports_.at(static_cast<std::size_t>(id)); }
-  Port& mutable_port(PortId id) { return ports_.at(static_cast<std::size_t>(id)); }
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  const Net& net(NetId id) const { return nets_.at(id); }
+  Net& mutable_net(NetId id) { return nets_.at(id); }
+  const Pin& pin(PinId id) const { return pins_.at(id); }
+  const Port& port(PortId id) const { return ports_.at(id); }
+  Port& mutable_port(PortId id) { return ports_.at(id); }
 
   std::size_t cell_count() const { return cells_.size(); }
   std::size_t net_count() const { return nets_.size(); }
   std::size_t pin_count() const { return pins_.size(); }
   std::size_t port_count() const { return ports_.size(); }
+
+  /// Dense id ranges [0, count) for counting loops:
+  ///   for (CellId c : nl.cell_ids()) ...
+  util::IdRange<CellId> cell_ids() const { return cells_.ids(); }
+  util::IdRange<NetId> net_ids() const { return nets_.ids(); }
+  util::IdRange<PinId> pin_ids() const { return pins_.ids(); }
+  util::IdRange<PortId> port_ids() const { return ports_.ids(); }
+  util::IdRange<ModuleId> module_ids() const { return modules_.ids(); }
 
   /// Pin of `cell` at library pin index `lib_pin`.
   PinId cell_pin(CellId cell, int lib_pin) const;
@@ -157,11 +170,11 @@ class Netlist {
  private:
   const liberty::Library* lib_;
   std::string name_;
-  std::vector<Module> modules_;
-  std::vector<Cell> cells_;
-  std::vector<Net> nets_;
-  std::vector<Pin> pins_;
-  std::vector<Port> ports_;
+  util::IdVector<ModuleId, Module> modules_;
+  util::IdVector<CellId, Cell> cells_;
+  util::IdVector<NetId, Net> nets_;
+  util::IdVector<PinId, Pin> pins_;
+  util::IdVector<PortId, Port> ports_;
 };
 
 }  // namespace ppacd::netlist

@@ -1,3 +1,4 @@
+// lint:allow-file(raw-thread): ring-buffer recorder is cross-thread infra by design
 #include "observe/observe.hpp"
 
 #include <algorithm>

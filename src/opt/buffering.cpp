@@ -18,7 +18,7 @@ geom::Point pin_position(const Netlist& nl,
                          const std::vector<geom::Point>& positions, PinId pid) {
   const netlist::Pin& pin = nl.pin(pid);
   if (pin.kind == netlist::PinKind::kTopPort) return nl.port(pin.port).position;
-  return positions.at(static_cast<std::size_t>(pin.cell));
+  return positions.at(pin.cell.index());
 }
 
 }  // namespace

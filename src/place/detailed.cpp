@@ -67,7 +67,8 @@ DetailedResult detailed_place(const PlaceModel& model, const Placement& placemen
     bool any_move = false;
     for (auto& [y, cells] : rows) {
       if (static_cast<int>(cells.size()) < window) continue;
-      for (std::size_t start = 0; start + window <= cells.size(); ++start) {
+      for (std::size_t start = 0;
+       start + static_cast<std::size_t>(window) <= cells.size(); ++start) {
         // Window span: from the left edge of the first cell to the right
         // edge of the last (cells stay inside; gaps collapse to the right).
         const std::int32_t first = cells[start];

@@ -185,6 +185,7 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
     if (p_ap <= 0.0) return false;  // matrix should be SPD; bail out
     const double alpha = rz / p_ap;
     exec::parallel_for(0, n, kVecGrain, [&](std::size_t i) {
+      // lint:allow(parallel-float-accum): element i touched by one iteration
       x[i] += alpha * p[i];
       r[i] -= alpha * ap[i];
     });
@@ -217,7 +218,7 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   int iters_run = 0;
   for (int iter = 0; iter < max_iters; ++iter) {
     const double residual = std::sqrt(dot(r, r)) / b_norm;
-    resid_log[logged++] = residual;
+    resid_log[static_cast<std::size_t>(logged++)] = residual;
     if (residual < tolerance) break;
     iters_run = iter + 1;
     if (!step()) break;
@@ -226,12 +227,12 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   for (int i = 0; i < logged; ++i) {
     if (rec.want(i)) {
       rec.record(observe::Stream::kPlaceCg, obs_series, obs_index, i,
-                 {resid_log[i]});
+                 {resid_log[static_cast<std::size_t>(i)]});
     }
   }
   rec.record(observe::Stream::kPlaceCg, obs_series, obs_index, -1,
              {static_cast<double>(iters_run),
-              logged > 0 ? resid_log[logged - 1] : 0.0});
+              logged > 0 ? resid_log[static_cast<std::size_t>(logged - 1)] : 0.0});
 }
 
 constexpr double kMinB2bDist = 0.5;  // um; keeps B2B weights bounded
@@ -257,7 +258,9 @@ GlobalPlacer::GlobalPlacer(const PlaceModel& model,
   grid_ny_ = std::max(1, static_cast<int>(core.height() / bin_edge));
   bin_w_ = core.width() / grid_nx_;
   bin_h_ = core.height() / grid_ny_;
-  blockage_area_.assign(static_cast<std::size_t>(grid_nx_) * grid_ny_, 0.0);
+  blockage_area_.assign(
+      static_cast<std::size_t>(grid_nx_) * static_cast<std::size_t>(grid_ny_),
+      0.0);
   for (const PlaceObject& obj : model.objects) {
     if (!obj.blockage) continue;
     const double hw = obj.width_um * 0.5;
@@ -273,7 +276,9 @@ GlobalPlacer::GlobalPlacer(const PlaceModel& model,
       for (int bx = x0; bx <= x1; ++bx) {
         const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bin_w_) -
                                             std::max(p.x - hw, core.lx + bx * bin_w_));
-        blockage_area_[static_cast<std::size_t>(by) * grid_nx_ + bx] += ox * oy;
+        blockage_area_[static_cast<std::size_t>(by) *
+                         static_cast<std::size_t>(grid_nx_) +
+                     static_cast<std::size_t>(bx)] += ox * oy;
       }
     }
   }
@@ -406,7 +411,8 @@ double GlobalPlacer::spread(Placement& positions) {
     return std::max(1e-6, bin_cap - blockage_area_[bin]);
   };
   std::vector<double>& area = scratch_->spread_area;
-  area.assign(static_cast<std::size_t>(nx) * ny, 0.0);
+  area.assign(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny),
+              0.0);
   // Per-lane rows for the cell-shifting sweeps below: each lane writes only
   // its own stride-separated row, so the lane-parallel loop stays race-free
   // without per-lane heap allocation.
@@ -446,8 +452,10 @@ double GlobalPlacer::spread(Placement& positions) {
       double* const util = scratch_->lane_util.data() + lane_idx * lane_cap;
       for (int b = 0; b < bins; ++b) {
         const std::size_t idx = x_axis
-                                    ? static_cast<std::size_t>(lane) * nx + b
-                                    : static_cast<std::size_t>(b) * nx + lane;
+                                    ? static_cast<std::size_t>(lane) * static_cast<std::size_t>(nx) +
+                    static_cast<std::size_t>(b)
+                                    : static_cast<std::size_t>(b) * static_cast<std::size_t>(nx) +
+                    static_cast<std::size_t>(lane);
         util[static_cast<std::size_t>(b)] = area[idx] / capacity_of(idx);
       }
       // New internal boundaries.
@@ -527,7 +535,8 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
       const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
       const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
       if (x0 == x1 && y0 == y1) {
-        area[static_cast<std::size_t>(y0) * nx + x0] += o.area_um2();
+        area[static_cast<std::size_t>(y0) * static_cast<std::size_t>(nx) +
+         static_cast<std::size_t>(x0)] += o.area_um2();
         continue;
       }
       for (int by = y0; by <= y1; ++by) {
@@ -536,7 +545,8 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
         for (int bx = x0; bx <= x1; ++bx) {
           const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
                                               std::max(p.x - hw, core.lx + bx * bw));
-          area[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+          area[static_cast<std::size_t>(by) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(bx)] += ox * oy;
         }
       }
     }
@@ -560,7 +570,8 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
       const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
       const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
       if (x0 == x1 && y0 == y1) {
-        bins[static_cast<std::size_t>(y0) * nx + x0] += o.area_um2();
+        bins[static_cast<std::size_t>(y0) * static_cast<std::size_t>(nx) +
+         static_cast<std::size_t>(x0)] += o.area_um2();
         continue;
       }
       for (int by = y0; by <= y1; ++by) {
@@ -569,7 +580,8 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
         for (int bx = x0; bx <= x1; ++bx) {
           const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
                                               std::max(p.x - hw, core.lx + bx * bw));
-          bins[static_cast<std::size_t>(by) * nx + bx] += ox * oy;
+          bins[static_cast<std::size_t>(by) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(bx)] += ox * oy;
         }
       }
     }
@@ -581,7 +593,9 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
 
 double GlobalPlacer::measure_overflow(const Placement& positions) const {
   std::vector<double>& area = scratch_->measure_area;
-  area.assign(static_cast<std::size_t>(grid_nx_) * grid_ny_, 0.0);
+  area.assign(
+      static_cast<std::size_t>(grid_nx_) * static_cast<std::size_t>(grid_ny_),
+      0.0);
   accumulate_area(positions, area);
   const double bin_cap = bin_w_ * bin_h_;
   double overfill = 0.0;

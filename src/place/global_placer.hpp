@@ -105,9 +105,9 @@ class GlobalPlacer {
   /// failure either stops early with the best placement so far (recorded in
   /// PlaceResult::degrade_code) when `policy.place_early_stop`, or is
   /// returned as the FlowError itself when the policy forbids degradation.
-  fault::Expected<PlaceResult, fault::FlowError> try_run(
+  [[nodiscard]] fault::Expected<PlaceResult, fault::FlowError> try_run(
       const fault::DegradePolicy& policy);
-  fault::Expected<PlaceResult, fault::FlowError> try_run_incremental(
+  [[nodiscard]] fault::Expected<PlaceResult, fault::FlowError> try_run_incremental(
       const Placement& seed, const fault::DegradePolicy& policy);
 
  private:

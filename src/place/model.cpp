@@ -42,8 +42,8 @@ PlaceModel make_place_model(const netlist::Netlist& nl, const Floorplan& fp,
   }
   const auto object_of_pin = [&nl](netlist::PinId pid) -> std::int32_t {
     const netlist::Pin& pin = nl.pin(pid);
-    if (pin.kind == netlist::PinKind::kCellPin) return pin.cell;
-    return static_cast<std::int32_t>(nl.cell_count()) + pin.port;
+    if (pin.kind == netlist::PinKind::kCellPin) return pin.cell.value();
+    return static_cast<std::int32_t>(nl.cell_count()) + pin.port.value();
   };
 
   for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
@@ -108,7 +108,7 @@ double netlist_hpwl(const netlist::Netlist& nl,
       if (pin.kind == netlist::PinKind::kTopPort) {
         box.expand(nl.port(pin.port).position);
       } else {
-        box.expand(positions.at(static_cast<std::size_t>(pin.cell)));
+        box.expand(positions.at(pin.cell.index()));
       }
     }
     hpwl += box.half_perimeter();

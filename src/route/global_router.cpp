@@ -39,7 +39,8 @@ double RouteResult::top_congestion(double percent) const {
   std::vector<double> sorted = edge_utilization;
   std::sort(sorted.begin(), sorted.end(), std::greater<>());
   const std::size_t count = std::max<std::size_t>(
-      1, static_cast<std::size_t>(sorted.size() * percent / 100.0));
+      1, static_cast<std::size_t>(static_cast<double>(sorted.size()) * percent /
+                                  100.0));
   double sum = 0.0;
   for (std::size_t i = 0; i < count; ++i) sum += sorted[i];
   return sum / static_cast<double>(count);
@@ -51,8 +52,10 @@ GlobalRouter::GlobalRouter(const netlist::Netlist& netlist,
     : nl_(&netlist), positions_(&positions), core_(core), options_(options) {
   nx_ = std::max(2, static_cast<int>(std::ceil(core.width() / options.gcell_um)));
   ny_ = std::max(2, static_cast<int>(std::ceil(core.height() / options.gcell_um)));
-  h_usage_.assign(static_cast<std::size_t>(nx_ - 1) * ny_, 0.0);
-  v_usage_.assign(static_cast<std::size_t>(nx_) * (ny_ - 1), 0.0);
+  h_usage_.assign(
+        static_cast<std::size_t>(nx_ - 1) * static_cast<std::size_t>(ny_), 0.0);
+  v_usage_.assign(
+        static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_ - 1), 0.0);
   h_history_.assign(h_usage_.size(), 0.0);
   v_history_.assign(v_usage_.size(), 0.0);
 }
@@ -67,13 +70,15 @@ GlobalRouter::GridPoint GlobalRouter::gcell_of(const geom::Point& p) const {
 std::size_t GlobalRouter::h_index(int x, int y) const {
   PPACD_DCHECK(x >= 0 && x < nx_ - 1 && y >= 0 && y < ny_,
                "h edge (" << x << ", " << y << ") outside " << nx_ << " x " << ny_);
-  return static_cast<std::size_t>(y) * (nx_ - 1) + x;
+  return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_ - 1) +
+           static_cast<std::size_t>(x);
 }
 
 std::size_t GlobalRouter::v_index(int x, int y) const {
   PPACD_DCHECK(x >= 0 && x < nx_ && y >= 0 && y < ny_ - 1,
                "v edge (" << x << ", " << y << ") outside " << nx_ << " x " << ny_);
-  return static_cast<std::size_t>(x) * (ny_ - 1) + y;
+  return static_cast<std::size_t>(x) * static_cast<std::size_t>(ny_ - 1) +
+           static_cast<std::size_t>(y);
 }
 
 std::size_t GlobalRouter::edge_key(const EdgeRef& e) const {
@@ -210,9 +215,10 @@ void GlobalRouter::route_maze(GridPoint a, GridPoint b,
   SlotScratch& slot = slots_[exec::this_worker_slot()];
   std::vector<double>& dist = slot.maze_dist;
   std::vector<std::int32_t>& parent = slot.maze_parent;
-  dist.assign(static_cast<std::size_t>(wx) * wy,
+  dist.assign(static_cast<std::size_t>(wx) * static_cast<std::size_t>(wy),
               std::numeric_limits<double>::infinity());
-  parent.assign(static_cast<std::size_t>(wx) * wy, -1);
+  parent.assign(static_cast<std::size_t>(wx) * static_cast<std::size_t>(wy),
+                -1);
   using QueueEntry = std::pair<double, std::int32_t>;
   std::vector<QueueEntry>& queue = slot.maze_heap;
   queue.clear();
@@ -341,7 +347,7 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
       const netlist::Pin& pin = nl.pin(pid);
       const geom::Point pos = pin.kind == netlist::PinKind::kTopPort
                                   ? nl.port(pin.port).position
-                                  : positions_->at(static_cast<std::size_t>(pin.cell));
+                                  : positions_->at(pin.cell.index());
       pins.push_back(pos);
       box.expand(pos);
     }
@@ -407,11 +413,14 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
     const int bx = std::min(nx_, 48);
     const int by = std::min(ny_, 48);
     if (bx <= 0 || by <= 0) return;
-    std::vector<double> grid(static_cast<std::size_t>(bx) * by, 0.0);
+    std::vector<double> grid(
+      static_cast<std::size_t>(bx) * static_cast<std::size_t>(by), 0.0);
     auto pool = [&](int x, int y, double util) {
       const int gx = std::min(bx - 1, x * bx / nx_);
       const int gy = std::min(by - 1, y * by / ny_);
-      double& cell = grid[static_cast<std::size_t>(gy) * bx + gx];
+      double& cell = grid[static_cast<std::size_t>(gy) *
+                            static_cast<std::size_t>(bx) +
+                        static_cast<std::size_t>(gx)];
       cell = std::max(cell, util);
     };
     for (int y = 0; y < ny_; ++y) {
@@ -437,7 +446,7 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
       NetRoute& route = routes[i];
       if (faults_on) {
         if (const auto kind = fault::trigger(
-                "route.maze", static_cast<std::uint64_t>(route.net))) {
+                "route.maze", static_cast<std::uint64_t>(route.net.value()))) {
           switch (*kind) {
             case fault::FaultKind::kAlloc:
               throw std::bad_alloc();
@@ -487,7 +496,8 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
           std::this_thread::sleep_for(
               std::chrono::milliseconds(policy.route_backoff_ms * attempt));
         }
-        if (fault::trigger("route.maze", static_cast<std::uint64_t>(route.net),
+        if (fault::trigger("route.maze",
+                       static_cast<std::uint64_t>(route.net.value()),
                            static_cast<std::uint32_t>(attempt))) {
           continue;  // still failing on this attempt
         }

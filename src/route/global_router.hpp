@@ -85,7 +85,7 @@ class GlobalRouter {
   /// retried `policy.route_retries` times (with `policy.route_backoff_ms`
   /// backoff scaled by attempt) and then dropped into a partial result;
   /// allocation failure returns a structured `alloc-failure` error.
-  fault::Expected<RouteResult, fault::FlowError> try_run(
+  [[nodiscard]] fault::Expected<RouteResult, fault::FlowError> try_run(
       const fault::DegradePolicy& policy);
 
  private:

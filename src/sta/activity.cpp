@@ -83,8 +83,8 @@ std::vector<CellId> comb_topo_order(const Netlist& nl) {
       const auto& pin = nl.pin(pid);
       if (pin.kind != netlist::PinKind::kCellPin || pin.is_clock) continue;
       if (liberty::is_sequential(nl.lib_cell_of(pin.cell).function)) continue;
-      fanout[static_cast<std::size_t>(driver.cell)].push_back(pin.cell);
-      ++pending[static_cast<std::size_t>(pin.cell)];
+      fanout[driver.cell.index()].push_back(pin.cell);
+      ++pending[pin.cell.index()];
     }
   }
   std::vector<CellId> order;
@@ -99,8 +99,8 @@ std::vector<CellId> comb_topo_order(const Netlist& nl) {
     const CellId c = ready.front();
     ready.pop();
     order.push_back(c);
-    for (CellId next : fanout[static_cast<std::size_t>(c)]) {
-      if (--pending[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    for (CellId next : fanout[c.index()]) {
+      if (--pending[next.index()] == 0) ready.push(next);
     }
   }
   return order;
@@ -126,8 +126,8 @@ std::vector<NetActivity> propagate_activity(const Netlist& nl,
     const NetId net = nl.pin(port.pin).net;
     if (net == netlist::kInvalidId) continue;
     const double jitter = 0.5 + static_cast<double>((po * 2654435761u) % 100) / 100.0;
-    act[static_cast<std::size_t>(net)].p_one = options.input_p;
-    act[static_cast<std::size_t>(net)].toggle =
+    act[net.index()].p_one = options.input_p;
+    act[net.index()].toggle =
         std::min(options.max_toggle, options.input_toggle * jitter);
   }
 
@@ -157,16 +157,16 @@ std::vector<NetActivity> propagate_activity(const Netlist& nl,
         if (pin.dir != liberty::PinDir::kInput || pin.is_clock) continue;
         Sig sig;
         if (pin.net != netlist::kInvalidId) {
-          sig.p = act[static_cast<std::size_t>(pin.net)].p_one;
-          sig.d = act[static_cast<std::size_t>(pin.net)].toggle;
+          sig.p = act[pin.net.index()].p_one;
+          sig.d = act[pin.net.index()].toggle;
         }
         inputs.push_back(sig);
       }
       Sig out_sig = evaluate(lc.function, inputs);
       out_sig.p = std::clamp(out_sig.p, 0.0, 1.0);
       out_sig.d = std::clamp(out_sig.d, 0.0, options.max_toggle);
-      act[static_cast<std::size_t>(out_net)].p_one = out_sig.p;
-      act[static_cast<std::size_t>(out_net)].toggle = out_sig.d;
+      act[out_net.index()].p_one = out_sig.p;
+      act[out_net.index()].toggle = out_sig.d;
     }
 
     // Register update: Q resamples D once per cycle with damping.
@@ -185,9 +185,9 @@ std::vector<NetActivity> propagate_activity(const Netlist& nl,
       const NetId q_net = nl.pin(out).net;
       if (q_net == netlist::kInvalidId) continue;
       const double p_d =
-          d_net == netlist::kInvalidId ? 0.5 : act[static_cast<std::size_t>(d_net)].p_one;
-      act[static_cast<std::size_t>(q_net)].p_one = p_d;
-      act[static_cast<std::size_t>(q_net)].toggle =
+          d_net == netlist::kInvalidId ? 0.5 : act[d_net.index()].p_one;
+      act[q_net.index()].p_one = p_d;
+      act[q_net.index()].toggle =
           std::min(1.0, options.dff_damping * 2.0 * p_d * (1.0 - p_d));
     }
   }

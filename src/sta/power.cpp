@@ -34,7 +34,7 @@ PowerReport compute_power(const netlist::Netlist& nl,
         if (pin.kind == netlist::PinKind::kTopPort) {
           box.expand(nl.port(pin.port).position);
         } else {
-          box.expand(cell_positions->at(static_cast<std::size_t>(pin.cell)));
+          box.expand(cell_positions->at(pin.cell.index()));
         }
       }
       cap_ff += lib.wire_cap_ff_per_um() * box.half_perimeter();

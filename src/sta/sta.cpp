@@ -30,12 +30,12 @@ geom::Point Sta::pin_position(netlist::PinId pin_id) const {
     return nl_->port(pin.port).position;
   }
   assert(options_.cell_positions != nullptr);
-  return options_.cell_positions->at(static_cast<std::size_t>(pin.cell));
+  return options_.cell_positions->at(pin.cell.index());
 }
 
 double Sta::clock_arrival_of(netlist::CellId cell) const {
   if (options_.clock_arrivals_ps == nullptr) return 0.0;
-  return options_.clock_arrivals_ps->at(static_cast<std::size_t>(cell));
+  return options_.clock_arrivals_ps->at(cell.index());
 }
 
 double Sta::net_wirelength_um(netlist::NetId net_id) const {
@@ -111,7 +111,7 @@ void Sta::build_graph() {
 
     const netlist::NetId out_net = nl.pin(out).net;
     const double load =
-        out_net == netlist::kInvalidId ? 0.0 : net_load_ff[static_cast<std::size_t>(out_net)];
+        out_net == netlist::kInvalidId ? 0.0 : net_load_ff[out_net.index()];
     const double delay = lc.intrinsic_ps + lc.drive_res_kohm * load;
 
     if (liberty::is_sequential(lc.function)) {
@@ -150,15 +150,15 @@ void Sta::build_graph() {
   fanin_arcs_.start_rows(nl.pin_count());
   fanout_arcs_.start_rows(nl.pin_count());
   for (const Arc& arc : arcs_) {
-    fanout_arcs_.add_to_row(static_cast<std::size_t>(arc.from));
-    fanin_arcs_.add_to_row(static_cast<std::size_t>(arc.to));
+    fanout_arcs_.add_to_row(arc.from.index());
+    fanin_arcs_.add_to_row(arc.to.index());
   }
   fanin_arcs_.commit_rows();
   fanout_arcs_.commit_rows();
   for (std::size_t ai = 0; ai < arcs_.size(); ++ai) {
-    fanout_arcs_.push(static_cast<std::size_t>(arcs_[ai].from),
+    fanout_arcs_.push(arcs_[ai].from.index(),
                       static_cast<std::int32_t>(ai));
-    fanin_arcs_.push(static_cast<std::size_t>(arcs_[ai].to),
+    fanin_arcs_.push(arcs_[ai].to.index(),
                      static_cast<std::int32_t>(ai));
   }
 
@@ -175,9 +175,9 @@ void Sta::build_graph() {
     const netlist::PinId pid = ready.front();
     ready.pop();
     topo_order_.push_back(pid);
-    for (std::int32_t ai : fanout_arcs_.row(static_cast<std::size_t>(pid))) {
+    for (std::int32_t ai : fanout_arcs_.row(pid.index())) {
       const netlist::PinId to = arcs_[static_cast<std::size_t>(ai)].to;
-      if (--pending[static_cast<std::size_t>(to)] == 0) ready.push(to);
+      if (--pending[to.index()] == 0) ready.push(to);
     }
   }
   assert(topo_order_.size() == nl.pin_count() && "timing graph has a cycle");
@@ -189,9 +189,9 @@ void Sta::build_graph() {
   std::vector<std::int32_t> level(nl.pin_count(), 0);
   std::int32_t max_level = 0;
   for (const netlist::PinId pid : topo_order_) {
-    const auto p = static_cast<std::size_t>(pid);
+    const auto p = pid.index();
     for (std::int32_t ai : fanout_arcs_.row(p)) {
-      const auto to = static_cast<std::size_t>(arcs_[static_cast<std::size_t>(ai)].to);
+      const auto to = (arcs_[static_cast<std::size_t>(ai)].to).index();
       level[to] = std::max(level[to], level[p] + 1);
     }
     max_level = std::max(max_level, level[p]);
@@ -199,12 +199,12 @@ void Sta::build_graph() {
   level_buckets_.start_rows(static_cast<std::size_t>(max_level) + 1);
   for (const netlist::PinId pid : topo_order_) {
     level_buckets_.add_to_row(
-        static_cast<std::size_t>(level[static_cast<std::size_t>(pid)]));
+        static_cast<std::size_t>(level[pid.index()]));
   }
   level_buckets_.commit_rows();
   for (const netlist::PinId pid : topo_order_) {
     level_buckets_.push(
-        static_cast<std::size_t>(level[static_cast<std::size_t>(pid)]), pid);
+        static_cast<std::size_t>(level[pid.index()]), pid);
   }
 }
 
@@ -244,13 +244,13 @@ void Sta::propagate_arrivals() {
     }
     exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
                        [&](std::size_t i) {
-                         const auto p = static_cast<std::size_t>(bucket[i]);
+                         const auto p = bucket[i].index();
                          double best = -kInf;
                          std::int32_t best_arc = -1;
                          for (std::int32_t ai : fanin_arcs_.row(p)) {
                            const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
                            const double candidate =
-                               arrival_[static_cast<std::size_t>(arc.from)] +
+                               arrival_[arc.from.index()] +
                                arc.delay_ps;
                            if (candidate > best) {
                              best = candidate;
@@ -275,8 +275,8 @@ void Sta::propagate_requireds() {
       const liberty::LibCell& lc = nl.lib_cell_of(pin.cell);
       req = period + clock_arrival_of(pin.cell) - lc.setup_ps;
     }
-    required_[static_cast<std::size_t>(pid)] =
-        std::min(required_[static_cast<std::size_t>(pid)], req);
+    required_[pid.index()] =
+        std::min(required_[pid.index()], req);
   }
 
   // Pull-based level sweep, levels descending: each pin min-folds its
@@ -286,12 +286,12 @@ void Sta::propagate_requireds() {
     const std::span<const netlist::PinId> bucket = level_buckets_.row(l);
     exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
                        [&](std::size_t i) {
-                         const auto p = static_cast<std::size_t>(bucket[i]);
+                         const auto p = bucket[i].index();
                          double req = required_[p];
                          for (std::int32_t ai : fanout_arcs_.row(p)) {
                            const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
                            req = std::min(
-                               req, required_[static_cast<std::size_t>(arc.to)] -
+                               req, required_[arc.to.index()] -
                                         arc.delay_ps);
                          }
                          required_[p] = req;
@@ -396,8 +396,8 @@ fault::Expected<void, fault::FlowError> Sta::try_run() {
 }
 
 double Sta::slack_ps(netlist::PinId pin) const {
-  const double a = arrival_.at(static_cast<std::size_t>(pin));
-  const double r = required_.at(static_cast<std::size_t>(pin));
+  const double a = arrival_.at(pin.index());
+  const double r = required_.at(pin.index());
   if (a == -kInf || r == kInf) return kInf;
   return r - a;
 }
@@ -424,12 +424,12 @@ std::vector<TimingPath> Sta::worst_paths(std::size_t max_paths) const {
     TimingPath path;
     path.endpoint = end;
     path.slack_ps = slack_ps(end);
-    path.arrival_ps = arrival_.at(static_cast<std::size_t>(end));
+    path.arrival_ps = arrival_.at(end.index());
     // Backtrack the arrival-defining chain to a source.
     netlist::PinId cursor = end;
     while (cursor != netlist::kInvalidId) {
       path.pins.push_back(cursor);
-      const std::int32_t ai = worst_fanin_[static_cast<std::size_t>(cursor)];
+      const std::int32_t ai = worst_fanin_[cursor.index()];
       cursor = ai < 0 ? netlist::kInvalidId : arcs_[static_cast<std::size_t>(ai)].from;
     }
     std::reverse(path.pins.begin(), path.pins.end());

@@ -69,11 +69,11 @@ class Sta {
   /// out non-finite, or allocation fails. On error the engine stays
   /// un-run (queries are invalid) and the caller decides the degradation
   /// (the flow falls back to HPWL-only cost; see fault::DegradePolicy).
-  fault::Expected<void, fault::FlowError> try_run();
+  [[nodiscard]] fault::Expected<void, fault::FlowError> try_run();
 
   // --- Queries ---------------------------------------------------------------
-  double arrival_ps(netlist::PinId pin) const { return arrival_.at(static_cast<std::size_t>(pin)); }
-  double required_ps(netlist::PinId pin) const { return required_.at(static_cast<std::size_t>(pin)); }
+  double arrival_ps(netlist::PinId pin) const { return arrival_.at(pin.index()); }
+  double required_ps(netlist::PinId pin) const { return required_.at(pin.index()); }
   double slack_ps(netlist::PinId pin) const;
 
   /// Worst negative slack over all endpoints (0 if none negative).

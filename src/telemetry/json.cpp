@@ -76,7 +76,8 @@ void append_number(std::string& out, double value) {
 
 void append_indent(std::string& out, int indent, int depth) {
   out += '\n';
-  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
 }
 
 }  // namespace

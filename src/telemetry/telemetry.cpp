@@ -1,3 +1,4 @@
+// lint:allow-file(raw-thread): metrics registry is cross-thread infra by design
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>

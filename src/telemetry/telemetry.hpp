@@ -20,6 +20,7 @@
 /// Metric naming scheme: `phase.subsystem.name` (e.g. `place.gp.overflow`,
 /// `cluster.fc.merges`, `route.rrr.rounds`); see DESIGN.md "Observability".
 #pragma once
+// lint:allow-file(raw-thread): metrics registry is cross-thread infra by design
 
 #include <atomic>
 #include <cstdint>

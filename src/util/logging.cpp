@@ -1,3 +1,4 @@
+// lint:allow-file(raw-thread): log level/timestamp flags are process-wide infra state
 #include "util/logging.hpp"
 
 #include <atomic>

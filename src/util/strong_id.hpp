@@ -1,0 +1,267 @@
+/// \file strong_id.hpp
+/// \brief Tagged integer ids + typed containers: compile-time ID-domain safety.
+///
+/// Every entity id in the system (CellId, NetId, PinId, ClusterId, ...) used
+/// to be a bare `std::int32_t` alias, so passing a NetId where a CellId was
+/// expected compiled silently and every accessor carried an unchecked
+/// `static_cast<std::size_t>(id)`. `StrongId<Tag>` makes each domain a
+/// distinct type: construction from integers is explicit, cross-domain
+/// comparison and assignment do not compile, and the only ways back to an
+/// integer are the named accessors `value()` (the raw int32) and `index()`
+/// (the container subscript). `IdVector<Id, T>` / `IdSpan<Id, T>` close the
+/// loop: containers subscriptable only by their own id type, so `cells[net]`
+/// is a compile error instead of a latent cross-domain bug.
+///
+/// Conventions:
+///   * default-constructed ids are invalid (value -1); `kInvalidId` is a
+///     universal sentinel assignable to / comparable with any StrongId;
+///   * `index()` is an unchecked cast (exactly the cost of the idiom it
+///     replaces) -- containers' `.at()` still bounds-check, and invalid ids
+///     map to SIZE_MAX-ish subscripts that any check catches;
+///   * ids hash (std::hash specialization), order (same-type only), print
+///     (operator<<), and increment, so they work as map keys, sort keys, and
+///     range-for counters via `IdRange`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+namespace ppacd::util {
+
+/// A tagged 32-bit id. `Tag` is any (possibly incomplete) type used purely
+/// to make distinct instantiations incompatible.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::int32_t;
+  using tag_type = Tag;
+
+  /// Default: the invalid sentinel (-1).
+  constexpr StrongId() = default;
+
+  /// Explicit from any integer type (signed or not); the pre-StrongId idiom
+  /// `static_cast<CellId>(i)` keeps compiling through this constructor.
+  template <typename Int, std::enable_if_t<std::is_integral_v<Int>, int> = 0>
+  explicit constexpr StrongId(Int raw) : value_(static_cast<std::int32_t>(raw)) {}
+
+  /// The raw integer value (-1 when invalid).
+  constexpr std::int32_t value() const { return value_; }
+
+  /// The container subscript. Unchecked: an invalid id wraps to a huge
+  /// subscript that bounds-checked access (`at`) rejects.
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value_); }
+
+  constexpr bool valid() const { return value_ >= 0; }
+
+  // Same-type comparisons only: comparing a CellId with a NetId (or a bare
+  // int) is a compile error by omission.
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  /// Pre-increment, for dense-id counting loops (see IdRange).
+  constexpr StrongId& operator++() {
+    ++value_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::int32_t value_ = -1;
+};
+
+template <typename T>
+struct is_strong_id : std::false_type {};
+template <typename Tag>
+struct is_strong_id<StrongId<Tag>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_strong_id_v = is_strong_id<T>::value;
+
+/// Universal invalid-id sentinel: converts to (and compares with) any
+/// StrongId instantiation, so `CellId c = kInvalidId;` and
+/// `if (net == kInvalidId)` read the same across domains.
+struct InvalidId {
+  template <typename Tag>
+  constexpr operator StrongId<Tag>() const {  // NOLINT(google-explicit-constructor)
+    return StrongId<Tag>{};
+  }
+  template <typename Tag>
+  friend constexpr bool operator==(StrongId<Tag> id, InvalidId) { return !id.valid(); }
+  template <typename Tag>
+  friend constexpr bool operator==(InvalidId, StrongId<Tag> id) { return !id.valid(); }
+  template <typename Tag>
+  friend constexpr bool operator!=(StrongId<Tag> id, InvalidId) { return id.valid(); }
+  template <typename Tag>
+  friend constexpr bool operator!=(InvalidId, StrongId<Tag> id) { return id.valid(); }
+};
+
+inline constexpr InvalidId kInvalidId{};
+
+/// Half-open dense id range [first, last) iterable by value:
+///   for (CellId c : IdRange<CellId>(nl.cell_count())) ...
+template <typename Id>
+class IdRange {
+  static_assert(is_strong_id_v<Id>, "IdRange requires a StrongId type");
+
+ public:
+  class iterator {
+   public:
+    explicit constexpr iterator(Id at) : at_(at) {}
+    constexpr Id operator*() const { return at_; }
+    constexpr iterator& operator++() {
+      ++at_;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator a, iterator b) { return a.at_ == b.at_; }
+    friend constexpr bool operator!=(iterator a, iterator b) { return a.at_ != b.at_; }
+
+   private:
+    Id at_;
+  };
+
+  /// [0, count).
+  explicit constexpr IdRange(std::size_t count) : first_(0), last_(count) {}
+  constexpr IdRange(Id first, Id last) : first_(first), last_(last) {}
+
+  constexpr iterator begin() const { return iterator(first_); }
+  constexpr iterator end() const { return iterator(last_); }
+  constexpr std::size_t size() const {
+    return static_cast<std::size_t>(last_.value() - first_.value());
+  }
+  constexpr bool empty() const { return !(first_ < last_); }
+
+ private:
+  Id first_;
+  Id last_;
+};
+
+/// std::vector subscriptable only by its own id type. The deliberate gap in
+/// the API is any integer-taking subscript: `v[i]` for integral `i` (or an id
+/// of another domain) does not compile.
+template <typename Id, typename T>
+class IdVector {
+  static_assert(is_strong_id_v<Id>, "IdVector requires a StrongId key type");
+
+ public:
+  using value_type = T;
+  using id_type = Id;
+  using iterator = typename std::vector<T>::iterator;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  IdVector() = default;
+  explicit IdVector(std::size_t count) : data_(count) {}
+  IdVector(std::size_t count, const T& fill) : data_(count, fill) {}
+  explicit IdVector(std::vector<T> data) : data_(std::move(data)) {}
+
+  T& operator[](Id id) { return data_[id.index()]; }
+  const T& operator[](Id id) const { return data_[id.index()]; }
+  T& at(Id id) { return data_.at(id.index()); }
+  const T& at(Id id) const { return data_.at(id.index()); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+  void pop_back() { data_.pop_back(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+  void resize(std::size_t n) { data_.resize(n); }
+  void resize(std::size_t n, const T& fill) { data_.resize(n, fill); }
+  void assign(std::size_t n, const T& fill) { data_.assign(n, fill); }
+
+  /// Appends and returns the id of the new element.
+  Id push_back(T value) {
+    data_.push_back(std::move(value));
+    return Id(data_.size() - 1);
+  }
+  template <typename... Args>
+  Id emplace_back(Args&&... args) {
+    data_.emplace_back(std::forward<Args>(args)...);
+    return Id(data_.size() - 1);
+  }
+
+  T& front() { return data_.front(); }
+  const T& front() const { return data_.front(); }
+  T& back() { return data_.back(); }
+  const T& back() const { return data_.back(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  /// The id of the next element push_back would create.
+  Id next_id() const { return Id(data_.size()); }
+  /// Dense id range [0, size()).
+  IdRange<Id> ids() const { return IdRange<Id>(data_.size()); }
+  /// True if `id` subscripts an element.
+  bool contains(Id id) const { return id.valid() && id.index() < data_.size(); }
+
+  /// The raw vector, for bulk operations (sorting, hashing, serialization)
+  /// that never subscript by foreign index.
+  std::vector<T>& raw() { return data_; }
+  const std::vector<T>& raw() const { return data_; }
+
+  friend bool operator==(const IdVector& a, const IdVector& b) { return a.data_ == b.data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+/// Non-owning view over contiguous T subscriptable only by Id; the typed
+/// analogue of span/pointer+size parameters on hot paths.
+template <typename Id, typename T>
+class IdSpan {
+  static_assert(is_strong_id_v<Id>, "IdSpan requires a StrongId key type");
+
+ public:
+  constexpr IdSpan() = default;
+  constexpr IdSpan(T* data, std::size_t size) : data_(data), size_(size) {}
+  template <typename U, std::enable_if_t<std::is_same_v<std::remove_const_t<T>, U>, int> = 0>
+  IdSpan(const IdVector<Id, U>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+  template <typename U, std::enable_if_t<std::is_same_v<T, U>, int> = 0>
+  IdSpan(IdVector<Id, U>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+
+  /// Views a raw vector the caller asserts is indexed by Id (the escape
+  /// hatch for arrays shared with id-agnostic numeric kernels).
+  static IdSpan from_raw(std::vector<std::remove_const_t<T>>& v) {
+    return IdSpan(v.data(), v.size());
+  }
+  static IdSpan from_raw(const std::vector<std::remove_const_t<T>>& v) {
+    static_assert(std::is_const_v<T>, "from_raw(const&) requires IdSpan<Id, const T>");
+    return IdSpan(v.data(), v.size());
+  }
+
+  constexpr T& operator[](Id id) const { return data_[id.index()]; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T* data() const { return data_; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  IdRange<Id> ids() const { return IdRange<Id>(size_); }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ppacd::util
+
+namespace std {
+template <typename Tag>
+struct hash<ppacd::util::StrongId<Tag>> {
+  std::size_t operator()(ppacd::util::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+}  // namespace std

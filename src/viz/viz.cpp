@@ -87,12 +87,16 @@ bool write_placement_svg_file(const netlist::Netlist& nl,
 void write_congestion_ppm(const route::RouteResult& result, std::ostream& out) {
   const int nx = std::max(1, result.grid_nx);
   const int ny = std::max(1, result.grid_ny);
-  const std::size_t h_edges = static_cast<std::size_t>(nx - 1) * ny;
+  const std::size_t h_edges =
+      static_cast<std::size_t>(nx - 1) * static_cast<std::size_t>(ny);
 
   // Per-GCell congestion: max utilization over incident edges.
-  std::vector<double> cell_util(static_cast<std::size_t>(nx) * ny, 0.0);
+  std::vector<double> cell_util(
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny), 0.0);
   auto bump = [&](int x, int y, double u) {
-    auto& slot = cell_util[static_cast<std::size_t>(y) * nx + x];
+    auto& slot = cell_util[static_cast<std::size_t>(y) *
+                                 static_cast<std::size_t>(nx) +
+                             static_cast<std::size_t>(x)];
     slot = std::max(slot, u);
   };
   for (std::size_t e = 0; e < result.edge_utilization.size(); ++e) {
@@ -114,7 +118,9 @@ void write_congestion_ppm(const route::RouteResult& result, std::ostream& out) {
   out << "P6\n" << nx << " " << ny << "\n255\n";
   for (int y = ny - 1; y >= 0; --y) {  // PPM top-down; flip to math coords
     for (int x = 0; x < nx; ++x) {
-      const double u = cell_util[static_cast<std::size_t>(y) * nx + x];
+      const double u = cell_util[static_cast<std::size_t>(y) *
+                                     static_cast<std::size_t>(nx) +
+                                 static_cast<std::size_t>(x)];
       // Blue (0) -> green (0.5) -> red (>= 1).
       const double t = std::clamp(u, 0.0, 1.5) / 1.5;
       const unsigned char r = static_cast<unsigned char>(255.0 * std::clamp(2.0 * t - 0.6, 0.0, 1.0));

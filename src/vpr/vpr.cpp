@@ -141,7 +141,7 @@ ShapeCandidate score_virtual_die(netlist::Netlist& virtual_design,
       const netlist::Pin& pin = virtual_design.pin(pid);
       box.expand(pin.kind == netlist::PinKind::kTopPort
                      ? virtual_design.port(pin.port).position
-                     : positions[static_cast<std::size_t>(pin.cell)]);
+                     : positions[pin.cell.index()]);
     }
     hpwl_sum += box.half_perimeter();
     ++net_count;
@@ -233,7 +233,7 @@ struct ClusterOutcome {
   fault::FlowError shape_error;
 };
 
-std::string cluster_detail(std::size_t ci) {
+std::string cluster_detail(cluster::ClusterId ci) {
   std::ostringstream out;
   out << "cluster " << ci;
   return out.str();
@@ -251,8 +251,8 @@ fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes
   // Partition serially (cheap, keeps skip accounting deterministic), then
   // shape eligible clusters in parallel: set_cluster_shape touches only
   // clusters[ci], and each iteration works on its own extracted sub-netlist.
-  std::vector<std::size_t> eligible;
-  for (std::size_t ci = 0; ci < clustered.cluster_count(); ++ci) {
+  std::vector<cluster::ClusterId> eligible;
+  for (const cluster::ClusterId ci : clustered.cluster_ids()) {
     if (static_cast<int>(clustered.clusters[ci].cells.size()) <=
         options.min_cluster_instances) {
       ++stats.clusters_skipped;
@@ -274,11 +274,11 @@ fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes
   std::vector<double> runs_per_cluster(eligible.size(), 0.0);
   std::vector<ClusterOutcome> outcomes(eligible.size());
   exec::parallel_for(0, eligible.size(), /*grain=*/1, [&](std::size_t k) {
-    const std::size_t ci = eligible[k];
+    const cluster::ClusterId ci = eligible[k];
     ClusterOutcome& outcome = outcomes[k];
     const cluster::Cluster& cluster_ref = clustered.clusters[ci];
     PPACD_SPAN(cluster_span, "vpr.cluster");
-    PPACD_SPAN_ATTR(cluster_span, "cluster", ci);
+    PPACD_SPAN_ATTR(cluster_span, "cluster", ci.value());
     PPACD_SPAN_ATTR(cluster_span, "cells", cluster_ref.cells.size());
     const netlist::SubNetlist sub = netlist::extract_subnetlist(nl, cluster_ref.cells);
 

@@ -95,7 +95,7 @@ VprResult run_vpr(const netlist::Netlist& subnetlist, const VprOptions& options)
 /// Fallible form of run_vpr: converts allocation failure during the sweep
 /// into a structured `alloc-failure` error instead of propagating
 /// std::bad_alloc.
-fault::Expected<VprResult, fault::FlowError> try_run_vpr(
+[[nodiscard]] fault::Expected<VprResult, fault::FlowError> try_run_vpr(
     const netlist::Netlist& subnetlist, const VprOptions& options);
 
 /// Paper section 5 future work: L-shaped cluster footprints. Evaluates the
@@ -139,7 +139,8 @@ struct ShapeSelectionStats {
 /// candidate keeps the default shape when `policy.shape_fallback_default`.
 /// Each fallback is recorded via fault::record_degradation. With the
 /// corresponding policy disabled the failure propagates as a FlowError.
-fault::Expected<ShapeSelectionStats, fault::FlowError> try_select_cluster_shapes(
+[[nodiscard]] fault::Expected<ShapeSelectionStats, fault::FlowError>
+try_select_cluster_shapes(
     const netlist::Netlist& netlist, cluster::ClusteredNetlist& clustered,
     const VprOptions& options, const ShapeCostPredictor* predictor,
     const fault::DegradePolicy& policy);

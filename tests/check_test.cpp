@@ -129,8 +129,8 @@ TEST(NetlistCheck, CleanGeneratedDesignPasses) {
 
 TEST(NetlistCheck, FlagsDanglingPin) {
   netlist::Netlist nl = tiny_netlist();
-  nl.mutable_net(1).pins.push_back(
-      static_cast<netlist::PinId>(nl.pin_count() + 7));
+  nl.mutable_net(netlist::NetId(1)).pins.push_back(
+      netlist::PinId(nl.pin_count() + 7));
   const CheckResult result = check_netlist(nl, CheckLevel::kFull);
   EXPECT_TRUE(result.exactly("dangling-pin"))
       << "codes: " << testing::PrintToString(codes(result));
@@ -138,7 +138,8 @@ TEST(NetlistCheck, FlagsDanglingPin) {
 
 TEST(NetlistCheck, FlagsDuplicatePin) {
   netlist::Netlist nl = tiny_netlist();
-  nl.mutable_net(1).pins.push_back(nl.cell_pin(1, 0));  // b's input, again
+  nl.mutable_net(netlist::NetId(1)).pins.push_back(
+      nl.cell_pin(netlist::CellId(1), 0));  // b's input, again
   const CheckResult result = check_netlist(nl, CheckLevel::kFull);
   EXPECT_TRUE(result.exactly("duplicate-pin"))
       << "codes: " << testing::PrintToString(codes(result));
@@ -167,7 +168,7 @@ TEST(NetlistCheck, FlagsFloatingInput) {
 
 TEST(NetlistCheck, FlagsUnlistedDriver) {
   netlist::Netlist nl = tiny_netlist();
-  netlist::Net& n1 = nl.mutable_net(1);
+  netlist::Net& n1 = nl.mutable_net(netlist::NetId(1));
   n1.pins.erase(std::find(n1.pins.begin(), n1.pins.end(), n1.driver));
   const CheckResult result = check_netlist(nl, CheckLevel::kCheap);
   EXPECT_FALSE(result.ok());
@@ -222,9 +223,11 @@ TEST(ClusterCheck, FlagsDoubleClusteredCell) {
   TinyClustering t;
   // List cell 0 in cluster 1 as well, keeping area/shape self-consistent so
   // only the partition violation fires.
-  t.clustered.clusters[1].cells.push_back(0);
-  t.clustered.clusters[1].area_um2 += t.nl.lib_cell_of(0).area_um2();
-  cluster::set_cluster_shape(t.clustered, 1, t.clustered.clusters[1].shape);
+  t.clustered.clusters[cluster::ClusterId(1)].cells.push_back(netlist::CellId(0));
+  t.clustered.clusters[cluster::ClusterId(1)].area_um2 +=
+      t.nl.lib_cell_of(netlist::CellId(0)).area_um2();
+  cluster::set_cluster_shape(t.clustered, cluster::ClusterId(1),
+                             t.clustered.clusters[cluster::ClusterId(1)].shape);
   const CheckResult result = check_clustering(t.nl, t.clustered, CheckLevel::kFull);
   // Fires once for the membership/assignment mismatch and once for the
   // listing count; nothing else.
@@ -235,10 +238,10 @@ TEST(ClusterCheck, FlagsDoubleClusteredCell) {
 
 TEST(ClusterCheck, FlagsUnclusteredCell) {
   TinyClustering t;
-  cluster::Cluster& c1 = t.clustered.clusters[1];
+  cluster::Cluster& c1 = t.clustered.clusters[cluster::ClusterId(1)];
   c1.cells.pop_back();  // drop cell 3 from its membership list
-  c1.area_um2 -= t.nl.lib_cell_of(3).area_um2();
-  cluster::set_cluster_shape(t.clustered, 1, c1.shape);
+  c1.area_um2 -= t.nl.lib_cell_of(netlist::CellId(3)).area_um2();
+  cluster::set_cluster_shape(t.clustered, cluster::ClusterId(1), c1.shape);
   const CheckResult result = check_clustering(t.nl, t.clustered, CheckLevel::kFull);
   EXPECT_TRUE(result.exactly("unclustered"))
       << "codes: " << testing::PrintToString(codes(result));

@@ -47,11 +47,11 @@ TEST(CliqueExpand, WeightsAreOneOverDegreeMinusOne) {
 
   const Graph graph = clique_expand(nl);
   // k = 3 cells -> each pair weight 1/2.
-  for (const auto& [u, w] : graph.neighbors(a)) {
+  for (const auto& [u, w] : graph.neighbors(a.value())) {
     (void)u;
     EXPECT_DOUBLE_EQ(w, 0.5);
   }
-  EXPECT_EQ(graph.neighbors(a).size(), 2u);
+  EXPECT_EQ(graph.neighbors(a.value()).size(), 2u);
   EXPECT_NEAR(graph.total_edge_weight, 3 * 0.5, 1e-12);
 }
 
@@ -71,7 +71,7 @@ TEST(CliqueExpand, ParallelNetsMerge) {
   nl.connect(n2, nl.cell_pin(g, 1));
 
   const Graph graph = clique_expand(nl);
-  EXPECT_EQ(graph.neighbors(g).size(), 2u);
+  EXPECT_EQ(graph.neighbors(g.value()).size(), 2u);
 }
 
 TEST(CliqueExpand, ClockAndHighFanoutSkipped) {
@@ -249,7 +249,7 @@ TEST(FcMultilevel, TimingCostPullsCriticalPairsTogether) {
   nl.connect(n_bc, nl.cell_pin(d, 1));
 
   std::vector<double> timing_cost(nl.net_count(), 0.0);
-  timing_cost[static_cast<std::size_t>(n_ab)] = 50.0;  // screaming critical
+  timing_cost[n_ab.index()] = 50.0;  // screaming critical
 
   FcOptions options;
   options.target_cluster_count = 3;
@@ -257,8 +257,8 @@ TEST(FcMultilevel, TimingCostPullsCriticalPairsTogether) {
   FcPpaInputs inputs;
   inputs.net_timing_cost = &timing_cost;
   const FcResult result = fc_multilevel_cluster(nl, inputs, options);
-  EXPECT_EQ(result.cluster_of_cell[static_cast<std::size_t>(a)],
-            result.cluster_of_cell[static_cast<std::size_t>(b)]);
+  EXPECT_EQ(result.cluster_of_cell[a.index()],
+            result.cluster_of_cell[b.index()]);
 }
 
 TEST(FcMultilevel, MergeSingletonsAblation) {
@@ -304,8 +304,8 @@ TEST(ClusteredNetlist, ShapeUpdateChangesFootprint) {
   ClusterShape shape;
   shape.aspect_ratio = 1.75;
   shape.utilization = 0.75;
-  set_cluster_shape(cn, 0, shape);
-  const Cluster& c0 = cn.clusters[0];
+  set_cluster_shape(cn, ClusterId(0), shape);
+  const Cluster& c0 = cn.clusters[ClusterId(0)];
   EXPECT_NEAR(c0.height_um / c0.width_um, 1.75, 1e-9);
   EXPECT_NEAR(c0.width_um * c0.height_um, c0.area_um2 / 0.75, 1e-6 * c0.area_um2);
 }
@@ -359,13 +359,13 @@ TEST(ClusteredNetlist, InducedPositionsAndRegions) {
   }
   const auto positions = induce_cell_positions(
       cn, nl, cluster_placement, /*scatter_within_cluster=*/false);
-  for (std::size_t ci = 0; ci < nl.cell_count(); ++ci) {
-    const std::int32_t cl = cn.cluster_of_cell[ci];
-    EXPECT_EQ(positions[ci].x, cluster_placement[static_cast<std::size_t>(cl)].x);
+  for (const CellId ci : nl.cell_ids()) {
+    const ClusterId cl = cn.cluster_of_cell[ci];
+    EXPECT_EQ(positions[ci.index()].x, cluster_placement[cl.index()].x);
   }
-  const geom::Rect region = cluster_region(cn, 2, cluster_placement);
+  const geom::Rect region = cluster_region(cn, ClusterId(2), cluster_placement);
   EXPECT_NEAR(region.center().x, 20.0, 1e-9);
-  EXPECT_NEAR(region.width(), cn.clusters[2].width_um, 1e-9);
+  EXPECT_NEAR(region.width(), cn.clusters[ClusterId(2)].width_um, 1e-9);
 }
 
 TEST(ClusteredNetlist, IoNetsFlagged) {

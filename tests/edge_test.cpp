@@ -135,7 +135,7 @@ TEST(Edge, DendrogramFlatDesign) {
 
 TEST(Edge, SubnetlistOfWholeTinyDesign) {
   const Netlist nl = comb_only();
-  const auto sub = netlist::extract_subnetlist(nl, {0});
+  const auto sub = netlist::extract_subnetlist(nl, {CellId(0)});
   EXPECT_EQ(sub.netlist.cell_count(), 1u);
   EXPECT_TRUE(sub.netlist.validate().empty());
 }

@@ -82,8 +82,8 @@ TEST(BestChoice, MergesConnectedPairsFirst) {
   EXPECT_EQ(result.cluster_count, 2);
   // a-b weight == c-b weight; area decides: a(INV)+b vs c(INV)+b equal...
   // so just require SOME pair merged and the result is a valid 2-clustering.
-  EXPECT_NE(result.cluster_of_cell[static_cast<std::size_t>(a)],
-            result.cluster_of_cell[static_cast<std::size_t>(c)]);
+  EXPECT_NE(result.cluster_of_cell[a.index()],
+            result.cluster_of_cell[c.index()]);
 }
 
 TEST(BestChoice, FlowIntegration) {

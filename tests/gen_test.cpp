@@ -101,8 +101,8 @@ bool combinational_dag(const Netlist& nl) {
       if (pid == net.driver || pin.kind != netlist::PinKind::kCellPin) continue;
       if (pin.is_clock) continue;
       if (liberty::is_sequential(nl.lib_cell_of(pin.cell).function)) continue;
-      out_edges[static_cast<std::size_t>(driver.cell)].push_back(pin.cell);
-      ++indegree[static_cast<std::size_t>(pin.cell)];
+      out_edges[driver.cell.index()].push_back(pin.cell);
+      ++indegree[pin.cell.index()];
     }
   }
   std::queue<CellId> ready;
@@ -114,8 +114,8 @@ bool combinational_dag(const Netlist& nl) {
     const CellId c = ready.front();
     ready.pop();
     ++done;
-    for (CellId next : out_edges[static_cast<std::size_t>(c)]) {
-      if (--indegree[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    for (CellId next : out_edges[c.index()]) {
+      if (--indegree[next.index()] == 0) ready.push(next);
     }
   }
   return done == nl.cell_count();

@@ -63,10 +63,10 @@ TEST(Dendrogram, ClusteringAtLevels) {
   std::int32_t count = 0;
   const auto level1 = dendro.clustering_at(1, &count);
   EXPECT_EQ(count, 2);  // {x1}, {a = x2+x3}
-  EXPECT_NE(level1[static_cast<std::size_t>(d.c_x1)],
-            level1[static_cast<std::size_t>(d.c_x2)]);
-  EXPECT_EQ(level1[static_cast<std::size_t>(d.c_x2)],
-            level1[static_cast<std::size_t>(d.c_x3)]);
+  EXPECT_NE(level1[d.c_x1.index()],
+            level1[d.c_x2.index()]);
+  EXPECT_EQ(level1[d.c_x2.index()],
+            level1[d.c_x3.index()]);
 
   const auto level2 = dendro.clustering_at(2, &count);
   EXPECT_EQ(count, 3);  // all leaves separate
@@ -81,7 +81,7 @@ TEST(Dendrogram, CellsInInternalModulesGetImplicitLeaf) {
   const Dendrogram dendro(nl);
   std::int32_t count = 0;
   const auto assignment = dendro.clustering_at(dendro.level_max(), &count);
-  EXPECT_EQ(assignment[static_cast<std::size_t>(direct)] >= 0, true);
+  EXPECT_EQ(assignment[direct.index()] >= 0, true);
 }
 
 TEST(Rent, HandComputedTwoClusters) {

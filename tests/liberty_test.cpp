@@ -70,9 +70,9 @@ TEST(Library, AddCellAssignsSequentialIds) {
   a.name = "A";
   LibCell b;
   b.name = "B";
-  EXPECT_EQ(lib.add_cell(std::move(a)), 0);
-  EXPECT_EQ(lib.add_cell(std::move(b)), 1);
-  EXPECT_EQ(lib.cell(1).name, "B");
+  EXPECT_EQ(lib.add_cell(std::move(a)), LibCellId(0));
+  EXPECT_EQ(lib.add_cell(std::move(b)), LibCellId(1));
+  EXPECT_EQ(lib.cell(LibCellId(1)).name, "B");
 }
 
 }  // namespace

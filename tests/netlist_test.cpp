@@ -77,18 +77,18 @@ TEST_F(NetlistTest, DriverRecorded) {
 TEST_F(NetlistTest, PortPinDirectionFlipped) {
   build_tiny();
   // Input port drives from inside; output port sinks.
-  const Port& in0 = nl_.port(0);
+  const Port& in0 = nl_.port(PortId(0));
   EXPECT_EQ(nl_.pin(in0.pin).dir, liberty::PinDir::kOutput);
-  const Port& out0 = nl_.port(3);
+  const Port& out0 = nl_.port(PortId(3));
   EXPECT_EQ(nl_.pin(out0.pin).dir, liberty::PinDir::kInput);
 }
 
 TEST_F(NetlistTest, ModulePaths) {
   build_tiny();
   EXPECT_EQ(nl_.module_path(nl_.root_module()), "t");
-  EXPECT_EQ(nl_.module_path(1), "t/sub");
+  EXPECT_EQ(nl_.module_path(ModuleId(1)), "t/sub");
   EXPECT_TRUE(nl_.has_hierarchy());
-  EXPECT_EQ(nl_.cell(b_).module, 1);
+  EXPECT_EQ(nl_.cell(b_).module, ModuleId(1));
 }
 
 TEST_F(NetlistTest, IoNetDetection) {

@@ -131,9 +131,9 @@ TEST(Sta, PlacementAddsWireDelay) {
   ideal.run();
 
   std::vector<geom::Point> positions(chain.nl.cell_count());
-  positions[static_cast<std::size_t>(chain.a)] = {0.0, 0.0};
-  positions[static_cast<std::size_t>(chain.b)] = {200.0, 0.0};  // long wire
-  positions[static_cast<std::size_t>(chain.d)] = {200.0, 10.0};
+  positions[chain.a.index()] = {0.0, 0.0};
+  positions[chain.b.index()] = {200.0, 0.0};  // long wire
+  positions[chain.d.index()] = {200.0, 10.0};
   StaOptions placed_options = chain.options;
   placed_options.cell_positions = &positions;
   Sta placed(chain.nl, placed_options);
@@ -141,8 +141,8 @@ TEST(Sta, PlacementAddsWireDelay) {
 
   const auto d_pin = chain.nl.cell_pin(chain.d, 0);
   EXPECT_GT(placed.arrival_ps(d_pin), ideal.arrival_ps(d_pin));
-  EXPECT_GT(placed.net_wirelength_um(1), 0.0);
-  EXPECT_DOUBLE_EQ(ideal.net_wirelength_um(1), 0.0);
+  EXPECT_GT(placed.net_wirelength_um(netlist::NetId(1)), 0.0);
+  EXPECT_DOUBLE_EQ(ideal.net_wirelength_um(netlist::NetId(1)), 0.0);
 }
 
 TEST(Sta, ClockArrivalShiftsLaunchAndCapture) {
@@ -150,7 +150,7 @@ TEST(Sta, ClockArrivalShiftsLaunchAndCapture) {
   // Give the single flop a late clock: capture gets more time, so the D
   // endpoint's required time moves out by the arrival.
   std::vector<double> arrivals(chain.nl.cell_count(), 0.0);
-  arrivals[static_cast<std::size_t>(chain.d)] = 40.0;
+  arrivals[chain.d.index()] = 40.0;
   StaOptions options = chain.options;
   options.clock_arrivals_ps = &arrivals;
 
@@ -171,10 +171,10 @@ TEST(Sta, NetSlackIsDriverSlack) {
   Sta sta(chain.nl, chain.options);
   sta.run();
   // Net n_a (id 1) is driven by a's output.
-  EXPECT_NEAR(sta.net_slack_ps(1), sta.slack_ps(chain.nl.cell_output_pin(chain.a)),
+  EXPECT_NEAR(sta.net_slack_ps(netlist::NetId(1)), sta.slack_ps(chain.nl.cell_output_pin(chain.a)),
               1e-12);
   // Clock net slack is +inf.
-  EXPECT_TRUE(std::isinf(sta.net_slack_ps(3)));
+  EXPECT_TRUE(std::isinf(sta.net_slack_ps(netlist::NetId(3))));
 }
 
 TEST(Sta, GeneratedDesignHasFiniteTiming) {
@@ -211,10 +211,10 @@ TEST(Activity, InverterFlipsProbability) {
   ActivityOptions options;
   options.input_p = 0.3;
   const auto act = propagate_activity(nl, options);
-  EXPECT_NEAR(act[static_cast<std::size_t>(n_out)].p_one, 0.7, 1e-12);
+  EXPECT_NEAR(act[n_out.index()].p_one, 0.7, 1e-12);
   // An inverter preserves transition density.
-  EXPECT_NEAR(act[static_cast<std::size_t>(n_out)].toggle,
-              act[static_cast<std::size_t>(n_in)].toggle, 1e-12);
+  EXPECT_NEAR(act[n_out.index()].toggle,
+              act[n_in.index()].toggle, 1e-12);
 }
 
 TEST(Activity, AndGateProbabilityProduct) {
@@ -235,11 +235,11 @@ TEST(Activity, AndGateProbabilityProduct) {
   nl.connect(ny, nl.port(out).pin);
 
   const auto act = propagate_activity(nl, ActivityOptions{});
-  EXPECT_NEAR(act[static_cast<std::size_t>(ny)].p_one, 0.25, 1e-12);
+  EXPECT_NEAR(act[ny.index()].p_one, 0.25, 1e-12);
   // Boolean-difference: D_y = p1*D0 + p0*D1 <= D0 + D1.
-  EXPECT_LT(act[static_cast<std::size_t>(ny)].toggle,
-            act[static_cast<std::size_t>(n0)].toggle +
-                act[static_cast<std::size_t>(n1)].toggle + 1e-12);
+  EXPECT_LT(act[ny.index()].toggle,
+            act[n0.index()].toggle +
+                act[n1.index()].toggle + 1e-12);
 }
 
 TEST(Activity, ClockNetTogglesTwicePerCycle) {
@@ -297,8 +297,8 @@ TEST(Activity, XorChainsIncreaseActivity) {
   nl.connect(ny1, nl.port(out).pin);
 
   const auto act = propagate_activity(nl, ActivityOptions{});
-  EXPECT_GT(act[static_cast<std::size_t>(ny1)].toggle,
-            act[static_cast<std::size_t>(n0)].toggle);
+  EXPECT_GT(act[ny1.index()].toggle,
+            act[n0.index()].toggle);
 }
 
 // --- Power -------------------------------------------------------------------

@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_set>
 #include <vector>
 
 #include "util/arena.hpp"
@@ -11,6 +18,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/string_utils.hpp"
+#include "util/strong_id.hpp"
 #include "util/table.hpp"
 
 namespace ppacd::util {
@@ -246,6 +254,147 @@ TEST(Csv, EscapesSpecialCells) {
   const std::string s = csv.to_string();
   EXPECT_NE(s.find("\"a,b\""), std::string::npos);
   EXPECT_NE(s.find("\"q\"\"q\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// StrongId / IdVector / IdSpan
+// ---------------------------------------------------------------------------
+
+using TestCellId = StrongId<struct TestCellTag>;
+using TestNetId = StrongId<struct TestNetTag>;
+
+// The point of the whole exercise: cross-domain operations must not compile.
+static_assert(!std::is_constructible_v<TestCellId, TestNetId>,
+              "ids of different domains must not convert");
+static_assert(!std::is_assignable_v<TestCellId&, TestNetId>,
+              "ids of different domains must not assign");
+static_assert(!std::is_convertible_v<int, TestCellId>,
+              "integer -> id must require an explicit construction");
+static_assert(!std::is_convertible_v<TestCellId, int>,
+              "id -> integer must go through value()/index()");
+static_assert(std::is_convertible_v<InvalidId, TestCellId>,
+              "the invalid sentinel assigns to every domain");
+static_assert(is_strong_id_v<TestCellId> && !is_strong_id_v<int>);
+
+template <typename A, typename B, typename = void>
+struct EqComparable : std::false_type {};
+template <typename A, typename B>
+struct EqComparable<
+    A, B, std::void_t<decltype(std::declval<A>() == std::declval<B>())>>
+    : std::true_type {};
+
+static_assert(EqComparable<TestCellId, TestCellId>::value);
+static_assert(!EqComparable<TestCellId, TestNetId>::value,
+              "comparing ids of different domains must not compile");
+static_assert(!EqComparable<TestCellId, int>::value,
+              "comparing an id with a bare integer must not compile");
+
+template <typename V, typename I, typename = void>
+struct Subscriptable : std::false_type {};
+template <typename V, typename I>
+struct Subscriptable<
+    V, I, std::void_t<decltype(std::declval<V&>()[std::declval<I>()])>>
+    : std::true_type {};
+
+static_assert(Subscriptable<IdVector<TestCellId, int>, TestCellId>::value);
+static_assert(!Subscriptable<IdVector<TestCellId, int>, TestNetId>::value,
+              "cells[net_id] must be a compile error");
+static_assert(!Subscriptable<IdVector<TestCellId, int>, int>::value,
+              "cells[3] must go through an explicit id construction");
+static_assert(!Subscriptable<IdVector<TestCellId, int>, std::size_t>::value);
+static_assert(!Subscriptable<IdSpan<TestCellId, int>, TestNetId>::value);
+
+TEST(StrongId, DefaultIsInvalidSentinel) {
+  const TestCellId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), -1);
+  EXPECT_TRUE(id == kInvalidId);
+  EXPECT_TRUE(kInvalidId == id);
+  const TestCellId assigned = kInvalidId;
+  EXPECT_FALSE(assigned.valid());
+}
+
+TEST(StrongId, ExplicitConstructionAndAccessors) {
+  const TestCellId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7);
+  EXPECT_EQ(id.index(), 7u);
+  EXPECT_TRUE(id != kInvalidId);
+  EXPECT_EQ(id, TestCellId(7));
+  EXPECT_NE(id, TestCellId(8));
+  EXPECT_LT(TestCellId(3), id);
+}
+
+TEST(StrongId, OrdersIncrementsAndPrints) {
+  TestCellId id(1);
+  ++id;
+  EXPECT_EQ(id, TestCellId(2));
+  std::ostringstream os;
+  os << id << " " << TestCellId();
+  EXPECT_EQ(os.str(), "2 -1");
+}
+
+TEST(StrongId, HashesAsMapKey) {
+  std::unordered_set<TestCellId> seen;
+  seen.insert(TestCellId(1));
+  seen.insert(TestCellId(2));
+  seen.insert(TestCellId(1));
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(TestCellId(2)) > 0);
+  EXPECT_EQ(seen.count(TestCellId(9)), 0u);
+}
+
+TEST(IdRange, CoversHalfOpenInterval) {
+  std::vector<int> visited;
+  for (const TestCellId c : IdRange<TestCellId>(4)) {
+    visited.push_back(c.value());
+  }
+  EXPECT_EQ(visited, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(IdRange<TestCellId>(4).size(), 4u);
+  EXPECT_TRUE(IdRange<TestCellId>(0).empty());
+  const IdRange<TestCellId> tail(TestCellId(2), TestCellId(4));
+  EXPECT_EQ(tail.size(), 2u);
+}
+
+TEST(IdVector, TypedSubscriptAndGrowth) {
+  IdVector<TestCellId, std::string> names;
+  EXPECT_TRUE(names.empty());
+  EXPECT_EQ(names.next_id(), TestCellId(0));
+  const TestCellId a = names.push_back("a");
+  const TestCellId b = names.emplace_back("b");
+  EXPECT_EQ(a, TestCellId(0));
+  EXPECT_EQ(b, TestCellId(1));
+  EXPECT_EQ(names[a], "a");
+  EXPECT_EQ(names.at(b), "b");
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(names.contains(a));
+  EXPECT_FALSE(names.contains(TestCellId(2)));
+  EXPECT_FALSE(names.contains(TestCellId()));
+  EXPECT_THROW(names.at(TestCellId(5)), std::out_of_range);
+  names.pop_back();
+  EXPECT_EQ(names.size(), 1u);
+}
+
+TEST(IdVector, IdsRangeAndRawEscapeHatch) {
+  IdVector<TestCellId, int> squares;
+  for (int i = 0; i < 5; ++i) squares.push_back(i * i);
+  int sum = 0;
+  for (const TestCellId c : squares.ids()) sum += squares[c];
+  EXPECT_EQ(sum, 0 + 1 + 4 + 9 + 16);
+  // raw() exposes the underlying vector for id-agnostic bulk operations.
+  std::sort(squares.raw().begin(), squares.raw().end(), std::greater<>());
+  EXPECT_EQ(squares[TestCellId(0)], 16);
+}
+
+TEST(IdSpan, ViewsIdVectorAndRawVector) {
+  IdVector<TestCellId, double> v(3, 1.5);
+  IdSpan<TestCellId, const double> view = v;
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_DOUBLE_EQ(view[TestCellId(2)], 1.5);
+  std::vector<double> raw = {1.0, 2.0};
+  auto mut = IdSpan<TestCellId, double>::from_raw(raw);
+  mut[TestCellId(1)] = 5.0;
+  EXPECT_DOUBLE_EQ(raw[1], 5.0);
 }
 
 }  // namespace

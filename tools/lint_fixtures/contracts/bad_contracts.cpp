@@ -1,0 +1,62 @@
+// Fixture: every contract anti-pattern the lint must catch, plus the
+// consuming idioms it must accept. Never compiled; consumed by
+// tools/lint_contracts.py --self-test via the LINT-EXPECT markers.
+#include <utility>
+
+namespace fixture {
+
+template <typename T>
+struct Expected {
+  bool has_value() const;
+  explicit operator bool() const;
+  T value() const;
+};
+
+struct Flow {
+  Expected<int> try_run() const;
+};
+
+Expected<int> try_load(int which);
+
+void drops_results(const Flow& flow) {
+  try_load(3);                   // LINT-EXPECT: dropped-expected
+  flow.try_run();                // LINT-EXPECT: dropped-expected
+  (void)try_load(4);             // LINT-EXPECT: dropped-expected
+  // lint:allow(dropped-expected): fixture demonstrating a justified drop
+  try_load(5);
+}
+
+int consumes_results(const Flow& flow) {
+  const auto a = try_load(1);
+  if (!a) return -1;
+  if (auto b = flow.try_run(); b.has_value()) return b.value();
+  return a.value();
+}
+
+int naked_value(Expected<int> e) {
+  return e.value();              // LINT-EXPECT: naked-value
+}
+
+int checked_value(Expected<int> e) {
+  if (!e.has_value()) return 0;
+  return e.value();
+}
+
+int checked_by_bang(Expected<int> e) {
+  if (!e) return 0;
+  return e.value();
+}
+
+struct Emitter {
+  void add(const char* code, const char* message);
+  const char* code;
+};
+
+void emits_codes(Emitter& out) {
+  out.add("dangling-pin", "fine");
+  out.add("BadCode", "x");       // LINT-EXPECT: code-style
+  out.add("snake_case", "x");    // LINT-EXPECT: code-style
+  out.code = "route-maze-failed";
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: an unsorted, duplicated fault-site registry. The registry-order
+// rule anchors on the `kSites` initializer, mirroring src/fault/fault.cpp.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+const std::vector<std::string> kSites = {  // LINT-EXPECT: registry-order LINT-EXPECT: registry-order
+    "route.maze",
+    "io.read",
+    "io.read",
+};
+
+}  // namespace fixture

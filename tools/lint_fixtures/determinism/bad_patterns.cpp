@@ -1,0 +1,49 @@
+// Fixture: every determinism anti-pattern the lint must catch, plus the
+// suppression forms it must honour. Never compiled; consumed by
+// tools/lint_determinism.py --self-test via the LINT-EXPECT markers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Widget {};
+
+void iterate_unordered() {
+  std::unordered_map<std::string, double> weights;
+  double total = 0.0;
+  for (const auto& [name, w] : weights) {  // LINT-EXPECT: unordered-iter
+    total += w;
+  }
+  std::unordered_set<int> seen;
+  for (const int v : seen) {  // LINT-EXPECT: unordered-iter
+    (void)v;
+  }
+  // Sorted copy first: the deterministic idiom, must NOT be flagged.
+  std::vector<int> ordered(seen.begin(), seen.end());
+  for (const int v : ordered) {
+    (void)v;
+  }
+  // lint:allow(unordered-iter): commutative integer count, order-free
+  for (const auto& [name, w] : weights) {
+    (void)name;
+  }
+}
+
+void pointer_keys() {
+  std::unordered_map<Widget*, int> by_ptr;  // LINT-EXPECT: pointer-key
+  std::unordered_set<const Widget*> ptrs;   // LINT-EXPECT: pointer-key
+  std::unordered_map<std::string, Widget*> ptr_values;  // values are fine
+  (void)by_ptr;
+  (void)ptrs;
+  (void)ptr_values;
+}
+
+void threads_outside_exec() {
+  // std::atomic outside src/exec is flagged even in a fixture dir.
+  static int plain_counter = 0;  // plain int: fine
+  ++plain_counter;
+}
+
+}  // namespace fixture

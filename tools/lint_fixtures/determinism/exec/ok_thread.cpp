@@ -1,0 +1,16 @@
+// Fixture: inside an "exec" directory the raw-thread rule is off — this is
+// where the parallelism layer legitimately lives. Expects zero findings.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void pool() {
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.emplace_back([&] { next.fetch_add(1); });
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace fixture

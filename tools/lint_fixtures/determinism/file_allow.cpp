@@ -1,0 +1,20 @@
+// Fixture: a file-level suppression silences a rule everywhere in the file.
+// lint:allow-file(unordered-iter): fixture exercising whole-file suppression
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+void all_suppressed() {
+  std::unordered_map<std::string, int> tally;
+  for (const auto& [k, v] : tally) {
+    (void)k;
+    (void)v;
+  }
+  for (const auto& [k, v] : tally) {
+    (void)k;
+    (void)v;
+  }
+}
+
+}  // namespace fixture

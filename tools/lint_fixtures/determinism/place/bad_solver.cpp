@@ -1,0 +1,54 @@
+// Fixture: solver-directory rules (path contains "place", so the
+// nondeterministic-source rule is active) plus raw-thread and the
+// parallel float-accumulation pattern.
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+template <typename Body>
+void parallel_for(int n, Body body);
+
+void entropy_sources(unsigned seed) {
+  std::random_device rd;               // LINT-EXPECT: nondeterministic-source
+  const int r = std::rand();           // LINT-EXPECT: nondeterministic-source
+  std::srand(seed);                    // LINT-EXPECT: nondeterministic-source
+  (void)rd;
+  (void)r;
+  // A deterministic engine with an explicit seed is fine:
+  std::mt19937_64 rng(seed);
+  (void)rng;
+}
+
+void raw_threads() {
+  std::thread worker([] {});           // LINT-EXPECT: raw-thread
+  std::atomic<int> counter{0};         // LINT-EXPECT: raw-thread
+  worker.join();
+  // lint:allow(raw-thread): fixture demonstrating a justified escape hatch
+  std::atomic<bool> flag{false};
+  (void)counter;
+  (void)flag;
+}
+
+void float_accumulation(std::vector<double>& cost) {
+  double total = 0.0;
+  parallel_for(8, [&](int i) {
+    total += 1.0;                      // LINT-EXPECT: parallel-float-accum
+    cost[0] += 2.0;                    // LINT-EXPECT: parallel-float-accum
+    (void)i;
+  });
+  (void)total;
+}
+
+void serial_accumulation(std::vector<double>& cost) {
+  // No parallel_for in scope: += on floats is fine serially.
+  double total = 0.0;
+  total += 1.0;
+  cost[0] += 2.0;
+  (void)total;
+}
+
+}  // namespace fixture
