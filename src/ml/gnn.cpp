@@ -4,7 +4,7 @@
 
 namespace ppacd::ml {
 
-Matrix ConvBlock::forward(const SparseRows& adj, const Matrix& x, bool training,
+Matrix ConvBlock::forward(const SparseAdj& adj, const Matrix& x, bool training,
                           Cache& cache) {
   cache.x_in = x;
   spmm(adj, x, cache.propagated);
@@ -20,7 +20,7 @@ Matrix ConvBlock::forward(const SparseRows& adj, const Matrix& x, bool training,
   return normed;
 }
 
-Matrix ConvBlock::backward(const SparseRows& adj, const Cache& cache,
+Matrix ConvBlock::backward(const SparseAdj& adj, const Cache& cache,
                            const Matrix& grad_out) {
   Matrix grad_act = grad_out;
   relu_backward(cache.activated, grad_act);
@@ -72,26 +72,41 @@ Matrix TotalCostModel::embed_batch(
   assert(!features.empty() && adjacencies.size() == features.size());
   const int batch = static_cast<int>(features.size());
 
-  // Stack node features and adjacency block-diagonally.
+  // Stack node features and adjacency block-diagonally. Feature rows of one
+  // graph are contiguous, so each graph lands in `stacked` as a single block
+  // copy; the adjacency goes straight into CSR lanes (one counting pass,
+  // then a flat fill) instead of one heap allocation per node row.
   int total_nodes = 0;
+  std::size_t total_entries = 0;
   cache.graph_sizes.clear();
-  for (const Matrix* x : features) {
+  for (int g = 0; g < batch; ++g) {
+    const Matrix* x = features[static_cast<std::size_t>(g)];
     assert(x->cols == config_.input_dim);
     cache.graph_sizes.push_back(x->rows);
     total_nodes += x->rows;
+    for (const auto& row : *adjacencies[static_cast<std::size_t>(g)]) {
+      total_entries += row.size();
+    }
   }
   Matrix stacked(total_nodes, config_.input_dim);
-  cache.combined_adj.assign(static_cast<std::size_t>(total_nodes), {});
+  SparseAdj& combined = cache.combined_adj;
+  combined.offsets.resize(static_cast<std::size_t>(total_nodes) + 1);
+  combined.offsets[0] = 0;
+  combined.cols.resize(total_entries);
+  combined.weights.resize(total_entries);
   int offset = 0;
+  std::size_t slot = 0;
   for (int g = 0; g < batch; ++g) {
     const Matrix& x = *features[static_cast<std::size_t>(g)];
+    std::copy(x.data.begin(), x.data.end(), stacked.row(offset));
+    const SparseRows& adj = *adjacencies[static_cast<std::size_t>(g)];
     for (int r = 0; r < x.rows; ++r) {
-      std::copy(x.row(r), x.row(r) + x.cols, stacked.row(offset + r));
-      for (const auto& [col, w] :
-           (*adjacencies[static_cast<std::size_t>(g)])[static_cast<std::size_t>(r)]) {
-        cache.combined_adj[static_cast<std::size_t>(offset + r)].emplace_back(
-            col + offset, w);
+      for (const auto& [col, w] : adj[static_cast<std::size_t>(r)]) {
+        combined.cols[slot] = col + offset;
+        combined.weights[slot] = w;
+        ++slot;
       }
+      combined.offsets[static_cast<std::size_t>(offset + r) + 1] = slot;
     }
     offset += x.rows;
   }

@@ -40,10 +40,10 @@ class ConvBlock {
     BatchNorm::Cache bn;
   };
 
-  Matrix forward(const SparseRows& adj, const Matrix& x, bool training,
+  Matrix forward(const SparseAdj& adj, const Matrix& x, bool training,
                  Cache& cache);
   /// Returns dX; accumulates parameter gradients.
-  Matrix backward(const SparseRows& adj, const Cache& cache,
+  Matrix backward(const SparseAdj& adj, const Cache& cache,
                   const Matrix& grad_out);
 
   void collect_params(std::vector<Param*>& out);
@@ -63,7 +63,9 @@ class TotalCostModel {
   struct EmbedCache {
     std::vector<std::vector<ConvBlock::Cache>> branch_caches;  ///< [branch][block]
     std::vector<int> graph_sizes;  ///< nodes per graph in the batch
-    SparseRows combined_adj;       ///< block-diagonal adjacency of the batch
+    /// Block-diagonal adjacency of the batch in CSR SoA lanes: built with
+    /// one counting pass and three flat arrays, not a vector per node.
+    SparseAdj combined_adj;
   };
 
   /// Graph -> pooled embedding (1 x conv_out_dim).

@@ -15,12 +15,8 @@ Linear::Linear(int in_dim, int out_dim, util::Rng& rng)
 
 Matrix Linear::forward(const Matrix& x) const {
   assert(x.cols == in_);
-  Matrix w_mat;
-  w_mat.rows = in_;
-  w_mat.cols = out_;
-  w_mat.data = w_.value;  // copy is small; avoids exposing Param internals
   Matrix out;
-  matmul(x, w_mat, out);
+  matmul(x, MatrixView(in_, out_, w_.value.data()), out);
   for (int r = 0; r < out.rows; ++r) {
     double* row = out.row(r);
     for (int c = 0; c < out_; ++c) row[c] += b_.value[static_cast<std::size_t>(c)];
@@ -40,12 +36,8 @@ Matrix Linear::backward(const Matrix& x, const Matrix& grad_out) {
     for (int c = 0; c < out_; ++c) b_.grad[static_cast<std::size_t>(c)] += row[c];
   }
   // dX = dY W^T.
-  Matrix w_mat;
-  w_mat.rows = in_;
-  w_mat.cols = out_;
-  w_mat.data = w_.value;
   Matrix dx;
-  matmul_a_bt(grad_out, w_mat, dx);
+  matmul_a_bt(grad_out, MatrixView(in_, out_, w_.value.data()), dx);
   return dx;
 }
 

@@ -1,8 +1,16 @@
 #include "ml/tensor.hpp"
 
+#include "exec/exec.hpp"
+
 namespace ppacd::ml {
 
-void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+namespace {
+// Rows per spmm chunk; chunk boundaries depend only on (rows, grain), the
+// same determinism contract as every other parallel loop in the tree.
+constexpr std::size_t kSpmmGrain = 64;
+}
+
+void matmul(const Matrix& a, const MatrixView& b, Matrix& out) {
   assert(a.cols == b.rows);
   out = Matrix(a.rows, b.cols);
   for (int i = 0; i < a.rows; ++i) {
@@ -32,7 +40,7 @@ void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
-void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_a_bt(const Matrix& a, const MatrixView& b, Matrix& out) {
   assert(a.cols == b.cols);
   out = Matrix(a.rows, b.rows);
   for (int i = 0; i < a.rows; ++i) {
@@ -57,6 +65,48 @@ void spmm(const SparseRows& adjacency, const Matrix& x, Matrix& out) {
       for (int c = 0; c < x.cols; ++c) out_row[c] += w * x_row[c];
     }
   }
+}
+
+void SparseAdj::from_rows(const SparseRows& rows) {
+  const std::size_t n = rows.size();
+  offsets.resize(n + 1);
+  offsets[0] = 0;
+  std::size_t entries = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    entries += rows[r].size();
+    offsets[r + 1] = entries;
+  }
+  cols.resize(entries);
+  weights.resize(entries);
+  std::size_t k = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& [c, w] : rows[r]) {
+      cols[k] = c;
+      weights[k] = w;
+      ++k;
+    }
+  }
+}
+
+void spmm(const SparseAdj& adjacency, const Matrix& x, Matrix& out) {
+  assert(adjacency.rows() == x.rows);
+  out = Matrix(x.rows, x.cols);
+  const std::size_t* off = adjacency.offsets.data();
+  const std::int32_t* cols = adjacency.cols.data();
+  const double* wts = adjacency.weights.data();
+  const int ncols = x.cols;
+  exec::parallel_for_chunks(
+      std::size_t{0}, static_cast<std::size_t>(x.rows), kSpmmGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          double* out_row = out.row(static_cast<int>(i));
+          for (std::size_t k = off[i]; k < off[i + 1]; ++k) {
+            const double w = wts[k];
+            const double* x_row = x.row(cols[k]);
+            for (int c = 0; c < ncols; ++c) out_row[c] += w * x_row[c];
+          }
+        }
+      });
 }
 
 void relu_inplace(Matrix& x) {

@@ -37,18 +37,57 @@ struct Matrix {
   void zero() { std::fill(data.begin(), data.end(), 0.0); }
 };
 
+/// Non-owning row-major matrix view. Lets a kernel read a buffer that
+/// already exists elsewhere (e.g. a Param's weight values viewed with the
+/// layer's dimensions) without materializing a Matrix copy per call.
+struct MatrixView {
+  int rows = 0;
+  int cols = 0;
+  const double* data = nullptr;
+
+  MatrixView() = default;
+  MatrixView(const Matrix& m) : rows(m.rows), cols(m.cols), data(m.data.data()) {}
+  MatrixView(int r, int c, const double* d) : rows(r), cols(c), data(d) {}
+
+  const double* row(int r) const {
+    return data + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols);
+  }
+};
+
 /// out = a * b  (a: n x k, b: k x m).
-void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul(const Matrix& a, const MatrixView& b, Matrix& out);
 
 /// out = a^T * b  (a: k x n, b: k x m -> out n x m).
 void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a * b^T  (a: n x k, b: m x k -> out n x m).
-void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_a_bt(const Matrix& a, const MatrixView& b, Matrix& out);
 
 /// Sparse symmetric adjacency (per-row (col, weight)) times dense matrix.
 using SparseRows = std::vector<std::vector<std::pair<std::int32_t, double>>>;
 void spmm(const SparseRows& adjacency, const Matrix& x, Matrix& out);
+
+/// Adjacency in CSR form with SoA lanes (DESIGN.md §15): row r's entries
+/// occupy slots [offsets[r], offsets[r+1]) of the column-id and weight
+/// lanes, in the same order the per-row vectors held them, so folds over a
+/// row are bit-identical to the SparseRows form while the whole structure
+/// is three flat arrays instead of one allocation per row.
+struct SparseAdj {
+  std::vector<std::size_t> offsets;    ///< rows()+1 entries
+  std::vector<std::int32_t> cols;
+  std::vector<double> weights;
+
+  int rows() const {
+    return offsets.empty() ? 0 : static_cast<int>(offsets.size()) - 1;
+  }
+  /// Rebuilds from per-row vectors, preserving entry order. Capacity is
+  /// retained across calls.
+  void from_rows(const SparseRows& rows);
+};
+
+/// CSR spmm, row-chunked: rows write disjoint output and read only fully
+/// built inputs, so the result is bit-identical for any thread count.
+void spmm(const SparseAdj& adjacency, const Matrix& x, Matrix& out);
 
 /// ReLU forward in place; returns mask usable for backward.
 void relu_inplace(Matrix& x);

@@ -84,19 +84,32 @@ vpr::ShapeCostPredictor TrainedModel::predictor(
         features::extract_cluster_graph(subnetlist, feature_options);
     // Build every candidate's feature matrix, then run one batched forward:
     // the candidates share the graph, so the embed stacks |candidates|
-    // copies block-diagonally and the head scores them all at once.
+    // copies block-diagonally and the head scores them all at once. Only
+    // the two shape slots differ between candidates, so the 33 shared
+    // columns are standardized once into a base matrix and each candidate
+    // is a block copy plus two patched slots — standardize() runs the same
+    // expression per element either way, so values are bit-identical.
+    Matrix base(graph.node_count, kDim);
+    for (std::int32_t v = 0; v < graph.node_count; ++v) {
+      for (int c = 0; c < kDim; ++c) {
+        base.at(v, c) =
+            standardize(graph.feature(v, c), mean[static_cast<std::size_t>(c)],
+                        stddev[static_cast<std::size_t>(c)]);
+      }
+    }
     std::vector<Matrix> xs;
     xs.reserve(candidates.size());
     for (const cluster::ClusterShape& shape : candidates) {
-      Matrix x(graph.node_count, kDim);
+      Matrix x = base;
+      const double util = standardize(
+          shape.utilization, mean[features::kShapeUtilSlot],
+          stddev[features::kShapeUtilSlot]);
+      const double aspect = standardize(
+          shape.aspect_ratio, mean[features::kShapeAspectSlot],
+          stddev[features::kShapeAspectSlot]);
       for (std::int32_t v = 0; v < graph.node_count; ++v) {
-        for (int c = 0; c < kDim; ++c) {
-          double value = graph.feature(v, c);
-          if (c == features::kShapeUtilSlot) value = shape.utilization;
-          if (c == features::kShapeAspectSlot) value = shape.aspect_ratio;
-          x.at(v, c) = standardize(value, mean[static_cast<std::size_t>(c)],
-                                   stddev[static_cast<std::size_t>(c)]);
-        }
+        x.at(v, features::kShapeUtilSlot) = util;
+        x.at(v, features::kShapeAspectSlot) = aspect;
       }
       xs.push_back(std::move(x));
     }

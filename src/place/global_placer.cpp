@@ -11,6 +11,8 @@
 #include "telemetry/telemetry.hpp"
 #include "util/arena.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
+#include "util/soa.hpp"
 
 namespace ppacd::place {
 
@@ -26,14 +28,18 @@ constexpr std::size_t kObjGrain = 2048;   ///< objects per density chunk
 /// Density scratch cap: at most this many per-chunk bin arrays are alive.
 constexpr std::size_t kMaxAreaChunks = 16;
 
-/// Deterministic chunked dot product (ordered reduction).
+/// Deterministic chunked dot product (ordered reduction). Each chunk reduces
+/// with the fixed 4-lane kernel from util/simd.hpp and the per-chunk partials
+/// fold in ascending chunk order, so the value depends only on (range,
+/// kVecGrain) — never on the thread count or the PPACD_SIMD setting. The
+/// switch from a single sequential accumulator to the lane-ordered kernel
+/// changed low-order result bits once; the placement goldens were re-pinned
+/// with that rationale (DESIGN.md §15).
 double dot(std::span<const double> a, std::span<const double> b) {
   return exec::parallel_reduce(
       0, a.size(), kVecGrain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
-        double sum = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) sum += a[i] * b[i];
-        return sum;
+        return util::simd::dot(a.data() + lo, b.data() + lo, hi - lo);
       },
       [](double x, double y) { return x + y; });
 }
@@ -102,15 +108,26 @@ struct QuadSystem {
   }
 
   void multiply(std::span<const double> x, std::span<double> out) const {
-    exec::parallel_for(0, diag.size(), kRowGrain, [&](std::size_t i) {
-      double acc = diag[i] * x[i];
-      const std::size_t lo = static_cast<std::size_t>(row_ptr[i]);
-      const std::size_t hi = static_cast<std::size_t>(row_ptr[i + 1]);
-      for (std::size_t e = lo; e < hi; ++e) {
-        acc -= weight[e] * x[static_cast<std::size_t>(col[e])];
-      }
-      out[i] = acc;
-    });
+    // Chunked row loop with non-aliased raw pointers: the CSR arrays, the
+    // input and the output never overlap, and telling the compiler so keeps
+    // the gather loop free of reload stalls. Per-row accumulation order is
+    // unchanged (diagonal first, then neighbours in CSR order).
+    const double* PPACD_RESTRICT dg = diag.data();
+    const double* PPACD_RESTRICT wt = weight.data();
+    const std::int32_t* PPACD_RESTRICT rp = row_ptr.data();
+    const std::int32_t* PPACD_RESTRICT cl = col.data();
+    const double* PPACD_RESTRICT xv = x.data();
+    double* PPACD_RESTRICT ov = out.data();
+    exec::parallel_for_chunks(
+        0, diag.size(), kRowGrain,
+        [=](std::size_t rb, std::size_t re, std::size_t) {
+          for (std::size_t i = rb; i < re; ++i) {
+            const std::size_t lo = static_cast<std::size_t>(rp[i]);
+            const std::size_t hi = static_cast<std::size_t>(rp[i + 1]);
+            ov[i] = util::simd::csr_row(dg[i] * xv[i], wt + lo, cl + lo, xv,
+                                        hi - lo);
+          }
+        });
   }
 };
 
@@ -137,6 +154,22 @@ struct PlacerScratch {
   std::vector<double> lane_nb;               ///< per-lane new-boundary rows
   std::vector<std::vector<double>> area_chunks; ///< accumulate_area partials
   std::vector<double> measure_area;          ///< measure_overflow() bins
+  /// Per-movable footprint constants {half-width, half-height, area},
+  /// gathered out of the PlaceObject structs once at construction so the
+  /// density loops stream three flat columns instead of chasing the full
+  /// object records every call.
+  util::SoaBlock<double, 3> geom;
+  /// Per-object coordinate in the direction being solved (solve_direction
+  /// gathers it once per call; the B2B assembly then reads a flat array).
+  std::vector<double> coords;
+  /// Counting-sort buckets for spread(): movable object ids grouped by lane.
+  std::vector<std::int32_t> lane_objs;
+  std::vector<std::int32_t> lane_start;
+  std::vector<std::int32_t> lane_fill;
+  /// Per-bin movable capacity (bin area minus blockage, clamped) and its
+  /// reciprocal; both constant after construction.
+  std::vector<double> bin_cap;
+  std::vector<double> inv_bin_cap;
 };
 
 namespace {
@@ -165,11 +198,16 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
   double b_norm = std::sqrt(dot(system.rhs, system.rhs));
   if (b_norm == 0.0) b_norm = 1.0;
 
+  // Elementwise kernels run per contiguous chunk through util/simd.hpp:
+  // each element's result is independent, so vector lanes cannot change a
+  // bit regardless of thread count or the PPACD_SIMD setting.
   auto precond = [&system](std::span<const double> in, std::span<double> out) {
-    exec::parallel_for(0, in.size(), kVecGrain, [&](std::size_t i) {
-      const double d = system.diag[i];
-      out[i] = d > 0.0 ? in[i] / d : in[i];
-    });
+    exec::parallel_for_chunks(
+        0, in.size(), kVecGrain,
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          util::simd::jacobi(out.data() + lo, in.data() + lo,
+                             system.diag.data() + lo, hi - lo);
+        });
   };
 
   precond(r, z);
@@ -184,17 +222,20 @@ void solve_cg(const QuadSystem& system, std::vector<double>& x, int max_iters,
     const double p_ap = dot(p, ap);
     if (p_ap <= 0.0) return false;  // matrix should be SPD; bail out
     const double alpha = rz / p_ap;
-    exec::parallel_for(0, n, kVecGrain, [&](std::size_t i) {
-      // lint:allow(parallel-float-accum): element i touched by one iteration
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    });
+    exec::parallel_for_chunks(
+        0, n, kVecGrain, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          // lint:allow(parallel-float-accum): element i touched once
+          util::simd::cg_update(x.data() + lo, r.data() + lo, p.data() + lo,
+                                ap.data() + lo, alpha, hi - lo);
+        });
     precond(r, z);
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    exec::parallel_for(0, n, kVecGrain,
-                       [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
+    exec::parallel_for_chunks(
+        0, n, kVecGrain, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          util::simd::xpby(p.data() + lo, z.data() + lo, beta, hi - lo);
+        });
     return true;
   };
 
@@ -284,6 +325,30 @@ GlobalPlacer::GlobalPlacer(const PlaceModel& model,
   }
 
   scratch_ = std::make_unique<PlacerScratch>();
+  // SoA footprint columns for the density loops: same clamped values the
+  // old per-object loads produced, gathered once.
+  scratch_->geom.resize(movable_objects_.size());
+  double* const hw_col = scratch_->geom.col(0);
+  double* const hh_col = scratch_->geom.col(1);
+  double* const area_col = scratch_->geom.col(2);
+  for (std::size_t m = 0; m < movable_objects_.size(); ++m) {
+    const PlaceObject& o =
+        model.objects[static_cast<std::size_t>(movable_objects_[m])];
+    hw_col[m] = std::max(o.width_um * 0.5, 1e-6);
+    hh_col[m] = std::max(o.height_um * 0.5, 1e-6);
+    area_col[m] = o.area_um2();
+  }
+  // Per-bin capacity is fixed once the blockage map is: precompute it (and
+  // its reciprocal, for the utilization sweeps) instead of re-deriving it
+  // per bin visit.
+  scratch_->bin_cap.resize(blockage_area_.size());
+  scratch_->inv_bin_cap.resize(blockage_area_.size());
+  const double bin_area = bin_w_ * bin_h_;
+  for (std::size_t b = 0; b < blockage_area_.size(); ++b) {
+    const double cap = std::max(1e-6, bin_area - blockage_area_[b]);
+    scratch_->bin_cap[b] = cap;
+    scratch_->inv_bin_cap[b] = 1.0 / cap;
+  }
 }
 
 GlobalPlacer::~GlobalPlacer() = default;
@@ -297,6 +362,17 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
   QuadSystem& system = scratch_->system;
   system.reset(n);
   auto coord = [x_dir](const geom::Point& p) { return x_dir ? p.x : p.y; };
+
+  // Flat per-object coordinate column for this direction: the B2B assembly
+  // below touches every net pin several times, and reading an 8-byte double
+  // out of a dense column instead of half a Point costs half the bandwidth.
+  // Same values as the Point loads, so the assembled system is unchanged.
+  std::vector<double>& coords = scratch_->coords;
+  coords.resize(model.objects.size());
+  for (std::size_t i = 0; i < model.objects.size(); ++i) {
+    coords[i] = x_dir ? positions[i].x : positions[i].y;
+  }
+  const double* PPACD_RESTRICT co = coords.data();
 
   // Parallel B2B assembly: each net chunk records its contributions as an
   // ordered op list; applying the lists in ascending chunk order replays the
@@ -315,13 +391,22 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
       const std::size_t k = net.objects.size();
       if (k < 2) continue;
 
-      // Find boundary pins in this direction.
+      // Find boundary pins in this direction (first-extreme-wins, exactly
+      // as the old recomputing scan: ties keep the earliest index).
       std::size_t idx_min = 0;
       std::size_t idx_max = 0;
+      double c_min = co[static_cast<std::size_t>(net.objects[0])];
+      double c_max = c_min;
       for (std::size_t i = 1; i < k; ++i) {
-        const double c = coord(positions[static_cast<std::size_t>(net.objects[i])]);
-        if (c < coord(positions[static_cast<std::size_t>(net.objects[idx_min])])) idx_min = i;
-        if (c > coord(positions[static_cast<std::size_t>(net.objects[idx_max])])) idx_max = i;
+        const double c = co[static_cast<std::size_t>(net.objects[i])];
+        if (c < c_min) {
+          c_min = c;
+          idx_min = i;
+        }
+        if (c > c_max) {
+          c_max = c;
+          idx_max = i;
+        }
       }
       if (idx_min == idx_max) idx_max = (idx_min + 1) % k;
 
@@ -330,8 +415,8 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
         const std::int32_t oa = net.objects[a];
         const std::int32_t ob = net.objects[b];
         if (oa == ob) return;
-        const double ca = coord(positions[static_cast<std::size_t>(oa)]);
-        const double cb = coord(positions[static_cast<std::size_t>(ob)]);
+        const double ca = co[static_cast<std::size_t>(oa)];
+        const double cb = co[static_cast<std::size_t>(ob)];
         const double w = base / std::max(std::fabs(ca - cb), kMinB2bDist);
         const std::int32_t ma = movable_[static_cast<std::size_t>(oa)];
         const std::int32_t mb = movable_[static_cast<std::size_t>(ob)];
@@ -379,7 +464,7 @@ void GlobalPlacer::solve_direction(bool x_dir, Placement& positions,
   std::vector<double>& x = scratch_->x;
   x.resize(n);
   for (std::size_t m = 0; m < n; ++m) {
-    x[m] = coord(positions[static_cast<std::size_t>(movable_objects_[m])]);
+    x[m] = co[static_cast<std::size_t>(movable_objects_[m])];
   }
   solve_cg(system, x, options_.cg_max_iterations, options_.cg_tolerance,
            scratch_->cg_arena, obs_cg_series_[x_dir ? 0 : 1], obs_iter_);
@@ -398,18 +483,21 @@ double GlobalPlacer::spread(Placement& positions) {
   const double bw = bin_w_;
   const double bh = bin_h_;
 
+  // Reciprocal binning — same rationale (and the same re-pin) as in
+  // accumulate_area.
+  const double ibw = 1.0 / bw;
+  const double ibh = 1.0 / bh;
   auto bin_x = [&](double x) {
-    return std::clamp(static_cast<int>((x - core.lx) / bw), 0, nx - 1);
+    return std::clamp(static_cast<int>((x - core.lx) * ibw), 0, nx - 1);
   };
   auto bin_y = [&](double y) {
-    return std::clamp(static_cast<int>((y - core.ly) / bh), 0, ny - 1);
+    return std::clamp(static_cast<int>((y - core.ly) * ibh), 0, ny - 1);
   };
 
-  const double bin_cap = bw * bh;
-  // Capacity available to movables: bin area minus blockage footprints.
-  auto capacity_of = [&](std::size_t bin) {
-    return std::max(1e-6, bin_cap - blockage_area_[bin]);
-  };
+  // Capacity available to movables (bin area minus blockage footprints),
+  // precomputed at construction together with its reciprocal.
+  const double* PPACD_RESTRICT cap = scratch_->bin_cap.data();
+  const double* PPACD_RESTRICT icap = scratch_->inv_bin_cap.data();
   std::vector<double>& area = scratch_->spread_area;
   area.assign(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny),
               0.0);
@@ -424,7 +512,7 @@ double GlobalPlacer::spread(Placement& positions) {
     double overfill = 0.0;
     double total = 0.0;
     for (std::size_t b = 0; b < area.size(); ++b) {
-      overfill += std::max(0.0, area[b] - capacity_of(b));
+      overfill += std::max(0.0, area[b] - cap[b]);
       total += area[b];
     }
     return total > 0.0 ? overfill / total : 0.0;
@@ -445,6 +533,35 @@ double GlobalPlacer::spread(Placement& positions) {
     const double lo = x_axis ? core.lx : core.ly;
     const double step = x_axis ? bw : bh;
 
+    // Counting-sort the movables into their lanes up front: the per-lane
+    // remap below then touches only its own cells instead of scanning the
+    // whole object list once per lane (the old O(lanes x objects) sweep was
+    // the placer's single hottest loop). A cell's lane is its cross-axis
+    // bin, which this pass never modifies, and cell remaps are independent,
+    // so grouping changes nothing but the visit pattern.
+    const std::size_t n_mov = movable_objects_.size();
+    std::vector<std::int32_t>& lane_objs = scratch_->lane_objs;
+    std::vector<std::int32_t>& lane_start = scratch_->lane_start;
+    lane_objs.resize(n_mov);
+    lane_start.assign(static_cast<std::size_t>(lanes) + 1, 0);
+    for (const std::int32_t obj : movable_objects_) {
+      const auto& p = positions[static_cast<std::size_t>(obj)];
+      const int cell_lane = x_axis ? bin_y(p.y) : bin_x(p.x);
+      ++lane_start[static_cast<std::size_t>(cell_lane) + 1];
+    }
+    for (int l = 0; l < lanes; ++l) {
+      lane_start[static_cast<std::size_t>(l) + 1] +=
+          lane_start[static_cast<std::size_t>(l)];
+    }
+    std::vector<std::int32_t>& fill = scratch_->lane_fill;
+    fill.assign(lane_start.begin(), lane_start.end() - 1);
+    for (const std::int32_t obj : movable_objects_) {
+      const auto& p = positions[static_cast<std::size_t>(obj)];
+      const int cell_lane = x_axis ? bin_y(p.y) : bin_x(p.x);
+      lane_objs[static_cast<std::size_t>(
+          fill[static_cast<std::size_t>(cell_lane)]++)] = obj;
+    }
+
     exec::parallel_for(0, static_cast<std::size_t>(lanes), 1, [&](std::size_t lane_idx) {
       const int lane = static_cast<int>(lane_idx);
       // Utilization of each bin in this lane (against blockage-reduced
@@ -456,7 +573,7 @@ double GlobalPlacer::spread(Placement& positions) {
                     static_cast<std::size_t>(b)
                                     : static_cast<std::size_t>(b) * static_cast<std::size_t>(nx) +
                     static_cast<std::size_t>(lane);
-        util[static_cast<std::size_t>(b)] = area[idx] / capacity_of(idx);
+        util[static_cast<std::size_t>(b)] = area[idx] * icap[idx];
       }
       // New internal boundaries.
       double* const nb = scratch_->lane_nb.data() + lane_idx * (lane_cap + 1);
@@ -474,11 +591,14 @@ double GlobalPlacer::spread(Placement& positions) {
       for (std::size_t i = 1; i <= static_cast<std::size_t>(bins); ++i) {
         nb[i] = std::max(nb[i], nb[i - 1] + 1e-3);
       }
-      // Remap cells in this lane.
-      for (const std::int32_t obj : movable_objects_) {
+      // Remap cells in this lane (its counting-sort bucket).
+      const std::size_t obj_lo =
+          static_cast<std::size_t>(lane_start[lane_idx]);
+      const std::size_t obj_hi =
+          static_cast<std::size_t>(lane_start[lane_idx + 1]);
+      for (std::size_t oi = obj_lo; oi < obj_hi; ++oi) {
+        const std::int32_t obj = lane_objs[oi];
         auto& p = positions[static_cast<std::size_t>(obj)];
-        const int cell_lane = x_axis ? bin_y(p.y) : bin_x(p.x);
-        if (cell_lane != lane) continue;
         const double c = x_axis ? p.x : p.y;
         const int b = x_axis ? bin_x(c) : bin_y(c);
         const double old_lo = lo + step * b;
@@ -520,58 +640,34 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
   // chunk count is capped so scratch memory stays bounded and — being a
   // function of the object count only — the merge order is thread-invariant.
   const std::size_t n = movable_objects_.size();
-  const std::size_t grain =
-      std::max(kObjGrain, (n + kMaxAreaChunks - 1) / kMaxAreaChunks);
-  const std::size_t chunks = exec::detail::chunk_count_for(n, grain);
-  if (chunks <= 1) {
-    // Single chunk: accumulate straight into `area`.
-    for (const std::int32_t obj : movable_objects_) {
-      const auto& o = model.objects[static_cast<std::size_t>(obj)];
-      const auto& p = positions[static_cast<std::size_t>(obj)];
-      const double hw = std::max(o.width_um * 0.5, 1e-6);
-      const double hh = std::max(o.height_um * 0.5, 1e-6);
-      const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bw), 0, nx - 1);
-      const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bw), 0, nx - 1);
-      const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
-      const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
-      if (x0 == x1 && y0 == y1) {
-        area[static_cast<std::size_t>(y0) * static_cast<std::size_t>(nx) +
-         static_cast<std::size_t>(x0)] += o.area_um2();
-        continue;
-      }
-      for (int by = y0; by <= y1; ++by) {
-        const double oy = std::max(0.0, std::min(p.y + hh, core.ly + (by + 1) * bh) -
-                                            std::max(p.y - hh, core.ly + by * bh));
-        for (int bx = x0; bx <= x1; ++bx) {
-          const double ox = std::max(0.0, std::min(p.x + hw, core.lx + (bx + 1) * bw) -
-                                              std::max(p.x - hw, core.lx + bx * bw));
-          area[static_cast<std::size_t>(by) * static_cast<std::size_t>(nx) +
-           static_cast<std::size_t>(bx)] += ox * oy;
-        }
-      }
-    }
-    return;
-  }
+  // SoA footprint columns (gathered once at construction): the per-object
+  // loop streams three flat doubles per cell instead of pulling the whole
+  // PlaceObject record; values and accumulation order are unchanged.
+  const double* PPACD_RESTRICT hw_col = scratch_->geom.col(0);
+  const double* PPACD_RESTRICT hh_col = scratch_->geom.col(1);
+  const double* PPACD_RESTRICT area_col = scratch_->geom.col(2);
+  const std::int32_t* PPACD_RESTRICT mobj = movable_objects_.data();
+  // Binning by reciprocal multiply: a divide per edge (4 per object) was
+  // the loop's longest-latency op. The quotient can differ from the exact
+  // division by an ulp, which only matters for a cell sitting exactly on a
+  // bin boundary — a discretization tie re-broken once and covered by the
+  // golden re-pin rationale (DESIGN.md §15).
+  const double ibw = 1.0 / bw;
+  const double ibh = 1.0 / bh;
 
-  std::vector<std::vector<double>>& scratch = scratch_->area_chunks;
-  scratch.resize(chunks);
-  exec::parallel_for_chunks(0, n, grain, [&](std::size_t ob, std::size_t oe,
-                                             std::size_t chunk) {
-    std::vector<double>& bins = scratch[chunk];
-    bins.assign(area.size(), 0.0);
-    for (std::size_t m = ob; m < oe; ++m) {
-      const std::int32_t obj = movable_objects_[m];
-      const auto& o = model.objects[static_cast<std::size_t>(obj)];
-      const auto& p = positions[static_cast<std::size_t>(obj)];
-      const double hw = std::max(o.width_um * 0.5, 1e-6);
-      const double hh = std::max(o.height_um * 0.5, 1e-6);
-      const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) / bw), 0, nx - 1);
-      const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) / bw), 0, nx - 1);
-      const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) / bh), 0, ny - 1);
-      const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) / bh), 0, ny - 1);
+  auto smear_range = [&](std::size_t mb, std::size_t me,
+                         double* PPACD_RESTRICT bins) {
+    for (std::size_t m = mb; m < me; ++m) {
+      const auto& p = positions[static_cast<std::size_t>(mobj[m])];
+      const double hw = hw_col[m];
+      const double hh = hh_col[m];
+      const int x0 = std::clamp(static_cast<int>((p.x - hw - core.lx) * ibw), 0, nx - 1);
+      const int x1 = std::clamp(static_cast<int>((p.x + hw - core.lx) * ibw), 0, nx - 1);
+      const int y0 = std::clamp(static_cast<int>((p.y - hh - core.ly) * ibh), 0, ny - 1);
+      const int y1 = std::clamp(static_cast<int>((p.y + hh - core.ly) * ibh), 0, ny - 1);
       if (x0 == x1 && y0 == y1) {
         bins[static_cast<std::size_t>(y0) * static_cast<std::size_t>(nx) +
-         static_cast<std::size_t>(x0)] += o.area_um2();
+         static_cast<std::size_t>(x0)] += area_col[m];
         continue;
       }
       for (int by = y0; by <= y1; ++by) {
@@ -585,9 +681,27 @@ void GlobalPlacer::accumulate_area(const Placement& positions,
         }
       }
     }
+  };
+
+  const std::size_t grain =
+      std::max(kObjGrain, (n + kMaxAreaChunks - 1) / kMaxAreaChunks);
+  const std::size_t chunks = exec::detail::chunk_count_for(n, grain);
+  if (chunks <= 1) {
+    // Single chunk: accumulate straight into `area`.
+    smear_range(0, n, area.data());
+    return;
+  }
+
+  std::vector<std::vector<double>>& scratch = scratch_->area_chunks;
+  scratch.resize(chunks);
+  exec::parallel_for_chunks(0, n, grain, [&](std::size_t ob, std::size_t oe,
+                                             std::size_t chunk) {
+    std::vector<double>& bins = scratch[chunk];
+    bins.assign(area.size(), 0.0);
+    smear_range(ob, oe, bins.data());
   });
   for (std::size_t c = 0; c < chunks; ++c) {
-    for (std::size_t b = 0; b < area.size(); ++b) area[b] += scratch[c][b];
+    util::simd::add(area.data(), scratch[c].data(), area.size());
   }
 }
 
@@ -597,12 +711,11 @@ double GlobalPlacer::measure_overflow(const Placement& positions) const {
       static_cast<std::size_t>(grid_nx_) * static_cast<std::size_t>(grid_ny_),
       0.0);
   accumulate_area(positions, area);
-  const double bin_cap = bin_w_ * bin_h_;
+  const double* PPACD_RESTRICT cap = scratch_->bin_cap.data();
   double overfill = 0.0;
   double total = 0.0;
   for (std::size_t b = 0; b < area.size(); ++b) {
-    const double capacity = std::max(1e-6, bin_cap - blockage_area_[b]);
-    overfill += std::max(0.0, area[b] - capacity);
+    overfill += std::max(0.0, area[b] - cap[b]);
     total += area[b];
   }
   return total > 0.0 ? overfill / total : 0.0;

@@ -4,8 +4,8 @@
 #include "util/assert.hpp"
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <new>
-#include <queue>
 #include <thread>
 
 #include "exec/exec.hpp"
@@ -13,6 +13,7 @@
 #include "route/steiner.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 
 namespace ppacd::route {
 
@@ -52,12 +53,12 @@ GlobalRouter::GlobalRouter(const netlist::Netlist& netlist,
     : nl_(&netlist), positions_(&positions), core_(core), options_(options) {
   nx_ = std::max(2, static_cast<int>(std::ceil(core.width() / options.gcell_um)));
   ny_ = std::max(2, static_cast<int>(std::ceil(core.height() / options.gcell_um)));
-  h_usage_.assign(
-        static_cast<std::size_t>(nx_ - 1) * static_cast<std::size_t>(ny_), 0.0);
-  v_usage_.assign(
-        static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_ - 1), 0.0);
-  h_history_.assign(h_usage_.size(), 0.0);
-  v_history_.assign(v_usage_.size(), 0.0);
+  const std::size_t h_size =
+      static_cast<std::size_t>(nx_ - 1) * static_cast<std::size_t>(ny_);
+  const std::size_t v_size =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_ - 1);
+  h_size_ = static_cast<std::int32_t>(h_size);
+  edges_.assign(h_size + v_size, EdgeState{});
 }
 
 GlobalRouter::GridPoint GlobalRouter::gcell_of(const geom::Point& p) const {
@@ -81,61 +82,82 @@ std::size_t GlobalRouter::v_index(int x, int y) const {
            static_cast<std::size_t>(y);
 }
 
-std::size_t GlobalRouter::edge_key(const EdgeRef& e) const {
-  return e.horizontal ? h_index(e.x, e.y) : h_usage_.size() + v_index(e.x, e.y);
+std::int32_t GlobalRouter::h_edge(int x, int y) const {
+  return static_cast<std::int32_t>(h_index(x, y));
 }
 
-double GlobalRouter::edge_cost(const EdgeRef& e,
+std::int32_t GlobalRouter::v_edge(int x, int y) const {
+  return h_size_ + static_cast<std::int32_t>(v_index(x, y));
+}
+
+double GlobalRouter::edge_cost(std::int32_t e,
                                const ExcludedUsage* excluded) const {
-  double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
-                              : v_usage_[v_index(e.x, e.y)];
+  const EdgeState& state = edges_[static_cast<std::size_t>(e)];
+  double usage = state.usage;
   if (excluded != nullptr) {
-    usage -= excluded->get(static_cast<std::int32_t>(edge_key(e)), 0.0);
+    usage -= excluded->get(e, 0.0);
   }
-  const double history = e.horizontal ? h_history_[h_index(e.x, e.y)]
-                                      : v_history_[v_index(e.x, e.y)];
-  const double cap = e.horizontal ? options_.h_capacity : options_.v_capacity;
-  double cost = 1.0 + history;
+  const double cap = e < h_size_ ? options_.h_capacity : options_.v_capacity;
+  double cost = 1.0 + state.history;
   if (usage + 1.0 > cap) {
     cost += options_.overflow_penalty * (usage + 1.0 - cap);
   }
   return cost;
 }
 
-double GlobalRouter::path_cost(const std::vector<EdgeRef>& path,
-                               const ExcludedUsage* excluded) const {
-  double cost = 0.0;
-  for (const EdgeRef& e : path) cost += edge_cost(e, excluded);
-  return cost;
+double GlobalRouter::acc_cost_h(double acc, int x0, int x1, int y,
+                                const ExcludedUsage* excluded) const {
+  const int lo = std::min(x0, x1);
+  const int hi = std::max(x0, x1);
+  const std::int32_t base = h_edge(lo, y);
+  for (std::int32_t e = base; e < base + (hi - lo); ++e) {
+    acc += edge_cost(e, excluded);
+  }
+  return acc;
 }
 
-void GlobalRouter::commit(const std::vector<EdgeRef>& path, int delta) {
-  for (const EdgeRef& e : path) {
-    double& usage =
-        e.horizontal ? h_usage_[h_index(e.x, e.y)] : v_usage_[v_index(e.x, e.y)];
+double GlobalRouter::acc_cost_v(double acc, int x, int y0, int y1,
+                                const ExcludedUsage* excluded) const {
+  const int lo = std::min(y0, y1);
+  const int hi = std::max(y0, y1);
+  const std::int32_t base = v_edge(x, lo);
+  for (std::int32_t e = base; e < base + (hi - lo); ++e) {
+    acc += edge_cost(e, excluded);
+  }
+  return acc;
+}
+
+void GlobalRouter::commit(const std::vector<std::int32_t>& path, int delta) {
+  for (const std::int32_t e : path) {
+    double& usage = edges_[static_cast<std::size_t>(e)].usage;
     usage += delta;
     PPACD_DCHECK(usage >= -1e-9, "negative edge usage " << usage);
   }
 }
 
-void GlobalRouter::append_h(std::vector<EdgeRef>& path, int x0, int x1, int y) const {
+void GlobalRouter::append_h(std::vector<std::int32_t>& path, int x0, int x1,
+                            int y) const {
   const int lo = std::min(x0, x1);
   const int hi = std::max(x0, x1);
   path.reserve(path.size() + static_cast<std::size_t>(hi - lo));
-  for (int x = lo; x < hi; ++x) path.push_back(EdgeRef{true, x, y});
+  // Consecutive ids: h_index is contiguous in x along a row.
+  const std::int32_t base = lo < hi ? h_edge(lo, y) : 0;
+  for (std::int32_t e = 0; e < hi - lo; ++e) path.push_back(base + e);
 }
 
-void GlobalRouter::append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) const {
+void GlobalRouter::append_v(std::vector<std::int32_t>& path, int x, int y0,
+                            int y1) const {
   const int lo = std::min(y0, y1);
   const int hi = std::max(y0, y1);
   path.reserve(path.size() + static_cast<std::size_t>(hi - lo));
-  for (int y = lo; y < hi; ++y) path.push_back(EdgeRef{false, x, y});
+  // Consecutive ids: v_index is contiguous in y along a column.
+  const std::int32_t base = lo < hi ? v_edge(x, lo) : 0;
+  for (std::int32_t e = 0; e < hi - lo; ++e) path.push_back(base + e);
 }
 
 void GlobalRouter::route_segment(GridPoint a, GridPoint b,
                                  const ExcludedUsage* excluded,
-                                 std::vector<EdgeRef>& out) const {
-  out.clear();
+                                 std::vector<std::int32_t>& out) const {
   if (a.x == b.x && a.y == b.y) return;
   if (a.x == b.x) {
     append_v(out, a.x, a.y, b.y);
@@ -146,29 +168,30 @@ void GlobalRouter::route_segment(GridPoint a, GridPoint b,
     return;
   }
 
-  // Each candidate is built in the lane's reusable buffer; the cheapest one
-  // is kept by swapping buffers, so steady-state routing never allocates.
-  // The candidates are considered in the same order (and the first strictly
-  // cheaper one wins) as the old one-vector-per-candidate version.
-  std::vector<EdgeRef>& cand = slots_[exec::this_worker_slot()].cand;
+  // Cost every candidate with the acc_cost_* folds (same edge order and the
+  // same sequential summation the old build-then-path_cost version used) and
+  // materialize only the winner. Candidates are considered in the same order
+  // and the first strictly cheaper one wins, so the chosen path — and every
+  // committed bit downstream — is unchanged.
+  enum Kind { kHV, kVH, kXJog, kYJog };
   double best_cost = std::numeric_limits<double>::infinity();
-  auto consider = [&]() {
-    const double cost = path_cost(cand, excluded);
+  Kind best_kind = kHV;
+  int best_mid = 0;
+  auto consider = [&](double cost, Kind kind, int mid) {
     if (cost < best_cost) {
       best_cost = cost;
-      std::swap(out, cand);
+      best_kind = kind;
+      best_mid = mid;
     }
   };
 
   // L-shapes.
-  cand.clear();
-  append_h(cand, a.x, b.x, a.y);
-  append_v(cand, b.x, a.y, b.y);
-  consider();
-  cand.clear();
-  append_v(cand, a.x, a.y, b.y);
-  append_h(cand, a.x, b.x, b.y);
-  consider();
+  consider(acc_cost_v(acc_cost_h(0.0, a.x, b.x, a.y, excluded), b.x, a.y, b.y,
+                      excluded),
+           kHV, 0);
+  consider(acc_cost_h(acc_cost_v(0.0, a.x, a.y, b.y, excluded), a.x, b.x, b.y,
+                      excluded),
+           kVH, 0);
 
   // Z-shapes: vertical jog at sampled intermediate columns, horizontal jog
   // at sampled intermediate rows.
@@ -178,114 +201,165 @@ void GlobalRouter::route_segment(GridPoint a, GridPoint b,
   if (dx > 1) {
     const int step = std::max(1, dx / (samples + 1));
     for (int xm = std::min(a.x, b.x) + step; xm < std::max(a.x, b.x); xm += step) {
-      cand.clear();
-      append_h(cand, a.x, xm, a.y);
-      append_v(cand, xm, a.y, b.y);
-      append_h(cand, xm, b.x, b.y);
-      consider();
+      double cost = acc_cost_h(0.0, a.x, xm, a.y, excluded);
+      cost = acc_cost_v(cost, xm, a.y, b.y, excluded);
+      cost = acc_cost_h(cost, xm, b.x, b.y, excluded);
+      consider(cost, kXJog, xm);
     }
   }
   if (dy > 1) {
     const int step = std::max(1, dy / (samples + 1));
     for (int ym = std::min(a.y, b.y) + step; ym < std::max(a.y, b.y); ym += step) {
-      cand.clear();
-      append_v(cand, a.x, a.y, ym);
-      append_h(cand, a.x, b.x, ym);
-      append_v(cand, b.x, ym, b.y);
-      consider();
+      double cost = acc_cost_v(0.0, a.x, a.y, ym, excluded);
+      cost = acc_cost_h(cost, a.x, b.x, ym, excluded);
+      cost = acc_cost_v(cost, b.x, ym, b.y, excluded);
+      consider(cost, kYJog, ym);
     }
+  }
+
+  switch (best_kind) {
+    case kHV:
+      append_h(out, a.x, b.x, a.y);
+      append_v(out, b.x, a.y, b.y);
+      break;
+    case kVH:
+      append_v(out, a.x, a.y, b.y);
+      append_h(out, a.x, b.x, b.y);
+      break;
+    case kXJog:
+      append_h(out, a.x, best_mid, a.y);
+      append_v(out, best_mid, a.y, b.y);
+      append_h(out, best_mid, b.x, b.y);
+      break;
+    case kYJog:
+      append_v(out, a.x, a.y, best_mid);
+      append_h(out, a.x, b.x, best_mid);
+      append_v(out, b.x, best_mid, b.y);
+      break;
   }
 }
 
 void GlobalRouter::route_maze(GridPoint a, GridPoint b,
                               const ExcludedUsage* excluded,
-                              std::vector<EdgeRef>& out) const {
-  // Bounded search window.
+                              std::vector<std::int32_t>& out) const {
+  // Bounded search window (nodes outside it are never relaxed).
   const int x0 = std::max(0, std::min(a.x, b.x) - options_.maze_margin);
   const int x1 = std::min(nx_ - 1, std::max(a.x, b.x) + options_.maze_margin);
   const int y0 = std::max(0, std::min(a.y, b.y) - options_.maze_margin);
   const int y1 = std::min(ny_ - 1, std::max(a.y, b.y) + options_.maze_margin);
-  const int wx = x1 - x0 + 1;
-  const int wy = y1 - y0 + 1;
-  auto node_of = [&](int x, int y) { return (y - y0) * wx + (x - x0); };
-
-  // Dijkstra state lives in the lane's scratch. The heap uses std::push_heap
-  // / std::pop_heap with the same comparator a std::priority_queue would, so
-  // the pop order (and thus the tie-breaking) is unchanged.
-  SlotScratch& slot = slots_[exec::this_worker_slot()];
-  std::vector<double>& dist = slot.maze_dist;
-  std::vector<std::int32_t>& parent = slot.maze_parent;
-  dist.assign(static_cast<std::size_t>(wx) * static_cast<std::size_t>(wy),
-              std::numeric_limits<double>::infinity());
-  parent.assign(static_cast<std::size_t>(wx) * static_cast<std::size_t>(wy),
-                -1);
-  using QueueEntry = std::pair<double, std::int32_t>;
-  std::vector<QueueEntry>& queue = slot.maze_heap;
-  queue.clear();
-  auto queue_push = [&queue](double d, std::int32_t node) {
-    queue.emplace_back(d, node);
-    std::push_heap(queue.begin(), queue.end(), std::greater<>{});
+  // Queue/parent node ids pack the coordinates as (y << 16) | x. Integer
+  // comparison of packed ids is lexicographic in (y, x) — the same ordering
+  // as the row-major ids the binary heap broke distance ties with, so the
+  // pop order is unchanged — and unpacking x/y or stepping to a neighbor is
+  // bit arithmetic instead of an integer divide per expansion. The
+  // epoch-stamped node array is indexed row-major (one multiply to convert).
+  auto pack = [](int x, int y) {
+    return (static_cast<std::int32_t>(y) << 16) | static_cast<std::int32_t>(x);
   };
-  dist[static_cast<std::size_t>(node_of(a.x, a.y))] = 0.0;
-  queue_push(0.0, node_of(a.x, a.y));
-  const std::int32_t goal = node_of(b.x, b.y);
+  // Node state is indexed window-locally: the scratch block for a typical
+  // bounded window fits in L1/L2, where full-grid row-major indexing would
+  // scatter a small search across megabytes. Queue ids stay globally packed
+  // (y << 16) | x — the tie-break order is untouched.
+  const std::int32_t wnx = x1 - x0 + 1;
+  auto idx_of = [wnx, x0, y0](std::int32_t p) {
+    return ((p >> 16) - y0) * wnx + ((p & 0xffff) - x0);
+  };
 
-  while (!queue.empty()) {
-    std::pop_heap(queue.begin(), queue.end(), std::greater<>{});
-    const auto [d, node] = queue.back();
-    queue.pop_back();
-    if (d > dist[static_cast<std::size_t>(node)]) continue;
-    if (node == goal) break;
-    const int x = x0 + node % wx;
-    const int y = y0 + node / wx;
-    struct Step {
-      int dx;
-      int dy;
-    };
-    for (const Step step : {Step{1, 0}, Step{-1, 0}, Step{0, 1}, Step{0, -1}}) {
-      const int mx = x + step.dx;
-      const int my = y + step.dy;
-      if (mx < x0 || mx > x1 || my < y0 || my > y1) continue;
-      EdgeRef edge;
-      if (step.dy == 0) {
-        edge = EdgeRef{true, std::min(x, mx), y};
-      } else {
-        edge = EdgeRef{false, x, std::min(y, my)};
-      }
-      const double nd = d + edge_cost(edge, excluded);
-      const std::int32_t next = node_of(mx, my);
-      if (nd < dist[static_cast<std::size_t>(next)]) {
-        dist[static_cast<std::size_t>(next)] = nd;
-        parent[static_cast<std::size_t>(next)] = node;
-        queue_push(nd, next);
-      }
-    }
+  SlotScratch& slot = slots_[exec::this_worker_slot()];
+  const std::size_t ncells = static_cast<std::size_t>(wnx) *
+                             static_cast<std::size_t>(y1 - y0 + 1);
+  if (slot.maze_nodes.size() < ncells) {
+    slot.maze_nodes.assign(
+        std::max(ncells, slot.maze_nodes.size() * 2), SlotScratch::MazeNode{});
+    slot.maze_epoch = 0;
   }
-  if (!std::isfinite(dist[static_cast<std::size_t>(goal)])) {
+  SlotScratch::MazeNode* PPACD_RESTRICT nodes = slot.maze_nodes.data();
+  const std::uint32_t epoch = ++slot.maze_epoch;
+
+  // Every edge cost is >= 1.0 (cost = 1.0 + history + penalty terms), which
+  // is exactly the monotonicity contract the width-1.0 bucket queue needs
+  // for a pop order bit-identical to the old binary heap (bucket_queue.hpp).
+  BucketQueue& queue = slot.maze_queue;
+  queue.begin();
+  const std::int32_t start = pack(a.x, a.y);
+  const std::int32_t goal = pack(b.x, b.y);
+  nodes[idx_of(start)] = SlotScratch::MazeNode{0.0, -1, epoch};
+  queue.push(0.0, start);
+
+  // Same arithmetic as edge_cost, with the per-edge invariants hoisted and
+  // the h/v capacity chosen per call site instead of per edge.
+  const EdgeState* PPACD_RESTRICT es = edges_.data();
+  const double hcap = options_.h_capacity;
+  const double vcap = options_.v_capacity;
+  const double penalty = options_.overflow_penalty;
+  auto cost_of = [&](std::int32_t e, double cap) {
+    const EdgeState state = es[e];
+    double usage = state.usage;
+    if (excluded != nullptr) usage -= excluded->get(e, 0.0);
+    double cost = 1.0 + state.history;
+    if (usage + 1.0 > cap) cost += penalty * (usage + 1.0 - cap);
+    return cost;
+  };
+
+  const std::int32_t hstride = nx_ - 1;
+  const std::int32_t vstride = ny_ - 1;
+  constexpr std::int32_t kYStep = 1 << 16;
+  BucketQueue::Entry top;
+  while (queue.pop(top)) {
+    const auto [d, node] = top;
+    const std::int32_t node_idx = idx_of(node);
+    if (d > nodes[node_idx].dist) continue;  // stale, same skip as the heap
+    if (node == goal) break;
+    const int x = node & 0xffff;
+    const int y = node >> 16;
+    // Neighbor edge ids follow from the dense layout: h edges of row y start
+    // at y*(nx-1), v edges of column x start at h_size_ + x*(ny-1). The four
+    // steps relax in the same E, W, N, S order the old Step loop used.
+    const std::int32_t hrow = static_cast<std::int32_t>(y) * hstride;
+    const std::int32_t vcol = h_size_ + static_cast<std::int32_t>(x) * vstride;
+    auto relax = [&](std::int32_t edge, double cap, std::int32_t next,
+                     std::int32_t next_idx) {
+      const double nd = d + cost_of(edge, cap);
+      SlotScratch::MazeNode& n = nodes[next_idx];
+      if (n.stamp != epoch) {
+        n = SlotScratch::MazeNode{nd, node, epoch};
+        queue.push(nd, next);
+      } else if (nd < n.dist) {
+        n.dist = nd;
+        n.parent = node;
+        queue.push(nd, next);
+      }
+    };
+    if (x + 1 <= x1) relax(hrow + x, hcap, node + 1, node_idx + 1);
+    if (x - 1 >= x0) relax(hrow + x - 1, hcap, node - 1, node_idx - 1);
+    if (y + 1 <= y1) relax(vcol + y, vcap, node + kYStep, node_idx + wnx);
+    if (y - 1 >= y0) relax(vcol + y - 1, vcap, node - kYStep, node_idx - wnx);
+  }
+  const std::int32_t goal_idx = idx_of(goal);
+  if (nodes[goal_idx].stamp != epoch || !std::isfinite(nodes[goal_idx].dist)) {
     route_segment(a, b, excluded, out);  // defensive; window is connected
     return;
   }
 
-  out.clear();
   // Path length = number of backtrack hops; count first so the single
   // append below never reallocates mid-loop.
   std::size_t hops = 0;
-  for (std::int32_t node = goal; parent[static_cast<std::size_t>(node)] >= 0;
-       node = parent[static_cast<std::size_t>(node)]) {
+  for (std::int32_t node = goal; nodes[idx_of(node)].parent >= 0;
+       node = nodes[idx_of(node)].parent) {
     ++hops;
   }
-  out.reserve(hops);
-  for (std::int32_t node = goal; parent[static_cast<std::size_t>(node)] >= 0;
-       node = parent[static_cast<std::size_t>(node)]) {
-    const std::int32_t prev = parent[static_cast<std::size_t>(node)];
-    const int cx = x0 + node % wx;
-    const int cy = y0 + node / wx;
-    const int px = x0 + prev % wx;
-    const int py = y0 + prev / wx;
+  out.reserve(out.size() + hops);
+  for (std::int32_t node = goal; nodes[idx_of(node)].parent >= 0;
+       node = nodes[idx_of(node)].parent) {
+    const std::int32_t prev = nodes[idx_of(node)].parent;
+    const int cx = node & 0xffff;
+    const int cy = node >> 16;
+    const int px = prev & 0xffff;
+    const int py = prev >> 16;
     if (cy == py) {
-      out.push_back(EdgeRef{true, std::min(cx, px), cy});
+      out.push_back(h_edge(std::min(cx, px), cy));
     } else {
-      out.push_back(EdgeRef{false, cx, std::min(cy, py)});
+      out.push_back(v_edge(cx, std::min(cy, py)));
     }
   }
 }
@@ -311,17 +385,25 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
   const netlist::Netlist& nl = *nl_;
 
   // One scratch slot per worker lane; the virtual rip-up tables address the
-  // full edge-key space (h edges then v edges).
+  // full edge-id space (h edges then v edges).
   slots_.resize(exec::worker_slots());
   for (SlotScratch& slot : slots_) {
-    slot.own.grow(h_usage_.size() + v_usage_.size());
+    slot.own.grow(edges_.size());
   }
 
-  // Build two-pin segments (in GCell space) for every routable net.
+  // Build two-pin segments (in GCell space) for every routable net. Paths
+  // are stored flat per net: one edge-id array plus the exclusive end offset
+  // of each segment's span, so a routed net costs two allocations total
+  // instead of one vector per segment.
+  struct SegSpan {
+    GridPoint a;
+    GridPoint b;
+    std::int32_t end = 0;  ///< exclusive end of this segment's edges
+  };
   struct NetRoute {
     netlist::NetId net = netlist::kInvalidId;
-    std::vector<std::pair<GridPoint, GridPoint>> segments;
-    std::vector<std::vector<EdgeRef>> paths;
+    std::vector<SegSpan> segments;
+    std::vector<std::int32_t> edges;  ///< concatenated segment paths
     double hpwl = 0.0;
   };
   std::vector<netlist::NetId> routable;
@@ -339,7 +421,8 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
   exec::parallel_for(0, routable.size(), kNetGrain, [&](std::size_t i) {
     const netlist::NetId net_id = routable[i];
     const netlist::Net& net = nl.net(net_id);
-    std::vector<geom::Point>& pins = slots_[exec::this_worker_slot()].pins;
+    SlotScratch& slot = slots_[exec::this_worker_slot()];
+    std::vector<geom::Point>& pins = slot.pins;
     pins.clear();
     pins.reserve(net.pins.size());
     geom::BBox box;
@@ -354,11 +437,15 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
     NetRoute& route = routes[i];
     route.net = net_id;
     route.hpwl = box.half_perimeter();
-    const std::vector<Segment> topology = options_.use_steiner_topology
-                                              ? steiner_segments(pins)
-                                              : spanning_segments(pins);
+    std::vector<Segment>& topology = slot.topo_segs;
+    if (options_.use_steiner_topology) {
+      steiner_segments_into(pins, slot.topo, topology);
+    } else {
+      spanning_segments_into(pins, slot.topo, topology);
+    }
+    route.segments.reserve(topology.size());
     for (const Segment& seg : topology) {
-      route.segments.emplace_back(gcell_of(seg.a), gcell_of(seg.b));
+      route.segments.push_back(SegSpan{gcell_of(seg.a), gcell_of(seg.b), 0});
     }
   });
 
@@ -378,6 +465,18 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
   std::vector<std::uint8_t> net_failed(faults_on ? routes.size() : 0, 0);
   std::vector<std::uint8_t> net_poisoned(faults_on ? routes.size() : 0, 0);
 
+  // Routes all segments of one net into the lane's flat staging buffer and
+  // copies the result into the net (exact-sized, two allocations).
+  auto route_net = [&](NetRoute& route, const ExcludedUsage* excluded) {
+    SlotScratch& slot = slots_[exec::this_worker_slot()];
+    slot.path_edges.clear();
+    for (SegSpan& seg : route.segments) {
+      route_segment(seg.a, seg.b, excluded, slot.path_edges);
+      seg.end = static_cast<std::int32_t>(slot.path_edges.size());
+    }
+    route.edges.assign(slot.path_edges.begin(), slot.path_edges.end());
+  };
+
   // Flight recorder. Gated on options_.observe_stream so nested shape-sweep
   // routers stay silent; every scan below is observe-only (pure reads of the
   // committed usage) and runs from the serial commit points.
@@ -391,21 +490,24 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
         observe::recorder().begin_series(observe::Stream::kRouteRound);
   }
   auto overflow_now = [&] {
-    int edges = 0;
+    int over_edges = 0;
     double total = 0.0;
-    for (const double u : h_usage_) {
+    for (std::int32_t e = 0; e < h_size_; ++e) {
+      const double u = edges_[static_cast<std::size_t>(e)].usage;
       if (u > options_.h_capacity) {
-        ++edges;
+        ++over_edges;
         total += u - options_.h_capacity;
       }
     }
-    for (const double u : v_usage_) {
+    for (std::size_t e = static_cast<std::size_t>(h_size_); e < edges_.size();
+         ++e) {
+      const double u = edges_[e].usage;
       if (u > options_.v_capacity) {
-        ++edges;
+        ++over_edges;
         total += u - options_.v_capacity;
       }
     }
-    return std::pair<int, double>(edges, total);
+    return std::pair<int, double>(over_edges, total);
   };
   // Congestion heatmap: per-GCell worst incident-edge utilization,
   // max-pooled onto a bounded grid so frames stay small on large designs.
@@ -425,12 +527,14 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
     };
     for (int y = 0; y < ny_; ++y) {
       for (int x = 0; x + 1 < nx_; ++x) {
-        pool(x, y, h_usage_[h_index(x, y)] / options_.h_capacity);
+        pool(x, y, edges_[h_index(x, y)].usage / options_.h_capacity);
       }
     }
     for (int y = 0; y + 1 < ny_; ++y) {
       for (int x = 0; x < nx_; ++x) {
-        pool(x, y, v_usage_[v_index(x, y)] / options_.v_capacity);
+        pool(x, y,
+             edges_[static_cast<std::size_t>(v_edge(x, y))].usage /
+                 options_.v_capacity);
       }
     }
     observe::recorder().record_frame(observe::Stream::kRouteHeatmap,
@@ -459,14 +563,10 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
           }
         }
       }
-      route.paths.resize(route.segments.size());
-      for (std::size_t s = 0; s < route.segments.size(); ++s) {
-        route_segment(route.segments[s].first, route.segments[s].second,
-                      nullptr, route.paths[s]);
-      }
+      route_net(route, nullptr);
     });
     for (std::size_t i = base; i < batch_end; ++i) {
-      for (const auto& path : routes[i].paths) commit(path, +1);
+      commit(routes[i].edges, +1);
     }
     const std::int64_t batch_index =
         static_cast<std::int64_t>(base / kRouteBatch);
@@ -501,12 +601,8 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
                            static_cast<std::uint32_t>(attempt))) {
           continue;  // still failing on this attempt
         }
-        route.paths.resize(route.segments.size());
-        for (std::size_t s = 0; s < route.segments.size(); ++s) {
-          route_segment(route.segments[s].first, route.segments[s].second,
-                        nullptr, route.paths[s]);
-        }
-        for (const auto& path : route.paths) commit(path, +1);
+        route_net(route, nullptr);
+        commit(route.edges, +1);
         routed = true;
         break;
       }
@@ -515,25 +611,36 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
     PPACD_COUNT("route.nets.failed", failed_final);
   }
 
-  // Negotiated rip-up-and-reroute.
+  // Negotiated rip-up-and-reroute. Reroute buffers are hoisted out of the
+  // round loop and reused (clear keeps capacity), so negotiation rounds
+  // allocate only when a net's new route outgrows its old storage.
+  std::vector<std::uint8_t> flagged(routes.size(), 0);
+  std::vector<std::size_t> victims;
+  struct Reroute {
+    std::vector<std::int32_t> edges;
+    std::vector<std::int32_t> seg_end;
+  };
+  std::vector<Reroute> rerouted(kRerouteBatch);
   for (int round = 0; round < options_.rrr_rounds; ++round) {
     // Mark overflowed edges and bump their history.
-    auto overflowed = [&](const EdgeRef& e) {
-      const double usage = e.horizontal ? h_usage_[h_index(e.x, e.y)]
-                                        : v_usage_[v_index(e.x, e.y)];
-      const double cap = e.horizontal ? options_.h_capacity : options_.v_capacity;
-      return usage > cap;
+    auto edge_overflowed = [&](std::int32_t e) {
+      const EdgeState& state = edges_[static_cast<std::size_t>(e)];
+      const double cap = e < h_size_ ? options_.h_capacity : options_.v_capacity;
+      return state.usage > cap;
     };
     int over_edges = 0;
-    for (std::size_t i = 0; i < h_usage_.size(); ++i) {
-      if (h_usage_[i] > options_.h_capacity) {
-        h_history_[i] += options_.history_increment;
+    for (std::int32_t e = 0; e < h_size_; ++e) {
+      EdgeState& state = edges_[static_cast<std::size_t>(e)];
+      if (state.usage > options_.h_capacity) {
+        state.history += options_.history_increment;
         ++over_edges;
       }
     }
-    for (std::size_t i = 0; i < v_usage_.size(); ++i) {
-      if (v_usage_[i] > options_.v_capacity) {
-        v_history_[i] += options_.history_increment;
+    for (std::size_t e = static_cast<std::size_t>(h_size_); e < edges_.size();
+         ++e) {
+      EdgeState& state = edges_[e];
+      if (state.usage > options_.v_capacity) {
+        state.history += options_.history_increment;
         ++over_edges;
       }
     }
@@ -551,18 +658,16 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
     // Flag the nets crossing an overflowed edge (pure parallel scan), then
     // reroute them in batches: rip the whole batch out, reroute every net
     // against the frozen usage, commit back in net order.
-    std::vector<std::uint8_t> flagged(routes.size(), 0);
+    flagged.assign(routes.size(), 0);
     exec::parallel_for(0, routes.size(), kNetGrain, [&](std::size_t i) {
-      for (const auto& path : routes[i].paths) {
-        for (const EdgeRef& e : path) {
-          if (overflowed(e)) {
-            flagged[i] = 1;
-            return;
-          }
+      for (const std::int32_t e : routes[i].edges) {
+        if (edge_overflowed(e)) {
+          flagged[i] = 1;
+          return;
         }
       }
     });
-    std::vector<std::size_t> victims;
+    victims.clear();
     for (std::size_t i = 0; i < routes.size(); ++i) {
       if (flagged[i]) victims.push_back(i);
     }
@@ -577,7 +682,6 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
 
     for (std::size_t base = 0; base < victims.size(); base += kRerouteBatch) {
       const std::size_t batch_end = std::min(victims.size(), base + kRerouteBatch);
-      std::vector<std::vector<std::vector<EdgeRef>>> rerouted(batch_end - base);
       exec::parallel_for(base, batch_end, kNetGrain, [&](std::size_t v) {
         const NetRoute& route = routes[victims[v]];
         // Virtual rip-up: cost against the frozen usage minus this net's own
@@ -585,28 +689,30 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
         // serial commit below. The lane's epoch-stamped table resets in O(1).
         ExcludedUsage& own = slots_[exec::this_worker_slot()].own;
         own.clear();
-        for (const auto& path : route.paths) {
-          for (const EdgeRef& e : path) {
-            own.add(static_cast<std::int32_t>(edge_key(e)), 1.0);
-          }
+        for (const std::int32_t e : route.edges) {
+          own.add(e, 1.0);
         }
-        std::vector<std::vector<EdgeRef>>& paths = rerouted[v - base];
-        paths.resize(route.segments.size());
-        for (std::size_t s = 0; s < route.segments.size(); ++s) {
+        Reroute& next = rerouted[v - base];
+        next.edges.clear();
+        next.seg_end.clear();
+        for (const SegSpan& seg : route.segments) {
           if (options_.maze_fallback) {
-            route_maze(route.segments[s].first, route.segments[s].second, &own,
-                       paths[s]);
+            route_maze(seg.a, seg.b, &own, next.edges);
           } else {
-            route_segment(route.segments[s].first, route.segments[s].second,
-                          &own, paths[s]);
+            route_segment(seg.a, seg.b, &own, next.edges);
           }
+          next.seg_end.push_back(static_cast<std::int32_t>(next.edges.size()));
         }
       });
       for (std::size_t v = base; v < batch_end; ++v) {
         NetRoute& route = routes[victims[v]];
-        for (const auto& path : route.paths) commit(path, -1);
-        route.paths = std::move(rerouted[v - base]);
-        for (const auto& path : route.paths) commit(path, +1);
+        const Reroute& next = rerouted[v - base];
+        commit(route.edges, -1);
+        route.edges.assign(next.edges.begin(), next.edges.end());
+        for (std::size_t s = 0; s < route.segments.size(); ++s) {
+          route.segments[s].end = next.seg_end[s];
+        }
+        commit(route.edges, +1);
       }
     }
   }
@@ -614,20 +720,25 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
   // Final congestion picture (also covers rrr_rounds == 0 and early exits).
   if (observing) emit_heatmap(options_.rrr_rounds);
 
-  // Collect results. The clean path keeps the original per-path summation
+  // Collect results. The clean path keeps the original per-segment summation
   // order exactly (bit-identical wirelength).
   RouteResult result;
   result.grid_nx = nx_;
   result.grid_ny = ny_;
   result.failed_nets = failed_final;
+  auto net_wirelength = [&](const NetRoute& route, double& wl) {
+    std::int32_t prev = 0;
+    for (const SegSpan& seg : route.segments) {
+      wl += static_cast<double>(seg.end - prev) * options_.gcell_um;
+      prev = seg.end;
+    }
+  };
   for (std::size_t i = 0; i < routes.size(); ++i) {
     if (faults_on && net_poisoned[i]) {
       result.wirelength_um += fault::poison_value();
       continue;
     }
-    for (const auto& path : routes[i].paths) {
-      result.wirelength_um += static_cast<double>(path.size()) * options_.gcell_um;
-    }
+    net_wirelength(routes[i], result.wirelength_um);
   }
   if (!std::isfinite(result.wirelength_um)) {
     // Poisoned nets made the total non-finite: degrade to a partial result
@@ -638,14 +749,12 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
         ++result.failed_nets;
         continue;
       }
-      for (const auto& path : routes[i].paths) {
-        result.wirelength_um +=
-            static_cast<double>(path.size()) * options_.gcell_um;
-      }
+      net_wirelength(routes[i], result.wirelength_um);
     }
   }
-  result.edge_utilization.reserve(h_usage_.size() + v_usage_.size());
-  for (const double u : h_usage_) {
+  result.edge_utilization.reserve(edges_.size());
+  for (std::int32_t e = 0; e < h_size_; ++e) {
+    const double u = edges_[static_cast<std::size_t>(e)].usage;
     const double util = u / options_.h_capacity;
     result.edge_utilization.push_back(util);
     result.max_utilization = std::max(result.max_utilization, util);
@@ -654,7 +763,9 @@ fault::Expected<RouteResult, fault::FlowError> GlobalRouter::run_impl(
       result.total_overflow += u - options_.h_capacity;
     }
   }
-  for (const double u : v_usage_) {
+  for (std::size_t e = static_cast<std::size_t>(h_size_); e < edges_.size();
+       ++e) {
+    const double u = edges_[e].usage;
     const double util = u / options_.v_capacity;
     result.edge_utilization.push_back(util);
     result.max_utilization = std::max(result.max_utilization, util);

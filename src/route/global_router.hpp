@@ -12,6 +12,13 @@
 /// congestion-aware edge cost. A few negotiation rounds then rip up nets
 /// crossing overflowed edges and re-route them with accumulated history
 /// costs, the standard PathFinder-style scheme.
+///
+/// Data layout (DESIGN.md §15): grid edges are dense int32 ids (all
+/// horizontal edges in h_index order, then all vertical edges in v_index
+/// order), paths are flat id arrays, and usage/history live together in one
+/// EdgeState array so the cost evaluation touches a single cache line per
+/// edge. The maze search uses a monotone bucket queue (bucket_queue.hpp)
+/// with a pop order bit-identical to the binary heap it replaced.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,8 @@
 #include "fault/fault.hpp"
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
+#include "route/bucket_queue.hpp"
+#include "route/steiner.hpp"
 #include "util/dense_scratch.hpp"
 
 namespace ppacd::route {
@@ -92,18 +101,20 @@ class GlobalRouter {
   fault::Expected<RouteResult, fault::FlowError> run_impl(
       const fault::DegradePolicy& policy);
 
-  struct EdgeRef {
-    bool horizontal = true;
-    int x = 0;
-    int y = 0;
-  };
   struct GridPoint {
     int x = 0;
     int y = 0;
   };
 
+  /// Usage and negotiation history of one grid edge, adjacent in memory so
+  /// edge_cost touches one cache line per edge instead of two arrays.
+  struct EdgeState {
+    double usage = 0.0;
+    double history = 0.0;
+  };
+
   /// Usage subtracted from the committed state while costing a reroute: the
-  /// rerouting net's own committed edges, keyed by edge_key(). Lets whole
+  /// rerouting net's own committed edges, keyed by edge id. Lets whole
   /// batches reroute concurrently against a frozen usage snapshot without
   /// mutating it (a virtual per-net rip-up). Epoch-stamped dense table: one
   /// clear() per net is O(touched), lookups are a plain array probe.
@@ -113,35 +124,59 @@ class GlobalRouter {
   /// so routing a segment allocates nothing in steady state even when nets
   /// route concurrently.
   struct SlotScratch {
-    std::vector<EdgeRef> cand;                ///< pattern candidate buffer
-    std::vector<double> maze_dist;
-    std::vector<std::int32_t> maze_parent;
-    std::vector<std::pair<double, std::int32_t>> maze_heap;
+    /// Maze state spans the full grid and is epoch-stamped: a search only
+    /// trusts entries whose stamp matches maze_epoch, so starting a search
+    /// is O(1) instead of an O(window) reinitialization. dist/stamp/parent
+    /// share one record so relaxing a node touches one cache line, not
+    /// three parallel arrays.
+    /// 16 bytes, two nodes per cache line. The 32-bit epoch would need 4.3
+    /// billion searches through one router to wrap; a router routes a few
+    /// tens of thousands of maze segments in its lifetime.
+    struct MazeNode {
+      double dist = 0.0;
+      std::int32_t parent = -1;
+      std::uint32_t stamp = 0;
+    };
+    std::vector<MazeNode> maze_nodes;
+    std::uint32_t maze_epoch = 0;
+    BucketQueue maze_queue;
     ExcludedUsage own;                        ///< virtual rip-up usage
     std::vector<geom::Point> pins;            ///< topology build buffer
+    TopoScratch topo;                         ///< Steiner/RMST construction
+    std::vector<Segment> topo_segs;           ///< topology staging
+    std::vector<std::int32_t> path_edges;     ///< flat path staging
   };
 
   GridPoint gcell_of(const geom::Point& p) const;
   std::size_t h_index(int x, int y) const;  ///< edge (x,y)->(x+1,y)
   std::size_t v_index(int x, int y) const;  ///< edge (x,y)->(x,y+1)
-  /// Unique key over both edge arrays (v edges offset by the h count).
-  std::size_t edge_key(const EdgeRef& e) const;
-  double edge_cost(const EdgeRef& e, const ExcludedUsage* excluded) const;
-  double path_cost(const std::vector<EdgeRef>& path,
-                   const ExcludedUsage* excluded) const;
-  void commit(const std::vector<EdgeRef>& path, int delta);
+  /// Dense edge ids: h edges in h_index order, then v edges offset by the
+  /// h count (same key space the virtual rip-up tables use).
+  std::int32_t h_edge(int x, int y) const;
+  std::int32_t v_edge(int x, int y) const;
+  double edge_cost(std::int32_t e, const ExcludedUsage* excluded) const;
+  /// Folds the edge costs of a straight run onto `acc` in ascending
+  /// coordinate order — the same order path_cost used to scan a built path,
+  /// so pattern costs are bit-identical without materializing candidates.
+  double acc_cost_h(double acc, int x0, int x1, int y,
+                    const ExcludedUsage* excluded) const;
+  double acc_cost_v(double acc, int x, int y0, int y1,
+                    const ExcludedUsage* excluded) const;
+  void commit(const std::vector<std::int32_t>& path, int delta);
   /// Appends the edges of a straight run from (x0,y) to (x1,y) (horizontal)
   /// or (x,y0)-(x,y1) (vertical) to `path`.
-  void append_h(std::vector<EdgeRef>& path, int x0, int x1, int y) const;
-  void append_v(std::vector<EdgeRef>& path, int x, int y0, int y1) const;
-  /// Routes one segment into `out` (cleared first), choosing the cheapest
-  /// pattern; reuses the calling lane's candidate buffer.
+  void append_h(std::vector<std::int32_t>& path, int x0, int x1, int y) const;
+  void append_v(std::vector<std::int32_t>& path, int x, int y0, int y1) const;
+  /// Routes one segment, appending its edges to `out`: costs every pattern
+  /// candidate with the acc_cost_* folds and materializes only the winner.
   void route_segment(GridPoint a, GridPoint b, const ExcludedUsage* excluded,
-                     std::vector<EdgeRef>& out) const;
-  /// Dijkstra within an inflated bounding box; falls back to the pattern
-  /// route when the search fails (cannot happen inside a connected window).
+                     std::vector<std::int32_t>& out) const;
+  /// Dijkstra within an inflated bounding box (monotone bucket queue, pop
+  /// order identical to the old binary heap); appends to `out`. Falls back
+  /// to the pattern route when the search fails (cannot happen inside a
+  /// connected window).
   void route_maze(GridPoint a, GridPoint b, const ExcludedUsage* excluded,
-                  std::vector<EdgeRef>& out) const;
+                  std::vector<std::int32_t>& out) const;
 
   const netlist::Netlist* nl_;
   const std::vector<geom::Point>* positions_;
@@ -149,10 +184,8 @@ class GlobalRouter {
   RouteOptions options_;
   int nx_ = 0;
   int ny_ = 0;
-  std::vector<double> h_usage_;
-  std::vector<double> v_usage_;
-  std::vector<double> h_history_;
-  std::vector<double> v_history_;
+  std::int32_t h_size_ = 0;  ///< horizontal edge count (v ids start here)
+  std::vector<EdgeState> edges_;
   mutable std::vector<SlotScratch> slots_;
 };
 

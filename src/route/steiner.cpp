@@ -1,52 +1,11 @@
 #include "route/steiner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <limits>
 
 namespace ppacd::route {
-
-std::vector<Segment> spanning_segments(const std::vector<geom::Point>& pins) {
-  std::vector<Segment> segments;
-  const std::size_t n = pins.size();
-  if (n < 2) return segments;
-  segments.reserve(n - 1);
-
-  // Prim's algorithm with O(n^2) nearest tracking.
-  std::vector<bool> in_tree(n, false);
-  std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
-  std::vector<std::size_t> best_parent(n, 0);
-  in_tree[0] = true;
-  for (std::size_t i = 1; i < n; ++i) {
-    best_dist[i] = geom::manhattan(pins[0], pins[i]);
-  }
-  for (std::size_t added = 1; added < n; ++added) {
-    std::size_t pick = 0;
-    double pick_dist = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!in_tree[i] && best_dist[i] < pick_dist) {
-        pick = i;
-        pick_dist = best_dist[i];
-      }
-    }
-    in_tree[pick] = true;
-    segments.push_back(Segment{pins[best_parent[pick]], pins[pick]});
-    for (std::size_t i = 0; i < n; ++i) {
-      if (in_tree[i]) continue;
-      const double d = geom::manhattan(pins[pick], pins[i]);
-      if (d < best_dist[i]) {
-        best_dist[i] = d;
-        best_parent[i] = pick;
-      }
-    }
-  }
-  return segments;
-}
-
-double total_length(const std::vector<Segment>& segments) {
-  double length = 0.0;
-  for (const Segment& s : segments) length += geom::manhattan(s.a, s.b);
-  return length;
-}
 
 namespace {
 
@@ -54,113 +13,209 @@ double median3(double a, double b, double c) {
   return std::max(std::min(a, b), std::min(std::max(a, b), c));
 }
 
-}  // namespace
+/// Manhattan distance over the SoA coordinate columns; same expression as
+/// geom::manhattan, so results are bit-identical to the AoS version.
+double manhattan_at(const double* px, const double* py, std::int32_t a,
+                    std::int32_t b) {
+  return std::fabs(px[a] - px[b]) + std::fabs(py[a] - py[b]);
+}
 
-std::vector<Segment> steiner_segments(const std::vector<geom::Point>& pins) {
-  // Work on an editable tree: vertices = pins + inserted Steiner points;
-  // edges as index pairs.
-  std::vector<geom::Point> points = pins;
-  std::vector<std::pair<std::size_t, std::size_t>> edges;
-  {
-    // Rebuild the RMST in index space (spanning_segments loses indices).
-    const std::size_t n = pins.size();
-    if (n < 2) return {};
-    std::vector<bool> in_tree(n, false);
-    std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
-    std::vector<std::size_t> best_parent(n, 0);
-    in_tree[0] = true;
-    for (std::size_t i = 1; i < n; ++i) {
-      best_dist[i] = geom::manhattan(pins[0], pins[i]);
-    }
-    for (std::size_t added = 1; added < n; ++added) {
-      std::size_t pick = 0;
-      double pick_dist = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!in_tree[i] && best_dist[i] < pick_dist) {
-          pick = i;
-          pick_dist = best_dist[i];
-        }
+/// Prim's algorithm with O(n^2) nearest tracking over the first n rows of
+/// scratch.pts; emits edges into scratch.ea/scratch.eb in attachment order
+/// (identical to the order the AoS version emitted Segments).
+void prim_into(std::size_t n, TopoScratch& s) {
+  s.ea.clear();
+  s.eb.clear();
+  if (n < 2) return;
+  const double* px = s.pts.col(0);
+  const double* py = s.pts.col(1);
+  s.in_tree.assign(n, 0);
+  s.best_dist.assign(n, std::numeric_limits<double>::infinity());
+  s.best_parent.assign(n, 0);
+  s.in_tree[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    s.best_dist[i] = manhattan_at(px, py, 0, static_cast<std::int32_t>(i));
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    double pick_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!s.in_tree[i] && s.best_dist[i] < pick_dist) {
+        pick = i;
+        pick_dist = s.best_dist[i];
       }
-      in_tree[pick] = true;
-      edges.emplace_back(best_parent[pick], pick);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (in_tree[i]) continue;
-        const double d = geom::manhattan(pins[pick], pins[i]);
-        if (d < best_dist[i]) {
-          best_dist[i] = d;
-          best_parent[i] = pick;
-        }
+    }
+    s.in_tree[pick] = 1;
+    s.ea.push_back(s.best_parent[pick]);
+    s.eb.push_back(static_cast<std::int32_t>(pick));
+    const std::int32_t pick32 = static_cast<std::int32_t>(pick);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s.in_tree[i]) continue;
+      const double d = manhattan_at(px, py, pick32, static_cast<std::int32_t>(i));
+      if (d < s.best_dist[i]) {
+        s.best_dist[i] = d;
+        s.best_parent[i] = pick32;
       }
     }
   }
+}
+
+void load_pins(const std::vector<geom::Point>& pins, std::size_t capacity,
+               TopoScratch& s) {
+  s.pts.resize(capacity);
+  double* px = s.pts.col(0);
+  double* py = s.pts.col(1);
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    px[i] = pins[i].x;
+    py[i] = pins[i].y;
+  }
+}
+
+}  // namespace
+
+void spanning_segments_into(const std::vector<geom::Point>& pins,
+                            TopoScratch& scratch, std::vector<Segment>& out) {
+  out.clear();
+  const std::size_t n = pins.size();
+  if (n < 2) return;
+  load_pins(pins, n, scratch);
+  prim_into(n, scratch);
+  const double* px = scratch.pts.col(0);
+  const double* py = scratch.pts.col(1);
+  out.reserve(scratch.ea.size());
+  for (std::size_t e = 0; e < scratch.ea.size(); ++e) {
+    const std::int32_t a = scratch.ea[e];
+    const std::int32_t b = scratch.eb[e];
+    out.push_back(Segment{geom::Point{px[a], py[a]}, geom::Point{px[b], py[b]}});
+  }
+}
+
+void steiner_segments_into(const std::vector<geom::Point>& pins,
+                           TopoScratch& scratch, std::vector<Segment>& out) {
+  out.clear();
+  const std::size_t n = pins.size();
+  if (n < 2) return;
+
+  // Vertices = pins + inserted Steiner points; the point budget bounds the
+  // refinement loop (each acceptance inserts one point), so the coordinate
+  // columns are sized once and never reallocate mid-run.
+  const std::size_t max_points = n * 3;
+  load_pins(pins, max_points, scratch);
+  prim_into(n, scratch);
+  double* px = scratch.pts.col(0);
+  double* py = scratch.pts.col(1);
+  std::size_t npts = n;
 
   // Greedy refinement: for each vertex, find the best pair of incident
   // edges to reroute through a median Steiner point; repeat while gains
-  // exist. Each acceptance inserts one Steiner point, so the budget below
-  // bounds the loop.
-  const std::size_t max_points = pins.size() * 3;
+  // exist.
   bool improved = true;
-  while (improved && points.size() < max_points) {
+  while (improved && npts < max_points) {
     improved = false;
-    // Incidence rebuilt per pass (edges mutate).
-    std::vector<std::vector<std::size_t>> incident(points.size());
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      incident[edges[e].first].push_back(e);
-      incident[edges[e].second].push_back(e);
+    // CSR incidence rebuilt per pass (edges mutate). Scanning edges in id
+    // order gives each vertex its incident edges in ascending id order —
+    // the same per-vertex order the vector-of-vectors build produced.
+    const std::size_t ne = scratch.ea.size();
+    scratch.inc_start.assign(npts + 1, 0);
+    for (std::size_t e = 0; e < ne; ++e) {
+      ++scratch.inc_start[scratch.ea[e] + 1];
+      ++scratch.inc_start[scratch.eb[e] + 1];
     }
-    for (std::size_t v = 0; v < points.size(); ++v) {
-      if (incident[v].size() < 2) continue;
+    for (std::size_t v = 0; v < npts; ++v) {
+      scratch.inc_start[v + 1] += scratch.inc_start[v];
+    }
+    scratch.inc_fill.assign(scratch.inc_start.begin(),
+                            scratch.inc_start.end() - 1);
+    scratch.inc_list.resize(2 * ne);
+    for (std::size_t e = 0; e < ne; ++e) {
+      scratch.inc_list[scratch.inc_fill[scratch.ea[e]]++] =
+          static_cast<std::int32_t>(e);
+      scratch.inc_list[scratch.inc_fill[scratch.eb[e]]++] =
+          static_cast<std::int32_t>(e);
+    }
+    for (std::size_t v = 0; v < npts; ++v) {
+      const std::int32_t inc_lo = scratch.inc_start[v];
+      const std::int32_t inc_hi = scratch.inc_start[v + 1];
+      if (inc_hi - inc_lo < 2) continue;
+      const std::int32_t v32 = static_cast<std::int32_t>(v);
       double best_gain = 1e-9;
       std::size_t best_e1 = 0;
       std::size_t best_e2 = 0;
-      geom::Point best_s;
-      for (std::size_t i = 0; i < incident[v].size(); ++i) {
-        for (std::size_t j = i + 1; j < incident[v].size(); ++j) {
-          const std::size_t e1 = incident[v][i];
-          const std::size_t e2 = incident[v][j];
-          const std::size_t a =
-              edges[e1].first == v ? edges[e1].second : edges[e1].first;
-          const std::size_t b =
-              edges[e2].first == v ? edges[e2].second : edges[e2].first;
-          const geom::Point s{median3(points[v].x, points[a].x, points[b].x),
-                              median3(points[v].y, points[a].y, points[b].y)};
-          const double before = geom::manhattan(points[v], points[a]) +
-                                geom::manhattan(points[v], points[b]);
-          const double after = geom::manhattan(points[v], s) +
-                               geom::manhattan(s, points[a]) +
-                               geom::manhattan(s, points[b]);
+      double best_sx = 0.0;
+      double best_sy = 0.0;
+      for (std::int32_t i = inc_lo; i < inc_hi; ++i) {
+        for (std::int32_t j = i + 1; j < inc_hi; ++j) {
+          const std::int32_t e1 = scratch.inc_list[i];
+          const std::int32_t e2 = scratch.inc_list[j];
+          const std::int32_t a =
+              scratch.ea[e1] == v32 ? scratch.eb[e1] : scratch.ea[e1];
+          const std::int32_t b =
+              scratch.ea[e2] == v32 ? scratch.eb[e2] : scratch.ea[e2];
+          const double sx = median3(px[v], px[a], px[b]);
+          const double sy = median3(py[v], py[a], py[b]);
+          const double before = manhattan_at(px, py, v32, a) +
+                                manhattan_at(px, py, v32, b);
+          const double after = std::fabs(px[v] - sx) + std::fabs(py[v] - sy) +
+                               std::fabs(sx - px[a]) + std::fabs(sy - py[a]) +
+                               std::fabs(sx - px[b]) + std::fabs(sy - py[b]);
           const double gain = before - after;
           if (gain > best_gain) {
             best_gain = gain;
-            best_e1 = e1;
-            best_e2 = e2;
-            best_s = s;
+            best_e1 = static_cast<std::size_t>(e1);
+            best_e2 = static_cast<std::size_t>(e2);
+            best_sx = sx;
+            best_sy = sy;
           }
         }
       }
       if (best_gain > 1e-9) {
-        const std::size_t a =
-            edges[best_e1].first == v ? edges[best_e1].second : edges[best_e1].first;
-        const std::size_t b =
-            edges[best_e2].first == v ? edges[best_e2].second : edges[best_e2].first;
-        const std::size_t s_idx = points.size();
-        points.push_back(best_s);
-        edges[best_e1] = {v, s_idx};
-        edges[best_e2] = {s_idx, a};
-        edges.emplace_back(s_idx, b);
+        const std::int32_t a = scratch.ea[best_e1] == v32 ? scratch.eb[best_e1]
+                                                          : scratch.ea[best_e1];
+        const std::int32_t b = scratch.ea[best_e2] == v32 ? scratch.eb[best_e2]
+                                                          : scratch.ea[best_e2];
+        const std::int32_t s_idx = static_cast<std::int32_t>(npts);
+        px[npts] = best_sx;
+        py[npts] = best_sy;
+        ++npts;
+        scratch.ea[best_e1] = v32;
+        scratch.eb[best_e1] = s_idx;
+        scratch.ea[best_e2] = s_idx;
+        scratch.eb[best_e2] = a;
+        scratch.ea.push_back(s_idx);
+        scratch.eb.push_back(b);
         improved = true;
         break;  // incidence is stale; rescan with fresh lists
       }
     }
   }
 
-  std::vector<Segment> segments;
-  segments.reserve(edges.size());
-  for (const auto& [a, b] : edges) {
-    if (points[a] == points[b]) continue;  // degenerate after refinement
-    segments.push_back(Segment{points[a], points[b]});
+  out.reserve(scratch.ea.size());
+  for (std::size_t e = 0; e < scratch.ea.size(); ++e) {
+    const std::int32_t a = scratch.ea[e];
+    const std::int32_t b = scratch.eb[e];
+    if (px[a] == px[b] && py[a] == py[b]) continue;  // degenerate
+    out.push_back(Segment{geom::Point{px[a], py[a]}, geom::Point{px[b], py[b]}});
   }
-  return segments;
+}
+
+std::vector<Segment> spanning_segments(const std::vector<geom::Point>& pins) {
+  TopoScratch scratch;
+  std::vector<Segment> out;
+  spanning_segments_into(pins, scratch, out);
+  return out;
+}
+
+std::vector<Segment> steiner_segments(const std::vector<geom::Point>& pins) {
+  TopoScratch scratch;
+  std::vector<Segment> out;
+  steiner_segments_into(pins, scratch, out);
+  return out;
+}
+
+double total_length(const std::vector<Segment>& segments) {
+  double length = 0.0;
+  for (const Segment& s : segments) length += geom::manhattan(s.a, s.b);
+  return length;
 }
 
 }  // namespace ppacd::route

@@ -6,11 +6,21 @@
 /// of the optimal RSMT (and within ~1.1-1.25x in practice), which is
 /// sufficient for the congestion/wirelength *trends* the paper's Eq. 4/5
 /// costs measure.
+///
+/// Two API layers: the scratch-based `*_into` entry points run the whole
+/// construction over contiguous coordinate arrays (SoA x/y columns, CSR
+/// incidence lists) owned by a caller-provided TopoScratch, so a router
+/// worker slot routes thousands of nets without allocating; the original
+/// vector-returning functions remain as thin wrappers for checkers and
+/// tests. Both layers produce bit-identical segment lists (same arithmetic,
+/// same visit order — DESIGN.md §15).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "geom/geometry.hpp"
+#include "util/soa.hpp"
 
 namespace ppacd::route {
 
@@ -20,14 +30,36 @@ struct Segment {
   geom::Point b;
 };
 
-/// Builds the RMST segment list over `pins` (k-1 segments for k >= 2 pins;
-/// empty for fewer). O(k^2), fine for the fanouts in generated designs.
-std::vector<Segment> spanning_segments(const std::vector<geom::Point>& pins);
+/// Reusable buffers for topology construction. Plain data; safe to keep one
+/// per worker slot. All vectors retain capacity across nets.
+struct TopoScratch {
+  util::SoaBlock<double, 2> pts;       ///< columns: x, y (pins + Steiner points)
+  std::vector<std::int32_t> ea, eb;    ///< tree edges as point-index pairs
+  std::vector<std::int32_t> inc_start; ///< CSR incidence: offsets (n+1)
+  std::vector<std::int32_t> inc_fill;  ///< CSR fill cursors during build
+  std::vector<std::int32_t> inc_list;  ///< CSR incidence: edge ids (2*edges)
+  std::vector<std::uint8_t> in_tree;   ///< Prim: vertex already in tree
+  std::vector<double> best_dist;       ///< Prim: cheapest attachment cost
+  std::vector<std::int32_t> best_parent;  ///< Prim: cheapest attachment vertex
+};
+
+/// RMST over `pins`; appends k-1 segments to `out` (cleared first; empty for
+/// fewer than 2 pins). O(k^2), fine for the fanouts in generated designs.
+void spanning_segments_into(const std::vector<geom::Point>& pins,
+                            TopoScratch& scratch, std::vector<Segment>& out);
 
 /// RMST followed by greedy Steiner-point insertion: for every tree vertex,
 /// pairs of incident edges are re-routed through the median point of the
 /// three endpoints when that shortens the tree (the classic L-RST
-/// refinement step). Result is never longer than the RMST.
+/// refinement step). Result is never longer than the RMST. Appends to `out`
+/// (cleared first).
+void steiner_segments_into(const std::vector<geom::Point>& pins,
+                           TopoScratch& scratch, std::vector<Segment>& out);
+
+/// Wrapper over spanning_segments_into with throwaway scratch.
+std::vector<Segment> spanning_segments(const std::vector<geom::Point>& pins);
+
+/// Wrapper over steiner_segments_into with throwaway scratch.
 std::vector<Segment> steiner_segments(const std::vector<geom::Point>& pins);
 
 /// Total Manhattan length of `segments`.

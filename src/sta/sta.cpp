@@ -10,6 +10,7 @@
 #include "fault/fault.hpp"
 #include "observe/observe.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/simd.hpp"
 #include "util/logging.hpp"
 
 namespace ppacd::sta {
@@ -50,11 +51,15 @@ double Sta::net_wirelength_um(netlist::NetId net_id) const {
 void Sta::build_graph() {
   const netlist::Netlist& nl = *nl_;
   const liberty::Library& lib = nl.library();
-  arcs_.clear();
+  arc_from_.clear();
+  arc_to_.clear();
+  arc_delay_.clear();
   endpoints_.clear();
 
   auto add_arc = [this](netlist::PinId from, netlist::PinId to, double delay) {
-    arcs_.push_back(Arc{from, to, delay});
+    arc_from_.push_back(from);
+    arc_to_.push_back(to);
+    arc_delay_.push_back(delay);
   };
 
   // Per-net: driver load capacitance and per-sink wire delay.
@@ -145,20 +150,21 @@ void Sta::build_graph() {
     if (port.dir == liberty::PinDir::kOutput) endpoints_.push_back(port.pin);
   }
 
-  // Flat per-pin arc lists, filled from `arcs_` in creation order so each
+  // Flat per-pin arc lists, filled in arc creation order so each
   // row reads exactly like the push_back sequence it replaced.
   fanin_arcs_.start_rows(nl.pin_count());
   fanout_arcs_.start_rows(nl.pin_count());
-  for (const Arc& arc : arcs_) {
-    fanout_arcs_.add_to_row(arc.from.index());
-    fanin_arcs_.add_to_row(arc.to.index());
+  const std::size_t arc_count = arc_from_.size();
+  for (std::size_t ai = 0; ai < arc_count; ++ai) {
+    fanout_arcs_.add_to_row(arc_from_[ai].index());
+    fanin_arcs_.add_to_row(arc_to_[ai].index());
   }
   fanin_arcs_.commit_rows();
   fanout_arcs_.commit_rows();
-  for (std::size_t ai = 0; ai < arcs_.size(); ++ai) {
-    fanout_arcs_.push(arcs_[ai].from.index(),
+  for (std::size_t ai = 0; ai < arc_count; ++ai) {
+    fanout_arcs_.push(arc_from_[ai].index(),
                       static_cast<std::int32_t>(ai));
-    fanin_arcs_.push(arcs_[ai].to.index(),
+    fanin_arcs_.push(arc_to_[ai].index(),
                      static_cast<std::int32_t>(ai));
   }
 
@@ -176,7 +182,7 @@ void Sta::build_graph() {
     ready.pop();
     topo_order_.push_back(pid);
     for (std::int32_t ai : fanout_arcs_.row(pid.index())) {
-      const netlist::PinId to = arcs_[static_cast<std::size_t>(ai)].to;
+      const netlist::PinId to = arc_to_[static_cast<std::size_t>(ai)];
       if (--pending[to.index()] == 0) ready.push(to);
     }
   }
@@ -191,7 +197,7 @@ void Sta::build_graph() {
   for (const netlist::PinId pid : topo_order_) {
     const auto p = pid.index();
     for (std::int32_t ai : fanout_arcs_.row(p)) {
-      const auto to = (arcs_[static_cast<std::size_t>(ai)].to).index();
+      const auto to = arc_to_[static_cast<std::size_t>(ai)].index();
       level[to] = std::max(level[to], level[p] + 1);
     }
     max_level = std::max(max_level, level[p]);
@@ -231,9 +237,19 @@ void Sta::propagate_arrivals() {
       observing ? observe::recorder().begin_series(observe::Stream::kStaLevel)
                 : -1;
 
-  // Pull-based level sweep: every pin beyond level 0 folds its own fanin
-  // arcs in arc order, so arrivals and the worst-arc choice are identical
-  // for any thread count. Lower levels are complete before a level starts.
+  // Pull-based blocked level sweep: every pin beyond level 0 folds its own
+  // fanin slots in arc order, so arrivals and the worst-arc choice are
+  // identical for any thread count. Lower levels are complete before a
+  // level starts. Each chunk walks the arc lanes through restrict pointers,
+  // touching only the 4-byte source ids and 8-byte delays (not whole arc
+  // records); `arr` is both read (sources, lower levels) and written (this
+  // level), which restrict allows for one pointer — nothing else aliases it.
+  const std::size_t* PPACD_RESTRICT fin_off = fanin_arcs_.offsets().data();
+  const std::int32_t* PPACD_RESTRICT fin_arc = fanin_arcs_.values().data();
+  const netlist::PinId* PPACD_RESTRICT src = arc_from_.data();
+  const double* PPACD_RESTRICT dly = arc_delay_.data();
+  double* PPACD_RESTRICT arr = arrival_.data();
+  std::int32_t* PPACD_RESTRICT wf = worst_fanin_.data();
   for (std::size_t l = 1; l < level_buckets_.rows(); ++l) {
     const std::span<const netlist::PinId> bucket = level_buckets_.row(l);
     if (observing &&
@@ -242,24 +258,26 @@ void Sta::propagate_arrivals() {
                                  static_cast<std::int64_t>(l), 0,
                                  {static_cast<double>(bucket.size())});
     }
-    exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
-                       [&](std::size_t i) {
-                         const auto p = bucket[i].index();
-                         double best = -kInf;
-                         std::int32_t best_arc = -1;
-                         for (std::int32_t ai : fanin_arcs_.row(p)) {
-                           const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
-                           const double candidate =
-                               arrival_[arc.from.index()] +
-                               arc.delay_ps;
-                           if (candidate > best) {
-                             best = candidate;
-                             best_arc = ai;
-                           }
-                         }
-                         arrival_[p] = best;
-                         worst_fanin_[p] = best_arc;
-                       });
+    const netlist::PinId* PPACD_RESTRICT pins = bucket.data();
+    exec::parallel_for_chunks(
+        std::size_t{0}, bucket.size(), kPinGrain,
+        [=](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto p = pins[i].index();
+            double best = -kInf;
+            std::int32_t best_arc = -1;
+            for (std::size_t k = fin_off[p]; k < fin_off[p + 1]; ++k) {
+              const std::int32_t ai = fin_arc[k];
+              const double candidate = arr[src[ai].index()] + dly[ai];
+              if (candidate > best) {
+                best = candidate;
+                best_arc = ai;
+              }
+            }
+            arr[p] = best;
+            wf[p] = best_arc;
+          }
+        });
   }
 }
 
@@ -279,23 +297,30 @@ void Sta::propagate_requireds() {
         std::min(required_[pid.index()], req);
   }
 
-  // Pull-based level sweep, levels descending: each pin min-folds its
-  // fanout arcs (all pointing at higher, already-final levels) on top of
-  // its endpoint requirement, thread-count independent as for arrivals.
+  // Pull-based blocked level sweep, levels descending: each pin min-folds
+  // its fanout slots (all pointing at higher, already-final levels) on top
+  // of its endpoint requirement, thread-count independent as for arrivals.
+  const std::size_t* PPACD_RESTRICT fout_off = fanout_arcs_.offsets().data();
+  const std::int32_t* PPACD_RESTRICT fout_arc = fanout_arcs_.values().data();
+  const netlist::PinId* PPACD_RESTRICT dst = arc_to_.data();
+  const double* PPACD_RESTRICT dly = arc_delay_.data();
+  double* PPACD_RESTRICT req_arr = required_.data();
   for (std::size_t l = level_buckets_.rows(); l-- > 0;) {
     const std::span<const netlist::PinId> bucket = level_buckets_.row(l);
-    exec::parallel_for(std::size_t{0}, bucket.size(), kPinGrain,
-                       [&](std::size_t i) {
-                         const auto p = bucket[i].index();
-                         double req = required_[p];
-                         for (std::int32_t ai : fanout_arcs_.row(p)) {
-                           const Arc& arc = arcs_[static_cast<std::size_t>(ai)];
-                           req = std::min(
-                               req, required_[arc.to.index()] -
-                                        arc.delay_ps);
-                         }
-                         required_[p] = req;
-                       });
+    const netlist::PinId* PPACD_RESTRICT pins = bucket.data();
+    exec::parallel_for_chunks(
+        std::size_t{0}, bucket.size(), kPinGrain,
+        [=](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto p = pins[i].index();
+            double req = req_arr[p];
+            for (std::size_t k = fout_off[p]; k < fout_off[p + 1]; ++k) {
+              const std::int32_t ai = fout_arc[k];
+              req = std::min(req, req_arr[dst[ai].index()] - dly[ai]);
+            }
+            req_arr[p] = req;
+          }
+        });
   }
 
   wns_ps_ = 0.0;
@@ -430,7 +455,7 @@ std::vector<TimingPath> Sta::worst_paths(std::size_t max_paths) const {
     while (cursor != netlist::kInvalidId) {
       path.pins.push_back(cursor);
       const std::int32_t ai = worst_fanin_[cursor.index()];
-      cursor = ai < 0 ? netlist::kInvalidId : arcs_[static_cast<std::size_t>(ai)].from;
+      cursor = ai < 0 ? netlist::kInvalidId : arc_from_[static_cast<std::size_t>(ai)];
     }
     std::reverse(path.pins.begin(), path.pins.end());
     paths.push_back(std::move(path));

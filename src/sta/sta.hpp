@@ -96,12 +96,6 @@ class Sta {
   double net_wirelength_um(netlist::NetId net) const;
 
  private:
-  struct Arc {
-    netlist::PinId from = netlist::kInvalidId;
-    netlist::PinId to = netlist::kInvalidId;
-    double delay_ps = 0.0;
-  };
-
   geom::Point pin_position(netlist::PinId pin) const;
   double clock_arrival_of(netlist::CellId cell) const;
   void build_graph();
@@ -111,9 +105,16 @@ class Sta {
   const netlist::Netlist* nl_;
   StaOptions options_;
 
-  std::vector<Arc> arcs_;
-  /// Per-pin arc ids in flat CSR form, filled from `arcs_` in creation
-  /// order, so row contents match the per-pin push_back they replaced.
+  /// Timing arcs in SoA lanes indexed by arc id (DESIGN.md §15): the level
+  /// sweeps touch only the lanes they read (arrivals: from + delay,
+  /// requireds: to + delay) instead of pulling whole Arc records through
+  /// the arc-id indirection, and each lane is a dense unit-stride stream
+  /// for the 4-byte ids and 8-byte delays separately.
+  std::vector<netlist::PinId> arc_from_;
+  std::vector<netlist::PinId> arc_to_;
+  std::vector<double> arc_delay_;
+  /// Per-pin arc ids in flat CSR form, filled in arc creation order, so row
+  /// contents match the per-pin push_back they replaced.
   util::Csr<std::int32_t> fanin_arcs_;
   util::Csr<std::int32_t> fanout_arcs_;
   std::vector<netlist::PinId> topo_order_;

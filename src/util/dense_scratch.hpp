@@ -13,6 +13,7 @@
 /// tests pin.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -41,8 +42,11 @@ class DenseScratch {
   /// Forgets every entry in O(1) (plus clearing the touched-key list).
   void clear() {
     touched_.clear();
-    ++epoch_;
     ++resets_;
+    if (++epoch_ == 0) {  // uint32 wrap: old stamps become ambiguous
+      std::fill(stamp_.begin(), stamp_.end(), std::uint32_t{0});
+      epoch_ = 1;
+    }
   }
 
   bool contains(std::int32_t key) const {
@@ -92,9 +96,11 @@ class DenseScratch {
 
  private:
   std::vector<V> value_;
-  std::vector<std::uint64_t> stamp_;
+  // 32-bit stamps halve the lookup-path cache traffic (the maze router reads
+  // a stamp per relaxed edge); clear() handles the wrap by re-zeroing.
+  std::vector<std::uint32_t> stamp_;
   std::vector<std::int32_t> touched_;
-  std::uint64_t epoch_ = 1;  ///< stamps start at 0 == "never touched"
+  std::uint32_t epoch_ = 1;  ///< stamps start at 0 == "never touched"
   std::uint64_t resets_ = 0;
 };
 

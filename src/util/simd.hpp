@@ -1,0 +1,284 @@
+/// \file simd.hpp
+/// \brief Fixed-lane vector kernels for the solver hot loops (CG axpy/dot,
+/// preconditioning, elementwise merges), with bit-identical scalar and SSE2
+/// paths.
+///
+/// Determinism contract (DESIGN.md §15): every kernel here is defined by a
+/// FIXED operation order that both implementations execute exactly.
+///   * Elementwise kernels (axpy, xpby, precondition, add) perform one
+///     independent op per element; packing them into vector lanes cannot
+///     change any result bit.
+///   * Reductions (dot) accumulate into kLanes == 4 independent lane sums —
+///     lane l sums elements l, l+4, l+8, ... — combined as
+///     (l0 + l1) + (l2 + l3), then the scalar tail folds in ascending index
+///     order. The SSE2 path keeps two 2-wide lane pairs and performs the
+///     same per-lane additions in the same order, so the result is
+///     bit-identical to the scalar reference for every input.
+///
+/// The scalar reference implementations (`*_scalar`) are ALWAYS compiled,
+/// regardless of the PPACD_SIMD CMake option, so tests can cross-check the
+/// dispatched kernels against them in a single binary
+/// (tests/determinism_test.cpp, "SimdKernels*"). The top-level build adds
+/// -ffp-contract=off so neither path silently fuses multiply-add on
+/// FMA-capable -march builds, which would break the equivalence.
+///
+/// No kernel here may introduce an unordered float accumulation: new
+/// reductions must follow the fixed-lane pattern above
+/// (tools/lint_determinism.py rule `simd-float-accum` flags violations).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(PPACD_SIMD) && defined(__SSE2__)
+#define PPACD_SIMD_SSE2 1
+#include <emmintrin.h>
+#endif
+
+/// Non-aliasing qualifier for hot-loop raw pointers (SoA columns, CSR
+/// arrays). Purely an optimization hint; results are unchanged.
+#if defined(__GNUC__) || defined(__clang__)
+#define PPACD_RESTRICT __restrict__
+#else
+#define PPACD_RESTRICT
+#endif
+
+namespace ppacd::util::simd {
+
+/// Accumulator lanes used by every reduction kernel. Part of the numeric
+/// contract: changing it changes reduction bit patterns (a golden re-pin).
+inline constexpr std::size_t kLanes = 4;
+
+/// True when the dispatched kernels use SSE2 intrinsics (PPACD_SIMD build on
+/// an SSE2 target); false when they alias the scalar reference path.
+inline constexpr bool enabled() {
+#if defined(PPACD_SIMD_SSE2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference path (always compiled; the numeric ground truth).
+// ---------------------------------------------------------------------------
+
+/// sum(a[i] * b[i]) in fixed 4-lane order; see file comment.
+inline double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double l0 = 0.0;
+  double l1 = 0.0;
+  double l2 = 0.0;
+  double l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  double sum = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// x[i] += alpha * p[i].
+inline void axpy_scalar(double* x, double alpha, const double* p,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
+}
+
+/// The fused CG update: x[i] += alpha * p[i]; r[i] -= alpha * ap[i].
+inline void cg_update_scalar(double* x, double* r, const double* p,
+                             const double* ap, double alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += alpha * p[i];
+    r[i] -= alpha * ap[i];
+  }
+}
+
+/// p[i] = z[i] + beta * p[i] (CG direction update).
+inline void xpby_scalar(double* p, const double* z, double beta,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+}
+
+/// out[i] = diag[i] > 0 ? in[i] / diag[i] : in[i] (Jacobi preconditioner).
+inline void jacobi_scalar(double* out, const double* in, const double* diag,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = diag[i];
+    out[i] = d > 0.0 ? in[i] / d : in[i];
+  }
+}
+
+/// dst[i] += src[i] (ordered partial-grid merges).
+inline void add_scalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+/// One CSR mat-vec row: d - sum(w[e] * x[c[e]]), accumulated in four fixed
+/// lanes (entry e folds into lane e % 4; the diagonal term seeds lane 0),
+/// combined as (a0 + a1) + (a2 + a3), scalar tail last. The lane split
+/// breaks the per-entry dependency chain so the gathers overlap.
+inline double csr_row_scalar(double d, const double* w, const std::int32_t* c,
+                             const double* x, std::size_t len) {
+  double a0 = d;
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  std::size_t e = 0;
+  for (; e + kLanes <= len; e += kLanes) {
+    a0 -= w[e] * x[static_cast<std::size_t>(c[e])];
+    a1 -= w[e + 1] * x[static_cast<std::size_t>(c[e + 1])];
+    a2 -= w[e + 2] * x[static_cast<std::size_t>(c[e + 2])];
+    a3 -= w[e + 3] * x[static_cast<std::size_t>(c[e + 3])];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (; e < len; ++e) acc -= w[e] * x[static_cast<std::size_t>(c[e])];
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels: SSE2 when PPACD_SIMD is on, scalar reference otherwise.
+// ---------------------------------------------------------------------------
+
+#if defined(PPACD_SIMD_SSE2)
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+  // acc01 carries lanes {0, 1}, acc23 lanes {2, 3}; each vector add performs
+  // the same two independent lane additions the scalar reference does.
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(_mm_loadu_pd(a + i),
+                                         _mm_loadu_pd(b + i)));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(_mm_loadu_pd(a + i + 2),
+                                         _mm_loadu_pd(b + i + 2)));
+  }
+  // (l0 + l1) + (l2 + l3), exactly as the scalar combine.
+  const __m128d s01 = _mm_add_sd(acc01, _mm_unpackhi_pd(acc01, acc01));
+  const __m128d s23 = _mm_add_sd(acc23, _mm_unpackhi_pd(acc23, acc23));
+  double sum = _mm_cvtsd_f64(_mm_add_sd(s01, s23));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline void axpy(double* x, double alpha, const double* p, std::size_t n) {
+  const __m128d va = _mm_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i, _mm_add_pd(_mm_loadu_pd(x + i),
+                                    _mm_mul_pd(va, _mm_loadu_pd(p + i))));
+  }
+  for (; i < n; ++i) x[i] += alpha * p[i];
+}
+
+inline void cg_update(double* x, double* r, const double* p, const double* ap,
+                      double alpha, std::size_t n) {
+  const __m128d va = _mm_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i, _mm_add_pd(_mm_loadu_pd(x + i),
+                                    _mm_mul_pd(va, _mm_loadu_pd(p + i))));
+    _mm_storeu_pd(r + i, _mm_sub_pd(_mm_loadu_pd(r + i),
+                                    _mm_mul_pd(va, _mm_loadu_pd(ap + i))));
+  }
+  for (; i < n; ++i) {
+    x[i] += alpha * p[i];
+    r[i] -= alpha * ap[i];
+  }
+}
+
+inline void xpby(double* p, const double* z, double beta, std::size_t n) {
+  const __m128d vb = _mm_set1_pd(beta);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(p + i, _mm_add_pd(_mm_loadu_pd(z + i),
+                                    _mm_mul_pd(vb, _mm_loadu_pd(p + i))));
+  }
+  for (; i < n; ++i) p[i] = z[i] + beta * p[i];
+}
+
+inline void jacobi(double* out, const double* in, const double* diag,
+                   std::size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d d = _mm_loadu_pd(diag + i);
+    const __m128d v = _mm_loadu_pd(in + i);
+    const __m128d q = _mm_div_pd(v, d);
+    // Per-lane select: IEEE division is exact per lane, and lanes with
+    // d <= 0 take the untouched input, matching the scalar branch.
+    const __m128d use_div = _mm_cmpgt_pd(d, zero);
+    _mm_storeu_pd(out + i, _mm_or_pd(_mm_and_pd(use_div, q),
+                                     _mm_andnot_pd(use_div, v)));
+  }
+  for (; i < n; ++i) {
+    const double d = diag[i];
+    out[i] = d > 0.0 ? in[i] / d : in[i];
+  }
+}
+
+inline void add(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_add_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+inline double csr_row(double d, const double* w, const std::int32_t* c,
+                      const double* x, std::size_t len) {
+  // acc01 lanes {0, 1} (lane 0 seeded with d), acc23 lanes {2, 3} — the
+  // same four accumulators as the scalar reference; the gathers themselves
+  // have no vector form in SSE2.
+  __m128d acc01 = _mm_set_pd(0.0, d);
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t e = 0;
+  for (; e + kLanes <= len; e += kLanes) {
+    const __m128d x01 = _mm_set_pd(x[static_cast<std::size_t>(c[e + 1])],
+                                   x[static_cast<std::size_t>(c[e])]);
+    const __m128d x23 = _mm_set_pd(x[static_cast<std::size_t>(c[e + 3])],
+                                   x[static_cast<std::size_t>(c[e + 2])]);
+    acc01 = _mm_sub_pd(acc01, _mm_mul_pd(_mm_loadu_pd(w + e), x01));
+    acc23 = _mm_sub_pd(acc23, _mm_mul_pd(_mm_loadu_pd(w + e + 2), x23));
+  }
+  const __m128d s01 = _mm_add_sd(acc01, _mm_unpackhi_pd(acc01, acc01));
+  const __m128d s23 = _mm_add_sd(acc23, _mm_unpackhi_pd(acc23, acc23));
+  double sum = _mm_cvtsd_f64(_mm_add_sd(s01, s23));
+  for (; e < len; ++e) sum -= w[e] * x[static_cast<std::size_t>(c[e])];
+  return sum;
+}
+
+#else  // scalar dispatch (PPACD_SIMD=OFF or no SSE2 target)
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+  return dot_scalar(a, b, n);
+}
+inline void axpy(double* x, double alpha, const double* p, std::size_t n) {
+  axpy_scalar(x, alpha, p, n);
+}
+inline void cg_update(double* x, double* r, const double* p, const double* ap,
+                      double alpha, std::size_t n) {
+  cg_update_scalar(x, r, p, ap, alpha, n);
+}
+inline void xpby(double* p, const double* z, double beta, std::size_t n) {
+  xpby_scalar(p, z, beta, n);
+}
+inline void jacobi(double* out, const double* in, const double* diag,
+                   std::size_t n) {
+  jacobi_scalar(out, in, diag, n);
+}
+inline void add(double* dst, const double* src, std::size_t n) {
+  add_scalar(dst, src, n);
+}
+inline double csr_row(double d, const double* w, const std::int32_t* c,
+                      const double* x, std::size_t len) {
+  return csr_row_scalar(d, w, c, x, len);
+}
+
+#endif
+
+}  // namespace ppacd::util::simd

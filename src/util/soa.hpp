@@ -1,0 +1,53 @@
+/// \file soa.hpp
+/// \brief Structure-of-arrays block storage for the solver hot loops.
+///
+/// The hot kernels (placer density accumulation, B2B assembly, Steiner
+/// point refinement, ml feature stacking) used to walk arrays of structs —
+/// every pass over one field dragged the whole struct through the cache.
+/// SoaBlock keeps N parallel columns of the same row count in ONE
+/// allocation, each column padded out to a cache-line multiple, so:
+///   * a column scan streams contiguous memory at full bandwidth,
+///   * resizing N columns costs one allocation instead of N,
+///   * col(c) hands back a raw pointer the compiler can treat as
+///     non-aliased across distinct columns (distinct sub-ranges of one
+///     buffer, never overlapping).
+///
+/// Row order is whatever the filler wrote — these are dumb buffers; the
+/// determinism argument lives with the loops that fill and consume them
+/// (DESIGN.md §15).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppacd::util {
+
+/// N parallel columns of T with a shared row count, in one buffer.
+template <typename T, std::size_t Cols>
+class SoaBlock {
+  static_assert(Cols >= 1);
+
+ public:
+  /// Rows per column after padding; 64 bytes keeps every column start
+  /// cache-line aligned relative to the buffer base.
+  static constexpr std::size_t kPadRows =
+      64 / sizeof(T) > 0 ? 64 / sizeof(T) : 1;
+
+  void resize(std::size_t rows) {
+    rows_ = rows;
+    stride_ = ((rows + kPadRows - 1) / kPadRows) * kPadRows;
+    if (storage_.size() < stride_ * Cols) storage_.resize(stride_ * Cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+
+  T* col(std::size_t c) { return storage_.data() + c * stride_; }
+  const T* col(std::size_t c) const { return storage_.data() + c * stride_; }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t rows_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace ppacd::util

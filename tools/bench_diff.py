@@ -4,6 +4,7 @@
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 10]
                         [--fail-on-regression]
+    tools/bench_diff.py --self-test
 
 Both inputs are BENCH_perf.json files written by `bench_microkernels --json`
 or `bench_table2 --json`. Kernels are matched by name; for each match the
@@ -18,15 +19,22 @@ Exit status:
     4  an input is not a ppacd-bench-perf-v1 report (bad JSON, wrong or
        missing schema field, malformed kernels array)
 
-Missing/extra kernels — and stats present in only one of the two files
-(e.g. a baseline written before allocs/op existed) — are reported as
-added/removed but never fatal, so a CI job can run this as a non-blocking
-advisory step. Stdlib only.
+Kernels present in only one of the two files — and stats present in only
+one (e.g. a baseline written before allocs/op existed) — are reported as
+`new` / `gone` but never fatal (in particular never a KeyError), so a CI
+job can run this as a non-blocking advisory step even while benchmarks are
+being added or retired. `--self-test` exercises that contract against
+inline fixtures (registered with ctest as bench_diff_selftest). Stdlib
+only.
 """
 
 import argparse
+import contextlib
+import io
 import json
+import os
 import sys
+import tempfile
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1
@@ -93,21 +101,10 @@ def fmt_ns(ns):
     return f"{ns:.0f}ns"
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline BENCH_perf.json")
-    parser.add_argument("current", help="current BENCH_perf.json")
-    parser.add_argument("--threshold", type=float, default=10.0,
-                        help="ns/op regression threshold in percent "
-                             "(default: %(default)s)")
-    parser.add_argument("--fail-on-regression", action="store_true",
-                        help="exit 1 if any kernel regresses past the "
-                             "threshold (default: advisory only)")
-    args = parser.parse_args()
-
+def compare(baseline_path, current_path, threshold, fail_on_regression):
     try:
-        baseline = load_kernels(args.baseline)
-        current = load_kernels(args.current)
+        baseline = load_kernels(baseline_path)
+        current = load_kernels(current_path)
     except OSError as err:
         print(f"bench_diff: cannot read report: {err}", file=sys.stderr)
         return EXIT_MISSING_FILE
@@ -116,7 +113,7 @@ def main():
         return EXIT_BAD_SCHEMA
 
     common = [name for name in baseline if name in current]
-    missing = sorted(set(baseline) - set(current))
+    gone = sorted(set(baseline) - set(current))
     added = sorted(set(current) - set(baseline))
 
     regressions = []
@@ -138,7 +135,7 @@ def main():
                 delta = (cur["ns_per_op"] / base["ns_per_op"] - 1.0) * 100.0
             else:
                 delta = 0.0
-            regressed = delta > args.threshold
+            regressed = delta > threshold
             delta_text = f"{delta:>+7.1f}%"
         else:
             base_ns = fmt_ns(base["ns_per_op"]) if "ns_per_op" in base else "-"
@@ -156,27 +153,132 @@ def main():
         print(f"{name:<{width}}  {base_ns:>10}  {cur_ns:>10}  {delta_text}  "
               f"{allocs:>18}{mark}")
 
-    for name in missing:
-        print(f"{name}: only in baseline")
+    for name in gone:
+        print(f"{name}: gone (only in baseline)")
     for name in added:
-        print(f"{name}: only in current")
+        print(f"{name}: new (only in current)")
     for line in stat_asymmetries:
         print(line)
-    if missing or added or stat_asymmetries:
-        print(f"({len(missing)} kernel(s) removed, {len(added)} added, "
+    if gone or added or stat_asymmetries:
+        print(f"({len(gone)} kernel(s) gone, {len(added)} new, "
               f"{len(stat_asymmetries)} stat asymmetries)")
 
     if regressions:
         print(f"\n{len(regressions)} kernel(s) regressed more than "
-              f"{args.threshold:.0f}% on ns/op:")
+              f"{threshold:.0f}% on ns/op:")
         for name, delta in regressions:
             print(f"  {name}: +{delta:.1f}%")
-        if args.fail_on_regression:
+        if fail_on_regression:
             return EXIT_REGRESSION
     else:
-        print(f"\nno ns/op regressions above {args.threshold:.0f}% "
+        print(f"\nno ns/op regressions above {threshold:.0f}% "
               f"({len(common)} kernels compared)")
     return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Self-test (fixture corpus, same idea as the lint_*.py --self-test modes)
+# ---------------------------------------------------------------------------
+
+def _report(kernels):
+    return {"schema": "ppacd-bench-perf-v1", "binary": "selftest",
+            "kernels": kernels}
+
+
+def self_test():
+    """Runs compare() against inline fixtures; returns 0 iff all cases pass."""
+    cases = [
+        # (name, baseline kernels, current kernels, flags,
+        #  expected exit, substrings that must appear in stdout)
+        ("identical",
+         [{"name": "BM_A", "ns_per_op": 100.0, "allocs_per_op": 3}],
+         [{"name": "BM_A", "ns_per_op": 100.0, "allocs_per_op": 3}],
+         {}, EXIT_OK, ["no ns/op regressions"]),
+        ("regression gates",
+         [{"name": "BM_A", "ns_per_op": 100.0}],
+         [{"name": "BM_A", "ns_per_op": 150.0}],
+         {"fail_on_regression": True}, EXIT_REGRESSION,
+         ["REGRESSED", "BM_A: +50.0%"]),
+        # The contract under test: disjoint kernel sets must produce
+        # new/gone lines, never a KeyError / non-zero crash.
+        ("kernel only in baseline",
+         [{"name": "BM_Old", "ns_per_op": 10.0},
+          {"name": "BM_A", "ns_per_op": 100.0}],
+         [{"name": "BM_A", "ns_per_op": 100.0}],
+         {}, EXIT_OK, ["BM_Old: gone (only in baseline)", "1 kernel(s) gone"]),
+        ("kernel only in current",
+         [{"name": "BM_A", "ns_per_op": 100.0}],
+         [{"name": "BM_A", "ns_per_op": 100.0},
+          {"name": "BM_New", "ns_per_op": 10.0}],
+         {}, EXIT_OK, ["BM_New: new (only in current)", "1 new"]),
+        ("fully disjoint, zero common",
+         [{"name": "BM_Old", "ns_per_op": 10.0}],
+         [{"name": "BM_New", "ns_per_op": 20.0}],
+         {"fail_on_regression": True}, EXIT_OK,
+         ["BM_Old: gone (only in baseline)", "BM_New: new (only in current)",
+          "0 kernels compared"]),
+        ("stat only on one side",
+         [{"name": "BM_A", "ns_per_op": 100.0}],
+         [{"name": "BM_A", "ns_per_op": 100.0, "allocs_per_op": 7}],
+         {}, EXIT_OK, ["BM_A.allocs_per_op: only in current"]),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="bench_diff_selftest.") as tmp:
+        for name, base, cur, flags, want_exit, want_out in cases:
+            base_path = os.path.join(tmp, "base.json")
+            cur_path = os.path.join(tmp, "cur.json")
+            with open(base_path, "w", encoding="utf-8") as fh:
+                json.dump(_report(base), fh)
+            with open(cur_path, "w", encoding="utf-8") as fh:
+                json.dump(_report(cur), fh)
+            out = io.StringIO()
+            try:
+                with contextlib.redirect_stdout(out):
+                    got_exit = compare(base_path, cur_path, threshold=10.0,
+                                       fail_on_regression=flags.get(
+                                           "fail_on_regression", False))
+            except Exception as err:  # the KeyError class of bug
+                print(f"FAIL [{name}]: raised {type(err).__name__}: {err}")
+                failures += 1
+                continue
+            if got_exit != want_exit:
+                print(f"FAIL [{name}]: exit {got_exit}, want {want_exit}")
+                failures += 1
+                continue
+            text = out.getvalue()
+            missing_out = [s for s in want_out if s not in text]
+            if missing_out:
+                print(f"FAIL [{name}]: output missing {missing_out!r}; got:\n"
+                      f"{text}")
+                failures += 1
+    print(f"bench_diff self-test: {len(cases)} case(s), {failures} failure(s)")
+    return EXIT_OK if failures == 0 else EXIT_REGRESSION
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_perf.json")
+    parser.add_argument("current", nargs="?", help="current BENCH_perf.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="ns/op regression threshold in percent "
+                             "(default: %(default)s)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any kernel regresses past the "
+                             "threshold (default: advisory only)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the inline fixture corpus instead of "
+                             "comparing two reports")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.print_usage(sys.stderr)
+        print("bench_diff: baseline and current reports are required "
+              "unless --self-test is given", file=sys.stderr)
+        return EXIT_USAGE
+    return compare(args.baseline, args.current, args.threshold,
+                   args.fail_on_regression)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,13 @@ This lint catches the usual ways that promise silently breaks:
   parallel-float-accum   `+=` into a float/double inside an exec::parallel_for
                          body. FP addition is not associative; per-thread
                          partials must be reduced in a fixed order instead.
+  simd-float-accum       unordered float reduction inside a PPACD_SIMD_SSE2
+                         region: hardware horizontal adds (_mm*_hadd_p*,
+                         _mm512_reduce_add_p*) or std::accumulate/std::reduce.
+                         SIMD reductions must follow the fixed-lane pattern of
+                         util/simd.hpp (per-lane adds, explicit
+                         (l0+l1)+(l2+l3) combine) or the SSE2 and scalar paths
+                         stop being bit-identical.
 
 Suppressions (both forms require a trailing justification after a colon):
   // lint:allow(<rule>): <why>          on the offending or preceding line
@@ -51,6 +58,7 @@ RULES = (
     "nondeterministic-source",
     "raw-thread",
     "parallel-float-accum",
+    "simd-float-accum",
 )
 
 # Directories whose job is infrastructure, not solving. Wall-clock and the
@@ -74,6 +82,15 @@ NONDET_SOURCE = re.compile(
     r"\bsystem_clock::now\b|(?<![\w.:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
 RAW_THREAD = re.compile(r"\bstd::(?:jthread\b|thread\b|async\s*\(|atomic\b)")
 PARALLEL_ENTRY = re.compile(r"\bparallel_for\s*\(")
+# Preprocessor tracking for PPACD_SIMD_SSE2 regions (simd-float-accum).
+PP_SIMD_IF = re.compile(r"^\s*#\s*(?:if\b.*\bPPACD_SIMD_SSE2\b|"
+                        r"ifdef\s+PPACD_SIMD_SSE2\b)")
+PP_IF = re.compile(r"^\s*#\s*if")
+PP_ELSE = re.compile(r"^\s*#\s*(?:else\b|elif\b)")
+PP_ENDIF = re.compile(r"^\s*#\s*endif")
+SIMD_UNORDERED = re.compile(
+    r"\b_mm(?:256|512)?_hadd_p[sd]\b|\b_mm512_reduce_add_p[sd]\b|"
+    r"\bstd::(?:accumulate|reduce)\b")
 FLOAT_DECL = re.compile(r"\b(?:double|float)\s+(\w+)\s*[;={]")
 FLOAT_VEC_DECL = re.compile(
     r"\bstd::vector\s*<\s*(?:double|float)\s*>\s*&?\s*(\w+)")
@@ -167,8 +184,27 @@ def lint_file(path: str, text: str) -> list[Finding]:
     # Brace-depth bookkeeping for parallel_for lambda bodies.
     parallel_until_depth: list[int] = []  # stack of depths to pop at
     depth = 0
+    # Preprocessor-conditional stack: True for frames that currently select
+    # the PPACD_SIMD_SSE2 branch (an #else flips the top frame off).
+    pp_simd_stack: list[bool] = []
 
     for idx, line in enumerate(lines):
+        if PP_IF.match(line):
+            pp_simd_stack.append(bool(PP_SIMD_IF.match(line)))
+        elif PP_ELSE.match(line):
+            if pp_simd_stack:
+                pp_simd_stack[-1] = False
+        elif PP_ENDIF.match(line):
+            if pp_simd_stack:
+                pp_simd_stack.pop()
+
+        if any(pp_simd_stack) and SIMD_UNORDERED.search(line):
+            add("simd-float-accum", idx,
+                "unordered float reduction inside a PPACD_SIMD_SSE2 region; "
+                "use the fixed-lane pattern of util/simd.hpp (per-lane adds, "
+                "explicit (l0+l1)+(l2+l3) combine) so SSE2 and scalar paths "
+                "stay bit-identical")
+
         m = RANGE_FOR.search(line)
         if m:
             base = m.group(1).split(".")[0].split("->")[0]

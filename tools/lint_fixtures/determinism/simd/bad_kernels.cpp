@@ -1,0 +1,44 @@
+// Fixture: simd-float-accum — unordered float reductions inside
+// PPACD_SIMD_SSE2 regions. Lint-only; never compiled.
+#include <emmintrin.h>
+#include <numeric>
+
+double ok_outside_region(const double* a, std::size_t n) {
+  // Outside any PPACD_SIMD_SSE2 region: ordered left fold, no finding.
+  return std::accumulate(a, a + n, 0.0);
+}
+
+#if defined(PPACD_SIMD_SSE2)
+
+double bad_hardware_hadd(__m128d acc) {
+  // Hardware horizontal add: the lane-combine order is implicit, not the
+  // documented (l0 + l1) + (l2 + l3) fold.
+  const __m128d s = _mm_hadd_pd(acc, acc);  // LINT-EXPECT: simd-float-accum
+  return _mm_cvtsd_f64(s);
+}
+
+double bad_stdlib_reduce(const double* a, std::size_t n) {
+  return std::reduce(a, a + n, 0.0);  // LINT-EXPECT: simd-float-accum
+}
+
+double ok_fixed_lane_combine(__m128d acc01, __m128d acc23) {
+  // The blessed pattern: explicit per-lane-pair sums combined in the same
+  // order the scalar reference uses.
+  const __m128d s01 = _mm_add_sd(acc01, _mm_unpackhi_pd(acc01, acc01));
+  const __m128d s23 = _mm_add_sd(acc23, _mm_unpackhi_pd(acc23, acc23));
+  return _mm_cvtsd_f64(_mm_add_sd(s01, s23));
+}
+
+double ok_suppressed(const double* a, std::size_t n) {
+  // lint:allow(simd-float-accum): fixture exercising the suppression path
+  return std::accumulate(a, a + n, 0.0);
+}
+
+#else
+
+double ok_scalar_branch(const double* a, std::size_t n) {
+  // The #else branch of the guard is the scalar path: no finding.
+  return std::accumulate(a, a + n, 0.0);
+}
+
+#endif
