@@ -7,12 +7,21 @@
 /// Usage:
 ///   flow_cli [--design NAME | --verilog FILE] [--tool openroad|innovus]
 ///            [--flow default|ours|blob|leiden|mfc|bc|overlay]
+///            [--sharded] [--shards N] [--place-only] [--list-designs]
 ///            [--shapes uniform|random|vpr] [--clock PS] [--opt] [--detailed]
 ///            [--write-verilog FILE] [--write-def FILE] [--write-svg FILE]
 ///            [--write-congestion FILE] [--report-paths N]
 ///            [--cells N] [--report FILE] [--trace FILE] [--check LEVEL]
 ///            [--threads N] [--fault-plan SPEC]
 ///            [--observe[=FILE]] [--qor[=FILE]]
+///
+/// --list-designs prints every generatable design (the six Table-1 stand-ins
+/// plus the scaled 1M-5M tier from src/gen/scale.hpp) with its instance
+/// count, Rent exponent, and generator seed, then exits.
+/// --sharded runs the region-sharded seeded placement (flow::run_sharded_flow)
+/// instead of the monolithic incremental pass; --shards sets the region
+/// count (default 8). --place-only skips the post-route PPA evaluation —
+/// the right mode for million-instance scale runs where routing dominates.
 ///
 /// --report writes the telemetry run report (flow config, phase timings,
 /// metric snapshot, PPA outcome, errors/degradations) as JSON; --trace
@@ -49,6 +58,7 @@
 #include "flow/report.hpp"
 #include "gen/designs.hpp"
 #include "gen/generator.hpp"
+#include "gen/scale.hpp"
 #include "flow/qor.hpp"
 #include "netlist/io.hpp"
 #include "netlist/stats.hpp"
@@ -77,6 +87,10 @@ struct Args {
   std::string trace_json;
   bool timing_opt = false;
   bool detailed = false;
+  bool sharded = false;
+  int shards = 0;  // 0 = ShardedOptions default
+  bool place_only = false;
+  bool list_designs = false;
   int threads = 0;  // 0 = PPACD_THREADS env / hardware default
   ppacd::check::CheckLevel check_level = ppacd::check::CheckLevel::kOff;
   std::string fault_plan;  // empty = PPACD_FAULTS env (if set)
@@ -108,6 +122,10 @@ bool parse_args(int argc, char** argv, Args* args) {
     else if (arg == "--trace") args->trace_json = value();
     else if (arg == "--opt") args->timing_opt = true;
     else if (arg == "--detailed") args->detailed = true;
+    else if (arg == "--sharded") args->sharded = true;
+    else if (arg == "--shards") args->shards = std::atoi(value());
+    else if (arg == "--place-only") args->place_only = true;
+    else if (arg == "--list-designs") args->list_designs = true;
     else if (arg == "--observe") args->observe = true;
     else if (arg.rfind("--observe=", 0) == 0) {
       args->observe = true;
@@ -142,6 +160,21 @@ int main(int argc, char** argv) {
   using namespace ppacd;
   Args args;
   if (!parse_args(argc, argv, &args)) return 1;
+  if (args.list_designs) {
+    std::printf("%-18s %-9s %10s %6s %12s\n", "name", "family", "instances",
+                "rent", "seed");
+    for (const gen::DesignSpec& spec : gen::all_design_specs()) {
+      std::printf("%-18s %-9s %10d %6s %#12llx\n", spec.name.c_str(), "paper",
+                  spec.target_cells, "-",
+                  static_cast<unsigned long long>(spec.seed));
+    }
+    for (const gen::ScaledDesignInfo& info : gen::scaled_design_tier()) {
+      std::printf("%-18s %-9s %10d %6.2f %#12llx\n", info.name.c_str(),
+                  info.family.c_str(), info.target_cells, info.rent_exponent,
+                  static_cast<unsigned long long>(info.seed));
+    }
+    return 0;
+  }
   if (args.threads > 0) exec::set_thread_count(args.threads);
 
   // --- Flight recorder ---------------------------------------------------------
@@ -214,6 +247,7 @@ int main(int argc, char** argv) {
   options.timing_optimization = args.timing_opt;
   options.detailed_placement = args.detailed;
   options.check_level = args.check_level;
+  if (args.shards > 0) options.sharding.shards = args.shards;
 
   // --- Run ---------------------------------------------------------------------
   auto fail_flow = [&](const fault::FlowError& error) {
@@ -232,25 +266,41 @@ int main(int argc, char** argv) {
 #endif
     return 3;
   };
-  auto result_or = args.flow == "default"
+  auto result_or = args.sharded ? flow::try_run_sharded_flow(*design, options)
+                   : args.flow == "default"
                        ? flow::try_run_default_flow(*design, options)
                        : flow::try_run_clustered_flow(*design, options);
   if (!result_or.has_value()) return fail_flow(result_or.error());
   flow::FlowResult result = std::move(result_or).value();
-  auto ppa_or = flow::try_evaluate_ppa(*design, result.place.positions, options);
-  if (!ppa_or.has_value()) return fail_flow(ppa_or.error());
-  const flow::PpaOutcome ppa = std::move(ppa_or).value();
-  result.ppa = ppa;
+  flow::PpaOutcome ppa;
+  if (!args.place_only) {
+    auto ppa_or = flow::try_evaluate_ppa(*design, result.place.positions, options);
+    if (!ppa_or.has_value()) return fail_flow(ppa_or.error());
+    ppa = std::move(ppa_or).value();
+    result.ppa = ppa;
+  }
   for (const auto& d : fault::degradation_log()) {
     std::printf("degraded: %s (%s) -> %s\n", d.site.c_str(),
                 d.error_code.c_str(), d.fallback.c_str());
   }
-  std::printf("placement: HPWL %.0f um in %.2fs (%d clusters)\n",
-              result.place.hpwl_um,
-              result.place.clustering_seconds + result.place.placement_seconds,
-              result.place.cluster_count);
-  std::printf("post-route: rWL %.0f um, WNS %.0f ps, TNS %.2f ns, power %.4f W\n",
-              ppa.rwl_um, ppa.wns_ps, ppa.tns_ns, ppa.power_w);
+  if (args.sharded) {
+    std::printf("placement: HPWL %.0f um in %.2fs (%d clusters, %d shards, "
+                "%d fallbacks)\n",
+                result.place.hpwl_um,
+                result.place.clustering_seconds + result.place.placement_seconds,
+                result.place.cluster_count, result.place.shard_count,
+                result.place.shard_fallbacks);
+  } else {
+    std::printf("placement: HPWL %.0f um in %.2fs (%d clusters)\n",
+                result.place.hpwl_um,
+                result.place.clustering_seconds + result.place.placement_seconds,
+                result.place.cluster_count);
+  }
+  if (!args.place_only) {
+    std::printf(
+        "post-route: rWL %.0f um, WNS %.0f ps, TNS %.2f ns, power %.4f W\n",
+        ppa.rwl_um, ppa.wns_ps, ppa.tns_ns, ppa.power_w);
+  }
 
   int exit_code = 0;
   if (args.check_level != check::CheckLevel::kOff) {
@@ -310,7 +360,9 @@ int main(int argc, char** argv) {
       std::filesystem::create_directories("bench_results", ec);
       qor_path = "bench_results/" + design_name + ".qor.json";
     }
-    if (flow::write_qor(qor_path, design_name, args.flow, result)) {
+    const std::string flow_label =
+        args.sharded ? args.flow + "+sharded" : args.flow;
+    if (flow::write_qor(qor_path, design_name, flow_label, result)) {
       std::printf("wrote %s\n", qor_path.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", qor_path.c_str());

@@ -21,8 +21,8 @@ namespace {
 /// Sorted so `registered_sites()` iteration (the fault campaign) and
 /// to_spec() output are canonical.
 const std::vector<std::string> kSites = {
-    "io.read",     "ml.predict",  "place.solve",
-    "route.maze",  "sta.arrival", "vpr.shape_eval",
+    "io.read",    "ml.predict",  "place.shard",    "place.solve",
+    "route.maze", "sta.arrival", "vpr.shape_eval",
 };
 
 struct PlanState {

@@ -14,6 +14,7 @@
 ///   io.read         netlist / model deserialization
 ///   vpr.shape_eval  one V-P&R shape-candidate evaluation
 ///   ml.predict      the GNN TotalCost predictor call
+///   place.shard     one shard solve of the sharded placement pass
 ///   place.solve     one global-placement outer iteration
 ///   route.maze      one net's (re)route
 ///   sta.arrival     the STA propagation pass
@@ -196,6 +197,9 @@ struct DegradePolicy {
   /// Placer failure mid-iteration -> stop early with the best placement so
   /// far instead of failing the flow.
   bool place_early_stop = true;
+  /// Shard-solve failure in the sharded placement pass -> that shard keeps
+  /// its cluster-induced (VPR) seed positions; the stitch still runs.
+  bool shard_fallback_seed = true;
   /// Router batch failure -> serial retries with bounded backoff, then
   /// report partial routes for the nets that still fail.
   int route_retries = 2;

@@ -460,6 +460,163 @@ FlowResult run_clustered_flow(netlist::Netlist& nl, const FlowOptions& options) 
   return std::move(result).value();
 }
 
+fault::Expected<FlowResult, fault::FlowError> try_run_sharded_flow(
+    netlist::Netlist& nl, const FlowOptions& options) {
+  FlowResult result;
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_netlist(nl, level);
+  });
+  const place::Floorplan fp = make_floorplan(nl, options);
+
+  // --- Clustering + shapes: identical to the clustered flow ------------------
+  ClusteringOutcome clustering;
+  cluster::ClusteredNetlist clustered;
+  {
+    PPACD_SPAN(span, "flow.cluster");
+    span.anchor();
+    util::ScopedTimer timer(result.place.clustering_seconds);
+    auto clustering_or = run_clustering(nl, options);
+    if (!clustering_or.has_value()) {
+      return fault::Unexpected<fault::FlowError>(
+          std::move(clustering_or).error());
+    }
+    clustering = std::move(clustering_or).value();
+    clustered = cluster::build_clustered_netlist(nl, clustering.assignment,
+                                                 clustering.count);
+    PPACD_SPAN_ATTR(span, "method", to_string(options.cluster_method));
+    PPACD_SPAN_ATTR(span, "clusters", clustering.count);
+  }
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_clustering(nl, clustered, level);
+  });
+  result.place.cluster_count = clustering.count;
+
+  {
+    PPACD_SPAN(span, "flow.shape");
+    span.anchor();
+    util::ScopedTimer timer(result.place.shaping_seconds);
+    auto shaped = apply_shapes(nl, clustered, options, result.place);
+    if (!shaped.has_value()) {
+      return fault::Unexpected<fault::FlowError>(std::move(shaped).error());
+    }
+    PPACD_SPAN_ATTR(span, "mode", to_string(options.shape_mode));
+    PPACD_SPAN_ATTR(span, "shaped", result.place.shaped_clusters);
+  }
+
+  // --- Seed placement + sharded flat placement -------------------------------
+  place::PlaceModel flat_model;
+  place::LegalizeResult legal;
+  {
+  util::ScopedTimer placement_timer(result.place.placement_seconds);
+  place::PlaceResult seed_placed;
+  std::vector<geom::Point> seeded_cells;
+  {
+    PPACD_SPAN(span, "flow.seed_place");
+    span.anchor();
+    const double io_scale =
+        options.tool == Tool::kOpenRoadLike ? options.io_weight_scale : 1.0;
+    const place::PlaceModel cluster_model =
+        cluster::make_cluster_place_model(clustered, nl, fp, io_scale);
+    place::GlobalPlacerOptions seed_options = options.placer;
+    seed_options.seed = options.seed;
+    seed_options.spread_mode = place::SpreadMode::kBisection;
+    seed_options.trace_iterations = true;
+    place::GlobalPlacer seed_placer(cluster_model, seed_options);
+    auto seed_or = seed_placer.try_run(options.degrade);
+    if (!seed_or.has_value()) {
+      return fault::Unexpected<fault::FlowError>(std::move(seed_or).error());
+    }
+    seed_placed = std::move(seed_or).value();
+    if (!seed_placed.degrade_code.empty()) {
+      fault::record_degradation({"place.solve", seed_placed.degrade_code,
+                                 "early-stop", "cluster seed placement"});
+    }
+    seeded_cells = cluster::induce_cell_positions(
+        clustered, nl, seed_placed.placement, options.scatter_seed, options.seed);
+    PPACD_SPAN_ATTR(span, "iterations", seed_placed.iterations);
+  }
+
+  PPACD_SPAN(shard_span, "flow.sharded_place");
+  shard_span.anchor();
+
+  // Each placed cluster footprint is one partitionable group; the region
+  // partitioner maps groups onto `options.sharding.shards` floorplan regions.
+  std::vector<place::ShardGroup> groups;
+  groups.reserve(clustered.cluster_count());
+  for (const cluster::ClusterId ci : clustered.cluster_ids()) {
+    place::ShardGroup group;
+    group.center = seed_placed.placement[ci.index()];
+    group.rect = cluster_region(clustered, ci, seed_placed.placement);
+    group.weight =
+        static_cast<std::int64_t>(clustered.clusters[ci].cells.size());
+    groups.push_back(group);
+  }
+  const place::RegionPartition partition =
+      place::partition_regions(groups, fp.core, options.sharding.shards);
+  result.place.shard_count = partition.shard_count();
+
+  // Flat model; shards stand in for fences, so the sharded flow adds no
+  // Innovus-style region constraints.
+  flat_model = place::make_place_model(nl, fp);
+  std::vector<std::int32_t> shard_of_object(flat_model.objects.size(), -1);
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) {
+    const cluster::ClusterId ci =
+        clustered.cluster_of_cell[static_cast<netlist::CellId>(i)];
+    shard_of_object[i] = partition.shard_of_group[ci.index()];
+  }
+
+  place::Placement seed_flat(flat_model.objects.size());
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) seed_flat[i] = seeded_cells[i];
+  for (std::size_t i = nl.cell_count(); i < flat_model.objects.size(); ++i) {
+    seed_flat[i] = flat_model.objects[i].fixed_position;
+  }
+  place::GlobalPlacerOptions inc_options = options.placer;
+  inc_options.seed = options.seed;
+  inc_options.trace_iterations = true;
+  auto sharded_or =
+      place::try_place_sharded(flat_model, seed_flat, shard_of_object, partition,
+                               options.sharding, inc_options, options.degrade);
+  if (!sharded_or.has_value()) {
+    return fault::Unexpected<fault::FlowError>(std::move(sharded_or).error());
+  }
+  const place::ShardedPlaceResult sharded = std::move(sharded_or).value();
+  for (const place::ShardStat& stat : sharded.shards) {
+    result.place.shard_fallbacks += stat.fell_back ? 1 : 0;
+  }
+
+  legal = place::legalize(flat_model, sharded.placement);
+  if (options.detailed_placement) {
+    legal.placement =
+        place::detailed_place(flat_model, legal.placement, place::DetailedOptions{})
+            .placement;
+  }
+  run_check(options, [&](check::CheckLevel level) {
+    return check::check_placement(flat_model, legal.placement, level);
+  });
+  PPACD_SPAN_ATTR(shard_span, "shards", result.place.shard_count);
+  PPACD_SPAN_ATTR(shard_span, "fallbacks", result.place.shard_fallbacks);
+  PPACD_SPAN_ATTR(shard_span, "overflow", sharded.overflow);
+  }  // placement scope (seed + sharded + stitch)
+
+  result.place.positions = place::cell_positions(nl, legal.placement);
+  result.place.hpwl_um = place::netlist_hpwl(nl, result.place.positions);
+  if (options.timing_optimization) {
+    run_timing_optimization(nl, fp, options, result);
+  }
+  PPACD_LOG_INFO("flow") << nl.name() << ": sharded flow, "
+                         << result.place.cluster_count << " clusters, "
+                         << result.place.shard_count << " shards, HPWL "
+                         << result.place.hpwl_um;
+  return result;
+}
+
+FlowResult run_sharded_flow(netlist::Netlist& nl, const FlowOptions& options) {
+  auto result = try_run_sharded_flow(nl, options);
+  PPACD_CHECK(result.has_value(),
+              "sharded flow failed: " << result.error().code);
+  return std::move(result).value();
+}
+
 fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
     const netlist::Netlist& nl, const std::vector<geom::Point>& positions,
     const FlowOptions& options) {

@@ -31,6 +31,7 @@
 #include "geom/geometry.hpp"
 #include "netlist/netlist.hpp"
 #include "place/global_placer.hpp"
+#include "place/sharded.hpp"
 #include "route/global_router.hpp"
 #include "vpr/vpr.hpp"
 
@@ -98,6 +99,9 @@ struct FlowOptions {
   /// turns that failure into a propagated FlowError from the try_* entry
   /// points (the legacy entry points then assert).
   fault::DegradePolicy degrade;
+  /// Region-sharded seeded placement (run_sharded_flow only): shard count
+  /// and per-shard / stitch iteration budgets.
+  place::ShardedOptions sharding;
   std::uint64_t seed = 3;
 };
 
@@ -110,6 +114,8 @@ struct PlaceOutcome {
   double shaping_seconds = 0.0;        ///< V-P&R / ML shape selection
   int cluster_count = 0;               ///< 0 for the default flow
   int shaped_clusters = 0;
+  int shard_count = 0;                 ///< 0 unless the sharded flow ran
+  int shard_fallbacks = 0;             ///< shards that kept their VPR seed
 };
 
 /// Post-route PPA (Tables 3-6 columns).
@@ -134,6 +140,16 @@ FlowResult run_default_flow(netlist::Netlist& netlist, const FlowOptions& option
 /// The clustering-driven flow of Algorithm 1 (or a baseline variant).
 FlowResult run_clustered_flow(netlist::Netlist& netlist, const FlowOptions& options);
 
+/// The clustered flow with region-sharded seeded placement: the top-level
+/// clusters are partitioned onto floorplan regions
+/// (place::partition_regions), each region's cells are placed as an
+/// independent sub-problem with boundary pins fixed at the region crossings
+/// (place::try_place_sharded), and a short bounded incremental pass stitches
+/// the shards. Bit-identical at any thread count for a fixed shard count; a
+/// failed shard falls back to its cluster-induced seed when
+/// `options.degrade.shard_fallback_seed`.
+FlowResult run_sharded_flow(netlist::Netlist& netlist, const FlowOptions& options);
+
 /// Routes, runs CTS, and measures post-route PPA for a placed design.
 PpaOutcome evaluate_ppa(const netlist::Netlist& netlist,
                         const std::vector<geom::Point>& positions,
@@ -148,6 +164,8 @@ PpaOutcome evaluate_ppa(const netlist::Netlist& netlist,
 [[nodiscard]] fault::Expected<FlowResult, fault::FlowError> try_run_default_flow(
     netlist::Netlist& netlist, const FlowOptions& options);
 [[nodiscard]] fault::Expected<FlowResult, fault::FlowError> try_run_clustered_flow(
+    netlist::Netlist& netlist, const FlowOptions& options);
+[[nodiscard]] fault::Expected<FlowResult, fault::FlowError> try_run_sharded_flow(
     netlist::Netlist& netlist, const FlowOptions& options);
 [[nodiscard]] fault::Expected<PpaOutcome, fault::FlowError> try_evaluate_ppa(
     const netlist::Netlist& netlist, const std::vector<geom::Point>& positions,

@@ -168,6 +168,10 @@ Json place_json(const PlaceOutcome& place) {
   out.set("placement_seconds", place.placement_seconds);
   out.set("cluster_count", place.cluster_count);
   out.set("shaped_clusters", place.shaped_clusters);
+  if (place.shard_count > 0) {
+    out.set("shard_count", place.shard_count);
+    out.set("shard_fallbacks", place.shard_fallbacks);
+  }
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "gen/scale.hpp"
+
 namespace ppacd::gen {
 
 namespace {
@@ -124,6 +126,9 @@ DesignSpec design_spec(const std::string& name) {
   if (name == "BlackParrot") return blackparrot_spec();
   if (name == "MegaBoom") return megaboom_spec();
   if (name == "MemPool Group") return mempool_group_spec();
+  if (const ScaledDesignInfo* scaled = find_scaled_design(name)) {
+    return make_scaled_design(*scaled);
+  }
   assert(false && "unknown design name");
   return DesignSpec{};
 }

@@ -14,7 +14,8 @@
 namespace ppacd::gen {
 
 /// Returns the spec for one of: "aes", "jpeg", "ariane", "BlackParrot",
-/// "MegaBoom", "MemPool Group". Aborts on unknown names.
+/// "MegaBoom", "MemPool Group", or a scaled-tier name (scale.hpp, e.g.
+/// "scale-1m"). Aborts on unknown names.
 DesignSpec design_spec(const std::string& name);
 
 /// All six designs in Table 1 order.

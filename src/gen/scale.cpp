@@ -1,0 +1,89 @@
+#include "gen/scale.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppacd::gen {
+
+namespace {
+
+/// Leaves hold ~1000 cells each; depth follows from branching 4. Clamped so
+/// the smoke sizes still exercise Algorithm 2's grouping (>= 3 levels).
+int depth_for(int target_cells, int branching) {
+  const double leaves = std::max(1.0, target_cells / 1000.0);
+  const int depth =
+      static_cast<int>(std::ceil(std::log(leaves) / std::log(double(branching))));
+  return std::clamp(depth, 3, 7);
+}
+
+}  // namespace
+
+DesignSpec make_scaled_design(const std::string& family, int target_cells,
+                              double rent_exponent, std::uint64_t seed) {
+  const double p = std::clamp(rent_exponent, 0.45, 0.85);
+  DesignSpec spec;
+  spec.seed = seed;
+  spec.target_cells = target_cells;
+  spec.clock_period_ps = 2000.0;
+  spec.io_ports = 256;
+  // Monotone Rent -> locality map: a higher exponent means more external
+  // terminals per module, i.e. fewer nets resolved locally. Calibrated so
+  // p = 0.65 lands near the Table-1 stand-ins' locality (~0.70 local).
+  spec.local_net_fraction = std::clamp(1.25 - 0.85 * p, 0.25, 0.90);
+  spec.sibling_net_fraction =
+      std::clamp(0.5 * (1.0 - spec.local_net_fraction), 0.05, 0.30);
+  spec.hierarchy_branching = 4;
+  spec.hierarchy_depth = depth_for(target_cells, spec.hierarchy_branching);
+  if (family == "generic") {
+    spec.topology = Topology::kGeneric;
+    spec.register_fraction = 0.25;
+    spec.logic_depth = 12;
+    spec.critical_unit_fraction = 0.15;
+  } else if (family == "macro") {
+    // Macro-heavy: replicated large blocks — one level shallower, so each
+    // leaf is ~4x bigger (a macro-like unit), register-rich.
+    spec.topology = Topology::kMulticore;
+    spec.hierarchy_depth = std::max(3, spec.hierarchy_depth - 1);
+    spec.register_fraction = 0.35;
+    spec.logic_depth = 10;
+    spec.critical_unit_fraction = 0.10;
+  } else if (family == "datapath") {
+    // Datapath-regular: pipeline of dense register stages, short cones.
+    spec.topology = Topology::kPipeline;
+    spec.register_fraction = 0.40;
+    spec.logic_depth = 8;
+    spec.critical_unit_fraction = 0.08;
+  } else {
+    assert(false && "unknown scaled-design family");
+  }
+  return spec;
+}
+
+DesignSpec make_scaled_design(const ScaledDesignInfo& info) {
+  DesignSpec spec = make_scaled_design(info.family, info.target_cells,
+                                       info.rent_exponent, info.seed);
+  spec.name = info.name;
+  return spec;
+}
+
+const std::vector<ScaledDesignInfo>& scaled_design_tier() {
+  static const std::vector<ScaledDesignInfo> kTier = {
+      {"scale-100k", "generic", 100'000, 0.65, 0x5ca1e100},
+      {"scale-1m", "generic", 1'000'000, 0.65, 0x5ca1e001},
+      {"scale-2m", "generic", 2'000'000, 0.70, 0x5ca1e002},
+      {"scale-5m", "generic", 5'000'000, 0.75, 0x5ca1e005},
+      {"scale-1m-macro", "macro", 1'000'000, 0.60, 0x5ca1e101},
+      {"scale-1m-datapath", "datapath", 1'000'000, 0.55, 0x5ca1e201},
+  };
+  return kTier;
+}
+
+const ScaledDesignInfo* find_scaled_design(const std::string& name) {
+  for (const ScaledDesignInfo& info : scaled_design_tier()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace ppacd::gen

@@ -1,0 +1,55 @@
+/// \file scale.hpp
+/// \brief Paper-scale synthetic design tier (1M-5M instances).
+///
+/// The six Table-1 stand-ins (designs.hpp) are laptop-sized; the paper's
+/// headline designs are millions of instances. This tier generates netlists
+/// at that scale with a *controlled Rent exponent*: the requested exponent
+/// `p` is mapped monotonically onto the generator's locality knobs
+/// (local/sibling net fractions), so a larger `p` yields proportionally more
+/// global wiring — the property sharded placement is sensitive to.
+/// `hier::average_rent` over the generated hierarchy validates the ordering
+/// (gen_test); the mapping is calibrated, not exact.
+///
+/// Three families cover the structure extremes:
+///   * "generic"  — distance-decaying random hierarchy (default),
+///   * "macro"    — macro-heavy: few large replicated blocks (multicore
+///     topology, shallow tree, register-rich leaves),
+///   * "datapath" — datapath-regular: pipeline topology, short logic
+///     between dense register stages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+
+namespace ppacd::gen {
+
+/// One entry of the scaled tier: everything needed to regenerate the design
+/// from the command line (flow_cli --list-designs prints these).
+struct ScaledDesignInfo {
+  std::string name;      ///< e.g. "scale-1m"
+  std::string family;    ///< "generic" | "macro" | "datapath"
+  int target_cells = 0;
+  double rent_exponent = 0.65;
+  std::uint64_t seed = 1;
+};
+
+/// The named scale tier: 100k smoke size, the 1M-5M paper ladder, and the
+/// macro-heavy / datapath-regular 1M variants.
+const std::vector<ScaledDesignInfo>& scaled_design_tier();
+
+/// Builds the spec for one scaled design. `family` must be one of the three
+/// family names above (aborts otherwise); `rent_exponent` is clamped to
+/// [0.45, 0.85].
+DesignSpec make_scaled_design(const std::string& family, int target_cells,
+                              double rent_exponent, std::uint64_t seed);
+
+/// Convenience over the tier entry.
+DesignSpec make_scaled_design(const ScaledDesignInfo& info);
+
+/// Tier lookup by name; nullptr when `name` is not a scaled design.
+const ScaledDesignInfo* find_scaled_design(const std::string& name);
+
+}  // namespace ppacd::gen

@@ -24,6 +24,7 @@ const char* to_string(Stream stream) {
     case Stream::kClusterLevel: return "cluster.level";
     case Stream::kClusterSize: return "cluster.size";
     case Stream::kClusterCut: return "cluster.cut";
+    case Stream::kPlaceShard: return "place.shard";
     case Stream::kStreamCount: break;
   }
   return "?";

@@ -63,6 +63,9 @@ enum class Stream : std::int32_t {
   kClusterSize,     ///< frame: final cluster sizes (cells per cluster)
   kClusterCut,      ///< end of clustering: cut-net fraction, clusters,
                     ///< singletons
+  kPlaceShard,      ///< per shard of a sharded placement pass: movables,
+                    ///< hpwl, iterations, overflow; index == shard count
+                    ///< carries the post-stitch summary
   kStreamCount
 };
 

@@ -51,6 +51,14 @@ liberty::Library& lib() {
 // below were unchanged before and after every one of them.
 constexpr std::uint64_t kGoldenClusteredHash = 0xb0c19e059d62a9f4ULL;
 constexpr std::uint64_t kGoldenDefaultHash = 0xfd23903d85389bc2ULL;
+// Sharded flow (DESIGN.md §16): shard membership, extraction, per-shard
+// solves, and the stitch are all pure functions of (model, seed, shard
+// count), so each shard count pins its own hash. shards=1 differs from the
+// clustered golden by construction: the sharded flow solves the flat model
+// through the shard path (one region + stitch) instead of the fenced
+// incremental pass.
+constexpr std::uint64_t kGoldenSharded1Hash = 0xbe8dd0762a2344e5ULL;
+constexpr std::uint64_t kGoldenShardedNHash = 0xf1d35026dabbbbf5ULL;
 
 struct FlowSnapshot {
   std::vector<geom::Point> positions;
@@ -87,7 +95,7 @@ void expect_identical(const FlowSnapshot& serial, const FlowSnapshot& parallel) 
 /// Runs one flow configuration at `threads` on a freshly generated design
 /// (run_* mutates the netlist, so every run starts from the generator).
 FlowSnapshot run_at(int threads, const char* design, int cells, bool clustered,
-                    bool enable_vpr) {
+                    bool enable_vpr, int shards = 0) {
   exec::set_thread_count(threads);
   gen::DesignSpec spec = gen::design_spec(design);
   spec.target_cells = cells;
@@ -97,10 +105,12 @@ FlowSnapshot run_at(int threads, const char* design, int cells, bool clustered,
   options.clock_period_ps = 550.0;
   options.fc.target_cluster_count = 10;
   options.vpr.min_cluster_instances = enable_vpr ? 20 : (1 << 20);
+  options.sharding.shards = shards;
 
   telemetry::metrics().reset();
-  const FlowResult result = clustered ? run_clustered_flow(nl, options)
-                                      : run_default_flow(nl, options);
+  const FlowResult result = shards > 0 ? run_sharded_flow(nl, options)
+                            : clustered ? run_clustered_flow(nl, options)
+                                        : run_default_flow(nl, options);
   const PpaOutcome ppa =
       evaluate_ppa(nl, result.place.positions, options);
 
@@ -152,6 +162,17 @@ TEST_F(DeterminismTest, DefaultFlowSecondDesignBitIdentical1v8) {
                                      /*enable_vpr=*/false);
   const FlowSnapshot parallel = run_at(8, "jpeg", 500, /*clustered=*/false,
                                        /*enable_vpr=*/false);
+  expect_identical(serial, parallel);
+}
+
+TEST_F(DeterminismTest, ShardedFlowBitIdentical1v8) {
+  // The sharded flow's per-shard solves run under exec::parallel_for, so this
+  // is the direct test of the sharding determinism contract: extraction,
+  // shard solves, merge, and stitch must not depend on thread count.
+  const FlowSnapshot serial = run_at(1, "aes", 600, /*clustered=*/true,
+                                     /*enable_vpr=*/true, /*shards=*/4);
+  const FlowSnapshot parallel = run_at(8, "aes", 600, /*clustered=*/true,
+                                       /*enable_vpr=*/true, /*shards=*/4);
   expect_identical(serial, parallel);
 }
 
@@ -258,6 +279,26 @@ TEST_F(DeterminismTest, GoldenDefaultFlowHashPinned) {
   EXPECT_EQ(snapshot_hash(snap), kGoldenDefaultHash)
       << "default flow output changed; if intentional, re-pin to 0x"
       << std::hex << snapshot_hash(snap);
+}
+
+TEST_F(DeterminismTest, GoldenShardedFlowHashesPinned) {
+#if defined(PPACD_TELEMETRY_DISABLED)
+  GTEST_SKIP() << "golden hash includes a telemetry counter";
+#endif
+  // shards=1 and shards=4 are distinct algorithms (different region systems
+  // and boundary terminals), so each pins its own golden. Together with the
+  // 1-vs-8 test above this guarantees the shard decomposition depends only on
+  // (model, seed, shard count) — never thread count or iteration order.
+  const FlowSnapshot one = run_at(1, "aes", 600, /*clustered=*/true,
+                                  /*enable_vpr=*/true, /*shards=*/1);
+  EXPECT_EQ(snapshot_hash(one), kGoldenSharded1Hash)
+      << "sharded flow (shards=1) output changed; if intentional, re-pin to 0x"
+      << std::hex << snapshot_hash(one);
+  const FlowSnapshot many = run_at(1, "aes", 600, /*clustered=*/true,
+                                   /*enable_vpr=*/true, /*shards=*/4);
+  EXPECT_EQ(snapshot_hash(many), kGoldenShardedNHash)
+      << "sharded flow (shards=4) output changed; if intentional, re-pin to 0x"
+      << std::hex << snapshot_hash(many);
 }
 
 #if !defined(PPACD_OBSERVE_DISABLED) && !defined(PPACD_TELEMETRY_DISABLED)

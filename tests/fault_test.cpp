@@ -57,7 +57,7 @@ struct CampaignOutcome {
 /// the ML predictor are enabled so every site is reachable.
 CampaignOutcome run_campaign(const std::string& spec,
                              const fault::DegradePolicy& policy = {},
-                             bool use_ml = true) {
+                             bool use_ml = true, bool sharded = false) {
   auto plan = fault::parse_plan(spec);
   EXPECT_TRUE(plan.has_value()) << spec;
   fault::set_plan(plan.value());
@@ -75,9 +75,11 @@ CampaignOutcome run_campaign(const std::string& spec,
   const vpr::ShapeCostPredictor predictor = stub_predictor();
   if (use_ml) options.ml_predictor = &predictor;
   options.degrade = policy;
+  options.sharding.shards = 4;
 
   CampaignOutcome outcome;
-  auto result = flow::try_run_clustered_flow(nl, options);
+  auto result = sharded ? flow::try_run_sharded_flow(nl, options)
+                        : flow::try_run_clustered_flow(nl, options);
   if (!result.has_value()) {
     outcome.error = result.error();
   } else {
@@ -137,10 +139,12 @@ TEST_F(FaultTest, CampaignEverySiteEveryKindDegradesGracefully) {
       fault::reset_log();
       telemetry::metrics().reset();
       // The ML predictor bypasses the exact sweep, so the vpr.shape_eval
-      // site is only reachable in exact V-P&R mode.
+      // site is only reachable in exact V-P&R mode; place.shard only fires
+      // inside the sharded flow.
       const bool use_ml = site != "vpr.shape_eval";
+      const bool sharded = site == "place.shard";
       const CampaignOutcome outcome =
-          run_campaign(spec, fault::DegradePolicy{}, use_ml);
+          run_campaign(spec, fault::DegradePolicy{}, use_ml, sharded);
       // Default policies absorb every unconditional single-site fault: the
       // flow must complete, with the fallback on record and finite metrics.
       ASSERT_TRUE(outcome.ok)
@@ -180,7 +184,8 @@ TEST_F(FaultTest, AllocFaultYieldsStructuredErrorOrDegradation) {
     if (site == "io.read") continue;
     fault::reset_log();
     const std::string spec = "seed=17;" + site + "=alloc@1";
-    const CampaignOutcome outcome = run_campaign(spec);
+    const CampaignOutcome outcome = run_campaign(
+        spec, fault::DegradePolicy{}, true, site == "place.shard");
     if (outcome.ok) {
       expect_finite_metrics(outcome, spec);
     } else {
@@ -254,6 +259,34 @@ TEST_F(FaultTest, DisabledPlacePolicyPropagatesStructuredError) {
   ASSERT_FALSE(outcome.ok);
   EXPECT_FALSE(outcome.error.code.empty());
   EXPECT_EQ(outcome.error.site, "place.solve");
+}
+
+TEST_F(FaultTest, ShardFaultFallsBackToSeedAndRecordsDegradation) {
+  // One shard solve fails; the default policy keeps that shard at its VPR
+  // seed placement and the sharded flow still completes with finite metrics.
+  const CampaignOutcome outcome = run_campaign(
+      "seed=5;place.shard=error@1", fault::DegradePolicy{}, true, true);
+  ASSERT_TRUE(outcome.ok) << outcome.error.code << ": "
+                          << outcome.error.message;
+  bool saw_seed_fallback = false;
+  for (const fault::Degradation& d : outcome.degradations) {
+    if (d.site == "place.shard") {
+      EXPECT_EQ(d.fallback, "vpr-seed");
+      saw_seed_fallback = true;
+    }
+  }
+  EXPECT_TRUE(saw_seed_fallback);
+  expect_finite_metrics(outcome, "shard fallback");
+}
+
+TEST_F(FaultTest, DisabledShardPolicyPropagatesStructuredError) {
+  fault::DegradePolicy policy;
+  policy.shard_fallback_seed = false;
+  const CampaignOutcome outcome =
+      run_campaign("seed=5;place.shard=error", policy, true, true);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error.code, "place-shard-failed");
+  EXPECT_EQ(outcome.error.site, "place.shard");
 }
 
 TEST_F(FaultTest, MlFallbackRecordsVprExactDegradation) {

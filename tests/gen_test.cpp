@@ -5,6 +5,8 @@
 
 #include "gen/designs.hpp"
 #include "gen/generator.hpp"
+#include "gen/scale.hpp"
+#include "hier/rent.hpp"
 #include "netlist/stats.hpp"
 
 namespace ppacd::gen {
@@ -175,6 +177,95 @@ TEST(Designs, HierarchyShapeMatchesTopology) {
   const auto& root = mp.module(mp.root_module());
   EXPECT_GE(root.children.size(), 2u);
   EXPECT_EQ(mp.module(root.children[0]).name, "stage0");
+}
+
+// ---------------------------------------------------------------------------
+// Paper-scale tier (gen/scale.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(ScaledTier, EntriesResolveByNameThroughDesignSpec) {
+  const auto& tier = scaled_design_tier();
+  ASSERT_GE(tier.size(), 6u);
+  for (const ScaledDesignInfo& info : tier) {
+    const ScaledDesignInfo* found = find_scaled_design(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->target_cells, info.target_cells);
+    // design_spec falls through to the scaled tier for unknown paper names.
+    const DesignSpec spec = design_spec(info.name);
+    EXPECT_EQ(spec.name, info.name);
+    EXPECT_EQ(spec.target_cells, info.target_cells);
+    EXPECT_GE(info.target_cells, 100'000) << "tier is the at-scale ladder";
+  }
+  EXPECT_EQ(find_scaled_design("not-a-design"), nullptr);
+}
+
+TEST(ScaledTier, FamiliesMapToDistinctTopologies) {
+  EXPECT_EQ(make_scaled_design("generic", 4000, 0.65, 1).topology,
+            Topology::kGeneric);
+  EXPECT_EQ(make_scaled_design("macro", 4000, 0.65, 1).topology,
+            Topology::kMulticore);
+  EXPECT_EQ(make_scaled_design("datapath", 4000, 0.65, 1).topology,
+            Topology::kPipeline);
+}
+
+TEST(ScaledTier, SmokeSizedScaledDesignsAreValid) {
+  // The scale knobs must not depend on absolute size, so a downscaled member
+  // of each family stands in for the 1M+ versions in unit tests.
+  for (const char* family : {"generic", "macro", "datapath"}) {
+    const DesignSpec spec = make_scaled_design(family, 4000, 0.65, 42);
+    const Netlist nl = generate(lib(), spec);
+    EXPECT_TRUE(nl.validate().empty()) << family;
+    const auto stats = netlist::compute_stats(nl);
+    EXPECT_NEAR(static_cast<double>(stats.cell_count), 4000.0, 1000.0)
+        << family;
+    EXPECT_TRUE(nl.has_hierarchy()) << family;
+    EXPECT_TRUE(combinational_dag(nl)) << family;
+  }
+}
+
+/// Cell -> index of its top-level hierarchy block (child of root), the
+/// natural clustering for measuring the generated netlist's Rent exponent.
+std::vector<std::int32_t> top_block_assignment(const Netlist& nl,
+                                               std::int32_t& cluster_count) {
+  std::vector<std::int32_t> block_of_module(nl.module_count(), 0);
+  cluster_count = 1;  // cluster 0: cells directly under the root
+  for (const netlist::ModuleId id : nl.module_ids()) {
+    if (id == nl.root_module()) continue;
+    netlist::ModuleId top = id;
+    while (nl.module(top).parent != nl.root_module()) {
+      top = nl.module(top).parent;
+    }
+    if (top == id) block_of_module[id.index()] = cluster_count++;
+  }
+  for (const netlist::ModuleId id : nl.module_ids()) {
+    if (id == nl.root_module()) continue;
+    netlist::ModuleId top = id;
+    while (nl.module(top).parent != nl.root_module()) {
+      top = nl.module(top).parent;
+    }
+    block_of_module[id.index()] = block_of_module[top.index()];
+  }
+  std::vector<std::int32_t> assignment(nl.cell_count(), 0);
+  for (const netlist::CellId id : nl.cell_ids()) {
+    assignment[id.index()] = block_of_module[nl.cell(id).module.index()];
+  }
+  return assignment;
+}
+
+TEST(ScaledTier, RentExponentKnobIsMonotone) {
+  // The requested exponent maps onto net-locality fractions; the measured
+  // average Rent exponent over top-level blocks must preserve the ordering
+  // (calibrated, not exact — only monotonicity is contractual).
+  auto measured = [&](double p) {
+    const DesignSpec spec = make_scaled_design("generic", 6000, p, 42);
+    const Netlist nl = generate(lib(), spec);
+    std::int32_t clusters = 0;
+    const auto assignment = top_block_assignment(nl, clusters);
+    return hier::average_rent(nl, assignment, clusters);
+  };
+  const double low = measured(0.50);
+  const double high = measured(0.80);
+  EXPECT_LT(low, high) << "low=" << low << " high=" << high;
 }
 
 }  // namespace

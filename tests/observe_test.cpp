@@ -229,8 +229,10 @@ struct FlowStream {
   std::string json;
 };
 
-/// Runs the clustered aes flow (V-P&R on, nested solvers exercised) plus PPA
-/// evaluation with the recorder on, and snapshots the full event stream.
+/// Runs the sharded aes flow (V-P&R on, nested solvers exercised, and the
+/// place.shard series emitted — this is the clustered flow plus the sharded
+/// placement pass, so it covers every stream) plus PPA evaluation with the
+/// recorder on, and snapshots the full event stream.
 FlowStream record_flow_at(int threads) {
   const int saved = exec::thread_count();
   exec::set_thread_count(threads);
@@ -242,10 +244,11 @@ FlowStream record_flow_at(int threads) {
   options.clock_period_ps = 550.0;
   options.fc.target_cluster_count = 10;
   options.vpr.min_cluster_instances = 20;
+  options.sharding.shards = 3;
 
   telemetry::metrics().reset();
   recorder().reset();
-  const flow::FlowResult result = flow::run_clustered_flow(nl, options);
+  const flow::FlowResult result = flow::run_sharded_flow(nl, options);
   (void)flow::evaluate_ppa(nl, result.place.positions, options);
 
   FlowStream stream;

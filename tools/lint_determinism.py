@@ -27,6 +27,15 @@ This lint catches the usual ways that promise silently breaks:
                          util/simd.hpp (per-lane adds, explicit
                          (l0+l1)+(l2+l3) combine) or the SSE2 and scalar paths
                          stop being bit-identical.
+  shard-unordered        any std::unordered_map/set in shard-boundary code
+                         (files whose name contains "shard"). The sharded
+                         placement contract (DESIGN.md §16) requires shard
+                         membership, sub-netlist extraction, and the stitch
+                         to be reproducible from (model, seed, shard count)
+                         alone, so even *non-iterated* hash containers are
+                         banned there: bucket layouts invite order-dependent
+                         refactors later. Use util::Csr counting builds or
+                         epoch-stamped dense scratch instead.
 
 Suppressions (both forms require a trailing justification after a colon):
   // lint:allow(<rule>): <why>          on the offending or preceding line
@@ -59,6 +68,7 @@ RULES = (
     "raw-thread",
     "parallel-float-accum",
     "simd-float-accum",
+    "shard-unordered",
 )
 
 # Directories whose job is infrastructure, not solving. Wall-clock and the
@@ -91,6 +101,8 @@ PP_ENDIF = re.compile(r"^\s*#\s*endif")
 SIMD_UNORDERED = re.compile(
     r"\b_mm(?:256|512)?_hadd_p[sd]\b|\b_mm512_reduce_add_p[sd]\b|"
     r"\bstd::(?:accumulate|reduce)\b")
+SHARD_UNORDERED = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
 FLOAT_DECL = re.compile(r"\b(?:double|float)\s+(\w+)\s*[;={]")
 FLOAT_VEC_DECL = re.compile(
     r"\bstd::vector\s*<\s*(?:double|float)\s*>\s*&?\s*(\w+)")
@@ -142,6 +154,10 @@ def in_solver_dir(path: str) -> bool:
 def in_exec_dir(path: str) -> bool:
     parts = os.path.normpath(path).split(os.sep)
     return "exec" in parts
+
+
+def is_shard_file(path: str) -> bool:
+    return "shard" in os.path.basename(path)
 
 
 def lint_file(path: str, text: str) -> list[Finding]:
@@ -213,6 +229,13 @@ def lint_file(path: str, text: str) -> list[Finding]:
                     f"range-for over unordered container '{m.group(1)}'; "
                     "iteration order is nondeterministic — sort the keys or "
                     "use a vector/map")
+
+        if is_shard_file(path) and SHARD_UNORDERED.search(line):
+            add("shard-unordered", idx,
+                "hash container in shard-boundary code; shard membership and "
+                "extraction must be reproducible from (model, seed, shard "
+                "count) — use util::Csr counting builds or epoch-stamped "
+                "dense scratch")
 
         if POINTER_KEY.search(line):
             add("pointer-key", idx,

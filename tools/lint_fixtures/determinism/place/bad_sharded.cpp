@@ -1,0 +1,36 @@
+// Fixture: the shard-unordered rule — hash containers are banned outright in
+// shard-boundary code (file name contains "shard"), iterated or not. Never
+// compiled; consumed by tools/lint_determinism.py --self-test.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+void extract_shard_members() {
+  // Even a lookup-only table is flagged here: the extraction must stay
+  // reproducible from (model, seed, shard count), and a hash table invites
+  // order-dependent refactors later.
+  std::unordered_map<std::int32_t, std::int32_t> local_index;  // LINT-EXPECT: shard-unordered
+  local_index[7] = 0;
+
+  std::unordered_set<std::int64_t> boundary;  // LINT-EXPECT: shard-unordered
+  boundary.insert(3);
+  // Iterating it additionally trips the generic unordered-iter rule.
+  for (const std::int64_t b : boundary) {  // LINT-EXPECT: unordered-iter
+    (void)b;
+  }
+
+  // The deterministic idiom: dense scratch + explicit order. Not flagged.
+  std::vector<std::int32_t> dense_index(64, -1);
+  dense_index[7] = 0;
+
+  // Suppression still works for a justified exception.
+  // lint:allow(shard-unordered): fixture exercising the suppression form
+  std::unordered_map<int, int> allowed;
+  (void)allowed;
+}
+
+}  // namespace fixture
